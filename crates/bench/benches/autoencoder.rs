@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the neural substrate: forward pass, full
+//! training step, and per-sample scoring of the paper's autoencoder.
+
+use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig};
+use acobe_nn::layer::Mode;
+use acobe_nn::loss::mse;
+use acobe_nn::optim::{Adadelta, Optimizer};
+use acobe_nn::tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn batch(rows: usize, dim: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        dim,
+        (0..rows * dim)
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0)
+            .collect(),
+    )
+}
+
+/// The paper's full architecture on an HTTP-aspect-sized input
+/// (7 features × 2 frames × 30 days × 2 blocks = 840).
+fn bench_paper_arch_forward(c: &mut Criterion) {
+    let mut ae = Autoencoder::new(AutoencoderConfig::paper(840));
+    let x = batch(64, 840);
+    c.bench_function("autoencoder/paper840/forward_batch64", |b| {
+        b.iter(|| ae.reconstruct(black_box(&x)))
+    });
+}
+
+fn bench_paper_arch_train_step(c: &mut Criterion) {
+    let mut ae = Autoencoder::new(AutoencoderConfig::paper(840));
+    let mut opt = Adadelta::new();
+    let x = batch(64, 840);
+    c.bench_function("autoencoder/paper840/train_step_batch64", |b| {
+        b.iter(|| {
+            let net = ae.net_mut();
+            net.zero_grad();
+            let y = net.forward(black_box(&x), Mode::Train);
+            let (_, grad) = mse(&y, &x);
+            net.backward(&grad);
+            opt.step(net);
+        })
+    });
+}
+
+fn bench_fast_arch_train_step(c: &mut Criterion) {
+    let mut ae = Autoencoder::new(AutoencoderConfig {
+        input_dim: 392,
+        encoder_dims: vec![128, 64, 32],
+        batch_norm: true,
+        output_activation: Default::default(),
+        seed: 1,
+    });
+    let mut opt = Adadelta::new();
+    let x = batch(64, 392);
+    c.bench_function("autoencoder/fast392/train_step_batch64", |b| {
+        b.iter(|| {
+            let net = ae.net_mut();
+            net.zero_grad();
+            let y = net.forward(black_box(&x), Mode::Train);
+            let (_, grad) = mse(&y, &x);
+            net.backward(&grad);
+            opt.step(net);
+        })
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut ae = Autoencoder::new(AutoencoderConfig::paper(840));
+    let x = batch(929, 840); // one day of the paper-scale organization
+    c.bench_function("autoencoder/paper840/score_929_users", |b| {
+        b.iter(|| ae.reconstruction_errors(black_box(&x)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_paper_arch_forward, bench_paper_arch_train_step,
+              bench_fast_arch_train_step, bench_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the ACOBE pipeline components:
+//! deviation-window computation, compound-matrix construction, and the
+//! investigation-list critic.
+
+use acobe::critic::investigate_from_scores;
+use acobe::deviation::{compute_deviations, group_average_cube, DeviationConfig};
+use acobe::matrix::{build_row, MatrixConfig};
+use acobe_features::counts::FeatureCube;
+use acobe_logs::time::Date;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn synthetic_cube(users: usize, days: usize, features: usize) -> FeatureCube {
+    let mut cube = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, 2, features);
+    for u in 0..users {
+        for d in 0..days {
+            for t in 0..2 {
+                for f in 0..features {
+                    let v = ((u * 31 + d * 7 + t * 3 + f) % 17) as f32;
+                    cube.set_by_index(u, d, t, f, v);
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let cube = synthetic_cube(100, 365, 16);
+    let config = DeviationConfig::default();
+    c.bench_function("deviation/100users_365days_16feat", |b| {
+        b.iter(|| compute_deviations(black_box(&cube), black_box(&config)))
+    });
+}
+
+fn bench_group_average(c: &mut Criterion) {
+    let cube = synthetic_cube(200, 180, 16);
+    let groups: Vec<Vec<usize>> = (0..4).map(|g| (g * 50..(g + 1) * 50).collect()).collect();
+    c.bench_function("group_average/200users_180days", |b| {
+        b.iter(|| group_average_cube(black_box(&cube), black_box(&groups)))
+    });
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let cube = synthetic_cube(50, 120, 16);
+    let dev = compute_deviations(&cube, &DeviationConfig::default());
+    let config = MatrixConfig {
+        matrix_days: 30,
+        include_group: true,
+        use_weights: true,
+        delta: 3.0,
+    };
+    let features: Vec<usize> = (9..16).collect(); // the HTTP aspect
+    c.bench_function("matrix_row/http_aspect_30days", |b| {
+        b.iter(|| {
+            build_row(
+                black_box(&dev),
+                Some(black_box(&dev)),
+                7,
+                3,
+                100,
+                black_box(&features),
+                &config,
+            )
+        })
+    });
+}
+
+fn bench_critic(c: &mut Criterion) {
+    let users = 10_000;
+    let aspect_scores: Vec<Vec<f32>> = (0..3)
+        .map(|a| {
+            (0..users)
+                .map(|u| ((u * 2654435761usize + a * 97) % 100_000) as f32)
+                .collect()
+        })
+        .collect();
+    c.bench_function("critic/10k_users_3_aspects", |b| {
+        b.iter_batched(
+            || aspect_scores.clone(),
+            |scores| investigate_from_scores(black_box(&scores), 2),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_deviation,
+    bench_group_average,
+    bench_matrix_build,
+    bench_critic
+);
+criterion_main!(benches);

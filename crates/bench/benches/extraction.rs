@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the data path: log synthesis throughput, CSV
+//! codec, and feature extraction.
+
+use acobe_features::baseline::BaselineExtractor;
+use acobe_features::cert::{CertExtractor, CountSemantics};
+use acobe_logs::csv::{FromCsv, ToCsv};
+use acobe_logs::event::LogEvent;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+use acobe_synth::org::OrgConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn one_day_of_events() -> (CertConfig, Vec<LogEvent>) {
+    let org = OrgConfig { departments: 4, users_per_dept: 58, seed: 1 };
+    let config = CertConfig::paper(org, 1);
+    let mut gen = CertGenerator::new(config.clone());
+    // Skip to a representative mid-span workday.
+    let target = config.start.add_days(60);
+    let mut events = Vec::new();
+    for date in config.start.range_to(target.add_days(1)) {
+        events = gen.generate_day(date);
+    }
+    (config, events)
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let org = OrgConfig { departments: 4, users_per_dept: 58, seed: 1 };
+    let config = CertConfig::paper(org, 1);
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+    group.bench_function("generate_30_days_232_users", |b| {
+        b.iter(|| {
+            let mut gen = CertGenerator::new(config.clone());
+            let mut total = 0usize;
+            for date in config.start.range_to(config.start.add_days(30)) {
+                total += gen.generate_day(date).len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cert_extraction(c: &mut Criterion) {
+    let (config, events) = one_day_of_events();
+    let users = config.org.total_users();
+    let mut group = c.benchmark_group("extract");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("cert_features_one_day", |b| {
+        b.iter(|| {
+            let mut ex = CertExtractor::new(
+                users,
+                config.start.add_days(60),
+                config.start.add_days(61),
+                CountSemantics::Plain,
+            );
+            ex.ingest_day(config.start.add_days(60), black_box(&events));
+            black_box(ex.finish())
+        })
+    });
+    group.bench_function("baseline_features_one_day", |b| {
+        b.iter(|| {
+            let mut ex = BaselineExtractor::new(
+                users,
+                config.start.add_days(60),
+                config.start.add_days(61),
+            );
+            ex.ingest_day(config.start.add_days(60), black_box(&events));
+            black_box(ex.finish())
+        })
+    });
+    group.finish();
+}
+
+fn bench_csv_codec(c: &mut Criterion) {
+    let (_, events) = one_day_of_events();
+    let lines: Vec<String> = events.iter().map(|e| e.to_csv()).collect();
+    let mut group = c.benchmark_group("csv");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("encode_one_day", |b| {
+        b.iter(|| {
+            for e in &events {
+                black_box(e.to_csv());
+            }
+        })
+    });
+    group.bench_function("decode_one_day", |b| {
+        b.iter(|| {
+            for line in &lines {
+                black_box(LogEvent::from_csv(line).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_cert_extraction, bench_csv_codec);
+criterion_main!(benches);

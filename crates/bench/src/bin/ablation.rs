@@ -1,0 +1,132 @@
+//! Ablation sweeps over ACOBE's design choices (DESIGN.md §5): history
+//! window ω, matrix window D, TF feature weights, per-user calibration, and
+//! ranking smoothness — measuring each configuration's ability to surface
+//! the scenario-2 insider.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin ablation
+//!         [--scale small|medium] [--sweep window|weights|calibration|smooth|all]`
+
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe_bench::dataset::{build_cert_dataset, CertDataset, DatasetOptions};
+use acobe_bench::{arg_value, parse_args, EXPERIMENTS_DIR};
+use acobe_eval::report::{text_table, write_csv};
+use acobe_features::spec::cert_feature_set;
+use acobe_synth::scenario::VictimRecord;
+use std::path::Path;
+
+struct AblationResult {
+    label: String,
+    victim_position: usize,
+    users: usize,
+    victim_aspect_ranks: Vec<usize>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let options = match arg_value(&parsed, "scale") {
+        Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+        None => DatasetOptions { users_per_dept: 29, with_baseline: false, ..Default::default() },
+    };
+    let sweep = arg_value(&parsed, "sweep").unwrap_or("all").to_string();
+
+    eprintln!("building dataset...");
+    let mut opts = options;
+    opts.with_baseline = false;
+    let ds = build_cert_dataset(&opts);
+    let victim = ds
+        .victims
+        .iter()
+        .find(|v| v.scenario == "scenario2")
+        .expect("scenario 2 victim")
+        .clone();
+
+    let mut results: Vec<AblationResult> = Vec::new();
+
+    if sweep == "all" || sweep == "window" {
+        for window in [7usize, 14, 30, 45] {
+            let mut cfg = AcobeConfig::fast();
+            cfg.deviation.window = window;
+            results.push(run(&ds, &victim, cfg, 3, &format!("omega={window}")));
+        }
+        for matrix_days in [7usize, 14, 21] {
+            let mut cfg = AcobeConfig::fast();
+            cfg.matrix.matrix_days = matrix_days;
+            results.push(run(&ds, &victim, cfg, 3, &format!("D={matrix_days}")));
+        }
+    }
+    if sweep == "all" || sweep == "weights" {
+        for use_weights in [true, false] {
+            let mut cfg = AcobeConfig::fast();
+            cfg.matrix.use_weights = use_weights;
+            results.push(run(&ds, &victim, cfg, 3, &format!("weights={use_weights}")));
+        }
+    }
+    if sweep == "all" || sweep == "calibration" {
+        for calibrate in [true, false] {
+            let mut cfg = AcobeConfig::fast();
+            cfg.calibrate = calibrate;
+            results.push(run(&ds, &victim, cfg, 3, &format!("calibrate={calibrate}")));
+        }
+    }
+    if sweep == "all" || sweep == "smooth" {
+        for smooth in [1usize, 3, 7] {
+            let cfg = AcobeConfig::fast();
+            results.push(run(&ds, &victim, cfg, smooth, &format!("smooth={smooth}")));
+        }
+    }
+
+    let header = ["config", "victim-position", "users", "victim-aspect-ranks"];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                (r.victim_position + 1).to_string(),
+                r.users.to_string(),
+                format!("{:?}", r.victim_aspect_ranks),
+            ]
+        })
+        .collect();
+    println!("\n=== Ablations (scenario-2 insider) ===");
+    println!("{}", text_table(&header, &rows));
+    write_csv(Path::new(EXPERIMENTS_DIR).join("ablations.csv"), &header, &rows)
+        .expect("write ablations csv");
+    println!("CSV written to {EXPERIMENTS_DIR}/ablations.csv");
+}
+
+fn run(
+    ds: &CertDataset,
+    victim: &VictimRecord,
+    config: AcobeConfig,
+    smooth: usize,
+    label: &str,
+) -> AblationResult {
+    eprintln!("running {label} ...");
+    let critic_n = config.critic_n;
+    let mut pipeline =
+        AcobePipeline::new(ds.cert_cube.clone(), cert_feature_set(), &ds.groups, config)
+            .expect("pipeline");
+    let split = ds.scenario_split(victim);
+    pipeline.fit(split.train_start, split.train_end).expect("fit");
+    let table = pipeline
+        .score_range(split.test_start, split.test_end)
+        .expect("score");
+    let list = table.investigation_list_smoothed(critic_n, smooth);
+    let vidx = victim.user.index();
+    let victim_position = list.iter().position(|inv| inv.user == vidx).unwrap();
+    let victim_aspect_ranks = (0..table.aspect_names.len())
+        .map(|a| {
+            let maxes = table.smoothed_max_per_user(a, smooth);
+            let better = maxes.iter().filter(|&&m| m > maxes[vidx]).count();
+            better + 1
+        })
+        .collect();
+    AblationResult {
+        label: label.to_string(),
+        victim_position,
+        users: ds.users,
+        victim_aspect_ranks,
+    }
+}

@@ -1,0 +1,107 @@
+//! Regenerates Figure 4: the compound behavioral deviation matrices of the
+//! scenario-2 insider (device-access and HTTP-access aspects, working and
+//! off hours) around the anomaly window, plus an ASCII rendering.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin fig4 [--scale ...] [--seed N]`
+
+use acobe::deviation::{compute_deviations, DeviationConfig};
+use acobe_bench::{arg_value, build_cert_dataset, parse_args, DatasetOptions, EXPERIMENTS_DIR};
+use acobe_eval::report::write_csv;
+use acobe_features::spec::cert_feature_set;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let mut options = match arg_value(&parsed, "scale") {
+        Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+        None => DatasetOptions { users_per_dept: 29, with_baseline: false, ..Default::default() },
+    };
+    options.with_baseline = false;
+    if let Some(seed) = arg_value(&parsed, "seed").and_then(|s| s.parse().ok()) {
+        options.seed = seed;
+    }
+
+    eprintln!("generating dataset...");
+    let ds = build_cert_dataset(&options);
+    let victim = ds
+        .victims
+        .iter()
+        .find(|v| v.scenario == "scenario2")
+        .expect("scenario 2 victim present");
+    let dev = compute_deviations(
+        &ds.cert_cube,
+        &DeviationConfig { window: 30, delta: 3.0, epsilon: 1e-3, min_history: 7 },
+    );
+
+    // Plot window: one month before the anomaly to one month after (clipped).
+    let plot_start = victim.anomaly_start.add_days(-30);
+    let plot_end_raw = victim.anomaly_end.add_days(30);
+    let plot_end = if plot_end_raw < ds.end { plot_end_raw } else { ds.end };
+    let d0 = ds.cert_cube.day_index(plot_start).expect("plot start in cube");
+    let d1 = ds.cert_cube.day_index(plot_end.add_days(-1)).expect("plot end in cube") + 1;
+
+    let fs = cert_feature_set();
+    let uidx = victim.user.index();
+    let dir = Path::new(EXPERIMENTS_DIR);
+
+    for (aspect_name, file_tag) in [("device-access", "device"), ("http-access", "http")] {
+        let aspect = fs.aspect(aspect_name).expect("aspect exists");
+        for (frame, frame_tag) in [(0usize, "working"), (1usize, "off")] {
+            let mut rows = Vec::new();
+            for &f in &aspect.features {
+                let mut row = vec![fs.names[f].clone()];
+                for d in d0..d1 {
+                    row.push(format!("{:.3}", dev.sigma.get_by_index(uidx, d, frame, f)));
+                }
+                rows.push(row);
+            }
+            let mut header: Vec<String> = vec!["feature".to_string()];
+            for d in d0..d1 {
+                header.push(ds.cert_cube.start().add_days(d as i32).to_string());
+            }
+            let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let path = dir.join(format!("fig4_{file_tag}_{frame_tag}.csv"));
+            write_csv(&path, &header_refs, &rows).expect("write fig4 csv");
+
+            // ASCII rendering: one row per feature, one char per day.
+            println!("\n== {aspect_name} / {frame_tag} hours (victim {}) ==", victim.user);
+            for &f in &aspect.features {
+                let mut line = String::new();
+                for d in d0..d1 {
+                    let s = dev.sigma.get_by_index(uidx, d, frame, f);
+                    line.push(shade(s));
+                }
+                println!("{:>28} {}", fs.names[f], line);
+            }
+            // Anomaly markers.
+            let mut marks = String::new();
+            for d in d0..d1 {
+                let date = ds.cert_cube.start().add_days(d as i32);
+                marks.push(if date >= victim.anomaly_start && date < victim.anomaly_end {
+                    '*'
+                } else {
+                    ' '
+                });
+            }
+            println!("{:>28} {}", "labeled anomaly", marks);
+        }
+    }
+    println!(
+        "\nCSV written to {EXPERIMENTS_DIR}/fig4_device_*.csv and fig4_http_*.csv \
+         (rows: features; columns: {} .. {})",
+        plot_start,
+        plot_end.add_days(-1)
+    );
+}
+
+/// Maps σ in [-3, 3] to an ASCII shade (dark = strong positive deviation).
+fn shade(sigma: f32) -> char {
+    match sigma {
+        s if s >= 2.5 => '#',
+        s if s >= 1.5 => '+',
+        s if s >= 0.5 => '.',
+        s if s <= -1.5 => '~',
+        _ => ' ',
+    }
+}

@@ -1,0 +1,130 @@
+//! Regenerates Figure 5: anomaly-score trends of every user in the
+//! scenario-2 insider's department under the different model configurations
+//! ((a/b) ACOBE, (c) 1-Day, (d) No-Group, (e) All-in-1, (f) Baseline).
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin fig5
+//!         [--variant acobe|no-group|1-day|all-in-1|baseline] [--scale ...] [--speed ...]`
+//!
+//! Without `--variant`, all five sub-figures are produced.
+
+use acobe_bench::{
+    arg_value, build_cert_dataset, parse_args, run_scenario, DatasetOptions, ModelVariant,
+    SpeedPreset, EXPERIMENTS_DIR,
+};
+use acobe_eval::report::write_csv;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    // Default department size 114 to mirror the paper's "114 users in the
+    // department" of Figure 5.
+    let mut options = match arg_value(&parsed, "scale") {
+        Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+        None => DatasetOptions { users_per_dept: 114, ..Default::default() },
+    };
+    if let Some(seed) = arg_value(&parsed, "seed").and_then(|s| s.parse().ok()) {
+        options.seed = seed;
+    }
+    let speed = match arg_value(&parsed, "speed") {
+        Some("paper") => SpeedPreset::Paper,
+        Some("tiny") => SpeedPreset::Tiny,
+        _ => SpeedPreset::Fast,
+    };
+    let variants: Vec<ModelVariant> = match arg_value(&parsed, "variant") {
+        Some(v) => vec![ModelVariant::parse(v).unwrap_or_else(|u| {
+            eprintln!("unknown variant '{u}'");
+            std::process::exit(2);
+        })],
+        None => vec![
+            ModelVariant::Acobe,
+            ModelVariant::OneDay,
+            ModelVariant::NoGroup,
+            ModelVariant::AllInOne,
+            ModelVariant::Baseline,
+        ],
+    };
+
+    options.with_baseline = variants.iter().any(|v| *v == ModelVariant::Baseline);
+    eprintln!("generating dataset ({} users/dept)...", options.users_per_dept);
+    let ds = build_cert_dataset(&options);
+    let victim = ds
+        .victims
+        .iter()
+        .find(|v| v.scenario == "scenario2")
+        .expect("scenario 2 victim present");
+    let vidx = victim.user.index();
+    let dept = ds
+        .groups
+        .iter()
+        .find(|g| g.contains(&vidx))
+        .expect("victim's department")
+        .clone();
+    let dir = Path::new(EXPERIMENTS_DIR);
+
+    println!(
+        "Figure 5: {} users in the department of victim {} (anomalies {}..{})",
+        dept.len(),
+        victim.user,
+        victim.anomaly_start,
+        victim.anomaly_end
+    );
+
+    for variant in variants {
+        eprintln!("running {} ...", variant.name());
+        let run = run_scenario(&ds, victim, variant, speed);
+        let table = &run.table;
+
+        // Per-aspect CSV: date, victim score, department mean/max of normals.
+        for (a, aspect) in table.aspect_names.iter().enumerate() {
+            let mut rows = Vec::new();
+            for d in 0..table.days() {
+                let date = table.start.add_days(d as i32);
+                let daily = table.daily(a, d);
+                let victim_score = daily[vidx];
+                let normals: Vec<f32> = dept
+                    .iter()
+                    .filter(|&&u| u != vidx)
+                    .map(|&u| daily[u])
+                    .collect();
+                let mean = normals.iter().sum::<f32>() / normals.len().max(1) as f32;
+                let max = normals.iter().fold(f32::MIN, |m, &x| m.max(x));
+                let in_anomaly = date >= victim.anomaly_start && date < victim.anomaly_end;
+                rows.push(vec![
+                    date.to_string(),
+                    format!("{victim_score:.6}"),
+                    format!("{mean:.6}"),
+                    format!("{max:.6}"),
+                    (in_anomaly as u8).to_string(),
+                ]);
+            }
+            let path = dir.join(format!("fig5_{}_{}.csv", variant.name(), aspect));
+            write_csv(
+                &path,
+                &["date", "victim", "dept_normal_mean", "dept_normal_max", "labeled_anomaly"],
+                &rows,
+            )
+            .expect("write fig5 csv");
+
+            let (mean, std) = table.mean_std(a);
+            // How often does the victim top the department in this aspect?
+            let mut days_on_top = 0usize;
+            for d in 0..table.days() {
+                let daily = table.daily(a, d);
+                if dept.iter().all(|&u| daily[u] <= daily[vidx]) {
+                    days_on_top += 1;
+                }
+            }
+            println!(
+                "  {variant} / {aspect}: mean={mean:.4} std={std:.4} victim-on-top {days_on_top}/{} days",
+                table.days()
+            );
+        }
+        println!(
+            "  {variant}: victim position {} of {} in the investigation list",
+            run.victim_position + 1,
+            ds.users
+        );
+    }
+    println!("CSV written to {EXPERIMENTS_DIR}/fig5_<variant>_<aspect>.csv");
+}

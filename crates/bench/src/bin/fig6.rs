@@ -1,0 +1,96 @@
+//! Regenerates Figure 6 (ROC, PR, critic-N PR curves) and the inline
+//! "Table 1" numbers of Section V-C.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin fig6 [--scale small|medium|dept114|paper] [--speed fast|paper|tiny] [--seed N]`
+
+use acobe_bench::fig6::{run_comparison, table_rows, TABLE_HEADER};
+use acobe_bench::{arg_value, parse_args, DatasetOptions, ModelVariant, SpeedPreset, EXPERIMENTS_DIR};
+use acobe_eval::report::{text_table, write_csv};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let mut options = match arg_value(&parsed, "scale") {
+        Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|u| {
+            eprintln!("unknown scale '{u}', expected small|medium|dept114|paper");
+            std::process::exit(2);
+        }),
+        None => DatasetOptions::default(),
+    };
+    if let Some(seed) = arg_value(&parsed, "seed").and_then(|s| s.parse().ok()) {
+        options.seed = seed;
+    }
+    let speed = match arg_value(&parsed, "speed") {
+        Some("paper") => SpeedPreset::Paper,
+        Some("tiny") => SpeedPreset::Tiny,
+        _ => SpeedPreset::Fast,
+    };
+
+    let variants = ModelVariant::all();
+    let summaries = run_comparison(&options, &variants, speed, true);
+
+    let dir = Path::new(EXPERIMENTS_DIR);
+
+    // Figure 6(a): ROC curves.
+    let mut roc_rows = Vec::new();
+    for s in &summaries {
+        for (i, &(fpr, tpr)) in s.roc_points.iter().enumerate() {
+            roc_rows.push(vec![
+                s.variant.clone(),
+                i.to_string(),
+                format!("{fpr:.6}"),
+                format!("{tpr:.6}"),
+            ]);
+        }
+    }
+    write_csv(dir.join("fig6a_roc.csv"), &["model", "tp_index", "fpr", "tpr"], &roc_rows)
+        .expect("write fig6a");
+
+    // Figure 6(b): PR curves for the headline models.
+    let mut pr_rows = Vec::new();
+    for s in &summaries {
+        if s.variant.starts_with("acobe-n") {
+            continue; // those belong to 6(c)
+        }
+        for &(recall, precision) in &s.pr_points {
+            pr_rows.push(vec![
+                s.variant.clone(),
+                format!("{recall:.6}"),
+                format!("{precision:.6}"),
+            ]);
+        }
+    }
+    write_csv(dir.join("fig6b_pr.csv"), &["model", "recall", "precision"], &pr_rows)
+        .expect("write fig6b");
+
+    // Figure 6(c): ACOBE with N = 1, 2, 3.
+    let mut prn_rows = Vec::new();
+    for s in &summaries {
+        let n = match s.variant.as_str() {
+            "acobe" => "3",
+            "acobe-n2" => "2",
+            "acobe-n1" => "1",
+            _ => continue,
+        };
+        for &(recall, precision) in &s.pr_points {
+            prn_rows.push(vec![
+                n.to_string(),
+                format!("{recall:.6}"),
+                format!("{precision:.6}"),
+            ]);
+        }
+    }
+    write_csv(dir.join("fig6c_pr_n.csv"), &["critic_n", "recall", "precision"], &prn_rows)
+        .expect("write fig6c");
+
+    // "Table 1": the inline headline numbers.
+    let rows = table_rows(&summaries);
+    write_csv(dir.join("table1.csv"), &TABLE_HEADER, &rows).expect("write table1");
+    let json = serde_json::to_string_pretty(&summaries).expect("serialize summaries");
+    std::fs::write(dir.join("fig6_results.json"), json).expect("write fig6 json");
+
+    println!("\n=== Figure 6 / Table 1 (merged over {} scenarios) ===", summaries[0].victim_positions.len());
+    println!("{}", text_table(&TABLE_HEADER, &rows));
+    println!("CSV written to {}/fig6a_roc.csv, fig6b_pr.csv, fig6c_pr_n.csv, table1.csv", EXPERIMENTS_DIR);
+}

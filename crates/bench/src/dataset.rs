@@ -1,0 +1,259 @@
+//! Streaming dataset construction for the evaluation experiments.
+
+use acobe_features::baseline::BaselineExtractor;
+use acobe_features::cert::{CertExtractor, CountSemantics};
+use acobe_features::counts::FeatureCube;
+use acobe_logs::time::Date;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+use acobe_synth::org::OrgConfig;
+use acobe_synth::scenario::VictimRecord;
+
+/// Options controlling dataset scale and which cubes are materialized.
+#[derive(Debug, Clone)]
+pub struct DatasetOptions {
+    /// Users per department (the paper's scale is 232; 58 is a fast default).
+    pub users_per_dept: usize,
+    /// Number of departments (the paper has 4, one insider each).
+    pub departments: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Also extract the coarse Baseline cube (24 hourly frames) — only
+    /// needed by the Baseline variant; it is the largest allocation.
+    pub with_baseline: bool,
+}
+
+impl Default for DatasetOptions {
+    fn default() -> Self {
+        DatasetOptions { users_per_dept: 58, departments: 4, seed: 1, with_baseline: true }
+    }
+}
+
+impl DatasetOptions {
+    /// Resolves a `--scale` CLI string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown string back.
+    pub fn from_scale(scale: &str) -> Result<Self, String> {
+        let users_per_dept = match scale {
+            "small" => 29,
+            "medium" => 58,
+            "dept114" => 114,
+            "paper" => 232,
+            other => return Err(other.to_string()),
+        };
+        Ok(DatasetOptions { users_per_dept, ..Default::default() })
+    }
+}
+
+/// A fully extracted evaluation dataset.
+#[derive(Debug)]
+pub struct CertDataset {
+    /// Fine-grained 16-feature cube (2 frames).
+    pub cert_cube: FeatureCube,
+    /// Coarse 11-feature cube (24 frames), when requested.
+    pub baseline_cube: Option<FeatureCube>,
+    /// Group rosters (department members, by user index).
+    pub groups: Vec<Vec<usize>>,
+    /// Ground-truth victims.
+    pub victims: Vec<VictimRecord>,
+    /// First day.
+    pub start: Date,
+    /// First day after the span.
+    pub end: Date,
+    /// Total users.
+    pub users: usize,
+}
+
+impl CertDataset {
+    /// Number of normal users.
+    pub fn normal_users(&self) -> usize {
+        self.users - self.victims.len()
+    }
+
+    /// The train/test split for one victim's scenario, following the paper:
+    /// training from the first collection day until roughly one month (37
+    /// days) before the labeled anomalies; testing from one month before
+    /// until one month after (clipped to the dataset span).
+    pub fn scenario_split(&self, victim: &VictimRecord) -> ScenarioSplit {
+        let train_end = victim.anomaly_start.add_days(-37);
+        let test_start = victim.anomaly_start.add_days(-30);
+        let test_end_raw = victim.anomaly_end.add_days(30);
+        let test_end = if test_end_raw < self.end { test_end_raw } else { self.end };
+        ScenarioSplit { train_start: self.start, train_end, test_start, test_end }
+    }
+}
+
+/// Date ranges for one scenario evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSplit {
+    /// First training day.
+    pub train_start: Date,
+    /// First non-training day.
+    pub train_end: Date,
+    /// First scored day.
+    pub test_start: Date,
+    /// First unscored day.
+    pub test_end: Date,
+}
+
+/// Generates the CERT-like dataset and extracts the feature cubes in one
+/// streaming pass (events are never stored).
+pub fn build_cert_dataset(options: &DatasetOptions) -> CertDataset {
+    let org = OrgConfig {
+        departments: options.departments,
+        users_per_dept: options.users_per_dept,
+        seed: options.seed ^ 0x0a6,
+    };
+    let config = CertConfig::paper(org, options.seed);
+    let mut gen = CertGenerator::new(config.clone());
+    let users = config.org.total_users();
+
+    let mut cert_ex = CertExtractor::new(users, config.start, config.end, CountSemantics::Plain);
+    let mut baseline_ex = options
+        .with_baseline
+        .then(|| BaselineExtractor::new(users, config.start, config.end));
+
+    for date in config.start.range_to(config.end) {
+        let events = gen.generate_day(date);
+        cert_ex.ingest_day(date, &events);
+        if let Some(b) = baseline_ex.as_mut() {
+            b.ingest_day(date, &events);
+        }
+    }
+
+    let groups: Vec<Vec<usize>> = gen
+        .directory()
+        .departments()
+        .map(|d| gen.directory().members(d).iter().map(|u| u.index()).collect())
+        .collect();
+
+    CertDataset {
+        cert_cube: cert_ex.finish(),
+        baseline_cube: baseline_ex.map(BaselineExtractor::finish),
+        groups,
+        victims: gen.ground_truth(),
+        start: config.start,
+        end: config.end,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_builds() {
+        let opts = DatasetOptions {
+            users_per_dept: 6,
+            departments: 2,
+            seed: 3,
+            with_baseline: true,
+        };
+        let ds = build_cert_dataset(&opts);
+        assert_eq!(ds.users, 12);
+        assert_eq!(ds.groups.len(), 2);
+        assert_eq!(ds.victims.len(), 2);
+        assert!(ds.cert_cube.total() > 0.0);
+        assert!(ds.baseline_cube.as_ref().unwrap().total() > 0.0);
+        assert_eq!(ds.normal_users(), 10);
+    }
+
+    #[test]
+    fn scenario_split_windows() {
+        let opts = DatasetOptions {
+            users_per_dept: 6,
+            departments: 2,
+            seed: 3,
+            with_baseline: false,
+        };
+        let ds = build_cert_dataset(&opts);
+        let split = ds.scenario_split(&ds.victims[0]);
+        assert_eq!(split.train_start, ds.start);
+        assert_eq!(
+            split.train_end,
+            ds.victims[0].anomaly_start.add_days(-37)
+        );
+        assert!(split.test_start < ds.victims[0].anomaly_start);
+        assert!(split.test_end <= ds.end);
+        assert!(ds.baseline_cube.is_none());
+    }
+
+    #[test]
+    fn scale_strings() {
+        assert_eq!(DatasetOptions::from_scale("paper").unwrap().users_per_dept, 232);
+        assert_eq!(DatasetOptions::from_scale("small").unwrap().users_per_dept, 29);
+        assert!(DatasetOptions::from_scale("bogus").is_err());
+    }
+}
+
+/// A fully extracted enterprise case-study dataset (paper Section VI).
+#[derive(Debug)]
+pub struct EnterpriseDataset {
+    /// 20-feature enterprise cube (2 frames).
+    pub cube: FeatureCube,
+    /// Single org-wide group (the case study has no department split).
+    pub groups: Vec<Vec<usize>>,
+    /// The attacked employee.
+    pub victim: usize,
+    /// First day.
+    pub start: Date,
+    /// First day after the span.
+    pub end: Date,
+    /// Attack detonation day (paper: Feb 2).
+    pub attack_day: Date,
+    /// Org-wide environmental change day (paper: Jan 26).
+    pub env_change: Date,
+    /// The attack scenario.
+    pub attack: acobe_synth::enterprise::Attack,
+}
+
+/// Generates the enterprise environment and extracts its feature cube in one
+/// streaming pass.
+pub fn build_enterprise_dataset(
+    attack: acobe_synth::enterprise::Attack,
+    users: usize,
+    seed: u64,
+) -> EnterpriseDataset {
+    use acobe_features::enterprise::EnterpriseExtractor;
+    use acobe_synth::enterprise::{EnterpriseConfig, EnterpriseGenerator};
+
+    let mut config = EnterpriseConfig::paper(attack, seed);
+    config.users = users;
+    if config.victim.index() >= users {
+        config.victim = acobe_logs::ids::UserId(users as u32 / 2);
+    }
+    let mut gen = EnterpriseGenerator::new(config.clone());
+    let mut ex = EnterpriseExtractor::new(users, config.start, config.end);
+    for date in config.start.range_to(config.end) {
+        let events = gen.generate_day(date);
+        ex.ingest_day(date, &events);
+    }
+    EnterpriseDataset {
+        cube: ex.finish(),
+        groups: vec![(0..users).collect()],
+        victim: config.victim.index(),
+        start: config.start,
+        end: config.end,
+        attack_day: config.attack_day,
+        env_change: config.env_change,
+        attack,
+    }
+}
+
+#[cfg(test)]
+mod enterprise_tests {
+    use super::*;
+    use acobe_synth::enterprise::Attack;
+
+    #[test]
+    fn enterprise_dataset_builds() {
+        let ds = build_enterprise_dataset(Attack::Ransomware, 12, 9);
+        assert_eq!(ds.cube.users(), 12);
+        assert!(ds.cube.total() > 0.0);
+        assert_eq!(ds.groups.len(), 1);
+        assert!(ds.victim < 12);
+        assert!(ds.attack_day > ds.env_change);
+    }
+}

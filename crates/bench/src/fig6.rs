@@ -1,0 +1,123 @@
+//! Shared implementation of the Figure 6 / Table 1 experiment: every model
+//! variant, every scenario, merged ROC and precision-recall analysis.
+
+use crate::dataset::{build_cert_dataset, CertDataset, DatasetOptions};
+use crate::runner::run_scenario;
+use crate::variants::{ModelVariant, SpeedPreset};
+use acobe_eval::pr::PrCurve;
+use acobe_eval::ranking::{merge_scenarios, ScenarioRanking};
+use acobe_eval::roc::RocCurve;
+use serde::{Deserialize, Serialize};
+
+/// One variant's merged outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantSummary {
+    /// Variant name.
+    pub variant: String,
+    /// FPs listed before each TP (sorted ascending, one per scenario).
+    pub fp_before_tp: Vec<usize>,
+    /// Distinct normal users.
+    pub negatives: usize,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Average precision (area under the PR curve).
+    pub average_precision: f64,
+    /// Best F1 along the PR curve.
+    pub best_f1: f64,
+    /// ROC points `(fpr, tpr)`.
+    pub roc_points: Vec<(f64, f64)>,
+    /// PR points `(recall, precision)`.
+    pub pr_points: Vec<(f64, f64)>,
+    /// Victim 0-based list positions per scenario.
+    pub victim_positions: Vec<usize>,
+}
+
+/// Runs one variant over every scenario of the dataset.
+pub fn evaluate_variant(
+    ds: &CertDataset,
+    variant: ModelVariant,
+    speed: SpeedPreset,
+    verbose: bool,
+) -> VariantSummary {
+    let mut rankings: Vec<ScenarioRanking> = Vec::new();
+    let mut victim_positions = Vec::new();
+    for victim in &ds.victims {
+        if verbose {
+            eprintln!(
+                "  [{}] scenario {} (victim {}, anomalies {}..{})",
+                variant.name(),
+                victim.scenario,
+                victim.user,
+                victim.anomaly_start,
+                victim.anomaly_end
+            );
+        }
+        let run = run_scenario(ds, victim, variant, speed);
+        victim_positions.push(run.victim_position);
+        rankings.push(run.ranking);
+    }
+    let merged = merge_scenarios(&rankings, ds.normal_users());
+    let roc = RocCurve::from_ranking(&merged);
+    let pr = PrCurve::from_ranking(&merged);
+    VariantSummary {
+        variant: variant.name(),
+        fp_before_tp: merged.fp_before_tp.clone(),
+        negatives: merged.negatives,
+        auc: roc.auc(),
+        average_precision: pr.average_precision(),
+        best_f1: pr.best_f1(),
+        roc_points: roc.points,
+        pr_points: pr.points,
+        victim_positions,
+    }
+}
+
+/// Runs the full comparison (the given variants over one dataset).
+pub fn run_comparison(
+    options: &DatasetOptions,
+    variants: &[ModelVariant],
+    speed: SpeedPreset,
+    verbose: bool,
+) -> Vec<VariantSummary> {
+    let needs_baseline = variants.iter().any(|v| *v == ModelVariant::Baseline);
+    let mut opts = options.clone();
+    opts.with_baseline = needs_baseline;
+    if verbose {
+        eprintln!(
+            "generating dataset: {} departments x {} users",
+            opts.departments, opts.users_per_dept
+        );
+    }
+    let ds = build_cert_dataset(&opts);
+    variants
+        .iter()
+        .map(|&v| evaluate_variant(&ds, v, speed, verbose))
+        .collect()
+}
+
+/// Formats the headline table ("Table 1") rows for a set of summaries.
+pub fn table_rows(summaries: &[VariantSummary]) -> Vec<Vec<String>> {
+    summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.variant.clone(),
+                format!("{:.4}", s.auc * 100.0),
+                format!("{:.4}", s.average_precision),
+                format!("{:.4}", s.best_f1),
+                format!("{:?}", s.fp_before_tp),
+                format!("{:?}", s.victim_positions),
+            ]
+        })
+        .collect()
+}
+
+/// Header for [`table_rows`].
+pub const TABLE_HEADER: [&str; 6] = [
+    "model",
+    "auc(%)",
+    "avg-precision",
+    "best-f1",
+    "fp-before-tp",
+    "victim-positions",
+];

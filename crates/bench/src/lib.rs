@@ -1,0 +1,67 @@
+//! Experiment harness shared by the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure/table of the paper
+//! (see DESIGN.md §4 for the index); this library holds the common plumbing:
+//! dataset construction, model-variant definitions, per-scenario train/test
+//! splits, and the scenario runner.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod fig6;
+pub mod runner;
+pub mod variants;
+
+pub use dataset::{build_cert_dataset, CertDataset, DatasetOptions};
+pub use runner::{run_scenario, ScenarioRun};
+pub use variants::{ModelVariant, SpeedPreset};
+
+/// Default output directory for regenerated figures and tables.
+pub const EXPERIMENTS_DIR: &str = "experiments";
+
+/// Parses `--key value` style arguments into (key, value) pairs; bare flags
+/// get an empty value.
+pub fn parse_args(args: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                String::new()
+            };
+            out.push((key.to_string(), value));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Looks up an argument value.
+pub fn arg_value<'a>(parsed: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    parsed
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "small", "--paper", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_args(&args);
+        assert_eq!(arg_value(&parsed, "scale"), Some("small"));
+        assert_eq!(arg_value(&parsed, "paper"), Some(""));
+        assert_eq!(arg_value(&parsed, "seed"), Some("7"));
+        assert_eq!(arg_value(&parsed, "missing"), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! The seven model configurations compared in Figure 6.
+
+use acobe::config::AcobeConfig;
+use acobe_features::spec::{baseline_feature_set, cert_feature_set, FeatureSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which cube a variant consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeKind {
+    /// Fine-grained 16-feature, 2-frame cube.
+    Cert,
+    /// Coarse 11-feature, 24-frame cube.
+    Baseline,
+}
+
+/// The model variants of the paper's comparison (Section V-B/V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelVariant {
+    /// Full ACOBE (long-term, group, weighted, ensemble, N = 3).
+    Acobe,
+    /// ACOBE with an alternative critic N (Figure 6(c)).
+    AcobeN(usize),
+    /// Without group deviations (Section V-B2).
+    NoGroup,
+    /// Single-day reconstruction (Section V-B1).
+    OneDay,
+    /// One autoencoder over all features (Section V-B3).
+    AllInOne,
+    /// Liu et al. 2018 re-implementation: coarse features, 24 frames,
+    /// single-day, no group, no weights.
+    Baseline,
+    /// Baseline with ACOBE's fine-grained features.
+    BaseFf,
+}
+
+impl ModelVariant {
+    /// All variants compared in Figure 6(a)/(b) plus the critic sweep of
+    /// Figure 6(c).
+    pub fn all() -> Vec<ModelVariant> {
+        vec![
+            ModelVariant::Acobe,
+            ModelVariant::NoGroup,
+            ModelVariant::OneDay,
+            ModelVariant::AllInOne,
+            ModelVariant::Baseline,
+            ModelVariant::BaseFf,
+            ModelVariant::AcobeN(1),
+            ModelVariant::AcobeN(2),
+        ]
+    }
+
+    /// Which cube the variant consumes.
+    pub fn cube(&self) -> CubeKind {
+        match self {
+            ModelVariant::Baseline => CubeKind::Baseline,
+            _ => CubeKind::Cert,
+        }
+    }
+
+    /// The feature set / aspect partition.
+    pub fn feature_set(&self) -> FeatureSet {
+        match self {
+            ModelVariant::Baseline => baseline_feature_set(),
+            ModelVariant::AllInOne => cert_feature_set().all_in_one(),
+            _ => cert_feature_set(),
+        }
+    }
+
+    /// The pipeline configuration, derived from a speed preset.
+    pub fn config(&self, speed: SpeedPreset) -> AcobeConfig {
+        let base = speed.base_config();
+        match self {
+            ModelVariant::Acobe => base,
+            ModelVariant::AcobeN(n) => base.with_critic_n(*n),
+            ModelVariant::NoGroup => base.without_group(),
+            ModelVariant::OneDay => base.single_day(),
+            ModelVariant::AllInOne => base.with_critic_n(1),
+            ModelVariant::Baseline | ModelVariant::BaseFf => {
+                base.baseline_style().with_critic_n(3)
+            }
+        }
+    }
+
+    /// Stable name for CSV columns.
+    pub fn name(&self) -> String {
+        match self {
+            ModelVariant::Acobe => "acobe".into(),
+            ModelVariant::AcobeN(n) => format!("acobe-n{n}"),
+            ModelVariant::NoGroup => "no-group".into(),
+            ModelVariant::OneDay => "1-day".into(),
+            ModelVariant::AllInOne => "all-in-1".into(),
+            ModelVariant::Baseline => "baseline".into(),
+            ModelVariant::BaseFf => "base-ff".into(),
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown string back.
+    pub fn parse(s: &str) -> Result<ModelVariant, String> {
+        Ok(match s {
+            "acobe" => ModelVariant::Acobe,
+            "no-group" => ModelVariant::NoGroup,
+            "1-day" | "one-day" => ModelVariant::OneDay,
+            "all-in-1" | "all-in-one" => ModelVariant::AllInOne,
+            "baseline" => ModelVariant::Baseline,
+            "base-ff" => ModelVariant::BaseFf,
+            other => {
+                if let Some(n) = other.strip_prefix("acobe-n") {
+                    let n: usize = n.parse().map_err(|_| other.to_string())?;
+                    ModelVariant::AcobeN(n)
+                } else {
+                    return Err(other.to_string());
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Experiment speed/fidelity presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeedPreset {
+    /// The paper's full hyper-parameters (ω = D = 30, 512-…-64, Adadelta).
+    Paper,
+    /// Scaled-down but shape-preserving (ω = D = 14, 128-64-32, Adam).
+    Fast,
+    /// Tiny, for CI smoke tests.
+    Tiny,
+}
+
+impl SpeedPreset {
+    /// The base [`AcobeConfig`] of the preset.
+    pub fn base_config(&self) -> AcobeConfig {
+        match self {
+            SpeedPreset::Paper => AcobeConfig::paper(),
+            SpeedPreset::Fast => AcobeConfig::fast(),
+            SpeedPreset::Tiny => AcobeConfig::tiny(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for v in ModelVariant::all() {
+            let parsed = ModelVariant::parse(&v.name()).unwrap();
+            assert_eq!(parsed, v);
+        }
+        assert!(ModelVariant::parse("nope").is_err());
+    }
+
+    #[test]
+    fn cube_routing() {
+        assert_eq!(ModelVariant::Baseline.cube(), CubeKind::Baseline);
+        assert_eq!(ModelVariant::BaseFf.cube(), CubeKind::Cert);
+        assert_eq!(ModelVariant::Acobe.cube(), CubeKind::Cert);
+    }
+
+    #[test]
+    fn configs_are_valid() {
+        for v in ModelVariant::all() {
+            for speed in [SpeedPreset::Paper, SpeedPreset::Fast, SpeedPreset::Tiny] {
+                let cfg = v.config(speed);
+                cfg.validate().unwrap_or_else(|e| panic!("{v:?}/{speed:?}: {e}"));
+                // critic_n must be satisfiable by the aspect count.
+                assert!(cfg.critic_n <= v.feature_set().aspects.len(), "{v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_in_one_has_single_aspect() {
+        let fs = ModelVariant::AllInOne.feature_set();
+        assert_eq!(fs.aspects.len(), 1);
+        assert_eq!(ModelVariant::AllInOne.config(SpeedPreset::Tiny).critic_n, 1);
+    }
+}

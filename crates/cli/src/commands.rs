@@ -1,0 +1,276 @@
+//! CLI command implementations.
+
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe_features::cert::{extract_cert_features, CountSemantics};
+use acobe_features::spec::cert_feature_set;
+use acobe_logs::store::LogStore;
+use acobe_logs::time::Date;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+use acobe_synth::org::OrgConfig;
+use serde::{Deserialize, Serialize};
+use std::fs;
+
+/// Dataset metadata written alongside the CSV so `detect` can reconstruct
+/// the population and verify results.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Total users.
+    pub users: usize,
+    /// First logged day (`YYYY-MM-DD`).
+    pub start: String,
+    /// First day after the span.
+    pub end: String,
+    /// Group rosters by user index.
+    pub groups: Vec<Vec<usize>>,
+    /// Ground-truth victims (user index, scenario, anomaly window) — present
+    /// for synthesized data, absent for real logs.
+    #[serde(default)]
+    pub victims: Vec<VictimMeta>,
+}
+
+/// One ground-truth victim record.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct VictimMeta {
+    /// User index.
+    pub user: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// First anomalous day.
+    pub anomaly_start: String,
+    /// First clean day.
+    pub anomaly_end: String,
+}
+
+fn arg<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+/// `acobe synth`.
+pub fn synth(args: &[String]) -> Result<(), String> {
+    let out = arg(args, "--out").unwrap_or("acobe_logs.csv").to_string();
+    let seed: u64 = arg(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let users_per_dept: usize = arg(args, "--users-per-dept")
+        .map(|s| s.parse().map_err(|_| "bad --users-per-dept"))
+        .transpose()?
+        .unwrap_or(20);
+    let departments: usize = arg(args, "--departments")
+        .map(|s| s.parse().map_err(|_| "bad --departments"))
+        .transpose()?
+        .unwrap_or(4);
+
+    let org = OrgConfig { departments, users_per_dept, seed: seed ^ 0x0a6 };
+    let config = CertConfig::paper(org, seed);
+    eprintln!(
+        "synthesizing {} users over {}..{} ...",
+        config.org.total_users(),
+        config.start,
+        config.end
+    );
+    let mut generator = CertGenerator::new(config.clone());
+    let store = generator.build_store();
+    fs::write(&out, store.to_csv()).map_err(|e| format!("write {out}: {e}"))?;
+
+    let groups: Vec<Vec<usize>> = generator
+        .directory()
+        .departments()
+        .map(|d| {
+            generator
+                .directory()
+                .members(d)
+                .iter()
+                .map(|u| u.index())
+                .collect()
+        })
+        .collect();
+    let meta = DatasetMeta {
+        users: config.org.total_users(),
+        start: config.start.to_string(),
+        end: config.end.to_string(),
+        groups,
+        victims: generator
+            .ground_truth()
+            .iter()
+            .map(|v| VictimMeta {
+                user: v.user.index(),
+                scenario: v.scenario.clone(),
+                anomaly_start: v.anomaly_start.to_string(),
+                anomaly_end: v.anomaly_end.to_string(),
+            })
+            .collect(),
+    };
+    let meta_path = format!("{out}.meta.json");
+    let json = serde_json::to_string_pretty(&meta).map_err(|e| e.to_string())?;
+    fs::write(&meta_path, json).map_err(|e| format!("write {meta_path}: {e}"))?;
+    println!(
+        "wrote {} events to {out} and metadata to {meta_path}",
+        store.len()
+    );
+    Ok(())
+}
+
+/// `acobe detect`.
+pub fn detect(args: &[String]) -> Result<(), String> {
+    let logs_path = arg(args, "--logs").ok_or("--logs FILE is required")?;
+    let meta_path = arg(args, "--meta").ok_or("--meta FILE is required")?;
+    let top: usize = arg(args, "--top")
+        .map(|s| s.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(10);
+    let critic_n: usize = arg(args, "--critic-n")
+        .map(|s| s.parse().map_err(|_| "bad --critic-n"))
+        .transpose()?
+        .unwrap_or(2);
+    let smooth: usize = arg(args, "--smooth")
+        .map(|s| s.parse().map_err(|_| "bad --smooth"))
+        .transpose()?
+        .unwrap_or(3);
+
+    let meta: DatasetMeta = serde_json::from_str(
+        &fs::read_to_string(meta_path).map_err(|e| format!("read {meta_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parse {meta_path}: {e}"))?;
+    let start = Date::parse(&meta.start).map_err(|e| e.to_string())?;
+    let end = Date::parse(&meta.end).map_err(|e| e.to_string())?;
+
+    let train_end = match arg(args, "--train-end") {
+        Some(s) => Date::parse(s).map_err(|e| e.to_string())?,
+        None => start.add_days(end.days_since(start) * 7 / 10),
+    };
+    if train_end <= start || train_end >= end {
+        return Err(format!(
+            "--train-end must fall inside the span {start}..{end}"
+        ));
+    }
+
+    eprintln!("loading {logs_path} ...");
+    let text = fs::read_to_string(logs_path).map_err(|e| format!("read {logs_path}: {e}"))?;
+    let store = LogStore::from_csv(&text).map_err(|e| e.to_string())?;
+    eprintln!("extracting features from {} events ...", store.len());
+    let cube = extract_cert_features(&store, meta.users, start, end, CountSemantics::Plain);
+
+    let config = if flag(args, "--paper-model") {
+        AcobeConfig::paper()
+    } else {
+        AcobeConfig::fast()
+    }
+    .with_critic_n(critic_n);
+    let mut pipeline = AcobePipeline::new(cube, cert_feature_set(), &meta.groups, config)?;
+    eprintln!("training on {start}..{train_end} ...");
+    pipeline.fit(start, train_end)?;
+    eprintln!("scoring {train_end}..{end} ...");
+    let table = pipeline.score_range(train_end, end)?;
+    let list = table.investigation_list_smoothed(critic_n, smooth);
+
+    println!("\ninvestigation list (top {top} of {}):", list.len());
+    for (i, inv) in list.iter().take(top).enumerate() {
+        let truth = meta
+            .victims
+            .iter()
+            .find(|v| v.user == inv.user)
+            .map(|v| format!("  <-- ground-truth insider ({})", v.scenario))
+            .unwrap_or_default();
+        println!(
+            "  {:>3}. user {:>5}  priority {:>4}{truth}",
+            i + 1,
+            inv.user,
+            inv.priority
+        );
+    }
+    if !meta.victims.is_empty() {
+        println!("\nground-truth positions:");
+        for v in &meta.victims {
+            let pos = list.iter().position(|inv| inv.user == v.user).unwrap();
+            println!(
+                "  user {:>5} ({:>9}) at position {} of {}",
+                v.user,
+                v.scenario,
+                pos + 1,
+                list.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `acobe enterprise`.
+pub fn enterprise(args: &[String]) -> Result<(), String> {
+    use acobe_features::enterprise::extract_enterprise_features;
+    use acobe_features::spec::enterprise_feature_set;
+    use acobe_synth::enterprise::{Attack, EnterpriseConfig, EnterpriseGenerator};
+
+    let attack = match arg(args, "--attack") {
+        Some("zeus") => Attack::Zeus,
+        Some("ransomware") | None => Attack::Ransomware,
+        Some(other) => return Err(format!("unknown attack '{other}'")),
+    };
+    let users: usize = arg(args, "--users")
+        .map(|s| s.parse().map_err(|_| "bad --users"))
+        .transpose()?
+        .unwrap_or(60);
+    let seed: u64 = arg(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(11);
+
+    let mut config = EnterpriseConfig::paper(attack, seed);
+    config.users = users;
+    if config.victim.index() >= users {
+        config.victim = acobe_logs::ids::UserId(users as u32 / 2);
+    }
+    eprintln!(
+        "synthesizing {} employees, {} attack on {} ...",
+        users,
+        attack.name(),
+        config.attack_day
+    );
+    let mut generator = EnterpriseGenerator::new(config.clone());
+    let store = generator.build_store();
+    eprintln!("extracting features from {} events ...", store.len());
+    let cube = extract_enterprise_features(&store, users, config.start, config.end);
+
+    let mut model_cfg = AcobeConfig::fast();
+    model_cfg.deviation.window = 14;
+    model_cfg.matrix.matrix_days = 7;
+    model_cfg.matrix.use_weights = false;
+    model_cfg.critic_n = 2;
+    let groups = vec![(0..users).collect::<Vec<_>>()];
+    let mut pipeline =
+        AcobePipeline::new(cube, enterprise_feature_set(), &groups, model_cfg.clone())?;
+    let train_end = config.attack_day.add_days(-14);
+    eprintln!("training on {}..{train_end} ...", config.start);
+    pipeline.fit(config.start, train_end)?;
+    let table = pipeline.score_range(config.attack_day.add_days(-7), config.end)?;
+
+    println!(
+        "\nvictim is employee {}; daily investigation rank:",
+        config.victim.index()
+    );
+    let mut best = usize::MAX;
+    for d in 0..table.days() {
+        let date = table.start.add_days(d as i32);
+        let list = table.daily_investigation_smoothed(d, model_cfg.critic_n, 3);
+        let pos = list
+            .iter()
+            .position(|inv| inv.user == config.victim.index())
+            .unwrap()
+            + 1;
+        if date >= config.attack_day {
+            best = best.min(pos);
+        }
+        let marker = if date == config.attack_day { "  <= attack day" } else { "" };
+        println!("  {date}: #{pos}{marker}");
+    }
+    println!("\nbest post-attack rank: #{best} of {users}");
+    Ok(())
+}

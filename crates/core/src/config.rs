@@ -1,0 +1,226 @@
+//! ACOBE pipeline configuration and the paper's model-variant presets.
+
+use crate::deviation::DeviationConfig;
+use crate::matrix::MatrixConfig;
+use acobe_nn::train::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// How user behavior is represented before reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Representation {
+    /// Compound behavioral deviation matrices (ACOBE).
+    Deviation,
+    /// Normalized single-day activity counts — the paper's "1-Day"
+    /// reconstruction ablation and the Baseline/Base-FF models
+    /// (`x = c / (1 + c)`, no history window).
+    SingleDayCounts,
+}
+
+/// Which optimizer trains the autoencoders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Adadelta with Zeiler defaults (the paper's optimizer).
+    Adadelta,
+    /// Adam with the given learning rate (faster convergence for tests).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+/// Full configuration of an [`crate::pipeline::AcobePipeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcobeConfig {
+    /// Deviation measurement parameters (ω, Δ, ε).
+    pub deviation: DeviationConfig,
+    /// Matrix construction parameters (D, group block, weights).
+    pub matrix: MatrixConfig,
+    /// Behavior representation.
+    pub representation: Representation,
+    /// Encoder hidden widths (decoder mirrors them).
+    pub encoder_dims: Vec<usize>,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Optimizer choice.
+    pub optimizer: OptimizerKind,
+    /// The critic's N (votes required across aspects).
+    pub critic_n: usize,
+    /// Cap on training samples per aspect ((user, day) pairs are sampled
+    /// deterministically beyond this).
+    pub max_train_samples: usize,
+    /// Divide each user's anomaly scores by their own baseline
+    /// reconstruction error, measured on the last days of the *training*
+    /// window. Normal users reconstruct at stable but different error
+    /// levels; calibration removes that per-user offset without leaking
+    /// test-period information (see DESIGN.md §5).
+    pub calibrate: bool,
+    /// Master seed (weights, shuffling, sampling).
+    pub seed: u64,
+}
+
+impl AcobeConfig {
+    /// The paper's configuration: ω = D = 30 days, Δ = 3, weighted deviations
+    /// with group block, 512-256-128-64 autoencoders, Adadelta, N = 3.
+    pub fn paper() -> Self {
+        AcobeConfig {
+            deviation: DeviationConfig { window: 30, delta: 3.0, epsilon: 1e-3, min_history: 7 },
+            matrix: MatrixConfig {
+                matrix_days: 30,
+                include_group: true,
+                use_weights: true,
+                delta: 3.0,
+            },
+            representation: Representation::Deviation,
+            encoder_dims: vec![512, 256, 128, 64],
+            train: TrainConfig { epochs: 30, batch_size: 64, seed: 0x7ea1, early_stop_rel: None },
+            optimizer: OptimizerKind::Adadelta,
+            critic_n: 3,
+            max_train_samples: 20_000,
+            calibrate: true,
+            seed: 0x_ac0be,
+        }
+    }
+
+    /// A scaled-down configuration for experiments on laptop budgets:
+    /// ω = D = 14, 128-64-32 autoencoders, Adam, fewer samples/epochs.
+    /// The shape of every result is preserved (see DESIGN.md §5).
+    pub fn fast() -> Self {
+        AcobeConfig {
+            deviation: DeviationConfig { window: 30, delta: 3.0, epsilon: 1e-3, min_history: 5 },
+            matrix: MatrixConfig {
+                matrix_days: 14,
+                include_group: true,
+                use_weights: true,
+                delta: 3.0,
+            },
+            representation: Representation::Deviation,
+            encoder_dims: vec![128, 64, 32],
+            train: TrainConfig { epochs: 15, batch_size: 64, seed: 0x7ea1, early_stop_rel: None },
+            optimizer: OptimizerKind::Adam { lr: 2e-3 },
+            critic_n: 3,
+            max_train_samples: 8_000,
+            calibrate: true,
+            seed: 0x_ac0be,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        AcobeConfig {
+            deviation: DeviationConfig { window: 7, delta: 3.0, epsilon: 1e-3, min_history: 3 },
+            matrix: MatrixConfig {
+                matrix_days: 7,
+                include_group: true,
+                use_weights: true,
+                delta: 3.0,
+            },
+            representation: Representation::Deviation,
+            encoder_dims: vec![64, 32],
+            train: TrainConfig { epochs: 8, batch_size: 32, seed: 0x7ea1, early_stop_rel: None },
+            optimizer: OptimizerKind::Adam { lr: 3e-3 },
+            critic_n: 2,
+            max_train_samples: 2_000,
+            calibrate: true,
+            seed: 0x_ac0be,
+        }
+    }
+
+    /// The "No-Group" ablation: identical but without group deviations
+    /// (paper Section V-B2).
+    pub fn without_group(mut self) -> Self {
+        self.matrix.include_group = false;
+        self
+    }
+
+    /// The "1-Day" ablation: single-day reconstruction of normalized
+    /// occurrences (paper Section V-B1).
+    pub fn single_day(mut self) -> Self {
+        self.representation = Representation::SingleDayCounts;
+        self.matrix.matrix_days = 1;
+        self
+    }
+
+    /// The Baseline/Base-FF shape: single-day, unweighted, no group
+    /// (paper Section V-C). Pair with the coarse 24-frame cube for Baseline
+    /// or the fine-grained cube for Base-FF.
+    pub fn baseline_style(mut self) -> Self {
+        self = self.single_day().without_group();
+        self.matrix.use_weights = false;
+        self
+    }
+
+    /// Sets the critic's N (builder-style).
+    pub fn with_critic_n(mut self, n: usize) -> Self {
+        self.critic_n = n;
+        self
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid sub-configs, an empty architecture, or a
+    /// deviation representation whose matrix is longer than the history
+    /// warmup allows.
+    pub fn validate(&self) -> Result<(), String> {
+        self.deviation.validate()?;
+        self.matrix.validate()?;
+        if self.encoder_dims.is_empty() {
+            return Err("encoder_dims must be non-empty".into());
+        }
+        if self.critic_n == 0 {
+            return Err("critic_n must be at least 1".into());
+        }
+        if self.max_train_samples == 0 {
+            return Err("max_train_samples must be positive".into());
+        }
+        if self.representation == Representation::SingleDayCounts && self.matrix.matrix_days != 1 {
+            return Err("single-day representation requires matrix_days == 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        AcobeConfig::paper().validate().unwrap();
+        AcobeConfig::fast().validate().unwrap();
+        AcobeConfig::tiny().validate().unwrap();
+        AcobeConfig::paper().without_group().validate().unwrap();
+        AcobeConfig::paper().single_day().validate().unwrap();
+        AcobeConfig::paper().baseline_style().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_matches_reported_hyperparameters() {
+        let cfg = AcobeConfig::paper();
+        assert_eq!(cfg.deviation.window, 30);
+        assert_eq!(cfg.matrix.delta, 3.0);
+        assert_eq!(cfg.encoder_dims, vec![512, 256, 128, 64]);
+        assert_eq!(cfg.critic_n, 3);
+        assert_eq!(cfg.optimizer, OptimizerKind::Adadelta);
+    }
+
+    #[test]
+    fn variant_builders() {
+        let ng = AcobeConfig::tiny().without_group();
+        assert!(!ng.matrix.include_group);
+        let sd = AcobeConfig::tiny().single_day();
+        assert_eq!(sd.matrix.matrix_days, 1);
+        assert_eq!(sd.representation, Representation::SingleDayCounts);
+        let bs = AcobeConfig::tiny().baseline_style();
+        assert!(!bs.matrix.use_weights && !bs.matrix.include_group);
+    }
+
+    #[test]
+    fn inconsistent_single_day_rejected() {
+        let mut cfg = AcobeConfig::tiny();
+        cfg.representation = Representation::SingleDayCounts;
+        cfg.matrix.matrix_days = 5;
+        assert!(cfg.validate().is_err());
+    }
+}

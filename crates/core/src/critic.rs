@@ -1,0 +1,150 @@
+//! The anomaly detection critic (paper Section IV-C, Algorithm 1).
+//!
+//! Given per-aspect anomaly ranks for each user, a user's investigation
+//! priority is their N-th best (smallest) rank across aspects; the
+//! investigation list is sorted by priority ascending.
+
+use serde::{Deserialize, Serialize};
+
+/// One entry of the ordered investigation list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Investigation {
+    /// User index.
+    pub user: usize,
+    /// Priority = N-th best per-aspect rank (1-based; smaller = investigate
+    /// first).
+    pub priority: usize,
+}
+
+/// Converts per-aspect anomaly scores (higher = more anomalous) into
+/// per-aspect 1-based ranks. Ties share the better (smaller) rank so that a
+/// tie cannot demote a user below an identically-scored peer.
+pub fn scores_to_ranks(scores: &[f32]) -> Vec<usize> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0usize; n];
+    let mut rank = 0usize;
+    for (pos, &idx) in order.iter().enumerate() {
+        if pos == 0 || scores[idx] < scores[order[pos - 1]] {
+            rank = pos + 1;
+        }
+        ranks[idx] = rank;
+    }
+    ranks
+}
+
+/// Algorithm 1: computes the ordered investigation list.
+///
+/// `aspect_ranks[a][u]` is user `u`'s 1-based rank in aspect `a`; `n` is the
+/// number of aspects that must "vote" (the paper evaluates N = 3 with
+/// alternatives N = 1, 2 in Figure 6(c)).
+///
+/// The returned list is sorted by priority ascending with ties broken by
+/// user index (stable, deterministic).
+///
+/// # Panics
+///
+/// Panics if `aspect_ranks` is empty, ragged, or `n` is 0 or larger than the
+/// number of aspects.
+pub fn investigation_list(aspect_ranks: &[Vec<usize>], n: usize) -> Vec<Investigation> {
+    assert!(!aspect_ranks.is_empty(), "need at least one aspect");
+    let users = aspect_ranks[0].len();
+    assert!(
+        aspect_ranks.iter().all(|r| r.len() == users),
+        "ragged aspect ranks"
+    );
+    assert!(
+        n >= 1 && n <= aspect_ranks.len(),
+        "n must be in 1..=aspects ({n} vs {})",
+        aspect_ranks.len()
+    );
+
+    let mut list: Vec<Investigation> = (0..users)
+        .map(|u| {
+            let mut ranks: Vec<usize> = aspect_ranks.iter().map(|a| a[u]).collect();
+            ranks.sort_unstable();
+            Investigation { user: u, priority: ranks[n - 1] }
+        })
+        .collect();
+    list.sort_by_key(|inv| (inv.priority, inv.user));
+    list
+}
+
+/// Convenience: scores per aspect → ranks → investigation list.
+///
+/// # Panics
+///
+/// Same conditions as [`investigation_list`].
+pub fn investigate_from_scores(aspect_scores: &[Vec<f32>], n: usize) -> Vec<Investigation> {
+    let ranks: Vec<Vec<usize>> = aspect_scores.iter().map(|s| scores_to_ranks(s)).collect();
+    investigation_list(&ranks, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_descending_scores() {
+        let ranks = scores_to_ranks(&[0.1, 0.9, 0.5]);
+        assert_eq!(ranks, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn tied_scores_share_better_rank() {
+        let ranks = scores_to_ranks(&[0.5, 0.5, 0.9]);
+        assert_eq!(ranks[2], 1);
+        assert_eq!(ranks[0], 2);
+        assert_eq!(ranks[1], 2);
+    }
+
+    #[test]
+    fn paper_example() {
+        // "say N=2 and a user is ranked at 3rd, 5th, 4th in terms of in-total
+        // three behavioral aspects, since 4th is the 2nd highest rank of this
+        // user, this user has a investigation priority of 4."
+        let aspect_ranks = vec![vec![3], vec![5], vec![4]];
+        let list = investigation_list(&aspect_ranks, 2);
+        assert_eq!(list[0].priority, 4);
+    }
+
+    #[test]
+    fn list_ordering() {
+        // Two users, two aspects, N = 1.
+        // user0: ranks (1, 2) -> priority 1; user1: ranks (2, 1) -> priority 1.
+        // user2: ranks (3, 3) -> priority 3.
+        let aspect_ranks = vec![vec![1, 2, 3], vec![2, 1, 3]];
+        let list = investigation_list(&aspect_ranks, 1);
+        assert_eq!(list[0].user, 0); // tie on priority 1 broken by index
+        assert_eq!(list[1].user, 1);
+        assert_eq!(list[2].user, 2);
+        assert_eq!(list[2].priority, 3);
+    }
+
+    #[test]
+    fn n_equals_aspects_requires_consensus() {
+        // N = 2 of 2: a user must rank well in *both* aspects.
+        let aspect_ranks = vec![vec![1, 2], vec![5, 2]];
+        let list = investigation_list(&aspect_ranks, 2);
+        // user0 priority = max(1,5)=5; user1 priority = 2.
+        assert_eq!(list[0].user, 1);
+        assert_eq!(list[0].priority, 2);
+        assert_eq!(list[1].priority, 5);
+    }
+
+    #[test]
+    fn from_scores_end_to_end() {
+        // user2 is top anomalous in both aspects.
+        let scores = vec![vec![0.1, 0.2, 0.9], vec![0.3, 0.1, 0.8]];
+        let list = investigate_from_scores(&scores, 2);
+        assert_eq!(list[0].user, 2);
+        assert_eq!(list[0].priority, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in")]
+    fn invalid_n_rejected() {
+        let _ = investigation_list(&[vec![1, 2]], 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Behavioral deviation computation (paper Section IV-A).
+//!
+//! For each feature `f`, time-frame `t` and day `d`, the deviation is the
+//! z-score of the measurement `m_{f,t,d}` against the `ω−1`-day sliding
+//! history before `d`, clamped to `[-Δ, Δ]`:
+//!
+//! ```text
+//! h          = [m_{f,t,i} | d−ω+1 ≤ i < d]
+//! std(h)     = max(std(h), ε)
+//! δ          = (m_{f,t,d} − mean(h)) / std(h)
+//! σ          = clamp(δ, −Δ, Δ)
+//! ```
+//!
+//! The history *slides*: users who shift their habits stop deviating once the
+//! shift enters the window (the "white tails" of Figure 4).
+
+use acobe_features::counts::FeatureCube;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the deviation measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviationConfig {
+    /// Window size ω in days (history is the ω−1 days before `d`).
+    /// The paper uses 30 for the evaluation and 14 for the case study.
+    pub window: usize,
+    /// Deviation bound Δ (paper: 3).
+    pub delta: f32,
+    /// Standard-deviation floor ε.
+    pub epsilon: f32,
+    /// Minimum history length before deviations are emitted (shorter
+    /// histories produce σ = 0). Keeps early days from being all-Δ noise.
+    pub min_history: usize,
+}
+
+impl Default for DeviationConfig {
+    fn default() -> Self {
+        DeviationConfig { window: 30, delta: 3.0, epsilon: 1e-3, min_history: 7 }
+    }
+}
+
+impl DeviationConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the window is too small, Δ ≤ 0, or ε ≤ 0.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window < 2 {
+            return Err("window must be at least 2 days".into());
+        }
+        if self.delta <= 0.0 {
+            return Err("delta must be positive".into());
+        }
+        if self.epsilon <= 0.0 {
+            return Err("epsilon must be positive".into());
+        }
+        if self.min_history >= self.window {
+            return Err("min_history must be smaller than window".into());
+        }
+        Ok(())
+    }
+}
+
+/// Deviations σ and feature weights w, same shape as the measurement cube.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationCube {
+    /// Deviations σ in `[-Δ, Δ]`.
+    pub sigma: FeatureCube,
+    /// TF-style feature weights `w = 1 / log2(max(std(h), 2))` in `(0, 1]`
+    /// (Equation 1 of the paper).
+    pub weights: FeatureCube,
+    /// Configuration used.
+    pub config: DeviationConfig,
+}
+
+/// Computes deviations and weights for every `(user, day, frame, feature)`.
+///
+/// Days with fewer than `min_history` prior days in the window get σ = 0 and
+/// weight 1.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`DeviationConfig::validate`]).
+pub fn compute_deviations(counts: &FeatureCube, config: &DeviationConfig) -> DeviationCube {
+    config.validate().expect("invalid deviation config");
+    let (users, days, frames, features) =
+        (counts.users(), counts.days(), counts.frames(), counts.features());
+    let mut sigma = FeatureCube::new(users, counts.start(), days, frames, features);
+    let mut weights = FeatureCube::new(users, counts.start(), days, frames, features);
+
+    // Rolling sums per (frame, feature) as we walk days for one user.
+    for u in 0..users {
+        for t in 0..frames {
+            for f in 0..features {
+                let series: Vec<f32> = (0..days).map(|d| counts.get_by_index(u, d, t, f)).collect();
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                // history window content: days [d-window+1, d)
+                for d in 0..days {
+                    let hist_len = d.min(config.window - 1);
+                    if hist_len >= config.min_history {
+                        let n = hist_len as f64;
+                        let mean = sum / n;
+                        let var = (sum_sq / n - mean * mean).max(0.0);
+                        let std = (var.sqrt() as f32).max(config.epsilon);
+                        let delta = (series[d] - mean as f32) / std;
+                        sigma.set_by_index(u, d, t, f, delta.clamp(-config.delta, config.delta));
+                        let w = 1.0 / (std.max(2.0)).log2();
+                        weights.set_by_index(u, d, t, f, w);
+                    } else {
+                        weights.set_by_index(u, d, t, f, 1.0);
+                    }
+                    // Slide: add day d, drop day d-window+1.
+                    let incoming = series[d] as f64;
+                    sum += incoming;
+                    sum_sq += incoming * incoming;
+                    // Next day wants [d+2-window, d+1): drop day d+1-window.
+                    if d + 1 >= config.window {
+                        let out_idx = d + 1 - config.window;
+                        let outgoing = series[out_idx] as f64;
+                        sum -= outgoing;
+                        sum_sq -= outgoing * outgoing;
+                    }
+                }
+            }
+        }
+    }
+    DeviationCube { sigma, weights, config: *config }
+}
+
+/// Averages a measurement cube over group members, producing a cube whose
+/// "user" axis is groups: the paper's group behavior (Section IV-A).
+///
+/// # Panics
+///
+/// Panics if any group is empty or refers to an unknown user index.
+pub fn group_average_cube(counts: &FeatureCube, groups: &[Vec<usize>]) -> FeatureCube {
+    assert!(!groups.is_empty(), "no groups");
+    let (days, frames, features) = (counts.days(), counts.frames(), counts.features());
+    let mut out = FeatureCube::new(groups.len(), counts.start(), days, frames, features);
+    for (g, members) in groups.iter().enumerate() {
+        assert!(!members.is_empty(), "group {g} is empty");
+        for d in 0..days {
+            for t in 0..frames {
+                for f in 0..features {
+                    out.set_by_index(g, d, t, f, counts.group_mean(members, d, t, f));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_logs::time::Date;
+
+    fn cube_with_series(series: &[f32]) -> FeatureCube {
+        let mut c = FeatureCube::new(1, Date::from_ymd(2010, 1, 1), series.len(), 1, 1);
+        for (d, &v) in series.iter().enumerate() {
+            c.set_by_index(0, d, 0, 0, v);
+        }
+        c
+    }
+
+    fn cfg(window: usize, min_history: usize) -> DeviationConfig {
+        DeviationConfig { window, delta: 3.0, epsilon: 1e-3, min_history }
+    }
+
+    #[test]
+    fn constant_history_spike_hits_delta() {
+        // 10 days of exactly 5.0 then a spike.
+        let mut series = vec![5.0; 10];
+        series.push(50.0);
+        let c = cube_with_series(&series);
+        let dev = compute_deviations(&c, &cfg(30, 5));
+        // History is constant -> std = epsilon -> clamped at +delta.
+        assert_eq!(dev.sigma.get_by_index(0, 10, 0, 0), 3.0);
+        // Constant days deviate by zero.
+        assert_eq!(dev.sigma.get_by_index(0, 9, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn warmup_days_are_zero() {
+        let c = cube_with_series(&[9.0; 10]);
+        let dev = compute_deviations(&c, &cfg(30, 5));
+        for d in 0..5 {
+            assert_eq!(dev.sigma.get_by_index(0, d, 0, 0), 0.0);
+            assert_eq!(dev.weights.get_by_index(0, d, 0, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn zscore_matches_hand_computation() {
+        // History (window 4 -> 3 days): [2, 4, 6]: mean 4, pop-std sqrt(8/3).
+        let series = vec![2.0, 4.0, 6.0, 8.0];
+        let c = cube_with_series(&series);
+        let dev = compute_deviations(&c, &cfg(4, 2));
+        let expected = (8.0 - 4.0) / (8.0f32 / 3.0).sqrt(); // ≈ 2.45, inside ±Δ
+        let got = dev.sigma.get_by_index(0, 3, 0, 0);
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn window_slides_and_recovers() {
+        // A level shift: after `window` days at the new level, deviations die
+        // out (the paper's "white tails").
+        let mut series = vec![1.0; 20];
+        series.extend(vec![30.0; 20]);
+        let c = cube_with_series(&series);
+        let dev = compute_deviations(&c, &cfg(8, 4));
+        // Right at the shift: strongly positive.
+        assert!(dev.sigma.get_by_index(0, 20, 0, 0) > 2.9);
+        // Long after the shift is inside the window: back near zero.
+        let late = dev.sigma.get_by_index(0, 35, 0, 0);
+        assert!(late.abs() < 0.5, "late deviation {late}");
+    }
+
+    #[test]
+    fn weights_decrease_with_chaotic_history() {
+        // Feature 0: constant (std ~ 0 -> weight 1).
+        // Feature 1: wildly varying (std >> 2 -> weight < 1).
+        let mut c = FeatureCube::new(1, Date::from_ymd(2010, 1, 1), 20, 1, 2);
+        for d in 0..20 {
+            c.set_by_index(0, d, 0, 0, 4.0);
+            c.set_by_index(0, d, 0, 1, if d % 2 == 0 { 0.0 } else { 40.0 });
+        }
+        let dev = compute_deviations(&c, &cfg(10, 5));
+        let w_static = dev.weights.get_by_index(0, 15, 0, 0);
+        let w_chaotic = dev.weights.get_by_index(0, 15, 0, 1);
+        assert_eq!(w_static, 1.0);
+        assert!(w_chaotic < 0.3, "chaotic weight {w_chaotic}");
+    }
+
+    #[test]
+    fn weight_bounded_to_one_for_small_std() {
+        // std in (0, 2) must still give weight exactly 1 (log base-2 of 2).
+        let series: Vec<f32> = (0..20).map(|d| 5.0 + (d % 2) as f32).collect(); // std 0.5
+        let c = cube_with_series(&series);
+        let dev = compute_deviations(&c, &cfg(10, 5));
+        assert_eq!(dev.weights.get_by_index(0, 15, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn negative_deviation_clamped() {
+        let mut series = vec![50.0; 15];
+        series.push(0.0);
+        let c = cube_with_series(&series);
+        let dev = compute_deviations(&c, &cfg(30, 5));
+        assert_eq!(dev.sigma.get_by_index(0, 15, 0, 0), -3.0);
+    }
+
+    #[test]
+    fn group_average() {
+        let mut c = FeatureCube::new(3, Date::from_ymd(2010, 1, 1), 2, 1, 1);
+        c.set_by_index(0, 0, 0, 0, 1.0);
+        c.set_by_index(1, 0, 0, 0, 3.0);
+        c.set_by_index(2, 0, 0, 0, 100.0);
+        let g = group_average_cube(&c, &[vec![0, 1], vec![2]]);
+        assert_eq!(g.users(), 2);
+        assert_eq!(g.get_by_index(0, 0, 0, 0), 2.0);
+        assert_eq!(g.get_by_index(1, 0, 0, 0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid deviation config")]
+    fn bad_config_rejected() {
+        let c = cube_with_series(&[1.0, 2.0]);
+        let bad = DeviationConfig { window: 1, ..Default::default() };
+        let _ = compute_deviations(&c, &bad);
+    }
+}

@@ -1,0 +1,229 @@
+//! Compound behavioral deviation matrix construction (paper Section IV-A,
+//! Figure 2).
+//!
+//! For one user and one day `d`, the matrix stacks
+//!
+//! * individual deviations for every aspect feature × time frame over the
+//!   `D` days `[d−D+1, d]`, and
+//! * the corresponding *group* deviations,
+//!
+//! then flattens it and maps `[-Δ, Δ] → [0, 1]` before it reaches an
+//! autoencoder. The stacking order is irrelevant (the paper notes alternative
+//! stackings are applicable) as long as it is stable.
+
+use crate::deviation::DeviationCube;
+use serde::{Deserialize, Serialize};
+
+/// Matrix-construction options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixConfig {
+    /// Number of days `D` enclosed by each matrix.
+    pub matrix_days: usize,
+    /// Include the group-behavior block.
+    pub include_group: bool,
+    /// Multiply deviations by the TF-style feature weights (Equation 1).
+    pub use_weights: bool,
+    /// Deviation bound Δ used for the `[0, 1]` transform.
+    pub delta: f32,
+}
+
+impl MatrixConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `matrix_days == 0` or `delta <= 0`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.matrix_days == 0 {
+            return Err("matrix_days must be positive".into());
+        }
+        if self.delta <= 0.0 {
+            return Err("delta must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Flattened input width for `n_features` aspect features and `frames`
+    /// time frames.
+    pub fn input_dim(&self, n_features: usize, frames: usize) -> usize {
+        let blocks = if self.include_group { 2 } else { 1 };
+        n_features * frames * self.matrix_days * blocks
+    }
+}
+
+/// Builds the flattened `[0, 1]` matrix row for `(user, day)`.
+///
+/// `group_dev` must be the deviation cube of the user's *group* series, and
+/// `group_index` the user's group; both are ignored when
+/// `config.include_group` is false.
+///
+/// Days before `d − D + 1` that fall outside the cube contribute the neutral
+/// value `0.5` (deviation 0).
+///
+/// # Panics
+///
+/// Panics if `day` is outside the cube or feature indices are out of range.
+pub fn build_row(
+    user_dev: &DeviationCube,
+    group_dev: Option<&DeviationCube>,
+    user: usize,
+    group_index: usize,
+    day: usize,
+    features: &[usize],
+    config: &MatrixConfig,
+) -> Vec<f32> {
+    let frames = user_dev.sigma.frames();
+    let mut row = Vec::with_capacity(config.input_dim(features.len(), frames));
+    append_block(user_dev, user, day, features, config, &mut row);
+    if config.include_group {
+        let gdev = group_dev.expect("group deviations required when include_group");
+        append_block(gdev, group_index, day, features, config, &mut row);
+    }
+    row
+}
+
+fn append_block(
+    dev: &DeviationCube,
+    entity: usize,
+    day: usize,
+    features: &[usize],
+    config: &MatrixConfig,
+    row: &mut Vec<f32>,
+) {
+    assert!(day < dev.sigma.days(), "day outside cube");
+    let two_delta = 2.0 * config.delta;
+    for &f in features {
+        for t in 0..dev.sigma.frames() {
+            for offset in (0..config.matrix_days).rev() {
+                let value = if day >= offset {
+                    let d = day - offset;
+                    let sigma = dev.sigma.get_by_index(entity, d, t, f);
+                    if config.use_weights {
+                        sigma * dev.weights.get_by_index(entity, d, t, f)
+                    } else {
+                        sigma
+                    }
+                } else {
+                    0.0
+                };
+                // [-delta, delta] -> [0, 1]
+                row.push((value + config.delta) / two_delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::{compute_deviations, DeviationConfig};
+    use acobe_features::counts::FeatureCube;
+    use acobe_logs::time::Date;
+
+    fn dev_cube(users: usize, days: usize, features: usize) -> DeviationCube {
+        let mut c = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, 2, features);
+        for u in 0..users {
+            for d in 0..days {
+                for t in 0..2 {
+                    for f in 0..features {
+                        // Mild trend + a spike for user 0 feature 0 on last day.
+                        let mut v = (d % 5) as f32 + u as f32;
+                        if u == 0 && f == 0 && d == days - 1 {
+                            v += 100.0;
+                        }
+                        c.set_by_index(u, d, t, f, v);
+                    }
+                }
+            }
+        }
+        compute_deviations(&c, &DeviationConfig { window: 10, delta: 3.0, epsilon: 1e-3, min_history: 5 })
+    }
+
+    fn cfg(matrix_days: usize, include_group: bool) -> MatrixConfig {
+        MatrixConfig { matrix_days, include_group, use_weights: false, delta: 3.0 }
+    }
+
+    #[test]
+    fn row_dimensions() {
+        let dev = dev_cube(2, 30, 3);
+        let c = cfg(7, false);
+        let row = build_row(&dev, None, 0, 0, 29, &[0, 1, 2], &c);
+        assert_eq!(row.len(), 3 * 2 * 7);
+        assert_eq!(c.input_dim(3, 2), 42);
+
+        let cg = cfg(7, true);
+        let row = build_row(&dev, Some(&dev), 0, 1, 29, &[0, 1, 2], &cg);
+        assert_eq!(row.len(), 3 * 2 * 7 * 2);
+    }
+
+    #[test]
+    fn values_bounded_zero_one() {
+        let dev = dev_cube(2, 30, 3);
+        let row = build_row(&dev, None, 0, 0, 29, &[0, 1, 2], &cfg(10, false));
+        assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)), "{row:?}");
+    }
+
+    #[test]
+    fn spike_maps_to_one_and_neutral_to_half() {
+        let dev = dev_cube(1, 30, 2);
+        let c = cfg(1, false);
+        // Day 29 has the +100 spike on feature 0 -> sigma = +3 -> 1.0.
+        let row = build_row(&dev, None, 0, 0, 29, &[0], &c);
+        let last = *row.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-6, "{last}");
+        // Warmup day (no history): sigma = 0 -> 0.5.
+        let row = build_row(&dev, None, 0, 0, 2, &[0], &c);
+        assert!((row[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn days_before_cube_are_neutral() {
+        let dev = dev_cube(1, 30, 1);
+        // Day index 3 with a 10-day matrix: 6 leading slots are neutral.
+        let row = build_row(&dev, None, 0, 0, 3, &[0], &cfg(10, false));
+        // Layout per (feature, frame): oldest day first.
+        for i in 0..6 {
+            assert!((row[i] - 0.5).abs() < 1e-6, "slot {i}: {}", row[i]);
+        }
+    }
+
+    #[test]
+    fn group_block_appended() {
+        let dev = dev_cube(3, 30, 1);
+        let c = cfg(5, true);
+        let row_with = build_row(&dev, Some(&dev), 0, 2, 29, &[0], &c);
+        let row_without = build_row(&dev, None, 0, 0, 29, &[0], &cfg(5, false));
+        assert_eq!(row_with.len(), row_without.len() * 2);
+        // First half equals the individual block.
+        assert_eq!(&row_with[..row_without.len()], &row_without[..]);
+    }
+
+    #[test]
+    fn weights_scale_deviations_toward_neutral() {
+        // A chaotic feature gets weight < 1, so |x - 0.5| shrinks.
+        let mut c = FeatureCube::new(1, Date::from_ymd(2010, 1, 1), 40, 2, 1);
+        for d in 0..40 {
+            let v = if d % 2 == 0 { 0.0 } else { 50.0 };
+            c.set_by_index(0, d, 0, 0, v);
+            c.set_by_index(0, d, 1, 0, v);
+        }
+        let dev = compute_deviations(
+            &c,
+            &DeviationConfig { window: 10, delta: 3.0, epsilon: 1e-3, min_history: 5 },
+        );
+        let unweighted = build_row(&dev, None, 0, 0, 39, &[0], &cfg(1, false));
+        let mut wcfg = cfg(1, false);
+        wcfg.use_weights = true;
+        let weighted = build_row(&dev, None, 0, 0, 39, &[0], &wcfg);
+        for (w, u) in weighted.iter().zip(&unweighted) {
+            assert!((w - 0.5).abs() <= (u - 0.5).abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group deviations required")]
+    fn missing_group_cube_panics() {
+        let dev = dev_cube(1, 30, 1);
+        let _ = build_row(&dev, None, 0, 0, 29, &[0], &cfg(5, true));
+    }
+}

@@ -1,0 +1,660 @@
+//! The end-to-end ACOBE pipeline (paper Figure 1): measurements → compound
+//! behavioral deviation matrices → autoencoder ensemble → anomaly scores →
+//! ordered investigation list.
+
+use crate::config::{AcobeConfig, OptimizerKind, Representation};
+use crate::critic::{investigate_from_scores, Investigation};
+use crate::deviation::{compute_deviations, group_average_cube, DeviationCube};
+use crate::matrix::build_row;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::FeatureSet;
+use acobe_logs::time::Date;
+use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig, OutputActivationKind};
+use acobe_nn::optim::{Adadelta, Adam, Optimizer};
+use acobe_nn::tensor::Matrix;
+use acobe_nn::train::{fit_autoencoder, TrainReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-aspect, per-day, per-user anomaly scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreTable {
+    /// Aspect names, index-aligned with `scores`.
+    pub aspect_names: Vec<String>,
+    /// First scored day.
+    pub start: Date,
+    /// Number of users.
+    pub users: usize,
+    /// `scores[aspect][day][user]` = reconstruction error.
+    pub scores: Vec<Vec<Vec<f32>>>,
+}
+
+impl ScoreTable {
+    /// Number of scored days.
+    pub fn days(&self) -> usize {
+        self.scores.first().map_or(0, |a| a.len())
+    }
+
+    /// All users' scores for one `(aspect, day)`.
+    pub fn daily(&self, aspect: usize, day: usize) -> &[f32] {
+        &self.scores[aspect][day]
+    }
+
+    /// One user's score trend across days for an aspect (Figure 5/7 series).
+    pub fn user_series(&self, aspect: usize, user: usize) -> Vec<f32> {
+        self.scores[aspect].iter().map(|day| day[user]).collect()
+    }
+
+    /// Each user's maximum daily score in an aspect — the scalar used to
+    /// rank users over a test window.
+    pub fn max_per_user(&self, aspect: usize) -> Vec<f32> {
+        self.smoothed_max_per_user(aspect, 1)
+    }
+
+    /// Each user's maximum *trailing-mean* score: the max over days of the
+    /// mean of the last `window` daily scores.
+    ///
+    /// `window = 1` is the plain max. Larger windows favor *persistent*
+    /// anomalies (the paper's Figure 5(b) victims stay elevated for days)
+    /// over one-day noise spikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn smoothed_max_per_user(&self, aspect: usize, window: usize) -> Vec<f32> {
+        assert!(window > 0, "window must be positive");
+        let days = self.scores[aspect].len();
+        let mut out = vec![f32::MIN; self.users];
+        for u in 0..self.users {
+            let mut sum = 0.0f32;
+            for d in 0..days {
+                sum += self.scores[aspect][d][u];
+                if d >= window {
+                    sum -= self.scores[aspect][d - window][u];
+                }
+                let len = (d + 1).min(window) as f32;
+                let mean = sum / len;
+                if mean > out[u] {
+                    out[u] = mean;
+                }
+            }
+            if days == 0 {
+                out[u] = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Mean and standard deviation over every data point of an aspect
+    /// (printed atop each Figure 5 sub-plot).
+    pub fn mean_std(&self, aspect: usize) -> (f32, f32) {
+        let all: Vec<f32> = self.scores[aspect].iter().flatten().copied().collect();
+        let n = all.len().max(1) as f64;
+        let mean = all.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = all.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        (mean as f32, var.sqrt() as f32)
+    }
+
+    /// The critic's ordered investigation list over the whole window, using
+    /// per-user max scores per aspect (Algorithm 1 with parameter `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds the number of aspects.
+    pub fn investigation_list(&self, n: usize) -> Vec<Investigation> {
+        self.investigation_list_smoothed(n, 1)
+    }
+
+    /// Like [`ScoreTable::investigation_list`] but ranking users by their
+    /// maximum trailing `smooth`-day mean score per aspect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is invalid or `smooth == 0`.
+    pub fn investigation_list_smoothed(&self, n: usize, smooth: usize) -> Vec<Investigation> {
+        let per_aspect: Vec<Vec<f32>> = (0..self.scores.len())
+            .map(|a| self.smoothed_max_per_user(a, smooth))
+            .collect();
+        investigate_from_scores(&per_aspect, n)
+    }
+
+    /// The critic's investigation list for a single day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range or `n` invalid.
+    pub fn daily_investigation(&self, day: usize, n: usize) -> Vec<Investigation> {
+        self.daily_investigation_smoothed(day, n, 1)
+    }
+
+    /// Daily investigation list ranking users by the trailing `window`-day
+    /// mean of their scores (ending at `day`): persistent elevations beat
+    /// one-day noise spikes, as in the windowed ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range, `n` invalid, or `window == 0`.
+    pub fn daily_investigation_smoothed(
+        &self,
+        day: usize,
+        n: usize,
+        window: usize,
+    ) -> Vec<Investigation> {
+        assert!(window > 0, "window must be positive");
+        let lo = day.saturating_sub(window - 1);
+        let len = (day - lo + 1) as f32;
+        let per_aspect: Vec<Vec<f32>> = self
+            .scores
+            .iter()
+            .map(|aspect| {
+                (0..self.users)
+                    .map(|u| (lo..=day).map(|d| aspect[d][u]).sum::<f32>() / len)
+                    .collect()
+            })
+            .collect();
+        investigate_from_scores(&per_aspect, n)
+    }
+}
+
+/// The ACOBE detector: an ensemble of per-aspect autoencoders over compound
+/// behavioral deviation matrices.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for an end-to-end run; unit tests below for a
+/// minimal in-memory flow.
+#[derive(Debug)]
+pub struct AcobePipeline {
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    user_group: Vec<usize>,
+    counts: FeatureCube,
+    group_counts: Option<FeatureCube>,
+    user_dev: Option<DeviationCube>,
+    group_dev: Option<DeviationCube>,
+    models: Vec<Autoencoder>,
+    /// Per-aspect, per-user baseline reconstruction error from the tail of
+    /// the training window (used when `config.calibrate`).
+    baselines: Vec<Vec<f32>>,
+}
+
+impl AcobePipeline {
+    /// Builds a pipeline over a measurement cube.
+    ///
+    /// `groups[g]` lists the user indices of group `g` (the paper uses LDAP
+    /// departments). Every user must belong to exactly one group when the
+    /// configuration includes group behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configuration, feature indices outside
+    /// the cube, or users without a group.
+    pub fn new(
+        counts: FeatureCube,
+        feature_set: FeatureSet,
+        groups: &[Vec<usize>],
+        config: AcobeConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if feature_set.len() != counts.features() {
+            return Err(format!(
+                "feature set has {} features but cube has {}",
+                feature_set.len(),
+                counts.features()
+            ));
+        }
+        for aspect in &feature_set.aspects {
+            if aspect.features.iter().any(|&f| f >= counts.features()) {
+                return Err(format!("aspect {} has out-of-range features", aspect.name));
+            }
+        }
+        if config.critic_n > feature_set.aspects.len() {
+            return Err(format!(
+                "critic_n {} exceeds {} aspects",
+                config.critic_n,
+                feature_set.aspects.len()
+            ));
+        }
+
+        let mut user_group = vec![usize::MAX; counts.users()];
+        for (g, members) in groups.iter().enumerate() {
+            for &u in members {
+                if u >= counts.users() {
+                    return Err(format!("group {g} contains unknown user {u}"));
+                }
+                user_group[u] = g;
+            }
+        }
+        if config.matrix.include_group {
+            if groups.is_empty() {
+                return Err("group behavior requires non-empty groups".into());
+            }
+            if let Some(u) = user_group.iter().position(|&g| g == usize::MAX) {
+                return Err(format!("user {u} belongs to no group"));
+            }
+        }
+
+        let needs_dev = config.representation == Representation::Deviation;
+        let needs_group = config.matrix.include_group;
+        let group_counts = if needs_group {
+            Some(group_average_cube(&counts, groups))
+        } else {
+            None
+        };
+        let user_dev = needs_dev.then(|| compute_deviations(&counts, &config.deviation));
+        let group_dev = match (&group_counts, needs_dev) {
+            (Some(gc), true) => Some(compute_deviations(gc, &config.deviation)),
+            _ => None,
+        };
+
+        Ok(AcobePipeline {
+            config,
+            feature_set,
+            user_group,
+            counts,
+            group_counts,
+            user_dev,
+            group_dev,
+            models: Vec::new(),
+            baselines: Vec::new(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcobeConfig {
+        &self.config
+    }
+
+    /// The feature catalog / aspect partition.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.feature_set
+    }
+
+    /// Flattened input width for an aspect.
+    pub fn input_dim(&self, aspect: usize) -> usize {
+        self.config
+            .matrix
+            .input_dim(self.feature_set.aspects[aspect].features.len(), self.counts.frames())
+    }
+
+    /// Builds the model-input row for `(user, day_index)` in an aspect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn build_input_row(&self, aspect: usize, user: usize, day: usize) -> Vec<f32> {
+        let features = &self.feature_set.aspects[aspect].features;
+        match self.config.representation {
+            Representation::Deviation => build_row(
+                self.user_dev.as_ref().expect("deviation cube"),
+                self.group_dev.as_ref(),
+                user,
+                self.user_group[user],
+                day,
+                features,
+                &self.config.matrix,
+            ),
+            Representation::SingleDayCounts => {
+                let frames = self.counts.frames();
+                let mut row =
+                    Vec::with_capacity(self.config.matrix.input_dim(features.len(), frames));
+                for &f in features {
+                    for t in 0..frames {
+                        let c = self.counts.get_by_index(user, day, t, f);
+                        row.push(c / (1.0 + c));
+                    }
+                }
+                if let Some(gc) = &self.group_counts {
+                    let g = self.user_group[user];
+                    for &f in features {
+                        for t in 0..frames {
+                            let c = gc.get_by_index(g, day, t, f);
+                            row.push(c / (1.0 + c));
+                        }
+                    }
+                }
+                row
+            }
+        }
+    }
+
+    /// Trains one autoencoder per aspect on `(user, day)` samples from
+    /// `[train_start, train_end)`, sampling down to `max_train_samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the range is outside the cube or leaves no
+    /// eligible training days after deviation warm-up.
+    pub fn fit(&mut self, train_start: Date, train_end: Date) -> Result<Vec<TrainReport>, String> {
+        let start_idx = self
+            .counts
+            .day_index(train_start)
+            .ok_or("train_start outside cube")?;
+        let end_idx = train_end.days_since(self.counts.start());
+        if end_idx <= start_idx as i32 || end_idx as usize > self.counts.days() {
+            return Err("invalid training range".into());
+        }
+        let warmup = match self.config.representation {
+            Representation::Deviation => self.config.deviation.min_history,
+            Representation::SingleDayCounts => 0,
+        };
+        let first = start_idx.max(warmup);
+        let end_idx = end_idx as usize;
+        if first >= end_idx {
+            return Err("no training days after deviation warm-up".into());
+        }
+
+        // Deterministic (user, day) sampling shared across aspects.
+        let mut samples: Vec<(usize, usize)> = (0..self.counts.users())
+            .flat_map(|u| (first..end_idx).map(move |d| (u, d)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5a5a);
+        samples.shuffle(&mut rng);
+        samples.truncate(self.config.max_train_samples);
+
+        let mut reports = Vec::new();
+        self.models.clear();
+        self.baselines.clear();
+        for aspect in 0..self.feature_set.aspects.len() {
+            let dim = self.input_dim(aspect);
+            let mut data = Matrix::zeros(samples.len(), dim);
+            for (i, &(u, d)) in samples.iter().enumerate() {
+                let row = self.build_input_row(aspect, u, d);
+                data.row_mut(i).copy_from_slice(&row);
+            }
+            let ae_config = AutoencoderConfig {
+                input_dim: dim,
+                encoder_dims: self.config.encoder_dims.clone(),
+                batch_norm: true,
+                output_activation: OutputActivationKind::Relu,
+                seed: self.config.seed.wrapping_add(aspect as u64),
+            };
+            let mut ae = Autoencoder::new(ae_config);
+            let mut optimizer = self.make_optimizer();
+            let report = fit_autoencoder(&mut ae, &data, &self.config.train, optimizer.as_mut());
+            self.models.push(ae);
+            reports.push(report);
+        }
+
+        if self.config.calibrate {
+            // Per-user baseline error over the last days of training.
+            let cal_days = 30.min(end_idx - first);
+            let cal_start = end_idx - cal_days;
+            let users = self.counts.users();
+            for aspect in 0..self.models.len() {
+                let mut sums = vec![0.0f64; users];
+                for day in cal_start..end_idx {
+                    let errs = self.score_day_raw(aspect, day);
+                    for (s, e) in sums.iter_mut().zip(errs) {
+                        *s += e as f64;
+                    }
+                }
+                let mut baseline: Vec<f32> =
+                    sums.iter().map(|&s| (s / cal_days as f64) as f32).collect();
+                // Floor at a tenth of the aspect median so near-zero
+                // baselines cannot explode ratios.
+                let mut sorted = baseline.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let median = sorted[sorted.len() / 2].max(1e-6);
+                for b in &mut baseline {
+                    *b = b.max(median * 0.1);
+                }
+                self.baselines.push(baseline);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Raw (uncalibrated) per-user reconstruction errors for one day.
+    fn score_day_raw(&mut self, aspect: usize, day: usize) -> Vec<f32> {
+        let users = self.counts.users();
+        let dim = self.input_dim(aspect);
+        let mut batch = Matrix::zeros(users, dim);
+        for u in 0..users {
+            let row = self.build_input_row(aspect, u, day);
+            batch.row_mut(u).copy_from_slice(&row);
+        }
+        self.models[aspect].reconstruction_errors(&batch)
+    }
+
+    fn make_optimizer(&self) -> Box<dyn Optimizer> {
+        match self.config.optimizer {
+            OptimizerKind::Adadelta => Box::new(Adadelta::new()),
+            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+        }
+    }
+
+    /// True once [`AcobePipeline::fit`] has run.
+    pub fn is_trained(&self) -> bool {
+        !self.models.is_empty()
+    }
+
+    /// Scores every user on every day of `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when called before [`AcobePipeline::fit`] or with a
+    /// range outside the cube.
+    pub fn score_range(&mut self, start: Date, end: Date) -> Result<ScoreTable, String> {
+        if self.models.is_empty() {
+            return Err("pipeline is not trained".into());
+        }
+        let start_idx = self.counts.day_index(start).ok_or("start outside cube")?;
+        let end_idx = end.days_since(self.counts.start());
+        if end_idx <= start_idx as i32 || end_idx as usize > self.counts.days() {
+            return Err("invalid scoring range".into());
+        }
+        let end_idx = end_idx as usize;
+        let users = self.counts.users();
+
+        let mut scores = vec![Vec::with_capacity(end_idx - start_idx); self.models.len()];
+        for day in start_idx..end_idx {
+            for aspect in 0..self.models.len() {
+                let mut errs = self.score_day_raw(aspect, day);
+                if self.config.calibrate {
+                    for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
+                        *e /= b;
+                    }
+                }
+                scores[aspect].push(errs);
+            }
+        }
+        Ok(ScoreTable {
+            aspect_names: self
+                .feature_set
+                .aspects
+                .iter()
+                .map(|a| a.name.clone())
+                .collect(),
+            start,
+            users,
+            scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_features::spec::{AspectSpec, FeatureSet};
+    use rand::Rng;
+
+    /// A synthetic cube: 12 users × 120 days × 2 frames × 4 features with
+    /// stable habits, where user 0 massively deviates on features 0/2 in the
+    /// last 10 days.
+    fn test_cube(anomalous: bool) -> FeatureCube {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut c = FeatureCube::new(12, Date::from_ymd(2010, 1, 1), 120, 2, 4);
+        for u in 0..12 {
+            let base: f32 = 4.0 + (u % 3) as f32;
+            for d in 0..120 {
+                for t in 0..2 {
+                    for f in 0..4 {
+                        let noise: f32 = rng.gen_range(-1.0..1.0);
+                        let mut v = (base + f as f32 + noise).max(0.0);
+                        if t == 1 {
+                            v *= 0.3;
+                        }
+                        if anomalous && u == 0 && d >= 110 && (f == 0 || f == 2) {
+                            v += 40.0;
+                        }
+                        c.set_by_index(u, d, t, f, v);
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn feature_set() -> FeatureSet {
+        FeatureSet {
+            names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            aspects: vec![
+                AspectSpec { name: "first".into(), features: vec![0, 1] },
+                AspectSpec { name: "second".into(), features: vec![2, 3] },
+            ],
+        }
+    }
+
+    fn groups() -> Vec<Vec<usize>> {
+        vec![(0..6).collect(), (6..12).collect()]
+    }
+
+    fn dates(cube: &FeatureCube) -> (Date, Date, Date) {
+        let start = cube.start();
+        (start, start.add_days(100), start.add_days(120))
+    }
+
+    #[test]
+    fn end_to_end_detects_the_anomalous_user() {
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube, feature_set(), &groups(), AcobeConfig::tiny()).unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        let list = table.investigation_list(2);
+        assert_eq!(list[0].user, 0, "anomalous user must top the list: {list:?}");
+    }
+
+    #[test]
+    fn score_table_shapes() {
+        let cube = test_cube(false);
+        let (start, split, end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube, feature_set(), &groups(), AcobeConfig::tiny()).unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        assert_eq!(table.days(), 20);
+        assert_eq!(table.users, 12);
+        assert_eq!(table.aspect_names, vec!["first", "second"]);
+        assert_eq!(table.user_series(0, 3).len(), 20);
+        assert_eq!(table.max_per_user(1).len(), 12);
+        let (mean, std) = table.mean_std(0);
+        assert!(mean.is_finite() && std.is_finite());
+    }
+
+    #[test]
+    fn single_day_variant_runs() {
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let cfg = AcobeConfig::tiny().single_day();
+        let mut pipe = AcobePipeline::new(cube, feature_set(), &groups(), cfg).unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        assert_eq!(table.days(), 20);
+    }
+
+    #[test]
+    fn no_group_variant_runs() {
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let cfg = AcobeConfig::tiny().without_group();
+        let mut pipe = AcobePipeline::new(cube, feature_set(), &groups(), cfg).unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        let list = table.investigation_list(2);
+        assert_eq!(list[0].user, 0);
+    }
+
+    #[test]
+    fn calibration_divides_by_a_per_user_constant() {
+        // Calibrated scores must equal raw scores divided by one positive
+        // per-user constant (the training-tail baseline): the ratio
+        // raw/calibrated is constant across days for each user.
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let run_with = |calibrate: bool| {
+            let mut cfg = AcobeConfig::tiny();
+            cfg.calibrate = calibrate;
+            let mut pipe = AcobePipeline::new(cube.clone(), feature_set(), &groups(), cfg).unwrap();
+            pipe.fit(start, split).unwrap();
+            pipe.score_range(split, end).unwrap()
+        };
+        let raw = run_with(false);
+        let calibrated = run_with(true);
+        for a in 0..raw.scores.len() {
+            for u in 0..raw.users {
+                let raw_series = raw.user_series(a, u);
+                let cal_series = calibrated.user_series(a, u);
+                let mut ratio: Option<f32> = None;
+                for (r, c) in raw_series.iter().zip(&cal_series) {
+                    if *c > 1e-12 {
+                        let k = r / c;
+                        assert!(k > 0.0, "baseline must be positive");
+                        match ratio {
+                            None => ratio = Some(k),
+                            Some(prev) => assert!(
+                                (k - prev).abs() / prev < 1e-3,
+                                "aspect {a} user {u}: ratios {prev} vs {k}"
+                            ),
+                        }
+                    }
+                }
+                assert!(ratio.is_some(), "no usable days for user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_before_fit_errors() {
+        let cube = test_cube(false);
+        let (_, split, end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube, feature_set(), &groups(), AcobeConfig::tiny()).unwrap();
+        assert!(pipe.score_range(split, end).is_err());
+    }
+
+    #[test]
+    fn user_without_group_rejected() {
+        let cube = test_cube(false);
+        let err = AcobePipeline::new(
+            cube,
+            feature_set(),
+            &[vec![0, 1, 2]],
+            AcobeConfig::tiny(),
+        )
+        .unwrap_err();
+        assert!(err.contains("belongs to no group"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_feature_set_rejected() {
+        let cube = test_cube(false);
+        let mut fs = feature_set();
+        fs.names.push("extra".into());
+        let err =
+            AcobePipeline::new(cube, fs, &groups(), AcobeConfig::tiny()).unwrap_err();
+        assert!(err.contains("feature set"), "{err}");
+    }
+
+    #[test]
+    fn critic_n_larger_than_aspects_rejected() {
+        let cube = test_cube(false);
+        let cfg = AcobeConfig::tiny().with_critic_n(5);
+        let err = AcobePipeline::new(cube, feature_set(), &groups(), cfg).unwrap_err();
+        assert!(err.contains("critic_n"), "{err}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Online deviation computation for production deployments.
+//!
+//! [`compute_deviations`](crate::deviation::compute_deviations) needs the
+//! whole measurement cube in memory; an enterprise deployment instead sees
+//! one day of measurements at a time. [`RollingDeviation`] maintains the
+//! ω-day history per `(entity, frame, feature)` in ring buffers and emits
+//! each day's `σ` and weights incrementally, producing bit-identical results
+//! to the batch path.
+
+use crate::deviation::DeviationConfig;
+use serde::{Deserialize, Serialize};
+
+/// Incremental deviation state for a population of entities.
+///
+/// # Examples
+///
+/// ```
+/// use acobe::deviation::DeviationConfig;
+/// use acobe::streaming::RollingDeviation;
+///
+/// let config = DeviationConfig { window: 5, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+/// let mut rolling = RollingDeviation::new(1, 1, 1, config);
+/// // Warm-up days emit zero deviation...
+/// let day = rolling.push_day(&[5.0]);
+/// assert_eq!(day.sigma, vec![0.0]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RollingDeviation {
+    config: DeviationConfig,
+    entities: usize,
+    frames: usize,
+    features: usize,
+    /// Ring buffers: `[entity * frames * features][window - 1]` recent values.
+    history: Vec<Vec<f32>>,
+    /// Write cursor per series.
+    cursor: Vec<usize>,
+    /// Number of values seen per series (saturates at `window - 1`).
+    filled: Vec<usize>,
+    days_seen: usize,
+}
+
+/// One day's deviations and weights, flattened `[entity][frame][feature]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayDeviations {
+    /// Clamped deviations σ.
+    pub sigma: Vec<f32>,
+    /// TF-style feature weights.
+    pub weights: Vec<f32>,
+}
+
+impl RollingDeviation {
+    /// Creates rolling state for `entities × frames × features` series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or any dimension is zero.
+    pub fn new(entities: usize, frames: usize, features: usize, config: DeviationConfig) -> Self {
+        config.validate().expect("invalid deviation config");
+        assert!(entities > 0 && frames > 0 && features > 0, "empty dimension");
+        let series = entities * frames * features;
+        RollingDeviation {
+            config,
+            entities,
+            frames,
+            features,
+            history: vec![vec![0.0; config.window - 1]; series],
+            cursor: vec![0; series],
+            filled: vec![0; series],
+            days_seen: 0,
+        }
+    }
+
+    /// Number of series tracked.
+    pub fn series_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Days pushed so far.
+    pub fn days_seen(&self) -> usize {
+        self.days_seen
+    }
+
+    /// Index of `(entity, frame, feature)` in the flattened day vectors.
+    pub fn index(&self, entity: usize, frame: usize, feature: usize) -> usize {
+        debug_assert!(entity < self.entities && frame < self.frames && feature < self.features);
+        (entity * self.frames + frame) * self.features + feature
+    }
+
+    /// Consumes one day of measurements (flattened `[entity][frame][feature]`)
+    /// and returns that day's deviations, then folds the measurements into
+    /// the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurements.len()` does not match the tracked series.
+    pub fn push_day(&mut self, measurements: &[f32]) -> DayDeviations {
+        assert_eq!(
+            measurements.len(),
+            self.series_count(),
+            "measurement width mismatch"
+        );
+        let mut sigma = vec![0.0f32; measurements.len()];
+        let mut weights = vec![1.0f32; measurements.len()];
+
+        for (i, &m) in measurements.iter().enumerate() {
+            let n = self.filled[i];
+            if n >= self.config.min_history {
+                let hist = &self.history[i][..n.min(self.config.window - 1)];
+                let count = hist.len() as f64;
+                let sum: f64 = hist.iter().map(|&x| x as f64).sum();
+                let sum_sq: f64 = hist.iter().map(|&x| (x as f64) * (x as f64)).sum();
+                let mean = sum / count;
+                let var = (sum_sq / count - mean * mean).max(0.0);
+                let std = (var.sqrt() as f32).max(self.config.epsilon);
+                let delta = (m - mean as f32) / std;
+                sigma[i] = delta.clamp(-self.config.delta, self.config.delta);
+                weights[i] = 1.0 / std.max(2.0).log2();
+            }
+            // Fold today's measurement into the ring.
+            let cap = self.config.window - 1;
+            let pos = self.cursor[i];
+            self.history[i][pos] = m;
+            self.cursor[i] = (pos + 1) % cap;
+            if self.filled[i] < cap {
+                self.filled[i] += 1;
+            }
+        }
+        self.days_seen += 1;
+        DayDeviations { sigma, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::compute_deviations;
+    use acobe_features::counts::FeatureCube;
+    use acobe_logs::time::Date;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_batch_computation() {
+        let (users, days, frames, features) = (3usize, 60usize, 2usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cube = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, frames, features);
+        for u in 0..users {
+            for d in 0..days {
+                for t in 0..frames {
+                    for f in 0..features {
+                        cube.set_by_index(u, d, t, f, rng.gen_range(0.0..40.0));
+                    }
+                }
+            }
+        }
+        let config = DeviationConfig { window: 14, delta: 3.0, epsilon: 1e-3, min_history: 5 };
+        let batch = compute_deviations(&cube, &config);
+        let mut rolling = RollingDeviation::new(users, frames, features, config);
+        for d in 0..days {
+            let mut day = Vec::with_capacity(users * frames * features);
+            for u in 0..users {
+                for t in 0..frames {
+                    for f in 0..features {
+                        day.push(cube.get_by_index(u, d, t, f));
+                    }
+                }
+            }
+            let out = rolling.push_day(&day);
+            for u in 0..users {
+                for t in 0..frames {
+                    for f in 0..features {
+                        let i = rolling.index(u, t, f);
+                        let expected = batch.sigma.get_by_index(u, d, t, f);
+                        let got = out.sigma[i];
+                        assert!(
+                            (expected - got).abs() < 1e-4,
+                            "day {d} u{u} t{t} f{f}: batch {expected} vs rolling {got}"
+                        );
+                        let ew = batch.weights.get_by_index(u, d, t, f);
+                        assert!((ew - out.weights[i]).abs() < 1e-4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_emits_zero() {
+        let config = DeviationConfig { window: 10, delta: 3.0, epsilon: 1e-3, min_history: 4 };
+        let mut rolling = RollingDeviation::new(1, 1, 1, config);
+        for _ in 0..4 {
+            let out = rolling.push_day(&[100.0]);
+            assert_eq!(out.sigma, vec![0.0]);
+            assert_eq!(out.weights, vec![1.0]);
+        }
+        // Fifth day has 4 history days: deviations start.
+        let out = rolling.push_day(&[100.0]);
+        assert_eq!(out.sigma, vec![0.0]); // constant history, same value
+        let out = rolling.push_day(&[500.0]);
+        assert_eq!(out.sigma, vec![3.0]); // spike clamps at delta
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        // Window 4 -> history 3. After a level shift, deviations die out
+        // once the shift fills the ring.
+        let config = DeviationConfig { window: 4, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+        let mut rolling = RollingDeviation::new(1, 1, 1, config);
+        for _ in 0..6 {
+            rolling.push_day(&[1.0]);
+        }
+        let first = rolling.push_day(&[50.0]);
+        assert_eq!(first.sigma, vec![3.0]);
+        rolling.push_day(&[50.0]);
+        rolling.push_day(&[50.0]);
+        // History is now all 50s.
+        let later = rolling.push_day(&[50.0]);
+        assert!(later.sigma[0].abs() < 0.1, "{:?}", later.sigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement width mismatch")]
+    fn wrong_width_rejected() {
+        let mut rolling = RollingDeviation::new(2, 2, 2, DeviationConfig::default());
+        let _ = rolling.push_day(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Waveform-aware anomaly judgement — the paper's future-work critic
+//! (Section VII-B), implemented as an optional post-processing stage.
+//!
+//! The paper sketches two additional factors for a more flexible critic:
+//!
+//! 1. *"whether the anomaly score has a recent spike"*, and
+//! 2. *"whether the abnormal raise demonstrates a particular waveform"* —
+//!    a developer starting a new project causes "a bursting raise with
+//!    long-lasting but smooth decrease, whereas a cyberattack may not show
+//!    the decrease but chaotic signals".
+//!
+//! [`analyze`] extracts those factors from a user's daily score series and
+//! [`WaveformCritic`] folds them into the investigation list: users whose
+//! elevation looks like a benign burst-with-smooth-decay are demoted.
+
+use crate::critic::{scores_to_ranks, Investigation};
+use crate::pipeline::ScoreTable;
+use serde::{Deserialize, Serialize};
+
+/// Shape classification of a score series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaveformKind {
+    /// No notable spike over the baseline.
+    Quiet,
+    /// A burst followed by a long, smooth decrease — the paper's example of
+    /// a benign behavioral shift (e.g. a developer starting a new project).
+    BenignShift,
+    /// A raise that stays elevated or decays chaotically — the attack-like
+    /// shape.
+    Suspicious,
+}
+
+/// Quantified waveform factors for one score series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveformAnalysis {
+    /// Peak score relative to the series median (≥ 1 means elevated).
+    pub spike_ratio: f32,
+    /// Fraction of post-peak steps that decrease (1 = monotone decay).
+    pub decay_smoothness: f32,
+    /// Mean absolute step change after the peak, relative to the peak height
+    /// (higher = more chaotic).
+    pub chaos: f32,
+    /// How much of the post-peak tail remains above half the peak elevation.
+    pub persistence: f32,
+    /// The resulting classification.
+    pub kind: WaveformKind,
+}
+
+/// Thresholds for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveformConfig {
+    /// Minimum spike ratio to count as elevated at all.
+    pub spike_threshold: f32,
+    /// Decay smoothness above which an elevation is considered benign.
+    pub smooth_threshold: f32,
+    /// Persistence above which an elevation is suspicious regardless of
+    /// smoothness.
+    pub persistence_threshold: f32,
+}
+
+impl Default for WaveformConfig {
+    fn default() -> Self {
+        WaveformConfig {
+            spike_threshold: 1.5,
+            smooth_threshold: 0.7,
+            persistence_threshold: 0.6,
+        }
+    }
+}
+
+/// Analyzes one daily score series.
+///
+/// Returns a [`WaveformAnalysis`]; an empty or flat series is
+/// [`WaveformKind::Quiet`].
+pub fn analyze(series: &[f32], config: &WaveformConfig) -> WaveformAnalysis {
+    if series.len() < 3 {
+        return WaveformAnalysis {
+            spike_ratio: 1.0,
+            decay_smoothness: 1.0,
+            chaos: 0.0,
+            persistence: 0.0,
+            kind: WaveformKind::Quiet,
+        };
+    }
+    let mut sorted: Vec<f32> = series.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2].max(1e-9);
+    let (peak_idx, &peak) = series
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty series");
+    let spike_ratio = peak / median;
+
+    let tail = &series[peak_idx..];
+    let elevation = (peak - median).max(1e-9);
+    let (mut decreasing_steps, mut total_steps) = (0usize, 0usize);
+    let mut step_change = 0.0f32;
+    for pair in tail.windows(2) {
+        total_steps += 1;
+        if pair[1] <= pair[0] {
+            decreasing_steps += 1;
+        }
+        step_change += (pair[1] - pair[0]).abs();
+    }
+    let decay_smoothness = if total_steps == 0 {
+        1.0
+    } else {
+        decreasing_steps as f32 / total_steps as f32
+    };
+    let chaos = if total_steps == 0 {
+        0.0
+    } else {
+        (step_change / total_steps as f32) / elevation
+    };
+    let persistence = if tail.len() <= 1 {
+        1.0
+    } else {
+        tail[1..]
+            .iter()
+            .filter(|&&x| x - median > 0.5 * elevation)
+            .count() as f32
+            / (tail.len() - 1) as f32
+    };
+
+    let kind = if spike_ratio < config.spike_threshold {
+        WaveformKind::Quiet
+    } else if persistence >= config.persistence_threshold {
+        WaveformKind::Suspicious
+    } else if decay_smoothness >= config.smooth_threshold {
+        WaveformKind::BenignShift
+    } else {
+        WaveformKind::Suspicious
+    };
+
+    WaveformAnalysis { spike_ratio, decay_smoothness, chaos, persistence, kind }
+}
+
+/// The future-work critic: Algorithm 1 plus waveform-based demotion.
+#[derive(Debug, Clone, Default)]
+pub struct WaveformCritic {
+    /// Waveform thresholds.
+    pub waveform: WaveformConfig,
+    /// How many rank positions a benign-shift user is demoted by (applied to
+    /// their priority).
+    pub benign_demotion: usize,
+}
+
+impl WaveformCritic {
+    /// Creates a critic with default thresholds and a demotion of 10.
+    pub fn new() -> Self {
+        WaveformCritic { waveform: WaveformConfig::default(), benign_demotion: 10 }
+    }
+
+    /// Produces an investigation list like
+    /// [`ScoreTable::investigation_list_smoothed`], then demotes users whose
+    /// every elevated aspect classifies as a benign shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is invalid for the table's aspect count.
+    pub fn investigate(&self, table: &ScoreTable, n: usize, smooth: usize) -> Vec<Investigation> {
+        let aspects = table.aspect_names.len();
+        let per_aspect: Vec<Vec<f32>> = (0..aspects)
+            .map(|a| table.smoothed_max_per_user(a, smooth))
+            .collect();
+        let ranks: Vec<Vec<usize>> = per_aspect.iter().map(|s| scores_to_ranks(s)).collect();
+
+        let mut list: Vec<Investigation> = (0..table.users)
+            .map(|u| {
+                let mut user_ranks: Vec<usize> = ranks.iter().map(|r| r[u]).collect();
+                user_ranks.sort_unstable();
+                let mut priority = user_ranks[n - 1];
+
+                // Examine the waveforms of this user's aspects; if any
+                // elevated aspect looks attack-like, keep the priority; if
+                // all elevated aspects look like benign shifts, demote.
+                let mut elevated = 0usize;
+                let mut suspicious = 0usize;
+                for a in 0..aspects {
+                    let analysis = analyze(&table.user_series(a, u), &self.waveform);
+                    match analysis.kind {
+                        WaveformKind::Quiet => {}
+                        WaveformKind::BenignShift => elevated += 1,
+                        WaveformKind::Suspicious => {
+                            elevated += 1;
+                            suspicious += 1;
+                        }
+                    }
+                }
+                if elevated > 0 && suspicious == 0 {
+                    priority += self.benign_demotion;
+                }
+                Investigation { user: u, priority }
+            })
+            .collect();
+        list.sort_by_key(|inv| (inv.priority, inv.user));
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WaveformConfig {
+        WaveformConfig::default()
+    }
+
+    #[test]
+    fn quiet_series() {
+        let series = vec![1.0; 30];
+        let a = analyze(&series, &cfg());
+        assert_eq!(a.kind, WaveformKind::Quiet);
+    }
+
+    #[test]
+    fn benign_burst_with_smooth_decay() {
+        // Burst then monotone decay back to baseline.
+        let mut series = vec![1.0; 10];
+        series.push(5.0);
+        for i in 0..15 {
+            series.push(5.0 - (i as f32) * 0.27);
+        }
+        let a = analyze(&series, &cfg());
+        assert_eq!(a.kind, WaveformKind::BenignShift, "{a:?}");
+        assert!(a.decay_smoothness > 0.9);
+    }
+
+    #[test]
+    fn sustained_elevation_is_suspicious() {
+        let mut series = vec![1.0; 10];
+        series.extend(vec![5.0, 4.9, 5.1, 4.8, 5.2, 4.9, 5.0, 5.1]);
+        let a = analyze(&series, &cfg());
+        assert_eq!(a.kind, WaveformKind::Suspicious, "{a:?}");
+        assert!(a.persistence > 0.6);
+    }
+
+    #[test]
+    fn chaotic_decay_is_suspicious() {
+        let mut series = vec![1.0; 10];
+        series.extend(vec![6.0, 1.0, 5.0, 0.8, 4.5, 1.2, 4.0, 0.9, 1.0, 0.8, 1.1, 0.9]);
+        let a = analyze(&series, &cfg());
+        assert_eq!(a.kind, WaveformKind::Suspicious, "{a:?}");
+        assert!(a.decay_smoothness < 0.7);
+    }
+
+    #[test]
+    fn short_series_is_quiet() {
+        let a = analyze(&[9.0, 1.0], &cfg());
+        assert_eq!(a.kind, WaveformKind::Quiet);
+    }
+
+    #[test]
+    fn critic_demotes_benign_shift_users() {
+        use crate::pipeline::ScoreTable;
+        use acobe_logs::time::Date;
+        // Three users, one aspect, 30 days.
+        // user 0: benign burst + smooth decay; user 1: sustained attack-like
+        // elevation (slightly lower peak); user 2: quiet.
+        let days = 30usize;
+        let mut scores = vec![Vec::with_capacity(days)];
+        for d in 0..days {
+            let u0 = if d == 10 {
+                6.0
+            } else if d > 10 {
+                (6.0 - (d - 10) as f32 * 0.4).max(1.0)
+            } else {
+                1.0
+            };
+            let u1 = if d >= 12 { 5.0 + 0.05 * ((d % 3) as f32) } else { 1.0 };
+            let u2 = 1.0;
+            scores[0].push(vec![u0, u1, u2]);
+        }
+        let table = ScoreTable {
+            aspect_names: vec!["only".into()],
+            start: Date::from_ymd(2011, 1, 1),
+            users: 3,
+            scores,
+        };
+        // Plain critic puts user 0 (higher peak) first.
+        let plain = table.investigation_list(1);
+        assert_eq!(plain[0].user, 0);
+        // The waveform critic demotes the benign shift; user 1 wins.
+        let critic = WaveformCritic::new();
+        let list = critic.investigate(&table, 1, 1);
+        assert_eq!(list[0].user, 1, "{list:?}");
+        // The demoted benign-shift user drops below even the quiet user.
+        assert_eq!(list[2].user, 0, "{list:?}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation metrics for the ACOBE reproduction.
+//!
+//! Implements the paper's Section V-C methodology over ordered investigation
+//! lists:
+//!
+//! * [`ranking`] — per-scenario FP-before-TP analysis with worst-case tie
+//!   ordering, and multi-scenario merging,
+//! * [`roc`] — ROC curves and AUC (Figure 6(a)),
+//! * [`pr`] — precision-recall curves, average precision, best F1
+//!   (Figures 6(b) and 6(c)),
+//! * [`report`] — CSV series and text-table output helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use acobe_eval::ranking::ScenarioRanking;
+//! use acobe_eval::roc::RocCurve;
+//!
+//! // ACOBE's reported outcome: 0,0,0,1 FPs before the four TPs.
+//! let ranking = ScenarioRanking::from_counts(vec![0, 0, 0, 1], 925);
+//! let auc = RocCurve::from_ranking(&ranking).auc();
+//! assert!(auc > 0.999);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pr;
+pub mod ranking;
+pub mod report;
+pub mod roc;
+
+pub use pr::PrCurve;
+pub use ranking::{merge_scenarios, RankedUser, ScenarioRanking};
+pub use roc::RocCurve;

@@ -1,0 +1,97 @@
+//! Precision-recall curves — the metric the paper argues is more informative
+//! than ROC on heavily imbalanced data (Section V-C, citing Saito &
+//! Rehmsmeier).
+
+use crate::ranking::ScenarioRanking;
+use serde::{Deserialize, Serialize};
+
+/// A precision-recall curve: one `(recall, precision)` point per retrieved
+/// true positive, in investigation order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrCurve {
+    /// `(recall, precision)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PrCurve {
+    /// Builds the curve from a (possibly merged) ranking.
+    pub fn from_ranking(ranking: &ScenarioRanking) -> Self {
+        let p = ranking.positives() as f64;
+        let points = ranking
+            .fp_before_tp
+            .iter()
+            .enumerate()
+            .map(|(i, &fp)| {
+                let tp = (i + 1) as f64;
+                (tp / p, tp / (tp + fp as f64))
+            })
+            .collect();
+        PrCurve { points }
+    }
+
+    /// Average precision (area under the PR curve by the step rule).
+    pub fn average_precision(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut ap = 0.0;
+        let mut prev_recall = 0.0;
+        for &(recall, precision) in &self.points {
+            ap += (recall - prev_recall) * precision;
+            prev_recall = recall;
+        }
+        ap
+    }
+
+    /// Maximum F1 score along the curve.
+    pub fn best_f1(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(r, p)| if r + p > 0.0 { 2.0 * r * p / (r + p) } else { 0.0 })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let r = ScenarioRanking::from_counts(vec![0, 0], 50);
+        let pr = PrCurve::from_ranking(&r);
+        assert_eq!(pr.points, vec![(0.5, 1.0), (1.0, 1.0)]);
+        assert_eq!(pr.average_precision(), 1.0);
+        assert_eq!(pr.best_f1(), 1.0);
+    }
+
+    #[test]
+    fn precision_degrades_with_fps() {
+        let r = ScenarioRanking::from_counts(vec![0, 2], 50);
+        let pr = PrCurve::from_ranking(&r);
+        assert_eq!(pr.points[0], (0.5, 1.0));
+        assert_eq!(pr.points[1], (1.0, 0.5)); // 2 TP / (2 TP + 2 FP)
+        assert!((pr.average_precision() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separates_models_that_roc_blurs() {
+        // With 925 negatives, 1-vs-18 FPs barely moves ROC but wrecks
+        // precision — the paper's core argument for Figure 6(b).
+        let good = ScenarioRanking::from_counts(vec![0, 0, 0, 1], 925);
+        let bad = ScenarioRanking::from_counts(vec![1, 1, 17, 18], 925);
+        use crate::roc::RocCurve;
+        let roc_gap = RocCurve::from_ranking(&good).auc() - RocCurve::from_ranking(&bad).auc();
+        let pr_gap = PrCurve::from_ranking(&good).average_precision()
+            - PrCurve::from_ranking(&bad).average_precision();
+        assert!(roc_gap < 0.02, "{roc_gap}");
+        assert!(pr_gap > 0.3, "{pr_gap}");
+    }
+
+    #[test]
+    fn empty_curve() {
+        let pr = PrCurve { points: vec![] };
+        assert_eq!(pr.average_precision(), 0.0);
+        assert_eq!(pr.best_f1(), 0.0);
+    }
+}

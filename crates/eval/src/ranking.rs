@@ -1,0 +1,194 @@
+//! Ranked-list evaluation over investigation lists.
+//!
+//! The paper evaluates per-scenario investigation lists with one abnormal
+//! user each, merged into a single ROC / precision-recall analysis
+//! (Section V-C). Ties between a false positive and a true positive list the
+//! FP first — the worst-case investigation order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One ranked user entry: `(user, priority)`, smaller priority first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedUser {
+    /// User index.
+    pub user: usize,
+    /// Investigation priority (1-based; smaller = investigated earlier).
+    pub priority: usize,
+}
+
+/// The outcome of one scenario: for every positive (abnormal) user, how many
+/// negatives are investigated before them under worst-case tie ordering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioRanking {
+    /// Per positive user: the number of false positives listed before them
+    /// (ascending).
+    pub fp_before_tp: Vec<usize>,
+    /// Number of negative (normal) users in the scenario.
+    pub negatives: usize,
+}
+
+impl ScenarioRanking {
+    /// Builds from a ranked list and the set of abnormal users.
+    ///
+    /// A negative counts as "before" a positive when its priority is smaller
+    /// **or equal** (worst-case tie order, as in the paper's Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry is positive.
+    pub fn new(list: &[RankedUser], positives: &HashSet<usize>) -> Self {
+        let mut fp_before_tp = Vec::new();
+        let negatives: Vec<usize> = list
+            .iter()
+            .filter(|e| !positives.contains(&e.user))
+            .map(|e| e.priority)
+            .collect();
+        for entry in list {
+            if positives.contains(&entry.user) {
+                let fps = negatives.iter().filter(|&&p| p <= entry.priority).count();
+                fp_before_tp.push(fps);
+            }
+        }
+        assert!(!fp_before_tp.is_empty(), "no positive user in the ranked list");
+        fp_before_tp.sort_unstable();
+        ScenarioRanking { fp_before_tp, negatives: negatives.len() }
+    }
+
+    /// Builds directly from per-positive FP counts (for merged reporting).
+    pub fn from_counts(fp_before_tp: Vec<usize>, negatives: usize) -> Self {
+        let mut fp = fp_before_tp;
+        fp.sort_unstable();
+        ScenarioRanking { fp_before_tp: fp, negatives }
+    }
+
+    /// Number of positives.
+    pub fn positives(&self) -> usize {
+        self.fp_before_tp.len()
+    }
+}
+
+/// Merges several scenarios into one evaluation, the paper's "the detection
+/// metrics ... are put together" (Section V-A2).
+///
+/// Positives keep their per-scenario FP counts; the negative population is
+/// the number of distinct normal users (supplied by the caller, 925 in the
+/// paper).
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty or `distinct_negatives == 0`.
+pub fn merge_scenarios(scenarios: &[ScenarioRanking], distinct_negatives: usize) -> ScenarioRanking {
+    assert!(!scenarios.is_empty(), "no scenarios to merge");
+    assert!(distinct_negatives > 0, "need at least one negative");
+    let mut fp: Vec<usize> = scenarios
+        .iter()
+        .flat_map(|s| s.fp_before_tp.iter().copied())
+        .collect();
+    fp.sort_unstable();
+    ScenarioRanking { fp_before_tp: fp, negatives: distinct_negatives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(entries: &[(usize, usize)]) -> Vec<RankedUser> {
+        entries
+            .iter()
+            .map(|&(user, priority)| RankedUser { user, priority })
+            .collect()
+    }
+
+    #[test]
+    fn counts_negatives_before_positive() {
+        // Positive user 9 at priority 3; negatives at 1, 2, 5.
+        let l = list(&[(0, 1), (1, 2), (9, 3), (2, 5)]);
+        let positives: HashSet<usize> = [9].into();
+        let r = ScenarioRanking::new(&l, &positives);
+        assert_eq!(r.fp_before_tp, vec![2]);
+        assert_eq!(r.negatives, 3);
+    }
+
+    #[test]
+    fn ties_count_as_worst_case() {
+        // Negative shares priority 2 with the positive: counted before.
+        let l = list(&[(0, 2), (9, 2)]);
+        let positives: HashSet<usize> = [9].into();
+        let r = ScenarioRanking::new(&l, &positives);
+        assert_eq!(r.fp_before_tp, vec![1]);
+    }
+
+    #[test]
+    fn perfect_ranking_has_zero_fps() {
+        let l = list(&[(9, 1), (0, 2), (1, 3)]);
+        let positives: HashSet<usize> = [9].into();
+        let r = ScenarioRanking::new(&l, &positives);
+        assert_eq!(r.fp_before_tp, vec![0]);
+    }
+
+    #[test]
+    fn merging_pools_positives() {
+        let a = ScenarioRanking::from_counts(vec![0], 100);
+        let b = ScenarioRanking::from_counts(vec![3], 100);
+        let m = merge_scenarios(&[a, b], 100);
+        assert_eq!(m.fp_before_tp, vec![0, 3]);
+        assert_eq!(m.positives(), 2);
+        assert_eq!(m.negatives, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive user")]
+    fn missing_positive_panics() {
+        let l = list(&[(0, 1)]);
+        let _ = ScenarioRanking::new(&l, &HashSet::new());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// fp_before_tp is monotone non-decreasing and bounded by the
+        /// negative count, regardless of the list shape.
+        #[test]
+        fn fp_counts_are_sane(
+            priorities in prop::collection::vec(1usize..30, 5..40),
+            positive_idx in 0usize..5,
+        ) {
+            let list: Vec<RankedUser> = priorities
+                .iter()
+                .enumerate()
+                .map(|(user, &priority)| RankedUser { user, priority })
+                .collect();
+            let positives: HashSet<usize> = [positive_idx].into();
+            let r = ScenarioRanking::new(&list, &positives);
+            prop_assert_eq!(r.positives(), 1);
+            prop_assert_eq!(r.negatives, priorities.len() - 1);
+            prop_assert!(r.fp_before_tp[0] <= r.negatives);
+        }
+
+        /// Merging preserves the positive count and sorts ascending.
+        #[test]
+        fn merge_sorts(
+            a in prop::collection::vec(0usize..100, 1..4),
+            b in prop::collection::vec(0usize..100, 1..4),
+        ) {
+            let m = merge_scenarios(
+                &[
+                    ScenarioRanking::from_counts(a.clone(), 200),
+                    ScenarioRanking::from_counts(b.clone(), 200),
+                ],
+                200,
+            );
+            prop_assert_eq!(m.positives(), a.len() + b.len());
+            for pair in m.fp_before_tp.windows(2) {
+                prop_assert!(pair[0] <= pair[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment output helpers: CSV series and aligned text tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes a CSV file with a header row and stringified cells.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Renders an aligned text table (for stdout reports).
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    fmt_row(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a float with fixed precision for tables/CSV.
+pub fn fnum(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("acobe_eval_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["model", "auc"],
+            &[
+                vec!["acobe".into(), "0.9997".into()],
+                vec!["baseline-long-name".into(), "0.99".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[3].starts_with("baseline-long-name"));
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(0.123456, 3), "0.123");
+        assert_eq!(fnum(1.0, 4), "1.0000");
+    }
+}

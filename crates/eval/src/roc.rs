@@ -1,0 +1,86 @@
+//! Receiver-operating-characteristic curves over ranked outcomes.
+
+use crate::ranking::ScenarioRanking;
+use serde::{Deserialize, Serialize};
+
+/// An ROC curve: `(false positive rate, true positive rate)` points in
+/// investigation order, implicitly starting at `(0, 0)` and ending at
+/// `(1, 1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// One point per true positive, as it is reached.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RocCurve {
+    /// Builds the curve from a (possibly merged) ranking.
+    pub fn from_ranking(ranking: &ScenarioRanking) -> Self {
+        let p = ranking.positives() as f64;
+        let n = ranking.negatives.max(1) as f64;
+        let points = ranking
+            .fp_before_tp
+            .iter()
+            .enumerate()
+            .map(|(i, &fp)| (fp as f64 / n, (i + 1) as f64 / p))
+            .collect();
+        RocCurve { points }
+    }
+
+    /// Area under the curve.
+    ///
+    /// With one point per positive, each retrieved positive contributes a
+    /// horizontal strip of height `1/P` spanning `[FPR_i, 1]`:
+    /// `AUC = (1/P) Σ (1 − FPR_i)`.
+    pub fn auc(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let p = self.points.len() as f64;
+        self.points.iter().map(|&(fpr, _)| 1.0 - fpr).sum::<f64>() / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_auc_is_one() {
+        let r = ScenarioRanking::from_counts(vec![0, 0, 0], 100);
+        let roc = RocCurve::from_ranking(&r);
+        assert_eq!(roc.auc(), 1.0);
+        assert_eq!(roc.points[2], (0.0, 1.0));
+    }
+
+    #[test]
+    fn paper_acobe_numbers() {
+        // ACOBE: 0, 0, 0, 1 FPs before the four TPs, 925 negatives.
+        let r = ScenarioRanking::from_counts(vec![0, 0, 0, 1], 925);
+        let auc = RocCurve::from_ranking(&r).auc();
+        assert!(auc > 0.9997, "{auc}");
+    }
+
+    #[test]
+    fn paper_baseline_numbers() {
+        // Baseline: 1, 1, 17, 18 FPs.
+        let r = ScenarioRanking::from_counts(vec![1, 1, 17, 18], 925);
+        let auc = RocCurve::from_ranking(&r).auc();
+        assert!(auc > 0.98 && auc < 0.995, "{auc}");
+    }
+
+    #[test]
+    fn worst_ranking_low_auc() {
+        let r = ScenarioRanking::from_counts(vec![100], 100);
+        assert_eq!(RocCurve::from_ranking(&r).auc(), 0.0);
+    }
+
+    #[test]
+    fn monotone_points() {
+        let r = ScenarioRanking::from_counts(vec![0, 2, 2, 5], 10);
+        let roc = RocCurve::from_ranking(&r);
+        for pair in roc.points.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Baseline (Liu et al. 2018) feature extraction.
+//!
+//! The paper's comparison model builds "four autoencoders for coarse-grained
+//! unweighted features from the numbers of activities (e.g., connect, write,
+//! download, logoff) in four aspects (device, file, HTTP, logon)" and "splits
+//! one day into 24 time-frames" (Section V-C). This extractor produces that
+//! representation: 11 plain activity counts × 24 hourly frames.
+
+use crate::counts::FeatureCube;
+use crate::spec::{baseline_feature_set, FeatureSet};
+use acobe_logs::event::{FileActivity, HttpActivity, LogonActivity, LogEvent};
+use acobe_logs::store::LogStore;
+use acobe_logs::time::Date;
+
+/// Streaming extractor producing the Baseline cube (24 hourly frames).
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::baseline::BaselineExtractor;
+/// use acobe_logs::time::Date;
+/// let start = Date::from_ymd(2010, 1, 1);
+/// let mut ex = BaselineExtractor::new(2, start, start.add_days(2));
+/// ex.ingest_day(start, &[]);
+/// ex.ingest_day(start.add_days(1), &[]);
+/// assert_eq!(ex.finish().frames(), 24);
+/// ```
+#[derive(Debug)]
+pub struct BaselineExtractor {
+    cube: FeatureCube,
+    next_date: Date,
+}
+
+impl BaselineExtractor {
+    /// Creates an extractor for `users` users over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date range is empty or `users == 0`.
+    pub fn new(users: usize, start: Date, end: Date) -> Self {
+        let days = end.days_since(start);
+        assert!(days > 0, "empty date range");
+        let fs = baseline_feature_set();
+        BaselineExtractor {
+            cube: FeatureCube::new(users, start, days as usize, 24, fs.len()),
+            next_date: start,
+        }
+    }
+
+    /// The feature catalog this extractor fills.
+    pub fn feature_set() -> FeatureSet {
+        baseline_feature_set()
+    }
+
+    /// Processes one day of events (must be called in date order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order days or user indices out of range.
+    pub fn ingest_day(&mut self, date: Date, events: &[LogEvent]) {
+        assert_eq!(date, self.next_date, "days must be ingested in order");
+        self.next_date = date.add_days(1);
+
+        for event in events {
+            let user = event.user().index();
+            assert!(user < self.cube.users(), "user index out of range");
+            let hour = event.ts().hour() as usize;
+            let feature = match event {
+                LogEvent::Device(e) => match e.activity {
+                    acobe_logs::event::DeviceActivity::Connect => Some(0),
+                    acobe_logs::event::DeviceActivity::Disconnect => Some(1),
+                },
+                LogEvent::File(e) => Some(match e.activity {
+                    FileActivity::Open => 2,
+                    FileActivity::Write => 3,
+                    FileActivity::Copy => 4,
+                    FileActivity::Delete => 5,
+                }),
+                LogEvent::Http(e) => Some(match e.activity {
+                    HttpActivity::Visit => 6,
+                    HttpActivity::Download => 7,
+                    HttpActivity::Upload => 8,
+                }),
+                LogEvent::Logon(e) => Some(match e.activity {
+                    LogonActivity::Logon => 9,
+                    LogonActivity::Logoff => 10,
+                }),
+                _ => None,
+            };
+            if let Some(f) = feature {
+                self.cube.add(user, date, hour, f, 1.0);
+            }
+        }
+    }
+
+    /// Completes extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not every day in the range was ingested.
+    pub fn finish(self) -> FeatureCube {
+        assert_eq!(self.next_date, self.cube.end(), "not all days ingested");
+        self.cube
+    }
+}
+
+/// Extracts the Baseline feature cube from a finalized [`LogStore`].
+pub fn extract_baseline_features(
+    store: &LogStore,
+    users: usize,
+    start: Date,
+    end: Date,
+) -> FeatureCube {
+    let mut ex = BaselineExtractor::new(users, start, end);
+    for date in start.range_to(end) {
+        ex.ingest_day(date, store.day(date));
+    }
+    ex.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_logs::event::*;
+    use acobe_logs::ids::{DomainId, HostId, UserId};
+
+    fn day(n: u32) -> Date {
+        Date::from_ymd(2010, 2, n)
+    }
+
+    #[test]
+    fn counts_land_in_hourly_frames() {
+        let mut ex = BaselineExtractor::new(1, day(1), day(2));
+        let events = vec![
+            LogEvent::Http(HttpEvent {
+                ts: day(1).at(3, 30, 0),
+                user: UserId(0),
+                domain: DomainId(1),
+                activity: HttpActivity::Visit,
+                filetype: FileType::Other,
+                success: true,
+            }),
+            LogEvent::Http(HttpEvent {
+                ts: day(1).at(3, 45, 0),
+                user: UserId(0),
+                domain: DomainId(2),
+                activity: HttpActivity::Visit,
+                filetype: FileType::Other,
+                success: true,
+            }),
+            LogEvent::Logon(LogonEvent {
+                ts: day(1).at(8, 0, 0),
+                user: UserId(0),
+                host: HostId(0),
+                activity: LogonActivity::Logon,
+                success: true,
+            }),
+        ];
+        ex.ingest_day(day(1), &events);
+        let cube = ex.finish();
+        assert_eq!(cube.get(0, day(1), 3, 6), 2.0); // two visits at 03:xx
+        assert_eq!(cube.get(0, day(1), 8, 9), 1.0); // one logon at 08:00
+        assert_eq!(cube.get(0, day(1), 4, 6), 0.0);
+    }
+
+    #[test]
+    fn visits_are_counted_unlike_acobe_features() {
+        // The Baseline uses plain activity counts including visits.
+        let mut ex = BaselineExtractor::new(1, day(1), day(2));
+        ex.ingest_day(
+            day(1),
+            &[LogEvent::Http(HttpEvent {
+                ts: day(1).at(12, 0, 0),
+                user: UserId(0),
+                domain: DomainId(1),
+                activity: HttpActivity::Visit,
+                filetype: FileType::Other,
+                success: true,
+            })],
+        );
+        assert_eq!(ex.finish().total(), 1.0);
+    }
+
+    #[test]
+    fn windows_and_proxy_events_ignored() {
+        let mut ex = BaselineExtractor::new(1, day(1), day(2));
+        ex.ingest_day(
+            day(1),
+            &[LogEvent::Windows(WindowsEvent {
+                ts: day(1).at(12, 0, 0),
+                user: UserId(0),
+                channel: WinChannel::Sysmon,
+                event_id: 11,
+                object: 1,
+            })],
+        );
+        assert_eq!(ex.finish().total(), 0.0);
+    }
+}

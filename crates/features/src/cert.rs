@@ -1,0 +1,409 @@
+//! Feature extraction for the CERT-style evaluation dataset
+//! (paper Section V-A3).
+
+use crate::counts::FeatureCube;
+use crate::spec::{cert_feature_set, FeatureSet};
+use acobe_logs::event::{FileActivity, HttpActivity, FileType, LogEvent, Location};
+use acobe_logs::store::LogStore;
+use acobe_logs::time::Date;
+use std::collections::HashSet;
+
+/// How features f1-f6 of the file/HTTP categories count operations.
+///
+/// The paper's wording ("the number of operation in terms of
+/// (feature, file-ID) pair that the user never had conducted before day d")
+/// can be read as novelty-only counting; plain activity counting matches the
+/// figures' day-to-day texture better. Both are implemented; `Plain` is the
+/// default (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountSemantics {
+    /// f1-f6 count every operation; `new-op` features count novel pairs.
+    #[default]
+    Plain,
+    /// Every feature counts only operations on novel `(feature, object)` pairs.
+    NovelOnly,
+}
+
+/// Tags identifying a `(feature, object)` pair class for first-seen tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FileTag {
+    OpenLocal,
+    OpenRemote,
+    WriteLocal,
+    WriteRemote,
+    CopyLr,
+    CopyRl,
+    Delete,
+    Other,
+}
+
+/// Streaming extractor producing the 16-feature CERT cube.
+///
+/// Call [`CertExtractor::ingest_day`] with consecutive days, then
+/// [`CertExtractor::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::cert::{CertExtractor, CountSemantics};
+/// use acobe_logs::time::Date;
+/// let start = Date::from_ymd(2010, 1, 1);
+/// let end = Date::from_ymd(2010, 1, 8);
+/// let mut ex = CertExtractor::new(4, start, end, CountSemantics::Plain);
+/// for date in start.range_to(end) {
+///     ex.ingest_day(date, &[]);
+/// }
+/// let cube = ex.finish();
+/// assert_eq!(cube.days(), 7);
+/// ```
+#[derive(Debug)]
+pub struct CertExtractor {
+    cube: FeatureCube,
+    semantics: CountSemantics,
+    seen_hosts: Vec<HashSet<u32>>,
+    seen_file: Vec<HashSet<(FileTag, u32)>>,
+    seen_http: Vec<HashSet<(u8, u32)>>,
+    today_hosts: Vec<HashSet<u32>>,
+    today_file: Vec<HashSet<(FileTag, u32)>>,
+    today_http: Vec<HashSet<(u8, u32)>>,
+    next_date: Date,
+}
+
+impl CertExtractor {
+    /// Creates an extractor for `users` users over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date range is empty or `users == 0`.
+    pub fn new(users: usize, start: Date, end: Date, semantics: CountSemantics) -> Self {
+        let days = end.days_since(start);
+        assert!(days > 0, "empty date range");
+        let fs = cert_feature_set();
+        CertExtractor {
+            cube: FeatureCube::new(users, start, days as usize, 2, fs.len()),
+            semantics,
+            seen_hosts: vec![HashSet::new(); users],
+            seen_file: vec![HashSet::new(); users],
+            seen_http: vec![HashSet::new(); users],
+            today_hosts: vec![HashSet::new(); users],
+            today_file: vec![HashSet::new(); users],
+            today_http: vec![HashSet::new(); users],
+            next_date: start,
+        }
+    }
+
+    /// The feature catalog this extractor fills.
+    pub fn feature_set() -> FeatureSet {
+        cert_feature_set()
+    }
+
+    /// Processes one day of events (must be called in date order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order days, days outside the range, or events whose
+    /// user index exceeds the configured user count.
+    pub fn ingest_day(&mut self, date: Date, events: &[LogEvent]) {
+        assert_eq!(date, self.next_date, "days must be ingested in order");
+        assert!(self.cube.day_index(date).is_some(), "date outside extractor range");
+        self.next_date = date.add_days(1);
+
+        for event in events {
+            debug_assert_eq!(event.ts().date(), date, "event on wrong day");
+            let user = event.user().index();
+            assert!(user < self.cube.users(), "user index out of range");
+            let frame = event.ts().time_frame().index();
+            match event {
+                LogEvent::Device(e) => {
+                    if e.activity == acobe_logs::event::DeviceActivity::Connect {
+                        self.cube.add(user, date, frame, 0, 1.0);
+                        if !self.seen_hosts[user].contains(&e.host.0) {
+                            self.cube.add(user, date, frame, 1, 1.0);
+                            self.today_hosts[user].insert(e.host.0);
+                        }
+                    }
+                }
+                LogEvent::File(e) => {
+                    let tag = file_tag(e.activity, e.from, e.to);
+                    let feature = file_feature(tag);
+                    let pair = (tag, e.file.0);
+                    let is_new = !self.seen_file[user].contains(&pair);
+                    if is_new {
+                        self.cube.add(user, date, frame, 8, 1.0); // file.new-op
+                        self.today_file[user].insert(pair);
+                    }
+                    if let Some(f) = feature {
+                        if self.semantics == CountSemantics::Plain || is_new {
+                            self.cube.add(user, date, frame, f, 1.0);
+                        }
+                    }
+                }
+                LogEvent::Http(e) => {
+                    // Visits and downloads are not considered (paper V-A3).
+                    if e.activity == HttpActivity::Upload {
+                        if let Some(ft_idx) = upload_type_index(e.filetype) {
+                            let feature = 9 + ft_idx;
+                            let pair = (ft_idx as u8, e.domain.0);
+                            let is_new = !self.seen_http[user].contains(&pair);
+                            if is_new {
+                                self.cube.add(user, date, frame, 15, 1.0); // http.new-op
+                                self.today_http[user].insert(pair);
+                            }
+                            if self.semantics == CountSemantics::Plain || is_new {
+                                self.cube.add(user, date, frame, feature, 1.0);
+                            }
+                        }
+                    }
+                }
+                // Email / logon / enterprise events carry no CERT features.
+                _ => {}
+            }
+        }
+
+        // "Before day d" semantics: first-seen sets update only at day end.
+        for u in 0..self.cube.users() {
+            let hosts = std::mem::take(&mut self.today_hosts[u]);
+            self.seen_hosts[u].extend(hosts);
+            let files = std::mem::take(&mut self.today_file[u]);
+            self.seen_file[u].extend(files);
+            let https = std::mem::take(&mut self.today_http[u]);
+            self.seen_http[u].extend(https);
+        }
+    }
+
+    /// Completes extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not every day in the range was ingested.
+    pub fn finish(self) -> FeatureCube {
+        assert_eq!(
+            self.next_date,
+            self.cube.end(),
+            "not all days ingested (next expected: {})",
+            self.next_date
+        );
+        self.cube
+    }
+}
+
+fn file_tag(activity: FileActivity, from: Location, to: Location) -> FileTag {
+    match (activity, from, to) {
+        (FileActivity::Open, Location::Local, _) => FileTag::OpenLocal,
+        (FileActivity::Open, Location::Remote, _) => FileTag::OpenRemote,
+        (FileActivity::Write, _, Location::Local) => FileTag::WriteLocal,
+        (FileActivity::Write, _, Location::Remote) => FileTag::WriteRemote,
+        (FileActivity::Copy, Location::Local, Location::Remote) => FileTag::CopyLr,
+        (FileActivity::Copy, Location::Remote, Location::Local) => FileTag::CopyRl,
+        (FileActivity::Delete, _, _) => FileTag::Delete,
+        (FileActivity::Copy, _, _) => FileTag::Other,
+    }
+}
+
+fn file_feature(tag: FileTag) -> Option<usize> {
+    match tag {
+        FileTag::OpenLocal => Some(2),
+        FileTag::OpenRemote => Some(3),
+        FileTag::WriteLocal => Some(4),
+        FileTag::WriteRemote => Some(5),
+        FileTag::CopyLr => Some(6),
+        FileTag::CopyRl => Some(7),
+        FileTag::Delete | FileTag::Other => None,
+    }
+}
+
+fn upload_type_index(ft: FileType) -> Option<usize> {
+    FileType::upload_feature_order().iter().position(|&x| x == ft)
+}
+
+/// Extracts the CERT feature cube from a finalized [`LogStore`].
+pub fn extract_cert_features(
+    store: &LogStore,
+    users: usize,
+    start: Date,
+    end: Date,
+    semantics: CountSemantics,
+) -> FeatureCube {
+    let mut ex = CertExtractor::new(users, start, end, semantics);
+    for date in start.range_to(end) {
+        ex.ingest_day(date, store.day(date));
+    }
+    ex.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_logs::event::*;
+    use acobe_logs::ids::{DomainId, FileId, HostId, UserId};
+
+    fn day(n: u32) -> Date {
+        Date::from_ymd(2010, 1, n)
+    }
+
+    fn device(d: Date, hour: u32, user: u32, host: u32) -> LogEvent {
+        LogEvent::Device(DeviceEvent {
+            ts: d.at(hour, 0, 0),
+            user: UserId(user),
+            host: HostId(host),
+            activity: DeviceActivity::Connect,
+        })
+    }
+
+    fn upload(d: Date, hour: u32, user: u32, domain: u32, ft: FileType) -> LogEvent {
+        LogEvent::Http(HttpEvent {
+            ts: d.at(hour, 0, 0),
+            user: UserId(user),
+            domain: DomainId(domain),
+            activity: HttpActivity::Upload,
+            filetype: ft,
+            success: true,
+        })
+    }
+
+    fn file_op(d: Date, hour: u32, user: u32, file: u32) -> LogEvent {
+        LogEvent::File(FileEvent {
+            ts: d.at(hour, 0, 0),
+            user: UserId(user),
+            host: HostId(0),
+            file: FileId(file),
+            activity: FileActivity::Copy,
+            from: Location::Local,
+            to: Location::Remote,
+        })
+    }
+
+    #[test]
+    fn device_connection_and_new_host() {
+        let mut ex = CertExtractor::new(1, day(1), day(4), CountSemantics::Plain);
+        ex.ingest_day(day(1), &[device(day(1), 9, 0, 5), device(day(1), 10, 0, 5)]);
+        ex.ingest_day(day(2), &[device(day(2), 9, 0, 5), device(day(2), 21, 0, 6)]);
+        ex.ingest_day(day(3), &[]);
+        let cube = ex.finish();
+        // Day 1: two connections, both to host 5 which is new all day.
+        assert_eq!(cube.get(0, day(1), 0, 0), 2.0);
+        assert_eq!(cube.get(0, day(1), 0, 1), 2.0);
+        // Day 2 working: host 5 is now known.
+        assert_eq!(cube.get(0, day(2), 0, 0), 1.0);
+        assert_eq!(cube.get(0, day(2), 0, 1), 0.0);
+        // Day 2 off-hours: host 6 is new.
+        assert_eq!(cube.get(0, day(2), 1, 0), 1.0);
+        assert_eq!(cube.get(0, day(2), 1, 1), 1.0);
+    }
+
+    #[test]
+    fn http_upload_features_and_new_op() {
+        let mut ex = CertExtractor::new(1, day(1), day(3), CountSemantics::Plain);
+        ex.ingest_day(
+            day(1),
+            &[
+                upload(day(1), 9, 0, 100, FileType::Doc),
+                upload(day(1), 10, 0, 100, FileType::Doc),
+                upload(day(1), 11, 0, 101, FileType::Zip),
+            ],
+        );
+        ex.ingest_day(day(2), &[upload(day(2), 9, 0, 100, FileType::Doc)]);
+        let cube = ex.finish();
+        // Day 1: upload-doc = 2 (plain counts). new-op counts *operations* on
+        // pairs unseen before day d, so both (doc,100) uploads and the
+        // (zip,101) upload all count: 3.
+        assert_eq!(cube.get(0, day(1), 0, 9), 2.0);
+        assert_eq!(cube.get(0, day(1), 0, 14), 1.0); // zip
+        assert_eq!(cube.get(0, day(1), 0, 15), 3.0);
+        // Day 2: pair now known, no new-op.
+        assert_eq!(cube.get(0, day(2), 0, 9), 1.0);
+        assert_eq!(cube.get(0, day(2), 0, 15), 0.0);
+    }
+
+    #[test]
+    fn novel_only_semantics_suppresses_repeats() {
+        let mut ex = CertExtractor::new(1, day(1), day(3), CountSemantics::NovelOnly);
+        ex.ingest_day(
+            day(1),
+            &[
+                upload(day(1), 9, 0, 100, FileType::Doc),
+                upload(day(1), 10, 0, 100, FileType::Doc),
+            ],
+        );
+        ex.ingest_day(day(2), &[upload(day(2), 9, 0, 100, FileType::Doc)]);
+        let cube = ex.finish();
+        // Both day-1 uploads are on a pair unseen before day 1.
+        assert_eq!(cube.get(0, day(1), 0, 9), 2.0);
+        // Day 2: known pair, not counted at all.
+        assert_eq!(cube.get(0, day(2), 0, 9), 0.0);
+    }
+
+    #[test]
+    fn file_copy_features() {
+        let mut ex = CertExtractor::new(1, day(1), day(3), CountSemantics::Plain);
+        ex.ingest_day(day(1), &[file_op(day(1), 9, 0, 7), file_op(day(1), 10, 0, 7)]);
+        ex.ingest_day(day(2), &[file_op(day(2), 9, 0, 7)]);
+        let cube = ex.finish();
+        assert_eq!(cube.get(0, day(1), 0, 6), 2.0); // copy local->remote
+        assert_eq!(cube.get(0, day(1), 0, 8), 2.0); // both ops on a new pair
+        assert_eq!(cube.get(0, day(2), 0, 8), 0.0);
+    }
+
+    #[test]
+    fn visits_and_downloads_ignored() {
+        let mut ex = CertExtractor::new(1, day(1), day(2), CountSemantics::Plain);
+        let visit = LogEvent::Http(HttpEvent {
+            ts: day(1).at(9, 0, 0),
+            user: UserId(0),
+            domain: DomainId(5),
+            activity: HttpActivity::Visit,
+            filetype: FileType::Other,
+            success: true,
+        });
+        ex.ingest_day(day(1), &[visit]);
+        let cube = ex.finish();
+        assert_eq!(cube.total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all days ingested")]
+    fn finish_requires_all_days() {
+        let ex = CertExtractor::new(1, day(1), day(5), CountSemantics::Plain);
+        let _ = ex.finish();
+    }
+}
+
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+    use acobe_logs::event::{DeviceActivity, DeviceEvent, LogEvent};
+    use acobe_logs::ids::{HostId, UserId};
+
+    /// Early-morning off-hours events (00:00-06:00) land in the off frame of
+    /// the same civil day.
+    #[test]
+    fn early_morning_is_off_frame_of_same_day() {
+        let d = Date::from_ymd(2010, 4, 1);
+        let mut ex = CertExtractor::new(1, d, d.add_days(1), CountSemantics::Plain);
+        let event = LogEvent::Device(DeviceEvent {
+            ts: d.at(3, 0, 0),
+            user: UserId(0),
+            host: HostId(0),
+            activity: DeviceActivity::Connect,
+        });
+        ex.ingest_day(d, &[event]);
+        let cube = ex.finish();
+        assert_eq!(cube.get(0, d, 1, 0), 1.0); // off frame
+        assert_eq!(cube.get(0, d, 0, 0), 0.0);
+    }
+
+    /// Disconnects never count as connections.
+    #[test]
+    fn disconnects_not_counted() {
+        let d = Date::from_ymd(2010, 4, 1);
+        let mut ex = CertExtractor::new(1, d, d.add_days(1), CountSemantics::Plain);
+        let event = LogEvent::Device(DeviceEvent {
+            ts: d.at(10, 0, 0),
+            user: UserId(0),
+            host: HostId(0),
+            activity: DeviceActivity::Disconnect,
+        });
+        ex.ingest_day(d, &[event]);
+        assert_eq!(ex.finish().total(), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense per-(user, day, time-frame, feature) measurement storage.
+//!
+//! This is the `m_{f,t,d}` tensor of the paper (Section IV-A), per user:
+//! the raw numeric measurements that deviations are derived from.
+
+use acobe_logs::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// A dense 4-D array of measurements: `[user][day][frame][feature]`.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::counts::FeatureCube;
+/// use acobe_logs::time::Date;
+/// let mut cube = FeatureCube::new(2, Date::from_ymd(2010, 1, 1), 3, 2, 4);
+/// cube.add(1, Date::from_ymd(2010, 1, 2), 0, 3, 2.0);
+/// assert_eq!(cube.get(1, Date::from_ymd(2010, 1, 2), 0, 3), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureCube {
+    users: usize,
+    start: Date,
+    days: usize,
+    frames: usize,
+    features: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureCube {
+    /// Creates a zeroed cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(users: usize, start: Date, days: usize, frames: usize, features: usize) -> Self {
+        assert!(users > 0 && days > 0 && frames > 0 && features > 0, "empty cube dimension");
+        FeatureCube {
+            users,
+            start,
+            days,
+            frames,
+            features,
+            data: vec![0.0; users * days * frames * features],
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// First covered day.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Number of covered days.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// First day after coverage.
+    pub fn end(&self) -> Date {
+        self.start.add_days(self.days as i32)
+    }
+
+    /// Number of time frames per day.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Index of a date within the cube, if covered.
+    pub fn day_index(&self, date: Date) -> Option<usize> {
+        let idx = date.days_since(self.start);
+        if idx >= 0 && (idx as usize) < self.days {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn offset(&self, user: usize, day: usize, frame: usize, feature: usize) -> usize {
+        debug_assert!(user < self.users && day < self.days && frame < self.frames && feature < self.features);
+        ((user * self.days + day) * self.frames + frame) * self.features + feature
+    }
+
+    /// Reads one measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `date` is outside coverage or indices are out of bounds.
+    pub fn get(&self, user: usize, date: Date, frame: usize, feature: usize) -> f32 {
+        let day = self.day_index(date).expect("date outside cube");
+        self.data[self.offset(user, day, frame, feature)]
+    }
+
+    /// Reads one measurement by day index.
+    pub fn get_by_index(&self, user: usize, day: usize, frame: usize, feature: usize) -> f32 {
+        self.data[self.offset(user, day, frame, feature)]
+    }
+
+    /// Adds `value` to one measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `date` is outside coverage or indices are out of bounds.
+    pub fn add(&mut self, user: usize, date: Date, frame: usize, feature: usize, value: f32) {
+        let day = self.day_index(date).expect("date outside cube");
+        let off = self.offset(user, day, frame, feature);
+        self.data[off] += value;
+    }
+
+    /// Sets one measurement by day index.
+    pub fn set_by_index(&mut self, user: usize, day: usize, frame: usize, feature: usize, value: f32) {
+        let off = self.offset(user, day, frame, feature);
+        self.data[off] = value;
+    }
+
+    /// The time series of one `(user, frame, feature)` across all days.
+    pub fn series(&self, user: usize, frame: usize, feature: usize) -> Vec<f32> {
+        (0..self.days)
+            .map(|d| self.data[self.offset(user, d, frame, feature)])
+            .collect()
+    }
+
+    /// Mean of a feature over all users for one `(day, frame)` — the group
+    /// behavior (Section IV-A) over a set of member indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn group_mean(&self, members: &[usize], day: usize, frame: usize, feature: usize) -> f32 {
+        assert!(!members.is_empty(), "empty group");
+        let sum: f32 = members
+            .iter()
+            .map(|&u| self.data[self.offset(u, day, frame, feature)])
+            .sum();
+        sum / members.len() as f32
+    }
+
+    /// Total of all measurements (for sanity checks).
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> FeatureCube {
+        FeatureCube::new(3, Date::from_ymd(2010, 1, 1), 5, 2, 2)
+    }
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut c = cube();
+        let d = Date::from_ymd(2010, 1, 3);
+        c.add(2, d, 1, 0, 4.0);
+        c.add(2, d, 1, 0, 1.0);
+        assert_eq!(c.get(2, d, 1, 0), 5.0);
+        assert_eq!(c.get(2, d, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn day_index_bounds() {
+        let c = cube();
+        assert_eq!(c.day_index(Date::from_ymd(2010, 1, 1)), Some(0));
+        assert_eq!(c.day_index(Date::from_ymd(2010, 1, 5)), Some(4));
+        assert_eq!(c.day_index(Date::from_ymd(2010, 1, 6)), None);
+        assert_eq!(c.day_index(Date::from_ymd(2009, 12, 31)), None);
+        assert_eq!(c.end(), Date::from_ymd(2010, 1, 6));
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut c = cube();
+        for i in 0..5 {
+            c.set_by_index(1, i, 0, 1, i as f32);
+        }
+        assert_eq!(c.series(1, 0, 1), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn group_mean() {
+        let mut c = cube();
+        c.set_by_index(0, 2, 0, 0, 2.0);
+        c.set_by_index(1, 2, 0, 0, 4.0);
+        c.set_by_index(2, 2, 0, 0, 9.0);
+        assert_eq!(c.group_mean(&[0, 1], 2, 0, 0), 3.0);
+        assert_eq!(c.group_mean(&[0, 1, 2], 2, 0, 0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "date outside cube")]
+    fn out_of_range_date_panics() {
+        let c = cube();
+        let _ = c.get(0, Date::from_ymd(2011, 1, 1), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cube dimension")]
+    fn zero_dimension_rejected() {
+        let _ = FeatureCube::new(0, Date::from_ymd(2010, 1, 1), 1, 1, 1);
+    }
+}

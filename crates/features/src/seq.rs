@@ -1,0 +1,274 @@
+//! Event-sequence anomaly features (paper Section VI-B1).
+//!
+//! For the *predictable* behavioral aspects the paper notes that "when
+//! dependency or causality exists among consecutive events, we may predict
+//! upcoming events based on a sequence of events" and points to DeepLog-style
+//! models. This module provides the classical, dependency-free equivalent: a
+//! per-user first-order Markov model over discrete event types, scored by
+//! DeepLog's criterion — an event is anomalous when it is not among the
+//! top-k most probable successors of its predecessor.
+//!
+//! The per-day anomalous-transition counts can be appended to the feature
+//! cube as additional "predictable aspect" features.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A first-order Markov model over `u32` event symbols.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::seq::MarkovModel;
+/// let mut m = MarkovModel::new();
+/// m.train(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+/// // After 1 comes 2 — always.
+/// assert!(m.is_expected(1, 2, 1));
+/// assert!(!m.is_expected(1, 3, 1));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MarkovModel {
+    transitions: HashMap<u32, HashMap<u32, u32>>,
+    total_transitions: u64,
+}
+
+impl MarkovModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates transition counts from one event sequence.
+    pub fn train(&mut self, sequence: &[u32]) {
+        for pair in sequence.windows(2) {
+            *self
+                .transitions
+                .entry(pair[0])
+                .or_default()
+                .entry(pair[1])
+                .or_insert(0) += 1;
+        }
+        self.total_transitions += sequence.len().saturating_sub(1) as u64;
+    }
+
+    /// Number of transitions observed during training.
+    pub fn total_transitions(&self) -> u64 {
+        self.total_transitions
+    }
+
+    /// Probability of `next` following `prev` (0 for unseen states).
+    pub fn probability(&self, prev: u32, next: u32) -> f64 {
+        let Some(successors) = self.transitions.get(&prev) else {
+            return 0.0;
+        };
+        let total: u32 = successors.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *successors.get(&next).unwrap_or(&0) as f64 / total as f64
+    }
+
+    /// The up-to-`k` most probable successors of `prev`, most probable first.
+    pub fn top_k(&self, prev: u32, k: usize) -> Vec<u32> {
+        let Some(successors) = self.transitions.get(&prev) else {
+            return Vec::new();
+        };
+        let mut pairs: Vec<(u32, u32)> = successors.iter().map(|(&s, &c)| (s, c)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.into_iter().take(k).map(|(s, _)| s).collect()
+    }
+
+    /// DeepLog's criterion: is `next` among the top-`k` successors of `prev`?
+    ///
+    /// An unseen `prev` state makes every successor unexpected.
+    pub fn is_expected(&self, prev: u32, next: u32, k: usize) -> bool {
+        self.top_k(prev, k).contains(&next)
+    }
+
+    /// Scores a sequence: the number of transitions whose successor is not
+    /// in the predecessor's top-`k`, and the total transition count.
+    pub fn score_sequence(&self, sequence: &[u32], k: usize) -> SequenceScore {
+        let mut anomalous = 0usize;
+        let mut total = 0usize;
+        for pair in sequence.windows(2) {
+            total += 1;
+            if !self.is_expected(pair[0], pair[1], k) {
+                anomalous += 1;
+            }
+        }
+        SequenceScore { anomalous, total }
+    }
+}
+
+/// Result of scoring one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceScore {
+    /// Transitions outside the model's top-k expectations.
+    pub anomalous: usize,
+    /// Total transitions scored.
+    pub total: usize,
+}
+
+impl SequenceScore {
+    /// Fraction of anomalous transitions (0 for empty sequences).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.anomalous as f64 / self.total as f64
+        }
+    }
+}
+
+/// Per-user sequence models over a population, trained and scored day by day.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SequenceProfiler {
+    models: Vec<MarkovModel>,
+    top_k: usize,
+}
+
+impl SequenceProfiler {
+    /// Creates profilers for `users` users with DeepLog parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(users: usize, top_k: usize) -> Self {
+        assert!(top_k > 0, "top_k must be positive");
+        SequenceProfiler { models: vec![MarkovModel::new(); users], top_k }
+    }
+
+    /// Trains user `u` on one day's event-type sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn train_day(&mut self, user: usize, sequence: &[u32]) {
+        self.models[user].train(sequence);
+    }
+
+    /// Scores user `u`'s day against their own history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn score_day(&self, user: usize, sequence: &[u32]) -> SequenceScore {
+        self.models[user].score_sequence(sequence, self.top_k)
+    }
+
+    /// Access a user's model.
+    pub fn model(&self, user: usize) -> &MarkovModel {
+        &self.models[user]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_deterministic_cycle() {
+        let mut m = MarkovModel::new();
+        m.train(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1]);
+        assert_eq!(m.probability(1, 2), 1.0);
+        assert_eq!(m.probability(2, 3), 1.0);
+        assert_eq!(m.probability(1, 3), 0.0);
+        assert_eq!(m.top_k(1, 2), vec![2]);
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency() {
+        let mut m = MarkovModel::new();
+        m.train(&[0, 1, 0, 1, 0, 1, 0, 2, 0, 3]);
+        // After 0: 1 (3x), 2 (1x), 3 (1x).
+        assert_eq!(m.top_k(0, 1), vec![1]);
+        assert_eq!(m.top_k(0, 2), vec![1, 2]); // tie broken by symbol
+        assert!(m.is_expected(0, 1, 1));
+        assert!(!m.is_expected(0, 3, 2));
+    }
+
+    #[test]
+    fn normal_replay_scores_clean() {
+        let mut m = MarkovModel::new();
+        let habitual = [5u32, 6, 7, 5, 6, 7, 5, 6, 7, 5, 6, 7];
+        m.train(&habitual);
+        let score = m.score_sequence(&habitual, 2);
+        assert_eq!(score.anomalous, 0);
+        assert_eq!(score.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn malware_sequence_scores_dirty() {
+        let mut m = MarkovModel::new();
+        for _ in 0..10 {
+            m.train(&[5, 6, 7, 5, 6, 7]);
+        }
+        // Zeus-like: unseen process-creation / registry pattern.
+        let attack = [5u32, 99, 98, 97, 99, 98];
+        let score = m.score_sequence(&attack, 2);
+        assert!(score.miss_rate() > 0.8, "{score:?}");
+    }
+
+    #[test]
+    fn unseen_state_is_unexpected() {
+        let m = MarkovModel::new();
+        assert!(!m.is_expected(1, 2, 3));
+        assert_eq!(m.probability(1, 2), 0.0);
+        assert!(m.top_k(1, 5).is_empty());
+    }
+
+    #[test]
+    fn profiler_is_per_user() {
+        let mut p = SequenceProfiler::new(2, 1);
+        p.train_day(0, &[1, 2, 1, 2, 1, 2]);
+        p.train_day(1, &[3, 4, 3, 4, 3, 4]);
+        // User 0's habits are anomalous for user 1.
+        assert_eq!(p.score_day(0, &[1, 2, 1, 2]).anomalous, 0);
+        assert!(p.score_day(1, &[1, 2, 1, 2]).anomalous > 0);
+        assert_eq!(p.model(0).total_transitions(), 5);
+    }
+
+    #[test]
+    fn empty_sequences_are_neutral() {
+        let mut m = MarkovModel::new();
+        m.train(&[]);
+        m.train(&[7]);
+        assert_eq!(m.total_transitions(), 0);
+        assert_eq!(m.score_sequence(&[], 3).miss_rate(), 0.0);
+        assert_eq!(m.score_sequence(&[7], 3).total, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Miss rate is in [0, 1] and a trained sequence replayed against
+        /// itself with a generous k is never fully anomalous.
+        #[test]
+        fn miss_rate_bounds(seq in prop::collection::vec(0u32..8, 2..60)) {
+            let mut m = MarkovModel::new();
+            m.train(&seq);
+            let score = m.score_sequence(&seq, 8);
+            prop_assert!(score.total == seq.len() - 1);
+            prop_assert!((0.0..=1.0).contains(&score.miss_rate()));
+            // With k >= alphabet size, every trained transition is expected.
+            prop_assert_eq!(score.anomalous, 0);
+        }
+
+        /// Probabilities over successors of any state sum to ~1.
+        #[test]
+        fn successor_probabilities_normalize(seq in prop::collection::vec(0u32..6, 2..60)) {
+            let mut m = MarkovModel::new();
+            m.train(&seq);
+            for prev in 0u32..6 {
+                let total: f64 = (0u32..6).map(|next| m.probability(prev, next)).sum();
+                prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Feature and behavioral-aspect catalogs.
+//!
+//! A *behavioral aspect* is "a set of relevant behavioral features" (paper
+//! Section IV-B); the ensemble trains one autoencoder per aspect.
+
+use serde::{Deserialize, Serialize};
+
+/// One named behavioral aspect: a contiguous-or-not set of feature indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AspectSpec {
+    /// Aspect name (e.g. `device-access`).
+    pub name: String,
+    /// Indices into the feature catalog.
+    pub features: Vec<usize>,
+}
+
+/// A complete feature catalog with its aspect partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// Feature names, index-aligned with the extractor's cube.
+    pub names: Vec<String>,
+    /// Aspect partition (aspects may overlap in principle; ours do not).
+    pub aspects: Vec<AspectSpec>,
+}
+
+impl FeatureSet {
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the catalog has no features.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up an aspect by name.
+    pub fn aspect(&self, name: &str) -> Option<&AspectSpec> {
+        self.aspects.iter().find(|a| a.name == name)
+    }
+
+    /// A single aspect covering every feature — the paper's "All-in-1"
+    /// ablation (Section V-B3).
+    pub fn all_in_one(&self) -> FeatureSet {
+        FeatureSet {
+            names: self.names.clone(),
+            aspects: vec![AspectSpec {
+                name: "all".to_string(),
+                features: (0..self.names.len()).collect(),
+            }],
+        }
+    }
+}
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+/// The evaluation feature catalog (paper Section V-A3): 16 features in three
+/// aspects over CERT-style logs.
+///
+/// Feature indices:
+/// `0` device.connection, `1` device.new-host-connection,
+/// `2..8` file open/write/copy direction features, `8` file.new-op,
+/// `9..15` http upload-{doc,exe,jpg,pdf,txt,zip}, `15` http.new-op.
+pub fn cert_feature_set() -> FeatureSet {
+    FeatureSet {
+        names: strings(&[
+            "device.connection",
+            "device.new-host-connection",
+            "file.open-from-local",
+            "file.open-from-remote",
+            "file.write-to-local",
+            "file.write-to-remote",
+            "file.copy-local-to-remote",
+            "file.copy-remote-to-local",
+            "file.new-op",
+            "http.upload-doc",
+            "http.upload-exe",
+            "http.upload-jpg",
+            "http.upload-pdf",
+            "http.upload-txt",
+            "http.upload-zip",
+            "http.new-op",
+        ]),
+        aspects: vec![
+            AspectSpec { name: "device-access".into(), features: vec![0, 1] },
+            AspectSpec { name: "file-access".into(), features: (2..9).collect() },
+            AspectSpec { name: "http-access".into(), features: (9..16).collect() },
+        ],
+    }
+}
+
+/// The Baseline (Liu et al. 2018) catalog: coarse unweighted activity counts
+/// in four aspects (device, file, HTTP, logon), measured over 24 hourly
+/// time frames (paper Section V-C).
+pub fn baseline_feature_set() -> FeatureSet {
+    FeatureSet {
+        names: strings(&[
+            "device.connect",
+            "device.disconnect",
+            "file.open",
+            "file.write",
+            "file.copy",
+            "file.delete",
+            "http.visit",
+            "http.download",
+            "http.upload",
+            "logon.logon",
+            "logon.logoff",
+        ]),
+        aspects: vec![
+            AspectSpec { name: "device".into(), features: vec![0, 1] },
+            AspectSpec { name: "file".into(), features: (2..6).collect() },
+            AspectSpec { name: "http".into(), features: (6..9).collect() },
+            AspectSpec { name: "logon".into(), features: (9..11).collect() },
+        ],
+    }
+}
+
+/// The enterprise case-study catalog (paper Section VI-B): four predictable
+/// aspects (File / Command / Config / Resource, three features each) plus the
+/// statistical HTTP and Logon aspects.
+pub fn enterprise_feature_set() -> FeatureSet {
+    FeatureSet {
+        names: strings(&[
+            "file.events",
+            "file.unique",
+            "file.new",
+            "command.events",
+            "command.unique",
+            "command.new",
+            "config.events",
+            "config.unique",
+            "config.new",
+            "resource.events",
+            "resource.unique",
+            "resource.new",
+            "http.success",
+            "http.success-new-domain",
+            "http.failure",
+            "http.failure-new-domain",
+            "logon.success",
+            "logon.failure",
+            "logon.new-host",
+            "logon.distinct-hosts",
+        ]),
+        aspects: vec![
+            AspectSpec { name: "file".into(), features: vec![0, 1, 2] },
+            AspectSpec { name: "command".into(), features: vec![3, 4, 5] },
+            AspectSpec { name: "config".into(), features: vec![6, 7, 8] },
+            AspectSpec { name: "resource".into(), features: vec![9, 10, 11] },
+            AspectSpec { name: "http".into(), features: vec![12, 13, 14, 15] },
+            AspectSpec { name: "logon".into(), features: vec![16, 17, 18, 19] },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cert_set_shape() {
+        let fs = cert_feature_set();
+        assert_eq!(fs.len(), 16);
+        assert_eq!(fs.aspects.len(), 3);
+        assert_eq!(fs.aspect("device-access").unwrap().features, vec![0, 1]);
+        assert_eq!(fs.aspect("file-access").unwrap().features.len(), 7);
+        assert_eq!(fs.aspect("http-access").unwrap().features.len(), 7);
+    }
+
+    #[test]
+    fn aspects_partition_cert_features() {
+        let fs = cert_feature_set();
+        let mut covered = vec![false; fs.len()];
+        for a in &fs.aspects {
+            for &f in &a.features {
+                assert!(!covered[f], "feature {f} in two aspects");
+                covered[f] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn all_in_one_merges() {
+        let fs = cert_feature_set().all_in_one();
+        assert_eq!(fs.aspects.len(), 1);
+        assert_eq!(fs.aspects[0].features.len(), 16);
+    }
+
+    #[test]
+    fn baseline_set_shape() {
+        let fs = baseline_feature_set();
+        assert_eq!(fs.len(), 11);
+        assert_eq!(fs.aspects.len(), 4);
+        assert!(fs.aspect("logon").is_some());
+    }
+
+    #[test]
+    fn enterprise_set_shape() {
+        let fs = enterprise_feature_set();
+        assert_eq!(fs.len(), 20);
+        assert_eq!(fs.aspects.len(), 6);
+        assert_eq!(fs.aspect("http").unwrap().features.len(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Organizational work calendar: weekends, holidays, make-up days.
+//!
+//! The paper's motivation (Section III) leans on calendar effects — "working
+//! Mondays after holidays" cause organization-wide bursts that single-day
+//! models misreport. The synthesizer uses this calendar to drive those bursts,
+//! so the calendar is part of the log substrate.
+
+use crate::time::{Date, Weekday};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A work calendar over a date range.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::calendar::Calendar;
+/// use acobe_logs::time::Date;
+/// let cal = Calendar::us_style(2010..=2011);
+/// assert!(cal.is_holiday(Date::from_ymd(2010, 12, 25)).is_some() || !cal.is_workday(Date::from_ymd(2010, 12, 25)));
+/// assert!(cal.is_workday(Date::from_ymd(2010, 3, 2))); // an ordinary Tuesday
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Calendar {
+    holidays: BTreeSet<Date>,
+}
+
+impl Calendar {
+    /// An empty calendar (weekends only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A calendar pre-populated with US-federal-style holidays for each year
+    /// in `years`.
+    pub fn us_style(years: std::ops::RangeInclusive<i32>) -> Self {
+        let mut cal = Calendar::new();
+        for year in years {
+            for d in us_holidays(year) {
+                cal.add_holiday(d);
+            }
+        }
+        cal
+    }
+
+    /// Marks `date` as a holiday.
+    pub fn add_holiday(&mut self, date: Date) {
+        self.holidays.insert(date);
+    }
+
+    /// Returns `Some(date)` when the date is an explicit holiday.
+    pub fn is_holiday(&self, date: Date) -> Option<Date> {
+        self.holidays.get(&date).copied()
+    }
+
+    /// A workday is a non-weekend, non-holiday date.
+    pub fn is_workday(&self, date: Date) -> bool {
+        !date.weekday().is_weekend() && !self.holidays.contains(&date)
+    }
+
+    /// True when `date` is the first workday after at least `gap + 1`
+    /// consecutive non-workdays — the paper's "busy Monday / make-up day".
+    ///
+    /// `gap = 1` matches an ordinary Monday after a weekend; `gap = 2`
+    /// requires a long weekend (e.g. holiday Monday pushed work to Tuesday).
+    pub fn is_return_day(&self, date: Date, gap: u32) -> bool {
+        if !self.is_workday(date) {
+            return false;
+        }
+        let mut run = 0u32;
+        let mut d = date.add_days(-1);
+        while !self.is_workday(d) {
+            run += 1;
+            d = d.add_days(-1);
+            if run > 30 {
+                break;
+            }
+        }
+        run > gap
+    }
+
+    /// Number of consecutive non-workdays immediately before `date`.
+    pub fn preceding_break_len(&self, date: Date) -> u32 {
+        let mut run = 0u32;
+        let mut d = date.add_days(-1);
+        while !self.is_workday(d) && run <= 30 {
+            run += 1;
+            d = d.add_days(-1);
+        }
+        run
+    }
+
+    /// Iterates all holidays.
+    pub fn holidays(&self) -> impl Iterator<Item = Date> + '_ {
+        self.holidays.iter().copied()
+    }
+}
+
+fn nth_weekday(year: i32, month: u32, weekday: Weekday, n: u32) -> Date {
+    let first = Date::from_ymd(year, month, 1);
+    let offset = (weekday.index() + 7 - first.weekday().index()) % 7;
+    first.add_days((offset + (n - 1) * 7) as i32)
+}
+
+fn last_weekday(year: i32, month: u32, weekday: Weekday) -> Date {
+    let last = Date::from_ymd(year, month, crate::time::days_in_month(year, month));
+    let offset = (last.weekday().index() + 7 - weekday.index()) % 7;
+    last.add_days(-(offset as i32))
+}
+
+fn observed(date: Date) -> Date {
+    match date.weekday() {
+        Weekday::Saturday => date.add_days(-1),
+        Weekday::Sunday => date.add_days(1),
+        _ => date,
+    }
+}
+
+fn us_holidays(year: i32) -> Vec<Date> {
+    vec![
+        observed(Date::from_ymd(year, 1, 1)),
+        nth_weekday(year, 1, Weekday::Monday, 3),
+        nth_weekday(year, 2, Weekday::Monday, 3),
+        last_weekday(year, 5, Weekday::Monday),
+        observed(Date::from_ymd(year, 7, 4)),
+        nth_weekday(year, 9, Weekday::Monday, 1),
+        nth_weekday(year, 11, Weekday::Thursday, 4),
+        nth_weekday(year, 11, Weekday::Thursday, 4).add_days(1),
+        observed(Date::from_ymd(year, 12, 25)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_2010_holidays() {
+        let cal = Calendar::us_style(2010..=2010);
+        // 2010: New Year's Day was a Friday.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 1, 1)).is_some());
+        // MLK day 2010 was Jan 18.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 1, 18)).is_some());
+        // Memorial day 2010 was May 31.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 5, 31)).is_some());
+        // July 4, 2010 was a Sunday -> observed July 5.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 7, 5)).is_some());
+        // Thanksgiving 2010 was Nov 25; day after also off.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 11, 25)).is_some());
+        assert!(cal.is_holiday(Date::from_ymd(2010, 11, 26)).is_some());
+        // Christmas 2010 was a Saturday -> observed Dec 24.
+        assert!(cal.is_holiday(Date::from_ymd(2010, 12, 24)).is_some());
+    }
+
+    #[test]
+    fn workday_classification() {
+        let cal = Calendar::us_style(2010..=2010);
+        assert!(cal.is_workday(Date::from_ymd(2010, 3, 2)));
+        assert!(!cal.is_workday(Date::from_ymd(2010, 3, 6))); // Saturday
+        assert!(!cal.is_workday(Date::from_ymd(2010, 1, 18))); // MLK
+    }
+
+    #[test]
+    fn return_days() {
+        let cal = Calendar::us_style(2010..=2010);
+        // Monday 2010-03-08 follows an ordinary weekend: a return day at gap=1
+        // but not at gap=2.
+        let monday = Date::from_ymd(2010, 3, 8);
+        assert!(cal.is_return_day(monday, 1));
+        assert!(!cal.is_return_day(monday, 2));
+        // Tuesday 2010-01-19 follows MLK Monday + weekend: 3 days off.
+        let tuesday = Date::from_ymd(2010, 1, 19);
+        assert!(cal.is_return_day(tuesday, 2));
+        assert_eq!(cal.preceding_break_len(tuesday), 3);
+        // A mid-week day is not a return day.
+        assert!(!cal.is_return_day(Date::from_ymd(2010, 3, 10), 1));
+    }
+
+    #[test]
+    fn empty_calendar_weekends_only() {
+        let cal = Calendar::new();
+        assert!(cal.is_workday(Date::from_ymd(2010, 12, 24)));
+        assert!(!cal.is_workday(Date::from_ymd(2010, 12, 25))); // Saturday
+        assert_eq!(cal.holidays().count(), 0);
+    }
+}

@@ -1,0 +1,628 @@
+//! Minimal CSV codec for CERT-style log files.
+//!
+//! The CERT dataset ships as CSV files (`device.csv`, `file.csv`, …). This
+//! module provides a small, dependency-free reader/writer pair with RFC-4180
+//! quoting, plus [`ToCsv`]/[`FromCsv`] implementations for every event type so
+//! synthesized datasets can be exported and re-imported losslessly.
+
+use crate::event::*;
+use crate::ids::{DomainId, FileId, HostId, UserId};
+use crate::time::{Date, Timestamp};
+use std::fmt;
+
+/// Error produced when a CSV line cannot be decoded into an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl ParseCsvError {
+    fn new(reason: impl Into<String>) -> Self {
+        ParseCsvError { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid csv record: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Writes one CSV record (no trailing newline), quoting fields that need it.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::csv::write_record;
+/// assert_eq!(write_record(&["a", "b,c", "d\"e"]), "a,\"b,c\",\"d\"\"e\"");
+/// ```
+pub fn write_record(fields: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            out.push('"');
+            for ch in f.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out
+}
+
+/// Splits one CSV record into fields, honoring RFC-4180 quoting.
+///
+/// # Errors
+///
+/// Returns an error for an unterminated quoted field.
+pub fn parse_record(line: &str) -> Result<Vec<String>, ParseCsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err(ParseCsvError::new("unterminated quoted field"));
+                }
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(ch) => cur.push(ch),
+        }
+    }
+}
+
+fn fmt_ts(ts: Timestamp) -> String {
+    ts.to_string()
+}
+
+fn parse_ts(s: &str) -> Result<Timestamp, ParseCsvError> {
+    let (date_part, time_part) = s
+        .split_once(' ')
+        .ok_or_else(|| ParseCsvError::new(format!("bad timestamp: {s}")))?;
+    let date = Date::parse(date_part)
+        .map_err(|_| ParseCsvError::new(format!("bad date: {date_part}")))?;
+    let mut it = time_part.splitn(3, ':');
+    let h: u32 = it
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| ParseCsvError::new("bad hour"))?;
+    let m: u32 = it
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| ParseCsvError::new("bad minute"))?;
+    let sec: u32 = it
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| ParseCsvError::new("bad second"))?;
+    if h >= 24 || m >= 60 || sec >= 60 {
+        return Err(ParseCsvError::new(format!("bad wall clock: {time_part}")));
+    }
+    Ok(date.at(h, m, sec))
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, ParseCsvError> {
+    s.parse()
+        .map_err(|_| ParseCsvError::new(format!("bad {what}: {s}")))
+}
+
+/// Types that can be encoded as one CSV record.
+pub trait ToCsv {
+    /// Encodes to a CSV line without a trailing newline.
+    fn to_csv(&self) -> String;
+}
+
+/// Types that can be decoded from one CSV record.
+pub trait FromCsv: Sized {
+    /// Decodes from a CSV line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] when the record is malformed.
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError>;
+}
+
+impl ToCsv for DeviceEvent {
+    fn to_csv(&self) -> String {
+        let act = match self.activity {
+            DeviceActivity::Connect => "Connect",
+            DeviceActivity::Disconnect => "Disconnect",
+        };
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.host.0.to_string(),
+            act,
+        ])
+    }
+}
+
+impl FromCsv for DeviceEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 4 {
+            return Err(ParseCsvError::new("device record needs 4 fields"));
+        }
+        let activity = match f[3].as_str() {
+            "Connect" => DeviceActivity::Connect,
+            "Disconnect" => DeviceActivity::Disconnect,
+            other => return Err(ParseCsvError::new(format!("bad device activity: {other}"))),
+        };
+        Ok(DeviceEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            host: HostId(parse_u32(&f[2], "host")?),
+            activity,
+        })
+    }
+}
+
+fn loc_str(l: Location) -> &'static str {
+    match l {
+        Location::Local => "Local",
+        Location::Remote => "Remote",
+    }
+}
+
+fn parse_loc(s: &str) -> Result<Location, ParseCsvError> {
+    match s {
+        "Local" => Ok(Location::Local),
+        "Remote" => Ok(Location::Remote),
+        other => Err(ParseCsvError::new(format!("bad location: {other}"))),
+    }
+}
+
+impl ToCsv for FileEvent {
+    fn to_csv(&self) -> String {
+        let act = match self.activity {
+            FileActivity::Open => "Open",
+            FileActivity::Write => "Write",
+            FileActivity::Copy => "Copy",
+            FileActivity::Delete => "Delete",
+        };
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.host.0.to_string(),
+            &self.file.0.to_string(),
+            act,
+            loc_str(self.from),
+            loc_str(self.to),
+        ])
+    }
+}
+
+impl FromCsv for FileEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 7 {
+            return Err(ParseCsvError::new("file record needs 7 fields"));
+        }
+        let activity = match f[4].as_str() {
+            "Open" => FileActivity::Open,
+            "Write" => FileActivity::Write,
+            "Copy" => FileActivity::Copy,
+            "Delete" => FileActivity::Delete,
+            other => return Err(ParseCsvError::new(format!("bad file activity: {other}"))),
+        };
+        Ok(FileEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            host: HostId(parse_u32(&f[2], "host")?),
+            file: FileId(parse_u32(&f[3], "file")?),
+            activity,
+            from: parse_loc(&f[5])?,
+            to: parse_loc(&f[6])?,
+        })
+    }
+}
+
+fn filetype_str(ft: FileType) -> &'static str {
+    match ft {
+        FileType::Doc => "doc",
+        FileType::Exe => "exe",
+        FileType::Jpg => "jpg",
+        FileType::Pdf => "pdf",
+        FileType::Txt => "txt",
+        FileType::Zip => "zip",
+        FileType::Other => "other",
+    }
+}
+
+fn parse_filetype(s: &str) -> Result<FileType, ParseCsvError> {
+    Ok(match s {
+        "doc" => FileType::Doc,
+        "exe" => FileType::Exe,
+        "jpg" => FileType::Jpg,
+        "pdf" => FileType::Pdf,
+        "txt" => FileType::Txt,
+        "zip" => FileType::Zip,
+        "other" => FileType::Other,
+        other => return Err(ParseCsvError::new(format!("bad filetype: {other}"))),
+    })
+}
+
+impl ToCsv for HttpEvent {
+    fn to_csv(&self) -> String {
+        let act = match self.activity {
+            HttpActivity::Visit => "Visit",
+            HttpActivity::Download => "Download",
+            HttpActivity::Upload => "Upload",
+        };
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.domain.0.to_string(),
+            act,
+            filetype_str(self.filetype),
+            if self.success { "1" } else { "0" },
+        ])
+    }
+}
+
+impl FromCsv for HttpEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 6 {
+            return Err(ParseCsvError::new("http record needs 6 fields"));
+        }
+        let activity = match f[3].as_str() {
+            "Visit" => HttpActivity::Visit,
+            "Download" => HttpActivity::Download,
+            "Upload" => HttpActivity::Upload,
+            other => return Err(ParseCsvError::new(format!("bad http activity: {other}"))),
+        };
+        Ok(HttpEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            domain: DomainId(parse_u32(&f[2], "domain")?),
+            activity,
+            filetype: parse_filetype(&f[4])?,
+            success: f[5] == "1",
+        })
+    }
+}
+
+impl ToCsv for EmailEvent {
+    fn to_csv(&self) -> String {
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.recipients.to_string(),
+            &self.size.to_string(),
+            if self.attachment { "1" } else { "0" },
+        ])
+    }
+}
+
+impl FromCsv for EmailEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 5 {
+            return Err(ParseCsvError::new("email record needs 5 fields"));
+        }
+        Ok(EmailEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            recipients: parse_u32(&f[2], "recipients")?,
+            size: parse_u32(&f[3], "size")?,
+            attachment: f[4] == "1",
+        })
+    }
+}
+
+impl ToCsv for LogonEvent {
+    fn to_csv(&self) -> String {
+        let act = match self.activity {
+            LogonActivity::Logon => "Logon",
+            LogonActivity::Logoff => "Logoff",
+        };
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.host.0.to_string(),
+            act,
+            if self.success { "1" } else { "0" },
+        ])
+    }
+}
+
+impl FromCsv for LogonEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 5 {
+            return Err(ParseCsvError::new("logon record needs 5 fields"));
+        }
+        let activity = match f[3].as_str() {
+            "Logon" => LogonActivity::Logon,
+            "Logoff" => LogonActivity::Logoff,
+            other => return Err(ParseCsvError::new(format!("bad logon activity: {other}"))),
+        };
+        Ok(LogonEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            host: HostId(parse_u32(&f[2], "host")?),
+            activity,
+            success: f[4] == "1",
+        })
+    }
+}
+
+impl ToCsv for WindowsEvent {
+    fn to_csv(&self) -> String {
+        let chan = match self.channel {
+            WinChannel::Security => "Security",
+            WinChannel::Sysmon => "Sysmon",
+            WinChannel::PowerShell => "PowerShell",
+            WinChannel::System => "System",
+        };
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            chan,
+            &self.event_id.to_string(),
+            &self.object.to_string(),
+        ])
+    }
+}
+
+impl FromCsv for WindowsEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 5 {
+            return Err(ParseCsvError::new("windows record needs 5 fields"));
+        }
+        let channel = match f[2].as_str() {
+            "Security" => WinChannel::Security,
+            "Sysmon" => WinChannel::Sysmon,
+            "PowerShell" => WinChannel::PowerShell,
+            "System" => WinChannel::System,
+            other => return Err(ParseCsvError::new(format!("bad channel: {other}"))),
+        };
+        Ok(WindowsEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            channel,
+            event_id: f[3]
+                .parse()
+                .map_err(|_| ParseCsvError::new(format!("bad event id: {}", f[3])))?,
+            object: f[4]
+                .parse()
+                .map_err(|_| ParseCsvError::new(format!("bad object: {}", f[4])))?,
+        })
+    }
+}
+
+impl ToCsv for ProxyEvent {
+    fn to_csv(&self) -> String {
+        write_record(&[
+            &fmt_ts(self.ts),
+            &self.user.0.to_string(),
+            &self.domain.0.to_string(),
+            if self.success { "1" } else { "0" },
+        ])
+    }
+}
+
+impl FromCsv for ProxyEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let f = parse_record(line)?;
+        if f.len() != 4 {
+            return Err(ParseCsvError::new("proxy record needs 4 fields"));
+        }
+        Ok(ProxyEvent {
+            ts: parse_ts(&f[0])?,
+            user: UserId(parse_u32(&f[1], "user")?),
+            domain: DomainId(parse_u32(&f[2], "domain")?),
+            success: f[3] == "1",
+        })
+    }
+}
+
+impl ToCsv for LogEvent {
+    fn to_csv(&self) -> String {
+        let (tag, body) = match self {
+            LogEvent::Device(e) => ("device", e.to_csv()),
+            LogEvent::File(e) => ("file", e.to_csv()),
+            LogEvent::Http(e) => ("http", e.to_csv()),
+            LogEvent::Email(e) => ("email", e.to_csv()),
+            LogEvent::Logon(e) => ("logon", e.to_csv()),
+            LogEvent::Windows(e) => ("windows", e.to_csv()),
+            LogEvent::Proxy(e) => ("proxy", e.to_csv()),
+        };
+        format!("{tag},{body}")
+    }
+}
+
+impl FromCsv for LogEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        let (tag, rest) = line
+            .split_once(',')
+            .ok_or_else(|| ParseCsvError::new("missing category tag"))?;
+        Ok(match tag {
+            "device" => LogEvent::Device(DeviceEvent::from_csv(rest)?),
+            "file" => LogEvent::File(FileEvent::from_csv(rest)?),
+            "http" => LogEvent::Http(HttpEvent::from_csv(rest)?),
+            "email" => LogEvent::Email(EmailEvent::from_csv(rest)?),
+            "logon" => LogEvent::Logon(LogonEvent::from_csv(rest)?),
+            "windows" => LogEvent::Windows(WindowsEvent::from_csv(rest)?),
+            "proxy" => LogEvent::Proxy(ProxyEvent::from_csv(rest)?),
+            other => return Err(ParseCsvError::new(format!("unknown category: {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Date;
+
+    fn ts() -> Timestamp {
+        Date::from_ymd(2010, 7, 9).at(13, 5, 59)
+    }
+
+    #[test]
+    fn record_quoting_roundtrip() {
+        let fields = ["plain", "with,comma", "with\"quote", "with\nnewline", ""];
+        let line = write_record(&fields);
+        let parsed = parse_record(&line).unwrap();
+        assert_eq!(parsed, fields);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_record("\"oops").is_err());
+    }
+
+    #[test]
+    fn device_roundtrip() {
+        let e = DeviceEvent {
+            ts: ts(),
+            user: UserId(3),
+            host: HostId(8),
+            activity: DeviceActivity::Connect,
+        };
+        assert_eq!(DeviceEvent::from_csv(&e.to_csv()).unwrap(), e);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let e = FileEvent {
+            ts: ts(),
+            user: UserId(3),
+            host: HostId(8),
+            file: FileId(123),
+            activity: FileActivity::Copy,
+            from: Location::Remote,
+            to: Location::Local,
+        };
+        assert_eq!(FileEvent::from_csv(&e.to_csv()).unwrap(), e);
+    }
+
+    #[test]
+    fn http_roundtrip() {
+        let e = HttpEvent {
+            ts: ts(),
+            user: UserId(1),
+            domain: DomainId(55),
+            activity: HttpActivity::Upload,
+            filetype: FileType::Doc,
+            success: true,
+        };
+        assert_eq!(HttpEvent::from_csv(&e.to_csv()).unwrap(), e);
+    }
+
+    #[test]
+    fn all_categories_roundtrip_via_logevent() {
+        let events = vec![
+            LogEvent::Device(DeviceEvent {
+                ts: ts(),
+                user: UserId(1),
+                host: HostId(1),
+                activity: DeviceActivity::Disconnect,
+            }),
+            LogEvent::File(FileEvent {
+                ts: ts(),
+                user: UserId(2),
+                host: HostId(1),
+                file: FileId(9),
+                activity: FileActivity::Open,
+                from: Location::Local,
+                to: Location::Local,
+            }),
+            LogEvent::Http(HttpEvent {
+                ts: ts(),
+                user: UserId(3),
+                domain: DomainId(4),
+                activity: HttpActivity::Visit,
+                filetype: FileType::Other,
+                success: true,
+            }),
+            LogEvent::Email(EmailEvent {
+                ts: ts(),
+                user: UserId(4),
+                recipients: 2,
+                size: 1024,
+                attachment: false,
+            }),
+            LogEvent::Logon(LogonEvent {
+                ts: ts(),
+                user: UserId(5),
+                host: HostId(3),
+                activity: LogonActivity::Logon,
+                success: false,
+            }),
+            LogEvent::Windows(WindowsEvent {
+                ts: ts(),
+                user: UserId(6),
+                channel: WinChannel::Sysmon,
+                event_id: 11,
+                object: 0xdead_beef,
+            }),
+            LogEvent::Proxy(ProxyEvent {
+                ts: ts(),
+                user: UserId(7),
+                domain: DomainId(2),
+                success: false,
+            }),
+        ];
+        for e in events {
+            let line = e.to_csv();
+            let back = LogEvent::from_csv(&line).unwrap();
+            assert_eq!(back, e, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(LogEvent::from_csv("nonsense,1,2,3").is_err());
+        assert!(DeviceEvent::from_csv("2010-07-09 13:05:59,3,8,Explode").is_err());
+        assert!(DeviceEvent::from_csv("2010-07-09,3,8,Connect").is_err());
+        assert!(HttpEvent::from_csv("2010-07-09 25:00:00,1,2,Visit,other,1").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Arbitrary field content (commas, quotes, newlines) survives one
+        /// write/parse cycle.
+        #[test]
+        fn record_roundtrip(fields in prop::collection::vec(".{0,24}", 1..8)) {
+            let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            let line = write_record(&refs);
+            let parsed = parse_record(&line).unwrap();
+            prop_assert_eq!(parsed, fields);
+        }
+    }
+}

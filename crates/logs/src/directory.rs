@@ -1,0 +1,154 @@
+//! LDAP-style organizational directory.
+//!
+//! The paper defines peer groups by "the third-tier organizational unit listed
+//! in the LDAP logs" (Section V-A2). This directory maps users to departments
+//! and exposes department rosters, which is everything the group-behavior
+//! machinery needs.
+
+use crate::ids::{DeptId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One directory entry for a user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryEntry {
+    /// The user.
+    pub user: UserId,
+    /// Department (third-tier organizational unit).
+    pub dept: DeptId,
+    /// Display name, CERT-style (e.g. `JPH1910`).
+    pub name: String,
+    /// Role string (e.g. `Engineer`), informational only.
+    pub role: String,
+}
+
+/// An organizational directory: users, departments, rosters.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::directory::Directory;
+/// use acobe_logs::ids::{DeptId, UserId};
+/// let mut dir = Directory::new();
+/// dir.add(UserId(0), DeptId(0), "JPH1910", "Engineer");
+/// dir.add(UserId(1), DeptId(0), "ACM2278", "Engineer");
+/// assert_eq!(dir.dept_of(UserId(0)), Some(DeptId(0)));
+/// assert_eq!(dir.members(DeptId(0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Directory {
+    entries: BTreeMap<UserId, DirectoryEntry>,
+    rosters: BTreeMap<DeptId, Vec<UserId>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user in a department.
+    ///
+    /// Re-adding an existing user moves them to the new department.
+    pub fn add(&mut self, user: UserId, dept: DeptId, name: &str, role: &str) {
+        if let Some(prev) = self.entries.get(&user) {
+            let prev_dept = prev.dept;
+            if let Some(r) = self.rosters.get_mut(&prev_dept) {
+                r.retain(|u| *u != user);
+            }
+        }
+        self.entries.insert(
+            user,
+            DirectoryEntry {
+                user,
+                dept,
+                name: name.to_string(),
+                role: role.to_string(),
+            },
+        );
+        self.rosters.entry(dept).or_default().push(user);
+    }
+
+    /// Department of `user`, if registered.
+    pub fn dept_of(&self, user: UserId) -> Option<DeptId> {
+        self.entries.get(&user).map(|e| e.dept)
+    }
+
+    /// Full entry for `user`, if registered.
+    pub fn entry(&self, user: UserId) -> Option<&DirectoryEntry> {
+        self.entries.get(&user)
+    }
+
+    /// Users in `dept`, in registration order (empty slice if unknown).
+    pub fn members(&self, dept: DeptId) -> &[UserId] {
+        self.rosters.get(&dept).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All departments with at least one member.
+    pub fn departments(&self) -> impl Iterator<Item = DeptId> + '_ {
+        self.rosters
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(d, _)| *d)
+    }
+
+    /// All registered users.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no users are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds a user by display name (linear scan; for tests and tooling).
+    pub fn find_by_name(&self, name: &str) -> Option<UserId> {
+        self.entries
+            .values()
+            .find(|e| e.name == name)
+            .map(|e| e.user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut dir = Directory::new();
+        dir.add(UserId(0), DeptId(1), "AAA0001", "Engineer");
+        dir.add(UserId(1), DeptId(1), "BBB0002", "Analyst");
+        dir.add(UserId(2), DeptId(2), "CCC0003", "Manager");
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir.dept_of(UserId(1)), Some(DeptId(1)));
+        assert_eq!(dir.members(DeptId(1)), &[UserId(0), UserId(1)]);
+        assert_eq!(dir.members(DeptId(9)), &[] as &[UserId]);
+        assert_eq!(dir.departments().count(), 2);
+        assert_eq!(dir.find_by_name("CCC0003"), Some(UserId(2)));
+        assert_eq!(dir.find_by_name("nope"), None);
+    }
+
+    #[test]
+    fn reassignment_moves_roster() {
+        let mut dir = Directory::new();
+        dir.add(UserId(0), DeptId(1), "AAA0001", "Engineer");
+        dir.add(UserId(0), DeptId(2), "AAA0001", "Engineer");
+        assert_eq!(dir.members(DeptId(1)), &[] as &[UserId]);
+        assert_eq!(dir.members(DeptId(2)), &[UserId(0)]);
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn empty_directory() {
+        let dir = Directory::new();
+        assert!(dir.is_empty());
+        assert_eq!(dir.dept_of(UserId(0)), None);
+    }
+}

@@ -1,0 +1,381 @@
+//! Typed audit-log event records.
+//!
+//! These mirror the CERT Insider Threat Test Dataset log categories used by
+//! the paper's evaluation (device, file, HTTP, email, logon — Section V-A3)
+//! plus the enterprise case-study categories (Windows events, web proxy —
+//! Section VI-A).
+
+use crate::ids::{DomainId, FileId, HostId, UserId};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Thumb-drive activity (`device.csv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceActivity {
+    /// A removable drive was connected.
+    Connect,
+    /// A removable drive was disconnected.
+    Disconnect,
+}
+
+/// One removable-device log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceEvent {
+    /// When the activity happened.
+    pub ts: Timestamp,
+    /// Acting user.
+    pub user: UserId,
+    /// Host the drive was (dis)connected to.
+    pub host: HostId,
+    /// Connect or disconnect.
+    pub activity: DeviceActivity,
+}
+
+/// Whether a file endpoint is the local machine or a remote share/drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Local disk.
+    Local,
+    /// Remote share or removable media.
+    Remote,
+}
+
+/// File operation verb (`file.csv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileActivity {
+    /// Open / read.
+    Open,
+    /// Write / modify.
+    Write,
+    /// Copy between locations.
+    Copy,
+    /// Delete.
+    Delete,
+}
+
+/// One file-access log entry with a dataflow direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEvent {
+    /// When the operation happened.
+    pub ts: Timestamp,
+    /// Acting user.
+    pub user: UserId,
+    /// Host where the operation ran.
+    pub host: HostId,
+    /// File object.
+    pub file: FileId,
+    /// Operation verb.
+    pub activity: FileActivity,
+    /// Where the data came from.
+    pub from: Location,
+    /// Where the data went.
+    pub to: Location,
+}
+
+/// HTTP verb used by the paper's features (`http.csv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpActivity {
+    /// Page visit.
+    Visit,
+    /// File download.
+    Download,
+    /// File upload.
+    Upload,
+}
+
+/// File type attached to an HTTP download/upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// Word-processor document.
+    Doc,
+    /// Executable.
+    Exe,
+    /// Image.
+    Jpg,
+    /// PDF document.
+    Pdf,
+    /// Plain text.
+    Txt,
+    /// Archive.
+    Zip,
+    /// Anything else (HTML page, none).
+    Other,
+}
+
+impl FileType {
+    /// All concrete (feature-bearing) file types, in feature order f1..f6.
+    pub fn upload_feature_order() -> [FileType; 6] {
+        [
+            FileType::Doc,
+            FileType::Exe,
+            FileType::Jpg,
+            FileType::Pdf,
+            FileType::Txt,
+            FileType::Zip,
+        ]
+    }
+}
+
+/// One HTTP log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpEvent {
+    /// When the request happened.
+    pub ts: Timestamp,
+    /// Acting user.
+    pub user: UserId,
+    /// Destination domain.
+    pub domain: DomainId,
+    /// Verb.
+    pub activity: HttpActivity,
+    /// File type involved (for download/upload), `Other` for visits.
+    pub filetype: FileType,
+    /// Whether the request succeeded (used by the case-study HTTP aspect).
+    pub success: bool,
+}
+
+/// One email log entry (`email.csv`, coarse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmailEvent {
+    /// When the email was sent.
+    pub ts: Timestamp,
+    /// Sending user.
+    pub user: UserId,
+    /// Number of recipients.
+    pub recipients: u32,
+    /// Total size in bytes.
+    pub size: u32,
+    /// Whether an attachment was included.
+    pub attachment: bool,
+}
+
+/// Logon verb (`logon.csv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogonActivity {
+    /// Interactive logon.
+    Logon,
+    /// Logoff.
+    Logoff,
+}
+
+/// One logon/logoff log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogonEvent {
+    /// When it happened.
+    pub ts: Timestamp,
+    /// Acting user.
+    pub user: UserId,
+    /// Target host.
+    pub host: HostId,
+    /// Logon or logoff.
+    pub activity: LogonActivity,
+    /// Whether authentication succeeded.
+    pub success: bool,
+}
+
+/// Windows audit channel (enterprise case study, Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WinChannel {
+    /// Windows-Event auditing (application/security/setup/system).
+    Security,
+    /// Microsoft-Windows-Sysmon/Operational.
+    Sysmon,
+    /// Microsoft-Windows-PowerShell/Operational.
+    PowerShell,
+    /// System channel.
+    System,
+}
+
+/// One Windows event-log entry.
+///
+/// `object` identifies the concrete subject of the event (file path, process
+/// image, registry key, …) so "unique events" and "new events" (case-study
+/// features f2/f3) are countable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowsEvent {
+    /// When the event was recorded.
+    pub ts: Timestamp,
+    /// Acting account, resolved to an employee.
+    pub user: UserId,
+    /// Audit channel.
+    pub channel: WinChannel,
+    /// Windows event id (e.g. 4688 process creation, 11 Sysmon file create).
+    pub event_id: u16,
+    /// Hash of the concrete object (file path / image / registry key).
+    pub object: u64,
+}
+
+/// One web-proxy log entry (enterprise case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyEvent {
+    /// When the request was proxied.
+    pub ts: Timestamp,
+    /// Acting user.
+    pub user: UserId,
+    /// Destination domain.
+    pub domain: DomainId,
+    /// Whether the request succeeded (DNS-resolved, allowed, 2xx/3xx).
+    pub success: bool,
+}
+
+/// Any audit-log event, tagged by category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// Removable-device activity.
+    Device(DeviceEvent),
+    /// File access.
+    File(FileEvent),
+    /// HTTP access.
+    Http(HttpEvent),
+    /// Email.
+    Email(EmailEvent),
+    /// Logon / logoff.
+    Logon(LogonEvent),
+    /// Windows event log (enterprise).
+    Windows(WindowsEvent),
+    /// Web proxy (enterprise).
+    Proxy(ProxyEvent),
+}
+
+impl LogEvent {
+    /// Timestamp of the inner event.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            LogEvent::Device(e) => e.ts,
+            LogEvent::File(e) => e.ts,
+            LogEvent::Http(e) => e.ts,
+            LogEvent::Email(e) => e.ts,
+            LogEvent::Logon(e) => e.ts,
+            LogEvent::Windows(e) => e.ts,
+            LogEvent::Proxy(e) => e.ts,
+        }
+    }
+
+    /// Acting user of the inner event.
+    pub fn user(&self) -> UserId {
+        match self {
+            LogEvent::Device(e) => e.user,
+            LogEvent::File(e) => e.user,
+            LogEvent::Http(e) => e.user,
+            LogEvent::Email(e) => e.user,
+            LogEvent::Logon(e) => e.user,
+            LogEvent::Windows(e) => e.user,
+            LogEvent::Proxy(e) => e.user,
+        }
+    }
+
+    /// Category tag, for bucketing and display.
+    pub fn category(&self) -> LogCategory {
+        match self {
+            LogEvent::Device(_) => LogCategory::Device,
+            LogEvent::File(_) => LogCategory::File,
+            LogEvent::Http(_) => LogCategory::Http,
+            LogEvent::Email(_) => LogCategory::Email,
+            LogEvent::Logon(_) => LogCategory::Logon,
+            LogEvent::Windows(_) => LogCategory::Windows,
+            LogEvent::Proxy(_) => LogCategory::Proxy,
+        }
+    }
+}
+
+/// Log categories, one per source log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogCategory {
+    /// `device.csv`.
+    Device,
+    /// `file.csv`.
+    File,
+    /// `http.csv`.
+    Http,
+    /// `email.csv`.
+    Email,
+    /// `logon.csv`.
+    Logon,
+    /// Windows event logs.
+    Windows,
+    /// Web-proxy logs.
+    Proxy,
+}
+
+impl LogCategory {
+    /// All categories in a stable order.
+    pub fn all() -> [LogCategory; 7] {
+        [
+            LogCategory::Device,
+            LogCategory::File,
+            LogCategory::Http,
+            LogCategory::Email,
+            LogCategory::Logon,
+            LogCategory::Windows,
+            LogCategory::Proxy,
+        ]
+    }
+}
+
+impl fmt::Display for LogCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogCategory::Device => "device",
+            LogCategory::File => "file",
+            LogCategory::Http => "http",
+            LogCategory::Email => "email",
+            LogCategory::Logon => "logon",
+            LogCategory::Windows => "windows",
+            LogCategory::Proxy => "proxy",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Date;
+
+    fn ts() -> Timestamp {
+        Date::from_ymd(2010, 5, 3).at(10, 0, 0)
+    }
+
+    #[test]
+    fn accessors_dispatch() {
+        let e = LogEvent::Device(DeviceEvent {
+            ts: ts(),
+            user: UserId(4),
+            host: HostId(2),
+            activity: DeviceActivity::Connect,
+        });
+        assert_eq!(e.ts(), ts());
+        assert_eq!(e.user(), UserId(4));
+        assert_eq!(e.category(), LogCategory::Device);
+
+        let e = LogEvent::Http(HttpEvent {
+            ts: ts(),
+            user: UserId(9),
+            domain: DomainId(1),
+            activity: HttpActivity::Upload,
+            filetype: FileType::Doc,
+            success: true,
+        });
+        assert_eq!(e.user(), UserId(9));
+        assert_eq!(e.category(), LogCategory::Http);
+    }
+
+    #[test]
+    fn categories_are_distinct() {
+        let all = LogCategory::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(format!("{}", LogCategory::Http), "http");
+    }
+
+    #[test]
+    fn upload_feature_order_is_stable() {
+        let order = FileType::upload_feature_order();
+        assert_eq!(order[0], FileType::Doc);
+        assert_eq!(order[5], FileType::Zip);
+        assert_eq!(order.len(), 6);
+    }
+}

@@ -1,0 +1,221 @@
+//! Typed identifiers for log subjects and objects.
+//!
+//! Newtypes keep user/host/file/domain identifiers from being mixed up
+//! (C-NEWTYPE). The synthesizer assigns display names (e.g. `JPH1910`)
+//! through [`NameTable`]; the numeric ids are what flow through the pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{:04}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user account (employee) identifier.
+    UserId,
+    "U"
+);
+id_type!(
+    /// A workstation / server identifier.
+    HostId,
+    "PC"
+);
+id_type!(
+    /// A file object identifier.
+    FileId,
+    "F"
+);
+id_type!(
+    /// A web domain identifier.
+    DomainId,
+    "D"
+);
+id_type!(
+    /// An organizational department (third-tier organizational unit).
+    DeptId,
+    "DEPT"
+);
+
+/// Maps numeric ids to human-readable names, CERT-style.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::ids::{NameTable, UserId};
+/// let mut names = NameTable::new();
+/// names.insert(UserId(7).index(), "JPH1910".to_string());
+/// assert_eq!(names.name(7), Some("JPH1910"));
+/// assert_eq!(names.name(8), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NameTable {
+    names: Vec<Option<String>>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` for index `idx`, growing the table as needed.
+    pub fn insert(&mut self, idx: usize, name: String) {
+        if idx >= self.names.len() {
+            self.names.resize(idx + 1, None);
+        }
+        self.names[idx] = Some(name);
+    }
+
+    /// Looks up the name for `idx`.
+    pub fn name(&self, idx: usize) -> Option<&str> {
+        self.names.get(idx).and_then(|n| n.as_deref())
+    }
+
+    /// Number of slots (registered or not).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.iter().all(|n| n.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(3).to_string(), "U0003");
+        assert_eq!(HostId(12).to_string(), "PC0012");
+        assert_eq!(FileId(9999).to_string(), "F9999");
+        assert_eq!(DomainId(1).to_string(), "D0001");
+        assert_eq!(DeptId(2).to_string(), "DEPT0002");
+    }
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(UserId(5).index(), 5);
+        assert_eq!(UserId::from(7u32), UserId(7));
+    }
+
+    #[test]
+    fn name_table() {
+        let mut t = NameTable::new();
+        assert!(t.is_empty());
+        t.insert(2, "ACM2278".into());
+        assert_eq!(t.name(2), Some("ACM2278"));
+        assert_eq!(t.name(0), None);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}
+
+/// Interns external string identifiers (user names, PC names, URLs, file
+/// paths) into dense `u32` ids, preserving the original strings for export.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::ids::Interner;
+/// let mut users = Interner::new();
+/// let a = users.intern("DTAA/JPH1910");
+/// let b = users.intern("DTAA/JPH1910");
+/// assert_eq!(a, b);
+/// assert_eq!(users.resolve(a), Some("DTAA/JPH1910"));
+/// assert_eq!(users.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    map: std::collections::HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, allocating one if unseen.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.map.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Looks up an already-interned name without allocating.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// The original string for `id`.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod interner_tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(1), Some("beta"));
+        assert_eq!(i.resolve(9), None);
+        assert_eq!(i.get("beta"), Some(1));
+        assert_eq!(i.get("gamma"), None);
+    }
+}

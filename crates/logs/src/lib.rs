@@ -1,0 +1,57 @@
+//! Audit-log substrate for the ACOBE reproduction.
+//!
+//! This crate models the raw material the paper works with: organizational
+//! audit logs. It provides
+//!
+//! * [`time`] — civil dates, timestamps, and the paper's working/off-hours
+//!   time frames,
+//! * [`calendar`] — weekends, holidays and "return days" (busy Mondays),
+//! * [`ids`] — typed identifiers for users, hosts, files, domains and
+//!   departments,
+//! * [`event`] — typed records for every log category used by the paper
+//!   (device / file / HTTP / email / logon, plus the enterprise case-study
+//!   Windows-event and proxy logs),
+//! * [`csv`] — CERT-style CSV encode/decode for all events,
+//! * [`directory`] — the LDAP directory defining peer groups,
+//! * [`store`] — a sorted, day-sliceable event store.
+//!
+//! # Examples
+//!
+//! ```
+//! use acobe_logs::event::{HttpActivity, HttpEvent, FileType, LogEvent};
+//! use acobe_logs::ids::{DomainId, UserId};
+//! use acobe_logs::store::LogStore;
+//! use acobe_logs::time::Date;
+//!
+//! let store: LogStore = (0..5)
+//!     .map(|i| {
+//!         LogEvent::Http(HttpEvent {
+//!             ts: Date::from_ymd(2010, 3, 1 + i).at(10, 0, 0),
+//!             user: UserId(0),
+//!             domain: DomainId(i),
+//!             activity: HttpActivity::Visit,
+//!             filetype: FileType::Other,
+//!             success: true,
+//!         })
+//!     })
+//!     .collect();
+//! assert_eq!(store.day(Date::from_ymd(2010, 3, 2)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod cert_io;
+pub mod csv;
+pub mod directory;
+pub mod event;
+pub mod ids;
+pub mod store;
+pub mod time;
+
+pub use calendar::Calendar;
+pub use directory::Directory;
+pub use event::{LogCategory, LogEvent};
+pub use ids::{DeptId, DomainId, FileId, HostId, UserId};
+pub use store::LogStore;
+pub use time::{Date, TimeFrame, Timestamp};

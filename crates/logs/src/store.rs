@@ -1,0 +1,238 @@
+//! In-memory log store with day-granular access.
+//!
+//! Feature extraction walks the logs one day at a time (the paper aggregates
+//! per `(feature, time-frame, day)`), so the store keeps events sorted by
+//! timestamp and answers day-slice queries with binary search.
+
+use crate::csv::{FromCsv, ParseCsvError, ToCsv};
+use crate::event::LogEvent;
+use crate::time::{Date, Timestamp};
+
+/// A sorted, queryable collection of audit-log events.
+///
+/// Construction is push-based; [`LogStore::finalize`] (or collecting from an
+/// iterator) sorts once. All query methods require a finalized store and are
+/// O(log n + answer).
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::store::LogStore;
+/// use acobe_logs::event::{DeviceActivity, DeviceEvent, LogEvent};
+/// use acobe_logs::ids::{HostId, UserId};
+/// use acobe_logs::time::Date;
+///
+/// let mut store = LogStore::new();
+/// store.push(LogEvent::Device(DeviceEvent {
+///     ts: Date::from_ymd(2010, 1, 4).at(9, 0, 0),
+///     user: UserId(0),
+///     host: HostId(0),
+///     activity: DeviceActivity::Connect,
+/// }));
+/// store.finalize();
+/// assert_eq!(store.day(Date::from_ymd(2010, 1, 4)).len(), 1);
+/// assert_eq!(store.day(Date::from_ymd(2010, 1, 5)).len(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogStore {
+    events: Vec<LogEvent>,
+    sorted: bool,
+}
+
+impl LogStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        LogStore { events: Vec::new(), sorted: true }
+    }
+
+    /// Creates an empty store with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        LogStore { events: Vec::with_capacity(cap), sorted: true }
+    }
+
+    /// Appends one event. Invalidates sorting if out of order.
+    pub fn push(&mut self, event: LogEvent) {
+        if let Some(last) = self.events.last() {
+            if event.ts() < last.ts() {
+                self.sorted = false;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Appends many events.
+    pub fn extend<I: IntoIterator<Item = LogEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+
+    /// Sorts events by timestamp (stable), making queries valid.
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            self.events.sort_by_key(|e| e.ts());
+            self.sorted = true;
+        }
+    }
+
+    /// True once events are in timestamp order.
+    pub fn is_finalized(&self) -> bool {
+        self.sorted
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the store holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in timestamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store was mutated out of order and not finalized.
+    pub fn events(&self) -> &[LogEvent] {
+        assert!(self.sorted, "LogStore must be finalized before querying");
+        &self.events
+    }
+
+    /// Events within `[start, end)` timestamps.
+    pub fn range(&self, start: Timestamp, end: Timestamp) -> &[LogEvent] {
+        let events = self.events();
+        let lo = events.partition_point(|e| e.ts() < start);
+        let hi = events.partition_point(|e| e.ts() < end);
+        &events[lo..hi]
+    }
+
+    /// Events on a single civil day.
+    pub fn day(&self, date: Date) -> &[LogEvent] {
+        self.range(date.midnight(), date.add_days(1).midnight())
+    }
+
+    /// Events within `[start, end)` dates.
+    pub fn days(&self, start: Date, end: Date) -> &[LogEvent] {
+        self.range(start.midnight(), end.midnight())
+    }
+
+    /// First and last event dates, if any events exist.
+    pub fn date_span(&self) -> Option<(Date, Date)> {
+        let events = self.events();
+        Some((events.first()?.ts().date(), events.last()?.ts().date()))
+    }
+
+    /// Serializes every event as CSV lines (one per event, timestamp order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a store from CSV lines produced by [`LogStore::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first record decode failure.
+    pub fn from_csv(text: &str) -> Result<Self, ParseCsvError> {
+        let mut store = LogStore::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            store.push(LogEvent::from_csv(line)?);
+        }
+        store.finalize();
+        Ok(store)
+    }
+}
+
+impl FromIterator<LogEvent> for LogStore {
+    fn from_iter<I: IntoIterator<Item = LogEvent>>(iter: I) -> Self {
+        let mut store = LogStore::new();
+        store.extend(iter);
+        store.finalize();
+        store
+    }
+}
+
+impl Extend<LogEvent> for LogStore {
+    fn extend<I: IntoIterator<Item = LogEvent>>(&mut self, iter: I) {
+        LogStore::extend(self, iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DeviceActivity, DeviceEvent};
+    use crate::ids::{HostId, UserId};
+
+    fn ev(day: u32, hour: u32, user: u32) -> LogEvent {
+        LogEvent::Device(DeviceEvent {
+            ts: Date::from_ymd(2010, 1, day).at(hour, 0, 0),
+            user: UserId(user),
+            host: HostId(0),
+            activity: DeviceActivity::Connect,
+        })
+    }
+
+    #[test]
+    fn day_slices() {
+        let store: LogStore = vec![ev(5, 9, 0), ev(4, 23, 1), ev(5, 7, 2), ev(6, 0, 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(store.len(), 4);
+        let day5 = store.day(Date::from_ymd(2010, 1, 5));
+        assert_eq!(day5.len(), 2);
+        assert_eq!(day5[0].user(), UserId(2)); // 07:00 before 09:00
+        assert_eq!(store.day(Date::from_ymd(2010, 1, 7)).len(), 0);
+        assert_eq!(
+            store
+                .days(Date::from_ymd(2010, 1, 4), Date::from_ymd(2010, 1, 6))
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn date_span() {
+        let store: LogStore = vec![ev(4, 1, 0), ev(9, 1, 0)].into_iter().collect();
+        assert_eq!(
+            store.date_span(),
+            Some((Date::from_ymd(2010, 1, 4), Date::from_ymd(2010, 1, 9)))
+        );
+        assert_eq!(LogStore::new().date_span(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized")]
+    fn unfinalized_query_panics() {
+        let mut store = LogStore::new();
+        store.push(ev(5, 9, 0));
+        store.push(ev(4, 9, 0)); // out of order
+        let _ = store.events();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let store: LogStore = vec![ev(4, 1, 0), ev(5, 2, 1)].into_iter().collect();
+        let text = store.to_csv();
+        let back = LogStore::from_csv(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.events()[0], store.events()[0]);
+    }
+
+    #[test]
+    fn in_order_push_stays_finalized() {
+        let mut store = LogStore::new();
+        store.push(ev(4, 1, 0));
+        store.push(ev(5, 1, 0));
+        assert!(store.is_finalized());
+    }
+}

@@ -1,0 +1,477 @@
+//! Civil dates, timestamps and the paper's two-time-frame day split.
+//!
+//! The CERT dataset spans 2010-01-02 through 2011-05-31; everything here is a
+//! proleptic-Gregorian calendar with no time-zone handling (the dataset is
+//! recorded in a single local time), implemented without external crates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds in one day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A civil date, stored as the number of days since 1970-01-01.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::time::Date;
+/// let d = Date::from_ymd(2010, 1, 2);
+/// assert_eq!(d.ymd(), (2010, 1, 2));
+/// assert_eq!(d.to_string(), "2010-01-02");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date(i32);
+
+impl Date {
+    /// Builds a date from a year, month (1-12) and day (1-31).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the month or day is out of range for the given year.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range: {year}-{month:02}-{day:02}"
+        );
+        Date(days_from_civil(year, month, day))
+    }
+
+    /// Builds a date from a count of days since 1970-01-01.
+    pub fn from_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// The number of days since 1970-01-01 (may be negative).
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Decomposes into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The year component.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The month component (1-12).
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// The day-of-month component (1-31).
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Day of week for this date.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday.
+        let wd = (self.0.rem_euclid(7) + 4) % 7; // 0 = Sunday
+        Weekday::from_index(wd as u32)
+    }
+
+    /// Returns the date `n` days later (or earlier for negative `n`).
+    pub fn add_days(self, n: i32) -> Self {
+        Date(self.0 + n)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Timestamp of this date's midnight.
+    pub fn midnight(self) -> Timestamp {
+        Timestamp::from_secs(self.0 as i64 * SECS_PER_DAY)
+    }
+
+    /// Timestamp at `hour:minute:second` on this date.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`, `minute >= 60` or `second >= 60`.
+    pub fn at(self, hour: u32, minute: u32, second: u32) -> Timestamp {
+        assert!(hour < 24 && minute < 60 && second < 60, "invalid wall-clock time");
+        Timestamp::from_secs(
+            self.0 as i64 * SECS_PER_DAY + (hour * 3600 + minute * 60 + second) as i64,
+        )
+    }
+
+    /// Iterates dates from `self` (inclusive) to `end` (exclusive).
+    pub fn range_to(self, end: Date) -> impl Iterator<Item = Date> {
+        (self.0..end.0).map(Date)
+    }
+
+    /// Parses a `YYYY-MM-DD` string.
+    pub fn parse(s: &str) -> Result<Self, ParseDateError> {
+        let mut parts = s.splitn(3, '-');
+        let year: i32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(ParseDateError)?;
+        let month: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(ParseDateError)?;
+        let day: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or(ParseDateError)?;
+        if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+            return Err(ParseDateError);
+        }
+        Ok(Date::from_ymd(year, month, day))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Error returned when a date string is not `YYYY-MM-DD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDateError;
+
+impl fmt::Display for ParseDateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date syntax, expected YYYY-MM-DD")
+    }
+}
+
+impl std::error::Error for ParseDateError {}
+
+/// Day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are self-describing
+pub enum Weekday {
+    Sunday,
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+}
+
+impl Weekday {
+    fn from_index(i: u32) -> Self {
+        match i {
+            0 => Weekday::Sunday,
+            1 => Weekday::Monday,
+            2 => Weekday::Tuesday,
+            3 => Weekday::Wednesday,
+            4 => Weekday::Thursday,
+            5 => Weekday::Friday,
+            6 => Weekday::Saturday,
+            _ => unreachable!("weekday index out of range"),
+        }
+    }
+
+    /// 0 = Sunday .. 6 = Saturday.
+    pub fn index(self) -> u32 {
+        self as u32
+    }
+
+    /// True for Saturday and Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+/// An absolute point in time, stored as Unix seconds.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::time::{Date, TimeFrame, Timestamp};
+/// let ts = Date::from_ymd(2010, 3, 1).at(9, 30, 0);
+/// assert_eq!(ts.date(), Date::from_ymd(2010, 3, 1));
+/// assert_eq!(ts.hour(), 9);
+/// assert_eq!(ts.time_frame(), TimeFrame::Working);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// Builds from Unix seconds.
+    pub fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Unix seconds.
+    pub fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// The civil date containing this instant.
+    pub fn date(self) -> Date {
+        Date(self.0.div_euclid(SECS_PER_DAY) as i32)
+    }
+
+    /// Hour of day, 0-23.
+    pub fn hour(self) -> u32 {
+        (self.0.rem_euclid(SECS_PER_DAY) / 3600) as u32
+    }
+
+    /// Minute of hour, 0-59.
+    pub fn minute(self) -> u32 {
+        (self.0.rem_euclid(3600) / 60) as u32
+    }
+
+    /// Second of minute, 0-59.
+    pub fn second(self) -> u32 {
+        self.0.rem_euclid(60) as u32
+    }
+
+    /// The paper's two-frame split: working hours 06:00-18:00, off hours otherwise.
+    pub fn time_frame(self) -> TimeFrame {
+        TimeFrame::of_hour(self.hour())
+    }
+
+    /// Returns the timestamp `secs` seconds later.
+    pub fn add_secs(self, secs: i64) -> Self {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date(),
+            self.hour(),
+            self.minute(),
+            self.second()
+        )
+    }
+}
+
+/// The paper's per-day time frames (Section IV-A): `T = 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeFrame {
+    /// 06:00 (inclusive) - 18:00 (exclusive).
+    Working,
+    /// 18:00 - 06:00.
+    Off,
+}
+
+impl TimeFrame {
+    /// Number of frames per day.
+    pub const COUNT: usize = 2;
+
+    /// Classifies an hour of day.
+    pub fn of_hour(hour: u32) -> Self {
+        if (6..18).contains(&hour) {
+            TimeFrame::Working
+        } else {
+            TimeFrame::Off
+        }
+    }
+
+    /// Index of this frame: Working = 0, Off = 1.
+    pub fn index(self) -> usize {
+        match self {
+            TimeFrame::Working => 0,
+            TimeFrame::Off => 1,
+        }
+    }
+
+    /// All frames in index order.
+    pub fn all() -> [TimeFrame; 2] {
+        [TimeFrame::Working, TimeFrame::Off]
+    }
+}
+
+impl fmt::Display for TimeFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeFrame::Working => write!(f, "working"),
+            TimeFrame::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// True for leap years.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in a month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month out of range: {month}"),
+    }
+}
+
+// Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11]
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+// Howard Hinnant's `civil_from_days` algorithm.
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let d = Date::from_ymd(1970, 1, 1);
+        assert_eq!(d.days(), 0);
+        assert_eq!(d.ymd(), (1970, 1, 1));
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_weekdays() {
+        assert_eq!(Date::from_ymd(2010, 1, 2).weekday(), Weekday::Saturday);
+        assert_eq!(Date::from_ymd(2010, 1, 4).weekday(), Weekday::Monday);
+        assert_eq!(Date::from_ymd(2011, 5, 31).weekday(), Weekday::Tuesday);
+        assert_eq!(Date::from_ymd(2026, 7, 5).weekday(), Weekday::Sunday);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2008));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2010));
+        assert_eq!(days_in_month(2008, 2), 29);
+        assert_eq!(days_in_month(2010, 2), 28);
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let a = Date::from_ymd(2010, 12, 30);
+        let b = a.add_days(5);
+        assert_eq!(b, Date::from_ymd(2011, 1, 4));
+        assert_eq!(b.days_since(a), 5);
+    }
+
+    #[test]
+    fn date_display_and_parse() {
+        let d = Date::from_ymd(2010, 3, 7);
+        assert_eq!(d.to_string(), "2010-03-07");
+        assert_eq!(Date::parse("2010-03-07"), Ok(d));
+        assert!(Date::parse("2010-13-01").is_err());
+        assert!(Date::parse("2010-02-30").is_err());
+        assert!(Date::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn timestamp_components() {
+        let ts = Date::from_ymd(2010, 6, 15).at(17, 59, 59);
+        assert_eq!(ts.hour(), 17);
+        assert_eq!(ts.minute(), 59);
+        assert_eq!(ts.second(), 59);
+        assert_eq!(ts.time_frame(), TimeFrame::Working);
+        let ts2 = ts.add_secs(1);
+        assert_eq!(ts2.hour(), 18);
+        assert_eq!(ts2.time_frame(), TimeFrame::Off);
+    }
+
+    #[test]
+    fn time_frame_boundaries() {
+        assert_eq!(TimeFrame::of_hour(5), TimeFrame::Off);
+        assert_eq!(TimeFrame::of_hour(6), TimeFrame::Working);
+        assert_eq!(TimeFrame::of_hour(17), TimeFrame::Working);
+        assert_eq!(TimeFrame::of_hour(18), TimeFrame::Off);
+        assert_eq!(TimeFrame::of_hour(0), TimeFrame::Off);
+    }
+
+    #[test]
+    fn negative_timestamp_components() {
+        // One second before epoch is 1969-12-31 23:59:59.
+        let ts = Timestamp::from_secs(-1);
+        assert_eq!(ts.date(), Date::from_ymd(1969, 12, 31));
+        assert_eq!(ts.hour(), 23);
+        assert_eq!(ts.second(), 59);
+    }
+
+    #[test]
+    fn range_iteration() {
+        let start = Date::from_ymd(2010, 1, 30);
+        let end = Date::from_ymd(2010, 2, 2);
+        let v: Vec<String> = start.range_to(end).map(|d| d.to_string()).collect();
+        assert_eq!(v, ["2010-01-30", "2010-01-31", "2010-02-01"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// days -> (y, m, d) -> days is the identity over ±100 years.
+        #[test]
+        fn civil_roundtrip(days in -36_525i32..36_525) {
+            let date = Date::from_days(days);
+            let (y, m, d) = date.ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, d), date);
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!((1..=31).contains(&d));
+        }
+
+        /// Display/parse roundtrip.
+        #[test]
+        fn display_parse_roundtrip(days in -36_525i32..36_525) {
+            let date = Date::from_days(days);
+            prop_assert_eq!(Date::parse(&date.to_string()), Ok(date));
+        }
+
+        /// Consecutive days have consecutive weekdays.
+        #[test]
+        fn weekday_cycle(days in -36_525i32..36_525) {
+            let today = Date::from_days(days).weekday().index();
+            let tomorrow = Date::from_days(days + 1).weekday().index();
+            prop_assert_eq!((today + 1) % 7, tomorrow);
+        }
+
+        /// Timestamp components always reconstruct the timestamp.
+        #[test]
+        fn timestamp_components_consistent(secs in -3_000_000_000i64..3_000_000_000) {
+            let ts = Timestamp::from_secs(secs);
+            let rebuilt = ts.date().at(ts.hour(), ts.minute(), ts.second());
+            prop_assert_eq!(rebuilt, ts);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's deep fully-connected autoencoder.
+//!
+//! Architecture (Section V, "Implementation"): encoder hidden layers
+//! 512-256-128-64 and decoder 128-256-512-output, each `Dense` activated by
+//! ReLU with `BatchNormalization` between layers, trained by Adadelta on MSE.
+
+use crate::activation::{OutputActivation, Relu, Sigmoid};
+use crate::batchnorm::BatchNorm;
+use crate::dense::Dense;
+use crate::layer::Mode;
+use crate::loss::per_sample_mse;
+use crate::net::Sequential;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`Autoencoder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoencoderConfig {
+    /// Width of the input (and reconstruction).
+    pub input_dim: usize,
+    /// Encoder hidden widths; the decoder mirrors them. The last entry is the
+    /// bottleneck code width.
+    pub encoder_dims: Vec<usize>,
+    /// Insert BatchNorm after every hidden Dense (the paper does).
+    pub batch_norm: bool,
+    /// Output activation (the paper uses ReLU everywhere; inputs are `[0,1]`).
+    pub output_activation: OutputActivationKind,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+/// Serializable mirror of [`OutputActivation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OutputActivationKind {
+    /// ReLU output.
+    #[default]
+    Relu,
+    /// Sigmoid output.
+    Sigmoid,
+    /// Linear output.
+    Linear,
+}
+
+impl From<OutputActivationKind> for OutputActivation {
+    fn from(k: OutputActivationKind) -> Self {
+        match k {
+            OutputActivationKind::Relu => OutputActivation::Relu,
+            OutputActivationKind::Sigmoid => OutputActivation::Sigmoid,
+            OutputActivationKind::Linear => OutputActivation::Linear,
+        }
+    }
+}
+
+impl AutoencoderConfig {
+    /// The paper's configuration for a given input width:
+    /// 512-256-128-64 encoder, mirrored decoder, BatchNorm, ReLU.
+    pub fn paper(input_dim: usize) -> Self {
+        AutoencoderConfig {
+            input_dim,
+            encoder_dims: vec![512, 256, 128, 64],
+            batch_norm: true,
+            output_activation: OutputActivationKind::Relu,
+            seed: 0x_ac0b_e000,
+        }
+    }
+
+    /// A smaller architecture for fast tests and scaled-down experiments.
+    pub fn small(input_dim: usize) -> Self {
+        AutoencoderConfig {
+            input_dim,
+            encoder_dims: vec![64, 32, 16],
+            batch_norm: true,
+            output_activation: OutputActivationKind::Relu,
+            seed: 0x_ac0b_e000,
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the output activation (builder-style).
+    pub fn with_output(mut self, out: OutputActivationKind) -> Self {
+        self.output_activation = out;
+        self
+    }
+}
+
+/// A deep fully-connected autoencoder with reconstruction-error scoring.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig};
+/// use acobe_nn::tensor::Matrix;
+/// let mut ae = Autoencoder::new(AutoencoderConfig::small(8));
+/// let scores = ae.reconstruction_errors(&Matrix::zeros(3, 8));
+/// assert_eq!(scores.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Autoencoder {
+    net: Sequential,
+    config: AutoencoderConfig,
+}
+
+impl Autoencoder {
+    /// Builds the network described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0` or `encoder_dims` is empty.
+    pub fn new(config: AutoencoderConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(!config.encoder_dims.is_empty(), "encoder_dims must be non-empty");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut net = Sequential::new();
+
+        let mut dims = Vec::with_capacity(config.encoder_dims.len() * 2 + 1);
+        dims.push(config.input_dim);
+        dims.extend(&config.encoder_dims);
+        // Mirror all but the bottleneck, then back to the input width.
+        for d in config.encoder_dims.iter().rev().skip(1) {
+            dims.push(*d);
+        }
+        dims.push(config.input_dim);
+
+        let last = dims.len() - 2;
+        for (i, pair) in dims.windows(2).enumerate() {
+            net.push(Box::new(Dense::new(pair[0], pair[1], &mut rng)));
+            if i < last {
+                if config.batch_norm {
+                    net.push(Box::new(BatchNorm::new(pair[1])));
+                }
+                net.push(Box::new(Relu::new()));
+            } else {
+                match config.output_activation.into() {
+                    OutputActivation::Relu => net.push(Box::new(Relu::new())),
+                    OutputActivation::Sigmoid => net.push(Box::new(Sigmoid::new())),
+                    OutputActivation::Linear => {}
+                }
+            }
+        }
+        Autoencoder { net, config }
+    }
+
+    /// The configuration used to build the network.
+    pub fn config(&self) -> &AutoencoderConfig {
+        &self.config
+    }
+
+    /// Mutable access to the underlying network (for the trainer/optimizer).
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Reconstructs a batch in inference mode.
+    pub fn reconstruct(&mut self, batch: &Matrix) -> Matrix {
+        self.net.forward(batch, Mode::Eval)
+    }
+
+    /// Per-sample anomaly scores: mean-squared reconstruction error.
+    pub fn reconstruction_errors(&mut self, batch: &Matrix) -> Vec<f32> {
+        let recon = self.reconstruct(batch);
+        per_sample_mse(&recon, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_mirrors_encoder() {
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            input_dim: 10,
+            encoder_dims: vec![8, 4],
+            batch_norm: true,
+            output_activation: OutputActivationKind::Relu,
+            seed: 1,
+        });
+        // dense(10,8) bn relu dense(8,4) bn relu dense(4,8) bn relu dense(8,10) relu
+        // = 4 dense + 3 bn + 3 hidden relu + 1 output relu = 11 layers
+        assert_eq!(ae.net().len(), 11);
+        let y = ae.reconstruct(&Matrix::zeros(2, 10));
+        assert_eq!(y.shape(), (2, 10));
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let cfg = AutoencoderConfig::paper(840);
+        assert_eq!(cfg.encoder_dims, vec![512, 256, 128, 64]);
+        let mut ae = Autoencoder::new(cfg);
+        let y = ae.reconstruct(&Matrix::zeros(1, 840));
+        assert_eq!(y.shape(), (1, 840));
+    }
+
+    #[test]
+    fn relu_output_is_nonnegative() {
+        let mut ae = Autoencoder::new(AutoencoderConfig::small(6).with_seed(3));
+        let x = Matrix::from_vec(4, 6, (0..24).map(|i| (i as f32) / 24.0).collect());
+        let y = ae.reconstruct(&x);
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sigmoid_output_is_bounded() {
+        let mut ae = Autoencoder::new(
+            AutoencoderConfig::small(6).with_output(OutputActivationKind::Sigmoid),
+        );
+        let x = Matrix::filled(2, 6, 0.9);
+        let y = ae.reconstruct(&x);
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Autoencoder::new(AutoencoderConfig::small(5).with_seed(9));
+        let mut b = Autoencoder::new(AutoencoderConfig::small(5).with_seed(9));
+        let x = Matrix::filled(1, 5, 0.4);
+        assert_eq!(a.reconstruct(&x), b.reconstruct(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input_dim")]
+    fn zero_input_dim_rejected() {
+        let _ = Autoencoder::new(AutoencoderConfig::small(0));
+    }
+}

@@ -1,0 +1,256 @@
+//! Batch normalization (Ioffe & Szegedy 2015), matching
+//! `tf.keras.layers.BatchNormalization` semantics: batch statistics during
+//! training with exponential running-statistic updates, running statistics
+//! during inference. Defaults `momentum = 0.99`, `epsilon = 1e-3` are the
+//! Keras defaults the paper's implementation would have used.
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Matrix;
+
+/// Per-feature batch normalization for 2-D activations (rows = samples).
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::batchnorm::BatchNorm;
+/// use acobe_nn::layer::{Layer, Mode};
+/// use acobe_nn::tensor::Matrix;
+/// let mut bn = BatchNorm::new(2);
+/// let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]);
+/// let y = bn.forward(&x, Mode::Train);
+/// // Batch statistics make each feature ~zero-mean.
+/// let m = y.col_mean();
+/// assert!(m[0].abs() < 1e-5 && m[1].abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xhat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a layer for `dim` features with Keras defaults.
+    pub fn new(dim: usize) -> Self {
+        Self::with_options(dim, 0.99, 1e-3)
+    }
+
+    /// Creates a layer with explicit momentum and epsilon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)` or `eps <= 0`.
+    pub fn with_options(dim: usize, momentum: f32, eps: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        assert!(eps > 0.0, "eps must be positive");
+        BatchNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            grad_gamma: vec![0.0; dim],
+            grad_beta: vec![0.0; dim],
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum,
+            eps,
+            cache: None,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Current running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(input.cols(), self.dim(), "batchnorm width mismatch");
+        let (rows, cols) = input.shape();
+        match mode {
+            Mode::Train => {
+                let mean = input.col_mean();
+                let var = input.col_var(&mean);
+                let inv_std: Vec<f32> =
+                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let mut xhat = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    let xr = input.row(r);
+                    let out = xhat.row_mut(r);
+                    for c in 0..cols {
+                        out[c] = (xr[c] - mean[c]) * inv_std[c];
+                    }
+                }
+                let mut y = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    let hr = xhat.row(r);
+                    let yr = y.row_mut(r);
+                    for c in 0..cols {
+                        yr[c] = self.gamma[c] * hr[c] + self.beta[c];
+                    }
+                }
+                for c in 0..cols {
+                    self.running_mean[c] =
+                        self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
+                    self.running_var[c] =
+                        self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+                }
+                self.cache = Some(Cache { xhat, inv_std });
+                y
+            }
+            Mode::Eval => {
+                let mut y = Matrix::zeros(rows, cols);
+                let inv_std: Vec<f32> = self
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
+                for r in 0..rows {
+                    let xr = input.row(r);
+                    let yr = y.row_mut(r);
+                    for c in 0..cols {
+                        yr[c] = self.gamma[c] * (xr[c] - self.running_mean[c]) * inv_std[c]
+                            + self.beta[c];
+                    }
+                }
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm::backward without a train-mode forward");
+        let (rows, cols) = grad_output.shape();
+        let n = rows as f32;
+
+        // Accumulate parameter grads and the two per-feature reductions.
+        let mut sum_dxhat = vec![0.0f32; cols];
+        let mut sum_dxhat_xhat = vec![0.0f32; cols];
+        for r in 0..rows {
+            let g = grad_output.row(r);
+            let h = cache.xhat.row(r);
+            for c in 0..cols {
+                self.grad_beta[c] += g[c];
+                self.grad_gamma[c] += g[c] * h[c];
+                let dxhat = g[c] * self.gamma[c];
+                sum_dxhat[c] += dxhat;
+                sum_dxhat_xhat[c] += dxhat * h[c];
+            }
+        }
+
+        // dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+        let mut gx = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let g = grad_output.row(r);
+            let h = cache.xhat.row(r);
+            let o = gx.row_mut(r);
+            for c in 0..cols {
+                let dxhat = g[c] * self.gamma[c];
+                o[c] = cache.inv_std[c] / n
+                    * (n * dxhat - sum_dxhat[c] - h[c] * sum_dxhat_xhat[c]);
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(&mut self.gamma, &self.grad_gamma);
+        f(&mut self.beta, &self.grad_beta);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn train_normalizes_batch() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_rows(&[&[0.0, 100.0], &[2.0, 300.0], &[4.0, 500.0]]);
+        let y = bn.forward(&x, Mode::Train);
+        let mean = y.col_mean();
+        let var = y.col_var(&mean);
+        for m in mean {
+            assert!(m.abs() < 1e-4);
+        }
+        for v in var {
+            assert!((v - 1.0).abs() < 0.05, "var {v}"); // eps skews slightly
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm::with_options(1, 0.5, 1e-3);
+        let x = Matrix::from_rows(&[&[10.0], &[30.0]]); // mean 20, var 100
+        let _ = bn.forward(&x, Mode::Train);
+        assert!((bn.running_mean()[0] - 10.0).abs() < 1e-4); // 0.5*0 + 0.5*20
+        assert!((bn.running_var()[0] - 50.5).abs() < 1e-3); // 0.5*1 + 0.5*100
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::with_options(1, 0.0, 1e-3); // momentum 0: adopt batch stats
+        let x = Matrix::from_rows(&[&[10.0], &[30.0]]);
+        let _ = bn.forward(&x, Mode::Train);
+        // Now running stats are exactly the batch stats; eval on the batch
+        // mean should produce ~0.
+        let y = bn.forward(&Matrix::from_rows(&[&[20.0]]), Mode::Eval);
+        assert!(y.get(0, 0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradients_check_numerically() {
+        check_layer_gradients(Box::new(BatchNorm::new(5)), 6, 5, 0xbeef);
+    }
+
+    #[test]
+    fn param_count_is_two_per_feature() {
+        let mut bn = BatchNorm::new(7);
+        assert_eq!(Layer::param_count(&mut bn), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_rejected() {
+        let _ = BatchNorm::with_options(2, 1.0, 1e-3);
+    }
+}

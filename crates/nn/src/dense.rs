@@ -1,0 +1,191 @@
+//! Fully-connected (dense) layer.
+
+use crate::init::glorot_uniform;
+use crate::layer::{Layer, Mode};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// A fully-connected layer computing `y = xW + b`.
+///
+/// `W` is `(in_dim × out_dim)`, matching `tf.keras.layers.Dense`.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::dense::Dense;
+/// use acobe_nn::layer::{Layer, Mode};
+/// use acobe_nn::tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(4, 2, &mut rng);
+/// let x = Matrix::zeros(3, 4);
+/// let y = layer.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with Glorot-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            w: glorot_uniform(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights and bias (for tests/loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.cols()`.
+    pub fn from_parts(weights: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), weights.cols(), "bias width mismatch");
+        let (r, c) = weights.shape();
+        Dense {
+            w: weights,
+            b: bias,
+            grad_w: Matrix::zeros(r, c),
+            grad_b: vec![0.0; c],
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim(), "dense input width mismatch");
+        let mut out = input.matmul(&self.w);
+        out.add_row_vec(&self.b);
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward without a train-mode forward");
+        // dW += xᵀ g ; db += column sums of g ; dx = g Wᵀ
+        let gw = x.t_matmul(grad_output);
+        self.grad_w = self.grad_w.add(&gw);
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_output.col_sum()) {
+            *gb += s;
+        }
+        grad_output.matmul_t(&self.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(self.w.data_mut_internal(), self.grad_w.data_internal());
+        f(&mut self.b, &self.grad_b);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.data_mut_internal().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn output_dim(&self, _input_dim: usize) -> usize {
+        self.out_dim()
+    }
+}
+
+// Private data-access helpers so visit_params can borrow w and grad_w
+// simultaneously without exposing extra public API.
+impl Matrix {
+    pub(crate) fn data_internal(&self) -> &[f32] {
+        self.data()
+    }
+    pub(crate) fn data_mut_internal(&mut self) -> &mut [f32] {
+        self.data_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        let mut layer = Dense::from_parts(w, vec![0.5, -0.5]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let y = layer.forward(&x, Mode::Eval);
+        assert_eq!(y, Matrix::from_rows(&[&[4.5, 6.5]]));
+    }
+
+    #[test]
+    fn gradients_check_numerically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Dense::new(5, 4, &mut rng);
+        check_layer_gradients(Box::new(layer), 3, 5, 0x51ed);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Matrix::filled(2, 3, 1.0);
+        let y = layer.forward(&x, Mode::Train);
+        let _ = layer.backward(&Matrix::filled(2, 2, 1.0));
+        let mut saw_nonzero = false;
+        layer.visit_params(&mut |_, g| saw_nonzero |= g.iter().any(|&v| v != 0.0));
+        assert!(saw_nonzero);
+        layer.zero_grad();
+        layer.visit_params(&mut |_, g| assert!(g.iter().all(|&v| v == 0.0)));
+        assert_eq!(y.shape(), (2, 2));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        assert_eq!(Layer::param_count(&mut layer), 3 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a train-mode forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Numerical gradient checking used by the layer test suites.
+//!
+//! The check wraps a layer with the scalar loss `L = ½‖y‖²` (so `dL/dy = y`),
+//! runs analytic backprop, and compares against central finite differences on
+//! both the input and a sample of the parameters.
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum parameter entries probed per parameter tensor.
+const MAX_PROBES: usize = 48;
+/// Finite-difference step.
+const H: f32 = 5e-3;
+/// Accepted relative error (with an absolute floor).
+const TOL: f64 = 3e-2;
+const ABS_FLOOR: f64 = 2e-4;
+
+fn loss(y: &Matrix) -> f64 {
+    y.data().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+}
+
+fn forward_loss(layer: &mut dyn Layer, x: &Matrix) -> f64 {
+    loss(&layer.forward(x, Mode::Train))
+}
+
+fn assert_close(analytic: f64, numeric: f64, what: &str) {
+    let denom = analytic.abs().max(numeric.abs()).max(1.0);
+    let rel = (analytic - numeric).abs() / denom;
+    assert!(
+        rel <= TOL || (analytic - numeric).abs() <= ABS_FLOOR,
+        "{what}: analytic {analytic} vs numeric {numeric} (rel {rel})"
+    );
+}
+
+/// Verifies a layer's analytic gradients against finite differences.
+///
+/// # Panics
+///
+/// Panics (test-style) when any probed gradient disagrees beyond tolerance.
+pub fn check_layer_gradients(mut layer: Box<dyn Layer>, batch: usize, in_dim: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Matrix::from_vec(
+        batch,
+        in_dim,
+        (0..batch * in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+
+    // Analytic pass.
+    layer.zero_grad();
+    let y = layer.forward(&x, Mode::Train);
+    let gx = layer.backward(&y.clone());
+
+    // Collect analytic parameter gradients.
+    let mut param_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |_, g| param_grads.push(g.to_vec()));
+
+    // Input gradient check.
+    for r in 0..batch {
+        for c in 0..in_dim {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + H);
+            let lp = forward_loss(layer.as_mut(), &xp);
+            xp.set(r, c, x.get(r, c) - H);
+            let lm = forward_loss(layer.as_mut(), &xp);
+            let numeric = (lp - lm) / (2.0 * H as f64);
+            assert_close(gx.get(r, c) as f64, numeric, &format!("dL/dx[{r},{c}]"));
+        }
+    }
+
+    // Parameter gradient check (probe a sample of entries per tensor).
+    let tensor_count = param_grads.len();
+    for t in 0..tensor_count {
+        let len = param_grads[t].len();
+        let stride = len.div_ceil(MAX_PROBES).max(1);
+        for i in (0..len).step_by(stride) {
+            let analytic = param_grads[t][i] as f64;
+            let orig = perturb_param(layer.as_mut(), t, i, H);
+            let lp = forward_loss(layer.as_mut(), &x);
+            set_param(layer.as_mut(), t, i, orig - H);
+            let lm = forward_loss(layer.as_mut(), &x);
+            set_param(layer.as_mut(), t, i, orig);
+            let numeric = (lp - lm) / (2.0 * H as f64);
+            assert_close(analytic, numeric, &format!("dL/dp[{t}][{i}]"));
+        }
+    }
+}
+
+/// Adds `delta` to parameter `(tensor, index)` and returns the original value.
+fn perturb_param(layer: &mut dyn Layer, tensor: usize, index: usize, delta: f32) -> f32 {
+    let mut t = 0usize;
+    let mut orig = 0.0f32;
+    layer.visit_params(&mut |p, _| {
+        if t == tensor {
+            orig = p[index];
+            p[index] += delta;
+        }
+        t += 1;
+    });
+    orig
+}
+
+fn set_param(layer: &mut dyn Layer, tensor: usize, index: usize, value: f32) {
+    let mut t = 0usize;
+    layer.visit_params(&mut |p, _| {
+        if t == tensor {
+            p[index] = value;
+        }
+        t += 1;
+    });
+}

@@ -1,0 +1,63 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))` — the Keras `Dense` default used by
+/// the paper's TensorFlow implementation.
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+/// He/Kaiming uniform initialization: `limit = sqrt(6 / fan_in)` — an
+/// alternative better matched to ReLU stacks, used by ablations.
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / fan_in as f64).sqrt() as f32;
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_uniform(100, 50, &mut rng);
+        assert_eq!(w.shape(), (100, 50));
+        let limit = (6.0f32 / 150.0).sqrt();
+        for &x in w.data() {
+            assert!(x.abs() <= limit + 1e-6);
+        }
+        // Not all equal.
+        let first = w.data()[0];
+        assert!(w.data().iter().any(|&x| (x - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_uniform(24, 8, &mut rng);
+        let limit = (6.0f32 / 24.0).sqrt();
+        for &x in w.data() {
+            assert!(x.abs() <= limit + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = glorot_uniform(10, 10, &mut StdRng::seed_from_u64(42));
+        let b = glorot_uniform(10, 10, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

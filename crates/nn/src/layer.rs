@@ -1,0 +1,62 @@
+//! The layer abstraction shared by all network building blocks.
+
+use crate::tensor::Matrix;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Batch normalization behaves differently in the two modes (batch statistics
+/// vs. running statistics), exactly as `tf.keras.layers.BatchNormalization`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: layers may cache activations and update running statistics.
+    Train,
+    /// Inference: no caches are required afterwards, running stats are used.
+    Eval,
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and parameter gradients. `forward` in
+/// [`Mode::Train`] must cache whatever `backward` needs; `backward` receives
+/// the loss gradient w.r.t. the layer output and returns the gradient w.r.t.
+/// the layer input, accumulating parameter gradients internally.
+pub trait Layer: Send {
+    /// Computes the layer output for a batch (rows = samples).
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix;
+
+    /// Back-propagates `grad_output` (dL/dy), returning dL/dx.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// [`Layer::forward`] in [`Mode::Train`].
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Visits every `(parameter, gradient)` slice pair, in a stable order.
+    ///
+    /// Optimizers rely on the visitation order being identical across calls to
+    /// associate per-parameter state.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32]));
+
+    /// Resets accumulated parameter gradients to zero.
+    fn zero_grad(&mut self);
+
+    /// Visits every non-trainable state buffer (e.g. BatchNorm running
+    /// statistics), in a stable order. Default: no buffers.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
+    /// Number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Short human-readable name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Output width given an input width (for shape validation).
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+}

@@ -1,0 +1,54 @@
+//! From-scratch neural-network substrate for the ACOBE reproduction.
+//!
+//! The paper implements its detector with TensorFlow 2.0 Keras; this crate
+//! re-implements exactly the pieces that implementation uses — and nothing
+//! more — in pure Rust:
+//!
+//! * [`tensor`] — dense row-major `f32` matrices with a threaded matmul,
+//! * [`dense`] — fully-connected layers (`tf.keras.layers.Dense`),
+//! * [`batchnorm`] — batch normalization with Keras train/eval semantics,
+//! * [`activation`] — ReLU / Sigmoid,
+//! * [`loss`] — mean-squared error,
+//! * [`optim`] — Adadelta (the paper's optimizer), Adam, SGD,
+//! * [`autoencoder`] — the 512-256-128-64 mirrored autoencoder,
+//! * [`train`] — mini-batch training with shuffling and early stopping,
+//! * [`gradcheck`] — numerical gradient verification used by the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig};
+//! use acobe_nn::optim::Adadelta;
+//! use acobe_nn::tensor::Matrix;
+//! use acobe_nn::train::{fit_autoencoder, TrainConfig};
+//!
+//! let mut ae = Autoencoder::new(AutoencoderConfig::small(8));
+//! let data = Matrix::filled(32, 8, 0.5);
+//! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+//! let report = fit_autoencoder(&mut ae, &data, &cfg, &mut Adadelta::new());
+//! assert_eq!(report.epochs_run, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod autoencoder;
+pub mod batchnorm;
+pub mod dense;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use layer::{Layer, Mode};
+pub use net::Sequential;
+pub use optim::{Adadelta, Adam, Optimizer, Sgd};
+pub use serialize::{load_json, save_json, SavedAutoencoder};
+pub use tensor::Matrix;
+pub use train::{fit_autoencoder, TrainConfig, TrainReport};

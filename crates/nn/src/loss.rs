@@ -1,0 +1,93 @@
+//! Loss functions. The paper trains with mean-squared error.
+
+use crate::tensor::Matrix;
+
+/// Mean-squared error over every element of the batch, with its gradient.
+///
+/// Matches Keras `MeanSquaredError` reduction: mean over samples of the mean
+/// over features; the returned gradient is `2 (pred - target) / (N · F)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::loss::mse;
+/// use acobe_nn::tensor::Matrix;
+/// let pred = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+/// let (loss, _grad) = mse(&pred, &target);
+/// assert!((loss - 2.5).abs() < 1e-6);
+/// ```
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let diff = pred.sub(target);
+    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    let loss = diff.norm_sq() / n;
+    let mut grad = diff;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Per-sample mean-squared reconstruction error — the paper's anomaly score.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn per_sample_mse(pred: &Matrix, target: &Matrix) -> Vec<f32> {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    pred.sub(target).row_mean_sq()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        let pred = Matrix::from_rows(&[&[1.0, 3.0], &[0.0, 0.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        // squared errors: 1, 4, 0, 0 -> mean 1.25
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 1.25).abs() < 1e-6);
+        // grad = 2*diff/4
+        assert!((grad.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((grad.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let target = Matrix::from_rows(&[&[0.2, -0.3], &[0.7, 0.1]]);
+        let pred = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        let (_, grad) = mse(&pred, &target);
+        let h = 1e-3;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut p = pred.clone();
+                p.set(r, c, pred.get(r, c) + h);
+                let (lp, _) = mse(&p, &target);
+                p.set(r, c, pred.get(r, c) - h);
+                let (lm, _) = mse(&p, &target);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!((grad.get(r, c) - numeric).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn per_sample_errors() {
+        let pred = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert_eq!(per_sample_mse(&pred, &target), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_loss() {
+        let m = Matrix::from_rows(&[&[0.4, 0.6]]);
+        let (loss, grad) = mse(&m, &m);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+}

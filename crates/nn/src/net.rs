@@ -1,0 +1,237 @@
+//! A sequential stack of layers.
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Matrix;
+
+/// A feed-forward network: layers applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::dense::Dense;
+/// use acobe_nn::layer::Mode;
+/// use acobe_nn::net::Sequential;
+/// use acobe_nn::tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Dense::new(3, 2, &mut rng)));
+/// let y = net.forward(&Matrix::zeros(4, 3), Mode::Eval);
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass.
+    pub fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    /// Back-propagates the loss gradient through every layer (reverse order),
+    /// returning the gradient w.r.t. the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding train-mode [`Sequential::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every `(parameter, gradient)` pair across all layers in a
+    /// stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Clears every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Visits every state buffer across all layers in a stable order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    /// Copies every state buffer into one flat vector (stable order).
+    pub fn buffer_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_buffers(&mut |b| out.extend_from_slice(b));
+        out
+    }
+
+    /// Loads state buffers from a flat vector produced by
+    /// [`Sequential::buffer_vector`] on an identically-shaped network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected length when `state` has the wrong size.
+    pub fn load_buffer_vector(&mut self, state: &[f32]) -> Result<(), usize> {
+        let mut expected = 0;
+        self.visit_buffers(&mut |b| expected += b.len());
+        if state.len() != expected {
+            return Err(expected);
+        }
+        let mut offset = 0usize;
+        self.visit_buffers(&mut |b| {
+            b.copy_from_slice(&state[offset..offset + b.len()]);
+            offset += b.len();
+        });
+        Ok(())
+    }
+
+    /// Copies every parameter into one flat vector (stable order).
+    pub fn state_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Loads parameters from a flat vector produced by
+    /// [`Sequential::state_vector`] on an identically-shaped network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected length when `state` has the wrong size.
+    pub fn load_state_vector(&mut self, state: &[f32]) -> Result<(), usize> {
+        let expected = self.param_count();
+        if state.len() != expected {
+            return Err(expected);
+        }
+        let mut offset = 0usize;
+        self.visit_params(&mut |p, _| {
+            p.copy_from_slice(&state[offset..offset + p.len()]);
+            offset += p.len();
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::batchnorm::BatchNorm;
+    use crate::dense::Dense;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct NetAsLayer(Sequential);
+    impl Layer for NetAsLayer {
+        fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+            self.0.forward(x, mode)
+        }
+        fn backward(&mut self, g: &Matrix) -> Matrix {
+            self.0.backward(g)
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+            self.0.visit_params(f)
+        }
+        fn zero_grad(&mut self) {
+            self.0.zero_grad()
+        }
+        fn name(&self) -> &'static str {
+            "net"
+        }
+    }
+
+    fn deep_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(6, 8, &mut rng)));
+        net.push(Box::new(BatchNorm::new(8)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Dense::new(8, 4, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Dense::new(4, 6, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn whole_network_gradients_check() {
+        check_layer_gradients(Box::new(NetAsLayer(deep_net(11))), 5, 6, 0xcafe);
+    }
+
+    #[test]
+    fn state_vector_roundtrip() {
+        let mut a = deep_net(1);
+        let mut b = deep_net(2);
+        let state = a.state_vector();
+        assert_eq!(state.len(), a.param_count());
+        b.load_state_vector(&state).unwrap();
+        let x = Matrix::filled(3, 6, 0.25);
+        // Eval mode: BatchNorm running stats are both fresh (zeros/ones).
+        let ya = a.forward(&x, Mode::Eval);
+        let yb = b.forward(&x, Mode::Eval);
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn load_wrong_size_errors() {
+        let mut a = deep_net(1);
+        let err = a.load_state_vector(&[0.0; 3]).unwrap_err();
+        assert_eq!(err, a.param_count());
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let net = deep_net(1);
+        let s = format!("{net:?}");
+        assert!(s.contains("dense") && s.contains("batchnorm") && s.contains("relu"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Model persistence: save/load trained autoencoders as JSON.
+//!
+//! Serializes the builder configuration, every trainable parameter, and every
+//! state buffer (BatchNorm running statistics) so a reloaded model scores
+//! identically in inference mode.
+
+use crate::autoencoder::{Autoencoder, AutoencoderConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A serializable snapshot of a trained [`Autoencoder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedAutoencoder {
+    /// The builder configuration (architecture, seed, activations).
+    pub config: AutoencoderConfig,
+    /// Flattened trainable parameters in visitation order.
+    pub params: Vec<f32>,
+    /// Flattened state buffers (running statistics) in visitation order.
+    pub buffers: Vec<f32>,
+}
+
+/// Error returned when loading a saved model fails.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON syntax/shape failure.
+    Json(serde_json::Error),
+    /// Parameter or buffer vector does not match the architecture.
+    ShapeMismatch {
+        /// What didn't fit.
+        what: &'static str,
+        /// How many scalars the architecture expects.
+        expected: usize,
+        /// How many the snapshot carried.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Json(e) => write!(f, "invalid model json: {e}"),
+            LoadError::ShapeMismatch { what, expected, found } => {
+                write!(f, "{what} shape mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+/// Snapshots a (possibly trained) autoencoder.
+pub fn snapshot(ae: &mut Autoencoder) -> SavedAutoencoder {
+    SavedAutoencoder {
+        config: ae.config().clone(),
+        params: ae.net_mut().state_vector(),
+        buffers: ae.net_mut().buffer_vector(),
+    }
+}
+
+/// Restores an autoencoder from a snapshot.
+///
+/// # Errors
+///
+/// Returns [`LoadError::ShapeMismatch`] when the snapshot does not fit its
+/// own declared architecture.
+pub fn restore(saved: &SavedAutoencoder) -> Result<Autoencoder, LoadError> {
+    let mut ae = Autoencoder::new(saved.config.clone());
+    ae.net_mut()
+        .load_state_vector(&saved.params)
+        .map_err(|expected| LoadError::ShapeMismatch {
+            what: "parameters",
+            expected,
+            found: saved.params.len(),
+        })?;
+    ae.net_mut()
+        .load_buffer_vector(&saved.buffers)
+        .map_err(|expected| LoadError::ShapeMismatch {
+            what: "buffers",
+            expected,
+            found: saved.buffers.len(),
+        })?;
+    Ok(ae)
+}
+
+/// Saves a model as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_json<P: AsRef<Path>>(ae: &mut Autoencoder, path: P) -> Result<(), LoadError> {
+    let saved = snapshot(ae);
+    let json = serde_json::to_string(&saved)?;
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a model saved by [`save_json`].
+///
+/// # Errors
+///
+/// Propagates filesystem, JSON and shape failures.
+pub fn load_json<P: AsRef<Path>>(path: P) -> Result<Autoencoder, LoadError> {
+    let json = fs::read_to_string(path)?;
+    let saved: SavedAutoencoder = serde_json::from_str(&json)?;
+    restore(&saved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use crate::tensor::Matrix;
+    use crate::train::{fit_autoencoder, TrainConfig};
+
+    fn trained_model() -> (Autoencoder, Matrix) {
+        let mut ae = Autoencoder::new(AutoencoderConfig::small(6).with_seed(3));
+        let data = Matrix::from_vec(
+            64,
+            6,
+            (0..64 * 6).map(|i| ((i * 37) % 100) as f32 / 100.0).collect(),
+        );
+        let cfg = TrainConfig { epochs: 4, batch_size: 16, seed: 9, early_stop_rel: None };
+        fit_autoencoder(&mut ae, &data, &cfg, &mut Adam::new(1e-2));
+        (ae, data)
+    }
+
+    #[test]
+    fn snapshot_restore_identical_scores() {
+        let (mut ae, data) = trained_model();
+        let saved = snapshot(&mut ae);
+        let mut restored = restore(&saved).unwrap();
+        // Running stats (buffers) must carry over — eval-mode scores match.
+        assert_eq!(
+            ae.reconstruction_errors(&data),
+            restored.reconstruction_errors(&data)
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_on_disk() {
+        let (mut ae, data) = trained_model();
+        let path = std::env::temp_dir().join("acobe_nn_test_model.json");
+        save_json(&mut ae, &path).unwrap();
+        let mut loaded = load_json(&path).unwrap();
+        assert_eq!(
+            ae.reconstruction_errors(&data),
+            loaded.reconstruction_errors(&data)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_shapes_rejected() {
+        let (mut ae, _) = trained_model();
+        let mut saved = snapshot(&mut ae);
+        saved.params.pop();
+        match restore(&saved) {
+            Err(LoadError::ShapeMismatch { what: "parameters", .. }) => {}
+            other => panic!("expected parameter mismatch, got {other:?}"),
+        }
+        let mut saved = snapshot(&mut ae);
+        saved.buffers.push(0.0);
+        assert!(matches!(
+            restore(&saved),
+            Err(LoadError::ShapeMismatch { what: "buffers", .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(
+            load_json("/definitely/not/here.json"),
+            Err(LoadError::Io(_))
+        ));
+    }
+}

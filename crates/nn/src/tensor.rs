@@ -1,0 +1,618 @@
+//! Dense row-major `f32` matrices with the operations backprop needs.
+//!
+//! This is deliberately a small, purpose-built tensor: 2-D only, `f32` like
+//! the paper's TensorFlow implementation, with a threaded matrix multiply for
+//! the large batches the autoencoders train on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Threshold (in multiply-accumulate ops) above which matmul uses threads.
+const PAR_THRESHOLD: usize = 1 << 20;
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_nn::tensor::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// An `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable access to the flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A new matrix keeping only the rows whose indices are in `idx`.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (oi, &ri) in idx.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(ri));
+        }
+        out
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        matmul_into(
+            &self.data, self.rows, self.cols,
+            &rhs.data, rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ × rhs` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        // out[i][j] = sum_k self[k][i] * rhs[k][j]
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = rhs.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × rhsᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds `vec` to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.cols`.
+    pub fn add_row_vec(&mut self, vec: &[f32]) {
+        assert_eq!(vec.len(), self.cols, "row-vector length mismatch");
+        for r in 0..self.rows {
+            for (x, &v) in self.row_mut(r).iter_mut().zip(vec) {
+                *x += v;
+            }
+        }
+    }
+
+    /// Element-wise sum into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise (Hadamard) product into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Applies `f` to every element into a new matrix.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Per-column mean (length `cols`).
+    pub fn col_mean(&self) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (m, &x) in mean.iter_mut().zip(self.row(r)) {
+                *m += x;
+            }
+        }
+        let n = self.rows.max(1) as f32;
+        for m in &mut mean {
+            *m /= n;
+        }
+        mean
+    }
+
+    /// Per-column (population) variance given a pre-computed mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean.len() != self.cols`.
+    pub fn col_var(&self, mean: &[f32]) -> Vec<f32> {
+        assert_eq!(mean.len(), self.cols, "mean length mismatch");
+        let mut var = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for ((v, &m), &x) in var.iter_mut().zip(mean).zip(self.row(r)) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let n = self.rows.max(1) as f32;
+        for v in &mut var {
+            *v /= n;
+        }
+        var
+    }
+
+    /// Per-column sum (length `cols`).
+    pub fn col_sum(&self) -> Vec<f32> {
+        let mut sum = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, &x) in sum.iter_mut().zip(self.row(r)) {
+                *s += x;
+            }
+        }
+        sum
+    }
+
+    /// Mean of squared elements per row — the per-sample reconstruction error
+    /// when called on `pred - target`.
+    pub fn row_mean_sq(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter().map(|x| x * x).sum::<f32>() / self.cols.max(1) as f32
+            })
+            .collect()
+    }
+
+    /// Frobenius-norm squared.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// `out += a(rows×inner) × b(inner×cols)`, threading across row chunks when
+/// the operation is large enough to pay for it.
+fn matmul_into(a: &[f32], rows: usize, inner: usize, b: &[f32], cols: usize, out: &mut [f32]) {
+    let work = rows * inner * cols;
+    let threads = available_threads();
+    if work < PAR_THRESHOLD || threads <= 1 || rows < 2 {
+        matmul_serial(a, inner, b, cols, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        let a_chunks = a.chunks(chunk_rows * inner);
+        let out_chunks = out.chunks_mut(chunk_rows * cols);
+        for (a_chunk, out_chunk) in a_chunks.zip(out_chunks) {
+            s.spawn(move || {
+                matmul_serial(a_chunk, inner, b, cols, out_chunk);
+            });
+        }
+    });
+}
+
+fn matmul_serial(a: &[f32], inner: usize, b: &[f32], cols: usize, out: &mut [f32]) {
+    let rows = a.len() / inner.max(1);
+    for i in 0..rows {
+        let arow = &a[i * inner..(i + 1) * inner];
+        let orow = &mut out[i * cols..(i + 1) * cols];
+        for (k, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[k * cols..(k + 1) * cols];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_and_zero() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 3.0], &[0.5, 0.0, -1.0]]);
+        approx(&a.matmul(&Matrix::eye(3)), &a, 0.0);
+        let z = a.matmul(&Matrix::zeros(3, 4));
+        assert_eq!(z, Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0]]);
+        // aᵀ(2x3)ᵀ=3x2 × b(2x2)
+        approx(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-6);
+        let c = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, 0.0]]);
+        approx(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-6);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Large enough to cross PAR_THRESHOLD.
+        let n = 128;
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|i| ((i * 37 + 11) % 97) as f32 * 0.01).collect(),
+        );
+        let b = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|i| ((i * 53 + 7) % 89) as f32 * 0.01 - 0.4).collect(),
+        );
+        let big = a.matmul(&b);
+        // Serial reference
+        let mut reference = Matrix::zeros(n, n);
+        for i in 0..n {
+            for k in 0..n {
+                let av = a.get(i, k);
+                for j in 0..n {
+                    reference.data_mut()[i * n + j] += av * b.get(k, j);
+                }
+            }
+        }
+        approx(&big, &reference, 1e-3);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 1.0]]));
+        assert_eq!(a.sub(&b), Matrix::from_rows(&[&[-2.0, 3.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -2.0]]));
+        let mut c = a.clone();
+        c.scale(2.0);
+        assert_eq!(c, Matrix::from_rows(&[&[2.0, 4.0]]));
+        assert_eq!(a.map(|x| x + 1.0), Matrix::from_rows(&[&[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn column_stats() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]);
+        assert_eq!(a.col_mean(), vec![2.0, 20.0]);
+        assert_eq!(a.col_var(&[2.0, 20.0]), vec![1.0, 100.0]);
+        assert_eq!(a.col_sum(), vec![4.0, 40.0]);
+    }
+
+    #[test]
+    fn row_mean_sq() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        assert_eq!(a.row_mean_sq(), vec![12.5, 0.0]);
+    }
+
+    #[test]
+    fn select_rows() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn add_row_vec() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        prop::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// (AB)ᵀ = BᵀAᵀ.
+        #[test]
+        fn transpose_of_product((a, b) in (matrix(4, 6), matrix(6, 3))) {
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+
+        /// Transpose is an involution.
+        #[test]
+        fn transpose_involution(a in matrix(5, 7)) {
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        /// A(B + C) = AB + AC.
+        #[test]
+        fn matmul_distributes((a, b, c) in (matrix(3, 4), matrix(4, 5), matrix(4, 5))) {
+            let left = a.matmul(&b.add(&c));
+            let right = a.matmul(&b).add(&a.matmul(&c));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+
+        /// The fused transposed products agree with explicit transposes.
+        #[test]
+        fn fused_transposed_products((a, b) in (matrix(4, 3), matrix(4, 5))) {
+            let fused = a.t_matmul(&b);
+            let explicit = a.transpose().matmul(&b);
+            for (x, y) in fused.data().iter().zip(explicit.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// Per-row mean-square is non-negative and zero only for zero rows.
+        #[test]
+        fn row_mean_sq_nonnegative(a in matrix(6, 4)) {
+            for (r, &ms) in a.row_mean_sq().iter().enumerate() {
+                prop_assert!(ms >= 0.0);
+                if ms == 0.0 {
+                    prop_assert!(a.row(r).iter().all(|&x| x == 0.0));
+                }
+            }
+        }
+
+        /// Column mean of a one-row matrix is the row itself.
+        #[test]
+        fn col_mean_single_row(a in matrix(1, 8)) {
+            prop_assert_eq!(a.col_mean(), a.row(0).to_vec());
+        }
+    }
+}

@@ -1,0 +1,1070 @@
+//! CERT-like insider-threat dataset generator.
+//!
+//! Re-synthesizes the structure of the CERT Insider Threat Test Dataset
+//! r6.1/r6.2 that the paper evaluates on: a multi-department organization
+//! producing device / file / HTTP / email / logon logs over ~17 months, with
+//! calendar seasonality, busy return days, group-wide environmental events,
+//! per-user object vocabularies (for "new-op" features) and injected insider
+//! scenarios 1 and 2 (see DESIGN.md for the substitution rationale).
+
+use crate::environment::{EnvEffect, EnvEvent, Scope};
+use crate::org::{build_directory, OrgConfig};
+use crate::profile::BehaviorProfile;
+use crate::scenario::{InsiderScenario, ScenarioPlacement, VictimRecord};
+use crate::stats::{poisson, weighted_index};
+use crate::vocab::{IdAllocator, Vocab};
+use acobe_logs::calendar::Calendar;
+use acobe_logs::directory::Directory;
+use acobe_logs::event::*;
+use acobe_logs::ids::{DomainId, FileId, HostId, UserId};
+use acobe_logs::store::LogStore;
+use acobe_logs::time::{Date, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a synthesized CERT-like dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertConfig {
+    /// Organization shape.
+    pub org: OrgConfig,
+    /// First generated day.
+    pub start: Date,
+    /// First non-generated day.
+    pub end: Date,
+    /// Master seed.
+    pub seed: u64,
+    /// Injected insider scenarios.
+    pub scenarios: Vec<ScenarioPlacement>,
+    /// Group-level environmental events.
+    pub env_events: Vec<EnvEvent>,
+}
+
+impl CertConfig {
+    /// The paper-like evaluation dataset: four departments, one insider per
+    /// department (two instances of each scenario, mirroring r6.1 + r6.2),
+    /// spanning 2010-01-02 .. 2011-05-31, with several environmental events.
+    pub fn paper(org: OrgConfig, seed: u64) -> Self {
+        let per = org.users_per_dept as u32;
+        let victim = |dept: u32| UserId(dept * per + 7 % per.max(1));
+        let scenarios = vec![
+            ScenarioPlacement {
+                victim: victim(0),
+                scenario: InsiderScenario::Scenario1 { start: Date::from_ymd(2010, 8, 9) },
+            },
+            ScenarioPlacement {
+                victim: victim(1),
+                scenario: InsiderScenario::Scenario2 { start: Date::from_ymd(2011, 1, 7) },
+            },
+            ScenarioPlacement {
+                victim: victim(2),
+                scenario: InsiderScenario::Scenario1 { start: Date::from_ymd(2011, 2, 7) },
+            },
+            ScenarioPlacement {
+                victim: victim(3),
+                scenario: InsiderScenario::Scenario2 { start: Date::from_ymd(2010, 9, 10) },
+            },
+        ]
+        .into_iter()
+        .take(org.departments)
+        .collect();
+
+        let env_events = vec![
+            EnvEvent {
+                start: Date::from_ymd(2010, 6, 14),
+                end: Date::from_ymd(2010, 6, 18),
+                scope: Scope::Org,
+                effect: EnvEffect::NewService { domain: ENV_DOMAIN_BASE, daily_hits: 6.0 },
+            },
+            EnvEvent {
+                start: Date::from_ymd(2010, 10, 5),
+                end: Date::from_ymd(2010, 10, 7),
+                scope: Scope::Org,
+                effect: EnvEffect::Outage { daily_failures: 8.0 },
+            },
+            EnvEvent {
+                start: Date::from_ymd(2011, 1, 24),
+                end: Date::from_ymd(2011, 1, 28),
+                scope: Scope::Org,
+                effect: EnvEffect::NewService { domain: ENV_DOMAIN_BASE + 1, daily_hits: 5.0 },
+            },
+        ];
+
+        CertConfig {
+            org,
+            start: Date::from_ymd(2010, 1, 2),
+            end: Date::from_ymd(2011, 6, 1),
+            seed,
+            scenarios,
+            env_events,
+        }
+    }
+
+    /// A fast small dataset for tests: two departments, ~3 months, one
+    /// scenario of each kind.
+    pub fn small(seed: u64) -> Self {
+        let org = OrgConfig::small();
+        let per = org.users_per_dept as u32;
+        CertConfig {
+            scenarios: vec![
+                ScenarioPlacement {
+                    victim: UserId(3),
+                    scenario: InsiderScenario::Scenario1 { start: Date::from_ymd(2010, 3, 8) },
+                },
+                ScenarioPlacement {
+                    victim: UserId(per + 4),
+                    scenario: InsiderScenario::Scenario2 { start: Date::from_ymd(2010, 2, 15) },
+                },
+            ],
+            env_events: vec![EnvEvent {
+                start: Date::from_ymd(2010, 3, 1),
+                end: Date::from_ymd(2010, 3, 4),
+                scope: Scope::Org,
+                effect: EnvEffect::NewService { domain: ENV_DOMAIN_BASE, daily_hits: 4.0 },
+            }],
+            org,
+            start: Date::from_ymd(2010, 1, 4),
+            end: Date::from_ymd(2010, 5, 1),
+            seed,
+        }
+    }
+}
+
+/// Number of globally popular web domains (ids `0..POPULAR_DOMAINS`).
+pub const POPULAR_DOMAINS: u32 = 60;
+/// Domain ids reserved for environmental "new services".
+pub const ENV_DOMAIN_BASE: u32 = 9_000;
+/// First dynamically allocated domain id.
+const DOMAIN_ALLOC_BASE: u32 = 10_000;
+/// First dynamically allocated file id.
+const FILE_ALLOC_BASE: u32 = 1_000_000;
+/// First dynamically allocated host id.
+const HOST_ALLOC_BASE: u32 = 200_000;
+/// Shared department server host ids.
+const DEPT_SERVER_BASE: u32 = 100_000;
+
+#[derive(Debug)]
+struct UserState {
+    profile: BehaviorProfile,
+    domains: Vocab,
+    upload_domains: Vocab,
+    files: Vocab,
+    hosts: Vocab,
+    /// An ongoing personal event (deadline crunch / new project), if any.
+    personal: Option<PersonalEvent>,
+}
+
+/// Benign per-user anomalies: the "unusual yet common" activity the paper's
+/// Section III and VII argue single-day models misreport. A deadline crunch
+/// multiplies habitual activity for a few days; a new project brings a burst
+/// of never-seen files and domains with a long smooth tail.
+#[derive(Debug, Clone, Copy)]
+enum PersonalEvent {
+    Crunch { until: Date, mult: f64 },
+    NewProject { until: Date },
+}
+
+#[derive(Debug)]
+struct VictimState {
+    scenario: InsiderScenario,
+    /// Scenario-specific exfiltration target domains. Scenario 1 has a
+    /// single wikileaks-style destination; scenario 2 holds a *growing*
+    /// pool of job portals (applying to new companies keeps the
+    /// `http.new-op` feature firing for the whole job hunt, as in the
+    /// paper's Figure 4).
+    special_domains: Vec<u32>,
+}
+
+/// Streaming generator: call [`CertGenerator::generate_day`] for consecutive
+/// days (starting at `config.start`) or use [`CertGenerator::build_store`].
+///
+/// # Examples
+///
+/// ```
+/// use acobe_synth::cert::{CertConfig, CertGenerator};
+/// let mut gen = CertGenerator::new(CertConfig::small(1));
+/// let first_day = gen.config().start;
+/// let events = gen.generate_day(first_day);
+/// assert!(!events.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct CertGenerator {
+    config: CertConfig,
+    directory: Directory,
+    calendar: Calendar,
+    users: Vec<UserState>,
+    victims: Vec<Option<VictimState>>,
+    rng: StdRng,
+    domain_alloc: IdAllocator,
+    file_alloc: IdAllocator,
+    host_alloc: IdAllocator,
+    next_date: Date,
+}
+
+impl CertGenerator {
+    /// Builds the organization and per-user state for `config`.
+    pub fn new(config: CertConfig) -> Self {
+        let directory = build_directory(&config.org);
+        let calendar = Calendar::us_style(config.start.year()..=config.end.year());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut domain_alloc = IdAllocator::starting_at(DOMAIN_ALLOC_BASE);
+        let mut file_alloc = IdAllocator::starting_at(FILE_ALLOC_BASE);
+        let host_alloc = IdAllocator::starting_at(HOST_ALLOC_BASE);
+
+        let n = directory.len();
+        let mut users = Vec::with_capacity(n);
+        for uid in 0..n as u32 {
+            let mut profile = BehaviorProfile::sample(&mut rng);
+            // Scenario preconditions (Section V-A1): the scenario-1 victim
+            // "did not previously use removable drives or work during
+            // off-hours"; the scenario-2 victim used drives at low rates.
+            if let Some(p) = config.scenarios.iter().find(|p| p.victim == UserId(uid)) {
+                match p.scenario {
+                    InsiderScenario::Scenario1 { .. } => {
+                        profile.device_user = false;
+                        profile.device_rate = 0.0;
+                        profile.works_off_hours = false;
+                        profile.off_hours_fraction = 0.01;
+                    }
+                    InsiderScenario::Scenario2 { .. } => {
+                        // Used a thumb drive before, but rarely; rarely
+                        // uploaded documents (the resume uploads must break
+                        // the habit, as for JPH1910 in the paper's Figure 4).
+                        profile.device_user = true;
+                        profile.device_rate = 0.15;
+                        profile.http_upload_rate = 0.08;
+                    }
+                }
+            }
+            let dept = directory.dept_of(UserId(uid)).expect("user registered");
+            let mut initial_domains: Vec<u32> = Vec::new();
+            let popular_weights = crate::stats::zipf_weights(POPULAR_DOMAINS as usize, 1.0);
+            for _ in 0..15 {
+                let d = weighted_index(&mut rng, &popular_weights) as u32;
+                if !initial_domains.contains(&d) {
+                    initial_domains.push(d);
+                }
+            }
+            for _ in 0..8 {
+                initial_domains.push(domain_alloc.alloc());
+            }
+            let upload_initial: Vec<u32> =
+                (0..rng.gen_range(2..5)).map(|_| domain_alloc.alloc()).collect();
+            let file_initial: Vec<u32> =
+                (0..30).map(|_| file_alloc.alloc()).collect();
+            let host_initial = vec![uid, DEPT_SERVER_BASE + dept.0];
+
+            users.push(UserState {
+                profile,
+                domains: Vocab::new(initial_domains, 0.08, 40.0),
+                upload_domains: Vocab::new(upload_initial, 0.04, 10.0),
+                files: Vocab::new(file_initial, 0.12, 60.0),
+                hosts: Vocab::new(host_initial, 0.012, 5.0),
+                personal: None,
+            });
+        }
+
+        let mut victims: Vec<Option<VictimState>> = (0..n).map(|_| None).collect();
+        for p in &config.scenarios {
+            let special = match p.scenario {
+                // One wikileaks-style destination.
+                InsiderScenario::Scenario1 { .. } => vec![domain_alloc.alloc()],
+                // The first couple of job sites; the pool grows as the
+                // victim applies to more companies.
+                InsiderScenario::Scenario2 { .. } => {
+                    (0..2).map(|_| domain_alloc.alloc()).collect()
+                }
+            };
+            victims[p.victim.index()] = Some(VictimState {
+                scenario: p.scenario,
+                special_domains: special,
+            });
+        }
+
+        let next_date = config.start;
+        CertGenerator {
+            config,
+            directory,
+            calendar,
+            users,
+            victims,
+            rng,
+            domain_alloc,
+            file_alloc,
+            host_alloc,
+            next_date,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CertConfig {
+        &self.config
+    }
+
+    /// The LDAP directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The work calendar.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
+    }
+
+    /// Ground-truth victim records.
+    pub fn ground_truth(&self) -> Vec<VictimRecord> {
+        self.config.scenarios.iter().map(VictimRecord::from).collect()
+    }
+
+    /// Generates all events for one day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if days are requested out of order (state such as vocabularies
+    /// evolves day by day) or outside the configured span.
+    pub fn generate_day(&mut self, date: Date) -> Vec<LogEvent> {
+        assert_eq!(date, self.next_date, "days must be generated in order");
+        assert!(date < self.config.end, "date beyond configured span");
+        self.next_date = date.add_days(1);
+
+        let workday = self.calendar.is_workday(date);
+        let break_len = self.calendar.preceding_break_len(date);
+        // Busy return days: the whole organization catches up.
+        let busy_boost = if workday && break_len > 1 {
+            1.0 + 0.45 * (break_len.min(4) as f64)
+        } else {
+            1.0
+        };
+
+        let mut events = Vec::new();
+        for uid in 0..self.users.len() {
+            let user = UserId(uid as u32);
+            if let Some(v) = &self.victims[uid] {
+                if date >= v.scenario.departure() {
+                    continue; // the insider has left the organization
+                }
+            }
+            let personal_mult = self.step_personal_event(date, uid, workday);
+            self.generate_user_day(date, user, workday, busy_boost, personal_mult, &mut events);
+            if let Some(PersonalEvent::NewProject { .. }) = self.users[uid].personal {
+                if workday {
+                    self.inject_new_project_day(date, user, &mut events);
+                }
+            }
+            self.apply_env_events(date, user, &mut events);
+            if self.victims[uid].is_some() {
+                self.inject_scenario(date, user, &mut events);
+            }
+        }
+        events.sort_by_key(|e| e.ts());
+        events
+    }
+
+    /// Convenience: generates the full configured span into a [`LogStore`].
+    pub fn build_store(&mut self) -> LogStore {
+        let mut store = LogStore::new();
+        let (start, end) = (self.config.start, self.config.end);
+        for date in start.range_to(end) {
+            store.extend(self.generate_day(date));
+        }
+        store.finalize();
+        store
+    }
+
+    fn time_in_frame(&mut self, date: Date, frame: usize) -> Timestamp {
+        let secs: i64 = if frame == 0 {
+            self.rng.gen_range(6 * 3600..18 * 3600)
+        } else {
+            // Off hours: 18:00-24:00 and 00:00-06:00 of the same civil day.
+            let x: i64 = self.rng.gen_range(0..12 * 3600);
+            if x < 6 * 3600 {
+                18 * 3600 + x
+            } else {
+                x - 6 * 3600
+            }
+        };
+        date.midnight().add_secs(secs)
+    }
+
+    fn generate_user_day(
+        &mut self,
+        date: Date,
+        user: UserId,
+        workday: bool,
+        busy_boost: f64,
+        personal_mult: f64,
+        out: &mut Vec<LogEvent>,
+    ) {
+        let uid = user.index();
+        let day_mult = if workday {
+            busy_boost
+        } else {
+            self.users[uid].profile.weekend_factor
+        };
+        // Deadline crunches inflate interactive work (files, mail, logons,
+        // browsing) but not document uploads or thumb-drive habits.
+        let crunch_mult = day_mult * personal_mult;
+
+        for frame in 0..2usize {
+            // -------- logons --------
+            let p = &self.users[uid].profile;
+            let rate = p.frame_rate(p.logon_rate, frame, crunch_mult, 0.25);
+            let logons = poisson(&mut self.rng, rate);
+            for _ in 0..logons {
+                let ts = self.time_in_frame(date, frame);
+                let host = self.draw_host(uid);
+                let success = self.rng.gen::<f64>() < 0.97;
+                out.push(LogEvent::Logon(LogonEvent {
+                    ts,
+                    user,
+                    host,
+                    activity: LogonActivity::Logon,
+                    success,
+                }));
+                if success {
+                    let off = self.rng.gen_range(600..4 * 3600);
+                    out.push(LogEvent::Logon(LogonEvent {
+                        ts: clamp_to_day(ts.add_secs(off), date),
+                        user,
+                        host,
+                        activity: LogonActivity::Logoff,
+                        success: true,
+                    }));
+                }
+            }
+
+            // -------- removable devices --------
+            let p = &self.users[uid].profile;
+            if p.device_user {
+                let rate = p.frame_rate(p.device_rate, frame, day_mult, 0.0);
+                let n = poisson(&mut self.rng, rate);
+                for _ in 0..n {
+                    self.emit_device_pair(date, frame, user, out);
+                }
+                // Rare benign USB-backup days: a burst of connects that
+                // lights up the device aspect alone. Single-model detectors
+                // flag these; the N-of-aspects ensemble does not (the
+                // paper's Section V-B3 argument).
+                if frame == 0 && workday && self.rng.gen::<f64>() < 0.012 {
+                    let burst = self.rng.gen_range(4..10);
+                    for _ in 0..burst {
+                        self.emit_device_pair(date, 0, user, out);
+                    }
+                }
+            }
+
+            // -------- file accesses --------
+            let p = &self.users[uid].profile;
+            let rate = p.frame_rate(p.file_rate, frame, crunch_mult, 0.4);
+            let n = poisson(&mut self.rng, rate);
+            for _ in 0..n {
+                let ts = self.time_in_frame(date, frame);
+                let (activity, from, to) = self.draw_file_op();
+                let file = self.draw_file(uid);
+                let host = HostId(uid as u32);
+                out.push(LogEvent::File(FileEvent {
+                    ts,
+                    user,
+                    host,
+                    file,
+                    activity,
+                    from,
+                    to,
+                }));
+            }
+
+            // -------- http --------
+            let p = &self.users[uid].profile;
+            let visit_rate = p.frame_rate(p.http_visit_rate, frame, crunch_mult, 1.2);
+            let dl_rate = p.frame_rate(p.http_download_rate, frame, crunch_mult, 0.1);
+            let ul_rate = p.frame_rate(p.http_upload_rate, frame, day_mult, 0.0);
+            let visits = poisson(&mut self.rng, visit_rate);
+            for _ in 0..visits {
+                let ts = self.time_in_frame(date, frame);
+                let domain = self.draw_domain(uid);
+                let success = self.rng.gen::<f64>() < 0.97;
+                out.push(LogEvent::Http(HttpEvent {
+                    ts,
+                    user,
+                    domain,
+                    activity: HttpActivity::Visit,
+                    filetype: FileType::Other,
+                    success,
+                }));
+            }
+            let downloads = poisson(&mut self.rng, dl_rate);
+            for _ in 0..downloads {
+                let ts = self.time_in_frame(date, frame);
+                let domain = self.draw_domain(uid);
+                let ft = FileType::upload_feature_order()[self.rng.gen_range(0..6)];
+                out.push(LogEvent::Http(HttpEvent {
+                    ts,
+                    user,
+                    domain,
+                    activity: HttpActivity::Download,
+                    filetype: ft,
+                    success: true,
+                }));
+            }
+            let uploads = poisson(&mut self.rng, ul_rate);
+            for _ in 0..uploads {
+                let ts = self.time_in_frame(date, frame);
+                let weights = self.users[uid].profile.upload_type_weights;
+                let ft = FileType::upload_feature_order()[weighted_index(&mut self.rng, &weights)];
+                let domain = self.draw_upload_domain(uid);
+                out.push(LogEvent::Http(HttpEvent {
+                    ts,
+                    user,
+                    domain,
+                    activity: HttpActivity::Upload,
+                    filetype: ft,
+                    success: true,
+                }));
+            }
+
+            // -------- email --------
+            let p = &self.users[uid].profile;
+            let rate = p.frame_rate(p.email_rate, frame, crunch_mult, 0.0);
+            let n = poisson(&mut self.rng, rate);
+            for _ in 0..n {
+                let ts = self.time_in_frame(date, frame);
+                let recipients = self.rng.gen_range(1..8);
+                let size = (crate::stats::log_normal(&mut self.rng, 8.0, 1.0) as u32).max(200);
+                let attachment = self.rng.gen::<f64>() < 0.2;
+                out.push(LogEvent::Email(EmailEvent {
+                    ts,
+                    user,
+                    recipients,
+                    size,
+                    attachment,
+                }));
+            }
+        }
+    }
+
+    fn emit_device_pair(&mut self, date: Date, frame: usize, user: UserId, out: &mut Vec<LogEvent>) {
+        let ts = self.time_in_frame(date, frame);
+        let host = self.draw_host(user.index());
+        out.push(LogEvent::Device(DeviceEvent {
+            ts,
+            user,
+            host,
+            activity: DeviceActivity::Connect,
+        }));
+        let off = self.rng.gen_range(60..7200);
+        out.push(LogEvent::Device(DeviceEvent {
+            ts: clamp_to_day(ts.add_secs(off), date),
+            user,
+            host,
+            activity: DeviceActivity::Disconnect,
+        }));
+    }
+
+    fn draw_file_op(&mut self) -> (FileActivity, Location, Location) {
+        let r = self.rng.gen::<f64>();
+        if r < 0.55 {
+            let from = if self.rng.gen::<f64>() < 0.85 { Location::Local } else { Location::Remote };
+            (FileActivity::Open, from, Location::Local)
+        } else if r < 0.82 {
+            let to = if self.rng.gen::<f64>() < 0.85 { Location::Local } else { Location::Remote };
+            (FileActivity::Write, Location::Local, to)
+        } else if r < 0.94 {
+            if self.rng.gen::<f64>() < 0.5 {
+                (FileActivity::Copy, Location::Local, Location::Remote)
+            } else {
+                (FileActivity::Copy, Location::Remote, Location::Local)
+            }
+        } else {
+            (FileActivity::Delete, Location::Local, Location::Local)
+        }
+    }
+
+    fn draw_domain(&mut self, uid: usize) -> DomainId {
+        let Self { users, rng, domain_alloc, .. } = self;
+        let (id, _) = users[uid].domains.draw(rng, &mut || domain_alloc.alloc());
+        DomainId(id)
+    }
+
+    fn draw_upload_domain(&mut self, uid: usize) -> DomainId {
+        let Self { users, rng, domain_alloc, .. } = self;
+        let (id, _) = users[uid].upload_domains.draw(rng, &mut || domain_alloc.alloc());
+        DomainId(id)
+    }
+
+    fn draw_file(&mut self, uid: usize) -> FileId {
+        let Self { users, rng, file_alloc, .. } = self;
+        let (id, _) = users[uid].files.draw(rng, &mut || file_alloc.alloc());
+        FileId(id)
+    }
+
+    /// Exfiltration sweeps touch mostly files that never appeared in the
+    /// user's audit history (fresh ids), unlike habitual file activity.
+    fn draw_exfil_file(&mut self, uid: usize) -> FileId {
+        if self.rng.gen::<f64>() < 0.7 {
+            FileId(self.file_alloc.alloc())
+        } else {
+            self.draw_file(uid)
+        }
+    }
+
+    fn draw_host(&mut self, uid: usize) -> HostId {
+        let Self { users, rng, host_alloc, .. } = self;
+        let (id, _) = users[uid].hosts.draw(rng, &mut || host_alloc.alloc());
+        HostId(id)
+    }
+
+    fn apply_env_events(&mut self, date: Date, user: UserId, out: &mut Vec<LogEvent>) {
+        let dept = self.directory.dept_of(user).expect("user registered");
+        let active: Vec<EnvEvent> = self
+            .config
+            .env_events
+            .iter()
+            .filter(|e| e.active_on(date) && e.scope.covers(dept))
+            .copied()
+            .collect();
+        for ev in active {
+            match ev.effect {
+                EnvEffect::NewService { domain, daily_hits } => {
+                    let n = poisson(&mut self.rng, daily_hits);
+                    for _ in 0..n {
+                        let ts = self.time_in_frame(date, 0);
+                        out.push(LogEvent::Http(HttpEvent {
+                            ts,
+                            user,
+                            domain: DomainId(domain),
+                            activity: HttpActivity::Visit,
+                            filetype: FileType::Other,
+                            success: true,
+                        }));
+                    }
+                    self.users[user.index()].domains.insert(domain);
+                }
+                EnvEffect::Outage { daily_failures } => {
+                    let n = poisson(&mut self.rng, daily_failures);
+                    for _ in 0..n {
+                        let ts = self.time_in_frame(date, 0);
+                        let domain = self.draw_domain(user.index());
+                        out.push(LogEvent::Http(HttpEvent {
+                            ts,
+                            user,
+                            domain,
+                            activity: HttpActivity::Visit,
+                            filetype: FileType::Other,
+                            success: false,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts/expires benign personal events and returns today's activity
+    /// multiplier from an ongoing crunch.
+    fn step_personal_event(&mut self, date: Date, uid: usize, workday: bool) -> f64 {
+        if let Some(event) = self.users[uid].personal {
+            let until = match event {
+                PersonalEvent::Crunch { until, .. } | PersonalEvent::NewProject { until } => until,
+            };
+            if date >= until {
+                self.users[uid].personal = None;
+            }
+        }
+        match self.users[uid].personal {
+            Some(PersonalEvent::Crunch { mult, .. }) => mult,
+            Some(PersonalEvent::NewProject { .. }) => 1.3,
+            None => {
+                if workday {
+                    let r = self.rng.gen::<f64>();
+                    if r < 0.025 {
+                        let days = self.rng.gen_range(1..4);
+                        let mult = self.rng.gen_range(2.2..3.4);
+                        self.users[uid].personal =
+                            Some(PersonalEvent::Crunch { until: date.add_days(days), mult });
+                        return mult;
+                    } else if r < 0.036 {
+                        let days = self.rng.gen_range(3..8);
+                        self.users[uid].personal =
+                            Some(PersonalEvent::NewProject { until: date.add_days(days) });
+                        return 1.3;
+                    }
+                }
+                1.0
+            }
+        }
+    }
+
+    /// A new-project day: bursts of never-seen files, a few new domains, and
+    /// occasional document uploads — benign but novel.
+    fn inject_new_project_day(&mut self, date: Date, user: UserId, out: &mut Vec<LogEvent>) {
+        let uid = user.index();
+        let host = HostId(uid as u32);
+        let file_ops = self.rng.gen_range(8..24);
+        for _ in 0..file_ops {
+            let ts = self.time_in_frame(date, 0);
+            let file = if self.rng.gen::<f64>() < 0.5 {
+                let id = self.file_alloc.alloc();
+                self.users[uid].files.insert(id);
+                FileId(id)
+            } else {
+                self.draw_file(uid)
+            };
+            let (activity, from, to) = self.draw_file_op();
+            out.push(LogEvent::File(FileEvent { ts, user, host, file, activity, from, to }));
+        }
+        let visits = self.rng.gen_range(3..9);
+        let fresh_domain = self.domain_alloc.alloc();
+        self.users[uid].domains.insert(fresh_domain);
+        for _ in 0..visits {
+            let ts = self.time_in_frame(date, 0);
+            let domain = if self.rng.gen::<f64>() < 0.5 {
+                DomainId(fresh_domain)
+            } else {
+                self.draw_domain(uid)
+            };
+            out.push(LogEvent::Http(HttpEvent {
+                ts,
+                user,
+                domain,
+                activity: HttpActivity::Visit,
+                filetype: FileType::Other,
+                success: true,
+            }));
+        }
+        if self.rng.gen::<f64>() < 0.4 {
+            let ts = self.time_in_frame(date, 0);
+            let domain = self.draw_upload_domain(uid);
+            out.push(LogEvent::Http(HttpEvent {
+                ts,
+                user,
+                domain,
+                activity: HttpActivity::Upload,
+                filetype: FileType::Doc,
+                success: true,
+            }));
+        }
+    }
+
+    fn inject_scenario(&mut self, date: Date, user: UserId, out: &mut Vec<LogEvent>) {
+        let uid = user.index();
+        let Some(victim) = &self.victims[uid] else { return };
+        let scenario = victim.scenario;
+        let specials = victim.special_domains.clone(); // re-read daily: scenario 2's pool grows
+        let (start, end) = scenario.anomaly_span();
+        if date < start || date >= end {
+            return;
+        }
+
+        match scenario {
+            InsiderScenario::Scenario1 { .. } => {
+                // Off-hours logons on a host they own.
+                let logons = self.rng.gen_range(2..5);
+                for _ in 0..logons {
+                    let ts = self.time_in_frame(date, 1);
+                    out.push(LogEvent::Logon(LogonEvent {
+                        ts,
+                        user,
+                        host: HostId(uid as u32),
+                        activity: LogonActivity::Logon,
+                        success: true,
+                    }));
+                }
+                // Off-hours thumb-drive sessions (never used before).
+                let sessions = self.rng.gen_range(3..7);
+                for _ in 0..sessions {
+                    self.emit_device_pair(date, 1, user, out);
+                }
+                // Uploads to the wikileaks-style domain.
+                let wikileaks = specials[0];
+                let uploads = self.rng.gen_range(4..11);
+                for _ in 0..uploads {
+                    let ts = self.time_in_frame(date, 1);
+                    let ft = if self.rng.gen::<f64>() < 0.6 { FileType::Doc } else { FileType::Zip };
+                    out.push(LogEvent::Http(HttpEvent {
+                        ts,
+                        user,
+                        domain: DomainId(wikileaks),
+                        activity: HttpActivity::Upload,
+                        filetype: ft,
+                        success: true,
+                    }));
+                }
+                // Staging copies to the removable drive: an exfiltrating
+                // insider sweeps many documents that never appeared in the
+                // audit logs before, so most copies touch fresh file ids.
+                let copies = self.rng.gen_range(5..16);
+                for _ in 0..copies {
+                    let ts = self.time_in_frame(date, 1);
+                    let file = self.draw_exfil_file(uid);
+                    out.push(LogEvent::File(FileEvent {
+                        ts,
+                        user,
+                        host: HostId(uid as u32),
+                        file,
+                        activity: FileActivity::Copy,
+                        from: Location::Local,
+                        to: Location::Remote,
+                    }));
+                }
+            }
+            InsiderScenario::Scenario2 { .. } => {
+                let (exfil_start, _) = scenario.exfil_span().expect("scenario 2 has exfil");
+                if date < exfil_start {
+                    // Job-hunt phase: resume uploads to a few job sites,
+                    // working hours, workdays only. Applications come in
+                    // bursts (several sites in one sitting), which keeps the
+                    // upload-doc deviation alive instead of becoming the new
+                    // normal.
+                    if self.calendar.is_workday(date) && self.rng.gen::<f64>() < 0.45 {
+                        let uploads = self.rng.gen_range(3..8);
+                        for _ in 0..uploads {
+                            let ts = self.time_in_frame(date, 0);
+                            // Mostly brand-new career portals: applying to
+                            // new companies is what keeps new-op deviating.
+                            let d = if self.rng.gen::<f64>() < 0.6 {
+                                let fresh = self.domain_alloc.alloc();
+                                if let Some(v) = self.victims[uid].as_mut() {
+                                    v.special_domains.push(fresh);
+                                }
+                                fresh
+                            } else {
+                                specials[self.rng.gen_range(0..specials.len())]
+                            };
+                            out.push(LogEvent::Http(HttpEvent {
+                                ts,
+                                user,
+                                domain: DomainId(d),
+                                activity: HttpActivity::Upload,
+                                filetype: FileType::Doc,
+                                success: true,
+                            }));
+                        }
+                    }
+                } else {
+                    // Exfiltration week: thumb drive at markedly higher rates.
+                    let sessions = self.rng.gen_range(8..16);
+                    for _ in 0..sessions {
+                        let frame = if self.rng.gen::<f64>() < 0.5 { 0 } else { 1 };
+                        self.emit_device_pair(date, frame, user, out);
+                    }
+                    let copies = self.rng.gen_range(25..41);
+                    for _ in 0..copies {
+                        let frame = if self.rng.gen::<f64>() < 0.5 { 0 } else { 1 };
+                        let ts = self.time_in_frame(date, frame);
+                        let file = self.draw_exfil_file(uid);
+                        out.push(LogEvent::File(FileEvent {
+                            ts,
+                            user,
+                            host: HostId(uid as u32),
+                            file,
+                            activity: FileActivity::Copy,
+                            from: Location::Local,
+                            to: Location::Remote,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Keeps paired follow-up events (logoffs, disconnects) on the same civil day
+/// so that `generate_day(d)` returns only day-`d` events.
+fn clamp_to_day(ts: Timestamp, date: Date) -> Timestamp {
+    let last = date.add_days(1).midnight().add_secs(-1);
+    if ts > last {
+        last
+    } else {
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_in_order_and_deterministically() {
+        let mut a = CertGenerator::new(CertConfig::small(7));
+        let mut b = CertGenerator::new(CertConfig::small(7));
+        let d0 = a.config().start;
+        let ea = a.generate_day(d0);
+        let eb = b.generate_day(d0);
+        assert_eq!(ea.len(), eb.len());
+        assert_eq!(ea[0], eb[0]);
+        // Events sorted by ts.
+        assert!(ea.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_rejected() {
+        let mut g = CertGenerator::new(CertConfig::small(7));
+        let d0 = g.config().start;
+        let _ = g.generate_day(d0.add_days(3));
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let mut g = CertGenerator::new(CertConfig::small(3));
+        // 2010-01-04 is a Monday; 2010-01-09 is a Saturday.
+        let mut monday = 0usize;
+        let mut saturday = 0usize;
+        for date in g.config().start.range_to(Date::from_ymd(2010, 1, 11)) {
+            let n = g.generate_day(date).len();
+            if date == Date::from_ymd(2010, 1, 4) {
+                monday = n;
+            }
+            if date == Date::from_ymd(2010, 1, 9) {
+                saturday = n;
+            }
+        }
+        assert!(saturday * 3 < monday, "sat {saturday} vs mon {monday}");
+    }
+
+    #[test]
+    fn scenario1_victim_gets_offhour_device_activity() {
+        let cfg = CertConfig::small(5);
+        let victim = cfg.scenarios[0].victim;
+        let (s1_start, s1_end) = cfg.scenarios[0].scenario.anomaly_span();
+        let mut g = CertGenerator::new(cfg);
+        let mut before_devices = 0usize;
+        let mut during_devices = 0usize;
+        for date in g.config().start.range_to(s1_end) {
+            let events = g.generate_day(date);
+            for e in events {
+                if e.user() == victim {
+                    if let LogEvent::Device(_) = e {
+                        if date < s1_start {
+                            before_devices += 1;
+                        } else {
+                            during_devices += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(before_devices, 0, "scenario-1 victim must not use drives before");
+        assert!(during_devices >= 20, "during: {during_devices}");
+    }
+
+    #[test]
+    fn victim_departs() {
+        let cfg = CertConfig::small(5);
+        let victim = cfg.scenarios[0].victim;
+        let departure = cfg.scenarios[0].scenario.departure();
+        let mut g = CertGenerator::new(cfg);
+        let end = g.config().end;
+        let mut after = 0usize;
+        for date in g.config().start.range_to(end) {
+            let events = g.generate_day(date);
+            if date >= departure {
+                after += events.iter().filter(|e| e.user() == victim).count();
+            }
+        }
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn env_event_reaches_most_users() {
+        let cfg = CertConfig::small(5);
+        let env_day = cfg.env_events[0].start;
+        let EnvEffect::NewService { domain, .. } = cfg.env_events[0].effect else {
+            panic!("expected new service");
+        };
+        let total_users = cfg.org.total_users();
+        let mut g = CertGenerator::new(cfg);
+        let mut touched = std::collections::HashSet::new();
+        for date in g.config().start.range_to(env_day.add_days(1)) {
+            for e in g.generate_day(date) {
+                if let LogEvent::Http(h) = e {
+                    if h.domain == DomainId(domain) {
+                        touched.insert(h.user);
+                    }
+                }
+            }
+        }
+        assert!(
+            touched.len() * 10 >= total_users * 9,
+            "only {} of {total_users} users touched the new service",
+            touched.len()
+        );
+    }
+
+    #[test]
+    fn build_store_covers_span() {
+        let mut g = CertGenerator::new(CertConfig::small(2));
+        let store = g.build_store();
+        let (first, last) = store.date_span().unwrap();
+        assert_eq!(first, g.config().start);
+        assert_eq!(last, g.config().end.add_days(-1));
+        assert!(store.len() > 10_000);
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+
+    #[test]
+    fn return_days_are_busier_than_ordinary_days() {
+        // 2010-01-19 is the Tuesday after MLK Monday (3-day break);
+        // 2010-01-13 is an ordinary Wednesday.
+        let mut g = CertGenerator::new(CertConfig::small(21));
+        let mut ordinary = 0usize;
+        let mut return_day = 0usize;
+        for date in g.config().start.range_to(Date::from_ymd(2010, 1, 20)) {
+            let n = g.generate_day(date).len();
+            if date == Date::from_ymd(2010, 1, 13) {
+                ordinary = n;
+            }
+            if date == Date::from_ymd(2010, 1, 19) {
+                return_day = n;
+            }
+        }
+        assert!(
+            return_day as f64 > ordinary as f64 * 1.3,
+            "return day {return_day} vs ordinary {ordinary}"
+        );
+    }
+
+    #[test]
+    fn personal_events_create_individual_bursts() {
+        // Over a long span, at least one normal user must have a day with
+        // at least twice their median event volume (a crunch or project).
+        let mut g = CertGenerator::new(CertConfig::small(31));
+        let users = g.config().org.total_users();
+        let victims: Vec<usize> = g.config().scenarios.iter().map(|s| s.victim.index()).collect();
+        let end = g.config().end;
+        let mut daily: Vec<Vec<usize>> = vec![Vec::new(); users];
+        for date in g.config().start.range_to(end) {
+            if !g.calendar().is_workday(date) {
+                let _ = g.generate_day(date);
+                continue;
+            }
+            let mut counts = vec![0usize; users];
+            for e in g.generate_day(date) {
+                counts[e.user().index()] += 1;
+            }
+            for (u, c) in counts.into_iter().enumerate() {
+                daily[u].push(c);
+            }
+        }
+        let mut bursty_users = 0usize;
+        for (u, series) in daily.iter().enumerate() {
+            if victims.contains(&u) || series.is_empty() {
+                continue;
+            }
+            let mut sorted = series.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2].max(1);
+            let max = *sorted.last().unwrap();
+            if max >= median * 2 {
+                bursty_users += 1;
+            }
+        }
+        assert!(
+            bursty_users * 3 >= (users - victims.len()),
+            "only {bursty_users} bursty users"
+        );
+    }
+}

@@ -1,0 +1,669 @@
+//! Enterprise case-study environment (paper Section VI).
+//!
+//! Simulates the paper's real-world dataset: 246 employees observed through
+//! Windows-event auditing (Sysmon / PowerShell / Security channels) and web
+//! proxies over seven months, with
+//!
+//! * a scripted **Zeus botnet** infection (registry modification on the attack
+//!   day, then C&C traffic and `newGOZ` DGA failures days later), or
+//! * a scripted **WannaCry-style ransomware** detonation (registry
+//!   modification plus mass file encryption),
+//!
+//! against one victim, plus the organization-wide environmental change the
+//! paper observes on Jan 26 (Command rises, HTTP drops).
+
+use crate::profile::BehaviorProfile;
+use crate::stats::poisson;
+use crate::vocab::{IdAllocator, Vocab};
+use acobe_logs::calendar::Calendar;
+use acobe_logs::event::*;
+use acobe_logs::ids::{DomainId, HostId, UserId};
+use acobe_logs::store::LogStore;
+use acobe_logs::time::{Date, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Windows event ids per predictable behavioral aspect (Section VI-B1).
+pub mod event_ids {
+    /// File accesses: file-handle operations, file shares, Sysmon file events.
+    pub const FILE: &[u16] = &[
+        2, 11, 4656, 4658, 4659, 4660, 4661, 4662, 4663, 4670, 5140, 5141, 5142, 5143, 5144, 5145,
+    ];
+    /// Command executions: process creation and PowerShell execution.
+    pub const COMMAND: &[u16] = &[1, 4100, 4101, 4102, 4103, 4104, 4688];
+    /// Configuration: registry events plus account/password modification.
+    pub const CONFIG: &[u16] = &[12, 13, 14, 4657, 4724, 4728];
+    /// Resource usage: privileged service / scheduled-task events.
+    pub const RESOURCE: &[u16] = &[4673, 4674, 4698, 5379];
+}
+
+/// Which attack is detonated against the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Zeus bot: registry mod on day 0, delayed C&C + DGA failures.
+    Zeus,
+    /// WannaCry-style ransomware: registry mod + mass file encryption.
+    Ransomware,
+}
+
+impl Attack {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attack::Zeus => "zeus",
+            Attack::Ransomware => "ransomware",
+        }
+    }
+}
+
+/// Configuration of the enterprise case-study dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnterpriseConfig {
+    /// Number of employees (the paper has 246).
+    pub users: usize,
+    /// First generated day.
+    pub start: Date,
+    /// First non-generated day.
+    pub end: Date,
+    /// The attack scenario.
+    pub attack: Attack,
+    /// The victim employee.
+    pub victim: UserId,
+    /// The attack day (paper: Feb 2).
+    pub attack_day: Date,
+    /// Start of the org-wide environmental change (paper: Jan 26).
+    pub env_change: Date,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EnterpriseConfig {
+    /// The paper's case-study shape: 246 employees, seven months
+    /// (2010-08-01 .. 2011-03-01), attack on 2011-02-02, environmental
+    /// change on 2011-01-26.
+    pub fn paper(attack: Attack, seed: u64) -> Self {
+        EnterpriseConfig {
+            users: 246,
+            start: Date::from_ymd(2010, 8, 1),
+            end: Date::from_ymd(2011, 3, 1),
+            attack,
+            victim: UserId(17),
+            attack_day: Date::from_ymd(2011, 2, 2),
+            env_change: Date::from_ymd(2011, 1, 26),
+            seed,
+        }
+    }
+
+    /// A fast, small variant for tests: 20 users over ~12 weeks.
+    pub fn small(attack: Attack, seed: u64) -> Self {
+        EnterpriseConfig {
+            users: 20,
+            start: Date::from_ymd(2010, 12, 1),
+            end: Date::from_ymd(2011, 2, 20),
+            attack,
+            victim: UserId(3),
+            attack_day: Date::from_ymd(2011, 2, 2),
+            env_change: Date::from_ymd(2011, 1, 26),
+            seed,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct EmployeeState {
+    profile: BehaviorProfile,
+    file_objects: Vocab,
+    command_objects: Vocab,
+    config_objects: Vocab,
+    resource_objects: Vocab,
+    domains: Vocab,
+    hosts: Vocab,
+    file_rate: f64,
+    command_rate: f64,
+    config_rate: f64,
+    resource_rate: f64,
+    proxy_rate: f64,
+}
+
+/// Streaming generator for the enterprise case study.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_synth::enterprise::{Attack, EnterpriseConfig, EnterpriseGenerator};
+/// let mut gen = EnterpriseGenerator::new(EnterpriseConfig::small(Attack::Zeus, 1));
+/// let first = gen.config().start;
+/// assert!(!gen.generate_day(first).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EnterpriseGenerator {
+    config: EnterpriseConfig,
+    calendar: Calendar,
+    employees: Vec<EmployeeState>,
+    rng: StdRng,
+    object_alloc: IdAllocator,
+    domain_alloc: IdAllocator,
+    host_alloc: IdAllocator,
+    cnc_domain: u32,
+    shared_tool_object: u32,
+    next_date: Date,
+}
+
+impl EnterpriseGenerator {
+    /// Builds per-employee state for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim id is outside `0..users`.
+    pub fn new(config: EnterpriseConfig) -> Self {
+        assert!(config.victim.index() < config.users, "victim out of range");
+        let calendar = Calendar::us_style(config.start.year()..=config.end.year());
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x_e17e);
+        let mut object_alloc = IdAllocator::starting_at(1);
+        let mut domain_alloc = IdAllocator::starting_at(10_000);
+        let host_alloc = IdAllocator::starting_at(50_000);
+
+        let mut employees = Vec::with_capacity(config.users);
+        for uid in 0..config.users as u32 {
+            let profile = BehaviorProfile::sample(&mut rng);
+            let mut mk_vocab = |n: usize, novelty: f64, decay: f64| {
+                let initial: Vec<u32> = (0..n).map(|_| object_alloc.alloc()).collect();
+                Vocab::new(initial, novelty, decay)
+            };
+            let file_objects = mk_vocab(40, 0.10, 50.0);
+            let command_objects = mk_vocab(12, 0.03, 10.0);
+            let config_objects = mk_vocab(8, 0.02, 6.0);
+            let resource_objects = mk_vocab(6, 0.02, 6.0);
+            let domains: Vec<u32> = (0..20).map(|_| domain_alloc.alloc()).collect();
+            employees.push(EmployeeState {
+                // The victim barely uses Command (paper: "the victim barely
+                // has any activities in the Command aspect").
+                command_rate: if uid == config.victim.0 {
+                    0.05
+                } else {
+                    rng.gen_range(0.5..3.0)
+                },
+                file_rate: rng.gen_range(8.0..25.0),
+                config_rate: rng.gen_range(0.05..0.5),
+                resource_rate: rng.gen_range(0.1..1.0),
+                proxy_rate: rng.gen_range(10.0..30.0),
+                profile,
+                file_objects,
+                command_objects,
+                config_objects,
+                resource_objects,
+                domains: Vocab::new(domains, 0.06, 30.0),
+                hosts: Vocab::new(vec![uid], 0.01, 4.0),
+            });
+        }
+
+        let cnc_domain = domain_alloc.alloc();
+        let shared_tool_object = object_alloc.alloc();
+        let next_date = config.start;
+        EnterpriseGenerator {
+            config,
+            calendar,
+            employees,
+            rng,
+            object_alloc,
+            domain_alloc,
+            host_alloc,
+            cnc_domain,
+            shared_tool_object,
+            next_date,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnterpriseConfig {
+        &self.config
+    }
+
+    /// The work calendar.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
+    }
+
+    /// The C&C domain contacted by the Zeus bot (for assertions/analysis).
+    pub fn cnc_domain(&self) -> DomainId {
+        DomainId(self.cnc_domain)
+    }
+
+    /// Generates all events for one day (must be called in date order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order days or days outside the configured span.
+    pub fn generate_day(&mut self, date: Date) -> Vec<LogEvent> {
+        assert_eq!(date, self.next_date, "days must be generated in order");
+        assert!(date < self.config.end, "date beyond configured span");
+        self.next_date = date.add_days(1);
+
+        let workday = self.calendar.is_workday(date);
+        let env_active =
+            date >= self.config.env_change && date < self.config.env_change.add_days(3);
+
+        let mut events = Vec::new();
+        for uid in 0..self.employees.len() {
+            let user = UserId(uid as u32);
+            self.generate_employee_day(date, user, workday, env_active, &mut events);
+        }
+        self.inject_attack(date, &mut events);
+        events.sort_by_key(|e| e.ts());
+        events
+    }
+
+    /// Convenience: generates the whole configured span.
+    pub fn build_store(&mut self) -> LogStore {
+        let mut store = LogStore::new();
+        let (start, end) = (self.config.start, self.config.end);
+        for date in start.range_to(end) {
+            store.extend(self.generate_day(date));
+        }
+        store.finalize();
+        store
+    }
+
+    fn time_in_frame(&mut self, date: Date, frame: usize) -> Timestamp {
+        let secs: i64 = if frame == 0 {
+            self.rng.gen_range(6 * 3600..18 * 3600)
+        } else {
+            let x: i64 = self.rng.gen_range(0..12 * 3600);
+            if x < 6 * 3600 {
+                18 * 3600 + x
+            } else {
+                x - 6 * 3600
+            }
+        };
+        date.midnight().add_secs(secs)
+    }
+
+    fn emit_windows(
+        &mut self,
+        date: Date,
+        frame: usize,
+        user: UserId,
+        aspect: Aspect,
+        count: u32,
+        out: &mut Vec<LogEvent>,
+    ) {
+        for _ in 0..count {
+            let ts = self.time_in_frame(date, frame);
+            let ids = aspect.event_ids();
+            let event_id = ids[self.rng.gen_range(0..ids.len())];
+            let object = self.draw_object(user.index(), aspect) as u64;
+            let channel = channel_for(aspect, event_id);
+            out.push(LogEvent::Windows(WindowsEvent { ts, user, channel, event_id, object }));
+        }
+    }
+
+    fn draw_object(&mut self, uid: usize, aspect: Aspect) -> u32 {
+        let Self { employees, rng, object_alloc, .. } = self;
+        let vocab = match aspect {
+            Aspect::File => &mut employees[uid].file_objects,
+            Aspect::Command => &mut employees[uid].command_objects,
+            Aspect::Config => &mut employees[uid].config_objects,
+            Aspect::Resource => &mut employees[uid].resource_objects,
+        };
+        vocab.draw(rng, &mut || object_alloc.alloc()).0
+    }
+
+    fn draw_domain(&mut self, uid: usize) -> u32 {
+        let Self { employees, rng, domain_alloc, .. } = self;
+        employees[uid].domains.draw(rng, &mut || domain_alloc.alloc()).0
+    }
+
+    fn generate_employee_day(
+        &mut self,
+        date: Date,
+        user: UserId,
+        workday: bool,
+        env_active: bool,
+        out: &mut Vec<LogEvent>,
+    ) {
+        let uid = user.index();
+        let day_mult = if workday {
+            1.0
+        } else {
+            self.employees[uid].profile.weekend_factor
+        };
+
+        for frame in 0..2usize {
+            let e = &self.employees[uid];
+            let p = &e.profile;
+            let file_rate = p.frame_rate(e.file_rate, frame, day_mult, 0.8);
+            let mut command_rate = p.frame_rate(e.command_rate, frame, day_mult, 0.05);
+            let config_rate = p.frame_rate(e.config_rate, frame, day_mult, 0.02);
+            let resource_rate = p.frame_rate(e.resource_rate, frame, day_mult, 0.05);
+            let mut proxy_rate = p.frame_rate(e.proxy_rate, frame, day_mult, 1.5);
+            let logon_rate = p.frame_rate(p.logon_rate, frame, day_mult, 0.2);
+
+            // Org-wide environmental change (paper: Jan 26 -- Command rises,
+            // HTTP drops).
+            let env_frame = env_active && frame == 0 && workday;
+            if env_frame {
+                command_rate += 4.0;
+                proxy_rate *= 0.45;
+            }
+
+            let n = poisson(&mut self.rng, file_rate);
+            self.emit_windows(date, frame, user, Aspect::File, n, out);
+
+            let n = poisson(&mut self.rng, command_rate.max(0.0));
+            if env_frame && n > 0 {
+                // Part of the burst is the shared new tool everyone runs.
+                let shared = (n / 2).max(1).min(n);
+                let tool = self.shared_tool_object;
+                self.employees[uid].command_objects.insert(tool);
+                for _ in 0..shared {
+                    let ts = self.time_in_frame(date, frame);
+                    out.push(LogEvent::Windows(WindowsEvent {
+                        ts,
+                        user,
+                        channel: WinChannel::Security,
+                        event_id: 4688,
+                        object: tool as u64,
+                    }));
+                }
+                self.emit_windows(date, frame, user, Aspect::Command, n - shared, out);
+            } else {
+                self.emit_windows(date, frame, user, Aspect::Command, n, out);
+            }
+
+            let n = poisson(&mut self.rng, config_rate);
+            self.emit_windows(date, frame, user, Aspect::Config, n, out);
+            let n = poisson(&mut self.rng, resource_rate);
+            self.emit_windows(date, frame, user, Aspect::Resource, n, out);
+
+            // Proxy traffic.
+            let n = poisson(&mut self.rng, proxy_rate);
+            for _ in 0..n {
+                let ts = self.time_in_frame(date, frame);
+                let domain = DomainId(self.draw_domain(uid));
+                let success = self.rng.gen::<f64>() < 0.96;
+                out.push(LogEvent::Proxy(ProxyEvent { ts, user, domain, success }));
+            }
+
+            // Logons.
+            let n = poisson(&mut self.rng, logon_rate);
+            for _ in 0..n {
+                let ts = self.time_in_frame(date, frame);
+                let Self { employees, rng, host_alloc, .. } = self;
+                let host = HostId(employees[uid].hosts.draw(rng, &mut || host_alloc.alloc()).0);
+                let success = self.rng.gen::<f64>() < 0.97;
+                out.push(LogEvent::Logon(LogonEvent {
+                    ts,
+                    user,
+                    host,
+                    activity: LogonActivity::Logon,
+                    success,
+                }));
+            }
+        }
+    }
+
+    fn inject_attack(&mut self, date: Date, out: &mut Vec<LogEvent>) {
+        let victim = self.config.victim;
+        let attack_day = self.config.attack_day;
+        if date < attack_day {
+            return;
+        }
+        let days_in = date.days_since(attack_day);
+
+        match self.config.attack {
+            Attack::Zeus => {
+                if days_in == 0 {
+                    // Download Zeus via a downloader app, run it, delete the
+                    // downloader, modify registry values.
+                    self.emit_new_object_events(date, victim, 4, 4688, out);
+                    self.emit_new_object_events(date, victim, 8, 13, out);
+                    self.emit_new_object_events(date, victim, 3, 11, out);
+                }
+                if days_in >= 2 {
+                    // C&C heartbeat (successful, same domain daily) ...
+                    let n = self.rng.gen_range(3..8);
+                    let cnc = self.cnc_domain;
+                    for _ in 0..n {
+                        let frame = self.rng.gen_range(0..2);
+                        let ts = self.time_in_frame(date, frame);
+                        out.push(LogEvent::Proxy(ProxyEvent {
+                            ts,
+                            user: victim,
+                            domain: DomainId(cnc),
+                            success: true,
+                        }));
+                    }
+                    // ... plus newGOZ DGA queries to non-existent domains:
+                    // every one fails and every one is new.
+                    let n = self.rng.gen_range(15..40);
+                    for _ in 0..n {
+                        let frame = self.rng.gen_range(0..2);
+                        let ts = self.time_in_frame(date, frame);
+                        let domain = DomainId(self.domain_alloc.alloc());
+                        out.push(LogEvent::Proxy(ProxyEvent {
+                            ts,
+                            user: victim,
+                            domain,
+                            success: false,
+                        }));
+                    }
+                }
+            }
+            Attack::Ransomware => {
+                if days_in == 0 {
+                    self.emit_new_object_events(date, victim, 3, 4688, out);
+                    self.emit_new_object_events(date, victim, 10, 13, out);
+                }
+                if days_in <= 6 {
+                    // Mass encryption with brand-new file objects (encrypted
+                    // copies), tapering off as the worm re-scans shares and
+                    // the victim restores files over the following week.
+                    let base = match days_in {
+                        0 => 260u32,
+                        1 => 200,
+                        2 => 140,
+                        3 => 90,
+                        4 => 60,
+                        _ => 35,
+                    };
+                    let extra = self.rng.gen_range(0..60);
+                    self.emit_new_object_events(date, victim, base + extra, 11, out);
+                }
+            }
+        }
+    }
+
+    fn emit_new_object_events(
+        &mut self,
+        date: Date,
+        user: UserId,
+        count: u32,
+        event_id: u16,
+        out: &mut Vec<LogEvent>,
+    ) {
+        for _ in 0..count {
+            let ts = self.time_in_frame(date, 0);
+            let object = self.object_alloc.alloc() as u64;
+            let channel = if event_id < 100 {
+                WinChannel::Sysmon
+            } else {
+                WinChannel::Security
+            };
+            out.push(LogEvent::Windows(WindowsEvent { ts, user, channel, event_id, object }));
+        }
+    }
+}
+
+fn channel_for(aspect: Aspect, event_id: u16) -> WinChannel {
+    match aspect {
+        Aspect::File | Aspect::Config => {
+            if event_id < 100 {
+                WinChannel::Sysmon
+            } else {
+                WinChannel::Security
+            }
+        }
+        Aspect::Command => {
+            if (4100..=4104).contains(&event_id) {
+                WinChannel::PowerShell
+            } else if event_id == 1 {
+                WinChannel::Sysmon
+            } else {
+                WinChannel::Security
+            }
+        }
+        Aspect::Resource => WinChannel::Security,
+    }
+}
+
+/// The four predictable behavioral aspects of the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aspect {
+    /// File accesses.
+    File,
+    /// Command executions.
+    Command,
+    /// Configuration (registry, accounts).
+    Config,
+    /// Resource usage.
+    Resource,
+}
+
+impl Aspect {
+    /// The Windows event ids belonging to this aspect.
+    pub fn event_ids(&self) -> &'static [u16] {
+        match self {
+            Aspect::File => event_ids::FILE,
+            Aspect::Command => event_ids::COMMAND,
+            Aspect::Config => event_ids::CONFIG,
+            Aspect::Resource => event_ids::RESOURCE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeus_produces_delayed_dga_failures() {
+        let cfg = EnterpriseConfig::small(Attack::Zeus, 3);
+        let victim = cfg.victim;
+        let attack_day = cfg.attack_day;
+        let mut g = EnterpriseGenerator::new(cfg);
+        let mut failures_before = 0usize;
+        let mut failures_after = 0usize;
+        let end = g.config().end;
+        for date in g.config().start.range_to(end) {
+            for e in g.generate_day(date) {
+                if let LogEvent::Proxy(p) = e {
+                    if p.user == victim && !p.success {
+                        if date < attack_day.add_days(2) {
+                            failures_before += 1;
+                        } else {
+                            failures_after += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Before infection only the ~4% organic failure rate over ~9 weeks;
+        // after, dozens of DGA failures per day over ~2.5 weeks.
+        assert!(
+            failures_after > failures_before,
+            "{failures_before} vs {failures_after}"
+        );
+    }
+
+    #[test]
+    fn zeus_attack_day_has_registry_mods() {
+        let cfg = EnterpriseConfig::small(Attack::Zeus, 3);
+        let victim = cfg.victim;
+        let attack_day = cfg.attack_day;
+        let mut g = EnterpriseGenerator::new(cfg);
+        let mut registry_events = 0usize;
+        for date in g.config().start.range_to(attack_day.add_days(1)) {
+            for e in g.generate_day(date) {
+                if let LogEvent::Windows(w) = e {
+                    if w.user == victim && date == attack_day && w.event_id == 13 {
+                        registry_events += 1;
+                    }
+                }
+            }
+        }
+        assert!(registry_events >= 8, "{registry_events}");
+    }
+
+    #[test]
+    fn ransomware_floods_file_aspect() {
+        let cfg = EnterpriseConfig::small(Attack::Ransomware, 4);
+        let victim = cfg.victim;
+        let attack_day = cfg.attack_day;
+        let mut g = EnterpriseGenerator::new(cfg);
+        let mut per_day = std::collections::BTreeMap::new();
+        let end = g.config().end;
+        for date in g.config().start.range_to(end) {
+            for e in g.generate_day(date) {
+                if let LogEvent::Windows(w) = e {
+                    if w.user == victim && event_ids::FILE.contains(&w.event_id) {
+                        *per_day.entry(date).or_insert(0usize) += 1;
+                    }
+                }
+            }
+        }
+        let normal_max = per_day
+            .iter()
+            .filter(|(d, _)| **d < attack_day)
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(0);
+        let attack_count = per_day.get(&attack_day).copied().unwrap_or(0);
+        assert!(
+            attack_count > normal_max * 3,
+            "attack {attack_count} vs max {normal_max}"
+        );
+    }
+
+    #[test]
+    fn env_change_raises_command_lowers_proxy() {
+        let cfg = EnterpriseConfig::small(Attack::Zeus, 5);
+        let env_day = cfg.env_change; // 2011-01-26, a Wednesday
+        let mut g = EnterpriseGenerator::new(cfg);
+        let mut command_by_day = std::collections::BTreeMap::new();
+        let mut proxy_by_day = std::collections::BTreeMap::new();
+        for date in g.config().start.range_to(env_day.add_days(1)) {
+            for e in g.generate_day(date) {
+                match e {
+                    LogEvent::Windows(w) if event_ids::COMMAND.contains(&w.event_id) => {
+                        *command_by_day.entry(date).or_insert(0usize) += 1;
+                    }
+                    LogEvent::Proxy(_) => {
+                        *proxy_by_day.entry(date).or_insert(0usize) += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Compare the env day against the previous Wednesday.
+        let baseline = env_day.add_days(-7);
+        assert!(command_by_day[&env_day] > command_by_day[&baseline] * 2);
+        assert!(proxy_by_day[&env_day] * 3 < proxy_by_day[&baseline] * 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = EnterpriseGenerator::new(EnterpriseConfig::small(Attack::Zeus, 9));
+        let mut b = EnterpriseGenerator::new(EnterpriseConfig::small(Attack::Zeus, 9));
+        let d = a.config().start;
+        assert_eq!(a.generate_day(d), b.generate_day(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "victim out of range")]
+    fn victim_must_exist() {
+        let mut cfg = EnterpriseConfig::small(Attack::Zeus, 1);
+        cfg.victim = UserId(999);
+        let _ = EnterpriseGenerator::new(cfg);
+    }
+}

@@ -1,0 +1,96 @@
+//! Group-level environmental events.
+//!
+//! The paper motivates group-correlation signals with "environmental changes"
+//! — a new service makes many users contact an unseen domain at once; an
+//! outage makes many users produce retry failures (Section III). These events
+//! are exactly what a single-user model misreports as anomalies and what
+//! ACOBE's group rows explain away.
+
+use acobe_logs::ids::DeptId;
+use acobe_logs::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Who an environmental event applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scope {
+    /// Every user in the organization.
+    Org,
+    /// Only one department.
+    Dept(DeptId),
+}
+
+impl Scope {
+    /// True when the scope covers a user in `dept`.
+    pub fn covers(&self, dept: DeptId) -> bool {
+        match self {
+            Scope::Org => true,
+            Scope::Dept(d) => *d == dept,
+        }
+    }
+}
+
+/// What the event does to each covered user's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EnvEffect {
+    /// A new internal service: every covered user makes roughly
+    /// `daily_hits` successful requests per day to one shared, previously
+    /// unseen domain.
+    NewService {
+        /// Domain id of the new service (allocate outside user vocab ranges).
+        domain: u32,
+        /// Expected successful requests per user per day.
+        daily_hits: f64,
+    },
+    /// A service outage: covered users produce roughly `daily_failures`
+    /// failed requests per day to their usual domains.
+    Outage {
+        /// Expected failed requests per user per day.
+        daily_failures: f64,
+    },
+}
+
+/// One environmental event over a date range (end exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvEvent {
+    /// First affected day.
+    pub start: Date,
+    /// First unaffected day.
+    pub end: Date,
+    /// Who is affected.
+    pub scope: Scope,
+    /// What happens.
+    pub effect: EnvEffect,
+}
+
+impl EnvEvent {
+    /// True when `date` falls inside the event.
+    pub fn active_on(&self, date: Date) -> bool {
+        self.start <= date && date < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_coverage() {
+        assert!(Scope::Org.covers(DeptId(3)));
+        assert!(Scope::Dept(DeptId(1)).covers(DeptId(1)));
+        assert!(!Scope::Dept(DeptId(1)).covers(DeptId(2)));
+    }
+
+    #[test]
+    fn active_window_is_half_open() {
+        let ev = EnvEvent {
+            start: Date::from_ymd(2010, 6, 1),
+            end: Date::from_ymd(2010, 6, 4),
+            scope: Scope::Org,
+            effect: EnvEffect::Outage { daily_failures: 5.0 },
+        };
+        assert!(!ev.active_on(Date::from_ymd(2010, 5, 31)));
+        assert!(ev.active_on(Date::from_ymd(2010, 6, 1)));
+        assert!(ev.active_on(Date::from_ymd(2010, 6, 3)));
+        assert!(!ev.active_on(Date::from_ymd(2010, 6, 4)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Insider-threat scenario scripts (CERT r6.1/r6.2 scenarios 1 and 2).
+//!
+//! The paper evaluates the two user-centric CERT scenarios (Section V-A1):
+//!
+//! 1. A user who never used removable drives or worked off-hours begins
+//!    logging in off-hours, using a thumb drive, and uploading data to
+//!    wikileaks.org, then leaves the organization.
+//! 2. A user surfs job websites and solicits employment from a competitor
+//!    (uploading their resume), then uses a thumb drive at markedly higher
+//!    rates than before to steal data just before leaving.
+
+use acobe_logs::ids::UserId;
+use acobe_logs::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Which threat script a victim follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsiderScenario {
+    /// CERT scenario 1: abrupt off-hours exfiltration over ~2 weeks.
+    Scenario1 {
+        /// First anomalous day.
+        start: Date,
+    },
+    /// CERT scenario 2: two months of job hunting with a final exfiltration
+    /// week.
+    Scenario2 {
+        /// First anomalous day (resume uploads begin).
+        start: Date,
+    },
+}
+
+impl InsiderScenario {
+    /// The labeled anomaly window `(first_day, first_clean_day)`.
+    pub fn anomaly_span(&self) -> (Date, Date) {
+        match self {
+            InsiderScenario::Scenario1 { start } => (*start, start.add_days(12)),
+            InsiderScenario::Scenario2 { start } => (*start, start.add_days(60)),
+        }
+    }
+
+    /// The day the victim leaves the organization (activity stops).
+    pub fn departure(&self) -> Date {
+        let (_, end) = self.anomaly_span();
+        end.add_days(14)
+    }
+
+    /// Days of the final heavy-exfiltration phase for scenario 2.
+    pub fn exfil_span(&self) -> Option<(Date, Date)> {
+        match self {
+            InsiderScenario::Scenario1 { .. } => None,
+            InsiderScenario::Scenario2 { start } => {
+                let end = start.add_days(60);
+                Some((end.add_days(-7), end))
+            }
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InsiderScenario::Scenario1 { .. } => "scenario1",
+            InsiderScenario::Scenario2 { .. } => "scenario2",
+        }
+    }
+}
+
+/// A scenario bound to a victim user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioPlacement {
+    /// The abnormal user.
+    pub victim: UserId,
+    /// The script they follow.
+    pub scenario: InsiderScenario,
+}
+
+/// Ground-truth record for one victim, used by the evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VictimRecord {
+    /// The abnormal user.
+    pub user: UserId,
+    /// Scenario name.
+    pub scenario: String,
+    /// First labeled anomalous day.
+    pub anomaly_start: Date,
+    /// First day after the labeled anomaly window.
+    pub anomaly_end: Date,
+}
+
+impl From<&ScenarioPlacement> for VictimRecord {
+    fn from(p: &ScenarioPlacement) -> Self {
+        let (start, end) = p.scenario.anomaly_span();
+        VictimRecord {
+            user: p.victim,
+            scenario: p.scenario.name().to_string(),
+            anomaly_start: start,
+            anomaly_end: end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario1_span() {
+        let s = InsiderScenario::Scenario1 { start: Date::from_ymd(2010, 8, 9) };
+        let (a, b) = s.anomaly_span();
+        assert_eq!(b.days_since(a), 12);
+        assert!(s.exfil_span().is_none());
+        assert_eq!(s.departure(), b.add_days(14));
+    }
+
+    #[test]
+    fn scenario2_span_and_exfil() {
+        let s = InsiderScenario::Scenario2 { start: Date::from_ymd(2011, 1, 7) };
+        let (a, b) = s.anomaly_span();
+        assert_eq!(b.days_since(a), 60);
+        let (xa, xb) = s.exfil_span().unwrap();
+        assert_eq!(xb, b);
+        assert_eq!(xb.days_since(xa), 7);
+    }
+
+    #[test]
+    fn victim_record_from_placement() {
+        let p = ScenarioPlacement {
+            victim: UserId(42),
+            scenario: InsiderScenario::Scenario2 { start: Date::from_ymd(2011, 1, 7) },
+        };
+        let r = VictimRecord::from(&p);
+        assert_eq!(r.user, UserId(42));
+        assert_eq!(r.scenario, "scenario2");
+        assert_eq!(r.anomaly_start, Date::from_ymd(2011, 1, 7));
+    }
+}

@@ -1,0 +1,141 @@
+//! Sampling primitives used by the synthesizer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws from a Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's method for small `lambda` and a normal approximation above 30,
+/// which is plenty for per-day activity counts.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let sample = normal(rng, lambda, lambda.sqrt());
+        return sample.round().max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerically impossible fallback
+        }
+    }
+}
+
+/// Draws from a normal distribution via Box-Muller.
+pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Draws from a log-normal distribution with the given parameters of the
+/// underlying normal.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive sum");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Zipf-like popularity weights for `n` items with exponent `s`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 3.0, 12.0, 50.0] {
+            let n = 4000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda) as u64).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut rng, &weights), 1);
+        }
+        let weights = [1.0, 1.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert!(counts[0] > 800 && counts[1] > 800);
+    }
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let w = zipf_weights(5, 1.0);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-user object vocabularies with a controlled novelty process.
+//!
+//! The paper's "new-op" features count operations on `(feature, object)` pairs
+//! the user never touched before. To make those features meaningful, the
+//! synthesizer draws objects from a per-user vocabulary that mostly repeats
+//! known objects and occasionally mints new ones, with the novelty rate
+//! decaying as the vocabulary grows (users discover fewer brand-new domains
+//! the longer they've been around).
+
+use crate::stats::{weighted_index, zipf_weights};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A growing object vocabulary for one user and one object kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    known: Vec<u32>,
+    zipf: Vec<f64>,
+    base_novelty: f64,
+    decay_scale: f64,
+}
+
+impl Vocab {
+    /// Creates a vocabulary seeded with `initial` known object ids.
+    ///
+    /// `base_novelty` is the novelty probability when the vocabulary has its
+    /// initial size; it decays as `base / (1 + grown/decay_scale)`.
+    pub fn new(initial: Vec<u32>, base_novelty: f64, decay_scale: f64) -> Self {
+        let n = initial.len().max(1);
+        Vocab {
+            known: initial,
+            zipf: zipf_weights(n, 0.8),
+            base_novelty,
+            decay_scale: decay_scale.max(1.0),
+        }
+    }
+
+    /// Number of known objects.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// True when no objects are known yet.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// True when `id` is already known.
+    pub fn contains(&self, id: u32) -> bool {
+        self.known.contains(&id)
+    }
+
+    /// Current probability of minting a new object.
+    pub fn novelty_prob(&self) -> f64 {
+        let grown = (self.known.len() as f64 - self.zipf.len() as f64).max(0.0);
+        self.base_novelty / (1.0 + grown / self.decay_scale)
+    }
+
+    /// Draws one object: usually a known one (Zipf-weighted toward the
+    /// earliest/habitual objects), occasionally a new id from `mint`.
+    ///
+    /// Returns `(id, was_new)`.
+    pub fn draw(&mut self, rng: &mut StdRng, mint: &mut impl FnMut() -> u32) -> (u32, bool) {
+        let novel = self.known.is_empty() || rng.gen::<f64>() < self.novelty_prob();
+        if novel {
+            let id = mint();
+            self.known.push(id);
+            (id, true)
+        } else {
+            let idx = if self.known.len() <= self.zipf.len() {
+                weighted_index(rng, &self.zipf[..self.known.len()])
+            } else {
+                // Habitual core Zipf-weighted; overflow objects uniform.
+                if rng.gen::<f64>() < 0.8 {
+                    weighted_index(rng, &self.zipf)
+                } else {
+                    rng.gen_range(0..self.known.len())
+                }
+            };
+            (self.known[idx], false)
+        }
+    }
+
+    /// Forces `id` into the vocabulary (used by scenario injection so that
+    /// repeated malicious contacts stop being "new" after the first day).
+    pub fn insert(&mut self, id: u32) {
+        if !self.contains(id) {
+            self.known.push(id);
+        }
+    }
+}
+
+/// A monotonically increasing id allocator shared by all users of one object
+/// kind, so new objects are globally unique.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u32,
+}
+
+impl IdAllocator {
+    /// Creates an allocator whose first id is `start`.
+    pub fn starting_at(start: u32) -> Self {
+        IdAllocator { next: start }
+    }
+
+    /// Returns a fresh id.
+    pub fn alloc(&mut self) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Next id that would be allocated.
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_mostly_known_objects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut alloc = IdAllocator::starting_at(1000);
+        let mut vocab = Vocab::new(vec![1, 2, 3, 4, 5], 0.05, 10.0);
+        let mut new_count = 0;
+        for _ in 0..1000 {
+            let (_, was_new) = vocab.draw(&mut rng, &mut || alloc.alloc());
+            if was_new {
+                new_count += 1;
+            }
+        }
+        assert!(new_count > 5 && new_count < 100, "new_count {new_count}");
+    }
+
+    #[test]
+    fn novelty_decays_as_vocab_grows() {
+        let mut vocab = Vocab::new(vec![1], 0.5, 5.0);
+        let p0 = vocab.novelty_prob();
+        for i in 0..50 {
+            vocab.insert(100 + i);
+        }
+        assert!(vocab.novelty_prob() < p0 / 5.0);
+    }
+
+    #[test]
+    fn empty_vocab_always_mints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut alloc = IdAllocator::default();
+        let mut vocab = Vocab::new(vec![], 0.0, 1.0);
+        let (id, was_new) = vocab.draw(&mut rng, &mut || alloc.alloc());
+        assert!(was_new);
+        assert!(vocab.contains(id));
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut alloc = IdAllocator::starting_at(7);
+        assert_eq!(alloc.alloc(), 7);
+        assert_eq!(alloc.alloc(), 8);
+        assert_eq!(alloc.peek(), 9);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut vocab = Vocab::new(vec![1], 0.1, 1.0);
+        vocab.insert(2);
+        vocab.insert(2);
+        assert_eq!(vocab.len(), 2);
+    }
+}

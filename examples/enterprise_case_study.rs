@@ -1,0 +1,67 @@
+//! Enterprise case study (paper Section VI): detect a Zeus-bot infection and
+//! a ransomware detonation among enterprise employees from Windows-event and
+//! proxy logs.
+//!
+//! Run with: `cargo run --release --example enterprise_case_study [zeus|ransomware]`
+
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe_bench::dataset::build_enterprise_dataset;
+use acobe_features::spec::enterprise_feature_set;
+use acobe_synth::enterprise::Attack;
+
+fn main() -> Result<(), String> {
+    let attack = match std::env::args().nth(1).as_deref() {
+        Some("zeus") => Attack::Zeus,
+        _ => Attack::Ransomware,
+    };
+    // A scaled-down enterprise keeps the example fast; the fig7 harness runs
+    // the paper's 246 employees.
+    let users = 40;
+    println!("building enterprise dataset ({users} employees, attack: {})...", attack.name());
+    let ds = build_enterprise_dataset(attack, users, 11);
+
+    let mut config = AcobeConfig::tiny();
+    config.deviation.window = 14; // the case study's two-week window
+    config.matrix.matrix_days = 14;
+    config.matrix.use_weights = false; // see fig7: weights flatten count features
+    config.critic_n = 2; // two of six aspects must vote
+
+    let mut pipeline = AcobePipeline::new(
+        ds.cube.clone(),
+        enterprise_feature_set(),
+        &ds.groups,
+        config.clone(),
+    )?;
+    let train_end = ds.attack_day.add_days(-14);
+    pipeline.fit(ds.start, train_end)?;
+    let table = pipeline.score_range(ds.attack_day.add_days(-10), ds.end)?;
+
+    println!("\nvictim is employee {}; attack day {}", ds.victim, ds.attack_day);
+    println!("daily investigation rank of the victim:");
+    let mut detected = false;
+    for d in 0..table.days() {
+        let date = table.start.add_days(d as i32);
+        let list = table.daily_investigation_smoothed(d, config.critic_n, 3);
+        let pos = list
+            .iter()
+            .position(|inv| inv.user == ds.victim)
+            .expect("victim scored")
+            + 1;
+        let marker = if date == ds.attack_day { "  <= attack" } else { "" };
+        println!("  {date}: #{pos}{marker}");
+        if date > ds.attack_day && pos == 1 {
+            detected = true;
+        }
+    }
+    println!(
+        "\n{}",
+        if detected {
+            "the victim reached rank #1 after the attack — periodic investigation finds it \
+             (paper: ranked 1st from Feb 3rd to Feb 15th)"
+        } else {
+            "the victim did not reach rank #1 — try more epochs or the fig7 harness scale"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Insider-threat walk-through: reproduces the paper's evaluation flow on
+//! one scenario — synthesize, extract, train ACOBE *and* the ablations, and
+//! compare how early each model surfaces the insider.
+//!
+//! Run with: `cargo run --release --example insider_threat [users_per_dept]`
+
+use acobe_bench::dataset::{build_cert_dataset, DatasetOptions};
+use acobe_bench::runner::run_scenario;
+use acobe_bench::variants::{ModelVariant, SpeedPreset};
+use acobe_eval::pr::PrCurve;
+use acobe_eval::roc::RocCurve;
+
+fn main() {
+    let users_per_dept: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("building dataset ({users_per_dept} users per department, 4 departments)...");
+    let ds = build_cert_dataset(&DatasetOptions {
+        users_per_dept,
+        departments: 4,
+        seed: 7,
+        with_baseline: true,
+    });
+    println!(
+        "{} users, {} insiders, span {}..{}",
+        ds.users,
+        ds.victims.len(),
+        ds.start,
+        ds.end
+    );
+
+    // Evaluate the flagship models on the scenario-1 insider (the abrupt
+    // off-hours exfiltration).
+    let victim = ds
+        .victims
+        .iter()
+        .find(|v| v.scenario == "scenario1")
+        .expect("scenario 1 victim");
+    println!(
+        "\nscenario 1 victim: {} (anomalies {}..{})",
+        victim.user, victim.anomaly_start, victim.anomaly_end
+    );
+
+    for variant in [
+        ModelVariant::Acobe,
+        ModelVariant::NoGroup,
+        ModelVariant::OneDay,
+        ModelVariant::Baseline,
+    ] {
+        let run = run_scenario(&ds, victim, variant, SpeedPreset::Tiny);
+        let roc = RocCurve::from_ranking(&run.ranking);
+        let pr = PrCurve::from_ranking(&run.ranking);
+        println!(
+            "  {:<10} victim at position {:>3} of {:<4} fp-before-tp {:?}  auc {:.4}  ap {:.4}",
+            variant.name(),
+            run.victim_position + 1,
+            ds.users,
+            run.ranking.fp_before_tp,
+            roc.auc(),
+            pr.average_precision(),
+        );
+    }
+
+    println!(
+        "\nexpected shape (paper Figure 6): ACOBE surfaces the insider with the \
+         fewest false positives; the ablations and the Baseline trail it."
+    );
+}

@@ -1,0 +1,57 @@
+//! Train an autoencoder on one machine, save it, and score with the reloaded
+//! model — demonstrating the JSON persistence layer.
+//!
+//! Run with: `cargo run --release --example model_persistence`
+
+use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig};
+use acobe_nn::optim::Adadelta;
+use acobe_nn::serialize::{load_json, save_json};
+use acobe_nn::tensor::Matrix;
+use acobe_nn::train::{fit_autoencoder, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Structured training data: two latent factors in 12 dimensions.
+    let n = 256;
+    let data = Matrix::from_vec(
+        n,
+        12,
+        (0..n * 12)
+            .map(|i| {
+                let (row, col) = (i / 12, i % 12);
+                let a = (row % 7) as f32 / 7.0;
+                let b = (row % 11) as f32 / 11.0;
+                if col % 2 == 0 {
+                    a * 0.8
+                } else {
+                    b * 0.6
+                }
+            })
+            .collect(),
+    );
+
+    let mut ae = Autoencoder::new(AutoencoderConfig::small(12));
+    let cfg = TrainConfig { epochs: 40, batch_size: 32, seed: 5, early_stop_rel: None };
+    let report = fit_autoencoder(&mut ae, &data, &cfg, &mut Adadelta::new());
+    println!(
+        "trained {} epochs: loss {:.5} -> {:.5}",
+        report.epochs_run,
+        report.epoch_losses[0],
+        report.final_loss()
+    );
+
+    let path = std::env::temp_dir().join("acobe_quickstart_model.json");
+    save_json(&mut ae, &path)?;
+    println!("saved model to {}", path.display());
+
+    let mut reloaded = load_json(&path)?;
+    let original = ae.reconstruction_errors(&data);
+    let restored = reloaded.reconstruction_errors(&data);
+    assert_eq!(original, restored, "reloaded model must score identically");
+    println!(
+        "reloaded model reproduces all {} scores exactly (mean error {:.6})",
+        original.len(),
+        original.iter().sum::<f32>() / original.len() as f32
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: synthesize logs, extract features, train the
+//! ensemble, and verify both insiders are surfaced.
+
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe_features::cert::{extract_cert_features, CountSemantics};
+use acobe_features::spec::cert_feature_set;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+
+fn groups_of(generator: &CertGenerator) -> Vec<Vec<usize>> {
+    let dir = generator.directory();
+    dir.departments()
+        .map(|d| dir.members(d).iter().map(|u| u.index()).collect())
+        .collect()
+}
+
+#[test]
+fn acobe_surfaces_scenario1_insider() {
+    // Keep only the scenario-1 insider: with 12-user departments a second
+    // active insider shifts their whole group's average behavior (a real
+    // small-group artifact), which is not what this test is about.
+    let mut config = CertConfig::small(42);
+    config.scenarios.retain(|p| {
+        matches!(p.scenario, acobe_synth::scenario::InsiderScenario::Scenario1 { .. })
+    });
+    let mut generator = CertGenerator::new(config);
+    let store = generator.build_store();
+    let config = generator.config().clone();
+    let cube = extract_cert_features(
+        &store,
+        config.org.total_users(),
+        config.start,
+        config.end,
+        CountSemantics::Plain,
+    );
+    let groups = groups_of(&generator);
+    let mut pipeline =
+        AcobePipeline::new(cube, cert_feature_set(), &groups, AcobeConfig::tiny()).unwrap();
+
+    // Scenario 1 anomalies start 2010-03-08 in the small config; train on
+    // January + February, score March onward.
+    let split = config.start.add_days(55);
+    pipeline.fit(config.start, split).unwrap();
+    let table = pipeline.score_range(split, config.end).unwrap();
+    let list = table.investigation_list_smoothed(2, 3);
+
+    let s1 = generator
+        .ground_truth()
+        .into_iter()
+        .find(|v| v.scenario == "scenario1")
+        .unwrap();
+    let pos = list
+        .iter()
+        .position(|inv| inv.user == s1.user.index())
+        .unwrap();
+    assert!(
+        pos < 3,
+        "scenario-1 insider at position {} of {}: {list:?}",
+        pos + 1,
+        list.len()
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let mut generator = CertGenerator::new(CertConfig::small(7));
+        let store = generator.build_store();
+        let config = generator.config().clone();
+        let cube = extract_cert_features(
+            &store,
+            config.org.total_users(),
+            config.start,
+            config.end,
+            CountSemantics::Plain,
+        );
+        let groups = groups_of(&generator);
+        let mut pipeline =
+            AcobePipeline::new(cube, cert_feature_set(), &groups, AcobeConfig::tiny()).unwrap();
+        let split = config.start.add_days(55);
+        pipeline.fit(config.start, split).unwrap();
+        let table = pipeline.score_range(split, config.end).unwrap();
+        table.investigation_list(2)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two identical runs must produce identical lists");
+}
+
+#[test]
+fn scores_cover_every_user_and_day() {
+    let mut generator = CertGenerator::new(CertConfig::small(3));
+    let store = generator.build_store();
+    let config = generator.config().clone();
+    let users = config.org.total_users();
+    let cube =
+        extract_cert_features(&store, users, config.start, config.end, CountSemantics::Plain);
+    let groups = groups_of(&generator);
+    let mut pipeline =
+        AcobePipeline::new(cube, cert_feature_set(), &groups, AcobeConfig::tiny()).unwrap();
+    let split = config.start.add_days(55);
+    pipeline.fit(config.start, split).unwrap();
+    let table = pipeline.score_range(split, config.end).unwrap();
+
+    assert_eq!(table.users, users);
+    assert_eq!(table.days(), config.end.days_since(split) as usize);
+    assert_eq!(table.aspect_names.len(), 3);
+    for a in 0..3 {
+        for d in 0..table.days() {
+            let daily = table.daily(a, d);
+            assert_eq!(daily.len(), users);
+            assert!(daily.iter().all(|s| s.is_finite() && *s >= 0.0));
+        }
+    }
+}

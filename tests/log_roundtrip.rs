@@ -1,0 +1,44 @@
+//! Cross-crate integration: synthesized logs survive CSV export/import with
+//! identical downstream features.
+
+use acobe_features::cert::{extract_cert_features, CountSemantics};
+use acobe_logs::store::LogStore;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+
+#[test]
+fn csv_roundtrip_preserves_features() {
+    let mut config = CertConfig::small(9);
+    // Shrink the span so the test stays quick.
+    config.end = config.start.add_days(30);
+    config.scenarios.truncate(1);
+    let users = config.org.total_users();
+    let mut generator = CertGenerator::new(config.clone());
+    let store = generator.build_store();
+
+    let text = store.to_csv();
+    let reparsed = LogStore::from_csv(&text).expect("reparse synthesized logs");
+    assert_eq!(reparsed.len(), store.len());
+
+    let a = extract_cert_features(&store, users, config.start, config.end, CountSemantics::Plain);
+    let b =
+        extract_cert_features(&reparsed, users, config.start, config.end, CountSemantics::Plain);
+    assert_eq!(a, b, "features must be identical after a CSV roundtrip");
+}
+
+#[test]
+fn enterprise_logs_roundtrip() {
+    use acobe_synth::enterprise::{Attack, EnterpriseConfig, EnterpriseGenerator};
+    let mut config = EnterpriseConfig::small(Attack::Zeus, 5);
+    config.end = config.start.add_days(14);
+    config.users = 6;
+    config.victim = acobe_logs::ids::UserId(2);
+    let mut generator = EnterpriseGenerator::new(config);
+    let store = generator.build_store();
+    let reparsed = LogStore::from_csv(&store.to_csv()).unwrap();
+    assert_eq!(reparsed.len(), store.len());
+    assert_eq!(reparsed.events()[0], store.events()[0]);
+    assert_eq!(
+        reparsed.events().last().unwrap(),
+        store.events().last().unwrap()
+    );
+}

@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests on the pipeline's core invariants.
+
+use acobe::critic::{investigation_list, scores_to_ranks};
+use acobe::deviation::{compute_deviations, DeviationConfig};
+use acobe::matrix::{build_row, MatrixConfig};
+use acobe_eval::pr::PrCurve;
+use acobe_eval::ranking::ScenarioRanking;
+use acobe_eval::roc::RocCurve;
+use acobe_features::counts::FeatureCube;
+use acobe_logs::time::Date;
+use proptest::prelude::*;
+
+fn cube_from(values: &[f32], users: usize, days: usize) -> FeatureCube {
+    let mut cube = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, 2, 1);
+    let mut it = values.iter().cycle();
+    for u in 0..users {
+        for d in 0..days {
+            for t in 0..2 {
+                cube.set_by_index(u, d, t, 0, *it.next().unwrap());
+            }
+        }
+    }
+    cube
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deviations are always within [-Δ, Δ] and weights within (0, 1].
+    #[test]
+    fn deviations_bounded(
+        values in prop::collection::vec(0.0f32..200.0, 30..90),
+        window in 3usize..20,
+        delta in 1.0f32..6.0,
+    ) {
+        let cube = cube_from(&values, 2, 40);
+        let cfg = DeviationConfig { window, delta, epsilon: 1e-3, min_history: 2.min(window - 1) };
+        let dev = compute_deviations(&cube, &cfg);
+        for u in 0..2 {
+            for d in 0..40 {
+                for t in 0..2 {
+                    let s = dev.sigma.get_by_index(u, d, t, 0);
+                    prop_assert!(s >= -delta && s <= delta, "sigma {s} outside ±{delta}");
+                    let w = dev.weights.get_by_index(u, d, t, 0);
+                    prop_assert!(w > 0.0 && w <= 1.0, "weight {w} outside (0,1]");
+                }
+            }
+        }
+    }
+
+    /// Flattened matrix rows always live in [0, 1], with and without groups.
+    #[test]
+    fn matrix_rows_bounded(
+        values in prop::collection::vec(0.0f32..100.0, 30..80),
+        matrix_days in 1usize..12,
+        include_group in any::<bool>(),
+        use_weights in any::<bool>(),
+    ) {
+        let cube = cube_from(&values, 3, 30);
+        let dev = compute_deviations(
+            &cube,
+            &DeviationConfig { window: 8, delta: 3.0, epsilon: 1e-3, min_history: 3 },
+        );
+        let cfg = MatrixConfig { matrix_days, include_group, use_weights, delta: 3.0 };
+        let group = include_group.then(|| dev.clone());
+        for day in [0usize, 10, 29] {
+            let row = build_row(&dev, group.as_ref(), 1, 2, day, &[0], &cfg);
+            prop_assert_eq!(row.len(), cfg.input_dim(1, 2));
+            for &x in &row {
+                prop_assert!((0.0..=1.0).contains(&x), "cell {x} outside [0,1]");
+            }
+        }
+    }
+
+    /// Ranks are a permutation-consistent mapping of scores: higher score
+    /// never gets a numerically larger (worse-or-equal is allowed only for
+    /// ties) rank.
+    #[test]
+    fn ranks_are_monotone(scores in prop::collection::vec(0.0f32..10.0, 2..60)) {
+        let ranks = scores_to_ranks(&scores);
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+                if (scores[i] - scores[j]).abs() < f32::EPSILON {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+            }
+        }
+        // Best rank is always 1.
+        prop_assert!(ranks.iter().any(|&r| r == 1));
+    }
+
+    /// The critic's priority is exactly the N-th smallest per-aspect rank.
+    #[test]
+    fn critic_priority_definition(
+        ranks_a in prop::collection::vec(1usize..50, 8),
+        ranks_b in prop::collection::vec(1usize..50, 8),
+        ranks_c in prop::collection::vec(1usize..50, 8),
+        n in 1usize..=3,
+    ) {
+        let aspects = vec![ranks_a.clone(), ranks_b.clone(), ranks_c.clone()];
+        let list = investigation_list(&aspects, n);
+        prop_assert_eq!(list.len(), 8);
+        for inv in &list {
+            let mut user_ranks =
+                vec![ranks_a[inv.user], ranks_b[inv.user], ranks_c[inv.user]];
+            user_ranks.sort_unstable();
+            prop_assert_eq!(inv.priority, user_ranks[n - 1]);
+        }
+        // The list is sorted by priority.
+        for pair in list.windows(2) {
+            prop_assert!(pair[0].priority <= pair[1].priority);
+        }
+    }
+
+    /// AUC and average precision are in [0, 1], and strictly better rankings
+    /// never score worse.
+    #[test]
+    fn metric_sanity(
+        fps in prop::collection::vec(0usize..50, 1..6),
+        negatives in 50usize..500,
+    ) {
+        let ranking = ScenarioRanking::from_counts(fps.clone(), negatives);
+        let auc = RocCurve::from_ranking(&ranking).auc();
+        let ap = PrCurve::from_ranking(&ranking).average_precision();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        prop_assert!((0.0..=1.0).contains(&ap));
+
+        // Strictly dominating ranking (every TP earlier) is at least as good.
+        let better: Vec<usize> = fps.iter().map(|&f| f.saturating_sub(1)).collect();
+        let better_ranking = ScenarioRanking::from_counts(better, negatives);
+        prop_assert!(RocCurve::from_ranking(&better_ranking).auc() >= auc);
+        prop_assert!(
+            PrCurve::from_ranking(&better_ranking).average_precision() >= ap - 1e-12
+        );
+    }
+
+    /// CSV event records survive arbitrary timestamps and ids.
+    #[test]
+    fn csv_event_roundtrip(
+        secs in 0i64..2_000_000_000,
+        user in 0u32..10_000,
+        domain in 0u32..1_000_000,
+        success in any::<bool>(),
+    ) {
+        use acobe_logs::csv::{FromCsv, ToCsv};
+        use acobe_logs::event::{HttpActivity, HttpEvent, FileType, LogEvent};
+        let e = LogEvent::Http(HttpEvent {
+            ts: acobe_logs::time::Timestamp::from_secs(secs),
+            user: acobe_logs::ids::UserId(user),
+            domain: acobe_logs::ids::DomainId(domain),
+            activity: HttpActivity::Upload,
+            filetype: FileType::Pdf,
+            success,
+        });
+        let back = LogEvent::from_csv(&e.to_csv()).unwrap();
+        prop_assert_eq!(back, e);
+    }
+}

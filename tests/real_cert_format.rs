@@ -1,0 +1,54 @@
+//! Integration: real-CERT-format files flow through the same feature
+//! extraction path as synthesized logs.
+
+use acobe_features::cert::{extract_cert_features, CountSemantics};
+use acobe_logs::cert_io::CertDatasetFiles;
+use acobe_logs::time::Date;
+
+#[test]
+fn real_format_files_feed_the_extractor() {
+    let device = "\
+id,date,user,pc,activity
+{1},01/04/2010 08:00:00,DTAA/JPH1910,PC-1234,Connect
+{2},01/04/2010 22:30:00,DTAA/JPH1910,PC-1234,Connect
+{3},01/05/2010 09:00:00,DTAA/ACM2278,PC-9999,Connect";
+    let http = "\
+id,date,user,pc,url,activity
+{4},01/04/2010 10:00:00,DTAA/JPH1910,PC-1234,http://jobs.example.com/resume.doc,WWW Upload
+{5},01/05/2010 10:00:00,DTAA/JPH1910,PC-1234,http://jobs.example.com/resume.doc,WWW Upload
+{6},01/05/2010 11:00:00,DTAA/ACM2278,PC-9999,http://news.example.com/index.html";
+    let file = "\
+id,date,user,pc,filename,activity,to_removable_media,from_removable_media
+{7},01/04/2010 14:00:00,DTAA/JPH1910,PC-1234,C:\\docs\\secret.doc,File Copy,True,False";
+
+    let mut ds = CertDatasetFiles::new();
+    assert_eq!(ds.read_device(device).unwrap(), 3);
+    assert_eq!(ds.read_http(http).unwrap(), 3);
+    assert_eq!(ds.read_file(file).unwrap(), 1);
+    let (store, interners, skipped) = ds.finish();
+    assert_eq!(skipped, 0);
+    assert_eq!(store.len(), 7);
+    assert_eq!(interners.users.len(), 2);
+
+    let start = Date::from_ymd(2010, 1, 4);
+    let end = Date::from_ymd(2010, 1, 6);
+    let cube = extract_cert_features(
+        &store,
+        interners.users.len(),
+        start,
+        end,
+        CountSemantics::Plain,
+    );
+
+    let jph = interners.users.get("DTAA/JPH1910").unwrap() as usize;
+    // Day 1: one working-hours connect (new host), one off-hours connect.
+    assert_eq!(cube.get(jph, start, 0, 0), 1.0);
+    assert_eq!(cube.get(jph, start, 1, 0), 1.0);
+    assert_eq!(cube.get(jph, start, 0, 1), 1.0); // new host (working frame)
+    // Upload-doc on both days; new-op only on the first.
+    assert_eq!(cube.get(jph, start, 0, 9), 1.0);
+    assert_eq!(cube.get(jph, start, 0, 15), 1.0);
+    assert_eq!(cube.get(jph, start.add_days(1), 0, 15), 0.0);
+    // The copy-to-removable lands in copy-local-to-remote.
+    assert_eq!(cube.get(jph, start, 0, 6), 1.0);
+}
