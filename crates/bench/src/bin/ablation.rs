@@ -31,7 +31,7 @@ fn main() {
     };
     let sweep = arg_value(&parsed, "sweep").unwrap_or("all").to_string();
 
-    eprintln!("building dataset...");
+    acobe_obs::progress!("building dataset...");
     let mut opts = options;
     opts.with_baseline = false;
     let ds = build_cert_dataset(&opts);
@@ -103,7 +103,7 @@ fn run(
     smooth: usize,
     label: &str,
 ) -> AblationResult {
-    eprintln!("running {label} ...");
+    acobe_obs::progress!("running {label} ...");
     let critic_n = config.critic_n;
     let mut pipeline =
         AcobePipeline::new(ds.cert_cube.clone(), cert_feature_set(), &ds.groups, config)

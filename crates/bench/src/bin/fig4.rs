@@ -22,7 +22,7 @@ fn main() {
         options.seed = seed;
     }
 
-    eprintln!("generating dataset...");
+    acobe_obs::progress!("generating dataset...");
     let ds = build_cert_dataset(&options);
     let victim = ds
         .victims

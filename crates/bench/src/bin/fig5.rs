@@ -46,7 +46,7 @@ fn main() {
     };
 
     options.with_baseline = variants.iter().any(|v| *v == ModelVariant::Baseline);
-    eprintln!("generating dataset ({} users/dept)...", options.users_per_dept);
+    acobe_obs::progress!("generating dataset ({} users/dept)...", options.users_per_dept);
     let ds = build_cert_dataset(&options);
     let victim = ds
         .victims
@@ -71,7 +71,7 @@ fn main() {
     );
 
     for variant in variants {
-        eprintln!("running {} ...", variant.name());
+        acobe_obs::progress!("running {} ...", variant.name());
         let run = run_scenario(&ds, victim, variant, speed);
         let table = &run.table;
 

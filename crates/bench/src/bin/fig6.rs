@@ -28,7 +28,7 @@ fn main() {
     };
 
     let variants = ModelVariant::all();
-    let summaries = run_comparison(&options, &variants, speed, true);
+    let summaries = run_comparison(&options, &variants, speed);
 
     let dir = Path::new(EXPERIMENTS_DIR);
 

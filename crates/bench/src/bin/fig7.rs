@@ -36,7 +36,7 @@ fn main() {
 }
 
 fn run_case_study(attack: Attack, users: usize, seed: u64, paper_speed: bool) {
-    eprintln!("generating enterprise dataset ({users} employees, {})...", attack.name());
+    acobe_obs::progress!("generating enterprise dataset ({users} employees, {})...", attack.name());
     let ds = build_enterprise_dataset(attack, users, seed);
 
     // The case study uses a two-week window (Section VI-B) and six months of

@@ -31,7 +31,7 @@ fn main() {
             Some("tiny") => SpeedPreset::Tiny,
             _ => SpeedPreset::Fast,
         };
-        run_comparison(&options, &ModelVariant::all(), speed, true)
+        run_comparison(&options, &ModelVariant::all(), speed)
     };
 
     println!("\n=== Table 1: model comparison ===");

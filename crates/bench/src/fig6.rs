@@ -7,6 +7,7 @@ use crate::variants::{ModelVariant, SpeedPreset};
 use acobe_eval::pr::PrCurve;
 use acobe_eval::ranking::{merge_scenarios, ScenarioRanking};
 use acobe_eval::roc::RocCurve;
+use acobe_obs::MetricRecord;
 use serde::{Deserialize, Serialize};
 
 /// One variant's merged outcome.
@@ -30,28 +31,34 @@ pub struct VariantSummary {
     pub pr_points: Vec<(f64, f64)>,
     /// Victim 0-based list positions per scenario.
     pub victim_positions: Vec<usize>,
+    /// Wall-time span records for this variant's run (extraction through
+    /// critic, aggregated over its scenarios). Absent in results saved
+    /// before instrumentation landed.
+    #[serde(default)]
+    pub stage_timings: Vec<MetricRecord>,
 }
 
 /// Runs one variant over every scenario of the dataset.
+///
+/// Resets the global observability registry on entry so the embedded
+/// `stage_timings` cover exactly this variant's work.
 pub fn evaluate_variant(
     ds: &CertDataset,
     variant: ModelVariant,
     speed: SpeedPreset,
-    verbose: bool,
 ) -> VariantSummary {
+    acobe_obs::reset();
     let mut rankings: Vec<ScenarioRanking> = Vec::new();
     let mut victim_positions = Vec::new();
     for victim in &ds.victims {
-        if verbose {
-            eprintln!(
-                "  [{}] scenario {} (victim {}, anomalies {}..{})",
-                variant.name(),
-                victim.scenario,
-                victim.user,
-                victim.anomaly_start,
-                victim.anomaly_end
-            );
-        }
+        acobe_obs::progress!(
+            "  [{}] scenario {} (victim {}, anomalies {}..{})",
+            variant.name(),
+            victim.scenario,
+            victim.user,
+            victim.anomaly_start,
+            victim.anomaly_end
+        );
         let run = run_scenario(ds, victim, variant, speed);
         victim_positions.push(run.victim_position);
         rankings.push(run.ranking);
@@ -69,6 +76,7 @@ pub fn evaluate_variant(
         roc_points: roc.points,
         pr_points: pr.points,
         victim_positions,
+        stage_timings: acobe_obs::global().span_records(),
     }
 }
 
@@ -77,21 +85,18 @@ pub fn run_comparison(
     options: &DatasetOptions,
     variants: &[ModelVariant],
     speed: SpeedPreset,
-    verbose: bool,
 ) -> Vec<VariantSummary> {
     let needs_baseline = variants.iter().any(|v| *v == ModelVariant::Baseline);
     let mut opts = options.clone();
     opts.with_baseline = needs_baseline;
-    if verbose {
-        eprintln!(
-            "generating dataset: {} departments x {} users",
-            opts.departments, opts.users_per_dept
-        );
-    }
+    acobe_obs::progress!(
+        "generating dataset: {} departments x {} users",
+        opts.departments, opts.users_per_dept
+    );
     let ds = build_cert_dataset(&opts);
     variants
         .iter()
-        .map(|&v| evaluate_variant(&ds, v, speed, verbose))
+        .map(|&v| evaluate_variant(&ds, v, speed))
         .collect()
 }
 

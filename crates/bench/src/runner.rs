@@ -32,6 +32,8 @@ pub fn run_scenario(
     variant: ModelVariant,
     speed: SpeedPreset,
 ) -> ScenarioRun {
+    let _span = acobe_obs::span!("scenario", name = victim.scenario);
+    acobe_obs::counter("bench/scenarios_run").inc();
     let cube = match variant.cube() {
         CubeKind::Cert => ds.cert_cube.clone(),
         CubeKind::Baseline => ds

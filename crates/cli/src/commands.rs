@@ -71,7 +71,7 @@ pub fn synth(args: &[String]) -> Result<(), String> {
 
     let org = OrgConfig { departments, users_per_dept, seed: seed ^ 0x0a6 };
     let config = CertConfig::paper(org, seed);
-    eprintln!(
+    acobe_obs::progress!(
         "synthesizing {} users over {}..{} ...",
         config.org.total_users(),
         config.start,
@@ -153,10 +153,10 @@ pub fn detect(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    eprintln!("loading {logs_path} ...");
+    acobe_obs::progress!("loading {logs_path} ...");
     let text = fs::read_to_string(logs_path).map_err(|e| format!("read {logs_path}: {e}"))?;
     let store = LogStore::from_csv(&text).map_err(|e| e.to_string())?;
-    eprintln!("extracting features from {} events ...", store.len());
+    acobe_obs::progress!("extracting features from {} events ...", store.len());
     let cube = extract_cert_features(&store, meta.users, start, end, CountSemantics::Plain);
 
     let config = if flag(args, "--paper-model") {
@@ -166,9 +166,9 @@ pub fn detect(args: &[String]) -> Result<(), String> {
     }
     .with_critic_n(critic_n);
     let mut pipeline = AcobePipeline::new(cube, cert_feature_set(), &meta.groups, config)?;
-    eprintln!("training on {start}..{train_end} ...");
+    acobe_obs::progress!("training on {start}..{train_end} ...");
     pipeline.fit(start, train_end)?;
-    eprintln!("scoring {train_end}..{end} ...");
+    acobe_obs::progress!("scoring {train_end}..{end} ...");
     let table = pipeline.score_range(train_end, end)?;
     let list = table.investigation_list_smoothed(critic_n, smooth);
 
@@ -228,7 +228,7 @@ pub fn enterprise(args: &[String]) -> Result<(), String> {
     if config.victim.index() >= users {
         config.victim = acobe_logs::ids::UserId(users as u32 / 2);
     }
-    eprintln!(
+    acobe_obs::progress!(
         "synthesizing {} employees, {} attack on {} ...",
         users,
         attack.name(),
@@ -236,7 +236,7 @@ pub fn enterprise(args: &[String]) -> Result<(), String> {
     );
     let mut generator = EnterpriseGenerator::new(config.clone());
     let store = generator.build_store();
-    eprintln!("extracting features from {} events ...", store.len());
+    acobe_obs::progress!("extracting features from {} events ...", store.len());
     let cube = extract_enterprise_features(&store, users, config.start, config.end);
 
     let mut model_cfg = AcobeConfig::fast();
@@ -248,7 +248,7 @@ pub fn enterprise(args: &[String]) -> Result<(), String> {
     let mut pipeline =
         AcobePipeline::new(cube, enterprise_feature_set(), &groups, model_cfg.clone())?;
     let train_end = config.attack_day.add_days(-14);
-    eprintln!("training on {}..{train_end} ...", config.start);
+    acobe_obs::progress!("training on {}..{train_end} ...", config.start);
     pipeline.fit(config.start, train_end)?;
     let table = pipeline.score_range(config.attack_day.add_days(-7), config.end)?;
 

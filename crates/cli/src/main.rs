@@ -11,8 +11,26 @@ use std::process::ExitCode;
 mod commands;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Global observability flags, accepted anywhere on the command line.
+    let verbose = take_flag(&mut args, "-v") || take_flag(&mut args, "--verbose");
+    let quiet = take_flag(&mut args, "-q") || take_flag(&mut args, "--quiet");
+    let metrics_out = match take_arg(&mut args, "--metrics-out") {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if quiet {
+        acobe_obs::set_verbosity(0);
+    } else if verbose {
+        acobe_obs::set_verbosity(acobe_obs::progress::LEVEL_DETAIL);
+    }
+
+    let command = args.first().cloned();
+    let result = match command.as_deref() {
         Some("synth") => commands::synth(&args[1..]),
         Some("detect") => commands::detect(&args[1..]),
         Some("enterprise") => commands::enterprise(&args[1..]),
@@ -22,6 +40,26 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown command '{other}' (try --help)")),
     };
+
+    // The pipeline commands report their stage timings on completion; the
+    // JSON-lines export covers every command.
+    if result.is_ok()
+        && matches!(command.as_deref(), Some("detect") | Some("enterprise"))
+        && acobe_obs::verbosity() >= acobe_obs::progress::LEVEL_PROGRESS
+    {
+        let summary = acobe_obs::summary_table();
+        if !summary.is_empty() {
+            eprintln!("\n{summary}");
+        }
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, acobe_obs::to_jsonl()) {
+            eprintln!("error: write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        acobe_obs::progress!("metrics written to {path}");
+    }
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -29,6 +67,27 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Removes every occurrence of `key` from `args`, reporting whether any
+/// were present.
+fn take_flag(args: &mut Vec<String>, key: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != key);
+    args.len() != before
+}
+
+/// Removes `key VALUE` from `args`, returning the value.
+fn take_arg(args: &mut Vec<String>, key: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == key) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{key} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
 }
 
 fn print_help() {
@@ -45,6 +104,8 @@ USAGE:
                  [--top N] [--critic-n N] [--smooth N] [--paper-model]
         Train the ACOBE ensemble on logs up to --train-end (default: 70% of
         the span) and print the ordered investigation list for the rest.
+        Prints a stage-timing summary (extraction, deviation, matrix,
+        per-aspect training, scoring, critic) on completion.
 
     acobe enterprise [--attack zeus|ransomware] [--users N] [--seed N]
         Run the Section-VI case study end-to-end: synthesize the enterprise
@@ -52,6 +113,12 @@ USAGE:
         investigation rank after the attack.
 
     acobe help
-        Show this message."
+        Show this message.
+
+GLOBAL OPTIONS (any command):
+    -v, --verbose        Detail output: per-epoch training trace.
+    -q, --quiet          Silence progress lines and the timing summary.
+    --metrics-out FILE   Write every recorded span/counter/gauge/histogram
+                         as JSON lines (one metric per line) to FILE."
     );
 }

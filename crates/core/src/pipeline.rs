@@ -12,7 +12,7 @@ use acobe_logs::time::Date;
 use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig, OutputActivationKind};
 use acobe_nn::optim::{Adadelta, Adam, Optimizer};
 use acobe_nn::tensor::Matrix;
-use acobe_nn::train::{fit_autoencoder, TrainReport};
+use acobe_nn::train::{fit_autoencoder_observed, ProgressObserver, TrainReport};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -114,6 +114,7 @@ impl ScoreTable {
     ///
     /// Panics if `n` is invalid or `smooth == 0`.
     pub fn investigation_list_smoothed(&self, n: usize, smooth: usize) -> Vec<Investigation> {
+        let _span = acobe_obs::span!("critic");
         let per_aspect: Vec<Vec<f32>> = (0..self.scores.len())
             .map(|a| self.smoothed_max_per_user(a, smooth))
             .collect();
@@ -143,6 +144,7 @@ impl ScoreTable {
         window: usize,
     ) -> Vec<Investigation> {
         assert!(window > 0, "window must be positive");
+        let _span = acobe_obs::span!("critic");
         let lo = day.saturating_sub(window - 1);
         let len = (day - lo + 1) as f32;
         let per_aspect: Vec<Vec<f32>> = self
@@ -155,6 +157,47 @@ impl ScoreTable {
             })
             .collect();
         investigate_from_scores(&per_aspect, n)
+    }
+}
+
+/// Forwards per-epoch training telemetry into `acobe-obs`: every epoch's
+/// wall time lands in the `train/epoch_ms` histogram and, at `-v`
+/// verbosity, prints one trace line per epoch.
+struct EpochTelemetry<'a> {
+    aspect: &'a str,
+}
+
+impl<'a> EpochTelemetry<'a> {
+    fn new(aspect: &'a str) -> Self {
+        EpochTelemetry { aspect }
+    }
+}
+
+impl ProgressObserver for EpochTelemetry<'_> {
+    fn on_epoch(&mut self, epoch: usize, loss: f32, elapsed_ms: f64) {
+        acobe_obs::histogram(
+            "train/epoch_ms",
+            &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0],
+        )
+        .observe(elapsed_ms);
+        acobe_obs::counter("train/epochs").inc();
+        acobe_obs::detail!(
+            "train[{}] epoch {:>3}: loss {:.6} ({:.1} ms)",
+            self.aspect,
+            epoch + 1,
+            loss,
+            elapsed_ms
+        );
+    }
+
+    fn on_complete(&mut self, report: &TrainReport) {
+        acobe_obs::detail!(
+            "train[{}] done: {} epochs in {:.0} ms{}",
+            self.aspect,
+            report.epochs_run,
+            report.total_ms(),
+            if report.stopped_early { " (stopped early)" } else { "" }
+        );
     }
 }
 
@@ -236,8 +279,13 @@ impl AcobePipeline {
             }
         }
 
+        acobe_obs::gauge("pipeline/users").set(counts.users() as f64);
+        acobe_obs::gauge("pipeline/days").set(counts.days() as f64);
+        acobe_obs::gauge("pipeline/aspects").set(feature_set.aspects.len() as f64);
+
         let needs_dev = config.representation == Representation::Deviation;
         let needs_group = config.matrix.include_group;
+        let _span = acobe_obs::span!("deviation");
         let group_counts = if needs_group {
             Some(group_average_cube(&counts, groups))
         } else {
@@ -248,6 +296,7 @@ impl AcobePipeline {
             (Some(gc), true) => Some(compute_deviations(gc, &config.deviation)),
             _ => None,
         };
+        drop(_span);
 
         Ok(AcobePipeline {
             config,
@@ -354,15 +403,22 @@ impl AcobePipeline {
         samples.shuffle(&mut rng);
         samples.truncate(self.config.max_train_samples);
 
+        acobe_obs::counter("pipeline/train_samples").add(samples.len() as u64);
+
         let mut reports = Vec::new();
         self.models.clear();
         self.baselines.clear();
         for aspect in 0..self.feature_set.aspects.len() {
+            let aspect_name = self.feature_set.aspects[aspect].name.clone();
             let dim = self.input_dim(aspect);
             let mut data = Matrix::zeros(samples.len(), dim);
-            for (i, &(u, d)) in samples.iter().enumerate() {
-                let row = self.build_input_row(aspect, u, d);
-                data.row_mut(i).copy_from_slice(&row);
+            {
+                let _span = acobe_obs::span!("matrix", aspect = aspect_name);
+                for (i, &(u, d)) in samples.iter().enumerate() {
+                    let row = self.build_input_row(aspect, u, d);
+                    data.row_mut(i).copy_from_slice(&row);
+                }
+                acobe_obs::counter("pipeline/matrix_rows").add(samples.len() as u64);
             }
             let ae_config = AutoencoderConfig {
                 input_dim: dim,
@@ -373,12 +429,22 @@ impl AcobePipeline {
             };
             let mut ae = Autoencoder::new(ae_config);
             let mut optimizer = self.make_optimizer();
-            let report = fit_autoencoder(&mut ae, &data, &self.config.train, optimizer.as_mut());
+            let _span = acobe_obs::span!("train", aspect = aspect_name);
+            let mut observer = EpochTelemetry::new(&aspect_name);
+            let report = fit_autoencoder_observed(
+                &mut ae,
+                &data,
+                &self.config.train,
+                optimizer.as_mut(),
+                &mut observer,
+            );
+            drop(_span);
             self.models.push(ae);
             reports.push(report);
         }
 
         if self.config.calibrate {
+            let _span = acobe_obs::span!("calibrate");
             // Per-user baseline error over the last days of training.
             let cal_days = 30.min(end_idx - first);
             let cal_start = end_idx - cal_days;
@@ -408,6 +474,9 @@ impl AcobePipeline {
     }
 
     /// Raw (uncalibrated) per-user reconstruction errors for one day.
+    ///
+    /// Hot path shared by scoring and calibration; spans live in the
+    /// callers so per-day guards do not pile up.
     fn score_day_raw(&mut self, aspect: usize, day: usize) -> Vec<f32> {
         let users = self.counts.users();
         let dim = self.input_dim(aspect);
@@ -449,6 +518,10 @@ impl AcobePipeline {
         let end_idx = end_idx as usize;
         let users = self.counts.users();
 
+        let _span = acobe_obs::span!("score");
+        acobe_obs::counter("pipeline/days_scored").add((end_idx - start_idx) as u64);
+        acobe_obs::counter("pipeline/rows_scored")
+            .add(((end_idx - start_idx) * users * self.models.len()) as u64);
         let mut scores = vec![Vec::with_capacity(end_idx - start_idx); self.models.len()];
         for day in start_idx..end_idx {
             for aspect in 0..self.models.len() {
@@ -616,6 +689,36 @@ mod tests {
                 assert!(ratio.is_some(), "no usable days for user {u}");
             }
         }
+    }
+
+    #[test]
+    fn pipeline_records_observability_spans() {
+        let cube = test_cube(false);
+        let (start, split, end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube, feature_set(), &groups(), AcobeConfig::tiny()).unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        let _ = table.investigation_list(2);
+
+        let registry = acobe_obs::global();
+        for stage in [
+            "deviation",
+            "matrix(aspect=first)",
+            "matrix(aspect=second)",
+            "train(aspect=first)",
+            "train(aspect=second)",
+            "score",
+            "critic",
+        ] {
+            let stats = registry.span_stats(stage).unwrap_or_else(|| {
+                panic!("stage '{stage}' missing from {:?}", registry.span_paths())
+            });
+            assert!(stats.count >= 1, "stage '{stage}' never completed");
+        }
+        assert!(acobe_obs::counter("pipeline/train_samples").get() > 0);
+        assert!(acobe_obs::counter("train/epochs").get() > 0);
+        assert!(acobe_obs::to_jsonl().contains("\"kind\":\"span\""));
     }
 
     #[test]

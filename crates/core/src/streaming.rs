@@ -99,6 +99,9 @@ impl RollingDeviation {
             self.series_count(),
             "measurement width mismatch"
         );
+        let _span = acobe_obs::span!("streaming_deviation");
+        acobe_obs::counter("streaming/days_pushed").inc();
+        acobe_obs::counter("streaming/series_updated").add(measurements.len() as u64);
         let mut sigma = vec![0.0f32; measurements.len()];
         let mut weights = vec![1.0f32; measurements.len()];
 

@@ -81,6 +81,8 @@ impl ScenarioRanking {
 pub fn merge_scenarios(scenarios: &[ScenarioRanking], distinct_negatives: usize) -> ScenarioRanking {
     assert!(!scenarios.is_empty(), "no scenarios to merge");
     assert!(distinct_negatives > 0, "need at least one negative");
+    let _span = acobe_obs::span!("eval_merge");
+    acobe_obs::counter("eval/scenarios_merged").add(scenarios.len() as u64);
     let mut fp: Vec<usize> = scenarios
         .iter()
         .flat_map(|s| s.fp_before_tp.iter().copied())

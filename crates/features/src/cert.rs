@@ -224,6 +224,9 @@ pub fn extract_cert_features(
     end: Date,
     semantics: CountSemantics,
 ) -> FeatureCube {
+    let _span = acobe_obs::span!("extraction");
+    acobe_obs::counter("features/events_ingested").add(store.len() as u64);
+    acobe_obs::counter("features/days_ingested").add(end.days_since(start).max(0) as u64);
     let mut ex = CertExtractor::new(users, start, end, semantics);
     for date in start.range_to(end) {
         ex.ingest_day(date, store.day(date));

@@ -202,6 +202,9 @@ pub fn extract_enterprise_features(
     start: Date,
     end: Date,
 ) -> FeatureCube {
+    let _span = acobe_obs::span!("extraction");
+    acobe_obs::counter("features/events_ingested").add(store.len() as u64);
+    acobe_obs::counter("features/days_ingested").add(end.days_since(start).max(0) as u64);
     let mut ex = EnterpriseExtractor::new(users, start, end);
     for date in start.range_to(end) {
         ex.ingest_day(date, store.day(date));

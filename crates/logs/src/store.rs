@@ -136,16 +136,25 @@ impl LogStore {
 
     /// Parses a store from CSV lines produced by [`LogStore::to_csv`].
     ///
+    /// Successfully decoded events count into the `logs/events_parsed`
+    /// metric and blank lines into `logs/lines_skipped`, so ingest volume
+    /// shows up in `acobe --metrics-out` exports.
+    ///
     /// # Errors
     ///
     /// Returns the first record decode failure.
     pub fn from_csv(text: &str) -> Result<Self, ParseCsvError> {
+        let _span = acobe_obs::span!("parse_logs");
+        let parsed = acobe_obs::counter("logs/events_parsed");
+        let skipped = acobe_obs::counter("logs/lines_skipped");
         let mut store = LogStore::new();
         for line in text.lines() {
             if line.is_empty() {
+                skipped.inc();
                 continue;
             }
             store.push(LogEvent::from_csv(line)?);
+            parsed.inc();
         }
         store.finalize();
         Ok(store)

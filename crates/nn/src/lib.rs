@@ -51,4 +51,7 @@ pub use net::Sequential;
 pub use optim::{Adadelta, Adam, Optimizer, Sgd};
 pub use serialize::{load_json, save_json, SavedAutoencoder};
 pub use tensor::Matrix;
-pub use train::{fit_autoencoder, TrainConfig, TrainReport};
+pub use train::{
+    fit_autoencoder, fit_autoencoder_observed, NoopObserver, ProgressObserver, TrainConfig,
+    TrainReport,
+};

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,16 +36,48 @@ impl Default for TrainConfig {
 pub struct TrainReport {
     /// Mean training loss per epoch, in order.
     pub epoch_losses: Vec<f32>,
+    /// Wall-clock duration of each epoch in milliseconds, index-aligned
+    /// with `epoch_losses`.
+    #[serde(default)]
+    pub epoch_ms: Vec<f64>,
     /// Number of epochs actually run (≤ configured, with early stopping).
     pub epochs_run: usize,
+    /// Whether early stopping ended training before the configured epochs.
+    #[serde(default)]
+    pub stopped_early: bool,
 }
 
 impl TrainReport {
-    /// Final epoch's loss.
-    pub fn final_loss(&self) -> f32 {
-        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    /// Final epoch's loss, or `None` when no epochs ran.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+
+    /// Total wall-clock training time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.epoch_ms.iter().sum()
     }
 }
+
+/// Receives training telemetry as [`fit_autoencoder_observed`] runs.
+///
+/// All methods default to no-ops so implementors pick the events they care
+/// about. The pipeline uses this to feed per-epoch losses and durations
+/// into `acobe-obs` histograms and the `-v` training trace.
+pub trait ProgressObserver {
+    /// Called after each epoch with its 0-based index, mean loss, and
+    /// wall-clock duration in milliseconds.
+    fn on_epoch(&mut self, _epoch: usize, _loss: f32, _elapsed_ms: f64) {}
+
+    /// Called once when training finishes, with the final report.
+    fn on_complete(&mut self, _report: &TrainReport) {}
+}
+
+/// A [`ProgressObserver`] that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl ProgressObserver for NoopObserver {}
 
 /// Trains `ae` to reconstruct the rows of `data` (targets = inputs).
 ///
@@ -58,6 +91,22 @@ pub fn fit_autoencoder(
     config: &TrainConfig,
     optimizer: &mut dyn Optimizer,
 ) -> TrainReport {
+    fit_autoencoder_observed(ae, data, config, optimizer, &mut NoopObserver)
+}
+
+/// Like [`fit_autoencoder`], reporting per-epoch telemetry to `observer`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, its width disagrees with the autoencoder, or
+/// `batch_size == 0`.
+pub fn fit_autoencoder_observed(
+    ae: &mut Autoencoder,
+    data: &Matrix,
+    config: &TrainConfig,
+    optimizer: &mut dyn Optimizer,
+    observer: &mut dyn ProgressObserver,
+) -> TrainReport {
     assert!(data.rows() > 0, "empty training set");
     assert_eq!(data.cols(), ae.config().input_dim, "data width mismatch");
     assert!(config.batch_size > 0, "batch_size must be positive");
@@ -65,8 +114,11 @@ pub fn fit_autoencoder(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut indices: Vec<usize> = (0..data.rows()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut epoch_ms = Vec::with_capacity(config.epochs);
+    let mut stopped_early = false;
 
     for epoch in 0..config.epochs {
+        let epoch_start = Instant::now();
         indices.shuffle(&mut rng);
         let mut total = 0.0f64;
         let mut batches = 0usize;
@@ -83,18 +135,24 @@ pub fn fit_autoencoder(
         }
         let mean = (total / batches.max(1) as f64) as f32;
         epoch_losses.push(mean);
+        let elapsed_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
+        epoch_ms.push(elapsed_ms);
+        observer.on_epoch(epoch, mean, elapsed_ms);
 
         if let Some(rel) = config.early_stop_rel {
             if epoch > 0 {
                 let prev = epoch_losses[epoch - 1];
                 if prev.is_finite() && prev > 0.0 && (prev - mean) / prev < rel {
+                    stopped_early = true;
                     break;
                 }
             }
         }
     }
     let epochs_run = epoch_losses.len();
-    TrainReport { epoch_losses, epochs_run }
+    let report = TrainReport { epoch_losses, epoch_ms, epochs_run, stopped_early };
+    observer.on_complete(&report);
+    report
 }
 
 #[cfg(test)]
@@ -126,8 +184,11 @@ mod tests {
         let cfg = TrainConfig { epochs: 15, batch_size: 32, seed: 1, early_stop_rel: None };
         let report = fit_autoencoder(&mut ae, &data, &cfg, &mut Adadelta::new());
         assert_eq!(report.epochs_run, 15);
+        assert!(!report.stopped_early);
+        assert_eq!(report.epoch_ms.len(), 15);
+        assert!(report.total_ms() > 0.0);
         assert!(
-            report.final_loss() < report.epoch_losses[0] * 0.7,
+            report.final_loss().unwrap() < report.epoch_losses[0] * 0.7,
             "losses: {:?}",
             report.epoch_losses
         );
@@ -165,6 +226,67 @@ mod tests {
         };
         let report = fit_autoencoder(&mut ae, &data, &cfg, &mut Adadelta::new());
         assert!(report.epochs_run < 200);
+        assert!(report.stopped_early, "the aggressive threshold must trip");
+        assert_eq!(report.epoch_ms.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn empty_report_has_no_final_loss() {
+        let report = TrainReport {
+            epoch_losses: Vec::new(),
+            epoch_ms: Vec::new(),
+            epochs_run: 0,
+            stopped_early: false,
+        };
+        assert_eq!(report.final_loss(), None);
+        assert_eq!(report.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn observer_sees_every_epoch() {
+        struct Recorder {
+            epochs: Vec<(usize, f32)>,
+            completed: bool,
+        }
+        impl ProgressObserver for Recorder {
+            fn on_epoch(&mut self, epoch: usize, loss: f32, elapsed_ms: f64) {
+                assert!(elapsed_ms >= 0.0);
+                self.epochs.push((epoch, loss));
+            }
+            fn on_complete(&mut self, report: &TrainReport) {
+                assert_eq!(report.epochs_run, self.epochs.len());
+                self.completed = true;
+            }
+        }
+        let mut ae = Autoencoder::new(AutoencoderConfig::small(8).with_seed(5));
+        let data = structured_data(64, 42);
+        let cfg = TrainConfig { epochs: 4, batch_size: 32, seed: 3, early_stop_rel: None };
+        let mut rec = Recorder { epochs: Vec::new(), completed: false };
+        let report =
+            fit_autoencoder_observed(&mut ae, &data, &cfg, &mut Adadelta::new(), &mut rec);
+        assert!(rec.completed);
+        assert_eq!(rec.epochs.len(), 4);
+        for (i, &(epoch, loss)) in rec.epochs.iter().enumerate() {
+            assert_eq!(epoch, i);
+            assert_eq!(loss, report.epoch_losses[i]);
+        }
+    }
+
+    #[test]
+    fn observed_and_plain_training_agree() {
+        let data = structured_data(64, 3);
+        let cfg = TrainConfig { epochs: 3, batch_size: 16, seed: 11, early_stop_rel: None };
+        let mut a = Autoencoder::new(AutoencoderConfig::small(8).with_seed(5));
+        let mut b = Autoencoder::new(AutoencoderConfig::small(8).with_seed(5));
+        let ra = fit_autoencoder(&mut a, &data, &cfg, &mut Adadelta::new());
+        let rb = fit_autoencoder_observed(
+            &mut b,
+            &data,
+            &cfg,
+            &mut Adadelta::new(),
+            &mut NoopObserver,
+        );
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Observability layer for the ACOBE pipeline.
+//!
+//! Every other crate in the workspace is instrumented through this one:
+//!
+//! * [`span`] — hierarchical wall-time spans: a [`SpanGuard`] records its
+//!   elapsed time into a registry when dropped, and nested guards aggregate
+//!   under `parent/child` paths. The [`span!`](crate::span!) macro adds
+//!   `name(key=value)` labels.
+//! * [`metrics`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s behind a thread-safe [`Registry`].
+//! * [`sink`] — a human-readable summary table (for stderr) and a JSON-lines
+//!   export of every recorded metric (for machines; see `acobe detect
+//!   --metrics-out`).
+//! * [`progress`] — verbosity-gated progress lines replacing the ad-hoc
+//!   `eprintln!` calls the binaries used to carry.
+//!
+//! The crate deliberately has no external dependencies beyond the workspace
+//! staples (`parking_lot`, `serde`): instrumentation must never be the part
+//! of the build that breaks.
+//!
+//! # Examples
+//!
+//! ```
+//! {
+//!     let _outer = acobe_obs::span!("fit");
+//!     let _inner = acobe_obs::span!("train", aspect = "device");
+//!     acobe_obs::counter("pipeline/users").add(12);
+//! }
+//! let stats = acobe_obs::global().span_stats("fit/train(aspect=device)");
+//! assert_eq!(stats.unwrap().count, 1);
+//! let jsonl = acobe_obs::to_jsonl();
+//! assert!(jsonl.contains("pipeline/users"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod progress;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use progress::{set_verbosity, verbosity};
+pub use registry::{global, Registry, SpanStats};
+pub use sink::{HistogramBucket, MetricRecord};
+pub use span::SpanGuard;
+
+use std::sync::Arc;
+
+/// The named counter from the global registry (created on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// The named gauge from the global registry (created on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// The named histogram from the global registry; `edges` are the inclusive
+/// bucket upper bounds and only apply on first creation.
+pub fn histogram(name: &str, edges: &[f64]) -> Arc<Histogram> {
+    global().histogram(name, edges)
+}
+
+/// Clears every metric and span in the global registry (benches and tests).
+pub fn reset() {
+    global().reset();
+}
+
+/// The global registry rendered as a human-readable summary table.
+pub fn summary_table() -> String {
+    global().summary_table()
+}
+
+/// The global registry rendered as JSON lines (one metric per line).
+pub fn to_jsonl() -> String {
+    global().to_jsonl()
+}

@@ -1,0 +1,239 @@
+//! Metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are cheap to update from many threads at once: counters and
+//! gauges are single atomics, histograms take a short uncontended lock per
+//! observation.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing integer metric.
+///
+/// Increments from any number of threads land exactly (atomic adds).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A metric holding the latest `f64` value set (population sizes, spans of
+/// days, configuration knobs worth exporting).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Aggregate state of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds, ascending.
+    pub edges: Vec<f64>,
+    /// Per-bucket observation counts; the final entry is the overflow bucket
+    /// for values above the last edge (`counts.len() == edges.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`0.0` when empty).
+    pub min: f64,
+    /// Largest observed value (`0.0` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `None` when nothing was observed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+}
+
+#[derive(Debug)]
+struct HistState {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A fixed-bucket histogram: bucket `i` counts observations `v <= edges[i]`
+/// (first matching edge wins), and one extra overflow bucket counts values
+/// above every edge.
+#[derive(Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    state: Mutex<HistState>,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending, inclusive bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edges` is not strictly ascending.
+    pub fn new(edges: &[f64]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            state: Mutex::new(HistState {
+                counts: vec![0; edges.len() + 1],
+                total: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+            }),
+        }
+    }
+
+    /// The inclusive bucket upper bounds.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let bucket = self
+            .edges
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.edges.len());
+        let mut s = self.state.lock();
+        s.counts[bucket] += 1;
+        s.sum += value;
+        if s.total == 0 {
+            s.min = value;
+            s.max = value;
+        } else {
+            s.min = s.min.min(value);
+            s.max = s.max.max(value);
+        }
+        s.total += 1;
+    }
+
+    /// A consistent snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.state.lock();
+        HistogramSnapshot {
+            edges: self.edges.clone(),
+            counts: s.counts.clone(),
+            total: s.total,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        let mut s = self.state.lock();
+        s.counts.iter_mut().for_each(|c| *c = 0);
+        s.total = 0;
+        s.sum = 0.0;
+        s.min = 0.0;
+        s.max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_and_get() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_holds_latest() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        // Buckets: (-inf, 1], (1, 10], (10, 100], (100, +inf).
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(1.0); // exactly on an edge -> first bucket
+        h.observe(1.0001); // just past it -> second bucket
+        h.observe(10.0); // second bucket (inclusive)
+        h.observe(100.0); // third bucket
+        h.observe(100.5); // overflow
+        h.observe(-7.0); // below everything -> first bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 2, 1, 1]);
+        assert_eq!(snap.total, 6);
+        assert_eq!(snap.min, -7.0);
+        assert_eq!(snap.max, 100.5);
+        let mean = snap.mean().unwrap();
+        assert!((mean - (1.0 + 1.0001 + 10.0 + 100.0 + 100.5 - 7.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.snapshot().mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_rejected() {
+        let _ = Histogram::new(&[5.0, 1.0]);
+    }
+}

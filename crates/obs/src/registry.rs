@@ -1,0 +1,242 @@
+//! The thread-safe registry holding every named metric and span aggregate.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::sink::{HistogramBucket, MetricRecord};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Aggregated wall-time statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Summed wall time.
+    pub total: Duration,
+    /// Shortest single span.
+    pub min: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+impl SpanStats {
+    fn record(&mut self, elapsed: Duration) {
+        if self.count == 0 {
+            self.min = elapsed;
+            self.max = elapsed;
+        } else {
+            self.min = self.min.min(elapsed);
+            self.max = self.max.max(elapsed);
+        }
+        self.count += 1;
+        self.total += elapsed;
+    }
+
+    /// Mean wall time per span.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// A collection of named counters, gauges, histograms, and span aggregates.
+///
+/// Most code uses the process-wide instance from [`global`]; tests can make
+/// private registries to stay isolated.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The named histogram, created on first use; later calls ignore `edges`
+    /// and return the existing instance.
+    pub fn histogram(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(edges)))
+            .clone()
+    }
+
+    /// Folds one completed span into the aggregate for `path`.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let mut spans = self.spans.lock();
+        spans
+            .entry(path.to_string())
+            .or_insert(SpanStats {
+                count: 0,
+                total: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+            })
+            .record(elapsed);
+    }
+
+    /// Aggregated statistics of one span path, if any span completed there.
+    pub fn span_stats(&self, path: &str) -> Option<SpanStats> {
+        self.spans.lock().get(path).copied()
+    }
+
+    /// Every span path recorded so far, in sorted order.
+    pub fn span_paths(&self) -> Vec<String> {
+        self.spans.lock().keys().cloned().collect()
+    }
+
+    /// Clears all metrics and span aggregates, keeping registered metric
+    /// objects alive (outstanding `Arc` handles keep working).
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+        self.spans.lock().clear();
+    }
+
+    /// Serializable records for every span aggregate, name-sorted.
+    pub fn span_records(&self) -> Vec<MetricRecord> {
+        self.spans
+            .lock()
+            .iter()
+            .map(|(name, s)| MetricRecord::Span {
+                name: name.clone(),
+                count: s.count,
+                total_ms: s.total.as_secs_f64() * 1e3,
+                mean_ms: s.mean().as_secs_f64() * 1e3,
+                min_ms: s.min.as_secs_f64() * 1e3,
+                max_ms: s.max.as_secs_f64() * 1e3,
+            })
+            .collect()
+    }
+
+    /// Serializable records for every metric and span, spans first.
+    pub fn snapshot(&self) -> Vec<MetricRecord> {
+        let mut records = self.span_records();
+        records.extend(self.counters.lock().iter().map(|(name, c)| {
+            MetricRecord::Counter { name: name.clone(), value: c.get() }
+        }));
+        records.extend(self.gauges.lock().iter().map(|(name, g)| {
+            MetricRecord::Gauge { name: name.clone(), value: g.get() }
+        }));
+        records.extend(self.histograms.lock().iter().map(|(name, h)| {
+            let snap = h.snapshot();
+            let mut buckets: Vec<HistogramBucket> = snap
+                .edges
+                .iter()
+                .zip(&snap.counts)
+                .map(|(&le, &count)| HistogramBucket { le: Some(le), count })
+                .collect();
+            buckets.push(HistogramBucket {
+                le: None,
+                count: *snap.counts.last().expect("overflow bucket"),
+            });
+            MetricRecord::Histogram {
+                name: name.clone(),
+                count: snap.total,
+                sum: snap.sum,
+                min: snap.min,
+                max: snap.max,
+                buckets,
+            }
+        }));
+        records
+    }
+
+    /// Renders the registry as JSON lines, one [`MetricRecord`] per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.snapshot() {
+            out.push_str(&serde_json::to_string(&record).expect("metric record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the registry as a human-readable summary table.
+    pub fn summary_table(&self) -> String {
+        crate::sink::render_summary(&self.snapshot())
+    }
+}
+
+/// The process-wide registry used by [`span!`](crate::span!) and the
+/// crate-level convenience functions.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+        r.histogram("h", &[1.0, 2.0]).observe(1.5);
+        // Second lookup ignores the (different) edges.
+        r.histogram("h", &[9.0]).observe(1.5);
+        assert_eq!(r.histogram("h", &[]).snapshot().total, 2);
+    }
+
+    #[test]
+    fn span_stats_aggregate() {
+        let r = Registry::new();
+        r.record_span("a/b", Duration::from_millis(10));
+        r.record_span("a/b", Duration::from_millis(30));
+        let s = r.span_stats("a/b").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, Duration::from_millis(40));
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.mean(), Duration::from_millis(20));
+        assert!(r.span_stats("missing").is_none());
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_handles_usable() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(7);
+        r.record_span("s", Duration::from_millis(1));
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert!(r.span_stats("s").is_none());
+        c.inc();
+        assert_eq!(r.counter("x").get(), 1);
+    }
+}

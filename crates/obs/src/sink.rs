@@ -1,0 +1,220 @@
+//! Output sinks: serializable metric records (JSON lines) and the
+//! human-readable summary table.
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bucket in a [`MetricRecord`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound; `None` marks the overflow bucket.
+    pub le: Option<f64>,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// One exported metric. Serialized as JSON with a `kind` tag, one record per
+/// line in the `--metrics-out` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MetricRecord {
+    /// Aggregated wall time of one span path.
+    Span {
+        /// Full `parent/child` span path.
+        name: String,
+        /// Completed spans on this path.
+        count: u64,
+        /// Summed wall time in milliseconds.
+        total_ms: f64,
+        /// Mean wall time per span in milliseconds.
+        mean_ms: f64,
+        /// Shortest span in milliseconds.
+        min_ms: f64,
+        /// Longest span in milliseconds.
+        max_ms: f64,
+    },
+    /// A monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: u64,
+    },
+    /// A latest-value gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A fixed-bucket histogram.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: f64,
+        /// Smallest observed value.
+        min: f64,
+        /// Largest observed value.
+        max: f64,
+        /// Bucket counts, ending with the overflow bucket.
+        buckets: Vec<HistogramBucket>,
+    },
+}
+
+impl MetricRecord {
+    /// The metric's name, independent of kind.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricRecord::Span { name, .. }
+            | MetricRecord::Counter { name, .. }
+            | MetricRecord::Gauge { name, .. }
+            | MetricRecord::Histogram { name, .. } => name,
+        }
+    }
+}
+
+fn pad(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+/// Renders a snapshot as the stderr summary table printed by the CLI on
+/// completion (`acobe detect -v`, `acobe enterprise -v`).
+pub fn render_summary(records: &[MetricRecord]) -> String {
+    let mut out = String::new();
+    let name_width = records
+        .iter()
+        .map(|r| r.name().len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let spans: Vec<&MetricRecord> = records
+        .iter()
+        .filter(|r| matches!(r, MetricRecord::Span { .. }))
+        .collect();
+    if !spans.is_empty() {
+        out.push_str(&format!(
+            "stage timings\n  {} {:>7} {:>12} {:>12} {:>12}\n",
+            pad("span", name_width),
+            "count",
+            "total(ms)",
+            "mean(ms)",
+            "max(ms)"
+        ));
+        for record in &spans {
+            if let MetricRecord::Span { name, count, total_ms, mean_ms, max_ms, .. } = record {
+                out.push_str(&format!(
+                    "  {} {count:>7} {total_ms:>12.2} {mean_ms:>12.2} {max_ms:>12.2}\n",
+                    pad(name, name_width)
+                ));
+            }
+        }
+    }
+
+    let counters: Vec<&MetricRecord> = records
+        .iter()
+        .filter(|r| matches!(r, MetricRecord::Counter { .. } | MetricRecord::Gauge { .. }))
+        .collect();
+    if !counters.is_empty() {
+        out.push_str("counters & gauges\n");
+        for record in &counters {
+            match record {
+                MetricRecord::Counter { name, value } => {
+                    out.push_str(&format!("  {} {value}\n", pad(name, name_width)));
+                }
+                MetricRecord::Gauge { name, value } => {
+                    out.push_str(&format!("  {} {value}\n", pad(name, name_width)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let hists: Vec<&MetricRecord> = records
+        .iter()
+        .filter(|r| matches!(r, MetricRecord::Histogram { .. }))
+        .collect();
+    if !hists.is_empty() {
+        out.push_str(&format!(
+            "histograms\n  {} {:>7} {:>12} {:>12} {:>12}\n",
+            pad("name", name_width),
+            "count",
+            "mean",
+            "min",
+            "max"
+        ));
+        for record in &hists {
+            if let MetricRecord::Histogram { name, count, sum, min, max, .. } = record {
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                out.push_str(&format!(
+                    "  {} {count:>7} {mean:>12.2} {min:>12.2} {max:>12.2}\n",
+                    pad(name, name_width)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<MetricRecord> {
+        vec![
+            MetricRecord::Span {
+                name: "fit/train(aspect=device)".into(),
+                count: 3,
+                total_ms: 120.0,
+                mean_ms: 40.0,
+                min_ms: 30.0,
+                max_ms: 55.0,
+            },
+            MetricRecord::Counter { name: "events_parsed".into(), value: 991 },
+            MetricRecord::Gauge { name: "users".into(), value: 24.0 },
+            MetricRecord::Histogram {
+                name: "epoch_ms".into(),
+                count: 2,
+                sum: 12.0,
+                min: 5.0,
+                max: 7.0,
+                buckets: vec![
+                    HistogramBucket { le: Some(10.0), count: 2 },
+                    HistogramBucket { le: None, count: 0 },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_serde_json() {
+        for record in sample_records() {
+            let line = serde_json::to_string(&record).unwrap();
+            let back: MetricRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, record, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn kind_tags_are_snake_case() {
+        let line = serde_json::to_string(&sample_records()[0]).unwrap();
+        assert!(line.contains("\"kind\":\"span\""), "{line}");
+        let line = serde_json::to_string(&sample_records()[3]).unwrap();
+        assert!(line.contains("\"kind\":\"histogram\""), "{line}");
+    }
+
+    #[test]
+    fn summary_mentions_every_metric() {
+        let text = render_summary(&sample_records());
+        for record in sample_records() {
+            assert!(text.contains(record.name()), "missing {}:\n{text}", record.name());
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_summary(&[]), "");
+    }
+}

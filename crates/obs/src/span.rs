@@ -1,0 +1,141 @@
+//! Hierarchical wall-time spans.
+//!
+//! A [`SpanGuard`] starts timing when created and records its elapsed time
+//! into a [`Registry`] when dropped. Guards nest per thread: a span entered
+//! while another is open aggregates under `parent/child`, so the same
+//! instrumented code reports flat paths when called directly and prefixed
+//! paths when called from an instrumented caller.
+
+use crate::registry::{global, Registry};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; dropping it records the elapsed wall time.
+///
+/// Guards are meant to live in a local (`let _span = ...`) so scopes close
+/// them in reverse order of opening.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard<'static> {
+    /// Opens a span recording into the [`global`] registry.
+    pub fn enter(name: impl Into<String>) -> SpanGuard<'static> {
+        SpanGuard::enter_in(global(), name)
+    }
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span recording into a specific registry.
+    pub fn enter_in(registry: &'a Registry, name: impl Into<String>) -> SpanGuard<'a> {
+        let name = name.into();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name,
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard { registry, path, start: Instant::now() }
+    }
+
+    /// The full `parent/child` path this span aggregates under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Scoped guards drop LIFO; tolerate out-of-order drops by
+            // removing this span's entry wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.registry.record_span(&self.path, elapsed);
+    }
+}
+
+/// Opens a [`SpanGuard`] on the global registry.
+///
+/// `span!("score")` times a plain stage; `span!("train", aspect = name)`
+/// renders labels into the span name (`train(aspect=device)`), giving each
+/// label combination its own aggregate.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let fields: Vec<String> = vec![$(format!("{}={}", stringify!($key), $value)),+];
+        $crate::span::SpanGuard::enter(format!("{}({})", $name, fields.join(",")))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let r = Registry::new();
+        {
+            let outer = SpanGuard::enter_in(&r, "outer");
+            assert_eq!(outer.path(), "outer");
+            {
+                let inner = SpanGuard::enter_in(&r, "inner");
+                assert_eq!(inner.path(), "outer/inner");
+            }
+        }
+        assert_eq!(r.span_stats("outer").unwrap().count, 1);
+        assert_eq!(r.span_stats("outer/inner").unwrap().count, 1);
+        assert!(r.span_stats("inner").is_none());
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let r = Registry::new();
+        {
+            let _parent = SpanGuard::enter_in(&r, "parent");
+            for _ in 0..3 {
+                let _child = SpanGuard::enter_in(&r, "child");
+            }
+        }
+        assert_eq!(r.span_stats("parent/child").unwrap().count, 3);
+        assert_eq!(r.span_stats("parent").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_macro_renders_labels() {
+        {
+            let guard = crate::span!("macro_test_stage", aspect = "device", fold = 2);
+            assert_eq!(guard.path(), "macro_test_stage(aspect=device,fold=2)");
+        }
+        let stats = global().span_stats("macro_test_stage(aspect=device,fold=2)").unwrap();
+        assert!(stats.count >= 1);
+    }
+
+    #[test]
+    fn stack_is_clean_after_guards_close() {
+        let r = Registry::new();
+        {
+            let _a = SpanGuard::enter_in(&r, "a");
+        }
+        // A new root span must not inherit a stale parent.
+        let b = SpanGuard::enter_in(&r, "b");
+        assert_eq!(b.path(), "b");
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration tests for `acobe-obs`: concurrency, span nesting across
+//! call layers, and the JSON-lines export format.
+
+use acobe_obs::{MetricRecord, Registry, SpanGuard};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn concurrent_counter_increments_land_exactly() {
+    let registry = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 10_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let counter = registry.counter("contended");
+                for _ in 0..per_thread {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(registry.counter("contended").get(), threads * per_thread);
+}
+
+#[test]
+fn concurrent_histogram_observations_land_exactly() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let hist = registry.histogram("h", &[10.0, 100.0]);
+                for i in 0..1000 {
+                    hist.observe((t * 1000 + i) as f64 % 150.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.histogram("h", &[]).snapshot();
+    assert_eq!(snap.total, 4000);
+    assert_eq!(snap.counts.iter().sum::<u64>(), 4000);
+}
+
+#[test]
+fn nested_spans_aggregate_under_the_right_parent() {
+    let registry = Registry::new();
+    // Simulates the pipeline shape: one fit, two aspects, three epochs each.
+    {
+        let _fit = SpanGuard::enter_in(&registry, "fit");
+        for aspect in ["first", "second"] {
+            let _train = SpanGuard::enter_in(&registry, format!("train(aspect={aspect})"));
+            for _ in 0..3 {
+                let _epoch = SpanGuard::enter_in(&registry, "epoch");
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    assert_eq!(registry.span_stats("fit").unwrap().count, 1);
+    for aspect in ["first", "second"] {
+        let train = registry.span_stats(&format!("fit/train(aspect={aspect})")).unwrap();
+        assert_eq!(train.count, 1);
+        let epochs = registry
+            .span_stats(&format!("fit/train(aspect={aspect})/epoch"))
+            .unwrap();
+        assert_eq!(epochs.count, 3);
+        assert!(epochs.total >= Duration::from_millis(3));
+        assert!(train.total >= epochs.total);
+    }
+    // No stray un-prefixed paths.
+    assert!(registry.span_stats("train(aspect=first)").is_none());
+    assert!(registry.span_stats("epoch").is_none());
+}
+
+#[test]
+fn spans_on_different_threads_do_not_nest() {
+    let registry = Arc::new(Registry::new());
+    let _outer = SpanGuard::enter_in(&registry, "outer");
+    let inner_registry = Arc::clone(&registry);
+    thread::spawn(move || {
+        let _inner = SpanGuard::enter_in(&inner_registry, "inner");
+    })
+    .join()
+    .unwrap();
+    // The other thread had its own empty span stack.
+    assert!(registry.span_stats("inner").is_some());
+    assert!(registry.span_stats("outer/inner").is_none());
+}
+
+#[test]
+fn jsonl_export_roundtrips_through_serde_json() {
+    let registry = Registry::new();
+    registry.counter("events").add(12);
+    registry.gauge("users").set(24.0);
+    registry.histogram("epoch_ms", &[1.0, 10.0, 100.0]).observe(3.5);
+    registry.histogram("epoch_ms", &[]).observe(250.0);
+    {
+        let _span = SpanGuard::enter_in(&registry, "stage");
+    }
+
+    let jsonl = registry.to_jsonl();
+    let records: Vec<MetricRecord> = jsonl
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every line is one valid record"))
+        .collect();
+    assert_eq!(records.len(), 4);
+    assert_eq!(records, registry.snapshot());
+
+    // Re-serializing gives back the identical lines.
+    let again: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    assert_eq!(again, jsonl);
+
+    // Spot-check the shape of each kind.
+    assert!(records.iter().any(
+        |r| matches!(r, MetricRecord::Span { name, count: 1, .. } if name == "stage")
+    ));
+    assert!(records.iter().any(
+        |r| matches!(r, MetricRecord::Counter { name, value: 12 } if name == "events")
+    ));
+    assert!(records.iter().any(
+        |r| matches!(r, MetricRecord::Gauge { name, value } if name == "users" && *value == 24.0)
+    ));
+    match records
+        .iter()
+        .find(|r| matches!(r, MetricRecord::Histogram { .. }))
+        .unwrap()
+    {
+        MetricRecord::Histogram { name, count, sum, min, max, buckets } => {
+            assert_eq!(name, "epoch_ms");
+            assert_eq!(*count, 2);
+            assert_eq!(*sum, 253.5);
+            assert_eq!(*min, 3.5);
+            assert_eq!(*max, 250.0);
+            // Three edges plus the overflow bucket.
+            assert_eq!(buckets.len(), 4);
+            assert_eq!(buckets[3].le, None);
+            assert_eq!(buckets[3].count, 1);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn global_helpers_cover_the_full_surface() {
+    // Unique names: the global registry is shared across the test binary.
+    acobe_obs::counter("itest/counter").add(5);
+    acobe_obs::gauge("itest/gauge").set(1.5);
+    acobe_obs::histogram("itest/hist", &[10.0]).observe(2.0);
+    {
+        let _g = acobe_obs::span!("itest_span", case = "global");
+    }
+    let jsonl = acobe_obs::to_jsonl();
+    for needle in ["itest/counter", "itest/gauge", "itest/hist", "itest_span(case=global)"] {
+        assert!(jsonl.contains(needle), "missing {needle} in:\n{jsonl}");
+    }
+    let table = acobe_obs::summary_table();
+    assert!(table.contains("itest/counter"));
+    assert!(table.contains("stage timings"));
+}

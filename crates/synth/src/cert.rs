@@ -362,12 +362,14 @@ impl CertGenerator {
 
     /// Convenience: generates the full configured span into a [`LogStore`].
     pub fn build_store(&mut self) -> LogStore {
+        let _span = acobe_obs::span!("synth", dataset = "cert");
         let mut store = LogStore::new();
         let (start, end) = (self.config.start, self.config.end);
         for date in start.range_to(end) {
             store.extend(self.generate_day(date));
         }
         store.finalize();
+        acobe_obs::counter("synth/events_generated").add(store.len() as u64);
         store
     }
 

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "trained {} epochs: loss {:.5} -> {:.5}",
         report.epochs_run,
         report.epoch_losses[0],
-        report.final_loss()
+        report.final_loss().unwrap_or(f32::NAN)
     );
 
     let path = std::env::temp_dir().join("acobe_quickstart_model.json");

@@ -46,11 +46,16 @@ fn main() -> Result<(), String> {
     let split = config.start.add_days(60);
     let reports = pipeline.fit(config.start, split)?;
     for (aspect, report) in pipeline.feature_set().aspects.iter().zip(&reports) {
+        let final_loss = report
+            .final_loss()
+            .map(|l| format!("{l:.5}"))
+            .unwrap_or_else(|| "n/a".into());
         println!(
-            "trained {}: {} epochs, final loss {:.5}",
+            "trained {}: {} epochs in {:.0} ms, final loss {final_loss}{}",
             aspect.name,
             report.epochs_run,
-            report.final_loss()
+            report.total_ms(),
+            if report.stopped_early { " (stopped early)" } else { "" }
         );
     }
     let table = pipeline.score_range(split, config.end)?;
