@@ -1,0 +1,228 @@
+//! Compute-core benchmark: measures the blocked matmul kernel, training
+//! throughput, and end-to-end detection wall time against the pre-existing
+//! reference kernel, and writes the results to `BENCH_nn.json` at the
+//! workspace root.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin nn_bench [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks every workload for CI smoke runs. The kernel toggle is
+//! process-global, so this binary is the only place the reference kernel is
+//! ever switched on.
+
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe_bench::{arg_value, build_cert_dataset, parse_args, DatasetOptions};
+use acobe_features::spec::cert_feature_set;
+use acobe_nn::autoencoder::{Autoencoder, AutoencoderConfig, OutputActivationKind};
+use acobe_nn::optim::Adam;
+use acobe_nn::tensor::{set_kernel, Kernel, Matrix};
+use acobe_nn::train::{fit_autoencoder, TrainConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct MatmulResult {
+    m: usize,
+    k: usize,
+    n: usize,
+    blocked_gflops: f64,
+    reference_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TrainResult {
+    rows: usize,
+    dim: usize,
+    epochs: usize,
+    blocked_epochs_per_s: f64,
+    reference_epochs_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct EndToEndResult {
+    users: usize,
+    days: usize,
+    blocked_s: f64,
+    reference_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    threads: usize,
+    quick: bool,
+    matmul: Vec<MatmulResult>,
+    train: TrainResult,
+    e2e: EndToEndResult,
+}
+
+/// Runs `f` under the given kernel, restoring the blocked default after.
+fn with_kernel<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
+    set_kernel(kernel);
+    let out = f();
+    set_kernel(Kernel::Blocked);
+    out
+}
+
+/// Seconds taken by one call of `f`.
+fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Median-of-three timing of `f`, in seconds.
+fn time_median(mut f: impl FnMut()) -> f64 {
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        *s = time_once(&mut f).0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+fn pattern(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = ((r as u32).wrapping_mul(31).wrapping_add((c as u32) * 7 + seed) % 17) as f32;
+            m.set(r, c, v * 0.25 - 2.0);
+        }
+    }
+    m
+}
+
+fn bench_matmul(m: usize, k: usize, n: usize) -> MatmulResult {
+    let a = pattern(m, k, 1);
+    let b = pattern(k, n, 2);
+    let mut out = Matrix::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    // Enough repetitions for ~100 ms per sample.
+    let (probe, _) = time_once(|| a.matmul_into(&b, &mut out));
+    let reps = ((0.1 / probe.max(1e-6)).ceil() as usize).clamp(1, 1000);
+    let gflops = |secs: f64| flops * reps as f64 / secs / 1e9;
+
+    let blocked = time_median(|| {
+        for _ in 0..reps {
+            a.matmul_into(&b, &mut out);
+        }
+    });
+    let reference = with_kernel(Kernel::Reference, || {
+        time_median(|| {
+            for _ in 0..reps {
+                a.matmul_into(&b, &mut out);
+            }
+        })
+    });
+    MatmulResult {
+        m,
+        k,
+        n,
+        blocked_gflops: gflops(blocked),
+        reference_gflops: gflops(reference),
+        speedup: reference / blocked,
+    }
+}
+
+fn bench_training(rows: usize, dim: usize, epochs: usize) -> TrainResult {
+    let data = pattern(rows, dim, 3);
+    let train = TrainConfig { epochs, batch_size: 64, seed: 7, early_stop_rel: None };
+    let run = || {
+        let config = AutoencoderConfig {
+            input_dim: dim,
+            encoder_dims: vec![dim, dim / 2, dim / 4],
+            batch_norm: true,
+            output_activation: OutputActivationKind::Relu,
+            seed: 42,
+        };
+        let mut ae = Autoencoder::new(config);
+        fit_autoencoder(&mut ae, &data, &train, &mut Adam::new(1e-3));
+    };
+    let (blocked_s, _) = time_once(run);
+    let (reference_s, _) = with_kernel(Kernel::Reference, || time_once(run));
+    TrainResult {
+        rows,
+        dim,
+        epochs,
+        blocked_epochs_per_s: epochs as f64 / blocked_s,
+        reference_epochs_per_s: epochs as f64 / reference_s,
+        speedup: reference_s / blocked_s,
+    }
+}
+
+fn bench_e2e() -> EndToEndResult {
+    let options = DatasetOptions {
+        users_per_dept: 6,
+        departments: 2,
+        seed: 5,
+        with_baseline: false,
+    };
+    let ds = build_cert_dataset(&options);
+    let days = ds.end.days_since(ds.start) as usize;
+    let split = ds.scenario_split(&ds.victims[0]);
+    let run = |parallel_train: bool| {
+        let mut config = AcobeConfig::tiny();
+        config.parallel_train = parallel_train;
+        let mut pipeline =
+            AcobePipeline::new(ds.cert_cube.clone(), cert_feature_set(), &ds.groups, config)
+                .expect("pipeline");
+        pipeline.fit(split.train_start, split.train_end).expect("fit");
+        pipeline.score_range(split.test_start, split.test_end).expect("score");
+    };
+    // The "before" leg: serial ensemble on the pre-existing naive kernel.
+    let (blocked_s, _) = time_once(|| run(true));
+    let (reference_s, _) = with_kernel(Kernel::Reference, || time_once(|| run(false)));
+    EndToEndResult {
+        users: ds.users,
+        days,
+        blocked_s,
+        reference_s,
+        speedup: reference_s / blocked_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let quick = arg_value(&parsed, "quick").is_some();
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    let out_path = arg_value(&parsed, "out").unwrap_or(default_out).to_string();
+
+    let threads = acobe_nn::pool::global().threads();
+    println!("nn_bench: {threads} thread(s), {} workloads", if quick { "quick" } else { "full" });
+
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(128, 128, 128), (64, 256, 128)]
+    } else {
+        &[(256, 256, 256), (512, 512, 512), (64, 512, 256), (1024, 128, 512)]
+    };
+    let mut matmul = Vec::new();
+    for &(m, k, n) in shapes {
+        let r = bench_matmul(m, k, n);
+        println!(
+            "matmul {m}x{k}x{n}: blocked {:.2} GFLOP/s, reference {:.2} GFLOP/s ({:.2}x)",
+            r.blocked_gflops, r.reference_gflops, r.speedup
+        );
+        matmul.push(r);
+    }
+
+    let (rows, dim, epochs) = if quick { (1024, 64, 3) } else { (4096, 128, 5) };
+    let train = bench_training(rows, dim, epochs);
+    println!(
+        "train {rows}x{dim} ({epochs} epochs): blocked {:.2} epochs/s, reference {:.2} epochs/s ({:.2}x)",
+        train.blocked_epochs_per_s, train.reference_epochs_per_s, train.speedup
+    );
+
+    let e2e = bench_e2e();
+    println!(
+        "e2e {} users x {} days: blocked {:.2} s, reference {:.2} s ({:.2}x)",
+        e2e.users, e2e.days, e2e.blocked_s, e2e.reference_s, e2e.speedup
+    );
+
+    let report = BenchReport { threads, quick, matmul, train, e2e };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_nn.json");
+    println!("wrote {out_path}");
+}

@@ -119,6 +119,14 @@ GLOBAL OPTIONS (any command):
     -v, --verbose        Detail output: per-epoch training trace.
     -q, --quiet          Silence progress lines and the timing summary.
     --metrics-out FILE   Write every recorded span/counter/gauge/histogram
-                         as JSON lines (one metric per line) to FILE."
+                         as JSON lines (one metric per line) to FILE.
+
+ENVIRONMENT:
+    ACOBE_NN_THREADS     Size of the persistent compute thread pool used by
+                         matmul, ensemble training, and deviation measurement.
+                         Defaults to the number of CPU cores. Results are
+                         identical for every thread count.
+    ACOBE_NN_NO_SIMD=1   Disable the AVX2+FMA matmul kernel and use the
+                         portable fallback."
     );
 }

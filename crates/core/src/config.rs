@@ -54,8 +54,18 @@ pub struct AcobeConfig {
     /// levels; calibration removes that per-user offset without leaking
     /// test-period information (see DESIGN.md §5).
     pub calibrate: bool,
+    /// Train the per-aspect autoencoders of the ensemble on concurrent
+    /// threads. Per-aspect seeding makes the result identical to serial
+    /// training; disable to reduce peak memory or to serialize per-aspect
+    /// telemetry output.
+    #[serde(default = "default_parallel_train")]
+    pub parallel_train: bool,
     /// Master seed (weights, shuffling, sampling).
     pub seed: u64,
+}
+
+fn default_parallel_train() -> bool {
+    true
 }
 
 impl AcobeConfig {
@@ -77,6 +87,7 @@ impl AcobeConfig {
             critic_n: 3,
             max_train_samples: 20_000,
             calibrate: true,
+            parallel_train: true,
             seed: 0x_ac0be,
         }
     }
@@ -100,6 +111,7 @@ impl AcobeConfig {
             critic_n: 3,
             max_train_samples: 8_000,
             calibrate: true,
+            parallel_train: true,
             seed: 0x_ac0be,
         }
     }
@@ -121,6 +133,7 @@ impl AcobeConfig {
             critic_n: 2,
             max_train_samples: 2_000,
             calibrate: true,
+            parallel_train: true,
             seed: 0x_ac0be,
         }
     }

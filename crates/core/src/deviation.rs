@@ -78,6 +78,11 @@ pub struct DeviationCube {
 /// Days with fewer than `min_history` prior days in the window get σ = 0 and
 /// weight 1.
 ///
+/// Users are independent, so they are processed in parallel on the
+/// [`acobe_nn::pool`] worker pool (one job per user over disjoint output
+/// slabs). The result is identical to the serial computation regardless of
+/// thread count.
+///
 /// # Panics
 ///
 /// Panics if `config` is invalid (see [`DeviationConfig::validate`]).
@@ -88,44 +93,75 @@ pub fn compute_deviations(counts: &FeatureCube, config: &DeviationConfig) -> Dev
     let mut sigma = FeatureCube::new(users, counts.start(), days, frames, features);
     let mut weights = FeatureCube::new(users, counts.start(), days, frames, features);
 
+    let cfg = *config;
+    let jobs: Vec<acobe_nn::pool::Job<'_>> = sigma
+        .user_blocks_mut()
+        .zip(weights.user_blocks_mut())
+        .enumerate()
+        .map(|(u, (sigma_block, weights_block))| -> acobe_nn::pool::Job<'_> {
+            let src = counts.user_block(u);
+            Box::new(move || {
+                user_deviations(src, days, frames, features, &cfg, sigma_block, weights_block);
+            })
+        })
+        .collect();
+    acobe_nn::pool::global().scope(jobs);
+
+    DeviationCube { sigma, weights, config: *config }
+}
+
+/// Fills one user's σ and weight slabs from their measurement slab. All
+/// slices use the per-user `[day][frame][feature]` layout of
+/// [`FeatureCube::user_block`].
+fn user_deviations(
+    src: &[f32],
+    days: usize,
+    frames: usize,
+    features: usize,
+    config: &DeviationConfig,
+    sigma: &mut [f32],
+    weights: &mut [f32],
+) {
+    // One reused series buffer per user instead of one allocation per
+    // (frame, feature) pair.
+    let mut series = vec![0.0f32; days];
     // Rolling sums per (frame, feature) as we walk days for one user.
-    for u in 0..users {
-        for t in 0..frames {
-            for f in 0..features {
-                let series: Vec<f32> = (0..days).map(|d| counts.get_by_index(u, d, t, f)).collect();
-                let mut sum = 0.0f64;
-                let mut sum_sq = 0.0f64;
-                // history window content: days [d-window+1, d)
-                for d in 0..days {
-                    let hist_len = d.min(config.window - 1);
-                    if hist_len >= config.min_history {
-                        let n = hist_len as f64;
-                        let mean = sum / n;
-                        let var = (sum_sq / n - mean * mean).max(0.0);
-                        let std = (var.sqrt() as f32).max(config.epsilon);
-                        let delta = (series[d] - mean as f32) / std;
-                        sigma.set_by_index(u, d, t, f, delta.clamp(-config.delta, config.delta));
-                        let w = 1.0 / (std.max(2.0)).log2();
-                        weights.set_by_index(u, d, t, f, w);
-                    } else {
-                        weights.set_by_index(u, d, t, f, 1.0);
-                    }
-                    // Slide: add day d, drop day d-window+1.
-                    let incoming = series[d] as f64;
-                    sum += incoming;
-                    sum_sq += incoming * incoming;
-                    // Next day wants [d+2-window, d+1): drop day d+1-window.
-                    if d + 1 >= config.window {
-                        let out_idx = d + 1 - config.window;
-                        let outgoing = series[out_idx] as f64;
-                        sum -= outgoing;
-                        sum_sq -= outgoing * outgoing;
-                    }
+    for t in 0..frames {
+        for f in 0..features {
+            for (d, slot) in series.iter_mut().enumerate() {
+                *slot = src[(d * frames + t) * features + f];
+            }
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            // history window content: days [d-window+1, d)
+            for d in 0..days {
+                let off = (d * frames + t) * features + f;
+                let hist_len = d.min(config.window - 1);
+                if hist_len >= config.min_history {
+                    let n = hist_len as f64;
+                    let mean = sum / n;
+                    let var = (sum_sq / n - mean * mean).max(0.0);
+                    let std = (var.sqrt() as f32).max(config.epsilon);
+                    let delta = (series[d] - mean as f32) / std;
+                    sigma[off] = delta.clamp(-config.delta, config.delta);
+                    weights[off] = 1.0 / (std.max(2.0)).log2();
+                } else {
+                    weights[off] = 1.0;
+                }
+                // Slide: add day d, drop day d-window+1.
+                let incoming = series[d] as f64;
+                sum += incoming;
+                sum_sq += incoming * incoming;
+                // Next day wants [d+2-window, d+1): drop day d+1-window.
+                if d + 1 >= config.window {
+                    let out_idx = d + 1 - config.window;
+                    let outgoing = series[out_idx] as f64;
+                    sum -= outgoing;
+                    sum_sq -= outgoing * outgoing;
                 }
             }
         }
     }
-    DeviationCube { sigma, weights, config: *config }
 }
 
 /// Averages a measurement cube over group members, producing a cube whose
@@ -261,6 +297,54 @@ mod tests {
         assert_eq!(g.users(), 2);
         assert_eq!(g.get_by_index(0, 0, 0, 0), 2.0);
         assert_eq!(g.get_by_index(1, 0, 0, 0), 100.0);
+    }
+
+    #[test]
+    fn multi_user_cube_matches_per_user_computation() {
+        // Parallel per-user jobs must reproduce exactly what each user would
+        // get from a serial single-user run.
+        let users = 5;
+        let days = 25;
+        let mut big = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, 2, 2);
+        for u in 0..users {
+            for d in 0..days {
+                for t in 0..2 {
+                    for f in 0..2 {
+                        let v = ((u * 31 + d * 7 + t * 3 + f) % 13) as f32 * 0.5;
+                        big.set_by_index(u, d, t, f, v);
+                    }
+                }
+            }
+        }
+        let config = cfg(8, 4);
+        let all = compute_deviations(&big, &config);
+        for u in 0..users {
+            let mut solo = FeatureCube::new(1, Date::from_ymd(2010, 1, 1), days, 2, 2);
+            for d in 0..days {
+                for t in 0..2 {
+                    for f in 0..2 {
+                        solo.set_by_index(0, d, t, f, big.get_by_index(u, d, t, f));
+                    }
+                }
+            }
+            let one = compute_deviations(&solo, &config);
+            for d in 0..days {
+                for t in 0..2 {
+                    for f in 0..2 {
+                        assert_eq!(
+                            all.sigma.get_by_index(u, d, t, f),
+                            one.sigma.get_by_index(0, d, t, f),
+                            "sigma mismatch at user {u}"
+                        );
+                        assert_eq!(
+                            all.weights.get_by_index(u, d, t, f),
+                            one.weights.get_by_index(0, d, t, f),
+                            "weight mismatch at user {u}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -190,6 +190,12 @@ impl ProgressObserver for EpochTelemetry<'_> {
         );
     }
 
+    fn on_batch(&mut self, forward_ms: f64, backward_ms: f64) {
+        const BATCH_EDGES: &[f64] = &[0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0];
+        acobe_obs::histogram("train/forward_ms", BATCH_EDGES).observe(forward_ms);
+        acobe_obs::histogram("train/backward_ms", BATCH_EDGES).observe(backward_ms);
+    }
+
     fn on_complete(&mut self, report: &TrainReport) {
         acobe_obs::detail!(
             "train[{}] done: {} epochs in {:.0} ms{}",
@@ -405,9 +411,12 @@ impl AcobePipeline {
 
         acobe_obs::counter("pipeline/train_samples").add(samples.len() as u64);
 
-        let mut reports = Vec::new();
+        // Build every aspect's training matrix first (row construction
+        // borrows `self`), then train the ensemble — concurrently when
+        // configured. Per-aspect seeds make the two paths bit-identical.
         self.models.clear();
         self.baselines.clear();
+        let mut prepared = Vec::with_capacity(self.feature_set.aspects.len());
         for aspect in 0..self.feature_set.aspects.len() {
             let aspect_name = self.feature_set.aspects[aspect].name.clone();
             let dim = self.input_dim(aspect);
@@ -427,18 +436,50 @@ impl AcobePipeline {
                 output_activation: OutputActivationKind::Relu,
                 seed: self.config.seed.wrapping_add(aspect as u64),
             };
+            prepared.push((aspect_name, data, ae_config));
+        }
+
+        let train_cfg = &self.config.train;
+        let optimizer_kind = self.config.optimizer;
+        let train_one = |aspect_name: &str, data: &Matrix, ae_config: AutoencoderConfig| {
             let mut ae = Autoencoder::new(ae_config);
-            let mut optimizer = self.make_optimizer();
+            let mut optimizer = make_optimizer(optimizer_kind);
+            // The span stack is thread-local, so on a worker thread this is
+            // still a top-level `train(aspect=...)` span.
             let _span = acobe_obs::span!("train", aspect = aspect_name);
-            let mut observer = EpochTelemetry::new(&aspect_name);
+            let mut observer = EpochTelemetry::new(aspect_name);
             let report = fit_autoencoder_observed(
                 &mut ae,
-                &data,
-                &self.config.train,
+                data,
+                train_cfg,
                 optimizer.as_mut(),
                 &mut observer,
             );
-            drop(_span);
+            (ae, report)
+        };
+
+        let trained: Vec<(Autoencoder, TrainReport)> =
+            if self.config.parallel_train && prepared.len() > 1 {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = prepared
+                        .iter()
+                        .map(|(name, data, ae_config)| {
+                            let ae_config = ae_config.clone();
+                            let train_one = &train_one;
+                            s.spawn(move || train_one(name, data, ae_config))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("aspect trainer panicked")).collect()
+                })
+            } else {
+                prepared
+                    .iter()
+                    .map(|(name, data, ae_config)| train_one(name, data, ae_config.clone()))
+                    .collect()
+            };
+
+        let mut reports = Vec::with_capacity(trained.len());
+        for (ae, report) in trained {
             self.models.push(ae);
             reports.push(report);
         }
@@ -486,13 +527,6 @@ impl AcobePipeline {
             batch.row_mut(u).copy_from_slice(&row);
         }
         self.models[aspect].reconstruction_errors(&batch)
-    }
-
-    fn make_optimizer(&self) -> Box<dyn Optimizer> {
-        match self.config.optimizer {
-            OptimizerKind::Adadelta => Box::new(Adadelta::new()),
-            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
-        }
     }
 
     /// True once [`AcobePipeline::fit`] has run.
@@ -545,6 +579,13 @@ impl AcobePipeline {
             users,
             scores,
         })
+    }
+}
+
+fn make_optimizer(kind: OptimizerKind) -> Box<dyn Optimizer> {
+    match kind {
+        OptimizerKind::Adadelta => Box::new(Adadelta::new()),
+        OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
     }
 }
 
@@ -719,6 +760,29 @@ mod tests {
         assert!(acobe_obs::counter("pipeline/train_samples").get() > 0);
         assert!(acobe_obs::counter("train/epochs").get() > 0);
         assert!(acobe_obs::to_jsonl().contains("\"kind\":\"span\""));
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        // Per-aspect seeding plus the deterministic kernel make concurrent
+        // ensemble training bit-identical to the serial path.
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let run = |parallel: bool| {
+            let mut cfg = AcobeConfig::tiny();
+            cfg.parallel_train = parallel;
+            let mut pipe = AcobePipeline::new(cube.clone(), feature_set(), &groups(), cfg).unwrap();
+            let reports = pipe.fit(start, split).unwrap();
+            let table = pipe.score_range(split, end).unwrap();
+            (reports, table)
+        };
+        let (parallel_reports, parallel_table) = run(true);
+        let (serial_reports, serial_table) = run(false);
+        assert_eq!(parallel_reports.len(), serial_reports.len());
+        for (p, s) in parallel_reports.iter().zip(&serial_reports) {
+            assert_eq!(p.epoch_losses, s.epoch_losses);
+        }
+        assert_eq!(parallel_table.scores, serial_table.scores);
     }
 
     #[test]

@@ -149,6 +149,27 @@ impl FeatureCube {
     pub fn total(&self) -> f64 {
         self.data.iter().map(|&x| x as f64).sum()
     }
+
+    /// Number of scalars in one user's slab: `days × frames × features`.
+    pub fn user_block_len(&self) -> usize {
+        self.days * self.frames * self.features
+    }
+
+    /// One user's contiguous `[day][frame][feature]` slab. Element
+    /// `(day, frame, feature)` lives at `(day * frames + frame) * features +
+    /// feature` within the slab.
+    pub fn user_block(&self, user: usize) -> &[f32] {
+        assert!(user < self.users, "user out of bounds");
+        let len = self.user_block_len();
+        &self.data[user * len..(user + 1) * len]
+    }
+
+    /// Per-user mutable slabs in user order — disjoint contiguous chunks,
+    /// suitable for handing to parallel per-user writers.
+    pub fn user_blocks_mut(&mut self) -> std::slice::ChunksMut<'_, f32> {
+        let len = self.user_block_len();
+        self.data.chunks_mut(len)
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +217,18 @@ mod tests {
         c.set_by_index(2, 2, 0, 0, 9.0);
         assert_eq!(c.group_mean(&[0, 1], 2, 0, 0), 3.0);
         assert_eq!(c.group_mean(&[0, 1, 2], 2, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn user_blocks_are_disjoint_slabs() {
+        let mut c = cube();
+        c.set_by_index(1, 2, 1, 0, 7.0);
+        assert_eq!(c.user_block_len(), 5 * 2 * 2);
+        let block = c.user_block(1);
+        assert_eq!(block[(2 * 2 + 1) * 2], 7.0);
+        let blocks: Vec<_> = c.user_blocks_mut().collect();
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| b.len() == 20));
     }
 
     #[test]

@@ -28,20 +28,20 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
-        let out = input.map(|x| x.max(0.0));
+    fn forward_into(&mut self, input: &Matrix, mode: Mode, out: &mut Matrix) {
+        input.map_into(|x| x.max(0.0), out);
         if mode == Mode::Train {
-            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+            let mask = self.mask.get_or_insert_with(Matrix::default);
+            input.map_into(|x| if x > 0.0 { 1.0 } else { 0.0 }, mask);
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let mask = self
             .mask
             .as_ref()
             .expect("Relu::backward without a train-mode forward");
-        grad_output.hadamard(mask)
+        grad_output.hadamard_into(mask, grad_input);
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &[f32])) {}
@@ -69,21 +69,29 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+    fn forward_into(&mut self, input: &Matrix, mode: Mode, out: &mut Matrix) {
+        input.map_into(|x| 1.0 / (1.0 + (-x).exp()), out);
         if mode == Mode::Train {
-            self.out = Some(out.clone());
+            let cache = self.out.get_or_insert_with(Matrix::default);
+            cache.copy_from(out);
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let y = self
             .out
             .as_ref()
             .expect("Sigmoid::backward without a train-mode forward");
-        let dydx = y.map(|v| v * (1.0 - v));
-        grad_output.hadamard(&dydx)
+        assert_eq!(grad_output.shape(), y.shape(), "sigmoid gradient shape mismatch");
+        grad_input.resize(grad_output.rows(), grad_output.cols());
+        for ((o, &g), &v) in grad_input
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(y.data())
+        {
+            *o = g * v * (1.0 - v);
+        }
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &[f32])) {}

@@ -33,9 +33,15 @@ pub struct BatchNorm {
     momentum: f32,
     eps: f32,
     cache: Option<Cache>,
+    // Reused per-forward/backward scratch (batch mean/variance and the two
+    // per-feature backward reductions) so training epochs allocate nothing.
+    mean_buf: Vec<f32>,
+    var_buf: Vec<f32>,
+    red_dxhat: Vec<f32>,
+    red_dxhat_xhat: Vec<f32>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Cache {
     xhat: Matrix,
     inv_std: Vec<f32>,
@@ -65,6 +71,10 @@ impl BatchNorm {
             momentum,
             eps,
             cache: None,
+            mean_buf: Vec::new(),
+            var_buf: Vec::new(),
+            red_dxhat: Vec::new(),
+            red_dxhat_xhat: Vec::new(),
         }
     }
 
@@ -85,71 +95,74 @@ impl BatchNorm {
 }
 
 impl Layer for BatchNorm {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+    fn forward_into(&mut self, input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(input.cols(), self.dim(), "batchnorm width mismatch");
         let (rows, cols) = input.shape();
+        out.resize(rows, cols);
         match mode {
             Mode::Train => {
-                let mean = input.col_mean();
-                let var = input.col_var(&mean);
-                let inv_std: Vec<f32> =
-                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-                let mut xhat = Matrix::zeros(rows, cols);
+                input.col_mean_into(&mut self.mean_buf);
+                input.col_var_into(&self.mean_buf, &mut self.var_buf);
+                let cache = self.cache.get_or_insert_with(Cache::default);
+                cache.inv_std.clear();
+                cache
+                    .inv_std
+                    .extend(self.var_buf.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
+                cache.xhat.resize(rows, cols);
                 for r in 0..rows {
                     let xr = input.row(r);
-                    let out = xhat.row_mut(r);
+                    let hr = cache.xhat.row_mut(r);
                     for c in 0..cols {
-                        out[c] = (xr[c] - mean[c]) * inv_std[c];
+                        hr[c] = (xr[c] - self.mean_buf[c]) * cache.inv_std[c];
                     }
                 }
-                let mut y = Matrix::zeros(rows, cols);
                 for r in 0..rows {
-                    let hr = xhat.row(r);
-                    let yr = y.row_mut(r);
+                    let hr = cache.xhat.row(r);
+                    let yr = out.row_mut(r);
                     for c in 0..cols {
                         yr[c] = self.gamma[c] * hr[c] + self.beta[c];
                     }
                 }
                 for c in 0..cols {
-                    self.running_mean[c] =
-                        self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
-                    self.running_var[c] =
-                        self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+                    self.running_mean[c] = self.momentum * self.running_mean[c]
+                        + (1.0 - self.momentum) * self.mean_buf[c];
+                    self.running_var[c] = self.momentum * self.running_var[c]
+                        + (1.0 - self.momentum) * self.var_buf[c];
                 }
-                self.cache = Some(Cache { xhat, inv_std });
-                y
             }
             Mode::Eval => {
-                let mut y = Matrix::zeros(rows, cols);
-                let inv_std: Vec<f32> = self
-                    .running_var
-                    .iter()
-                    .map(|&v| 1.0 / (v + self.eps).sqrt())
-                    .collect();
+                // var_buf doubles as the eval inv_std scratch.
+                self.var_buf.clear();
+                self.var_buf
+                    .extend(self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
                 for r in 0..rows {
                     let xr = input.row(r);
-                    let yr = y.row_mut(r);
+                    let yr = out.row_mut(r);
                     for c in 0..cols {
-                        yr[c] = self.gamma[c] * (xr[c] - self.running_mean[c]) * inv_std[c]
+                        yr[c] = self.gamma[c] * (xr[c] - self.running_mean[c]) * self.var_buf[c]
                             + self.beta[c];
                     }
                 }
-                y
             }
         }
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        // Take the cache out so its borrow cannot conflict with the parameter
+        // gradients below; it is put back, so repeated backward passes stay
+        // legal.
         let cache = self
             .cache
-            .as_ref()
+            .take()
             .expect("BatchNorm::backward without a train-mode forward");
         let (rows, cols) = grad_output.shape();
         let n = rows as f32;
 
         // Accumulate parameter grads and the two per-feature reductions.
-        let mut sum_dxhat = vec![0.0f32; cols];
-        let mut sum_dxhat_xhat = vec![0.0f32; cols];
+        self.red_dxhat.clear();
+        self.red_dxhat.resize(cols, 0.0);
+        self.red_dxhat_xhat.clear();
+        self.red_dxhat_xhat.resize(cols, 0.0);
         for r in 0..rows {
             let g = grad_output.row(r);
             let h = cache.xhat.row(r);
@@ -157,24 +170,24 @@ impl Layer for BatchNorm {
                 self.grad_beta[c] += g[c];
                 self.grad_gamma[c] += g[c] * h[c];
                 let dxhat = g[c] * self.gamma[c];
-                sum_dxhat[c] += dxhat;
-                sum_dxhat_xhat[c] += dxhat * h[c];
+                self.red_dxhat[c] += dxhat;
+                self.red_dxhat_xhat[c] += dxhat * h[c];
             }
         }
 
         // dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
-        let mut gx = Matrix::zeros(rows, cols);
+        grad_input.resize(rows, cols);
         for r in 0..rows {
             let g = grad_output.row(r);
             let h = cache.xhat.row(r);
-            let o = gx.row_mut(r);
+            let o = grad_input.row_mut(r);
             for c in 0..cols {
                 let dxhat = g[c] * self.gamma[c];
                 o[c] = cache.inv_std[c] / n
-                    * (n * dxhat - sum_dxhat[c] - h[c] * sum_dxhat_xhat[c]);
+                    * (n * dxhat - self.red_dxhat[c] - h[c] * self.red_dxhat_xhat[c]);
             }
         }
-        gx
+        self.cache = Some(cache);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {

@@ -83,28 +83,30 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+    fn forward_into(&mut self, input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(input.cols(), self.in_dim(), "dense input width mismatch");
-        let mut out = input.matmul(&self.w);
+        input.matmul_into(&self.w, out);
         out.add_row_vec(&self.b);
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            match &mut self.cached_input {
+                Some(cache) => cache.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        // Take the cache out so its borrow cannot conflict with grad_w below;
+        // it is put back, so repeated backward passes stay legal.
         let x = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("Dense::backward without a train-mode forward");
         // dW += xᵀ g ; db += column sums of g ; dx = g Wᵀ
-        let gw = x.t_matmul(grad_output);
-        self.grad_w = self.grad_w.add(&gw);
-        for (gb, s) in self.grad_b.iter_mut().zip(grad_output.col_sum()) {
-            *gb += s;
-        }
-        grad_output.matmul_t(&self.w)
+        x.t_matmul_acc(grad_output, &mut self.grad_w);
+        grad_output.col_sum_acc(&mut self.grad_b);
+        grad_output.matmul_t_into(&self.w, grad_input);
+        self.cached_input = Some(x);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {

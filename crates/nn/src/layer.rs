@@ -16,21 +16,50 @@ pub enum Mode {
 
 /// A differentiable network layer.
 ///
-/// Layers own their parameters and parameter gradients. `forward` in
-/// [`Mode::Train`] must cache whatever `backward` needs; `backward` receives
-/// the loss gradient w.r.t. the layer output and returns the gradient w.r.t.
-/// the layer input, accumulating parameter gradients internally.
+/// Layers own their parameters and parameter gradients. The required methods
+/// are the buffer-reusing [`Layer::forward_into`] / [`Layer::backward_into`]
+/// pair — the training loop threads long-lived output buffers through them so
+/// steady-state epochs allocate nothing. The allocating [`Layer::forward`] /
+/// [`Layer::backward`] wrappers are provided for tests, gradient checking and
+/// one-off inference.
+///
+/// `forward_into` in [`Mode::Train`] must cache whatever `backward_into`
+/// needs (into reused internal buffers); `backward_into` receives the loss
+/// gradient w.r.t. the layer output and produces the gradient w.r.t. the
+/// layer input, accumulating parameter gradients internally.
 pub trait Layer: Send {
-    /// Computes the layer output for a batch (rows = samples).
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix;
+    /// Computes the layer output for a batch (rows = samples) into `out`,
+    /// resizing it as needed. `out` must not alias `input`.
+    fn forward_into(&mut self, input: &Matrix, mode: Mode, out: &mut Matrix);
 
-    /// Back-propagates `grad_output` (dL/dy), returning dL/dx.
+    /// Back-propagates `grad_output` (dL/dy) into `grad_input` (dL/dx),
+    /// resizing it as needed. `grad_input` must not alias `grad_output`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// [`Layer::forward_into`] in [`Mode::Train`].
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix);
+
+    /// Computes the layer output for a batch, allocating the result.
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, mode, &mut out);
+        out
+    }
+
+    /// Back-propagates `grad_output` (dL/dy), returning dL/dx, allocating
+    /// the result.
     ///
     /// # Panics
     ///
     /// Implementations may panic when called without a preceding
     /// [`Layer::forward`] in [`Mode::Train`].
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
 
     /// Visits every `(parameter, gradient)` slice pair, in a stable order.
     ///

@@ -4,7 +4,10 @@
 //! re-implements exactly the pieces that implementation uses — and nothing
 //! more — in pure Rust:
 //!
-//! * [`tensor`] — dense row-major `f32` matrices with a threaded matmul,
+//! * [`tensor`] — dense row-major `f32` matrices with a cache-blocked,
+//!   register-tiled matmul,
+//! * [`pool`] — the persistent worker pool the kernels run on
+//!   (`ACOBE_NN_THREADS` sets its size),
 //! * [`dense`] — fully-connected layers (`tf.keras.layers.Dense`),
 //! * [`batchnorm`] — batch normalization with Keras train/eval semantics,
 //! * [`activation`] — ReLU / Sigmoid,
@@ -41,6 +44,7 @@ pub mod layer;
 pub mod loss;
 pub mod net;
 pub mod optim;
+pub mod pool;
 pub mod serialize;
 pub mod tensor;
 pub mod train;

@@ -31,6 +31,24 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
     (loss, grad)
 }
 
+/// Like [`mse`], writing the gradient into a reused buffer and returning only
+/// the loss — the allocation-free variant the training loop uses.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    grad.resize(pred.rows(), pred.cols());
+    for ((d, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        *d = p - t;
+    }
+    let loss = grad.norm_sq() / n;
+    grad.scale(2.0 / n);
+    loss
+}
+
 /// Per-sample mean-squared reconstruction error — the paper's anomaly score.
 ///
 /// # Panics
@@ -74,6 +92,17 @@ mod tests {
                 assert!((grad.get(r, c) - numeric).abs() < 1e-3);
             }
         }
+    }
+
+    #[test]
+    fn mse_into_matches_mse() {
+        let pred = Matrix::from_rows(&[&[1.0, 3.0], &[0.2, -0.4]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0], &[0.5, 0.5]]);
+        let (loss, grad) = mse(&pred, &target);
+        let mut grad_buf = Matrix::zeros(1, 1);
+        let loss2 = mse_into(&pred, &target, &mut grad_buf);
+        assert_eq!(loss, loss2);
+        assert_eq!(grad, grad_buf);
     }
 
     #[test]

@@ -23,6 +23,11 @@ use crate::tensor::Matrix;
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    // Ping-pong activation/gradient scratch reused by `forward_scratch` /
+    // `backward_scratch`; steady-state training allocates nothing through
+    // them.
+    ping: Matrix,
+    pong: Matrix,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -53,27 +58,47 @@ impl Sequential {
         self.layers.is_empty()
     }
 
-    /// Runs the forward pass.
+    /// Runs the forward pass, allocating the result.
     pub fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
-        let mut x = input.clone();
+        self.forward_scratch(input, mode).clone()
+    }
+
+    /// Runs the forward pass through the network's reusable ping-pong
+    /// buffers, returning a reference to the output activation. Steady-state
+    /// calls never allocate — this is what the training loop uses.
+    pub fn forward_scratch(&mut self, input: &Matrix, mode: Mode) -> &Matrix {
+        self.ping.copy_from(input);
         for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+            layer.forward_into(&self.ping, mode, &mut self.pong);
+            std::mem::swap(&mut self.ping, &mut self.pong);
         }
-        x
+        &self.ping
     }
 
     /// Back-propagates the loss gradient through every layer (reverse order),
-    /// returning the gradient w.r.t. the network input.
+    /// returning the gradient w.r.t. the network input, allocating the
+    /// result.
     ///
     /// # Panics
     ///
     /// Panics if called without a preceding train-mode [`Sequential::forward`].
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut g = grad_output.clone();
+        self.backward_scratch(grad_output).clone()
+    }
+
+    /// Back-propagates through the reusable ping-pong buffers, returning a
+    /// reference to the input gradient. Steady-state calls never allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding train-mode forward pass.
+    pub fn backward_scratch(&mut self, grad_output: &Matrix) -> &Matrix {
+        self.ping.copy_from(grad_output);
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            layer.backward_into(&self.ping, &mut self.pong);
+            std::mem::swap(&mut self.ping, &mut self.pong);
         }
-        g
+        &self.ping
     }
 
     /// Visits every `(parameter, gradient)` pair across all layers in a
@@ -171,11 +196,11 @@ mod tests {
 
     struct NetAsLayer(Sequential);
     impl Layer for NetAsLayer {
-        fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
-            self.0.forward(x, mode)
+        fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+            out.copy_from(self.0.forward_scratch(x, mode));
         }
-        fn backward(&mut self, g: &Matrix) -> Matrix {
-            self.0.backward(g)
+        fn backward_into(&mut self, g: &Matrix, gi: &mut Matrix) {
+            gi.copy_from(self.0.backward_scratch(g));
         }
         fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
             self.0.visit_params(f)
@@ -226,6 +251,19 @@ mod tests {
         let mut a = deep_net(1);
         let err = a.load_state_vector(&[0.0; 3]).unwrap_err();
         assert_eq!(err, a.param_count());
+    }
+
+    #[test]
+    fn scratch_and_allocating_paths_agree() {
+        let mut a = deep_net(4);
+        let mut b = deep_net(4);
+        let x = Matrix::filled(5, 6, 0.3);
+        let ya = a.forward(&x, Mode::Train);
+        let yb = b.forward_scratch(&x, Mode::Train).clone();
+        assert_eq!(ya, yb);
+        let ga = a.backward(&ya);
+        let gb = b.backward_scratch(&yb).clone();
+        assert_eq!(ga, gb);
     }
 
     #[test]

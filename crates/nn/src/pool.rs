@@ -1,0 +1,277 @@
+//! A persistent worker pool for data-parallel kernels.
+//!
+//! The matrix kernels in [`crate::tensor`] used to spawn fresh
+//! `std::thread::scope` threads on every large multiply, paying thread
+//! creation and teardown on the hottest path of training. This module keeps
+//! one process-wide pool of long-lived workers instead: threads are spawned
+//! once on first use and then fed closures over a channel, so a matmul
+//! dispatch is one enqueue per row chunk.
+//!
+//! The pool size defaults to the number of available cores and can be
+//! overridden with the `ACOBE_NN_THREADS` environment variable (read once, at
+//! first use). `ACOBE_NN_THREADS=1` disables worker threads entirely — every
+//! job runs inline on the caller.
+//!
+//! # Examples
+//!
+//! ```
+//! let pool = acobe_nn::pool::global();
+//! let mut parts = vec![0u64; 4];
+//! pool.scope(
+//!     parts
+//!         .iter_mut()
+//!         .enumerate()
+//!         .map(|(i, p)| -> acobe_nn::pool::Job<'_> { Box::new(move || *p = i as u64 + 1) })
+//!         .collect(),
+//! );
+//! assert_eq!(parts.iter().sum::<u64>(), 10);
+//! ```
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// A borrowed unit of work handed to [`WorkerPool::scope`].
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    tx: Sender<StaticJob>,
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use with
+/// [`configured_threads`] workers.
+pub fn global() -> &'static WorkerPool {
+    GLOBAL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+/// The pool size the environment asks for: `ACOBE_NN_THREADS` when set to a
+/// positive integer, otherwise the number of available cores.
+pub fn configured_threads() -> usize {
+    match std::env::var("ACOBE_NN_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid ACOBE_NN_THREADS={v:?} (want a positive integer)");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl WorkerPool {
+    /// Creates a pool that runs jobs on `threads` lanes: the caller plus
+    /// `threads - 1` background workers. `threads == 1` means no background
+    /// workers at all (everything runs inline in [`WorkerPool::scope`]).
+    ///
+    /// Prefer [`global`] outside tests and benchmarks — pools are never torn
+    /// down, so creating many of them leaks threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a worker thread cannot be spawned.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let (tx, rx) = unbounded::<StaticJob>();
+        for i in 0..threads - 1 {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("acobe-nn-{i}"))
+                .spawn(move || {
+                    // Jobs arrive pre-wrapped in catch_unwind, so a panicking
+                    // job never kills the worker.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn acobe-nn worker");
+        }
+        WorkerPool { tx, threads }
+    }
+
+    /// Number of parallel lanes (caller + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job to completion before returning; jobs may borrow from
+    /// the caller's stack. The first job runs inline on the calling thread,
+    /// the rest are distributed to the workers.
+    ///
+    /// # Panics
+    ///
+    /// If any job panics, the panic is captured and re-raised here once all
+    /// jobs have finished.
+    pub fn scope(&self, jobs: Vec<Job<'_>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.threads == 1 || jobs.len() == 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let wg = WaitGroup::new();
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("non-empty");
+        for job in jobs {
+            let wg = wg.clone();
+            let slot = &panic_slot;
+            let wrapped: Job<'_> = Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    *slot.lock().unwrap() = Some(payload);
+                }
+                drop(wg);
+            });
+            // SAFETY: `wg.wait()` below blocks until every wrapped job has
+            // run and dropped its WaitGroup clone, so the borrows captured by
+            // `job` (and the `&panic_slot` reference) strictly outlive their
+            // use on the worker threads.
+            let wrapped: StaticJob = unsafe { std::mem::transmute(wrapped) };
+            self.tx.send(wrapped).expect("worker pool channel closed");
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(first)) {
+            *panic_slot.lock().unwrap() = Some(payload);
+        }
+        wg.wait();
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Splits `total` items into at most `threads` contiguous chunks of
+    /// near-equal size, returning the `(start, end)` ranges. Never returns
+    /// empty chunks; returns an empty vector when `total == 0`.
+    pub fn chunk_ranges(&self, total: usize) -> Vec<(usize, usize)> {
+        chunk_ranges(total, self.threads)
+    }
+}
+
+/// Splits `0..total` into at most `lanes` contiguous, near-equal,
+/// non-empty ranges.
+pub fn chunk_ranges(total: usize, lanes: usize) -> Vec<(usize, usize)> {
+    if total == 0 || lanes == 0 {
+        return Vec::new();
+    }
+    let lanes = lanes.min(total);
+    let base = total / lanes;
+    let extra = total % lanes;
+    let mut out = Vec::with_capacity(lanes);
+    let mut start = 0;
+    for lane in 0..lanes {
+        let len = base + usize::from(lane < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_job_and_blocks() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..64)
+            .map(|_| -> Job<'_> {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.scope(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn jobs_may_borrow_mutably_and_disjointly() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0usize; 10];
+        let jobs: Vec<Job<'_>> = data
+            .chunks_mut(3)
+            .enumerate()
+            .map(|(i, chunk)| -> Job<'_> {
+                Box::new(move || {
+                    for x in chunk.iter_mut() {
+                        *x = i + 1;
+                    }
+                })
+            })
+            .collect();
+        pool.scope(jobs);
+        assert!(data.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let mut hits = 0;
+        pool.scope(vec![Box::new(|| hits += 1) as Job<'_>]);
+        assert_eq!(hits, 1);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(vec![
+                Box::new(|| {}) as Job<'_>,
+                Box::new(|| panic!("boom")) as Job<'_>,
+            ]);
+        }));
+        assert!(result.is_err());
+        // The pool must still work after a panicking job.
+        let counter = AtomicUsize::new(0);
+        pool.scope(
+            (0..8)
+                .map(|_| -> Job<'_> {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_without_overlap() {
+        for total in [0usize, 1, 2, 3, 7, 8, 9, 100] {
+            for lanes in [1usize, 2, 3, 4, 8, 16] {
+                let ranges = chunk_ranges(total, lanes);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, prev_end, "gap at {s} (total {total}, lanes {lanes})");
+                    assert!(e > s, "empty chunk (total {total}, lanes {lanes})");
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+                assert!(ranges.len() <= lanes.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn global_pool_respects_default() {
+        assert!(global().threads() >= 1);
+    }
+}

@@ -1,14 +1,66 @@
 //! Dense row-major `f32` matrices with the operations backprop needs.
 //!
 //! This is deliberately a small, purpose-built tensor: 2-D only, `f32` like
-//! the paper's TensorFlow implementation, with a threaded matrix multiply for
-//! the large batches the autoencoders train on.
+//! the paper's TensorFlow implementation. The matrix multiply is a cache-
+//! blocked, register-tiled kernel running on the persistent worker pool in
+//! [`crate::pool`]; one kernel serves `matmul`, `t_matmul` and `matmul_t`
+//! through strided views, so the transposed products never materialize a
+//! transpose.
+//!
+//! The pre-optimization kernel survives as [`Matrix::matmul_reference`] and
+//! friends: the equivalence tests and the `nn-bench` binary use it as the
+//! before/after baseline.
 
+use crate::pool::{self, WorkerPool};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Threshold (in multiply-accumulate ops) above which matmul uses threads.
+/// Threshold (in multiply-accumulate ops) above which matmul uses the pool.
 const PAR_THRESHOLD: usize = 1 << 20;
+
+/// Cache-block heights/widths of the GEMM macro kernel: `MC×KC` packed A
+/// blocks and `KC×NC` packed B panels.
+const MC: usize = 64;
+const KC: usize = 256;
+const NC: usize = 256;
+
+/// Register tile of the micro kernel: `MR` rows × `NR` columns of C held in
+/// accumulators across a KC-deep sweep.
+const MR: usize = 4;
+const NR: usize = 16;
+
+/// Which matmul implementation the process uses.
+///
+/// The default is the blocked kernel; [`Kernel::Reference`] switches every
+/// product back to the pre-optimization loops so benchmarks can measure the
+/// before/after on identical workloads. The switch is process-global — flip
+/// it only from single-purpose binaries (benches), never from library code
+/// or concurrent tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Cache-blocked, register-tiled kernel on the persistent pool.
+    Blocked,
+    /// The original naive triple loop with per-call scoped threads.
+    Reference,
+}
+
+static KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-global matmul implementation (see [`Kernel`]).
+pub fn set_kernel(kernel: Kernel) {
+    KERNEL.store(kernel as u8, Ordering::Relaxed);
+}
+
+/// The currently selected matmul implementation.
+pub fn current_kernel() -> Kernel {
+    if KERNEL.load(Ordering::Relaxed) == Kernel::Reference as u8 {
+        Kernel::Reference
+    } else {
+        Kernel::Blocked
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -25,6 +77,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural seed for reusable buffers that
+    /// [`Matrix::resize`] grows on first use.
+    fn default() -> Self {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
 }
 
 impl Matrix {
@@ -98,6 +158,25 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes to `rows × cols`, zero-filled, reusing the existing
+    /// allocation when its capacity suffices. The reusable-buffer workhorse:
+    /// steady-state training never reallocates through it.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing allocation when
+    /// its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Element at `(r, c)`.
     ///
     /// # Panics
@@ -130,11 +209,23 @@ impl Matrix {
 
     /// A new matrix keeping only the rows whose indices are in `idx`.
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
-        for (oi, &ri) in idx.iter().enumerate() {
-            out.row_mut(oi).copy_from_slice(self.row(ri));
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &ri in idx {
+            data.extend_from_slice(self.row(ri));
         }
-        out
+        Matrix { rows: idx.len(), cols: self.cols, data }
+    }
+
+    /// Fills `out` with the rows whose indices are in `idx`, reusing its
+    /// allocation — the mini-batch gather of the training loop.
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.rows = idx.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(idx.len() * self.cols);
+        for &ri in idx {
+            out.data.extend_from_slice(self.row(ri));
+        }
     }
 
     /// Matrix product `self × rhs`.
@@ -143,14 +234,31 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        matmul_into(
-            &self.data, self.rows, self.cols,
-            &rhs.data, rhs.cols,
-            &mut out.data,
-        );
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out);
         out
+    }
+
+    /// Matrix product `self × rhs` into a reused output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        out.resize(self.rows, rhs.cols);
+        match current_kernel() {
+            Kernel::Blocked => gemm(
+                pool::global(),
+                View::normal(self),
+                View::normal(rhs),
+                &mut out.data,
+                false,
+            ),
+            Kernel::Reference => reference_matmul_into(
+                &self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data,
+            ),
+        }
     }
 
     /// `selfᵀ × rhs` without materializing the transpose.
@@ -159,23 +267,52 @@ impl Matrix {
     ///
     /// Panics if `self.rows != rhs.rows`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ × rhs` into a reused output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        // out[i][j] = sum_k self[k][i] * rhs[k][j]
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = rhs.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+        out.resize(self.cols, rhs.cols);
+        self.t_matmul_dispatch(rhs, &mut out.data);
+    }
+
+    /// `out += selfᵀ × rhs` — the gradient accumulation `dW += xᵀ g` without
+    /// a temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows` or `out` is not `self.cols × rhs.cols`.
+    pub fn t_matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "t_matmul_acc output shape mismatch");
+        match current_kernel() {
+            Kernel::Blocked => gemm(
+                pool::global(),
+                View::transposed(self),
+                View::normal(rhs),
+                &mut out.data,
+                true,
+            ),
+            Kernel::Reference => {
+                reference_t_matmul_into(self, rhs, &mut out.data);
             }
         }
-        out
+    }
+
+    fn t_matmul_dispatch(&self, rhs: &Matrix, out: &mut [f32]) {
+        match current_kernel() {
+            Kernel::Blocked => {
+                gemm(pool::global(), View::transposed(self), View::normal(rhs), out, false)
+            }
+            Kernel::Reference => reference_t_matmul_into(self, rhs, out),
+        }
     }
 
     /// `self × rhsᵀ` without materializing the transpose.
@@ -184,20 +321,67 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// `self × rhsᵀ` into a reused output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        out.resize(self.rows, rhs.rows);
+        match current_kernel() {
+            Kernel::Blocked => gemm(
+                pool::global(),
+                View::normal(self),
+                View::transposed(rhs),
+                &mut out.data,
+                false,
+            ),
+            Kernel::Reference => reference_matmul_t_into(self, rhs, &mut out.data),
+        }
+    }
+
+    /// `self × rhs` through the pre-optimization kernel, regardless of the
+    /// global [`Kernel`] selection. Baseline for tests and `nn-bench`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        reference_matmul_into(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ × rhs` through the pre-optimization kernel (see
+    /// [`Matrix::matmul_reference`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        reference_t_matmul_into(self, rhs, &mut out.data);
+        out
+    }
+
+    /// `self × rhsᵀ` through the pre-optimization kernel (see
+    /// [`Matrix::matmul_reference`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        reference_matmul_t_into(self, rhs, &mut out.data);
         out
     }
 
@@ -274,6 +458,20 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
+    /// Element-wise (Hadamard) product into a reused output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b));
+    }
+
     /// Multiplies every element by `s` in place.
     pub fn scale(&mut self, s: f32) {
         for x in &mut self.data {
@@ -294,19 +492,34 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
+    /// Applies `f` to every element into a reused output buffer.
+    pub fn map_into<F: Fn(f32) -> f32>(&self, f: F, out: &mut Matrix) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&x| f(x)));
+    }
+
     /// Per-column mean (length `cols`).
     pub fn col_mean(&self) -> Vec<f32> {
         let mut mean = vec![0.0f32; self.cols];
+        self.col_mean_into(&mut mean);
+        mean
+    }
+
+    /// Per-column mean into a reused buffer (resized to `cols`).
+    pub fn col_mean_into(&self, mean: &mut Vec<f32>) {
+        mean.clear();
+        mean.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (m, &x) in mean.iter_mut().zip(self.row(r)) {
                 *m += x;
             }
         }
         let n = self.rows.max(1) as f32;
-        for m in &mut mean {
+        for m in mean {
             *m /= n;
         }
-        mean
     }
 
     /// Per-column (population) variance given a pre-computed mean.
@@ -315,8 +528,20 @@ impl Matrix {
     ///
     /// Panics if `mean.len() != self.cols`.
     pub fn col_var(&self, mean: &[f32]) -> Vec<f32> {
-        assert_eq!(mean.len(), self.cols, "mean length mismatch");
         let mut var = vec![0.0f32; self.cols];
+        self.col_var_into(mean, &mut var);
+        var
+    }
+
+    /// Per-column variance into a reused buffer (resized to `cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean.len() != self.cols`.
+    pub fn col_var_into(&self, mean: &[f32], var: &mut Vec<f32>) {
+        assert_eq!(mean.len(), self.cols, "mean length mismatch");
+        var.clear();
+        var.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for ((v, &m), &x) in var.iter_mut().zip(mean).zip(self.row(r)) {
                 let d = x - m;
@@ -324,21 +549,31 @@ impl Matrix {
             }
         }
         let n = self.rows.max(1) as f32;
-        for v in &mut var {
+        for v in var {
             *v /= n;
         }
-        var
     }
 
     /// Per-column sum (length `cols`).
     pub fn col_sum(&self) -> Vec<f32> {
         let mut sum = vec![0.0f32; self.cols];
+        self.col_sum_acc(&mut sum);
+        sum
+    }
+
+    /// Accumulates per-column sums into `acc` (`acc[c] += Σ_r self[r][c]`) —
+    /// the bias-gradient update without a temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.cols`.
+    pub fn col_sum_acc(&self, acc: &mut [f32]) {
+        assert_eq!(acc.len(), self.cols, "accumulator length mismatch");
         for r in 0..self.rows {
-            for (s, &x) in sum.iter_mut().zip(self.row(r)) {
+            for (s, &x) in acc.iter_mut().zip(self.row(r)) {
                 *s += x;
             }
         }
-        sum
     }
 
     /// Mean of squared elements per row — the per-sample reconstruction error
@@ -380,13 +615,432 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// `out += a(rows×inner) × b(inner×cols)`, threading across row chunks when
-/// the operation is large enough to pay for it.
-fn matmul_into(a: &[f32], rows: usize, inner: usize, b: &[f32], cols: usize, out: &mut [f32]) {
+// ---------------------------------------------------------------------------
+// The blocked kernel.
+// ---------------------------------------------------------------------------
+
+/// A read-only strided 2-D view over a flat buffer: element `(r, c)` lives at
+/// `data[r * rs + c * cs]`. `View::normal` is the matrix itself;
+/// `View::transposed` swaps the strides so the same GEMM kernel computes
+/// `AᵀB` and `ABᵀ` without materializing anything.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> View<'a> {
+    fn normal(m: &'a Matrix) -> Self {
+        View { data: &m.data, rows: m.rows, cols: m.cols, rs: m.cols, cs: 1 }
+    }
+
+    fn transposed(m: &'a Matrix) -> Self {
+        View { data: &m.data, rows: m.cols, cols: m.rows, rs: 1, cs: m.cols }
+    }
+
+    /// The sub-view of rows `r0..r1`.
+    fn row_range(&self, r0: usize, r1: usize) -> View<'a> {
+        View {
+            data: &self.data[r0 * self.rs..],
+            rows: r1 - r0,
+            cols: self.cols,
+            rs: self.rs,
+            cs: self.cs,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread packing buffers (A block, B panel). Pool workers are
+    /// persistent, so steady-state GEMM never allocates.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// `out = A × B` (or `out += A × B` when `acc`), `A` is `m×k`, `B` is `k×n`,
+/// `out` row-major `m×n`. Rows of `out` are partitioned across the pool; each
+/// row's contributions are accumulated in ascending-`k` order regardless of
+/// the partition, so results are identical for every thread count.
+fn gemm(pool: &WorkerPool, a: View<'_>, b: View<'_>, out: &mut [f32], acc: bool) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    debug_assert_eq!(a.cols, b.rows, "gemm inner-dimension mismatch");
+    debug_assert_eq!(out.len(), m * n, "gemm output size mismatch");
+    if !acc {
+        out.fill(0.0);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let lanes = if m * k * n < PAR_THRESHOLD { 1 } else { pool.threads() };
+    let ranges = pool::chunk_ranges(m, lanes);
+    if ranges.len() <= 1 {
+        PACK_BUFS.with(|bufs| {
+            let (pa, pb) = &mut *bufs.borrow_mut();
+            gemm_rows(a, b, out, pa, pb);
+        });
+        return;
+    }
+    let mut jobs: Vec<pool::Job<'_>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for &(r0, r1) in &ranges {
+        let (chunk, tail) = rest.split_at_mut((r1 - r0) * n);
+        rest = tail;
+        let a_rows = a.row_range(r0, r1);
+        jobs.push(Box::new(move || {
+            PACK_BUFS.with(|bufs| {
+                let (pa, pb) = &mut *bufs.borrow_mut();
+                gemm_rows(a_rows, b, chunk, pa, pb);
+            });
+        }));
+    }
+    pool.scope(jobs);
+}
+
+/// The serial macro kernel: sweeps KC-deep slices of A/B, packing each into
+/// contiguous buffers, and accumulates into `out` (`m×n`, row-major).
+fn gemm_rows(a: View<'_>, b: View<'_>, out: &mut [f32], pa: &mut Vec<f32>, pb: &mut Vec<f32>) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    pa.resize(MC * KC, 0.0);
+    pb.resize(KC * NC, 0.0);
+    let mut kk = 0;
+    while kk < k {
+        let kc = KC.min(k - kk);
+        let mut jj = 0;
+        while jj < n {
+            let nc = NC.min(n - jj);
+            pack_b(b, kk, kc, jj, nc, pb);
+            let mut ii = 0;
+            while ii < m {
+                let mc = MC.min(m - ii);
+                pack_a(a, ii, mc, kk, kc, pa);
+                macro_block(pa, pb, out, ii, mc, kc, jj, nc, n);
+                ii += mc;
+            }
+            jj += nc;
+        }
+        kk += kc;
+    }
+}
+
+/// Packs `a[ii..ii+mc, kk..kk+kc]` row-major into `pa` (row stride `kc`).
+fn pack_a(a: View<'_>, ii: usize, mc: usize, kk: usize, kc: usize, pa: &mut [f32]) {
+    if a.cs == 1 {
+        for i in 0..mc {
+            let src = &a.data[(ii + i) * a.rs + kk..][..kc];
+            pa[i * kc..(i + 1) * kc].copy_from_slice(src);
+        }
+    } else {
+        for i in 0..mc {
+            let row_base = (ii + i) * a.rs + kk * a.cs;
+            for (k, dst) in pa[i * kc..(i + 1) * kc].iter_mut().enumerate() {
+                *dst = a.data[row_base + k * a.cs];
+            }
+        }
+    }
+}
+
+/// Packs `b[kk..kk+kc, jj..jj+nc]` row-major into `pb` (row stride `nc`).
+fn pack_b(b: View<'_>, kk: usize, kc: usize, jj: usize, nc: usize, pb: &mut [f32]) {
+    if b.cs == 1 {
+        for k in 0..kc {
+            let src = &b.data[(kk + k) * b.rs + jj..][..nc];
+            pb[k * nc..(k + 1) * nc].copy_from_slice(src);
+        }
+    } else {
+        for k in 0..kc {
+            let row_base = (kk + k) * b.rs + jj * b.cs;
+            for (j, dst) in pb[k * nc..(k + 1) * nc].iter_mut().enumerate() {
+                *dst = b.data[row_base + j * b.cs];
+            }
+        }
+    }
+}
+
+/// Register-tiled inner kernel: MR×NR tiles of C kept in accumulators across
+/// the kc-deep sweep, then added to `out` once per tile. Dispatches to the
+/// AVX2+FMA specialization when the CPU supports it.
+#[allow(clippy::too_many_arguments)]
+fn macro_block(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    ii: usize,
+    mc: usize,
+    kc: usize,
+    jj: usize,
+    nc: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma::available() {
+        // SAFETY: `available()` checked avx2+fma support at runtime.
+        unsafe { fma::macro_block(pa, pb, out, ii, mc, kc, jj, nc, n) };
+        return;
+    }
+    let mut i = 0;
+    while i + MR <= mc {
+        let mut j = 0;
+        while j + NR <= nc {
+            micro_tile(pa, pb, out, ii + i, i, kc, jj + j, j, nc, n);
+            j += NR;
+        }
+        if j < nc {
+            edge_tile(pa, pb, out, ii + i, i, MR, kc, jj + j, j, nc - j, nc, n);
+        }
+        i += MR;
+    }
+    if i < mc {
+        edge_tile(pa, pb, out, ii + i, i, mc - i, kc, jj, 0, nc, nc, n);
+    }
+}
+
+/// The hot MR×NR tile: 64 scalar accumulators the compiler keeps in vector
+/// registers; one B tile load feeds MR rows per `k` step.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_tile(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    out_row: usize,
+    a_row: usize,
+    kc: usize,
+    out_col: usize,
+    b_col: usize,
+    nc: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let a0 = &pa[a_row * kc..(a_row + 1) * kc];
+    let a1 = &pa[(a_row + 1) * kc..(a_row + 2) * kc];
+    let a2 = &pa[(a_row + 2) * kc..(a_row + 3) * kc];
+    let a3 = &pa[(a_row + 3) * kc..(a_row + 4) * kc];
+    for k in 0..kc {
+        let bt = &pb[k * nc + b_col..k * nc + b_col + NR];
+        let (v0, v1, v2, v3) = (a0[k], a1[k], a2[k], a3[k]);
+        for j in 0..NR {
+            acc[0][j] += v0 * bt[j];
+            acc[1][j] += v1 * bt[j];
+            acc[2][j] += v2 * bt[j];
+            acc[3][j] += v3 * bt[j];
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let dst = &mut out[(out_row + r) * n + out_col..(out_row + r) * n + out_col + NR];
+        for j in 0..NR {
+            dst[j] += acc_row[j];
+        }
+    }
+}
+
+/// Fringe tile of arbitrary `mr × jw` size (row/column remainders).
+#[allow(clippy::too_many_arguments)]
+fn edge_tile(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    out_row: usize,
+    a_row: usize,
+    mr: usize,
+    kc: usize,
+    out_col: usize,
+    b_col: usize,
+    jw: usize,
+    nc: usize,
+    n: usize,
+) {
+    // Accumulate locally (starting from zero) and add to `out` once, exactly
+    // like `micro_tile`: a row must produce bit-identical sums whether it
+    // lands in a full tile or on the fringe, or row partitioning would change
+    // results with the thread count.
+    let mut acc = [0.0f32; NC];
+    for r in 0..mr {
+        let ar = &pa[(a_row + r) * kc..(a_row + r + 1) * kc];
+        acc[..jw].fill(0.0);
+        for (k, &av) in ar.iter().enumerate() {
+            let bt = &pb[k * nc + b_col..k * nc + b_col + jw];
+            for j in 0..jw {
+                acc[j] += av * bt[j];
+            }
+        }
+        let dst = &mut out[(out_row + r) * n + out_col..(out_row + r) * n + out_col + jw];
+        for j in 0..jw {
+            dst[j] += acc[j];
+        }
+    }
+}
+
+/// AVX2+FMA specialization of the macro kernel, selected at runtime. The
+/// portable kernel above stays the fallback for other CPUs (and under
+/// `ACOBE_NN_NO_SIMD=1`). Fused multiply-adds round differently from the
+/// scalar mul-then-add sequence, but every path keeps the same per-element
+/// accumulation order — local accumulator swept in ascending `k`, one final
+/// add into `out` — so results are still identical for every thread count.
+#[cfg(target_arch = "x86_64")]
+mod fma {
+    use super::{MR, NC, NR};
+
+    /// True when the CPU supports the specialization (cached; honours the
+    /// `ACOBE_NN_NO_SIMD=1` escape hatch).
+    pub fn available() -> bool {
+        static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            !matches!(std::env::var("ACOBE_NN_NO_SIMD").as_deref(), Ok("1"))
+                && std::is_x86_feature_detected!("avx2")
+                && std::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified avx2+fma support (see [`available`]).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn macro_block(
+        pa: &[f32],
+        pb: &[f32],
+        out: &mut [f32],
+        ii: usize,
+        mc: usize,
+        kc: usize,
+        jj: usize,
+        nc: usize,
+        n: usize,
+    ) {
+        let mut i = 0;
+        while i + MR <= mc {
+            let mut j = 0;
+            while j + NR <= nc {
+                micro_tile(pa, pb, out, ii + i, i, kc, jj + j, j, nc, n);
+                j += NR;
+            }
+            if j < nc {
+                edge_tile(pa, pb, out, ii + i, i, MR, kc, jj + j, j, nc - j, nc, n);
+            }
+            i += MR;
+        }
+        if i < mc {
+            edge_tile(pa, pb, out, ii + i, i, mc - i, kc, jj, 0, nc, nc, n);
+        }
+    }
+
+    /// The MR×NR tile as 8 YMM accumulators: two 8-lane vectors per row, one
+    /// B-panel load shared by all four rows per `k` step.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; tile bounds are guaranteed by [`macro_block`]'s
+    /// loop structure (`a_row + MR <= mc <= MC`, `b_col + NR <= nc <= NC`).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn micro_tile(
+        pa: &[f32],
+        pb: &[f32],
+        out: &mut [f32],
+        out_row: usize,
+        a_row: usize,
+        kc: usize,
+        out_col: usize,
+        b_col: usize,
+        nc: usize,
+        n: usize,
+    ) {
+        use std::arch::x86_64::*;
+        debug_assert!((a_row + MR) * kc <= pa.len());
+        debug_assert!(kc * nc <= pb.len() && b_col + NR <= nc);
+        let a0 = pa.as_ptr().add(a_row * kc);
+        let a1 = pa.as_ptr().add((a_row + 1) * kc);
+        let a2 = pa.as_ptr().add((a_row + 2) * kc);
+        let a3 = pa.as_ptr().add((a_row + 3) * kc);
+        let mut acc = [_mm256_setzero_ps(); 2 * MR];
+        for k in 0..kc {
+            let bp = pb.as_ptr().add(k * nc + b_col);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let v0 = _mm256_set1_ps(*a0.add(k));
+            acc[0] = _mm256_fmadd_ps(v0, b0, acc[0]);
+            acc[1] = _mm256_fmadd_ps(v0, b1, acc[1]);
+            let v1 = _mm256_set1_ps(*a1.add(k));
+            acc[2] = _mm256_fmadd_ps(v1, b0, acc[2]);
+            acc[3] = _mm256_fmadd_ps(v1, b1, acc[3]);
+            let v2 = _mm256_set1_ps(*a2.add(k));
+            acc[4] = _mm256_fmadd_ps(v2, b0, acc[4]);
+            acc[5] = _mm256_fmadd_ps(v2, b1, acc[5]);
+            let v3 = _mm256_set1_ps(*a3.add(k));
+            acc[6] = _mm256_fmadd_ps(v3, b0, acc[6]);
+            acc[7] = _mm256_fmadd_ps(v3, b1, acc[7]);
+        }
+        for r in 0..MR {
+            let dst = out.as_mut_ptr().add((out_row + r) * n + out_col);
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc[2 * r]));
+            let dst8 = dst.add(8);
+            _mm256_storeu_ps(dst8, _mm256_add_ps(_mm256_loadu_ps(dst8), acc[2 * r + 1]));
+        }
+    }
+
+    /// Fringe tile. Scalar `f32::mul_add` compiles to `vfmadd*ss` under the
+    /// `fma` target feature, so every element sees the exact op sequence of
+    /// the vector kernel regardless of which tile it lands in.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma (for the target-feature promise only — the body is
+    /// safe Rust).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn edge_tile(
+        pa: &[f32],
+        pb: &[f32],
+        out: &mut [f32],
+        out_row: usize,
+        a_row: usize,
+        mr: usize,
+        kc: usize,
+        out_col: usize,
+        b_col: usize,
+        jw: usize,
+        nc: usize,
+        n: usize,
+    ) {
+        let mut acc = [0.0f32; NC];
+        for r in 0..mr {
+            let ar = &pa[(a_row + r) * kc..(a_row + r + 1) * kc];
+            acc[..jw].fill(0.0);
+            for (k, &av) in ar.iter().enumerate() {
+                let bt = &pb[k * nc + b_col..k * nc + b_col + jw];
+                for j in 0..jw {
+                    acc[j] = av.mul_add(bt[j], acc[j]);
+                }
+            }
+            let dst = &mut out[(out_row + r) * n + out_col..(out_row + r) * n + out_col + jw];
+            for j in 0..jw {
+                dst[j] += acc[j];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pre-optimization kernel, kept verbatim as the before/after baseline.
+// ---------------------------------------------------------------------------
+
+/// `out += a(rows×inner) × b(inner×cols)` — the original kernel: naive
+/// row-chunk threading with per-call `std::thread::scope` spawns and a
+/// hard-coded cap of 8 threads.
+fn reference_matmul_into(
+    a: &[f32],
+    rows: usize,
+    inner: usize,
+    b: &[f32],
+    cols: usize,
+    out: &mut [f32],
+) {
     let work = rows * inner * cols;
-    let threads = available_threads();
+    let threads = reference_threads();
     if work < PAR_THRESHOLD || threads <= 1 || rows < 2 {
-        matmul_serial(a, inner, b, cols, out);
+        reference_matmul_serial(a, inner, b, cols, out);
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
@@ -395,13 +1049,13 @@ fn matmul_into(a: &[f32], rows: usize, inner: usize, b: &[f32], cols: usize, out
         let out_chunks = out.chunks_mut(chunk_rows * cols);
         for (a_chunk, out_chunk) in a_chunks.zip(out_chunks) {
             s.spawn(move || {
-                matmul_serial(a_chunk, inner, b, cols, out_chunk);
+                reference_matmul_serial(a_chunk, inner, b, cols, out_chunk);
             });
         }
     });
 }
 
-fn matmul_serial(a: &[f32], inner: usize, b: &[f32], cols: usize, out: &mut [f32]) {
+fn reference_matmul_serial(a: &[f32], inner: usize, b: &[f32], cols: usize, out: &mut [f32]) {
     let rows = a.len() / inner.max(1);
     for i in 0..rows {
         let arow = &a[i * inner..(i + 1) * inner];
@@ -418,7 +1072,40 @@ fn matmul_serial(a: &[f32], inner: usize, b: &[f32], cols: usize, out: &mut [f32
     }
 }
 
-fn available_threads() -> usize {
+/// `out += selfᵀ × rhs` — the original serial loop.
+fn reference_t_matmul_into(m: &Matrix, rhs: &Matrix, out: &mut [f32]) {
+    for k in 0..m.rows {
+        let arow = m.row(k);
+        let brow = rhs.row(k);
+        for (i, &a) in arow.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * rhs.cols..(i + 1) * rhs.cols];
+            for (o, &b) in orow.iter_mut().zip(brow) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+/// `out = self × rhsᵀ` — the original serial loop.
+fn reference_matmul_t_into(m: &Matrix, rhs: &Matrix, out: &mut [f32]) {
+    for i in 0..m.rows {
+        let arow = m.row(i);
+        let orow = &mut out[i * rhs.rows..(i + 1) * rhs.rows];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = rhs.row(j);
+            let mut acc = 0.0f32;
+            for (&a, &b) in arow.iter().zip(brow) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+}
+
+fn reference_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -434,6 +1121,16 @@ mod tests {
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() <= tol, "{x} != {y}");
         }
+    }
+
+    fn pattern(rows: usize, cols: usize, mul: usize, add: usize, modulus: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| ((i * mul + add) % modulus) as f32 * 0.01 - 0.3)
+                .collect(),
+        )
     }
 
     #[test]
@@ -490,6 +1187,127 @@ mod tests {
         approx(&big, &reference, 1e-3);
     }
 
+    /// The blocked kernel must agree with the pre-optimization kernel on
+    /// shapes that stress every fringe: rows below the thread/tile count,
+    /// non-divisible chunk sizes, single rows/columns, and sizes straddling
+    /// every blocking constant.
+    #[test]
+    fn blocked_kernel_matches_reference_on_awkward_shapes() {
+        let shapes: &[(usize, usize, usize)] = &[
+            (1, 1, 1),
+            (1, 7, 5),       // single row
+            (2, 3, 70),      // rows < any thread count
+            (3, 257, 17),    // k crosses KC with remainder 1
+            (5, 64, 259),    // n crosses NC with remainder 3
+            (7, 19, 16),     // n == NR exactly
+            (4, 300, 4),     // m == MR exactly
+            (65, 13, 31),    // m crosses MC with remainder 1
+            (66, 129, 258),  // everything non-divisible
+            (130, 512, 100), // k == 2·KC exactly
+        ];
+        for &(m, k, n) in shapes {
+            let a = pattern(m, k, 37, 11, 97);
+            let b = pattern(k, n, 53, 7, 89);
+            let blocked = a.matmul(&b);
+            let reference = a.matmul_reference(&b);
+            let tol = 1e-5 * (k as f32).max(1.0);
+            for (i, (x, y)) in blocked.data().iter().zip(reference.data()).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "({m}x{k}x{n}) element {i}: blocked {x} vs reference {y}"
+                );
+            }
+        }
+    }
+
+    /// Fused transposed products agree with the reference loops on fringe
+    /// shapes too (strided packing paths).
+    #[test]
+    fn transposed_kernels_match_reference_on_awkward_shapes() {
+        for &(m, k, n) in &[(1usize, 3usize, 2usize), (5, 65, 17), (33, 129, 66), (4, 16, 16)] {
+            // t_matmul: self is k×m (shared leading dim with rhs k×n).
+            let a = pattern(k, m, 29, 3, 83);
+            let b = pattern(k, n, 31, 5, 79);
+            let tol = 1e-5 * (k as f32).max(1.0);
+            for (x, y) in a.t_matmul(&b).data().iter().zip(a.t_matmul_reference(&b).data()) {
+                assert!((x - y).abs() <= tol, "t_matmul {m}x{k}x{n}: {x} vs {y}");
+            }
+            // matmul_t: self m×k, rhs n×k.
+            let a = pattern(m, k, 41, 1, 73);
+            let b = pattern(n, k, 43, 9, 71);
+            for (x, y) in a.matmul_t(&b).data().iter().zip(a.matmul_t_reference(&b).data()) {
+                assert!((x - y).abs() <= tol, "matmul_t {m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// `inner == 0` products are empty sums: a well-defined zero matrix.
+    #[test]
+    fn zero_inner_dimension_yields_zeros() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b), Matrix::zeros(3, 4));
+        let at = Matrix::zeros(0, 3);
+        assert_eq!(at.t_matmul(&Matrix::zeros(0, 4)), Matrix::zeros(3, 4));
+        let mt = Matrix::zeros(3, 0);
+        assert_eq!(mt.matmul_t(&Matrix::zeros(4, 0)), Matrix::zeros(3, 4));
+    }
+
+    /// Identical inputs give bit-identical outputs across repeated runs and
+    /// across explicit pool sizes: row partitioning never changes a row's
+    /// accumulation order.
+    #[test]
+    fn blocked_kernel_is_deterministic_across_pool_sizes() {
+        let a = pattern(67, 140, 37, 11, 97);
+        let b = pattern(140, 130, 53, 7, 89);
+        let first = a.matmul(&b);
+        for _ in 0..3 {
+            assert_eq!(a.matmul(&b), first, "repeated runs must be bit-identical");
+        }
+        // Force multi-lane execution through private pools of varying sizes
+        // on a shape too small for the global threshold.
+        let mut outs = Vec::new();
+        for threads in [1usize, 2, 3, 5] {
+            let local = WorkerPool::new(threads);
+            let mut out = vec![0.0f32; 67 * 130];
+            gemm(&local, View::normal(&a), View::normal(&b), &mut out, false);
+            outs.push(out);
+        }
+        for out in &outs[1..] {
+            assert_eq!(out, &outs[0], "thread count must not change results");
+        }
+        assert_eq!(outs[0], first.data(), "pool-size runs must match the global-pool result");
+    }
+
+    #[test]
+    fn t_matmul_acc_accumulates() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g = Matrix::from_rows(&[&[0.5, 0.0], &[1.0, -1.0]]);
+        let mut acc = Matrix::filled(2, 2, 10.0);
+        x.t_matmul_acc(&g, &mut acc);
+        let expected = x.t_matmul(&g).add(&Matrix::filled(2, 2, 10.0));
+        approx(&acc, &expected, 1e-6);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let a = pattern(6, 9, 37, 11, 97);
+        let b = pattern(9, 5, 53, 7, 89);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Stale contents must not leak into the next product.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let c = pattern(6, 5, 3, 2, 7);
+        let mut h = Matrix::default();
+        out.hadamard_into(&c, &mut h);
+        assert_eq!(h, out.hadamard(&c));
+        let mut mapped = Matrix::default();
+        c.map_into(|v| v * 2.0, &mut mapped);
+        assert_eq!(mapped, c.map(|v| v * 2.0));
+    }
+
     #[test]
     fn elementwise_ops() {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]);
@@ -522,6 +1340,34 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
         let s = a.select_rows(&[2, 0]);
         assert_eq!(s, Matrix::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn select_rows_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut batch = Matrix::default();
+        a.select_rows_into(&[2, 0], &mut batch);
+        assert_eq!(batch, a.select_rows(&[2, 0]));
+        let cap = batch.data.capacity();
+        a.select_rows_into(&[1], &mut batch);
+        assert_eq!(batch, a.select_rows(&[1]));
+        assert_eq!(batch.data.capacity(), cap, "smaller batch must not reallocate");
+        a.select_rows_into(&[], &mut batch);
+        assert_eq!(batch.shape(), (0, 2));
+    }
+
+    #[test]
+    fn resize_and_copy_from_reuse_allocations() {
+        let mut m = Matrix::filled(4, 4, 7.0);
+        let cap = m.data.capacity();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.data.iter().all(|&x| x == 0.0), "resize must zero");
+        assert_eq!(m.data.capacity(), cap);
+        let src = Matrix::from_rows(&[&[1.0, 2.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(m.data.capacity(), cap);
     }
 
     #[test]
@@ -595,6 +1441,16 @@ mod proptests {
             let explicit = a.transpose().matmul(&b);
             for (x, y) in fused.data().iter().zip(explicit.data()) {
                 prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// Blocked and reference kernels agree on arbitrary data.
+        #[test]
+        fn blocked_matches_reference((a, b) in (matrix(9, 33), matrix(33, 21))) {
+            let blocked = a.matmul(&b);
+            let reference = a.matmul_reference(&b);
+            for (x, y) in blocked.data().iter().zip(reference.data()) {
+                prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
             }
         }
 

@@ -2,7 +2,7 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::layer::Mode;
-use crate::loss::mse;
+use crate::loss::mse_into;
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
@@ -65,6 +65,11 @@ impl TrainReport {
 /// about. The pipeline uses this to feed per-epoch losses and durations
 /// into `acobe-obs` histograms and the `-v` training trace.
 pub trait ProgressObserver {
+    /// Called after each mini-batch with the forward- and backward-pass
+    /// wall-clock durations in milliseconds — kernel-level timing for
+    /// metrics sinks. Fires once per batch, so keep implementations cheap.
+    fn on_batch(&mut self, _forward_ms: f64, _backward_ms: f64) {}
+
     /// Called after each epoch with its 0-based index, mean loss, and
     /// wall-clock duration in milliseconds.
     fn on_epoch(&mut self, _epoch: usize, _loss: f32, _elapsed_ms: f64) {}
@@ -117,19 +122,29 @@ pub fn fit_autoencoder_observed(
     let mut epoch_ms = Vec::with_capacity(config.epochs);
     let mut stopped_early = false;
 
+    // Long-lived batch and gradient buffers: after the first batch of the
+    // first epoch, the loop allocates nothing.
+    let mut batch = Matrix::default();
+    let mut grad = Matrix::default();
+
     for epoch in 0..config.epochs {
         let epoch_start = Instant::now();
         indices.shuffle(&mut rng);
         let mut total = 0.0f64;
         let mut batches = 0usize;
         for chunk in indices.chunks(config.batch_size) {
-            let batch = data.select_rows(chunk);
+            data.select_rows_into(chunk, &mut batch);
             let net = ae.net_mut();
             net.zero_grad();
-            let recon = net.forward(&batch, Mode::Train);
-            let (loss, grad) = mse(&recon, &batch);
-            net.backward(&grad);
+            let fwd_start = Instant::now();
+            let recon = net.forward_scratch(&batch, Mode::Train);
+            let forward_ms = fwd_start.elapsed().as_secs_f64() * 1e3;
+            let loss = mse_into(recon, &batch, &mut grad);
+            let bwd_start = Instant::now();
+            net.backward_scratch(&grad);
+            let backward_ms = bwd_start.elapsed().as_secs_f64() * 1e3;
             optimizer.step(net);
+            observer.on_batch(forward_ms, backward_ms);
             total += loss as f64;
             batches += 1;
         }
@@ -246,9 +261,14 @@ mod tests {
     fn observer_sees_every_epoch() {
         struct Recorder {
             epochs: Vec<(usize, f32)>,
+            batches: usize,
             completed: bool,
         }
         impl ProgressObserver for Recorder {
+            fn on_batch(&mut self, forward_ms: f64, backward_ms: f64) {
+                assert!(forward_ms >= 0.0 && backward_ms >= 0.0);
+                self.batches += 1;
+            }
             fn on_epoch(&mut self, epoch: usize, loss: f32, elapsed_ms: f64) {
                 assert!(elapsed_ms >= 0.0);
                 self.epochs.push((epoch, loss));
@@ -261,11 +281,13 @@ mod tests {
         let mut ae = Autoencoder::new(AutoencoderConfig::small(8).with_seed(5));
         let data = structured_data(64, 42);
         let cfg = TrainConfig { epochs: 4, batch_size: 32, seed: 3, early_stop_rel: None };
-        let mut rec = Recorder { epochs: Vec::new(), completed: false };
+        let mut rec = Recorder { epochs: Vec::new(), batches: 0, completed: false };
         let report =
             fit_autoencoder_observed(&mut ae, &data, &cfg, &mut Adadelta::new(), &mut rec);
         assert!(rec.completed);
         assert_eq!(rec.epochs.len(), 4);
+        // 64 rows / batch 32 = 2 batches per epoch × 4 epochs.
+        assert_eq!(rec.batches, 8);
         for (i, &(epoch, loss)) in rec.epochs.iter().enumerate() {
             assert_eq!(epoch, i);
             assert_eq!(loss, report.epoch_losses[i]);
