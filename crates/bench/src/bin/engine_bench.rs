@@ -1,0 +1,192 @@
+//! Incremental-engine benchmark: per-day ingest latency and steady-state
+//! engine memory at 1k/10k users, plus scored-ingest latency and checkpoint
+//! size on a small trained dataset. Merges an `"engine"` section into
+//! `BENCH_nn.json` (run after `nn_bench`, which rewrites the file).
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin engine_bench [--quick] [--out PATH]`
+
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::pipeline::AcobePipeline;
+use acobe_bench::{arg_value, build_cert_dataset, parse_args, DatasetOptions};
+use acobe_features::spec::cert_feature_set;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct IngestResult {
+    users: usize,
+    days: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    max_ms: f64,
+    days_per_s: f64,
+    state_bytes: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ScoredResult {
+    users: usize,
+    warm_days: usize,
+    scored_days: usize,
+    mean_scored_ms: f64,
+    state_bytes: usize,
+    checkpoint_bytes: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct EngineReport {
+    quick: bool,
+    warm_ingest: Vec<IngestResult>,
+    scored: ScoredResult,
+}
+
+fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = latencies_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    (mean, sorted[sorted.len() / 2], *sorted.last().unwrap())
+}
+
+/// Warm (unscored) ingest throughput on synthetic measurements: the load an
+/// untrained engine — or the warm-up phase of a stream — puts on a deployment.
+fn bench_warm_ingest(users: usize, days: usize) -> IngestResult {
+    let feature_set = cert_feature_set();
+    let features = feature_set.len();
+    let frames = 2;
+    let group_size = (users / 4).max(1);
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let start = acobe_logs::time::Date::from_ymd(2010, 1, 1);
+    let mut engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+
+    let width = users * frames * features;
+    let mut day = vec![0.0f32; width];
+    let mut latencies = Vec::with_capacity(days);
+    for d in 0..days {
+        // Cheap deterministic variation so σ/weights see non-constant series.
+        for (i, v) in day.iter_mut().enumerate() {
+            *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
+        }
+        let t = Instant::now();
+        engine.warm_day(start.add_days(d as i32), &day).expect("ingest");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let (mean_ms, p50_ms, max_ms) = stats(&latencies);
+    IngestResult {
+        users,
+        days,
+        mean_ms,
+        p50_ms,
+        max_ms,
+        days_per_s: 1e3 / mean_ms,
+        state_bytes: engine.state_bytes(),
+    }
+}
+
+/// Scored ingest on a small trained CERT dataset, plus the serialized
+/// checkpoint size a stream deployment would write.
+fn bench_scored() -> ScoredResult {
+    let ds = build_cert_dataset(&DatasetOptions {
+        users_per_dept: 6,
+        departments: 2,
+        seed: 5,
+        with_baseline: false,
+    });
+    let split = ds.scenario_split(&ds.victims[0]);
+    let mut pipeline = AcobePipeline::new(
+        ds.cert_cube.clone(),
+        cert_feature_set(),
+        &ds.groups,
+        AcobeConfig::tiny(),
+    )
+    .expect("pipeline");
+    pipeline.fit(split.train_start, split.train_end).expect("fit");
+    let mut engine = pipeline.into_engine();
+    engine.reset_stream();
+
+    let cube = &ds.cert_cube;
+    let warm_days = split.test_start.days_since(cube.start()) as usize;
+    let mut day = vec![0.0f32; cube.day_slice_len()];
+    let mut latencies = Vec::new();
+    for d in 0..cube.days() {
+        cube.day_slice_into(d, &mut day);
+        let date = cube.start().add_days(d as i32);
+        if d < warm_days {
+            engine.warm_day(date, &day).expect("warm");
+        } else {
+            let t = Instant::now();
+            engine.ingest_day(date, &day).expect("score");
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let (mean_scored_ms, _, _) = stats(&latencies);
+    let checkpoint_bytes =
+        serde_json::to_string(&engine.snapshot()).expect("checkpoint").len();
+    ScoredResult {
+        users: ds.users,
+        warm_days,
+        scored_days: latencies.len(),
+        mean_scored_ms,
+        state_bytes: engine.state_bytes(),
+        checkpoint_bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let quick = arg_value(&parsed, "quick").is_some();
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    let out_path = arg_value(&parsed, "out").unwrap_or(default_out).to_string();
+
+    let days = if quick { 8 } else { 40 };
+    let sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
+    let mut warm_ingest = Vec::new();
+    for &users in sizes {
+        let r = bench_warm_ingest(users, days);
+        println!(
+            "warm ingest {users} users x {days} days: mean {:.3} ms/day (p50 {:.3}, max {:.3}), \
+             {:.0} days/s, {} MB state",
+            r.mean_ms,
+            r.p50_ms,
+            r.max_ms,
+            r.days_per_s,
+            r.state_bytes / (1 << 20)
+        );
+        warm_ingest.push(r);
+    }
+
+    let scored = bench_scored();
+    println!(
+        "scored ingest {} users: mean {:.3} ms/day over {} days ({} warm), \
+         {} KB state, {} KB checkpoint",
+        scored.users,
+        scored.mean_scored_ms,
+        scored.scored_days,
+        scored.warm_days,
+        scored.state_bytes / 1024,
+        scored.checkpoint_bytes / 1024
+    );
+
+    let report = EngineReport { quick, warm_ingest, scored };
+    let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    root["engine"] = serde_json::to_value(&report).expect("serialize engine report");
+    let json = serde_json::to_string_pretty(&root).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_nn.json");
+    println!("merged engine section into {out_path}");
+}

@@ -1,15 +1,95 @@
 //! CLI command implementations.
 
 use acobe::config::AcobeConfig;
+use acobe::engine::{DetectionEngine, EngineCheckpoint};
+use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
-use acobe_features::cert::{extract_cert_features, CountSemantics};
+use acobe_features::cert::{extract_cert_features, CountSemantics, DayExtractor};
 use acobe_features::spec::cert_feature_set;
+use acobe_logs::csv::ParseCsvError;
 use acobe_logs::store::LogStore;
-use acobe_logs::time::Date;
+use acobe_logs::time::{Date, ParseDateError};
 use acobe_synth::cert::{CertConfig, CertGenerator};
 use acobe_synth::org::OrgConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
 use std::fs;
+
+/// Everything a CLI command can fail with. Each variant keeps its typed
+/// source so `main` can print one human line while `Error::source` preserves
+/// the chain for tooling.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage: unknown flags, unparsable values, ranges
+    /// outside the dataset span.
+    Usage(String),
+    /// A filesystem read/write failed, tagged with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// The detection pipeline or engine rejected the request.
+    Acobe(AcobeError),
+    /// The audit-log CSV was malformed.
+    Logs(ParseCsvError),
+    /// A date argument or metadata date was malformed.
+    Date(ParseDateError),
+    /// Metadata or checkpoint JSON could not be parsed or serialized.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Acobe(e) => write!(f, "{e}"),
+            CliError::Logs(e) => write!(f, "{e}"),
+            CliError::Date(e) => write!(f, "{e}"),
+            CliError::Json(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source),
+            CliError::Acobe(e) => Some(e),
+            CliError::Logs(e) => Some(e),
+            CliError::Date(e) => Some(e),
+            CliError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<AcobeError> for CliError {
+    fn from(e: AcobeError) -> Self {
+        CliError::Acobe(e)
+    }
+}
+
+impl From<ParseCsvError> for CliError {
+    fn from(e: ParseCsvError) -> Self {
+        CliError::Logs(e)
+    }
+}
+
+impl From<ParseDateError> for CliError {
+    fn from(e: ParseDateError) -> Self {
+        CliError::Date(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
 
 /// Dataset metadata written alongside the CSV so `detect` can reconstruct
 /// the population and verify results.
@@ -42,6 +122,16 @@ pub struct VictimMeta {
     pub anomaly_end: String,
 }
 
+/// Resumable state of an `acobe stream` run: the incremental engine plus the
+/// novelty-set feature extractor, bound to the train/score split date so a
+/// resumed stream warms and scores exactly like an uninterrupted one.
+#[derive(Serialize, Deserialize)]
+struct StreamCheckpoint {
+    train_end: String,
+    extractor: DayExtractor,
+    engine: EngineCheckpoint,
+}
+
 fn arg<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == key)
@@ -53,21 +143,35 @@ fn flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
+/// Parses `--key VALUE` as a number, defaulting when absent.
+fn num_arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, CliError> {
+    match arg(args, key) {
+        Some(s) => s.parse().map_err(|_| CliError::Usage(format!("bad {key}"))),
+        None => Ok(default),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io { path: path.to_string(), source: e })
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    fs::write(path, contents).map_err(|e| CliError::Io { path: path.to_string(), source: e })
+}
+
+fn load_meta(path: &str) -> Result<(DatasetMeta, Date, Date), CliError> {
+    let meta: DatasetMeta = serde_json::from_str(&read_file(path)?)?;
+    let start = Date::parse(&meta.start)?;
+    let end = Date::parse(&meta.end)?;
+    Ok((meta, start, end))
+}
+
 /// `acobe synth`.
-pub fn synth(args: &[String]) -> Result<(), String> {
+pub fn synth(args: &[String]) -> Result<(), CliError> {
     let out = arg(args, "--out").unwrap_or("acobe_logs.csv").to_string();
-    let seed: u64 = arg(args, "--seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(1);
-    let users_per_dept: usize = arg(args, "--users-per-dept")
-        .map(|s| s.parse().map_err(|_| "bad --users-per-dept"))
-        .transpose()?
-        .unwrap_or(20);
-    let departments: usize = arg(args, "--departments")
-        .map(|s| s.parse().map_err(|_| "bad --departments"))
-        .transpose()?
-        .unwrap_or(4);
+    let seed: u64 = num_arg(args, "--seed", 1)?;
+    let users_per_dept: usize = num_arg(args, "--users-per-dept", 20)?;
+    let departments: usize = num_arg(args, "--departments", 4)?;
 
     let org = OrgConfig { departments, users_per_dept, seed: seed ^ 0x0a6 };
     let config = CertConfig::paper(org, seed);
@@ -79,7 +183,7 @@ pub fn synth(args: &[String]) -> Result<(), String> {
     );
     let mut generator = CertGenerator::new(config.clone());
     let store = generator.build_store();
-    fs::write(&out, store.to_csv()).map_err(|e| format!("write {out}: {e}"))?;
+    write_file(&out, &store.to_csv())?;
 
     let groups: Vec<Vec<usize>> = generator
         .directory()
@@ -110,8 +214,7 @@ pub fn synth(args: &[String]) -> Result<(), String> {
             .collect(),
     };
     let meta_path = format!("{out}.meta.json");
-    let json = serde_json::to_string_pretty(&meta).map_err(|e| e.to_string())?;
-    fs::write(&meta_path, json).map_err(|e| format!("write {meta_path}: {e}"))?;
+    write_file(&meta_path, &serde_json::to_string_pretty(&meta)?)?;
     println!(
         "wrote {} events to {out} and metadata to {meta_path}",
         store.len()
@@ -120,42 +223,28 @@ pub fn synth(args: &[String]) -> Result<(), String> {
 }
 
 /// `acobe detect`.
-pub fn detect(args: &[String]) -> Result<(), String> {
-    let logs_path = arg(args, "--logs").ok_or("--logs FILE is required")?;
-    let meta_path = arg(args, "--meta").ok_or("--meta FILE is required")?;
-    let top: usize = arg(args, "--top")
-        .map(|s| s.parse().map_err(|_| "bad --top"))
-        .transpose()?
-        .unwrap_or(10);
-    let critic_n: usize = arg(args, "--critic-n")
-        .map(|s| s.parse().map_err(|_| "bad --critic-n"))
-        .transpose()?
-        .unwrap_or(2);
-    let smooth: usize = arg(args, "--smooth")
-        .map(|s| s.parse().map_err(|_| "bad --smooth"))
-        .transpose()?
-        .unwrap_or(3);
+pub fn detect(args: &[String]) -> Result<(), CliError> {
+    let logs_path =
+        arg(args, "--logs").ok_or_else(|| CliError::Usage("--logs FILE is required".into()))?;
+    let meta_path =
+        arg(args, "--meta").ok_or_else(|| CliError::Usage("--meta FILE is required".into()))?;
+    let top: usize = num_arg(args, "--top", 10)?;
+    let critic_n: usize = num_arg(args, "--critic-n", 2)?;
+    let smooth: usize = num_arg(args, "--smooth", 3)?;
 
-    let meta: DatasetMeta = serde_json::from_str(
-        &fs::read_to_string(meta_path).map_err(|e| format!("read {meta_path}: {e}"))?,
-    )
-    .map_err(|e| format!("parse {meta_path}: {e}"))?;
-    let start = Date::parse(&meta.start).map_err(|e| e.to_string())?;
-    let end = Date::parse(&meta.end).map_err(|e| e.to_string())?;
-
+    let (meta, start, end) = load_meta(meta_path)?;
     let train_end = match arg(args, "--train-end") {
-        Some(s) => Date::parse(s).map_err(|e| e.to_string())?,
+        Some(s) => Date::parse(s)?,
         None => start.add_days(end.days_since(start) * 7 / 10),
     };
     if train_end <= start || train_end >= end {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--train-end must fall inside the span {start}..{end}"
-        ));
+        )));
     }
 
     acobe_obs::progress!("loading {logs_path} ...");
-    let text = fs::read_to_string(logs_path).map_err(|e| format!("read {logs_path}: {e}"))?;
-    let store = LogStore::from_csv(&text).map_err(|e| e.to_string())?;
+    let store = LogStore::from_csv(&read_file(logs_path)?)?;
     acobe_obs::progress!("extracting features from {} events ...", store.len());
     let cube = extract_cert_features(&store, meta.users, start, end, CountSemantics::Plain);
 
@@ -203,8 +292,122 @@ pub fn detect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `acobe stream`: feed the logs through the incremental engine one day at a
+/// time, printing a daily investigation list — the streaming deployment of
+/// the exact batch scoring path, with checkpoint/resume.
+pub fn stream(args: &[String]) -> Result<(), CliError> {
+    let logs_path =
+        arg(args, "--logs").ok_or_else(|| CliError::Usage("--logs FILE is required".into()))?;
+    let meta_path =
+        arg(args, "--meta").ok_or_else(|| CliError::Usage("--meta FILE is required".into()))?;
+    let top: usize = num_arg(args, "--top", 10)?;
+    let critic_n: usize = num_arg(args, "--critic-n", 2)?;
+    let smooth: usize = num_arg(args, "--smooth", 3)?;
+
+    let (meta, start, end) = load_meta(meta_path)?;
+    let until = match arg(args, "--until") {
+        Some(s) => Date::parse(s)?,
+        None => end,
+    };
+
+    acobe_obs::progress!("loading {logs_path} ...");
+    let store = LogStore::from_csv(&read_file(logs_path)?)?;
+
+    let (mut engine, mut extractor, train_end) = match arg(args, "--resume") {
+        Some(path) => {
+            let ck: StreamCheckpoint = serde_json::from_str(&read_file(path)?)?;
+            let train_end = Date::parse(&ck.train_end)?;
+            let engine = DetectionEngine::restore(ck.engine)?;
+            acobe_obs::progress!("resumed checkpoint {path}: next day {}", engine.next_date());
+            (engine, ck.extractor, train_end)
+        }
+        None => {
+            let train_end = match arg(args, "--train-end") {
+                Some(s) => Date::parse(s)?,
+                None => start.add_days(end.days_since(start) * 7 / 10),
+            };
+            if train_end <= start || train_end >= end {
+                return Err(CliError::Usage(format!(
+                    "--train-end must fall inside the span {start}..{end}"
+                )));
+            }
+            let config = if flag(args, "--paper-model") {
+                AcobeConfig::paper()
+            } else {
+                AcobeConfig::fast()
+            }
+            .with_critic_n(critic_n);
+            acobe_obs::progress!("extracting training features from {} events ...", store.len());
+            let cube =
+                extract_cert_features(&store, meta.users, start, train_end, CountSemantics::Plain);
+            let mut pipeline = AcobePipeline::new(cube, cert_feature_set(), &meta.groups, config)?;
+            acobe_obs::progress!("training on {start}..{train_end} ...");
+            pipeline.fit(start, train_end)?;
+            let mut engine = pipeline.into_engine();
+            engine.reset_stream();
+            let extractor = DayExtractor::new(meta.users, start, CountSemantics::Plain);
+            (engine, extractor, train_end)
+        }
+    };
+    if extractor.next_date() != engine.next_date() {
+        return Err(CliError::Usage(format!(
+            "checkpoint is inconsistent: extractor at {}, engine at {}",
+            extractor.next_date(),
+            engine.next_date()
+        )));
+    }
+
+    let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
+    let mut last_list = Vec::new();
+    let mut streamed = 0usize;
+    let mut scored = 0usize;
+    let mut date = engine.next_date();
+    while date < until {
+        let day = extractor
+            .ingest_day(date, store.day(date))
+            .map_err(AcobeError::from)?;
+        if date < train_end {
+            engine.warm_day(date, &day)?;
+        } else if engine.ingest_day(date, &day)?.is_some() {
+            scored += 1;
+            let list = engine.daily_investigation(critic_n, smooth);
+            let line: Vec<String> = list
+                .iter()
+                .take(top)
+                .map(|inv| {
+                    let mark = if victims.contains(&inv.user) { "*" } else { "" };
+                    format!("{}{}(p{})", inv.user, mark, inv.priority)
+                })
+                .collect();
+            println!("{date}  {}", line.join("  "));
+            last_list = list;
+        }
+        streamed += 1;
+        date = date.add_days(1);
+    }
+    acobe_obs::progress!("streamed {streamed} days ({scored} scored) up to {date}");
+
+    if let Some(path) = arg(args, "--final-out") {
+        write_file(path, &serde_json::to_string_pretty(&last_list)?)?;
+        acobe_obs::progress!("final investigation list written to {path}");
+    }
+    if let Some(path) = arg(args, "--checkpoint") {
+        let ck = StreamCheckpoint {
+            train_end: train_end.to_string(),
+            extractor,
+            engine: engine.snapshot(),
+        };
+        write_file(path, &serde_json::to_string(&ck)?)?;
+        acobe_obs::progress!(
+            "checkpoint written to {path} ({} bytes of engine state)",
+            engine.state_bytes()
+        );
+    }
+    Ok(())
+}
+
 /// `acobe enterprise`.
-pub fn enterprise(args: &[String]) -> Result<(), String> {
+pub fn enterprise(args: &[String]) -> Result<(), CliError> {
     use acobe_features::enterprise::extract_enterprise_features;
     use acobe_features::spec::enterprise_feature_set;
     use acobe_synth::enterprise::{Attack, EnterpriseConfig, EnterpriseGenerator};
@@ -212,16 +415,10 @@ pub fn enterprise(args: &[String]) -> Result<(), String> {
     let attack = match arg(args, "--attack") {
         Some("zeus") => Attack::Zeus,
         Some("ransomware") | None => Attack::Ransomware,
-        Some(other) => return Err(format!("unknown attack '{other}'")),
+        Some(other) => return Err(CliError::Usage(format!("unknown attack '{other}'"))),
     };
-    let users: usize = arg(args, "--users")
-        .map(|s| s.parse().map_err(|_| "bad --users"))
-        .transpose()?
-        .unwrap_or(60);
-    let seed: u64 = arg(args, "--seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(11);
+    let users: usize = num_arg(args, "--users", 60)?;
+    let seed: u64 = num_arg(args, "--seed", 11)?;
 
     let mut config = EnterpriseConfig::paper(attack, seed);
     config.users = users;

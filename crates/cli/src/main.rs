@@ -33,18 +33,24 @@ fn main() -> ExitCode {
     let result = match command.as_deref() {
         Some("synth") => commands::synth(&args[1..]),
         Some("detect") => commands::detect(&args[1..]),
+        Some("stream") => commands::stream(&args[1..]),
         Some("enterprise") => commands::enterprise(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print_help();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+        Some(other) => Err(commands::CliError::Usage(format!(
+            "unknown command '{other}' (try --help)"
+        ))),
     };
 
     // The pipeline commands report their stage timings on completion; the
     // JSON-lines export covers every command.
     if result.is_ok()
-        && matches!(command.as_deref(), Some("detect") | Some("enterprise"))
+        && matches!(
+            command.as_deref(),
+            Some("detect") | Some("stream") | Some("enterprise")
+        )
         && acobe_obs::verbosity() >= acobe_obs::progress::LEVEL_PROGRESS
     {
         let summary = acobe_obs::summary_table();
@@ -62,8 +68,8 @@ fn main() -> ExitCode {
 
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::from(2)
         }
     }
@@ -106,6 +112,20 @@ USAGE:
         the span) and print the ordered investigation list for the rest.
         Prints a stage-timing summary (extraction, deviation, matrix,
         per-aspect training, scoring, critic) on completion.
+
+    acobe stream --logs FILE --meta FILE [--train-end YYYY-MM-DD]
+                 [--until YYYY-MM-DD] [--top N] [--critic-n N] [--smooth N]
+                 [--paper-model] [--checkpoint FILE] [--resume FILE]
+                 [--final-out FILE]
+        Replay the logs one day at a time through the incremental detection
+        engine — the streaming deployment of the exact batch scoring path.
+        Trains up to --train-end, then prints one investigation line per
+        scored day (ground-truth victims marked with '*'), stopping before
+        --until (default: end of span). --checkpoint serializes the full
+        engine + extractor state on completion; --resume continues a prior
+        checkpoint without retraining, scoring bit-identically to an
+        uninterrupted run. --final-out writes the last day's investigation
+        list as JSON.
 
     acobe enterprise [--attack zeus|ransomware] [--users N] [--seed N]
         Run the Section-VI case study end-to-end: synthesize the enterprise

@@ -1,6 +1,7 @@
 //! ACOBE pipeline configuration and the paper's model-variant presets.
 
 use crate::deviation::DeviationConfig;
+use crate::error::AcobeError;
 use crate::matrix::MatrixConfig;
 use acobe_nn::train::TrainConfig;
 use serde::{Deserialize, Serialize};
@@ -172,23 +173,25 @@ impl AcobeConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for invalid sub-configs, an empty architecture, or a
-    /// deviation representation whose matrix is longer than the history
-    /// warmup allows.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`AcobeError::Config`] for invalid sub-configs, an empty
+    /// architecture, or a deviation representation whose matrix is longer
+    /// than the history warmup allows.
+    pub fn validate(&self) -> Result<(), AcobeError> {
         self.deviation.validate()?;
         self.matrix.validate()?;
         if self.encoder_dims.is_empty() {
-            return Err("encoder_dims must be non-empty".into());
+            return Err(AcobeError::Config("encoder_dims must be non-empty".into()));
         }
         if self.critic_n == 0 {
-            return Err("critic_n must be at least 1".into());
+            return Err(AcobeError::Config("critic_n must be at least 1".into()));
         }
         if self.max_train_samples == 0 {
-            return Err("max_train_samples must be positive".into());
+            return Err(AcobeError::Config("max_train_samples must be positive".into()));
         }
         if self.representation == Representation::SingleDayCounts && self.matrix.matrix_days != 1 {
-            return Err("single-day representation requires matrix_days == 1".into());
+            return Err(AcobeError::Config(
+                "single-day representation requires matrix_days == 1".into(),
+            ));
         }
         Ok(())
     }

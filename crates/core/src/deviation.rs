@@ -14,6 +14,8 @@
 //! The history *slides*: users who shift their habits stop deviating once the
 //! shift enters the window (the "white tails" of Figure 4).
 
+use crate::error::AcobeError;
+use crate::streaming::RollingDeviation;
 use acobe_features::counts::FeatureCube;
 use serde::{Deserialize, Serialize};
 
@@ -43,19 +45,26 @@ impl DeviationConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when the window is too small, Δ ≤ 0, or ε ≤ 0.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`AcobeError::Config`] when the window is too small, Δ ≤ 0,
+    /// ε ≤ 0, or `min_history` falls outside `[1, window)` (a zero
+    /// `min_history` would divide by an empty history on day 0).
+    pub fn validate(&self) -> Result<(), AcobeError> {
         if self.window < 2 {
-            return Err("window must be at least 2 days".into());
+            return Err(AcobeError::Config("window must be at least 2 days".into()));
         }
         if self.delta <= 0.0 {
-            return Err("delta must be positive".into());
+            return Err(AcobeError::Config("delta must be positive".into()));
         }
         if self.epsilon <= 0.0 {
-            return Err("epsilon must be positive".into());
+            return Err(AcobeError::Config("epsilon must be positive".into()));
+        }
+        if self.min_history == 0 {
+            return Err(AcobeError::Config("min_history must be at least 1".into()));
         }
         if self.min_history >= self.window {
-            return Err("min_history must be smaller than window".into());
+            return Err(AcobeError::Config(
+                "min_history must be smaller than window".into(),
+            ));
         }
         Ok(())
     }
@@ -83,6 +92,10 @@ pub struct DeviationCube {
 /// slabs). The result is identical to the serial computation regardless of
 /// thread count.
 ///
+/// Internally each job replays the user's days through a
+/// [`RollingDeviation`] — the same incremental core the streaming engine
+/// uses — so batch and streaming deviations are one code path.
+///
 /// # Panics
 ///
 /// Panics if `config` is invalid (see [`DeviationConfig::validate`]).
@@ -94,6 +107,7 @@ pub fn compute_deviations(counts: &FeatureCube, config: &DeviationConfig) -> Dev
     let mut weights = FeatureCube::new(users, counts.start(), days, frames, features);
 
     let cfg = *config;
+    let day_width = frames * features;
     let jobs: Vec<acobe_nn::pool::Job<'_>> = sigma
         .user_blocks_mut()
         .zip(weights.user_blocks_mut())
@@ -101,67 +115,26 @@ pub fn compute_deviations(counts: &FeatureCube, config: &DeviationConfig) -> Dev
         .map(|(u, (sigma_block, weights_block))| -> acobe_nn::pool::Job<'_> {
             let src = counts.user_block(u);
             Box::new(move || {
-                user_deviations(src, days, frames, features, &cfg, sigma_block, weights_block);
+                // The per-user slab layout `(day * frames + frame) * features
+                // + feature` makes each day a contiguous `[frame][feature]`
+                // slice — exactly one rolling push.
+                let mut rolling = RollingDeviation::new(1, frames, features, cfg);
+                for d in 0..days {
+                    let day = d * day_width..(d + 1) * day_width;
+                    rolling
+                        .push_day_into(
+                            &src[day.clone()],
+                            &mut sigma_block[day.clone()],
+                            &mut weights_block[day],
+                        )
+                        .expect("day slice width matches rolling state");
+                }
             })
         })
         .collect();
     acobe_nn::pool::global().scope(jobs);
 
     DeviationCube { sigma, weights, config: *config }
-}
-
-/// Fills one user's σ and weight slabs from their measurement slab. All
-/// slices use the per-user `[day][frame][feature]` layout of
-/// [`FeatureCube::user_block`].
-fn user_deviations(
-    src: &[f32],
-    days: usize,
-    frames: usize,
-    features: usize,
-    config: &DeviationConfig,
-    sigma: &mut [f32],
-    weights: &mut [f32],
-) {
-    // One reused series buffer per user instead of one allocation per
-    // (frame, feature) pair.
-    let mut series = vec![0.0f32; days];
-    // Rolling sums per (frame, feature) as we walk days for one user.
-    for t in 0..frames {
-        for f in 0..features {
-            for (d, slot) in series.iter_mut().enumerate() {
-                *slot = src[(d * frames + t) * features + f];
-            }
-            let mut sum = 0.0f64;
-            let mut sum_sq = 0.0f64;
-            // history window content: days [d-window+1, d)
-            for d in 0..days {
-                let off = (d * frames + t) * features + f;
-                let hist_len = d.min(config.window - 1);
-                if hist_len >= config.min_history {
-                    let n = hist_len as f64;
-                    let mean = sum / n;
-                    let var = (sum_sq / n - mean * mean).max(0.0);
-                    let std = (var.sqrt() as f32).max(config.epsilon);
-                    let delta = (series[d] - mean as f32) / std;
-                    sigma[off] = delta.clamp(-config.delta, config.delta);
-                    weights[off] = 1.0 / (std.max(2.0)).log2();
-                } else {
-                    weights[off] = 1.0;
-                }
-                // Slide: add day d, drop day d-window+1.
-                let incoming = series[d] as f64;
-                sum += incoming;
-                sum_sq += incoming * incoming;
-                // Next day wants [d+2-window, d+1): drop day d+1-window.
-                if d + 1 >= config.window {
-                    let out_idx = d + 1 - config.window;
-                    let outgoing = series[out_idx] as f64;
-                    sum -= outgoing;
-                    sum_sq -= outgoing * outgoing;
-                }
-            }
-        }
-    }
 }
 
 /// Averages a measurement cube over group members, producing a cube whose
@@ -352,6 +325,15 @@ mod tests {
     fn bad_config_rejected() {
         let c = cube_with_series(&[1.0, 2.0]);
         let bad = DeviationConfig { window: 1, ..Default::default() };
+        let _ = compute_deviations(&c, &bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid deviation config")]
+    fn zero_min_history_rejected() {
+        // min_history = 0 would z-score day 0 against an empty history.
+        let c = cube_with_series(&[1.0, 2.0]);
+        let bad = DeviationConfig { min_history: 0, ..Default::default() };
         let _ = compute_deviations(&c, &bad);
     }
 }

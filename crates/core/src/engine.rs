@@ -1,0 +1,829 @@
+//! The incremental detection engine: one day-at-a-time core shared by the
+//! batch pipeline and streaming deployments.
+//!
+//! A [`DetectionEngine`] ingests one day of flattened measurements at a time
+//! and maintains exactly the state a deployment needs to keep:
+//!
+//! * [`RollingDeviation`] histories (ω-day rings plus running sums) for user
+//!   and group series,
+//! * a `D`-day ring of pre-weighted deviation days (the columns of the
+//!   compound behavioral deviation matrix, paper Section IV-A),
+//! * the trained per-aspect autoencoders and per-user calibration baselines,
+//! * a short window of recent daily scores for trailing-mean investigation
+//!   lists.
+//!
+//! The batch [`AcobePipeline`](crate::pipeline::AcobePipeline) is a thin
+//! driver that replays cube days through this engine, so batch and streaming
+//! scores are bit-identical by construction: same floating-point operations
+//! in the same order (see DESIGN.md §7).
+//!
+//! The whole engine serializes to an [`EngineCheckpoint`] (JSON via serde)
+//! and restores without changing a single subsequent score — `serde_json`
+//! round-trips `f32`/`f64` exactly.
+
+use crate::config::{AcobeConfig, Representation};
+use crate::critic::{investigate_from_scores, Investigation};
+use crate::error::AcobeError;
+use crate::streaming::RollingDeviation;
+use acobe_features::spec::FeatureSet;
+use acobe_logs::time::Date;
+use acobe_nn::autoencoder::Autoencoder;
+use acobe_nn::serialize::{restore as restore_model, snapshot as snapshot_model, SavedAutoencoder};
+use acobe_nn::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
+
+/// Days of recent scores kept for trailing-mean daily investigation lists.
+const SCORE_HISTORY_DAYS: usize = 64;
+
+/// Checkpoint format version written by [`DetectionEngine::snapshot`].
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Histogram edges (milliseconds) for per-day ingest latency.
+const INGEST_EDGES: &[f64] = &[0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0];
+
+/// One scored day: per-aspect, per-user anomaly scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayScores {
+    /// The day these scores belong to.
+    pub date: Date,
+    /// `scores[aspect][user]` = (calibrated) reconstruction error.
+    pub scores: Vec<Vec<f32>>,
+}
+
+/// A ring buffer of the `D` most recent day vectors.
+///
+/// `offset(0)` is today, `offset(1)` yesterday, …; offsets not yet covered
+/// return `None` and contribute the neutral deviation 0 to matrix rows —
+/// the same zero-fill the batch matrix builder applied to days before the
+/// cube.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DayRing {
+    capacity: usize,
+    /// Stored day vectors; grows to `capacity`, then slots are reused.
+    days: Vec<Vec<f32>>,
+    /// Next write slot. While filling, equals `days.len()`.
+    next: usize,
+}
+
+impl DayRing {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        DayRing { capacity, days: Vec::new(), next: 0 }
+    }
+
+    fn push(&mut self, day: Vec<f32>) {
+        if self.days.len() < self.capacity {
+            self.days.push(day);
+        } else {
+            self.days[self.next] = day;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// The day vector `k` days before the most recent push.
+    fn offset(&self, k: usize) -> Option<&[f32]> {
+        if k >= self.days.len() {
+            return None;
+        }
+        let idx = (self.next + self.capacity - 1 - k) % self.capacity;
+        Some(&self.days[idx])
+    }
+
+    fn clear(&mut self) {
+        self.days.clear();
+        self.next = 0;
+    }
+
+    fn bytes(&self) -> usize {
+        self.days.iter().map(|d| d.len() * std::mem::size_of::<f32>()).sum()
+    }
+}
+
+/// Serializable snapshot of a [`DetectionEngine`] — rolling histories, matrix
+/// rings, calibration baselines, recent scores, and full model snapshots
+/// (including BatchNorm running statistics).
+///
+/// Produced by [`DetectionEngine::snapshot`]/[`DetectionEngine::save`] and
+/// consumed by [`DetectionEngine::restore`]/[`DetectionEngine::load`]. The
+/// format is versioned JSON; restoring mid-stream changes no subsequent
+/// score (see DESIGN.md §7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    version: u32,
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    groups: Vec<Vec<usize>>,
+    user_group: Vec<usize>,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    user_rolling: Option<RollingDeviation>,
+    group_rolling: Option<RollingDeviation>,
+    user_ring: DayRing,
+    group_ring: Option<DayRing>,
+    models: Vec<SavedAutoencoder>,
+    baselines: Vec<Vec<f32>>,
+    score_history: Vec<DayScores>,
+}
+
+/// The incremental ACOBE detector: ingests one day of measurements at a time
+/// and emits that day's anomaly scores once trained.
+///
+/// # Examples
+///
+/// ```
+/// use acobe::config::AcobeConfig;
+/// use acobe::engine::DetectionEngine;
+/// use acobe_features::spec::{AspectSpec, FeatureSet};
+/// use acobe_logs::time::Date;
+///
+/// let fs = FeatureSet {
+///     names: vec!["a".into(), "b".into()],
+///     aspects: vec![AspectSpec { name: "all".into(), features: vec![0, 1] }],
+/// };
+/// let cfg = AcobeConfig::tiny().without_group().with_critic_n(1);
+/// let start = Date::from_ymd(2010, 1, 1);
+/// let mut engine = DetectionEngine::new(3, 2, start, fs, &[], cfg).unwrap();
+/// // Untrained engines absorb history but emit no scores.
+/// let out = engine.ingest_day(start, &vec![0.0; 3 * 2 * 2]).unwrap();
+/// assert!(out.is_none());
+/// ```
+#[derive(Debug)]
+pub struct DetectionEngine {
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    groups: Vec<Vec<usize>>,
+    /// Group index per user (`usize::MAX` when ungrouped and groups unused).
+    user_group: Vec<usize>,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    user_rolling: Option<RollingDeviation>,
+    group_rolling: Option<RollingDeviation>,
+    user_ring: DayRing,
+    group_ring: Option<DayRing>,
+    models: Vec<Autoencoder>,
+    baselines: Vec<Vec<f32>>,
+    score_history: Vec<DayScores>,
+}
+
+impl DetectionEngine {
+    /// Creates an untrained engine for `users` users with `frames` time
+    /// frames per day, starting at `start`.
+    ///
+    /// `groups[g]` lists the user indices of group `g`; every user must
+    /// belong to exactly one group when the configuration includes group
+    /// behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Config`] for invalid configuration, aspects
+    /// referencing features outside the catalog, a `critic_n` exceeding the
+    /// aspect count, or group rosters that are inconsistent with `users`.
+    pub fn new(
+        users: usize,
+        frames: usize,
+        start: Date,
+        feature_set: FeatureSet,
+        groups: &[Vec<usize>],
+        config: AcobeConfig,
+    ) -> Result<Self, AcobeError> {
+        config.validate()?;
+        if users == 0 || frames == 0 {
+            return Err(AcobeError::Config("engine needs users > 0 and frames > 0".into()));
+        }
+        for aspect in &feature_set.aspects {
+            if aspect.features.iter().any(|&f| f >= feature_set.len()) {
+                return Err(AcobeError::Config(format!(
+                    "aspect {} has out-of-range features",
+                    aspect.name
+                )));
+            }
+        }
+        if config.critic_n > feature_set.aspects.len() {
+            return Err(AcobeError::Config(format!(
+                "critic_n {} exceeds {} aspects",
+                config.critic_n,
+                feature_set.aspects.len()
+            )));
+        }
+        let mut user_group = vec![usize::MAX; users];
+        for (g, members) in groups.iter().enumerate() {
+            for &u in members {
+                if u >= users {
+                    return Err(AcobeError::Config(format!("group {g} contains unknown user {u}")));
+                }
+                user_group[u] = g;
+            }
+        }
+        if config.matrix.include_group {
+            if groups.is_empty() {
+                return Err(AcobeError::Config("group behavior requires non-empty groups".into()));
+            }
+            if let Some(u) = user_group.iter().position(|&g| g == usize::MAX) {
+                return Err(AcobeError::Config(format!("user {u} belongs to no group")));
+            }
+            if let Some(g) = groups.iter().position(|m| m.is_empty()) {
+                return Err(AcobeError::Config(format!("group {g} is empty")));
+            }
+        }
+
+        let mut engine = DetectionEngine {
+            config,
+            feature_set,
+            groups: groups.to_vec(),
+            user_group,
+            users,
+            frames,
+            start,
+            next_date: start,
+            user_rolling: None,
+            group_rolling: None,
+            user_ring: DayRing::new(1),
+            group_ring: None,
+            models: Vec::new(),
+            baselines: Vec::new(),
+            score_history: Vec::new(),
+        };
+        engine.reset_stream();
+        Ok(engine)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcobeConfig {
+        &self.config
+    }
+
+    /// The feature catalog / aspect partition.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.feature_set
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Time frames per day.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// First day of the stream (ingestion restarts here after
+    /// [`DetectionEngine::reset_stream`]).
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// The day the engine expects next.
+    pub fn next_date(&self) -> Date {
+        self.next_date
+    }
+
+    /// Days ingested since the last stream reset.
+    pub fn days_ingested(&self) -> usize {
+        self.next_date.days_since(self.start).max(0) as usize
+    }
+
+    /// Width of one day of measurements: `users × frames × features`.
+    pub fn day_width(&self) -> usize {
+        self.users * self.frames * self.feature_set.len()
+    }
+
+    /// True once models have been attached by
+    /// [`AcobePipeline::fit`](crate::pipeline::AcobePipeline::fit) or a
+    /// checkpoint restore.
+    pub fn is_trained(&self) -> bool {
+        !self.models.is_empty()
+    }
+
+    /// Flattened model-input width for an aspect.
+    pub fn input_dim(&self, aspect: usize) -> usize {
+        self.config
+            .matrix
+            .input_dim(self.feature_set.aspects[aspect].features.len(), self.frames)
+    }
+
+    /// Approximate heap footprint of the temporal state (rolling histories,
+    /// matrix rings, baselines, score history), in bytes. Model parameters
+    /// are excluded — they are training artifacts, not stream state.
+    pub fn state_bytes(&self) -> usize {
+        let rolling = self.user_rolling.as_ref().map_or(0, |r| r.state_bytes())
+            + self.group_rolling.as_ref().map_or(0, |r| r.state_bytes());
+        let rings = self.user_ring.bytes() + self.group_ring.as_ref().map_or(0, |r| r.bytes());
+        let baselines: usize =
+            self.baselines.iter().map(|b| b.len() * std::mem::size_of::<f32>()).sum();
+        let history: usize = self
+            .score_history
+            .iter()
+            .flat_map(|d| d.scores.iter())
+            .map(|s| s.len() * std::mem::size_of::<f32>())
+            .sum();
+        rolling + rings + baselines + history
+    }
+
+    /// Clears all temporal state (rolling histories, matrix rings, recent
+    /// scores) and rewinds the stream to [`DetectionEngine::start`]. Trained
+    /// models and calibration baselines are kept: the batch driver replays a
+    /// cube through a fresh stream for every scoring pass.
+    pub fn reset_stream(&mut self) {
+        let needs_dev = self.config.representation == Representation::Deviation;
+        let needs_group = self.config.matrix.include_group;
+        let features = self.feature_set.len();
+        self.user_rolling = needs_dev
+            .then(|| RollingDeviation::new(self.users, self.frames, features, self.config.deviation));
+        self.group_rolling = (needs_dev && needs_group).then(|| {
+            RollingDeviation::new(self.groups.len(), self.frames, features, self.config.deviation)
+        });
+        self.user_ring = DayRing::new(self.config.matrix.matrix_days);
+        self.group_ring = needs_group.then(|| DayRing::new(self.config.matrix.matrix_days));
+        self.score_history.clear();
+        self.next_date = self.start;
+    }
+
+    /// Group-mean measurements for one day, flattened
+    /// `[group][frame][feature]` — f32 summation in roster order, matching
+    /// [`acobe_features::counts::FeatureCube::group_mean`] bit for bit.
+    fn group_day(&self, measurements: &[f32]) -> Vec<f32> {
+        let (frames, features) = (self.frames, self.feature_set.len());
+        let mut out = vec![0.0f32; self.groups.len() * frames * features];
+        for (g, members) in self.groups.iter().enumerate() {
+            for t in 0..frames {
+                for f in 0..features {
+                    let sum: f32 = members
+                        .iter()
+                        .map(|&u| measurements[(u * frames + t) * features + f])
+                        .sum();
+                    out[(g * frames + t) * features + f] = sum / members.len() as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds one day of measurements into the temporal state (no scoring).
+    fn absorb_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
+        if date != self.next_date {
+            return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });
+        }
+        let width = self.day_width();
+        if measurements.len() != width {
+            return Err(AcobeError::WidthMismatch { expected: width, found: measurements.len() });
+        }
+        let group_day = self.group_ring.is_some().then(|| self.group_day(measurements));
+
+        match self.config.representation {
+            Representation::Deviation => {
+                let use_weights = self.config.matrix.use_weights;
+                let rolling = self.user_rolling.as_mut().expect("deviation state");
+                let mut dev = rolling.push_day(measurements)?;
+                if use_weights {
+                    for (s, w) in dev.sigma.iter_mut().zip(&dev.weights) {
+                        *s *= w;
+                    }
+                }
+                self.user_ring.push(dev.sigma);
+                if let Some(gday) = group_day {
+                    let rolling = self.group_rolling.as_mut().expect("group deviation state");
+                    let mut gdev = rolling.push_day(&gday)?;
+                    if use_weights {
+                        for (s, w) in gdev.sigma.iter_mut().zip(&gdev.weights) {
+                            *s *= w;
+                        }
+                    }
+                    self.group_ring.as_mut().expect("group ring").push(gdev.sigma);
+                }
+            }
+            Representation::SingleDayCounts => {
+                self.user_ring.push(measurements.to_vec());
+                if let Some(gday) = group_day {
+                    self.group_ring.as_mut().expect("group ring").push(gday);
+                }
+            }
+        }
+        self.next_date = date.add_days(1);
+        acobe_obs::counter("engine/days_ingested").inc();
+        Ok(())
+    }
+
+    /// Ingests one day of measurements without scoring it — history warm-up
+    /// and training-period replay.
+    ///
+    /// `measurements` are flattened `[user][frame][feature]` (the layout of
+    /// [`acobe_features::counts::FeatureCube::day_slice_into`] and
+    /// [`acobe_features::cert::DayExtractor::ingest_day`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::OutOfOrder`] when `date` is not the expected
+    /// next day and [`AcobeError::WidthMismatch`] for a wrong-length slice;
+    /// the engine state is unchanged on error.
+    pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        self.absorb_day(date, measurements)?;
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(())
+    }
+
+    /// Ingests one day of measurements and, once trained, scores it.
+    ///
+    /// Returns `None` before training; after training, the per-aspect,
+    /// per-user (calibrated) anomaly scores for `date`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DetectionEngine::warm_day`].
+    pub fn ingest_day(
+        &mut self,
+        date: Date,
+        measurements: &[f32],
+    ) -> Result<Option<DayScores>, AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        self.absorb_day(date, measurements)?;
+        let out = if self.models.is_empty() {
+            None
+        } else {
+            let mut scores = Vec::with_capacity(self.models.len());
+            for aspect in 0..self.models.len() {
+                let mut errs = self.raw_day_scores(aspect);
+                if self.config.calibrate && !self.baselines.is_empty() {
+                    for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
+                        *e /= b;
+                    }
+                }
+                scores.push(errs);
+            }
+            acobe_obs::counter("engine/rows_scored")
+                .add((self.users * self.models.len()) as u64);
+            let day = DayScores { date, scores };
+            self.score_history.push(day.clone());
+            if self.score_history.len() > SCORE_HISTORY_DAYS {
+                self.score_history.remove(0);
+            }
+            Some(day)
+        };
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(out)
+    }
+
+    /// Builds the model-input row for `user` in `aspect`, for the most
+    /// recently ingested day — the streaming equivalent of the batch matrix
+    /// builder ([`crate::matrix::build_row`]), reading the pre-weighted day
+    /// ring instead of a whole-span cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aspect` or `user` is out of range.
+    pub fn input_row(&self, aspect: usize, user: usize) -> Vec<f32> {
+        let features = &self.feature_set.aspects[aspect].features;
+        let mut row = Vec::with_capacity(self.input_dim(aspect));
+        match self.config.representation {
+            Representation::Deviation => {
+                self.append_ring_block(&self.user_ring, user, features, &mut row);
+                if let Some(gring) = &self.group_ring {
+                    self.append_ring_block(gring, self.user_group[user], features, &mut row);
+                }
+            }
+            Representation::SingleDayCounts => {
+                self.append_counts_block(&self.user_ring, user, features, &mut row);
+                if let Some(gring) = &self.group_ring {
+                    self.append_counts_block(gring, self.user_group[user], features, &mut row);
+                }
+            }
+        }
+        row
+    }
+
+    /// One matrix block from a deviation ring: for each `(feature, frame)`,
+    /// the `D` days oldest-first, mapped `[-Δ, Δ] → [0, 1]` — the exact
+    /// layout and arithmetic of the batch `append_block`.
+    fn append_ring_block(
+        &self,
+        ring: &DayRing,
+        entity: usize,
+        features: &[usize],
+        row: &mut Vec<f32>,
+    ) {
+        let (frames, n_features) = (self.frames, self.feature_set.len());
+        let delta = self.config.matrix.delta;
+        let two_delta = 2.0 * delta;
+        for &f in features {
+            for t in 0..frames {
+                for offset in (0..self.config.matrix.matrix_days).rev() {
+                    let value = ring
+                        .offset(offset)
+                        .map(|day| day[(entity * frames + t) * n_features + f])
+                        .unwrap_or(0.0);
+                    row.push((value + delta) / two_delta);
+                }
+            }
+        }
+    }
+
+    /// One single-day block: today's raw counts squashed `c / (1 + c)`.
+    fn append_counts_block(
+        &self,
+        ring: &DayRing,
+        entity: usize,
+        features: &[usize],
+        row: &mut Vec<f32>,
+    ) {
+        let (frames, n_features) = (self.frames, self.feature_set.len());
+        let today = ring.offset(0);
+        for &f in features {
+            for t in 0..frames {
+                let c = today.map(|day| day[(entity * frames + t) * n_features + f]).unwrap_or(0.0);
+                row.push(c / (1.0 + c));
+            }
+        }
+    }
+
+    /// Raw (uncalibrated) per-user reconstruction errors for the most
+    /// recently ingested day — shared by scoring and baseline calibration.
+    pub(crate) fn raw_day_scores(&mut self, aspect: usize) -> Vec<f32> {
+        let dim = self.input_dim(aspect);
+        let mut batch = Matrix::zeros(self.users, dim);
+        for u in 0..self.users {
+            batch.row_mut(u).copy_from_slice(&self.input_row(aspect, u));
+        }
+        self.models[aspect].reconstruction_errors(&batch)
+    }
+
+    pub(crate) fn set_models(&mut self, models: Vec<Autoencoder>) {
+        self.models = models;
+    }
+
+    pub(crate) fn clear_models(&mut self) {
+        self.models.clear();
+        self.baselines.clear();
+    }
+
+    pub(crate) fn set_baselines(&mut self, baselines: Vec<Vec<f32>>) {
+        self.baselines = baselines;
+    }
+
+    /// Per-aspect, per-user calibration baselines (empty until calibrated).
+    pub fn baselines(&self) -> &[Vec<f32>] {
+        &self.baselines
+    }
+
+    /// The retained recent daily scores, oldest first (at most
+    /// `SCORE_HISTORY_DAYS` entries survive; a checkpoint carries them so a
+    /// resumed stream keeps its trailing-mean context).
+    pub fn recent_scores(&self) -> &[DayScores] {
+        &self.score_history
+    }
+
+    /// The critic's investigation list for the most recent scored day,
+    /// ranking users by the trailing `window`-day mean of their scores —
+    /// identical to
+    /// [`ScoreTable::daily_investigation_smoothed`](crate::pipeline::ScoreTable::daily_investigation_smoothed)
+    /// over the same days. Empty before the first scored day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, or if `n` is invalid once scores exist.
+    pub fn daily_investigation(&self, n: usize, window: usize) -> Vec<Investigation> {
+        assert!(window > 0, "window must be positive");
+        if self.score_history.is_empty() {
+            return Vec::new();
+        }
+        let _span = acobe_obs::span!("critic");
+        let len = self.score_history.len().min(window);
+        let tail = &self.score_history[self.score_history.len() - len..];
+        let aspects = tail[0].scores.len();
+        let per_aspect: Vec<Vec<f32>> = (0..aspects)
+            .map(|a| {
+                (0..self.users)
+                    .map(|u| tail.iter().map(|d| d.scores[a][u]).sum::<f32>() / len as f32)
+                    .collect()
+            })
+            .collect();
+        investigate_from_scores(&per_aspect, n)
+    }
+
+    /// Snapshots the full engine state — temporal state, models (including
+    /// BatchNorm running statistics), and baselines — into a serializable
+    /// checkpoint.
+    pub fn snapshot(&mut self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config.clone(),
+            feature_set: self.feature_set.clone(),
+            groups: self.groups.clone(),
+            user_group: self.user_group.clone(),
+            users: self.users,
+            frames: self.frames,
+            start: self.start,
+            next_date: self.next_date,
+            user_rolling: self.user_rolling.clone(),
+            group_rolling: self.group_rolling.clone(),
+            user_ring: self.user_ring.clone(),
+            group_ring: self.group_ring.clone(),
+            models: self.models.iter_mut().map(snapshot_model).collect(),
+            baselines: self.baselines.clone(),
+            score_history: self.score_history.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint. The restored engine continues
+    /// the stream at the checkpointed day and produces bit-identical scores
+    /// from there on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Config`] for an unsupported checkpoint version
+    /// and [`AcobeError::Model`] when a model snapshot does not fit its
+    /// declared architecture.
+    pub fn restore(checkpoint: EngineCheckpoint) -> Result<Self, AcobeError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(AcobeError::Config(format!(
+                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                checkpoint.version
+            )));
+        }
+        let models = checkpoint
+            .models
+            .iter()
+            .map(restore_model)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DetectionEngine {
+            config: checkpoint.config,
+            feature_set: checkpoint.feature_set,
+            groups: checkpoint.groups,
+            user_group: checkpoint.user_group,
+            users: checkpoint.users,
+            frames: checkpoint.frames,
+            start: checkpoint.start,
+            next_date: checkpoint.next_date,
+            user_rolling: checkpoint.user_rolling,
+            group_rolling: checkpoint.group_rolling,
+            user_ring: checkpoint.user_ring,
+            group_ring: checkpoint.group_ring,
+            models,
+            baselines: checkpoint.baselines,
+            score_history: checkpoint.score_history,
+        })
+    }
+
+    /// Saves a checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] for serialization failures.
+    pub fn save<P: AsRef<Path>>(&mut self, path: P) -> Result<(), AcobeError> {
+        let json = serde_json::to_string(&self.snapshot())?;
+        std::fs::write(&path, json).map_err(|source| AcobeError::Io {
+            path: path.as_ref().display().to_string(),
+            source,
+        })
+    }
+
+    /// Loads a checkpoint saved by [`DetectionEngine::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures,
+    /// [`AcobeError::Checkpoint`] for malformed JSON, and the
+    /// [`DetectionEngine::restore`] errors.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, AcobeError> {
+        let json = std::fs::read_to_string(&path).map_err(|source| AcobeError::Io {
+            path: path.as_ref().display().to_string(),
+            source,
+        })?;
+        let checkpoint: EngineCheckpoint = serde_json::from_str(&json)?;
+        Self::restore(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_features::spec::AspectSpec;
+
+    fn feature_set() -> FeatureSet {
+        FeatureSet {
+            names: vec!["a".into(), "b".into()],
+            aspects: vec![AspectSpec { name: "all".into(), features: vec![0, 1] }],
+        }
+    }
+
+    fn engine(users: usize) -> DetectionEngine {
+        let cfg = AcobeConfig::tiny().without_group().with_critic_n(1);
+        DetectionEngine::new(users, 2, Date::from_ymd(2010, 1, 1), feature_set(), &[], cfg)
+            .unwrap()
+    }
+
+    #[test]
+    fn day_ring_offsets() {
+        let mut ring = DayRing::new(3);
+        assert!(ring.offset(0).is_none());
+        ring.push(vec![1.0]);
+        ring.push(vec![2.0]);
+        assert_eq!(ring.offset(0).unwrap(), &[2.0]);
+        assert_eq!(ring.offset(1).unwrap(), &[1.0]);
+        assert!(ring.offset(2).is_none());
+        ring.push(vec![3.0]);
+        ring.push(vec![4.0]); // evicts 1.0
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.offset(0).unwrap(), &[4.0]);
+        assert_eq!(ring.offset(2).unwrap(), &[2.0]);
+        assert!(ring.offset(3).is_none());
+    }
+
+    #[test]
+    fn out_of_order_and_width_are_typed_errors() {
+        let mut e = engine(2);
+        let start = e.start();
+        let day = vec![0.0; e.day_width()];
+        let err = e.warm_day(start.add_days(1), &day).unwrap_err();
+        assert!(matches!(err, AcobeError::OutOfOrder { .. }), "{err:?}");
+        assert!(err.to_string().contains("days must be ingested in order"));
+        let err = e.warm_day(start, &[0.0; 3]).unwrap_err();
+        assert!(matches!(err, AcobeError::WidthMismatch { .. }), "{err:?}");
+        // Errors leave the stream position unchanged.
+        assert_eq!(e.next_date(), start);
+        e.warm_day(start, &day).unwrap();
+        assert_eq!(e.days_ingested(), 1);
+    }
+
+    #[test]
+    fn untrained_engine_scores_nothing() {
+        let mut e = engine(2);
+        let day = vec![1.0; e.day_width()];
+        let out = e.ingest_day(e.start(), &day).unwrap();
+        assert!(out.is_none());
+        assert!(!e.is_trained());
+        assert!(e.daily_investigation(1, 3).is_empty());
+    }
+
+    #[test]
+    fn reset_rewinds_the_stream() {
+        let mut e = engine(2);
+        let day = vec![1.0; e.day_width()];
+        for i in 0..5 {
+            e.warm_day(e.start().add_days(i), &day).unwrap();
+        }
+        assert_eq!(e.days_ingested(), 5);
+        e.reset_stream();
+        assert_eq!(e.days_ingested(), 0);
+        assert_eq!(e.next_date(), e.start());
+        e.warm_day(e.start(), &day).unwrap();
+    }
+
+    #[test]
+    fn state_bytes_grows_with_history() {
+        let mut e = engine(4);
+        let empty = e.state_bytes();
+        let day = vec![1.0; e.day_width()];
+        for i in 0..3 {
+            e.warm_day(e.start().add_days(i), &day).unwrap();
+        }
+        assert!(e.state_bytes() > empty, "{} vs {empty}", e.state_bytes());
+    }
+
+    #[test]
+    fn untrained_checkpoint_roundtrip_is_bit_exact() {
+        // Warm an engine, snapshot to JSON, restore, and verify that both
+        // copies emit identical matrix rows for subsequent days.
+        let mut a = engine(3);
+        let width = a.day_width();
+        for i in 0..10 {
+            let day: Vec<f32> = (0..width).map(|j| ((i * 31 + j as i32) % 7) as f32).collect();
+            a.warm_day(a.start().add_days(i), &day).unwrap();
+        }
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        let mut b = DetectionEngine::restore(serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(b.next_date(), a.next_date());
+        for i in 10..15 {
+            let day: Vec<f32> = (0..width).map(|j| ((i * 13 + j as i32) % 5) as f32).collect();
+            a.warm_day(a.start().add_days(i), &day).unwrap();
+            b.warm_day(b.start().add_days(i), &day).unwrap();
+            for u in 0..3 {
+                assert_eq!(a.input_row(0, u), b.input_row(0, u), "day {i} user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_checkpoint_version_rejected() {
+        let mut e = engine(1);
+        let mut cp = e.snapshot();
+        cp.version = 999;
+        let err = DetectionEngine::restore(cp).unwrap_err();
+        assert!(err.to_string().contains("checkpoint version"), "{err}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Typed errors for the detection engine and pipeline.
+//!
+//! The incremental engine has a resumable lifecycle — construction,
+//! day-by-day ingestion, checkpoint/restore — and each stage can fail for a
+//! different, programmatically distinguishable reason. [`AcobeError`] replaces
+//! the crate's former `Result<_, String>` plumbing with one source-chaining
+//! enum: callers can match on the variant ("is this retryable?") while
+//! `Display` keeps the old human-readable messages.
+
+use acobe_logs::time::Date;
+use std::fmt;
+
+/// Everything that can go wrong in `acobe-core`.
+#[derive(Debug)]
+pub enum AcobeError {
+    /// Invalid configuration (window sizes, architecture, groups, aspects).
+    Config(String),
+    /// Invalid date range for training or scoring.
+    Range(String),
+    /// Scoring was requested before [`crate::pipeline::AcobePipeline::fit`]
+    /// (or before a trained checkpoint was restored).
+    NotTrained,
+    /// A day of measurements had the wrong flattened width.
+    WidthMismatch {
+        /// Number of values the engine expects (`entities × frames ×
+        /// features`).
+        expected: usize,
+        /// Number of values received.
+        found: usize,
+    },
+    /// Days must be ingested consecutively; a gap or repeat was detected.
+    OutOfOrder {
+        /// The day the engine expected next.
+        expected: Date,
+        /// The day that was actually offered.
+        got: Date,
+    },
+    /// A checkpoint file could not be read or written.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A checkpoint could not be encoded or decoded.
+    Checkpoint(serde_json::Error),
+    /// A model snapshot inside a checkpoint was inconsistent.
+    Model(acobe_nn::serialize::LoadError),
+    /// Raw logs could not be parsed.
+    Logs(acobe_logs::csv::ParseCsvError),
+    /// Per-day feature extraction failed.
+    Extract(acobe_features::cert::ExtractError),
+}
+
+impl fmt::Display for AcobeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcobeError::Config(msg) | AcobeError::Range(msg) => f.write_str(msg),
+            AcobeError::NotTrained => f.write_str("pipeline is not trained"),
+            AcobeError::WidthMismatch { expected, found } => write!(
+                f,
+                "measurement width mismatch: expected {expected} values, found {found}"
+            ),
+            AcobeError::OutOfOrder { expected, got } => write!(
+                f,
+                "days must be ingested in order: expected {expected}, got {got}"
+            ),
+            AcobeError::Io { path, source } => write!(f, "{path}: {source}"),
+            AcobeError::Checkpoint(e) => write!(f, "checkpoint encoding: {e}"),
+            AcobeError::Model(e) => write!(f, "model snapshot: {e}"),
+            AcobeError::Logs(e) => write!(f, "log parsing: {e}"),
+            AcobeError::Extract(e) => write!(f, "feature extraction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcobeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcobeError::Io { source, .. } => Some(source),
+            AcobeError::Checkpoint(e) => Some(e),
+            AcobeError::Model(e) => Some(e),
+            AcobeError::Logs(e) => Some(e),
+            AcobeError::Extract(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for AcobeError {
+    fn from(e: serde_json::Error) -> Self {
+        AcobeError::Checkpoint(e)
+    }
+}
+
+impl From<acobe_nn::serialize::LoadError> for AcobeError {
+    fn from(e: acobe_nn::serialize::LoadError) -> Self {
+        AcobeError::Model(e)
+    }
+}
+
+impl From<acobe_logs::csv::ParseCsvError> for AcobeError {
+    fn from(e: acobe_logs::csv::ParseCsvError) -> Self {
+        AcobeError::Logs(e)
+    }
+}
+
+impl From<acobe_features::cert::ExtractError> for AcobeError {
+    fn from(e: acobe_features::cert::ExtractError) -> Self {
+        AcobeError::Extract(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn messages_keep_legacy_text() {
+        assert_eq!(AcobeError::NotTrained.to_string(), "pipeline is not trained");
+        assert_eq!(
+            AcobeError::Config("critic_n must be at least 1".into()).to_string(),
+            "critic_n must be at least 1"
+        );
+        let e = AcobeError::WidthMismatch { expected: 8, found: 3 };
+        assert!(e.to_string().contains("measurement width mismatch"));
+        let e = AcobeError::OutOfOrder {
+            expected: Date::from_ymd(2010, 1, 2),
+            got: Date::from_ymd(2010, 1, 5),
+        };
+        assert!(e.to_string().contains("2010-01-02"));
+        assert!(e.to_string().contains("days must be ingested in order"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = AcobeError::Io { path: "ckpt.json".into(), source: io };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("ckpt.json"));
+        assert!(AcobeError::NotTrained.source().is_none());
+    }
+}

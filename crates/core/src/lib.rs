@@ -8,8 +8,10 @@
 //!   history, with TF-style feature weights (Section IV-A),
 //! * [`matrix`] — compound behavioral deviation matrices stacking individual
 //!   and group behavior over `D` days × time frames (Figure 2),
+//! * [`engine`] — the incremental day-at-a-time detection core
+//!   ([`engine::DetectionEngine`]) with checkpoint/restore,
 //! * [`pipeline`] — the autoencoder-ensemble detector
-//!   ([`pipeline::AcobePipeline`], Figure 1),
+//!   ([`pipeline::AcobePipeline`], Figure 1), a batch driver over the engine,
 //! * [`critic`] — the investigation-list critic (Algorithm 1),
 //! * [`config`] — presets for the paper's configuration and its ablations
 //!   (No-Group, 1-Day, All-in-1, Baseline style).
@@ -23,7 +25,7 @@
 //! use acobe_features::spec::cert_feature_set;
 //! use acobe_synth::cert::{CertConfig, CertGenerator};
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> Result<(), acobe::error::AcobeError> {
 //! let mut gen = CertGenerator::new(CertConfig::small(7));
 //! let store = gen.build_store();
 //! let cfg = gen.config().clone();
@@ -48,6 +50,8 @@
 pub mod config;
 pub mod critic;
 pub mod deviation;
+pub mod engine;
+pub mod error;
 pub mod matrix;
 pub mod pipeline;
 pub mod streaming;
@@ -56,6 +60,8 @@ pub mod waveform;
 pub use config::{AcobeConfig, OptimizerKind, Representation};
 pub use critic::{investigation_list, investigate_from_scores, Investigation};
 pub use deviation::{compute_deviations, group_average_cube, DeviationConfig, DeviationCube};
+pub use engine::{DayScores, DetectionEngine, EngineCheckpoint};
+pub use error::AcobeError;
 pub use matrix::{build_row, MatrixConfig};
 pub use pipeline::{AcobePipeline, ScoreTable};
 pub use streaming::{DayDeviations, RollingDeviation};

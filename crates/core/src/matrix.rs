@@ -12,6 +12,7 @@
 //! stackings are applicable) as long as it is stable.
 
 use crate::deviation::DeviationCube;
+use crate::error::AcobeError;
 use serde::{Deserialize, Serialize};
 
 /// Matrix-construction options.
@@ -32,13 +33,13 @@ impl MatrixConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when `matrix_days == 0` or `delta <= 0`.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`AcobeError::Config`] when `matrix_days == 0` or `delta <= 0`.
+    pub fn validate(&self) -> Result<(), AcobeError> {
         if self.matrix_days == 0 {
-            return Err("matrix_days must be positive".into());
+            return Err(AcobeError::Config("matrix_days must be positive".into()));
         }
         if self.delta <= 0.0 {
-            return Err("delta must be positive".into());
+            return Err(AcobeError::Config("delta must be positive".into()));
         }
         Ok(())
     }

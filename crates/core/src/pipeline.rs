@@ -1,11 +1,17 @@
 //! The end-to-end ACOBE pipeline (paper Figure 1): measurements → compound
 //! behavioral deviation matrices → autoencoder ensemble → anomaly scores →
 //! ordered investigation list.
+//!
+//! Since PR 3 the pipeline is a thin *batch driver* over the incremental
+//! [`DetectionEngine`](crate::engine::DetectionEngine): training, calibration
+//! and scoring all replay cube days through the engine one at a time, so the
+//! batch and streaming paths are a single scoring code path and agree bit for
+//! bit (DESIGN.md §7).
 
 use crate::config::{AcobeConfig, OptimizerKind, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
-use crate::deviation::{compute_deviations, group_average_cube, DeviationCube};
-use crate::matrix::build_row;
+use crate::engine::DetectionEngine;
+use crate::error::AcobeError;
 use acobe_features::counts::FeatureCube;
 use acobe_features::spec::FeatureSet;
 use acobe_logs::time::Date;
@@ -210,23 +216,20 @@ impl ProgressObserver for EpochTelemetry<'_> {
 /// The ACOBE detector: an ensemble of per-aspect autoencoders over compound
 /// behavioral deviation matrices.
 ///
+/// A pipeline couples a measurement [`FeatureCube`] with a
+/// [`DetectionEngine`]; every operation replays cube days through the engine,
+/// so batch results match a day-at-a-time streaming deployment exactly. Use
+/// [`AcobePipeline::into_engine`] to take the trained engine into a streaming
+/// deployment.
+///
 /// # Examples
 ///
 /// See `examples/quickstart.rs` for an end-to-end run; unit tests below for a
 /// minimal in-memory flow.
 #[derive(Debug)]
 pub struct AcobePipeline {
-    config: AcobeConfig,
-    feature_set: FeatureSet,
-    user_group: Vec<usize>,
     counts: FeatureCube,
-    group_counts: Option<FeatureCube>,
-    user_dev: Option<DeviationCube>,
-    group_dev: Option<DeviationCube>,
-    models: Vec<Autoencoder>,
-    /// Per-aspect, per-user baseline reconstruction error from the tail of
-    /// the training window (used when `config.calibrate`).
-    baselines: Vec<Vec<f32>>,
+    engine: DetectionEngine,
 }
 
 impl AcobePipeline {
@@ -238,209 +241,173 @@ impl AcobePipeline {
     ///
     /// # Errors
     ///
-    /// Returns a message for invalid configuration, feature indices outside
-    /// the cube, or users without a group.
+    /// Returns [`AcobeError::Config`] for invalid configuration, feature
+    /// indices outside the cube, or users without a group.
     pub fn new(
         counts: FeatureCube,
         feature_set: FeatureSet,
         groups: &[Vec<usize>],
         config: AcobeConfig,
-    ) -> Result<Self, String> {
-        config.validate()?;
+    ) -> Result<Self, AcobeError> {
         if feature_set.len() != counts.features() {
-            return Err(format!(
+            return Err(AcobeError::Config(format!(
                 "feature set has {} features but cube has {}",
                 feature_set.len(),
                 counts.features()
-            ));
+            )));
         }
-        for aspect in &feature_set.aspects {
-            if aspect.features.iter().any(|&f| f >= counts.features()) {
-                return Err(format!("aspect {} has out-of-range features", aspect.name));
-            }
-        }
-        if config.critic_n > feature_set.aspects.len() {
-            return Err(format!(
-                "critic_n {} exceeds {} aspects",
-                config.critic_n,
-                feature_set.aspects.len()
-            ));
-        }
-
-        let mut user_group = vec![usize::MAX; counts.users()];
-        for (g, members) in groups.iter().enumerate() {
-            for &u in members {
-                if u >= counts.users() {
-                    return Err(format!("group {g} contains unknown user {u}"));
-                }
-                user_group[u] = g;
-            }
-        }
-        if config.matrix.include_group {
-            if groups.is_empty() {
-                return Err("group behavior requires non-empty groups".into());
-            }
-            if let Some(u) = user_group.iter().position(|&g| g == usize::MAX) {
-                return Err(format!("user {u} belongs to no group"));
-            }
-        }
+        let engine = DetectionEngine::new(
+            counts.users(),
+            counts.frames(),
+            counts.start(),
+            feature_set,
+            groups,
+            config,
+        )?;
 
         acobe_obs::gauge("pipeline/users").set(counts.users() as f64);
         acobe_obs::gauge("pipeline/days").set(counts.days() as f64);
-        acobe_obs::gauge("pipeline/aspects").set(feature_set.aspects.len() as f64);
+        acobe_obs::gauge("pipeline/aspects").set(engine.feature_set().aspects.len() as f64);
 
-        let needs_dev = config.representation == Representation::Deviation;
-        let needs_group = config.matrix.include_group;
-        let _span = acobe_obs::span!("deviation");
-        let group_counts = if needs_group {
-            Some(group_average_cube(&counts, groups))
-        } else {
-            None
-        };
-        let user_dev = needs_dev.then(|| compute_deviations(&counts, &config.deviation));
-        let group_dev = match (&group_counts, needs_dev) {
-            (Some(gc), true) => Some(compute_deviations(gc, &config.deviation)),
-            _ => None,
-        };
-        drop(_span);
-
-        Ok(AcobePipeline {
-            config,
-            feature_set,
-            user_group,
-            counts,
-            group_counts,
-            user_dev,
-            group_dev,
-            models: Vec::new(),
-            baselines: Vec::new(),
-        })
+        Ok(AcobePipeline { counts, engine })
     }
 
     /// The configuration.
     pub fn config(&self) -> &AcobeConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The feature catalog / aspect partition.
     pub fn feature_set(&self) -> &FeatureSet {
-        &self.feature_set
+        self.engine.feature_set()
+    }
+
+    /// The underlying incremental engine.
+    pub fn engine(&self) -> &DetectionEngine {
+        &self.engine
+    }
+
+    /// Consumes the pipeline, returning the (trained) engine for a streaming
+    /// deployment. Call
+    /// [`DetectionEngine::reset_stream`](crate::engine::DetectionEngine::reset_stream)
+    /// before replaying a log stream from its first day.
+    pub fn into_engine(self) -> DetectionEngine {
+        self.engine
     }
 
     /// Flattened input width for an aspect.
     pub fn input_dim(&self, aspect: usize) -> usize {
-        self.config
-            .matrix
-            .input_dim(self.feature_set.aspects[aspect].features.len(), self.counts.frames())
+        self.engine.input_dim(aspect)
     }
 
-    /// Builds the model-input row for `(user, day_index)` in an aspect.
-    ///
-    /// # Panics
-    ///
-    /// Panics if indices are out of range.
-    pub fn build_input_row(&self, aspect: usize, user: usize, day: usize) -> Vec<f32> {
-        let features = &self.feature_set.aspects[aspect].features;
-        match self.config.representation {
-            Representation::Deviation => build_row(
-                self.user_dev.as_ref().expect("deviation cube"),
-                self.group_dev.as_ref(),
-                user,
-                self.user_group[user],
-                day,
-                features,
-                &self.config.matrix,
-            ),
-            Representation::SingleDayCounts => {
-                let frames = self.counts.frames();
-                let mut row =
-                    Vec::with_capacity(self.config.matrix.input_dim(features.len(), frames));
-                for &f in features {
-                    for t in 0..frames {
-                        let c = self.counts.get_by_index(user, day, t, f);
-                        row.push(c / (1.0 + c));
-                    }
-                }
-                if let Some(gc) = &self.group_counts {
-                    let g = self.user_group[user];
-                    for &f in features {
-                        for t in 0..frames {
-                            let c = gc.get_by_index(g, day, t, f);
-                            row.push(c / (1.0 + c));
-                        }
-                    }
-                }
-                row
-            }
+    /// Replays cube days `[0, end_idx)` through a freshly reset engine,
+    /// invoking `visit(day_index)` after each day is absorbed.
+    fn replay<F: FnMut(&mut DetectionEngine, usize) -> Result<(), AcobeError>>(
+        &mut self,
+        end_idx: usize,
+        mut visit: F,
+    ) -> Result<(), AcobeError> {
+        self.engine.reset_stream();
+        let mut day_buf = vec![0.0f32; self.counts.day_slice_len()];
+        for d in 0..end_idx {
+            self.counts.day_slice_into(d, &mut day_buf);
+            let date = self.counts.start().add_days(d as i32);
+            self.engine.warm_day(date, &day_buf)?;
+            visit(&mut self.engine, d)?;
         }
+        Ok(())
     }
 
     /// Trains one autoencoder per aspect on `(user, day)` samples from
     /// `[train_start, train_end)`, sampling down to `max_train_samples`.
     ///
+    /// The training matrices are gathered by replaying days through the
+    /// engine — the same incremental path that scores a stream.
+    ///
     /// # Errors
     ///
-    /// Returns a message when the range is outside the cube or leaves no
-    /// eligible training days after deviation warm-up.
-    pub fn fit(&mut self, train_start: Date, train_end: Date) -> Result<Vec<TrainReport>, String> {
+    /// Returns [`AcobeError::Range`] when the range is outside the cube or
+    /// leaves no eligible training days after deviation warm-up.
+    pub fn fit(
+        &mut self,
+        train_start: Date,
+        train_end: Date,
+    ) -> Result<Vec<TrainReport>, AcobeError> {
         let start_idx = self
             .counts
             .day_index(train_start)
-            .ok_or("train_start outside cube")?;
+            .ok_or_else(|| AcobeError::Range("train_start outside cube".into()))?;
         let end_idx = train_end.days_since(self.counts.start());
         if end_idx <= start_idx as i32 || end_idx as usize > self.counts.days() {
-            return Err("invalid training range".into());
+            return Err(AcobeError::Range("invalid training range".into()));
         }
-        let warmup = match self.config.representation {
-            Representation::Deviation => self.config.deviation.min_history,
+        let config = self.engine.config().clone();
+        let warmup = match config.representation {
+            Representation::Deviation => config.deviation.min_history,
             Representation::SingleDayCounts => 0,
         };
         let first = start_idx.max(warmup);
         let end_idx = end_idx as usize;
         if first >= end_idx {
-            return Err("no training days after deviation warm-up".into());
+            return Err(AcobeError::Range("no training days after deviation warm-up".into()));
         }
 
         // Deterministic (user, day) sampling shared across aspects.
         let mut samples: Vec<(usize, usize)> = (0..self.counts.users())
             .flat_map(|u| (first..end_idx).map(move |d| (u, d)))
             .collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5a5a);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5a5a);
         samples.shuffle(&mut rng);
-        samples.truncate(self.config.max_train_samples);
+        samples.truncate(config.max_train_samples);
 
         acobe_obs::counter("pipeline/train_samples").add(samples.len() as u64);
 
-        // Build every aspect's training matrix first (row construction
-        // borrows `self`), then train the ensemble — concurrently when
-        // configured. Per-aspect seeds make the two paths bit-identical.
-        self.models.clear();
-        self.baselines.clear();
-        let mut prepared = Vec::with_capacity(self.feature_set.aspects.len());
-        for aspect in 0..self.feature_set.aspects.len() {
-            let aspect_name = self.feature_set.aspects[aspect].name.clone();
-            let dim = self.input_dim(aspect);
-            let mut data = Matrix::zeros(samples.len(), dim);
-            {
-                let _span = acobe_obs::span!("matrix", aspect = aspect_name);
-                for (i, &(u, d)) in samples.iter().enumerate() {
-                    let row = self.build_input_row(aspect, u, d);
-                    data.row_mut(i).copy_from_slice(&row);
-                }
-                acobe_obs::counter("pipeline/matrix_rows").add(samples.len() as u64);
-            }
-            let ae_config = AutoencoderConfig {
-                input_dim: dim,
-                encoder_dims: self.config.encoder_dims.clone(),
-                batch_norm: true,
-                output_activation: OutputActivationKind::Relu,
-                seed: self.config.seed.wrapping_add(aspect as u64),
-            };
-            prepared.push((aspect_name, data, ae_config));
+        // Bucket samples by day: the replay visits each day once and fills
+        // every aspect's rows for that day at their original sample index,
+        // so the training matrices are identical to the pre-refactor batch
+        // assembly (row content *and* row order).
+        let mut by_day: Vec<Vec<(usize, usize)>> = vec![Vec::new(); end_idx];
+        for (i, &(u, d)) in samples.iter().enumerate() {
+            by_day[d].push((i, u));
         }
 
-        let train_cfg = &self.config.train;
-        let optimizer_kind = self.config.optimizer;
+        let aspects = self.engine.feature_set().aspects.len();
+        let mut prepared: Vec<(String, Matrix, AutoencoderConfig)> = (0..aspects)
+            .map(|aspect| {
+                let name = self.engine.feature_set().aspects[aspect].name.clone();
+                let dim = self.engine.input_dim(aspect);
+                let ae_config = AutoencoderConfig {
+                    input_dim: dim,
+                    encoder_dims: config.encoder_dims.clone(),
+                    batch_norm: true,
+                    output_activation: OutputActivationKind::Relu,
+                    seed: config.seed.wrapping_add(aspect as u64),
+                };
+                (name, Matrix::zeros(samples.len(), dim), ae_config)
+            })
+            .collect();
+
+        self.engine.clear_models();
+        {
+            let by_day = &by_day;
+            let prepared = &mut prepared;
+            self.replay(end_idx, |engine, d| {
+                for (aspect, (name, data, _)) in prepared.iter_mut().enumerate() {
+                    if by_day[d].is_empty() {
+                        continue;
+                    }
+                    let _span = acobe_obs::span!("matrix", aspect = name);
+                    for &(i, u) in &by_day[d] {
+                        data.row_mut(i).copy_from_slice(&engine.input_row(aspect, u));
+                    }
+                    acobe_obs::counter("pipeline/matrix_rows").add(by_day[d].len() as u64);
+                }
+                Ok(())
+            })?;
+        }
+
+        let train_cfg = &config.train;
+        let optimizer_kind = config.optimizer;
         let train_one = |aspect_name: &str, data: &Matrix, ae_config: AutoencoderConfig| {
             let mut ae = Autoencoder::new(ae_config);
             let mut optimizer = make_optimizer(optimizer_kind);
@@ -459,7 +426,7 @@ impl AcobePipeline {
         };
 
         let trained: Vec<(Autoencoder, TrainReport)> =
-            if self.config.parallel_train && prepared.len() > 1 {
+            if config.parallel_train && prepared.len() > 1 {
                 std::thread::scope(|s| {
                     let handles: Vec<_> = prepared
                         .iter()
@@ -478,28 +445,41 @@ impl AcobePipeline {
                     .collect()
             };
 
+        let mut models = Vec::with_capacity(trained.len());
         let mut reports = Vec::with_capacity(trained.len());
         for (ae, report) in trained {
-            self.models.push(ae);
+            models.push(ae);
             reports.push(report);
         }
+        self.engine.set_models(models);
 
-        if self.config.calibrate {
+        if config.calibrate {
             let _span = acobe_obs::span!("calibrate");
-            // Per-user baseline error over the last days of training.
+            // Per-user baseline error over the last days of training,
+            // gathered by replaying the same days through the now-trained
+            // engine.
             let cal_days = 30.min(end_idx - first);
             let cal_start = end_idx - cal_days;
             let users = self.counts.users();
-            for aspect in 0..self.models.len() {
-                let mut sums = vec![0.0f64; users];
-                for day in cal_start..end_idx {
-                    let errs = self.score_day_raw(aspect, day);
-                    for (s, e) in sums.iter_mut().zip(errs) {
-                        *s += e as f64;
+            let mut sums = vec![vec![0.0f64; users]; aspects];
+            {
+                let sums = &mut sums;
+                self.replay(end_idx, |engine, d| {
+                    if d >= cal_start {
+                        for (aspect, aspect_sums) in sums.iter_mut().enumerate() {
+                            let errs = engine.raw_day_scores(aspect);
+                            for (s, e) in aspect_sums.iter_mut().zip(errs) {
+                                *s += e as f64;
+                            }
+                        }
                     }
-                }
+                    Ok(())
+                })?;
+            }
+            let mut baselines = Vec::with_capacity(aspects);
+            for aspect_sums in &sums {
                 let mut baseline: Vec<f32> =
-                    sums.iter().map(|&s| (s / cal_days as f64) as f32).collect();
+                    aspect_sums.iter().map(|&s| (s / cal_days as f64) as f32).collect();
                 // Floor at a tenth of the aspect median so near-zero
                 // baselines cannot explode ratios.
                 let mut sorted = baseline.clone();
@@ -508,69 +488,69 @@ impl AcobePipeline {
                 for b in &mut baseline {
                     *b = b.max(median * 0.1);
                 }
-                self.baselines.push(baseline);
+                baselines.push(baseline);
             }
+            self.engine.set_baselines(baselines);
         }
         Ok(reports)
     }
 
-    /// Raw (uncalibrated) per-user reconstruction errors for one day.
-    ///
-    /// Hot path shared by scoring and calibration; spans live in the
-    /// callers so per-day guards do not pile up.
-    fn score_day_raw(&mut self, aspect: usize, day: usize) -> Vec<f32> {
-        let users = self.counts.users();
-        let dim = self.input_dim(aspect);
-        let mut batch = Matrix::zeros(users, dim);
-        for u in 0..users {
-            let row = self.build_input_row(aspect, u, day);
-            batch.row_mut(u).copy_from_slice(&row);
-        }
-        self.models[aspect].reconstruction_errors(&batch)
-    }
-
     /// True once [`AcobePipeline::fit`] has run.
     pub fn is_trained(&self) -> bool {
-        !self.models.is_empty()
+        self.engine.is_trained()
     }
 
-    /// Scores every user on every day of `[start, end)`.
+    /// Scores every user on every day of `[start, end)` by replaying the
+    /// cube through the engine: warm-up days up to `start`, then one scored
+    /// ingest per day.
     ///
     /// # Errors
     ///
-    /// Returns a message when called before [`AcobePipeline::fit`] or with a
-    /// range outside the cube.
-    pub fn score_range(&mut self, start: Date, end: Date) -> Result<ScoreTable, String> {
-        if self.models.is_empty() {
-            return Err("pipeline is not trained".into());
+    /// Returns [`AcobeError::NotTrained`] before [`AcobePipeline::fit`] and
+    /// [`AcobeError::Range`] for a range outside the cube.
+    pub fn score_range(&mut self, start: Date, end: Date) -> Result<ScoreTable, AcobeError> {
+        if !self.engine.is_trained() {
+            return Err(AcobeError::NotTrained);
         }
-        let start_idx = self.counts.day_index(start).ok_or("start outside cube")?;
+        let start_idx = self
+            .counts
+            .day_index(start)
+            .ok_or_else(|| AcobeError::Range("start outside cube".into()))?;
         let end_idx = end.days_since(self.counts.start());
         if end_idx <= start_idx as i32 || end_idx as usize > self.counts.days() {
-            return Err("invalid scoring range".into());
+            return Err(AcobeError::Range("invalid scoring range".into()));
         }
         let end_idx = end_idx as usize;
         let users = self.counts.users();
+        let aspects = self.engine.feature_set().aspects.len();
 
         let _span = acobe_obs::span!("score");
         acobe_obs::counter("pipeline/days_scored").add((end_idx - start_idx) as u64);
         acobe_obs::counter("pipeline/rows_scored")
-            .add(((end_idx - start_idx) * users * self.models.len()) as u64);
-        let mut scores = vec![Vec::with_capacity(end_idx - start_idx); self.models.len()];
-        for day in start_idx..end_idx {
-            for aspect in 0..self.models.len() {
-                let mut errs = self.score_day_raw(aspect, day);
-                if self.config.calibrate {
-                    for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
-                        *e /= b;
-                    }
+            .add(((end_idx - start_idx) * users * aspects) as u64);
+
+        self.engine.reset_stream();
+        let mut day_buf = vec![0.0f32; self.counts.day_slice_len()];
+        let mut scores = vec![Vec::with_capacity(end_idx - start_idx); aspects];
+        for d in 0..end_idx {
+            self.counts.day_slice_into(d, &mut day_buf);
+            let date = self.counts.start().add_days(d as i32);
+            if d < start_idx {
+                self.engine.warm_day(date, &day_buf)?;
+            } else {
+                let day = self
+                    .engine
+                    .ingest_day(date, &day_buf)?
+                    .expect("trained engine scores every ingested day");
+                for (aspect, errs) in day.scores.into_iter().enumerate() {
+                    scores[aspect].push(errs);
                 }
-                scores[aspect].push(errs);
             }
         }
         Ok(ScoreTable {
             aspect_names: self
-                .feature_set
+                .engine
+                .feature_set()
                 .aspects
                 .iter()
                 .map(|a| a.name.clone())
@@ -592,6 +572,7 @@ fn make_optimizer(kind: OptimizerKind) -> Box<dyn Optimizer> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::DetectionEngine;
     use acobe_features::spec::{AspectSpec, FeatureSet};
     use rand::Rng;
 
@@ -744,7 +725,7 @@ mod tests {
 
         let registry = acobe_obs::global();
         for stage in [
-            "deviation",
+            "engine/ingest_day",
             "matrix(aspect=first)",
             "matrix(aspect=second)",
             "train(aspect=first)",
@@ -758,6 +739,7 @@ mod tests {
             assert!(stats.count >= 1, "stage '{stage}' never completed");
         }
         assert!(acobe_obs::counter("pipeline/train_samples").get() > 0);
+        assert!(acobe_obs::counter("engine/days_ingested").get() > 0);
         assert!(acobe_obs::counter("train/epochs").get() > 0);
         assert!(acobe_obs::to_jsonl().contains("\"kind\":\"span\""));
     }
@@ -786,12 +768,95 @@ mod tests {
     }
 
     #[test]
+    fn streaming_engine_replay_matches_batch_scores_bit_exactly() {
+        // The tentpole guarantee: a trained engine fed the same days one at a
+        // time — as a streaming deployment would — produces the exact same
+        // scores as the batch `score_range`.
+        let cube = test_cube(true);
+        let (start, split, end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube.clone(), feature_set(), &groups(), AcobeConfig::tiny())
+                .unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+
+        let mut engine = pipe.into_engine();
+        engine.reset_stream();
+        let split_idx = cube.day_index(split).unwrap();
+        let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+        for d in 0..cube.days() {
+            cube.day_slice_into(d, &mut day_buf);
+            let date = cube.start().add_days(d as i32);
+            if d < split_idx {
+                engine.warm_day(date, &day_buf).unwrap();
+            } else {
+                let day = engine.ingest_day(date, &day_buf).unwrap().unwrap();
+                for (aspect, errs) in day.scores.iter().enumerate() {
+                    assert_eq!(
+                        &table.scores[aspect][d - split_idx],
+                        errs,
+                        "aspect {aspect} day {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_mid_window_changes_no_scores() {
+        // Interrupt a stream mid-window, checkpoint through JSON, restore,
+        // and finish: every remaining day scores bit-identically to the
+        // uninterrupted stream.
+        let cube = test_cube(true);
+        let (start, split, _end) = dates(&cube);
+        let mut pipe =
+            AcobePipeline::new(cube.clone(), feature_set(), &groups(), AcobeConfig::tiny())
+                .unwrap();
+        pipe.fit(start, split).unwrap();
+        let mut engine = pipe.into_engine();
+        engine.reset_stream();
+
+        let split_idx = cube.day_index(split).unwrap();
+        let checkpoint_at = split_idx + 7; // mid-window: D = 7 for tiny()
+        let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+        let mut restored: Option<DetectionEngine> = None;
+        for d in 0..cube.days() {
+            cube.day_slice_into(d, &mut day_buf);
+            let date = cube.start().add_days(d as i32);
+            if d < split_idx {
+                engine.warm_day(date, &day_buf).unwrap();
+                continue;
+            }
+            let expected = engine.ingest_day(date, &day_buf).unwrap().unwrap();
+            if d == checkpoint_at {
+                let json = serde_json::to_string(&engine.snapshot()).unwrap();
+                restored =
+                    Some(DetectionEngine::restore(serde_json::from_str(&json).unwrap()).unwrap());
+            }
+            if let Some(other) = restored.as_mut() {
+                if d > checkpoint_at {
+                    let got = other.ingest_day(date, &day_buf).unwrap().unwrap();
+                    assert_eq!(expected, got, "day {d} diverged after restore");
+                }
+            }
+        }
+        let engine_list = engine.daily_investigation(2, 3);
+        let restored_list = restored.unwrap().daily_investigation(2, 3);
+        assert_eq!(engine_list.len(), restored_list.len());
+        for (a, b) in engine_list.iter().zip(&restored_list) {
+            assert_eq!(a.user, b.user);
+        }
+    }
+
+    #[test]
     fn scoring_before_fit_errors() {
         let cube = test_cube(false);
         let (_, split, end) = dates(&cube);
         let mut pipe =
             AcobePipeline::new(cube, feature_set(), &groups(), AcobeConfig::tiny()).unwrap();
-        assert!(pipe.score_range(split, end).is_err());
+        let err = pipe.score_range(split, end).unwrap_err();
+        assert!(matches!(err, AcobeError::NotTrained), "{err:?}");
+        assert!(err.to_string().contains("not trained"));
     }
 
     #[test]
@@ -804,7 +869,7 @@ mod tests {
             AcobeConfig::tiny(),
         )
         .unwrap_err();
-        assert!(err.contains("belongs to no group"), "{err}");
+        assert!(err.to_string().contains("belongs to no group"), "{err}");
     }
 
     #[test]
@@ -814,7 +879,7 @@ mod tests {
         fs.names.push("extra".into());
         let err =
             AcobePipeline::new(cube, fs, &groups(), AcobeConfig::tiny()).unwrap_err();
-        assert!(err.contains("feature set"), "{err}");
+        assert!(err.to_string().contains("feature set"), "{err}");
     }
 
     #[test]
@@ -822,6 +887,6 @@ mod tests {
         let cube = test_cube(false);
         let cfg = AcobeConfig::tiny().with_critic_n(5);
         let err = AcobePipeline::new(cube, feature_set(), &groups(), cfg).unwrap_err();
-        assert!(err.contains("critic_n"), "{err}");
+        assert!(err.to_string().contains("critic_n"), "{err}");
     }
 }

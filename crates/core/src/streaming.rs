@@ -1,13 +1,16 @@
-//! Online deviation computation for production deployments.
+//! Online deviation computation shared by the batch and streaming paths.
 //!
-//! [`compute_deviations`](crate::deviation::compute_deviations) needs the
-//! whole measurement cube in memory; an enterprise deployment instead sees
-//! one day of measurements at a time. [`RollingDeviation`] maintains the
-//! ω-day history per `(entity, frame, feature)` in ring buffers and emits
-//! each day's `σ` and weights incrementally, producing bit-identical results
-//! to the batch path.
+//! An enterprise deployment sees one day of measurements at a time, so
+//! [`RollingDeviation`] maintains the ω-day history per `(entity, frame,
+//! feature)` in ring buffers plus running `Σx`/`Σx²` sums, and emits each
+//! day's `σ` and weights incrementally. Since PR 3 this is the *only*
+//! deviation implementation: the batch
+//! [`compute_deviations`](crate::deviation::compute_deviations) replays days
+//! through it, so the two paths are bit-identical by construction (same
+//! floating-point operations in the same order, per series).
 
 use crate::deviation::DeviationConfig;
+use crate::error::AcobeError;
 use serde::{Deserialize, Serialize};
 
 /// Incremental deviation state for a population of entities.
@@ -21,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let config = DeviationConfig { window: 5, delta: 3.0, epsilon: 1e-3, min_history: 2 };
 /// let mut rolling = RollingDeviation::new(1, 1, 1, config);
 /// // Warm-up days emit zero deviation...
-/// let day = rolling.push_day(&[5.0]);
+/// let day = rolling.push_day(&[5.0]).unwrap();
 /// assert_eq!(day.sigma, vec![0.0]);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,10 +35,16 @@ pub struct RollingDeviation {
     features: usize,
     /// Ring buffers: `[entity * frames * features][window - 1]` recent values.
     history: Vec<Vec<f32>>,
-    /// Write cursor per series.
+    /// Write cursor per series. When the ring is full it points at the oldest
+    /// value — the day about to leave the window.
     cursor: Vec<usize>,
     /// Number of values seen per series (saturates at `window - 1`).
     filled: Vec<usize>,
+    /// Running window sum per series, kept in f64 exactly as the historical
+    /// batch path did.
+    sum: Vec<f64>,
+    /// Running window sum of squares per series.
+    sum_sq: Vec<f64>,
     days_seen: usize,
 }
 
@@ -66,6 +75,8 @@ impl RollingDeviation {
             history: vec![vec![0.0; config.window - 1]; series],
             cursor: vec![0; series],
             filled: vec![0; series],
+            sum: vec![0.0; series],
+            sum_sq: vec![0.0; series],
             days_seen: 0,
         }
     }
@@ -86,50 +97,88 @@ impl RollingDeviation {
         (entity * self.frames + frame) * self.features + feature
     }
 
+    /// Approximate heap footprint of the rolling state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        let series = self.series_count();
+        series * (self.config.window - 1) * std::mem::size_of::<f32>()
+            + series * 2 * std::mem::size_of::<usize>()
+            + series * 2 * std::mem::size_of::<f64>()
+    }
+
     /// Consumes one day of measurements (flattened `[entity][frame][feature]`)
     /// and returns that day's deviations, then folds the measurements into
     /// the history.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `measurements.len()` does not match the tracked series.
-    pub fn push_day(&mut self, measurements: &[f32]) -> DayDeviations {
-        assert_eq!(
-            measurements.len(),
-            self.series_count(),
-            "measurement width mismatch"
-        );
+    /// Returns [`AcobeError::WidthMismatch`] when `measurements.len()` does
+    /// not match the tracked series; the rolling state is left untouched.
+    pub fn push_day(&mut self, measurements: &[f32]) -> Result<DayDeviations, AcobeError> {
         let _span = acobe_obs::span!("streaming_deviation");
         acobe_obs::counter("streaming/days_pushed").inc();
         acobe_obs::counter("streaming/series_updated").add(measurements.len() as u64);
-        let mut sigma = vec![0.0f32; measurements.len()];
-        let mut weights = vec![1.0f32; measurements.len()];
+        let mut sigma = vec![0.0f32; self.series_count()];
+        let mut weights = vec![1.0f32; self.series_count()];
+        self.push_day_into(measurements, &mut sigma, &mut weights)?;
+        Ok(DayDeviations { sigma, weights })
+    }
+
+    /// Core of [`RollingDeviation::push_day`], writing into caller-owned
+    /// slices: the batch replay uses this to fill cube slabs directly.
+    ///
+    /// Every element of `sigma`/`weights` is written (warm-up days get
+    /// `σ = 0`, weight 1). The emit/fold operation order matches the
+    /// pre-refactor batch loop exactly, so replaying a series day-by-day
+    /// reproduces the batch output bit for bit.
+    pub(crate) fn push_day_into(
+        &mut self,
+        measurements: &[f32],
+        sigma: &mut [f32],
+        weights: &mut [f32],
+    ) -> Result<(), AcobeError> {
+        if measurements.len() != self.series_count() {
+            return Err(AcobeError::WidthMismatch {
+                expected: self.series_count(),
+                found: measurements.len(),
+            });
+        }
+        debug_assert_eq!(sigma.len(), measurements.len());
+        debug_assert_eq!(weights.len(), measurements.len());
+        let cap = self.config.window - 1;
 
         for (i, &m) in measurements.iter().enumerate() {
-            let n = self.filled[i];
-            if n >= self.config.min_history {
-                let hist = &self.history[i][..n.min(self.config.window - 1)];
-                let count = hist.len() as f64;
-                let sum: f64 = hist.iter().map(|&x| x as f64).sum();
-                let sum_sq: f64 = hist.iter().map(|&x| (x as f64) * (x as f64)).sum();
-                let mean = sum / count;
-                let var = (sum_sq / count - mean * mean).max(0.0);
+            // Emit first, using the window content *before* today.
+            let hist_len = self.filled[i];
+            if hist_len >= self.config.min_history {
+                let n = hist_len as f64;
+                let mean = self.sum[i] / n;
+                let var = (self.sum_sq[i] / n - mean * mean).max(0.0);
                 let std = (var.sqrt() as f32).max(self.config.epsilon);
                 let delta = (m - mean as f32) / std;
                 sigma[i] = delta.clamp(-self.config.delta, self.config.delta);
                 weights[i] = 1.0 / std.max(2.0).log2();
+            } else {
+                sigma[i] = 0.0;
+                weights[i] = 1.0;
             }
-            // Fold today's measurement into the ring.
-            let cap = self.config.window - 1;
+            // Slide: add today, then drop the day leaving the window — the
+            // same add-then-subtract order as the historical batch loop.
+            let incoming = m as f64;
+            self.sum[i] += incoming;
+            self.sum_sq[i] += incoming * incoming;
             let pos = self.cursor[i];
-            self.history[i][pos] = m;
-            self.cursor[i] = (pos + 1) % cap;
-            if self.filled[i] < cap {
+            if self.filled[i] == cap {
+                let outgoing = self.history[i][pos] as f64;
+                self.sum[i] -= outgoing;
+                self.sum_sq[i] -= outgoing * outgoing;
+            } else {
                 self.filled[i] += 1;
             }
+            self.history[i][pos] = m;
+            self.cursor[i] = (pos + 1) % cap;
         }
         self.days_seen += 1;
-        DayDeviations { sigma, weights }
+        Ok(())
     }
 }
 
@@ -143,7 +192,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     #[test]
-    fn matches_batch_computation() {
+    fn matches_batch_computation_bit_exactly() {
         let (users, days, frames, features) = (3usize, 60usize, 2usize, 4usize);
         let mut rng = StdRng::seed_from_u64(17);
         let mut cube = FeatureCube::new(users, Date::from_ymd(2010, 1, 1), days, frames, features);
@@ -168,19 +217,21 @@ mod tests {
                     }
                 }
             }
-            let out = rolling.push_day(&day);
+            let out = rolling.push_day(&day).unwrap();
             for u in 0..users {
                 for t in 0..frames {
                     for f in 0..features {
                         let i = rolling.index(u, t, f);
-                        let expected = batch.sigma.get_by_index(u, d, t, f);
-                        let got = out.sigma[i];
-                        assert!(
-                            (expected - got).abs() < 1e-4,
-                            "day {d} u{u} t{t} f{f}: batch {expected} vs rolling {got}"
+                        assert_eq!(
+                            batch.sigma.get_by_index(u, d, t, f),
+                            out.sigma[i],
+                            "sigma day {d} u{u} t{t} f{f}"
                         );
-                        let ew = batch.weights.get_by_index(u, d, t, f);
-                        assert!((ew - out.weights[i]).abs() < 1e-4);
+                        assert_eq!(
+                            batch.weights.get_by_index(u, d, t, f),
+                            out.weights[i],
+                            "weight day {d} u{u} t{t} f{f}"
+                        );
                     }
                 }
             }
@@ -192,15 +243,40 @@ mod tests {
         let config = DeviationConfig { window: 10, delta: 3.0, epsilon: 1e-3, min_history: 4 };
         let mut rolling = RollingDeviation::new(1, 1, 1, config);
         for _ in 0..4 {
-            let out = rolling.push_day(&[100.0]);
+            let out = rolling.push_day(&[100.0]).unwrap();
             assert_eq!(out.sigma, vec![0.0]);
             assert_eq!(out.weights, vec![1.0]);
         }
         // Fifth day has 4 history days: deviations start.
-        let out = rolling.push_day(&[100.0]);
+        let out = rolling.push_day(&[100.0]).unwrap();
         assert_eq!(out.sigma, vec![0.0]); // constant history, same value
-        let out = rolling.push_day(&[500.0]);
+        let out = rolling.push_day(&[500.0]).unwrap();
         assert_eq!(out.sigma, vec![3.0]); // spike clamps at delta
+    }
+
+    /// `min_history` edge cases (formerly only exercised by the doctest):
+    /// day `min_history` is the first to deviate, and `min_history` may equal
+    /// `window − 1` (deviations start only with a full ring).
+    #[test]
+    fn min_history_boundaries() {
+        // min_history = 1: the second day already deviates.
+        let config = DeviationConfig { window: 5, delta: 3.0, epsilon: 1e-3, min_history: 1 };
+        let mut rolling = RollingDeviation::new(1, 1, 1, config);
+        let first = rolling.push_day(&[5.0]).unwrap();
+        assert_eq!(first.sigma, vec![0.0]);
+        let second = rolling.push_day(&[50.0]).unwrap();
+        assert_eq!(second.sigma, vec![3.0]);
+
+        // min_history = window - 1: warm-up lasts until the ring is full.
+        let config = DeviationConfig { window: 4, delta: 3.0, epsilon: 1e-3, min_history: 3 };
+        let mut rolling = RollingDeviation::new(1, 1, 1, config);
+        for day in 0..3 {
+            let out = rolling.push_day(&[7.0]).unwrap();
+            assert_eq!(out.sigma, vec![0.0], "day {day} still warming up");
+            assert_eq!(out.weights, vec![1.0]);
+        }
+        let out = rolling.push_day(&[70.0]).unwrap();
+        assert_eq!(out.sigma, vec![3.0]);
     }
 
     #[test]
@@ -210,21 +286,48 @@ mod tests {
         let config = DeviationConfig { window: 4, delta: 3.0, epsilon: 1e-3, min_history: 2 };
         let mut rolling = RollingDeviation::new(1, 1, 1, config);
         for _ in 0..6 {
-            rolling.push_day(&[1.0]);
+            rolling.push_day(&[1.0]).unwrap();
         }
-        let first = rolling.push_day(&[50.0]);
+        let first = rolling.push_day(&[50.0]).unwrap();
         assert_eq!(first.sigma, vec![3.0]);
-        rolling.push_day(&[50.0]);
-        rolling.push_day(&[50.0]);
+        rolling.push_day(&[50.0]).unwrap();
+        rolling.push_day(&[50.0]).unwrap();
         // History is now all 50s.
-        let later = rolling.push_day(&[50.0]);
+        let later = rolling.push_day(&[50.0]).unwrap();
         assert!(later.sigma[0].abs() < 0.1, "{:?}", later.sigma);
     }
 
     #[test]
-    #[should_panic(expected = "measurement width mismatch")]
-    fn wrong_width_rejected() {
+    fn wrong_width_is_a_typed_error() {
         let mut rolling = RollingDeviation::new(2, 2, 2, DeviationConfig::default());
-        let _ = rolling.push_day(&[0.0; 3]);
+        let err = rolling.push_day(&[0.0; 3]).unwrap_err();
+        assert!(
+            matches!(err, AcobeError::WidthMismatch { expected: 8, found: 3 }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("measurement width mismatch"));
+        // The failed push left the state untouched.
+        assert_eq!(rolling.days_seen(), 0);
+        assert!(rolling.push_day(&[0.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_stream() {
+        // A JSON round-trip mid-stream must not change subsequent outputs.
+        let config = DeviationConfig { window: 6, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+        let mut a = RollingDeviation::new(2, 1, 2, config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut day = || (0..4).map(|_| rng.gen_range(0.0f32..9.0)).collect::<Vec<_>>();
+        let inputs: Vec<Vec<f32>> = (0..20).map(|_| day()).collect();
+        for m in &inputs[..9] {
+            a.push_day(m).unwrap();
+        }
+        let json = serde_json::to_string(&a).unwrap();
+        let mut b: RollingDeviation = serde_json::from_str(&json).unwrap();
+        for m in &inputs[9..] {
+            let out_a = a.push_day(m).unwrap();
+            let out_b = b.push_day(m).unwrap();
+            assert_eq!(out_a, out_b);
+        }
     }
 }

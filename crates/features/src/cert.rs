@@ -6,7 +6,9 @@ use crate::spec::{cert_feature_set, FeatureSet};
 use acobe_logs::event::{FileActivity, HttpActivity, FileType, LogEvent, Location};
 use acobe_logs::store::LogStore;
 use acobe_logs::time::Date;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::fmt;
 
 /// How features f1-f6 of the file/HTTP categories count operations.
 ///
@@ -15,7 +17,7 @@ use std::collections::HashSet;
 /// can be read as novelty-only counting; plain activity counting matches the
 /// figures' day-to-day texture better. Both are implemented; `Plain` is the
 /// default (see DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CountSemantics {
     /// f1-f6 count every operation; `new-op` features count novel pairs.
     #[default]
@@ -25,7 +27,7 @@ pub enum CountSemantics {
 }
 
 /// Tags identifying a `(feature, object)` pair class for first-seen tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 enum FileTag {
     OpenLocal,
     OpenRemote,
@@ -37,7 +39,202 @@ enum FileTag {
     Other,
 }
 
-/// Streaming extractor producing the 16-feature CERT cube.
+/// A per-day extraction failure.
+///
+/// The streaming engine needs "which day failed and is it retryable" as a
+/// programmatic question, so the unbounded day extractor reports typed errors
+/// instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Days must be offered consecutively; a gap or repeat was detected.
+    OutOfOrder {
+        /// The day the extractor expected next.
+        expected: Date,
+        /// The day that was actually offered.
+        got: Date,
+    },
+    /// An event referenced a user index outside the configured population.
+    UnknownUser {
+        /// The offending user index.
+        user: usize,
+        /// The configured population size.
+        users: usize,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::OutOfOrder { expected, got } => write!(
+                f,
+                "days must be ingested in order: expected {expected}, got {got}"
+            ),
+            ExtractError::UnknownUser { user, users } => {
+                write!(f, "user index out of range: {user} >= {users}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Unbounded day-at-a-time extractor producing one flattened
+/// `[user][frame][feature]` measurement vector per day — the form the
+/// incremental detection engine ingests.
+///
+/// Unlike [`CertExtractor`] (which fills a date-bounded [`FeatureCube`] and
+/// is now a thin wrapper over this type), a `DayExtractor` has no end date:
+/// it carries only the per-user first-seen sets and can stream forever. It
+/// serializes with serde so a production deployment can checkpoint
+/// mid-stream and resume with novelty tracking intact.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::cert::{CountSemantics, DayExtractor};
+/// use acobe_logs::time::Date;
+/// let start = Date::from_ymd(2010, 1, 1);
+/// let mut ex = DayExtractor::new(4, start, CountSemantics::Plain);
+/// let day = ex.ingest_day(start, &[]).unwrap();
+/// assert_eq!(day.len(), 4 * 2 * 16);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DayExtractor {
+    users: usize,
+    features: usize,
+    semantics: CountSemantics,
+    seen_hosts: Vec<HashSet<u32>>,
+    seen_file: Vec<HashSet<(FileTag, u32)>>,
+    seen_http: Vec<HashSet<(u8, u32)>>,
+    next_date: Date,
+}
+
+impl DayExtractor {
+    /// Creates a day extractor for `users` users, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users == 0`.
+    pub fn new(users: usize, start: Date, semantics: CountSemantics) -> Self {
+        assert!(users > 0, "empty population");
+        DayExtractor {
+            users,
+            features: cert_feature_set().len(),
+            semantics,
+            seen_hosts: vec![HashSet::new(); users],
+            seen_file: vec![HashSet::new(); users],
+            seen_http: vec![HashSet::new(); users],
+            next_date: start,
+        }
+    }
+
+    /// Number of users tracked.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// The next day this extractor expects.
+    pub fn next_date(&self) -> Date {
+        self.next_date
+    }
+
+    /// Width of one day's measurement vector: `users × 2 frames × features`.
+    pub fn day_width(&self) -> usize {
+        self.users * 2 * self.features
+    }
+
+    /// Processes one day of events, returning that day's measurements
+    /// flattened `[user][frame][feature]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::OutOfOrder`] for non-consecutive days and
+    /// [`ExtractError::UnknownUser`] for events outside the population; in
+    /// both cases the first-seen state is left untouched.
+    pub fn ingest_day(&mut self, date: Date, events: &[LogEvent]) -> Result<Vec<f32>, ExtractError> {
+        if date != self.next_date {
+            return Err(ExtractError::OutOfOrder { expected: self.next_date, got: date });
+        }
+        if let Some(event) = events.iter().find(|e| e.user().index() >= self.users) {
+            return Err(ExtractError::UnknownUser {
+                user: event.user().index(),
+                users: self.users,
+            });
+        }
+        self.next_date = date.add_days(1);
+
+        let mut day = vec![0.0f32; self.day_width()];
+        let mut add = |user: usize, frame: usize, feature: usize| {
+            day[(user * 2 + frame) * self.features + feature] += 1.0;
+        };
+        // "Before day d" novelty semantics: pairs first seen today stay novel
+        // for the whole day and merge into the seen sets only at day end.
+        let mut today_hosts: Vec<HashSet<u32>> = vec![HashSet::new(); self.users];
+        let mut today_file: Vec<HashSet<(FileTag, u32)>> = vec![HashSet::new(); self.users];
+        let mut today_http: Vec<HashSet<(u8, u32)>> = vec![HashSet::new(); self.users];
+
+        for event in events {
+            debug_assert_eq!(event.ts().date(), date, "event on wrong day");
+            let user = event.user().index();
+            let frame = event.ts().time_frame().index();
+            match event {
+                LogEvent::Device(e) => {
+                    if e.activity == acobe_logs::event::DeviceActivity::Connect {
+                        add(user, frame, 0);
+                        if !self.seen_hosts[user].contains(&e.host.0) {
+                            add(user, frame, 1);
+                            today_hosts[user].insert(e.host.0);
+                        }
+                    }
+                }
+                LogEvent::File(e) => {
+                    let tag = file_tag(e.activity, e.from, e.to);
+                    let feature = file_feature(tag);
+                    let pair = (tag, e.file.0);
+                    let is_new = !self.seen_file[user].contains(&pair);
+                    if is_new {
+                        add(user, frame, 8); // file.new-op
+                        today_file[user].insert(pair);
+                    }
+                    if let Some(f) = feature {
+                        if self.semantics == CountSemantics::Plain || is_new {
+                            add(user, frame, f);
+                        }
+                    }
+                }
+                LogEvent::Http(e) => {
+                    // Visits and downloads are not considered (paper V-A3).
+                    if e.activity == HttpActivity::Upload {
+                        if let Some(ft_idx) = upload_type_index(e.filetype) {
+                            let feature = 9 + ft_idx;
+                            let pair = (ft_idx as u8, e.domain.0);
+                            let is_new = !self.seen_http[user].contains(&pair);
+                            if is_new {
+                                add(user, frame, 15); // http.new-op
+                                today_http[user].insert(pair);
+                            }
+                            if self.semantics == CountSemantics::Plain || is_new {
+                                add(user, frame, feature);
+                            }
+                        }
+                    }
+                }
+                // Email / logon / enterprise events carry no CERT features.
+                _ => {}
+            }
+        }
+
+        for u in 0..self.users {
+            self.seen_hosts[u].extend(today_hosts[u].drain());
+            self.seen_file[u].extend(today_file[u].drain());
+            self.seen_http[u].extend(today_http[u].drain());
+        }
+        Ok(day)
+    }
+}
+
+/// Bounded extractor producing the 16-feature CERT cube over a fixed date
+/// range — a thin accumulation wrapper around [`DayExtractor`].
 ///
 /// Call [`CertExtractor::ingest_day`] with consecutive days, then
 /// [`CertExtractor::finish`].
@@ -56,17 +253,10 @@ enum FileTag {
 /// let cube = ex.finish();
 /// assert_eq!(cube.days(), 7);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CertExtractor {
     cube: FeatureCube,
-    semantics: CountSemantics,
-    seen_hosts: Vec<HashSet<u32>>,
-    seen_file: Vec<HashSet<(FileTag, u32)>>,
-    seen_http: Vec<HashSet<(u8, u32)>>,
-    today_hosts: Vec<HashSet<u32>>,
-    today_file: Vec<HashSet<(FileTag, u32)>>,
-    today_http: Vec<HashSet<(u8, u32)>>,
-    next_date: Date,
+    day: DayExtractor,
 }
 
 impl CertExtractor {
@@ -81,14 +271,7 @@ impl CertExtractor {
         let fs = cert_feature_set();
         CertExtractor {
             cube: FeatureCube::new(users, start, days as usize, 2, fs.len()),
-            semantics,
-            seen_hosts: vec![HashSet::new(); users],
-            seen_file: vec![HashSet::new(); users],
-            seen_http: vec![HashSet::new(); users],
-            today_hosts: vec![HashSet::new(); users],
-            today_file: vec![HashSet::new(); users],
-            today_http: vec![HashSet::new(); users],
-            next_date: start,
+            day: DayExtractor::new(users, start, semantics),
         }
     }
 
@@ -104,70 +287,19 @@ impl CertExtractor {
     /// Panics on out-of-order days, days outside the range, or events whose
     /// user index exceeds the configured user count.
     pub fn ingest_day(&mut self, date: Date, events: &[LogEvent]) {
-        assert_eq!(date, self.next_date, "days must be ingested in order");
+        let measurements = self.day.ingest_day(date, events).unwrap_or_else(|e| panic!("{e}"));
         assert!(self.cube.day_index(date).is_some(), "date outside extractor range");
-        self.next_date = date.add_days(1);
-
-        for event in events {
-            debug_assert_eq!(event.ts().date(), date, "event on wrong day");
-            let user = event.user().index();
-            assert!(user < self.cube.users(), "user index out of range");
-            let frame = event.ts().time_frame().index();
-            match event {
-                LogEvent::Device(e) => {
-                    if e.activity == acobe_logs::event::DeviceActivity::Connect {
-                        self.cube.add(user, date, frame, 0, 1.0);
-                        if !self.seen_hosts[user].contains(&e.host.0) {
-                            self.cube.add(user, date, frame, 1, 1.0);
-                            self.today_hosts[user].insert(e.host.0);
-                        }
-                    }
-                }
-                LogEvent::File(e) => {
-                    let tag = file_tag(e.activity, e.from, e.to);
-                    let feature = file_feature(tag);
-                    let pair = (tag, e.file.0);
-                    let is_new = !self.seen_file[user].contains(&pair);
-                    if is_new {
-                        self.cube.add(user, date, frame, 8, 1.0); // file.new-op
-                        self.today_file[user].insert(pair);
-                    }
-                    if let Some(f) = feature {
-                        if self.semantics == CountSemantics::Plain || is_new {
-                            self.cube.add(user, date, frame, f, 1.0);
-                        }
-                    }
-                }
-                LogEvent::Http(e) => {
-                    // Visits and downloads are not considered (paper V-A3).
-                    if e.activity == HttpActivity::Upload {
-                        if let Some(ft_idx) = upload_type_index(e.filetype) {
-                            let feature = 9 + ft_idx;
-                            let pair = (ft_idx as u8, e.domain.0);
-                            let is_new = !self.seen_http[user].contains(&pair);
-                            if is_new {
-                                self.cube.add(user, date, frame, 15, 1.0); // http.new-op
-                                self.today_http[user].insert(pair);
-                            }
-                            if self.semantics == CountSemantics::Plain || is_new {
-                                self.cube.add(user, date, frame, feature, 1.0);
-                            }
-                        }
-                    }
-                }
-                // Email / logon / enterprise events carry no CERT features.
-                _ => {}
-            }
-        }
-
-        // "Before day d" semantics: first-seen sets update only at day end.
+        let frames = self.cube.frames();
+        let features = self.cube.features();
         for u in 0..self.cube.users() {
-            let hosts = std::mem::take(&mut self.today_hosts[u]);
-            self.seen_hosts[u].extend(hosts);
-            let files = std::mem::take(&mut self.today_file[u]);
-            self.seen_file[u].extend(files);
-            let https = std::mem::take(&mut self.today_http[u]);
-            self.seen_http[u].extend(https);
+            for t in 0..frames {
+                for f in 0..features {
+                    let v = measurements[(u * frames + t) * features + f];
+                    if v != 0.0 {
+                        self.cube.add(u, date, t, f, v);
+                    }
+                }
+            }
         }
     }
 
@@ -178,10 +310,10 @@ impl CertExtractor {
     /// Panics if not every day in the range was ingested.
     pub fn finish(self) -> FeatureCube {
         assert_eq!(
-            self.next_date,
+            self.day.next_date(),
             self.cube.end(),
             "not all days ingested (next expected: {})",
-            self.next_date
+            self.day.next_date()
         );
         self.cube
     }
@@ -408,5 +540,75 @@ mod frame_tests {
         });
         ex.ingest_day(d, &[event]);
         assert_eq!(ex.finish().total(), 0.0);
+    }
+
+    /// The unbounded day extractor reports typed errors and leaves its
+    /// novelty state untouched on failure.
+    #[test]
+    fn day_extractor_typed_errors() {
+        let mut ex = DayExtractor::new(2, day(1), CountSemantics::Plain);
+        let err = ex.ingest_day(day(2), &[]).unwrap_err();
+        assert_eq!(err, ExtractError::OutOfOrder { expected: day(1), got: day(2) });
+        assert!(err.to_string().contains("days must be ingested in order"));
+
+        let err = ex.ingest_day(day(1), &[device(day(1), 10, 5, 0)]).unwrap_err();
+        assert_eq!(err, ExtractError::UnknownUser { user: 5, users: 2 });
+        assert!(err.to_string().contains("user index out of range"));
+        // The failed day was not consumed.
+        assert_eq!(ex.next_date(), day(1));
+
+        let buf = ex.ingest_day(day(1), &[device(day(1), 10, 0, 7)]).unwrap();
+        assert_eq!(buf[0], 1.0); // u0 t0 connect
+        assert_eq!(buf[1], 1.0); // u0 t0 novel host
+    }
+
+    /// Checkpointing the day extractor mid-stream preserves first-seen
+    /// novelty tracking exactly.
+    #[test]
+    fn day_extractor_serde_roundtrip_preserves_novelty() {
+        let mut ex = DayExtractor::new(1, day(1), CountSemantics::Plain);
+        ex.ingest_day(day(1), &[device(day(1), 10, 0, 42)]).unwrap();
+
+        let json = serde_json::to_string(&ex).unwrap();
+        let mut restored: DayExtractor = serde_json::from_str(&json).unwrap();
+
+        // Same host again: known to both the original and the restored copy.
+        let a = ex.ingest_day(day(2), &[device(day(2), 10, 0, 42)]).unwrap();
+        let b = restored.ingest_day(day(2), &[device(day(2), 10, 0, 42)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0], 1.0); // connect counted
+        assert_eq!(a[1], 0.0); // host 42 is no longer novel
+        assert_eq!(restored.next_date(), day(3));
+    }
+
+    /// The bounded cube extractor and the day extractor agree value for value.
+    #[test]
+    fn cube_matches_day_extractor_stream() {
+        let start = day(1);
+        let end = day(5);
+        let mut cube_ex = CertExtractor::new(2, start, end, CountSemantics::Plain);
+        let mut day_ex = DayExtractor::new(2, start, CountSemantics::Plain);
+        for (i, date) in start.range_to(end).enumerate() {
+            let events = vec![
+                device(date, 9, 0, i as u32 % 2),
+                upload(date, 10, 1, 3, FileType::Doc),
+                file_op(date, 11, 0, i as u32),
+            ];
+            cube_ex.ingest_day(date, &events);
+            let buf = day_ex.ingest_day(date, &events).unwrap();
+            assert_eq!(buf.len(), day_ex.day_width());
+            for u in 0..2 {
+                for t in 0..2 {
+                    for f in 0..16 {
+                        assert_eq!(
+                            buf[(u * 2 + t) * 16 + f],
+                            cube_ex.cube.get(u, date, t, f),
+                            "u{u} t{t} f{f} on {date}"
+                        );
+                    }
+                }
+            }
+        }
+        cube_ex.finish();
     }
 }

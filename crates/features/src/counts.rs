@@ -170,6 +170,30 @@ impl FeatureCube {
         let len = self.user_block_len();
         self.data.chunks_mut(len)
     }
+
+    /// Number of scalars in one day across all users: `users × frames ×
+    /// features` — the measurement width a streaming consumer ingests per day.
+    pub fn day_slice_len(&self) -> usize {
+        self.users * self.frames * self.features
+    }
+
+    /// Gathers one day of measurements for every user into `out`, flattened
+    /// `[user][frame][feature]` — the layout the streaming engine ingests.
+    /// (Storage is user-major, so a day is not contiguous; this copies one
+    /// `[frame][feature]` chunk per user.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range or `out.len() != day_slice_len()`.
+    pub fn day_slice_into(&self, day: usize, out: &mut [f32]) {
+        assert!(day < self.days, "day outside cube");
+        assert_eq!(out.len(), self.day_slice_len(), "day slice length mismatch");
+        let chunk = self.frames * self.features;
+        for (u, dst) in out.chunks_mut(chunk).enumerate() {
+            let from = self.offset(u, day, 0, 0);
+            dst.copy_from_slice(&self.data[from..from + chunk]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +253,21 @@ mod tests {
         let blocks: Vec<_> = c.user_blocks_mut().collect();
         assert_eq!(blocks.len(), 3);
         assert!(blocks.iter().all(|b| b.len() == 20));
+    }
+
+    #[test]
+    fn day_slice_gathers_all_users() {
+        let mut c = cube();
+        c.set_by_index(0, 2, 0, 1, 1.5);
+        c.set_by_index(1, 2, 1, 0, 2.5);
+        c.set_by_index(2, 2, 1, 1, 3.5);
+        let mut out = vec![0.0; c.day_slice_len()];
+        c.day_slice_into(2, &mut out);
+        assert_eq!(out.len(), 3 * 2 * 2);
+        // [user][frame][feature] layout.
+        assert_eq!(out[1], 1.5); // u0 t0 f1
+        assert_eq!(out[4 + 2], 2.5); // u1 t1 f0
+        assert_eq!(out[8 + 3], 3.5); // u2 t1 f1
     }
 
     #[test]

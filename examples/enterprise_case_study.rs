@@ -10,7 +10,7 @@ use acobe_bench::dataset::build_enterprise_dataset;
 use acobe_features::spec::enterprise_feature_set;
 use acobe_synth::enterprise::Attack;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attack = match std::env::args().nth(1).as_deref() {
         Some("zeus") => Attack::Zeus,
         _ => Attack::Ransomware,

@@ -11,7 +11,7 @@ use acobe_features::spec::cert_feature_set;
 use acobe_obs::MetricRecord;
 use acobe_synth::cert::{CertConfig, CertGenerator};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Detail verbosity: `detail!` lines (the per-epoch training trace the
     // CLI shows under `-v`) reach stderr alongside the `progress!` lines.
     acobe_obs::set_verbosity(acobe_obs::progress::LEVEL_DETAIL);
@@ -50,8 +50,7 @@ fn main() -> Result<(), String> {
     // The machine-readable rendering — what `--metrics-out FILE` writes:
     // one JSON object per line, tagged by kind.
     let jsonl = acobe_obs::to_jsonl();
-    std::fs::write("instrumented_run.metrics.jsonl", &jsonl)
-        .map_err(|e| format!("write metrics: {e}"))?;
+    std::fs::write("instrumented_run.metrics.jsonl", &jsonl)?;
     println!(
         "wrote {} metric lines to instrumented_run.metrics.jsonl",
         jsonl.lines().count()

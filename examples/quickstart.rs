@@ -9,7 +9,7 @@ use acobe_features::cert::{extract_cert_features, CountSemantics};
 use acobe_features::spec::cert_feature_set;
 use acobe_synth::cert::{CertConfig, CertGenerator};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Synthesize a small CERT-like organization (two departments, four
     //    months of logs, one insider of each scenario).
     let mut generator = CertGenerator::new(CertConfig::small(42));

@@ -1,0 +1,147 @@
+//! Property tests for the incremental engine (DESIGN.md §7): replaying a
+//! cube day-by-day through [`DetectionEngine`] must reproduce the batch
+//! `score_range` bit for bit, across random org sizes and (ω, D,
+//! min_history) combinations — and a JSON checkpoint/restore at any
+//! mid-stream day must not change a single score.
+
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::pipeline::AcobePipeline;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DAYS: usize = 40;
+const SPLIT: usize = 28;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+
+fn random_cube(users: usize, seed: u64) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(users, Date::from_ymd(2010, 6, 1), DAYS, FRAMES, FEATURES);
+    for u in 0..users {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn config(omega: usize, matrix_days: usize, min_history: usize, seed: u64) -> AcobeConfig {
+    let mut cfg = AcobeConfig::tiny();
+    cfg.deviation.window = omega;
+    cfg.deviation.min_history = min_history;
+    cfg.matrix.matrix_days = matrix_days;
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    // Each case trains a (tiny) ensemble, so keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch scoring, a day-at-a-time stream, and a stream interrupted by a
+    /// JSON checkpoint round-trip all produce identical scores.
+    #[test]
+    fn stream_checkpoint_and_batch_agree(
+        users in 4usize..=8,
+        omega in 4usize..=8,
+        matrix_days in 1usize..=4,
+        min_history_raw in 1usize..=4,
+        checkpoint_offset in 0usize..(DAYS - SPLIT),
+        seed in 0u64..1_000,
+    ) {
+        let min_history = min_history_raw.min(omega - 1);
+        let cube = random_cube(users, seed);
+        let start = cube.start();
+        let split = start.add_days(SPLIT as i32);
+        let end = start.add_days(DAYS as i32);
+        let groups: Vec<Vec<usize>> =
+            vec![(0..users / 2).collect(), (users / 2..users).collect()];
+
+        let mut pipe = AcobePipeline::new(
+            cube.clone(),
+            feature_set(),
+            &groups,
+            config(omega, matrix_days, min_history, seed),
+        )
+        .unwrap();
+        pipe.fit(start, split).unwrap();
+        let table = pipe.score_range(split, end).unwrap();
+        prop_assert_eq!(table.days(), DAYS - SPLIT);
+
+        // Stream the same days through the engine, checkpointing mid-window.
+        let mut engine = pipe.into_engine();
+        engine.reset_stream();
+        let checkpoint_day = SPLIT + checkpoint_offset;
+        let mut restored: Option<DetectionEngine> = None;
+        let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+        for d in 0..DAYS {
+            cube.day_slice_into(d, &mut day_buf);
+            let date = start.add_days(d as i32);
+            if d < SPLIT {
+                engine.warm_day(date, &day_buf).unwrap();
+                continue;
+            }
+            let day = engine.ingest_day(date, &day_buf).unwrap().unwrap();
+            prop_assert_eq!(day.date, date);
+            for (aspect, errs) in day.scores.iter().enumerate() {
+                prop_assert_eq!(
+                    &table.scores[aspect][d - SPLIT],
+                    errs,
+                    "stream diverged from batch at aspect {} day {}",
+                    aspect,
+                    d
+                );
+            }
+            if d == checkpoint_day {
+                let json = serde_json::to_string(&engine.snapshot()).unwrap();
+                let ck = serde_json::from_str(&json).unwrap();
+                restored = Some(DetectionEngine::restore(ck).unwrap());
+            }
+            if d > checkpoint_day {
+                let other = restored.as_mut().unwrap();
+                let resumed = other.ingest_day(date, &day_buf).unwrap().unwrap();
+                prop_assert_eq!(
+                    &day,
+                    &resumed,
+                    "checkpoint restore diverged at day {}",
+                    d
+                );
+            }
+        }
+        let restored = restored.unwrap();
+        prop_assert_eq!(engine.next_date(), restored.next_date());
+        prop_assert_eq!(engine.days_ingested(), restored.days_ingested());
+        // The daily critic sees the same trailing score history on both.
+        let a = engine.daily_investigation(2, 3);
+        let b = restored.daily_investigation(2, 3);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.user, y.user);
+            prop_assert_eq!(x.priority, y.priority);
+        }
+    }
+}
