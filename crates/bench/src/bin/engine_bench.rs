@@ -1,6 +1,7 @@
 //! Incremental-engine benchmark: per-day ingest latency and steady-state
-//! engine memory at 1k/10k users, plus scored-ingest latency and checkpoint
-//! size on a small trained dataset. Merges an `"engine"` section into
+//! engine memory at 1k/10k users, scored-ingest latency and checkpoint
+//! size on a small trained dataset, and shard-scaling of the partitioned
+//! engine at 1k/10k/100k users. Merges an `"engine"` section into
 //! `BENCH_nn.json` (run after `nn_bench`, which rewrites the file).
 //!
 //! Usage: `cargo run --release -p acobe-bench --bin engine_bench [--quick] [--out PATH]`
@@ -8,6 +9,7 @@
 use acobe::config::AcobeConfig;
 use acobe::engine::DetectionEngine;
 use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
 use acobe_bench::{arg_value, build_cert_dataset, parse_args, DatasetOptions};
 use acobe_features::spec::cert_feature_set;
 use serde::Serialize;
@@ -35,10 +37,21 @@ struct ScoredResult {
 }
 
 #[derive(Debug, Serialize)]
+struct ShardScalingResult {
+    users: usize,
+    shards: usize,
+    days: usize,
+    mean_ms: f64,
+    days_per_s: f64,
+    state_bytes: usize,
+}
+
+#[derive(Debug, Serialize)]
 struct EngineReport {
     quick: bool,
     warm_ingest: Vec<IngestResult>,
     scored: ScoredResult,
+    shard_scaling: Vec<ShardScalingResult>,
 }
 
 fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
@@ -90,6 +103,54 @@ fn bench_warm_ingest(users: usize, days: usize) -> IngestResult {
         mean_ms,
         p50_ms,
         max_ms,
+        days_per_s: 1e3 / mean_ms,
+        state_bytes: engine.state_bytes(),
+    }
+}
+
+/// Warm ingest through the partitioned engine: the same workload as
+/// [`bench_warm_ingest`] routed through a [`ShardedEngine`], measuring how
+/// per-day latency scales with the shard count (identical output for every
+/// count — only the wall clock moves).
+fn bench_shard_ingest(users: usize, shards: usize, days: usize) -> ShardScalingResult {
+    let feature_set = cert_feature_set();
+    let features = feature_set.len();
+    let frames = 2;
+    let group_size = (users / 4).max(1);
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let start = acobe_logs::time::Date::from_ymd(2010, 1, 1);
+    let engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+    let mut engine = ShardedEngine::from_engine(engine, shards).expect("shard");
+
+    let width = users * frames * features;
+    let mut day = vec![0.0f32; width];
+    let mut latencies = Vec::with_capacity(days);
+    for d in 0..days {
+        for (i, v) in day.iter_mut().enumerate() {
+            *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
+        }
+        let t = Instant::now();
+        engine.warm_day(start.add_days(d as i32), &day).expect("ingest");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let (mean_ms, _, _) = stats(&latencies);
+    ShardScalingResult {
+        users,
+        shards,
+        days,
+        mean_ms,
         days_per_s: 1e3 / mean_ms,
         state_bytes: engine.state_bytes(),
     }
@@ -180,7 +241,25 @@ fn main() {
         scored.checkpoint_bytes / 1024
     );
 
-    let report = EngineReport { quick, warm_ingest, scored };
+    let scaling_days = if quick { 6 } else { 20 };
+    let scaling_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+    let mut shard_scaling = Vec::new();
+    for &users in scaling_sizes {
+        for &shards in shard_counts {
+            let r = bench_shard_ingest(users, shards, scaling_days);
+            println!(
+                "sharded ingest {users} users / {shards} shards x {scaling_days} days: \
+                 mean {:.3} ms/day, {:.0} days/s, {} MB state",
+                r.mean_ms,
+                r.days_per_s,
+                r.state_bytes / (1 << 20)
+            );
+            shard_scaling.push(r);
+        }
+    }
+
+    let report = EngineReport { quick, warm_ingest, scored, shard_scaling };
     let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok())

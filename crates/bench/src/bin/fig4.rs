@@ -14,7 +14,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_args(&args);
     let mut options = match arg_value(&parsed, "scale") {
-        Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+        Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
         None => DatasetOptions { users_per_dept: 29, with_baseline: false, ..Default::default() },
     };
     options.with_baseline = false;

@@ -20,7 +20,10 @@ fn main() {
     // Default department size 114 to mirror the paper's "114 users in the
     // department" of Figure 5.
     let mut options = match arg_value(&parsed, "scale") {
-        Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+        Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
         None => DatasetOptions { users_per_dept: 114, ..Default::default() },
     };
     if let Some(seed) = arg_value(&parsed, "seed").and_then(|s| s.parse().ok()) {
@@ -32,8 +35,8 @@ fn main() {
         _ => SpeedPreset::Fast,
     };
     let variants: Vec<ModelVariant> = match arg_value(&parsed, "variant") {
-        Some(v) => vec![ModelVariant::parse(v).unwrap_or_else(|u| {
-            eprintln!("unknown variant '{u}'");
+        Some(v) => vec![ModelVariant::parse(v).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         })],
         None => vec![

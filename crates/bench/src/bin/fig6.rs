@@ -12,8 +12,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_args(&args);
     let mut options = match arg_value(&parsed, "scale") {
-        Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|u| {
-            eprintln!("unknown scale '{u}', expected small|medium|dept114|paper");
+        Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         }),
         None => DatasetOptions::default(),

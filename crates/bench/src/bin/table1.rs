@@ -20,7 +20,10 @@ fn main() {
         serde_json::from_str(&json).expect("parse saved results")
     } else {
         let mut options = match arg_value(&parsed, "scale") {
-            Some(s) => DatasetOptions::from_scale(s).expect("valid scale"),
+            Some(s) => DatasetOptions::from_scale(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
             None => DatasetOptions { users_per_dept: 29, ..Default::default() },
         };
         if let Some(seed) = arg_value(&parsed, "seed").and_then(|s| s.parse().ok()) {

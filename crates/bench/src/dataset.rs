@@ -1,5 +1,6 @@
 //! Streaming dataset construction for the evaluation experiments.
 
+use crate::error::BenchError;
 use acobe_features::baseline::BaselineExtractor;
 use acobe_features::cert::{CertExtractor, CountSemantics};
 use acobe_features::counts::FeatureCube;
@@ -33,14 +34,15 @@ impl DatasetOptions {
     ///
     /// # Errors
     ///
-    /// Returns the unknown string back.
-    pub fn from_scale(scale: &str) -> Result<Self, String> {
+    /// Returns [`BenchError::UnknownScale`] naming the input and the
+    /// accepted scales.
+    pub fn from_scale(scale: &str) -> Result<Self, BenchError> {
         let users_per_dept = match scale {
             "small" => 29,
             "medium" => 58,
             "dept114" => 114,
             "paper" => 232,
-            other => return Err(other.to_string()),
+            other => return Err(BenchError::UnknownScale(other.to_string())),
         };
         Ok(DatasetOptions { users_per_dept, ..Default::default() })
     }
@@ -184,7 +186,10 @@ mod tests {
     fn scale_strings() {
         assert_eq!(DatasetOptions::from_scale("paper").unwrap().users_per_dept, 232);
         assert_eq!(DatasetOptions::from_scale("small").unwrap().users_per_dept, 29);
-        assert!(DatasetOptions::from_scale("bogus").is_err());
+        assert_eq!(
+            DatasetOptions::from_scale("bogus").unwrap_err(),
+            BenchError::UnknownScale("bogus".into())
+        );
     }
 }
 

@@ -1,0 +1,53 @@
+//! Typed errors for the experiment harness.
+//!
+//! The CLI-facing parsers (`DatasetOptions::from_scale`,
+//! `ModelVariant::parse`) used to hand back the offending string as a bare
+//! `String`; the binaries then had to invent the error message themselves.
+//! [`BenchError`] keeps the offending input *and* renders the accepted
+//! vocabulary, so every binary prints the same self-explanatory line.
+
+use std::fmt;
+
+/// Everything the experiment harness can reject about its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchError {
+    /// `--scale` was not one of the known dataset scales.
+    UnknownScale(String),
+    /// `--variant` was not one of the Figure-6 model variants.
+    UnknownVariant(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownScale(s) => {
+                write!(f, "unknown scale '{s}' (expected small|medium|dept114|paper)")
+            }
+            BenchError::UnknownVariant(s) => write!(
+                f,
+                "unknown variant '{s}' \
+                 (expected acobe|no-group|1-day|all-in-1|baseline|base-ff|acobe-nN)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_input_and_the_vocabulary() {
+        let e = BenchError::UnknownScale("huge".into());
+        let msg = e.to_string();
+        assert!(msg.contains("'huge'"), "{msg}");
+        assert!(msg.contains("dept114"), "{msg}");
+
+        let e = BenchError::UnknownVariant("acobe-nX".into());
+        let msg = e.to_string();
+        assert!(msg.contains("'acobe-nX'"), "{msg}");
+        assert!(msg.contains("base-ff"), "{msg}");
+    }
+}

@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod error;
 pub mod fig6;
 pub mod runner;
 pub mod variants;
 
 pub use dataset::{build_cert_dataset, CertDataset, DatasetOptions};
+pub use error::BenchError;
 pub use runner::{run_scenario, ScenarioRun};
 pub use variants::{ModelVariant, SpeedPreset};
 

@@ -1,5 +1,6 @@
 //! The seven model configurations compared in Figure 6.
 
+use crate::error::BenchError;
 use acobe::config::AcobeConfig;
 use acobe_features::spec::{baseline_feature_set, cert_feature_set, FeatureSet};
 use serde::{Deserialize, Serialize};
@@ -99,8 +100,9 @@ impl ModelVariant {
     ///
     /// # Errors
     ///
-    /// Returns the unknown string back.
-    pub fn parse(s: &str) -> Result<ModelVariant, String> {
+    /// Returns [`BenchError::UnknownVariant`] naming the input and the
+    /// accepted variants.
+    pub fn parse(s: &str) -> Result<ModelVariant, BenchError> {
         Ok(match s {
             "acobe" => ModelVariant::Acobe,
             "no-group" => ModelVariant::NoGroup,
@@ -110,10 +112,12 @@ impl ModelVariant {
             "base-ff" => ModelVariant::BaseFf,
             other => {
                 if let Some(n) = other.strip_prefix("acobe-n") {
-                    let n: usize = n.parse().map_err(|_| other.to_string())?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| BenchError::UnknownVariant(other.to_string()))?;
                     ModelVariant::AcobeN(n)
                 } else {
-                    return Err(other.to_string());
+                    return Err(BenchError::UnknownVariant(other.to_string()));
                 }
             }
         })
@@ -158,7 +162,14 @@ mod tests {
             let parsed = ModelVariant::parse(&v.name()).unwrap();
             assert_eq!(parsed, v);
         }
-        assert!(ModelVariant::parse("nope").is_err());
+        assert_eq!(
+            ModelVariant::parse("nope").unwrap_err(),
+            BenchError::UnknownVariant("nope".into())
+        );
+        assert_eq!(
+            ModelVariant::parse("acobe-nX").unwrap_err(),
+            BenchError::UnknownVariant("acobe-nX".into())
+        );
     }
 
     #[test]

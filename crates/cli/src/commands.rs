@@ -4,6 +4,7 @@ use acobe::config::AcobeConfig;
 use acobe::engine::{DetectionEngine, EngineCheckpoint};
 use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
 use acobe_features::cert::{extract_cert_features, CountSemantics, DayExtractor};
 use acobe_features::spec::cert_feature_set;
 use acobe_logs::csv::ParseCsvError;
@@ -122,14 +123,24 @@ pub struct VictimMeta {
     pub anomaly_end: String,
 }
 
-/// Resumable state of an `acobe stream` run: the incremental engine plus the
-/// novelty-set feature extractor, bound to the train/score split date so a
-/// resumed stream warms and scores exactly like an uninterrupted one.
+/// Legacy (v1) single-file checkpoint of an `acobe stream` run: the
+/// incremental engine plus the novelty-set feature extractor, bound to the
+/// train/score split date. Still readable by `--resume`, which migrates the
+/// engine into the requested number of shards.
 #[derive(Serialize, Deserialize)]
 struct StreamCheckpoint {
     train_end: String,
     extractor: DayExtractor,
     engine: EngineCheckpoint,
+}
+
+/// The stream-level sidecar (`stream.json`) of a v2 directory checkpoint.
+/// The engine itself lives in the sharded manifest + per-shard files written
+/// by [`ShardedEngine::save`] in the same directory.
+#[derive(Serialize, Deserialize)]
+struct StreamMeta {
+    train_end: String,
+    extractor: DayExtractor,
 }
 
 fn arg<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -303,6 +314,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let top: usize = num_arg(args, "--top", 10)?;
     let critic_n: usize = num_arg(args, "--critic-n", 2)?;
     let smooth: usize = num_arg(args, "--smooth", 3)?;
+    let shards: usize = num_arg(args, "--shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
 
     let (meta, start, end) = load_meta(meta_path)?;
     let until = match arg(args, "--until") {
@@ -314,11 +329,35 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let store = LogStore::from_csv(&read_file(logs_path)?)?;
 
     let (mut engine, mut extractor, train_end) = match arg(args, "--resume") {
+        Some(path) if std::path::Path::new(path).is_dir() => {
+            // v2 directory checkpoint: sharded engine + stream sidecar. The
+            // manifest's shard count wins over --shards.
+            let sidecar = format!("{path}/stream.json");
+            let sm: StreamMeta = serde_json::from_str(&read_file(&sidecar)?)?;
+            let train_end = Date::parse(&sm.train_end)?;
+            let engine = ShardedEngine::load(path, shards)?;
+            for (i, e) in engine.quarantined() {
+                eprintln!("warning: shard {i} quarantined, its users score NaN: {e}");
+            }
+            acobe_obs::progress!(
+                "resumed sharded checkpoint {path} ({} shards, {}/{} users live): next day {}",
+                engine.shard_count(),
+                engine.live_users(),
+                engine.users(),
+                engine.next_date()
+            );
+            (engine, sm.extractor, train_end)
+        }
         Some(path) => {
+            // Legacy v1 single-file checkpoint: migrate into --shards shards.
             let ck: StreamCheckpoint = serde_json::from_str(&read_file(path)?)?;
             let train_end = Date::parse(&ck.train_end)?;
-            let engine = DetectionEngine::restore(ck.engine)?;
-            acobe_obs::progress!("resumed checkpoint {path}: next day {}", engine.next_date());
+            let engine = ShardedEngine::from_engine(DetectionEngine::restore(ck.engine)?, shards)?;
+            acobe_obs::progress!(
+                "migrated v1 checkpoint {path} into {} shard(s): next day {}",
+                engine.shard_count(),
+                engine.next_date()
+            );
             (engine, ck.extractor, train_end)
         }
         None => {
@@ -345,6 +384,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             pipeline.fit(start, train_end)?;
             let mut engine = pipeline.into_engine();
             engine.reset_stream();
+            let engine = ShardedEngine::from_engine(engine, shards)?;
             let extractor = DayExtractor::new(meta.users, start, CountSemantics::Plain);
             (engine, extractor, train_end)
         }
@@ -358,17 +398,19 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     }
 
     let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
+    let assign = engine.assignment().to_vec();
+    let shard_count = engine.shard_count();
     let mut last_list = Vec::new();
     let mut streamed = 0usize;
     let mut scored = 0usize;
     let mut date = engine.next_date();
     while date < until {
-        let day = extractor
-            .ingest_day(date, store.day(date))
+        let slabs = extractor
+            .ingest_day_sharded(date, store.day(date), &assign, shard_count)
             .map_err(AcobeError::from)?;
         if date < train_end {
-            engine.warm_day(date, &day)?;
-        } else if engine.ingest_day(date, &day)?.is_some() {
+            engine.warm_day_slabs(date, &slabs)?;
+        } else if engine.ingest_day_slabs(date, &slabs)?.is_some() {
             scored += 1;
             let list = engine.daily_investigation(critic_n, smooth);
             let line: Vec<String> = list
@@ -391,15 +433,14 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         write_file(path, &serde_json::to_string_pretty(&last_list)?)?;
         acobe_obs::progress!("final investigation list written to {path}");
     }
-    if let Some(path) = arg(args, "--checkpoint") {
-        let ck = StreamCheckpoint {
-            train_end: train_end.to_string(),
-            extractor,
-            engine: engine.snapshot(),
-        };
-        write_file(path, &serde_json::to_string(&ck)?)?;
+    if let Some(dir) = arg(args, "--checkpoint") {
+        engine.save(dir)?;
+        let sm = StreamMeta { train_end: train_end.to_string(), extractor };
+        let sidecar = format!("{dir}/stream.json");
+        write_file(&sidecar, &serde_json::to_string(&sm)?)?;
         acobe_obs::progress!(
-            "checkpoint written to {path} ({} bytes of engine state)",
+            "sharded checkpoint written to {dir}/ ({} shards, {} bytes of engine state)",
+            engine.shard_count(),
             engine.state_bytes()
         );
     }

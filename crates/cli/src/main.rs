@@ -115,17 +115,22 @@ USAGE:
 
     acobe stream --logs FILE --meta FILE [--train-end YYYY-MM-DD]
                  [--until YYYY-MM-DD] [--top N] [--critic-n N] [--smooth N]
-                 [--paper-model] [--checkpoint FILE] [--resume FILE]
-                 [--final-out FILE]
+                 [--shards N] [--paper-model] [--checkpoint DIR]
+                 [--resume DIR|FILE] [--final-out FILE]
         Replay the logs one day at a time through the incremental detection
         engine — the streaming deployment of the exact batch scoring path.
         Trains up to --train-end, then prints one investigation line per
         scored day (ground-truth victims marked with '*'), stopping before
-        --until (default: end of span). --checkpoint serializes the full
-        engine + extractor state on completion; --resume continues a prior
-        checkpoint without retraining, scoring bit-identically to an
-        uninterrupted run. --final-out writes the last day's investigation
-        list as JSON.
+        --until (default: end of span). --shards partitions per-user state
+        across N parallel shards; results are bit-identical for every shard
+        count. --checkpoint writes a directory checkpoint on completion
+        (manifest + one file per shard + stream sidecar); --resume continues
+        a prior checkpoint without retraining, scoring bit-identically to an
+        uninterrupted run — it accepts a v2 checkpoint directory (its shard
+        count wins; shards whose files are damaged are quarantined with a
+        warning while the rest keep scoring) or a legacy v1 single-file
+        checkpoint (migrated into --shards shards). --final-out writes the
+        last day's investigation list as JSON.
 
     acobe enterprise [--attack zeus|ransomware] [--users N] [--seed N]
         Run the Section-VI case study end-to-end: synthesize the enterprise

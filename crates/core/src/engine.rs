@@ -25,6 +25,7 @@ use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::error::AcobeError;
 use crate::streaming::RollingDeviation;
+use acobe_features::exact::ExactF32Sum;
 use acobe_features::spec::FeatureSet;
 use acobe_logs::time::Date;
 use acobe_nn::autoencoder::Autoencoder;
@@ -35,13 +36,14 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Days of recent scores kept for trailing-mean daily investigation lists.
-const SCORE_HISTORY_DAYS: usize = 64;
+pub(crate) const SCORE_HISTORY_DAYS: usize = 64;
 
 /// Checkpoint format version written by [`DetectionEngine::snapshot`].
 const CHECKPOINT_VERSION: u32 = 1;
 
 /// Histogram edges (milliseconds) for per-day ingest latency.
-const INGEST_EDGES: &[f64] = &[0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0];
+pub(crate) const INGEST_EDGES: &[f64] =
+    &[0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0];
 
 /// One scored day: per-aspect, per-user anomaly scores.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,7 +61,7 @@ pub struct DayScores {
 /// the same zero-fill the batch matrix builder applied to days before the
 /// cube.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct DayRing {
+pub(crate) struct DayRing {
     capacity: usize,
     /// Stored day vectors; grows to `capacity`, then slots are reused.
     days: Vec<Vec<f32>>,
@@ -68,12 +70,12 @@ struct DayRing {
 }
 
 impl DayRing {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
         DayRing { capacity, days: Vec::new(), next: 0 }
     }
 
-    fn push(&mut self, day: Vec<f32>) {
+    pub(crate) fn push(&mut self, day: Vec<f32>) {
         if self.days.len() < self.capacity {
             self.days.push(day);
         } else {
@@ -82,12 +84,16 @@ impl DayRing {
         self.next = (self.next + 1) % self.capacity;
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.days.len()
     }
 
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The day vector `k` days before the most recent push.
-    fn offset(&self, k: usize) -> Option<&[f32]> {
+    pub(crate) fn offset(&self, k: usize) -> Option<&[f32]> {
         if k >= self.days.len() {
             return None;
         }
@@ -100,8 +106,82 @@ impl DayRing {
         self.next = 0;
     }
 
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         self.days.iter().map(|d| d.len() * std::mem::size_of::<f32>()).sum()
+    }
+
+    /// True when every stored day vector has exactly `width` values.
+    pub(crate) fn days_have_width(&self, width: usize) -> bool {
+        self.days.iter().all(|d| d.len() == width)
+    }
+
+    /// A ring holding only the listed entities' `[frame][feature]` chunks of
+    /// every stored day, in `keep` order — the per-shard projection of a
+    /// whole-organization ring. Ring positions (fill level, write cursor) are
+    /// preserved so `offset(k)` refers to the same day in both rings.
+    pub(crate) fn extract_entities(&self, keep: &[usize], chunk: usize) -> DayRing {
+        let days = self
+            .days
+            .iter()
+            .map(|day| {
+                let mut out = Vec::with_capacity(keep.len() * chunk);
+                for &e in keep {
+                    out.extend_from_slice(&day[e * chunk..(e + 1) * chunk]);
+                }
+                out
+            })
+            .collect();
+        DayRing { capacity: self.capacity, days, next: self.next }
+    }
+}
+
+/// Appends one matrix block from a deviation ring to `row`: for each
+/// `(feature, frame)`, the `matrix_days` days oldest-first, mapped
+/// `[-Δ, Δ] → [0, 1]` — the exact layout and arithmetic of the batch
+/// `append_block`. The ring stores days flattened `[entity][frame][feature]`;
+/// `entity` is an index into that ring, so shards pass local indices for
+/// their own ring and global group indices for the shared group ring.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ring_block_into(
+    ring: &DayRing,
+    entity: usize,
+    features: &[usize],
+    frames: usize,
+    n_features: usize,
+    matrix_days: usize,
+    delta: f32,
+    row: &mut Vec<f32>,
+) {
+    let two_delta = 2.0 * delta;
+    for &f in features {
+        for t in 0..frames {
+            for offset in (0..matrix_days).rev() {
+                let value = ring
+                    .offset(offset)
+                    .map(|day| day[(entity * frames + t) * n_features + f])
+                    .unwrap_or(0.0);
+                row.push((value + delta) / two_delta);
+            }
+        }
+    }
+}
+
+/// Appends one single-day block to `row`: today's raw counts squashed
+/// `c / (1 + c)`. Same entity-indexing convention as [`ring_block_into`].
+pub(crate) fn counts_block_into(
+    ring: &DayRing,
+    entity: usize,
+    features: &[usize],
+    frames: usize,
+    n_features: usize,
+    row: &mut Vec<f32>,
+) {
+    let today = ring.offset(0);
+    for &f in features {
+        for t in 0..frames {
+            let c = today.map(|day| day[(entity * frames + t) * n_features + f]).unwrap_or(0.0);
+            row.push(c / (1.0 + c));
+        }
     }
 }
 
@@ -115,22 +195,162 @@ impl DayRing {
 /// score (see DESIGN.md §7).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineCheckpoint {
-    version: u32,
-    config: AcobeConfig,
-    feature_set: FeatureSet,
-    groups: Vec<Vec<usize>>,
-    user_group: Vec<usize>,
-    users: usize,
-    frames: usize,
-    start: Date,
-    next_date: Date,
-    user_rolling: Option<RollingDeviation>,
-    group_rolling: Option<RollingDeviation>,
-    user_ring: DayRing,
-    group_ring: Option<DayRing>,
-    models: Vec<SavedAutoencoder>,
-    baselines: Vec<Vec<f32>>,
-    score_history: Vec<DayScores>,
+    pub(crate) version: u32,
+    pub(crate) config: AcobeConfig,
+    pub(crate) feature_set: FeatureSet,
+    pub(crate) groups: Vec<Vec<usize>>,
+    pub(crate) user_group: Vec<usize>,
+    pub(crate) users: usize,
+    pub(crate) frames: usize,
+    pub(crate) start: Date,
+    pub(crate) next_date: Date,
+    pub(crate) user_rolling: Option<RollingDeviation>,
+    pub(crate) group_rolling: Option<RollingDeviation>,
+    pub(crate) user_ring: DayRing,
+    pub(crate) group_ring: Option<DayRing>,
+    pub(crate) models: Vec<SavedAutoencoder>,
+    pub(crate) baselines: Vec<Vec<f32>>,
+    pub(crate) score_history: Vec<DayScores>,
+}
+
+impl EngineCheckpoint {
+    /// Checkpoint format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Cross-checks every internal shape invariant a restored engine relies
+    /// on, so state that parsed as JSON but is internally inconsistent
+    /// surfaces as [`AcobeError::CorruptCheckpoint`] at restore time instead
+    /// of a panic (`expect`/slice indexing) somewhere down the stream.
+    pub(crate) fn validate(&self) -> Result<(), AcobeError> {
+        fn corrupt(msg: String) -> AcobeError {
+            AcobeError::CorruptCheckpoint(msg)
+        }
+        self.config.validate()?;
+        if self.users == 0 || self.frames == 0 {
+            return Err(corrupt("users and frames must be positive".into()));
+        }
+        let features = self.feature_set.len();
+        let aspects = self.feature_set.aspects.len();
+        for aspect in &self.feature_set.aspects {
+            if aspect.features.iter().any(|&f| f >= features) {
+                return Err(corrupt(format!("aspect {} has out-of-range features", aspect.name)));
+            }
+        }
+        if self.config.critic_n > aspects {
+            return Err(corrupt(format!("critic_n {} exceeds {aspects} aspects", self.config.critic_n)));
+        }
+        if self.user_group.len() != self.users {
+            return Err(corrupt(format!(
+                "user_group has {} entries for {} users",
+                self.user_group.len(),
+                self.users
+            )));
+        }
+        for (g, members) in self.groups.iter().enumerate() {
+            if let Some(&u) = members.iter().find(|&&u| u >= self.users) {
+                return Err(corrupt(format!("group {g} contains unknown user {u}")));
+            }
+        }
+        let include_group = self.config.matrix.include_group;
+        if include_group {
+            if self.groups.is_empty() || self.groups.iter().any(|m| m.is_empty()) {
+                return Err(corrupt("group behavior requires non-empty groups".into()));
+            }
+            if self.user_group.iter().any(|&g| g >= self.groups.len()) {
+                return Err(corrupt("a user belongs to no known group".into()));
+            }
+        }
+        let needs_dev = self.config.representation == Representation::Deviation;
+        let user_series = self.users * self.frames * features;
+        let group_series = self.groups.len() * self.frames * features;
+        match (&self.user_rolling, needs_dev) {
+            (Some(r), true) if r.series_count() != user_series => {
+                return Err(corrupt(format!(
+                    "user rolling state has {} series, expected {user_series}",
+                    r.series_count()
+                )));
+            }
+            (None, true) => return Err(corrupt("missing user rolling deviation state".into())),
+            (Some(_), false) => {
+                return Err(corrupt("unexpected rolling state for counts representation".into()));
+            }
+            _ => {}
+        }
+        match (&self.group_rolling, needs_dev && include_group) {
+            (Some(r), true) if r.series_count() != group_series => {
+                return Err(corrupt(format!(
+                    "group rolling state has {} series, expected {group_series}",
+                    r.series_count()
+                )));
+            }
+            (None, true) => return Err(corrupt("missing group rolling deviation state".into())),
+            (Some(_), false) => return Err(corrupt("unexpected group rolling state".into())),
+            _ => {}
+        }
+        let matrix_days = self.config.matrix.matrix_days;
+        if self.user_ring.capacity() != matrix_days {
+            return Err(corrupt(format!(
+                "user ring capacity {} does not match matrix_days {matrix_days}",
+                self.user_ring.capacity()
+            )));
+        }
+        if !self.user_ring.days_have_width(user_series) {
+            return Err(corrupt(format!("user ring days must hold {user_series} values")));
+        }
+        match (&self.group_ring, include_group) {
+            (Some(ring), true) => {
+                if ring.capacity() != matrix_days {
+                    return Err(corrupt(format!(
+                        "group ring capacity {} does not match matrix_days {matrix_days}",
+                        ring.capacity()
+                    )));
+                }
+                if !ring.days_have_width(group_series) {
+                    return Err(corrupt(format!("group ring days must hold {group_series} values")));
+                }
+            }
+            (None, true) => return Err(corrupt("missing group ring".into())),
+            (Some(_), false) => return Err(corrupt("unexpected group ring".into())),
+            _ => {}
+        }
+        if !self.models.is_empty() && self.models.len() != aspects {
+            return Err(corrupt(format!(
+                "{} model snapshots for {aspects} aspects",
+                self.models.len()
+            )));
+        }
+        if !self.baselines.is_empty() {
+            if self.baselines.len() != self.models.len() {
+                return Err(corrupt(format!(
+                    "{} baseline rows for {} models",
+                    self.baselines.len(),
+                    self.models.len()
+                )));
+            }
+            if self.baselines.iter().any(|b| b.len() != self.users) {
+                return Err(corrupt(format!("baseline rows must hold {} users", self.users)));
+            }
+        }
+        for day in &self.score_history {
+            if day.scores.len() != self.models.len()
+                || day.scores.iter().any(|s| s.len() != self.users)
+            {
+                return Err(corrupt(format!(
+                    "score history for {} has inconsistent shape",
+                    day.date
+                )));
+            }
+        }
+        if self.next_date.days_since(self.start) < 0 {
+            return Err(corrupt(format!(
+                "next_date {} precedes stream start {}",
+                self.next_date, self.start
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// The incremental ACOBE detector: ingests one day of measurements at a time
@@ -157,22 +377,22 @@ pub struct EngineCheckpoint {
 /// ```
 #[derive(Debug)]
 pub struct DetectionEngine {
-    config: AcobeConfig,
-    feature_set: FeatureSet,
-    groups: Vec<Vec<usize>>,
+    pub(crate) config: AcobeConfig,
+    pub(crate) feature_set: FeatureSet,
+    pub(crate) groups: Vec<Vec<usize>>,
     /// Group index per user (`usize::MAX` when ungrouped and groups unused).
-    user_group: Vec<usize>,
-    users: usize,
-    frames: usize,
-    start: Date,
-    next_date: Date,
-    user_rolling: Option<RollingDeviation>,
-    group_rolling: Option<RollingDeviation>,
-    user_ring: DayRing,
-    group_ring: Option<DayRing>,
-    models: Vec<Autoencoder>,
-    baselines: Vec<Vec<f32>>,
-    score_history: Vec<DayScores>,
+    pub(crate) user_group: Vec<usize>,
+    pub(crate) users: usize,
+    pub(crate) frames: usize,
+    pub(crate) start: Date,
+    pub(crate) next_date: Date,
+    pub(crate) user_rolling: Option<RollingDeviation>,
+    pub(crate) group_rolling: Option<RollingDeviation>,
+    pub(crate) user_ring: DayRing,
+    pub(crate) group_ring: Option<DayRing>,
+    pub(crate) models: Vec<Autoencoder>,
+    pub(crate) baselines: Vec<Vec<f32>>,
+    pub(crate) score_history: Vec<DayScores>,
 }
 
 impl DetectionEngine {
@@ -350,19 +570,22 @@ impl DetectionEngine {
     }
 
     /// Group-mean measurements for one day, flattened
-    /// `[group][frame][feature]` — f32 summation in roster order, matching
+    /// `[group][frame][feature]` — accumulated with [`ExactF32Sum`], matching
     /// [`acobe_features::counts::FeatureCube::group_mean`] bit for bit.
+    /// Because the exact sum is order- and partition-independent, the sharded
+    /// engine's two-phase reduce reproduces the same values from per-shard
+    /// partial sums.
     fn group_day(&self, measurements: &[f32]) -> Vec<f32> {
         let (frames, features) = (self.frames, self.feature_set.len());
         let mut out = vec![0.0f32; self.groups.len() * frames * features];
         for (g, members) in self.groups.iter().enumerate() {
             for t in 0..frames {
                 for f in 0..features {
-                    let sum: f32 = members
-                        .iter()
-                        .map(|&u| measurements[(u * frames + t) * features + f])
-                        .sum();
-                    out[(g * frames + t) * features + f] = sum / members.len() as f32;
+                    let mut sum = ExactF32Sum::new();
+                    for &u in members {
+                        sum.add(measurements[(u * frames + t) * features + f]);
+                    }
+                    out[(g * frames + t) * features + f] = sum.round() / members.len() as f32;
                 }
             }
         }
@@ -516,20 +739,16 @@ impl DetectionEngine {
         features: &[usize],
         row: &mut Vec<f32>,
     ) {
-        let (frames, n_features) = (self.frames, self.feature_set.len());
-        let delta = self.config.matrix.delta;
-        let two_delta = 2.0 * delta;
-        for &f in features {
-            for t in 0..frames {
-                for offset in (0..self.config.matrix.matrix_days).rev() {
-                    let value = ring
-                        .offset(offset)
-                        .map(|day| day[(entity * frames + t) * n_features + f])
-                        .unwrap_or(0.0);
-                    row.push((value + delta) / two_delta);
-                }
-            }
-        }
+        ring_block_into(
+            ring,
+            entity,
+            features,
+            self.frames,
+            self.feature_set.len(),
+            self.config.matrix.matrix_days,
+            self.config.matrix.delta,
+            row,
+        );
     }
 
     /// One single-day block: today's raw counts squashed `c / (1 + c)`.
@@ -540,14 +759,7 @@ impl DetectionEngine {
         features: &[usize],
         row: &mut Vec<f32>,
     ) {
-        let (frames, n_features) = (self.frames, self.feature_set.len());
-        let today = ring.offset(0);
-        for &f in features {
-            for t in 0..frames {
-                let c = today.map(|day| day[(entity * frames + t) * n_features + f]).unwrap_or(0.0);
-                row.push(c / (1.0 + c));
-            }
-        }
+        counts_block_into(ring, entity, features, self.frames, self.feature_set.len(), row);
     }
 
     /// Raw (uncalibrated) per-user reconstruction errors for the most
@@ -644,16 +856,18 @@ impl DetectionEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`AcobeError::Config`] for an unsupported checkpoint version
-    /// and [`AcobeError::Model`] when a model snapshot does not fit its
-    /// declared architecture.
+    /// Returns [`AcobeError::CorruptCheckpoint`] for an unsupported
+    /// checkpoint version or internally inconsistent state (shape mismatches
+    /// that would otherwise panic mid-stream), and [`AcobeError::Model`] when
+    /// a model snapshot does not fit its declared architecture.
     pub fn restore(checkpoint: EngineCheckpoint) -> Result<Self, AcobeError> {
         if checkpoint.version != CHECKPOINT_VERSION {
-            return Err(AcobeError::Config(format!(
+            return Err(AcobeError::CorruptCheckpoint(format!(
                 "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
                 checkpoint.version
             )));
         }
+        checkpoint.validate()?;
         let models = checkpoint
             .models
             .iter()
@@ -824,6 +1038,55 @@ mod tests {
         let mut cp = e.snapshot();
         cp.version = 999;
         let err = DetectionEngine::restore(cp).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
         assert!(err.to_string().contains("checkpoint version"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_shapes_rejected() {
+        let mut e = engine(2);
+        let day = vec![1.0; e.day_width()];
+        e.warm_day(e.start(), &day).unwrap();
+
+        // user_group sized for the wrong number of users.
+        let mut cp = e.snapshot();
+        cp.user_group = vec![usize::MAX; 5];
+        let err = DetectionEngine::restore(cp).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
+
+        // Missing rolling state while the config demands deviations — would
+        // previously have panicked at the next ingested day.
+        let mut cp = e.snapshot();
+        cp.user_rolling = None;
+        let err = DetectionEngine::restore(cp).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
+
+        // Ring rebuilt with the wrong capacity.
+        let mut cp = e.snapshot();
+        cp.user_ring = DayRing::new(cp.config.matrix.matrix_days + 1);
+        let err = DetectionEngine::restore(cp).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
+
+        // The untouched snapshot still restores.
+        let cp = e.snapshot();
+        assert!(DetectionEngine::restore(cp).is_ok());
+    }
+
+    #[test]
+    fn ring_extract_entities_projects_days() {
+        let mut ring = DayRing::new(3);
+        // Two entities, chunk 2 values each.
+        ring.push(vec![1.0, 2.0, 3.0, 4.0]);
+        ring.push(vec![5.0, 6.0, 7.0, 8.0]);
+        let only_second = ring.extract_entities(&[1], 2);
+        assert_eq!(only_second.len(), 2);
+        assert_eq!(only_second.offset(0).unwrap(), &[7.0, 8.0]);
+        assert_eq!(only_second.offset(1).unwrap(), &[3.0, 4.0]);
+        // Positions preserved: wrap the original, the projection follows.
+        ring.push(vec![9.0, 9.5, 9.9, 9.99]);
+        ring.push(vec![0.1, 0.2, 0.3, 0.4]); // evicts day one
+        let proj = ring.extract_entities(&[0, 1], 2);
+        assert_eq!(proj.offset(0).unwrap(), &[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(proj.offset(2).unwrap(), &[5.0, 6.0, 7.0, 8.0]);
     }
 }

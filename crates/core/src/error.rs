@@ -44,6 +44,20 @@ pub enum AcobeError {
     },
     /// A checkpoint could not be encoded or decoded.
     Checkpoint(serde_json::Error),
+    /// A checkpoint parsed as JSON but its contents are internally
+    /// inconsistent (shape mismatches, missing state, bad version).
+    CorruptCheckpoint(String),
+    /// One shard of a [`crate::shard::ShardedEngine`] failed; carries the
+    /// shard index and the underlying error.
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// What went wrong inside it.
+        source: Box<AcobeError>,
+    },
+    /// Every shard of a sharded checkpoint failed to restore — there is no
+    /// state left to keep scoring with.
+    NoLiveShards,
     /// A model snapshot inside a checkpoint was inconsistent.
     Model(acobe_nn::serialize::LoadError),
     /// Raw logs could not be parsed.
@@ -67,6 +81,11 @@ impl fmt::Display for AcobeError {
             ),
             AcobeError::Io { path, source } => write!(f, "{path}: {source}"),
             AcobeError::Checkpoint(e) => write!(f, "checkpoint encoding: {e}"),
+            AcobeError::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            AcobeError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            AcobeError::NoLiveShards => {
+                f.write_str("no live shards: every shard failed to restore")
+            }
             AcobeError::Model(e) => write!(f, "model snapshot: {e}"),
             AcobeError::Logs(e) => write!(f, "log parsing: {e}"),
             AcobeError::Extract(e) => write!(f, "feature extraction: {e}"),
@@ -79,6 +98,7 @@ impl std::error::Error for AcobeError {
         match self {
             AcobeError::Io { source, .. } => Some(source),
             AcobeError::Checkpoint(e) => Some(e),
+            AcobeError::Shard { source, .. } => Some(source.as_ref()),
             AcobeError::Model(e) => Some(e),
             AcobeError::Logs(e) => Some(e),
             AcobeError::Extract(e) => Some(e),
@@ -140,5 +160,14 @@ mod tests {
         assert!(e.source().is_some());
         assert!(e.to_string().contains("ckpt.json"));
         assert!(AcobeError::NotTrained.source().is_none());
+    }
+
+    #[test]
+    fn shard_errors_wrap_and_chain() {
+        let inner = AcobeError::CorruptCheckpoint("user ring capacity 3".into());
+        let e = AcobeError::Shard { shard: 2, source: Box::new(inner) };
+        assert_eq!(e.to_string(), "shard 2: corrupt checkpoint: user ring capacity 3");
+        assert!(e.source().unwrap().to_string().contains("user ring"));
+        assert!(AcobeError::NoLiveShards.to_string().contains("no live shards"));
     }
 }

@@ -10,6 +10,9 @@
 //!   and group behavior over `D` days × time frames (Figure 2),
 //! * [`engine`] — the incremental day-at-a-time detection core
 //!   ([`engine::DetectionEngine`]) with checkpoint/restore,
+//! * [`shard`] — the horizontally partitioned engine
+//!   ([`shard::ShardedEngine`]): per-shard user state, a two-phase exact
+//!   group reduce, and sharded checkpoints with quarantine,
 //! * [`pipeline`] — the autoencoder-ensemble detector
 //!   ([`pipeline::AcobePipeline`], Figure 1), a batch driver over the engine,
 //! * [`critic`] — the investigation-list critic (Algorithm 1),
@@ -54,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod matrix;
 pub mod pipeline;
+pub mod shard;
 pub mod streaming;
 pub mod waveform;
 
@@ -64,5 +68,6 @@ pub use engine::{DayScores, DetectionEngine, EngineCheckpoint};
 pub use error::AcobeError;
 pub use matrix::{build_row, MatrixConfig};
 pub use pipeline::{AcobePipeline, ScoreTable};
+pub use shard::{assign_users, EngineShard, ShardedEngine};
 pub use streaming::{DayDeviations, RollingDeviation};
 pub use waveform::{analyze, WaveformAnalysis, WaveformCritic, WaveformKind};

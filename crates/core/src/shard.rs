@@ -1,0 +1,1350 @@
+//! The sharded detection engine: partitioned per-user state with an exact
+//! global group reduce.
+//!
+//! A [`ShardedEngine`] owns `N` [`EngineShard`]s, each holding the rolling
+//! deviation histories, [`DayRing`] matrix buffers, models, and score state
+//! for a stable hash-partitioned subset of users. Every ingested day runs in
+//! three explicit phases:
+//!
+//! 1. **Local accumulation** — each shard, in parallel on the
+//!    [`acobe_nn::pool`], gathers its users' measurements, folds them into
+//!    its rolling deviation state, and produces *partial* per-group sums as
+//!    [`ExactF32Sum`] integer accumulators.
+//! 2. **Global group reduce** — the orchestrator merges the partial sums and
+//!    rounds once, producing org-wide group-average measurements that are
+//!    bit-identical to the unsharded [`DetectionEngine`]: integer
+//!    accumulation is associative and commutative, so neither shard count
+//!    nor roster partitioning can change the result (DESIGN.md §8).
+//! 3. **Per-shard finalize** — each shard assembles its users' compound
+//!    matrix rows (local ring + shared group ring), scores them with its own
+//!    copy of the trained models, and emits local scores that the
+//!    orchestrator scatters into the global per-day score vector; the global
+//!    critic then ranks users exactly as the monolith would.
+//!
+//! Checkpoints are a directory: a manifest (shared config, assignment, group
+//! state, model snapshots) plus one file per shard. A shard file that fails
+//! to parse or validate is *quarantined* — its users drop out of scoring
+//! (group means degrade to the live-member average) while the remaining
+//! shards keep the stream going.
+
+use crate::config::{AcobeConfig, Representation};
+use crate::critic::{investigate_from_scores, Investigation};
+use crate::engine::{
+    counts_block_into, ring_block_into, DayRing, DayScores, DetectionEngine, EngineCheckpoint,
+    INGEST_EDGES, SCORE_HISTORY_DAYS,
+};
+use crate::error::AcobeError;
+use crate::streaming::RollingDeviation;
+use acobe_features::exact::ExactF32Sum;
+use acobe_features::spec::FeatureSet;
+use acobe_logs::time::Date;
+use acobe_nn::autoencoder::Autoencoder;
+use acobe_nn::serialize::{restore as restore_model, SavedAutoencoder};
+use acobe_nn::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
+
+/// Checkpoint format version written by [`ShardedEngine::save`].
+const SHARD_CHECKPOINT_VERSION: u32 = 2;
+
+/// Manifest file name inside a sharded checkpoint directory.
+const MANIFEST_FILE: &str = "manifest.json";
+
+/// SplitMix64 finalizer — a seedless, stable 64-bit mix. The user→shard
+/// assignment must never change across versions or runs, or restored
+/// checkpoints would scatter state to the wrong shards.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable shard assignment for a roster: `assign[user] = splitmix64(user) %
+/// shards`. Deterministic and independent of everything but the two inputs.
+pub fn assign_users(users: usize, shards: usize) -> Vec<u32> {
+    assert!(shards > 0, "shards must be positive");
+    (0..users).map(|u| (splitmix64(u as u64) % shards as u64) as u32).collect()
+}
+
+/// Per-shard rosters (ascending user order) derived from an assignment.
+fn rosters_from(assign: &[u32], shards: usize) -> Vec<Vec<usize>> {
+    let mut rosters = vec![Vec::new(); shards];
+    for (u, &s) in assign.iter().enumerate() {
+        rosters[s as usize].push(u);
+    }
+    rosters
+}
+
+fn io_error(path: &Path, source: std::io::Error) -> AcobeError {
+    AcobeError::Io { path: path.display().to_string(), source }
+}
+
+/// One day of measurements, either full-width or pre-routed per shard.
+#[derive(Clone, Copy)]
+enum DayInput<'a> {
+    /// Flattened `[user][frame][feature]` for the whole organization.
+    Full(&'a [f32]),
+    /// One slab per shard, flattened `[local user][frame][feature]` in
+    /// ascending global user order.
+    Slabs(&'a [Vec<f32>]),
+}
+
+/// Immutable per-day facts shared by every shard's local accumulation.
+struct DayContext {
+    frames: usize,
+    features: usize,
+    /// `groups × frames × features` when group behavior is on, else 0.
+    group_cells: usize,
+    use_weights: bool,
+    representation: Representation,
+}
+
+/// One shard's slice of the engine: rolling histories, matrix ring, models,
+/// baselines, and recent scores for a hash-partitioned subset of users.
+#[derive(Debug)]
+pub struct EngineShard {
+    /// Global user indices, ascending.
+    users: Vec<usize>,
+    /// Global group index per local user (`usize::MAX` when ungrouped).
+    user_group: Vec<usize>,
+    rolling: Option<RollingDeviation>,
+    ring: DayRing,
+    models: Vec<Autoencoder>,
+    /// `baselines[aspect][local_user]` calibration divisors.
+    baselines: Vec<Vec<f32>>,
+    /// Recent daily scores, local columns only.
+    score_history: Vec<DayScores>,
+}
+
+impl EngineShard {
+    /// Extracts one shard's slice out of a monolithic engine.
+    fn extract(
+        engine: &DetectionEngine,
+        roster: &[usize],
+        chunk: usize,
+        saved: &[SavedAutoencoder],
+    ) -> Result<EngineShard, AcobeError> {
+        let rolling = match (&engine.user_rolling, roster.is_empty()) {
+            (Some(r), false) => Some(r.extract_entities(roster)),
+            _ => None,
+        };
+        let models = if roster.is_empty() {
+            Vec::new()
+        } else {
+            saved.iter().map(restore_model).collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(EngineShard {
+            users: roster.to_vec(),
+            user_group: roster.iter().map(|&u| engine.user_group[u]).collect(),
+            rolling,
+            ring: engine.user_ring.extract_entities(roster, chunk),
+            models,
+            baselines: engine
+                .baselines
+                .iter()
+                .map(|b| roster.iter().map(|&u| b[u]).collect())
+                .collect(),
+            score_history: engine
+                .score_history
+                .iter()
+                .map(|d| DayScores {
+                    date: d.date,
+                    scores: d
+                        .scores
+                        .iter()
+                        .map(|s| roster.iter().map(|&u| s[u]).collect())
+                        .collect(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Phase 1: folds this shard's slab (flattened `[local user][frame]
+    /// [feature]`) into the local rolling/ring state and returns the shard's
+    /// partial per-group sums.
+    fn accumulate(&mut self, slab: &[f32], ctx: &DayContext) -> Result<Vec<ExactF32Sum>, AcobeError> {
+        let chunk = ctx.frames * ctx.features;
+        if slab.len() != self.users.len() * chunk {
+            return Err(AcobeError::WidthMismatch {
+                expected: self.users.len() * chunk,
+                found: slab.len(),
+            });
+        }
+        let mut sums = vec![ExactF32Sum::new(); ctx.group_cells];
+        if self.users.is_empty() {
+            self.ring.push(Vec::new());
+            return Ok(sums);
+        }
+        if ctx.group_cells > 0 {
+            for (k, &g) in self.user_group.iter().enumerate() {
+                let from = k * chunk;
+                for i in 0..chunk {
+                    sums[g * chunk + i].add(slab[from + i]);
+                }
+            }
+        }
+        match ctx.representation {
+            Representation::Deviation => {
+                let rolling = self.rolling.as_mut().expect("shard deviation state");
+                let mut dev = rolling.push_day(slab)?;
+                if ctx.use_weights {
+                    for (s, w) in dev.sigma.iter_mut().zip(&dev.weights) {
+                        *s *= w;
+                    }
+                }
+                self.ring.push(dev.sigma);
+            }
+            Representation::SingleDayCounts => self.ring.push(slab.to_vec()),
+        }
+        Ok(sums)
+    }
+
+    /// Phase 3: assembles this shard's matrix rows (local ring + shared group
+    /// ring), scores every aspect, calibrates, and appends the local day to
+    /// the score history. Returns `scores[aspect][local_user]`.
+    fn finalize_day(
+        &mut self,
+        date: Date,
+        group_ring: Option<&DayRing>,
+        feature_set: &FeatureSet,
+        config: &AcobeConfig,
+        frames: usize,
+    ) -> Vec<Vec<f32>> {
+        let locals = self.users.len();
+        let n_features = feature_set.len();
+        let mut scores = Vec::with_capacity(self.models.len());
+        if locals == 0 {
+            scores.resize_with(self.models.len(), Vec::new);
+        } else {
+            for aspect in 0..self.models.len() {
+                let features = &feature_set.aspects[aspect].features;
+                let dim = config.matrix.input_dim(features.len(), frames);
+                let mut batch = Matrix::zeros(locals, dim);
+                let mut row = Vec::with_capacity(dim);
+                for k in 0..locals {
+                    row.clear();
+                    match config.representation {
+                        Representation::Deviation => {
+                            ring_block_into(
+                                &self.ring,
+                                k,
+                                features,
+                                frames,
+                                n_features,
+                                config.matrix.matrix_days,
+                                config.matrix.delta,
+                                &mut row,
+                            );
+                            if let Some(gring) = group_ring {
+                                ring_block_into(
+                                    gring,
+                                    self.user_group[k],
+                                    features,
+                                    frames,
+                                    n_features,
+                                    config.matrix.matrix_days,
+                                    config.matrix.delta,
+                                    &mut row,
+                                );
+                            }
+                        }
+                        Representation::SingleDayCounts => {
+                            counts_block_into(&self.ring, k, features, frames, n_features, &mut row);
+                            if let Some(gring) = group_ring {
+                                counts_block_into(
+                                    gring,
+                                    self.user_group[k],
+                                    features,
+                                    frames,
+                                    n_features,
+                                    &mut row,
+                                );
+                            }
+                        }
+                    }
+                    batch.row_mut(k).copy_from_slice(&row);
+                }
+                let mut errs = self.models[aspect].reconstruction_errors(&batch);
+                if config.calibrate && !self.baselines.is_empty() {
+                    for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
+                        *e /= b;
+                    }
+                }
+                scores.push(errs);
+            }
+        }
+        self.score_history.push(DayScores { date, scores: scores.clone() });
+        if self.score_history.len() > SCORE_HISTORY_DAYS {
+            self.score_history.remove(0);
+        }
+        scores
+    }
+
+    fn state_bytes(&self) -> usize {
+        let rolling = self.rolling.as_ref().map_or(0, |r| r.state_bytes());
+        let baselines: usize =
+            self.baselines.iter().map(|b| b.len() * std::mem::size_of::<f32>()).sum();
+        let history: usize = self
+            .score_history
+            .iter()
+            .flat_map(|d| d.scores.iter())
+            .map(|s| s.len() * std::mem::size_of::<f32>())
+            .sum();
+        rolling + self.ring.bytes() + baselines + history
+    }
+}
+
+/// A shard slot: live state, or a quarantine record for a shard whose
+/// checkpoint failed to restore.
+#[derive(Debug)]
+enum ShardSlot {
+    Live(Box<EngineShard>),
+    Quarantined {
+        /// Global user indices the dead shard owned.
+        users: Vec<usize>,
+        /// Why it was quarantined.
+        error: AcobeError,
+    },
+}
+
+/// Serialized shared state of a sharded checkpoint (`manifest.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardManifest {
+    version: u32,
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    groups: Vec<Vec<usize>>,
+    user_group: Vec<usize>,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    assign: Vec<u32>,
+    shard_files: Vec<String>,
+    group_rolling: Option<RollingDeviation>,
+    group_ring: Option<DayRing>,
+    models: Vec<SavedAutoencoder>,
+}
+
+impl ShardManifest {
+    /// Shape checks for the shared state; per-shard files are validated (and
+    /// quarantined) individually.
+    fn validate(&self) -> Result<(), AcobeError> {
+        fn corrupt(msg: String) -> AcobeError {
+            AcobeError::CorruptCheckpoint(msg)
+        }
+        self.config.validate()?;
+        if self.users == 0 || self.frames == 0 {
+            return Err(corrupt("users and frames must be positive".into()));
+        }
+        if self.shard_files.is_empty() {
+            return Err(corrupt("manifest lists no shard files".into()));
+        }
+        if self.assign.len() != self.users {
+            return Err(corrupt(format!(
+                "assignment has {} entries for {} users",
+                self.assign.len(),
+                self.users
+            )));
+        }
+        let shards = self.shard_files.len();
+        if let Some(&s) = self.assign.iter().find(|&&s| s as usize >= shards) {
+            return Err(corrupt(format!("assignment references shard {s} of {shards}")));
+        }
+        if self.user_group.len() != self.users {
+            return Err(corrupt(format!(
+                "user_group has {} entries for {} users",
+                self.user_group.len(),
+                self.users
+            )));
+        }
+        let features = self.feature_set.len();
+        let aspects = self.feature_set.aspects.len();
+        for aspect in &self.feature_set.aspects {
+            if aspect.features.iter().any(|&f| f >= features) {
+                return Err(corrupt(format!("aspect {} has out-of-range features", aspect.name)));
+            }
+        }
+        if self.config.critic_n > aspects {
+            return Err(corrupt(format!(
+                "critic_n {} exceeds {aspects} aspects",
+                self.config.critic_n
+            )));
+        }
+        for (g, members) in self.groups.iter().enumerate() {
+            if let Some(&u) = members.iter().find(|&&u| u >= self.users) {
+                return Err(corrupt(format!("group {g} contains unknown user {u}")));
+            }
+        }
+        let include_group = self.config.matrix.include_group;
+        if include_group {
+            if self.groups.is_empty() || self.groups.iter().any(|m| m.is_empty()) {
+                return Err(corrupt("group behavior requires non-empty groups".into()));
+            }
+            if self.user_group.iter().any(|&g| g >= self.groups.len()) {
+                return Err(corrupt("a user belongs to no known group".into()));
+            }
+        }
+        let needs_dev = self.config.representation == Representation::Deviation;
+        let group_series = self.groups.len() * self.frames * features;
+        match (&self.group_rolling, needs_dev && include_group) {
+            (Some(r), true) if r.series_count() != group_series => {
+                return Err(corrupt(format!(
+                    "group rolling state has {} series, expected {group_series}",
+                    r.series_count()
+                )));
+            }
+            (None, true) => return Err(corrupt("missing group rolling deviation state".into())),
+            (Some(_), false) => return Err(corrupt("unexpected group rolling state".into())),
+            _ => {}
+        }
+        let matrix_days = self.config.matrix.matrix_days;
+        match (&self.group_ring, include_group) {
+            (Some(ring), true) => {
+                if ring.capacity() != matrix_days {
+                    return Err(corrupt(format!(
+                        "group ring capacity {} does not match matrix_days {matrix_days}",
+                        ring.capacity()
+                    )));
+                }
+                if !ring.days_have_width(group_series) {
+                    return Err(corrupt(format!("group ring days must hold {group_series} values")));
+                }
+            }
+            (None, true) => return Err(corrupt("missing group ring".into())),
+            (Some(_), false) => return Err(corrupt("unexpected group ring".into())),
+            _ => {}
+        }
+        if !self.models.is_empty() && self.models.len() != aspects {
+            return Err(corrupt(format!(
+                "{} model snapshots for {aspects} aspects",
+                self.models.len()
+            )));
+        }
+        if self.next_date.days_since(self.start) < 0 {
+            return Err(corrupt(format!(
+                "next_date {} precedes stream start {}",
+                self.next_date, self.start
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialized state of one shard (`shard_NNN.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardCheckpoint {
+    version: u32,
+    shard: usize,
+    users: Vec<usize>,
+    rolling: Option<RollingDeviation>,
+    ring: DayRing,
+    baselines: Vec<Vec<f32>>,
+    score_history: Vec<DayScores>,
+}
+
+/// The sharded detection engine: an orchestrator over `N` [`EngineShard`]s
+/// plus the shared group-behavior state.
+///
+/// Produces scores and investigation lists bit-identical to the monolithic
+/// [`DetectionEngine`] it was built from — for any shard count — while every
+/// per-user phase runs in parallel (see the module docs for the three-phase
+/// ingest and DESIGN.md §8 for the exactness argument).
+///
+/// # Examples
+///
+/// ```
+/// use acobe::config::AcobeConfig;
+/// use acobe::engine::DetectionEngine;
+/// use acobe::shard::ShardedEngine;
+/// use acobe_features::spec::{AspectSpec, FeatureSet};
+/// use acobe_logs::time::Date;
+///
+/// let fs = FeatureSet {
+///     names: vec!["a".into(), "b".into()],
+///     aspects: vec![AspectSpec { name: "all".into(), features: vec![0, 1] }],
+/// };
+/// let cfg = AcobeConfig::tiny().without_group().with_critic_n(1);
+/// let start = Date::from_ymd(2010, 1, 1);
+/// let engine = DetectionEngine::new(8, 2, start, fs, &[], cfg).unwrap();
+/// let mut sharded = ShardedEngine::from_engine(engine, 4).unwrap();
+/// assert_eq!(sharded.shard_count(), 4);
+/// sharded.warm_day(start, &vec![0.0; sharded.day_width()]).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    groups: Vec<Vec<usize>>,
+    user_group: Vec<usize>,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    assign: Vec<u32>,
+    slots: Vec<ShardSlot>,
+    group_rolling: Option<RollingDeviation>,
+    group_ring: Option<DayRing>,
+    saved_models: Vec<SavedAutoencoder>,
+    /// Live members per group — the divisor of the degraded group mean.
+    /// Equals the full roster size while no shard is quarantined.
+    live_group_counts: Vec<usize>,
+}
+
+impl ShardedEngine {
+    /// Partitions a monolithic engine into `shards` hash-assigned shards.
+    /// The engine may be anywhere in its lifecycle — untrained, trained,
+    /// mid-stream — and the sharded engine continues the stream from exactly
+    /// the same position with bit-identical outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Config`] when `shards == 0` and
+    /// [`AcobeError::Model`] when a model snapshot fails to round-trip.
+    pub fn from_engine(mut engine: DetectionEngine, shards: usize) -> Result<Self, AcobeError> {
+        if shards == 0 {
+            return Err(AcobeError::Config("shards must be positive".into()));
+        }
+        let saved_models: Vec<SavedAutoencoder> =
+            engine.models.iter_mut().map(acobe_nn::serialize::snapshot).collect();
+        let assign = assign_users(engine.users, shards);
+        let chunk = engine.frames * engine.feature_set.len();
+        let mut slots = Vec::with_capacity(shards);
+        for roster in &rosters_from(&assign, shards) {
+            let shard = EngineShard::extract(&engine, roster, chunk, &saved_models)?;
+            slots.push(ShardSlot::Live(Box::new(shard)));
+        }
+        let live_group_counts = live_counts(engine.groups.len(), &engine.user_group, &slots);
+        Ok(ShardedEngine {
+            config: engine.config,
+            feature_set: engine.feature_set,
+            groups: engine.groups,
+            user_group: engine.user_group,
+            users: engine.users,
+            frames: engine.frames,
+            start: engine.start,
+            next_date: engine.next_date,
+            assign,
+            slots,
+            group_rolling: engine.group_rolling,
+            group_ring: engine.group_ring,
+            saved_models,
+            live_group_counts,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcobeConfig {
+        &self.config
+    }
+
+    /// The feature catalog / aspect partition.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.feature_set
+    }
+
+    /// Total users across all shards (live and quarantined).
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Time frames per day.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// First day of the stream.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// The day the engine expects next.
+    pub fn next_date(&self) -> Date {
+        self.next_date
+    }
+
+    /// Days ingested since the stream start.
+    pub fn days_ingested(&self) -> usize {
+        self.next_date.days_since(self.start).max(0) as usize
+    }
+
+    /// Width of one day of measurements: `users × frames × features`.
+    pub fn day_width(&self) -> usize {
+        self.users * self.frames * self.feature_set.len()
+    }
+
+    /// True once trained models are attached.
+    pub fn is_trained(&self) -> bool {
+        !self.saved_models.is_empty()
+    }
+
+    /// Number of shards (live + quarantined).
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The stable user→shard assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Users on live shards (scored every day).
+    pub fn live_users(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                ShardSlot::Live(shard) => shard.users.len(),
+                ShardSlot::Quarantined { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Quarantined shards as `(shard index, error)` pairs — shards whose
+    /// checkpoint failed to restore and whose users are excluded from
+    /// scoring until a repaired checkpoint is loaded.
+    pub fn quarantined(&self) -> Vec<(usize, &AcobeError)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ShardSlot::Quarantined { error, .. } => Some((i, error)),
+                ShardSlot::Live(_) => None,
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint of the temporal state across all shards
+    /// plus the shared group state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        let shards: usize = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                ShardSlot::Live(shard) => shard.state_bytes(),
+                ShardSlot::Quarantined { .. } => 0,
+            })
+            .sum();
+        shards
+            + self.group_rolling.as_ref().map_or(0, |r| r.state_bytes())
+            + self.group_ring.as_ref().map_or(0, |r| r.bytes())
+    }
+
+    /// Ingests one day of measurements without scoring it (history warm-up).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DetectionEngine::warm_day`], plus
+    /// [`AcobeError::Shard`] when a shard's local phase fails.
+    pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        self.step(date, measurements, false)?;
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(())
+    }
+
+    /// Ingests one day of measurements and, once trained, scores it.
+    ///
+    /// Returns `None` before training. After training, the per-aspect,
+    /// per-user scores for `date`; users on quarantined shards score
+    /// `f32::NAN`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedEngine::warm_day`].
+    pub fn ingest_day(
+        &mut self,
+        date: Date,
+        measurements: &[f32],
+    ) -> Result<Option<DayScores>, AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        let out = self.step(date, measurements, true)?;
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(out)
+    }
+
+    /// [`ShardedEngine::warm_day`] over pre-routed per-shard slabs —
+    /// `slabs[s]` flattened `[local user][frame][feature]` in ascending
+    /// global user order, as produced by
+    /// `DayExtractor::ingest_day_sharded`. Skips the phase-1 gather.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`AcobeError::Config`] for a wrong slab count
+    /// and a shard-wrapped [`AcobeError::WidthMismatch`] for a wrong-width
+    /// slab.
+    pub fn warm_day_slabs(&mut self, date: Date, slabs: &[Vec<f32>]) -> Result<(), AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        self.step_input(date, DayInput::Slabs(slabs), false)?;
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(())
+    }
+
+    /// [`ShardedEngine::ingest_day`] over pre-routed per-shard slabs (see
+    /// [`ShardedEngine::warm_day_slabs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedEngine::warm_day_slabs`].
+    pub fn ingest_day_slabs(
+        &mut self,
+        date: Date,
+        slabs: &[Vec<f32>],
+    ) -> Result<Option<DayScores>, AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_day");
+        let t0 = Instant::now();
+        let out = self.step_input(date, DayInput::Slabs(slabs), true)?;
+        acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(out)
+    }
+
+    /// The three-phase day step shared by warm-up and scoring.
+    fn step(
+        &mut self,
+        date: Date,
+        measurements: &[f32],
+        score: bool,
+    ) -> Result<Option<DayScores>, AcobeError> {
+        let width = self.day_width();
+        if measurements.len() != width {
+            return Err(AcobeError::WidthMismatch { expected: width, found: measurements.len() });
+        }
+        self.step_input(date, DayInput::Full(measurements), score)
+    }
+
+    /// [`ShardedEngine::step`] over either input shape.
+    fn step_input(
+        &mut self,
+        date: Date,
+        input: DayInput<'_>,
+        score: bool,
+    ) -> Result<Option<DayScores>, AcobeError> {
+        if date != self.next_date {
+            return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });
+        }
+        if let DayInput::Slabs(slabs) = input {
+            if slabs.len() != self.slots.len() {
+                return Err(AcobeError::Config(format!(
+                    "expected {} per-shard slabs, got {}",
+                    self.slots.len(),
+                    slabs.len()
+                )));
+            }
+        }
+        let ctx = DayContext {
+            frames: self.frames,
+            features: self.feature_set.len(),
+            group_cells: if self.config.matrix.include_group {
+                self.groups.len() * self.frames * self.feature_set.len()
+            } else {
+                0
+            },
+            use_weights: self.config.matrix.use_weights,
+            representation: self.config.representation,
+        };
+
+        // Phase 1 — per-shard local accumulation, in parallel on the shared
+        // worker pool (no matmuls run here, so nesting is safe).
+        let n = self.slots.len();
+        type Phase1Out = Option<Result<(Vec<ExactF32Sum>, f64), AcobeError>>;
+        let mut partials: Vec<Phase1Out> = Vec::with_capacity(n);
+        partials.resize_with(n, || None);
+        {
+            let ctx = &ctx;
+            let chunk = ctx.frames * ctx.features;
+            let jobs: Vec<acobe_nn::pool::Job<'_>> = self
+                .slots
+                .iter_mut()
+                .zip(partials.iter_mut())
+                .enumerate()
+                .filter_map(|(i, (slot, out))| {
+                    let ShardSlot::Live(shard) = slot else { return None };
+                    Some(Box::new(move || {
+                        let _span = acobe_obs::span!("engine/shard_ingest", shard = i);
+                        let t0 = Instant::now();
+                        let gathered;
+                        let slab: &[f32] = match input {
+                            DayInput::Full(measurements) => {
+                                let mut local = Vec::with_capacity(shard.users.len() * chunk);
+                                for &u in &shard.users {
+                                    local.extend_from_slice(
+                                        &measurements[u * chunk..(u + 1) * chunk],
+                                    );
+                                }
+                                gathered = local;
+                                &gathered
+                            }
+                            DayInput::Slabs(slabs) => &slabs[i],
+                        };
+                        let r = shard.accumulate(slab, ctx);
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        *out = Some(r.map(|sums| (sums, ms)));
+                    }) as acobe_nn::pool::Job<'_>)
+                })
+                .collect();
+            acobe_nn::pool::global().scope(jobs);
+        }
+        let mut shard_ms = vec![0.0f64; n];
+        let mut merged = vec![ExactF32Sum::new(); ctx.group_cells];
+        for (i, p) in partials.into_iter().enumerate() {
+            let Some(result) = p else { continue };
+            let (sums, ms) =
+                result.map_err(|e| AcobeError::Shard { shard: i, source: Box::new(e) })?;
+            for (m, s) in merged.iter_mut().zip(&sums) {
+                m.merge(s);
+            }
+            shard_ms[i] = ms;
+        }
+
+        // Phase 2 — global group reduce: one final rounding of the merged
+        // integer sums, divided by the live member count (the full roster
+        // while nothing is quarantined — bit-identical to the monolith).
+        if ctx.group_cells > 0 {
+            let per = ctx.frames * ctx.features;
+            let gday: Vec<f32> = merged
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.round() / self.live_group_counts[i / per] as f32)
+                .collect();
+            match ctx.representation {
+                Representation::Deviation => {
+                    let rolling = self.group_rolling.as_mut().expect("group deviation state");
+                    let mut gdev = rolling.push_day(&gday)?;
+                    if ctx.use_weights {
+                        for (s, w) in gdev.sigma.iter_mut().zip(&gdev.weights) {
+                            *s *= w;
+                        }
+                    }
+                    self.group_ring.as_mut().expect("group ring").push(gdev.sigma);
+                }
+                Representation::SingleDayCounts => {
+                    self.group_ring.as_mut().expect("group ring").push(gday);
+                }
+            }
+        }
+
+        // Phase 3 — per-shard finalize: matrix assembly + scoring. Model
+        // forwards parallelize internally on the worker pool, so shards run
+        // on plain scoped threads to avoid nesting pool scopes.
+        let out = if score && !self.saved_models.is_empty() {
+            let aspects = self.saved_models.len();
+            let mut finals: Vec<Option<(Vec<Vec<f32>>, f64)>> = Vec::with_capacity(n);
+            finals.resize_with(n, || None);
+            {
+                let group_ring = self.group_ring.as_ref();
+                let feature_set = &self.feature_set;
+                let config = &self.config;
+                let frames = self.frames;
+                std::thread::scope(|scope| {
+                    for (i, (slot, out)) in
+                        self.slots.iter_mut().zip(finals.iter_mut()).enumerate()
+                    {
+                        let ShardSlot::Live(shard) = slot else { continue };
+                        scope.spawn(move || {
+                            let _span = acobe_obs::span!("engine/shard_finalize", shard = i);
+                            let t0 = Instant::now();
+                            let scores =
+                                shard.finalize_day(date, group_ring, feature_set, config, frames);
+                            *out = Some((scores, t0.elapsed().as_secs_f64() * 1e3));
+                        });
+                    }
+                });
+            }
+            let mut scores = vec![vec![f32::NAN; self.users]; aspects];
+            let mut rows = 0usize;
+            for (i, f) in finals.into_iter().enumerate() {
+                let Some((local, ms)) = f else { continue };
+                shard_ms[i] += ms;
+                let ShardSlot::Live(shard) = &self.slots[i] else { continue };
+                rows += shard.users.len();
+                for (a, col) in local.into_iter().enumerate() {
+                    for (k, &u) in shard.users.iter().enumerate() {
+                        scores[a][u] = col[k];
+                    }
+                }
+            }
+            acobe_obs::counter("engine/rows_scored").add((rows * aspects) as u64);
+            Some(DayScores { date, scores })
+        } else {
+            None
+        };
+
+        for (i, ms) in shard_ms.iter().enumerate() {
+            if matches!(self.slots[i], ShardSlot::Live(_)) {
+                acobe_obs::histogram("engine/shard_ingest_ms", INGEST_EDGES).observe(*ms);
+            }
+        }
+        self.next_date = date.add_days(1);
+        acobe_obs::counter("engine/days_ingested").inc();
+        Ok(out)
+    }
+
+    /// The global critic's investigation list for the most recent scored
+    /// day: per-shard trailing means gathered in ascending global user
+    /// order, ranked exactly as [`DetectionEngine::daily_investigation`]
+    /// ranks the monolith. Users on quarantined shards are excluded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, or if `n` is invalid once scores exist.
+    pub fn daily_investigation(&self, n: usize, window: usize) -> Vec<Investigation> {
+        assert!(window > 0, "window must be positive");
+        let aspects = self.saved_models.len();
+        let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();
+        for slot in &self.slots {
+            let ShardSlot::Live(shard) = slot else { continue };
+            if shard.score_history.is_empty() {
+                continue;
+            }
+            let len = shard.score_history.len().min(window);
+            let tail = &shard.score_history[shard.score_history.len() - len..];
+            for (k, &u) in shard.users.iter().enumerate() {
+                let means = (0..aspects)
+                    .map(|a| tail.iter().map(|d| d.scores[a][k]).sum::<f32>() / len as f32)
+                    .collect();
+                rows.push((u, means));
+            }
+        }
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let _span = acobe_obs::span!("critic");
+        rows.sort_by_key(|&(u, _)| u);
+        let per_aspect: Vec<Vec<f32>> =
+            (0..aspects).map(|a| rows.iter().map(|(_, m)| m[a]).collect()).collect();
+        investigate_from_scores(&per_aspect, n)
+            .into_iter()
+            .map(|inv| Investigation { user: rows[inv.user].0, priority: inv.priority })
+            .collect()
+    }
+
+    /// Saves a sharded checkpoint: `dir/manifest.json` plus one
+    /// `dir/shard_NNN.json` per live shard. Quarantined shards have no state
+    /// to save; their missing files quarantine them again on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] for serialization failures.
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<(), AcobeError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
+        let shard_files: Vec<String> =
+            (0..self.slots.len()).map(|i| format!("shard_{i:03}.json")).collect();
+        let manifest = ShardManifest {
+            version: SHARD_CHECKPOINT_VERSION,
+            config: self.config.clone(),
+            feature_set: self.feature_set.clone(),
+            groups: self.groups.clone(),
+            user_group: self.user_group.clone(),
+            users: self.users,
+            frames: self.frames,
+            start: self.start,
+            next_date: self.next_date,
+            assign: self.assign.clone(),
+            shard_files: shard_files.clone(),
+            group_rolling: self.group_rolling.clone(),
+            group_ring: self.group_ring.clone(),
+            models: self.saved_models.clone(),
+        };
+        let path = dir.join(MANIFEST_FILE);
+        let json = serde_json::to_string(&manifest)?;
+        std::fs::write(&path, json).map_err(|e| io_error(&path, e))?;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let ShardSlot::Live(shard) = slot else { continue };
+            let cp = ShardCheckpoint {
+                version: SHARD_CHECKPOINT_VERSION,
+                shard: i,
+                users: shard.users.clone(),
+                rolling: shard.rolling.clone(),
+                ring: shard.ring.clone(),
+                baselines: shard.baselines.clone(),
+                score_history: shard.score_history.clone(),
+            };
+            let path = dir.join(&shard_files[i]);
+            let json = serde_json::to_string(&cp)?;
+            std::fs::write(&path, json).map_err(|e| io_error(&path, e))?;
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint saved by [`ShardedEngine::save`] — or, when `path`
+    /// is a single file, migrates a v1 [`DetectionEngine`] checkpoint into
+    /// `shards_for_v1` shards.
+    ///
+    /// Shard files that are missing, truncated, or internally inconsistent
+    /// quarantine their shard ([`AcobeError::Shard`] wrapping the cause,
+    /// inspectable via [`ShardedEngine::quarantined`]) while the remaining
+    /// shards resume scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`]/[`AcobeError::Checkpoint`] for an
+    /// unreadable or unparsable manifest, [`AcobeError::CorruptCheckpoint`]
+    /// for bad versions or inconsistent shared state, [`AcobeError::Model`]
+    /// for corrupt model snapshots, and [`AcobeError::NoLiveShards`] when
+    /// every shard quarantines.
+    pub fn load<P: AsRef<Path>>(path: P, shards_for_v1: usize) -> Result<Self, AcobeError> {
+        let path = path.as_ref();
+        if path.is_file() {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+            let checkpoint: EngineCheckpoint = serde_json::from_str(&json)?;
+            let engine = DetectionEngine::restore(checkpoint)?;
+            return Self::from_engine(engine, shards_for_v1.max(1));
+        }
+        let manifest_path = path.join(MANIFEST_FILE);
+        let json =
+            std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, e))?;
+        let manifest: ShardManifest = serde_json::from_str(&json)?;
+        if manifest.version != SHARD_CHECKPOINT_VERSION {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "unsupported sharded checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
+                manifest.version
+            )));
+        }
+        manifest.validate()?;
+        // Manifest-level model corruption is fatal (every shard shares the
+        // snapshots), so surface it before touching shard files.
+        for saved in &manifest.models {
+            restore_model(saved)?;
+        }
+        let shards = manifest.shard_files.len();
+        let rosters = rosters_from(&manifest.assign, shards);
+        let mut slots = Vec::with_capacity(shards);
+        for (i, file) in manifest.shard_files.iter().enumerate() {
+            match load_shard(&path.join(file), i, &rosters[i], &manifest) {
+                Ok(shard) => slots.push(ShardSlot::Live(Box::new(shard))),
+                Err(error) => slots.push(ShardSlot::Quarantined {
+                    users: rosters[i].clone(),
+                    error: AcobeError::Shard { shard: i, source: Box::new(error) },
+                }),
+            }
+        }
+        if !slots.iter().any(|s| matches!(s, ShardSlot::Live(_))) {
+            return Err(AcobeError::NoLiveShards);
+        }
+        let live_group_counts = live_counts(manifest.groups.len(), &manifest.user_group, &slots);
+        Ok(ShardedEngine {
+            config: manifest.config,
+            feature_set: manifest.feature_set,
+            groups: manifest.groups,
+            user_group: manifest.user_group,
+            users: manifest.users,
+            frames: manifest.frames,
+            start: manifest.start,
+            next_date: manifest.next_date,
+            assign: manifest.assign,
+            slots,
+            group_rolling: manifest.group_rolling,
+            group_ring: manifest.group_ring,
+            saved_models: manifest.models,
+            live_group_counts,
+        })
+    }
+}
+
+/// Live members per group across the current slots.
+fn live_counts(groups: usize, user_group: &[usize], slots: &[ShardSlot]) -> Vec<usize> {
+    let mut counts = vec![0usize; groups];
+    for slot in slots {
+        let ShardSlot::Live(shard) = slot else { continue };
+        for &u in &shard.users {
+            let g = user_group[u];
+            if g != usize::MAX {
+                counts[g] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Reads, parses, validates, and rebuilds one shard. Any error quarantines
+/// the shard (the caller wraps it in [`AcobeError::Shard`]).
+fn load_shard(
+    path: &Path,
+    index: usize,
+    roster: &[usize],
+    manifest: &ShardManifest,
+) -> Result<EngineShard, AcobeError> {
+    fn corrupt(msg: String) -> AcobeError {
+        AcobeError::CorruptCheckpoint(msg)
+    }
+    let json = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+    let cp: ShardCheckpoint = serde_json::from_str(&json)?;
+    if cp.version != SHARD_CHECKPOINT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported shard checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
+            cp.version
+        )));
+    }
+    if cp.shard != index {
+        return Err(corrupt(format!("shard file claims index {}, expected {index}", cp.shard)));
+    }
+    if cp.users != roster {
+        return Err(corrupt(format!(
+            "shard roster has {} users, assignment expects {}",
+            cp.users.len(),
+            roster.len()
+        )));
+    }
+    let features = manifest.feature_set.len();
+    let locals = roster.len();
+    let local_series = locals * manifest.frames * features;
+    let needs_dev = manifest.config.representation == Representation::Deviation;
+    match (&cp.rolling, needs_dev && locals > 0) {
+        (Some(r), true) if r.series_count() != local_series => {
+            return Err(corrupt(format!(
+                "shard rolling state has {} series, expected {local_series}",
+                r.series_count()
+            )));
+        }
+        (None, true) => return Err(corrupt("missing shard rolling deviation state".into())),
+        (Some(_), false) => return Err(corrupt("unexpected shard rolling state".into())),
+        _ => {}
+    }
+    if cp.ring.capacity() != manifest.config.matrix.matrix_days {
+        return Err(corrupt(format!(
+            "shard ring capacity {} does not match matrix_days {}",
+            cp.ring.capacity(),
+            manifest.config.matrix.matrix_days
+        )));
+    }
+    if !cp.ring.days_have_width(local_series) {
+        return Err(corrupt(format!("shard ring days must hold {local_series} values")));
+    }
+    if !cp.baselines.is_empty() {
+        if cp.baselines.len() != manifest.models.len() {
+            return Err(corrupt(format!(
+                "{} baseline rows for {} models",
+                cp.baselines.len(),
+                manifest.models.len()
+            )));
+        }
+        if cp.baselines.iter().any(|b| b.len() != locals) {
+            return Err(corrupt(format!("baseline rows must hold {locals} users")));
+        }
+    }
+    for day in &cp.score_history {
+        if day.scores.len() != manifest.models.len()
+            || day.scores.iter().any(|s| s.len() != locals)
+        {
+            return Err(corrupt(format!("score history for {} has inconsistent shape", day.date)));
+        }
+    }
+    let models = if locals == 0 {
+        Vec::new()
+    } else {
+        manifest.models.iter().map(restore_model).collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(EngineShard {
+        users: cp.users,
+        user_group: roster.iter().map(|&u| manifest.user_group[u]).collect(),
+        rolling: cp.rolling,
+        ring: cp.ring,
+        models,
+        baselines: cp.baselines,
+        score_history: cp.score_history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_features::spec::AspectSpec;
+
+    fn feature_set() -> FeatureSet {
+        FeatureSet {
+            names: vec!["a".into(), "b".into()],
+            aspects: vec![AspectSpec { name: "all".into(), features: vec![0, 1] }],
+        }
+    }
+
+    fn grouped_engine(users: usize) -> DetectionEngine {
+        let cfg = AcobeConfig::tiny().with_critic_n(1);
+        let groups: Vec<Vec<usize>> = (0..users)
+            .step_by(3)
+            .map(|lo| (lo..(lo + 3).min(users)).collect())
+            .collect();
+        DetectionEngine::new(users, 2, Date::from_ymd(2010, 1, 1), feature_set(), &groups, cfg)
+            .unwrap()
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("acobe_shard_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn day(width: usize, seed: i32) -> Vec<f32> {
+        (0..width).map(|j| ((seed * 31 + j as i32 * 7) % 13) as f32 * 0.5).collect()
+    }
+
+    #[test]
+    fn assignment_is_stable_and_covers_all_shards() {
+        let a = assign_users(1000, 4);
+        let b = assign_users(1000, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 4));
+        for s in 0..4u32 {
+            let n = a.iter().filter(|&&x| x == s).count();
+            assert!(n > 150, "shard {s} got only {n} of 1000 users");
+        }
+        // Growing the roster never reassigns existing users.
+        let bigger = assign_users(2000, 4);
+        assert_eq!(&bigger[..1000], &a[..]);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let engine = grouped_engine(6);
+        let err = ShardedEngine::from_engine(engine, 0).unwrap_err();
+        assert!(matches!(err, AcobeError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn untrained_sharded_stream_checkpoints_and_resumes() {
+        let dir = temp_dir("resume");
+        let mut engine = grouped_engine(7);
+        let width = engine.day_width();
+        let start = engine.start();
+        for i in 0..6 {
+            engine.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        let mut sharded = ShardedEngine::from_engine(engine, 3).unwrap();
+        assert_eq!(sharded.users(), 7);
+        assert_eq!(sharded.live_users(), 7);
+        assert_eq!(sharded.days_ingested(), 6);
+        for i in 6..9 {
+            sharded.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        sharded.save(&dir).unwrap();
+        let mut resumed = ShardedEngine::load(&dir, 0).unwrap();
+        assert_eq!(resumed.next_date(), sharded.next_date());
+        assert!(resumed.quarantined().is_empty());
+        for i in 9..12 {
+            let d = day(width, i);
+            sharded.warm_day(start.add_days(i), &d).unwrap();
+            resumed.warm_day(start.add_days(i), &d).unwrap();
+        }
+        assert_eq!(resumed.state_bytes(), sharded.state_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slab_ingest_matches_full_ingest() {
+        // Warm one engine with full-width days and a twin with pre-routed
+        // slabs; their serialized checkpoints must be byte-identical.
+        let dir_a = temp_dir("slab_a");
+        let dir_b = temp_dir("slab_b");
+        let mut full = ShardedEngine::from_engine(grouped_engine(8), 3).unwrap();
+        let mut slabbed = ShardedEngine::from_engine(grouped_engine(8), 3).unwrap();
+        let width = full.day_width();
+        let start = full.start();
+        let chunk = full.frames() * full.feature_set().len();
+        let assign = full.assignment().to_vec();
+        for i in 0..7 {
+            let d = day(width, i);
+            full.warm_day(start.add_days(i), &d).unwrap();
+            let mut slabs = vec![Vec::new(); 3];
+            for (u, &s) in assign.iter().enumerate() {
+                slabs[s as usize].extend_from_slice(&d[u * chunk..(u + 1) * chunk]);
+            }
+            slabbed.warm_day_slabs(start.add_days(i), &slabs).unwrap();
+        }
+        full.save(&dir_a).unwrap();
+        slabbed.save(&dir_b).unwrap();
+        for file in ["manifest.json", "shard_000.json", "shard_001.json", "shard_002.json"] {
+            assert_eq!(
+                std::fs::read_to_string(dir_a.join(file)).unwrap(),
+                std::fs::read_to_string(dir_b.join(file)).unwrap(),
+                "{file} diverged"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn truncated_shard_file_quarantines_but_stream_continues() {
+        let dir = temp_dir("quarantine");
+        let mut engine = grouped_engine(9);
+        let width = engine.day_width();
+        let start = engine.start();
+        for i in 0..4 {
+            engine.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        let sharded = ShardedEngine::from_engine(engine, 3).unwrap();
+        sharded.save(&dir).unwrap();
+        // Truncate one shard file mid-JSON.
+        let victim = dir.join("shard_001.json");
+        let full = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
+        let mut degraded = ShardedEngine::load(&dir, 0).unwrap();
+        let quarantined = degraded.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0, 1);
+        assert!(matches!(quarantined[0].1, AcobeError::Shard { shard: 1, .. }));
+        assert!(degraded.live_users() < degraded.users());
+        // The degraded engine keeps ingesting.
+        degraded.warm_day(start.add_days(4), &day(width, 4)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_shards_dead_is_a_typed_error() {
+        let dir = temp_dir("all_dead");
+        let engine = grouped_engine(5);
+        let sharded = ShardedEngine::from_engine(engine, 2).unwrap();
+        sharded.save(&dir).unwrap();
+        std::fs::write(dir.join("shard_000.json"), "{").unwrap();
+        std::fs::write(dir.join("shard_001.json"), "not json at all").unwrap();
+        let err = ShardedEngine::load(&dir, 0).unwrap_err();
+        assert!(matches!(err, AcobeError::NoLiveShards), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_manifest_version_rejected() {
+        let dir = temp_dir("bad_version");
+        let engine = grouped_engine(4);
+        let sharded = ShardedEngine::from_engine(engine, 2).unwrap();
+        sharded.save(&dir).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let json = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, json.replacen("\"version\":2", "\"version\":9", 1)).unwrap();
+        let err = ShardedEngine::load(&dir, 0).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
+        assert!(err.to_string().contains("checkpoint version"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_file_checkpoint_migrates_into_shards() {
+        let dir = temp_dir("v1_migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = grouped_engine(6);
+        let width = engine.day_width();
+        let start = engine.start();
+        for i in 0..5 {
+            engine.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        let path = dir.join("legacy.json");
+        let json = serde_json::to_string(&engine.snapshot()).unwrap();
+        std::fs::write(&path, json).unwrap();
+        let mut sharded = ShardedEngine::load(&path, 4).unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.next_date(), start.add_days(5));
+        sharded.warm_day(start.add_days(5), &day(width, 5)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

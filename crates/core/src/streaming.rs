@@ -105,6 +105,43 @@ impl RollingDeviation {
             + series * 2 * std::mem::size_of::<f64>()
     }
 
+    /// Rolling state for only the listed entities, in `keep` order — the
+    /// per-shard projection of whole-organization state. Per-series rings,
+    /// cursors, and running sums are copied verbatim, so the extracted state
+    /// continues the stream bit-identically for the kept entities.
+    pub(crate) fn extract_entities(&self, keep: &[usize]) -> RollingDeviation {
+        assert!(!keep.is_empty(), "cannot extract zero entities");
+        let per_entity = self.frames * self.features;
+        let mut history = Vec::with_capacity(keep.len() * per_entity);
+        let mut cursor = Vec::with_capacity(keep.len() * per_entity);
+        let mut filled = Vec::with_capacity(keep.len() * per_entity);
+        let mut sum = Vec::with_capacity(keep.len() * per_entity);
+        let mut sum_sq = Vec::with_capacity(keep.len() * per_entity);
+        for &e in keep {
+            assert!(e < self.entities, "entity {e} out of range");
+            let from = e * per_entity;
+            for i in from..from + per_entity {
+                history.push(self.history[i].clone());
+                cursor.push(self.cursor[i]);
+                filled.push(self.filled[i]);
+                sum.push(self.sum[i]);
+                sum_sq.push(self.sum_sq[i]);
+            }
+        }
+        RollingDeviation {
+            config: self.config,
+            entities: keep.len(),
+            frames: self.frames,
+            features: self.features,
+            history,
+            cursor,
+            filled,
+            sum,
+            sum_sq,
+            days_seen: self.days_seen,
+        }
+    }
+
     /// Consumes one day of measurements (flattened `[entity][frame][feature]`)
     /// and returns that day's deviations, then folds the measurements into
     /// the history.
@@ -309,6 +346,45 @@ mod tests {
         // The failed push left the state untouched.
         assert_eq!(rolling.days_seen(), 0);
         assert!(rolling.push_day(&[0.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn extracted_entities_continue_bit_identically() {
+        // Stream a 5-entity population, project out entities {1, 3, 4}, and
+        // verify the projection's subsequent outputs equal the corresponding
+        // slices of the full population's outputs.
+        let config = DeviationConfig { window: 6, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+        let (frames, features) = (2usize, 3usize);
+        let mut full = RollingDeviation::new(5, frames, features, config);
+        let mut rng = StdRng::seed_from_u64(11);
+        let width = 5 * frames * features;
+        for _ in 0..9 {
+            let day: Vec<f32> = (0..width).map(|_| rng.gen_range(0.0f32..20.0)).collect();
+            full.push_day(&day).unwrap();
+        }
+        let keep = [1usize, 3, 4];
+        let mut part = full.extract_entities(&keep);
+        assert_eq!(part.series_count(), keep.len() * frames * features);
+        assert_eq!(part.days_seen(), full.days_seen());
+        let per_entity = frames * features;
+        for _ in 0..8 {
+            let day: Vec<f32> = (0..width).map(|_| rng.gen_range(0.0f32..20.0)).collect();
+            let sub: Vec<f32> = keep
+                .iter()
+                .flat_map(|&e| day[e * per_entity..(e + 1) * per_entity].iter().copied())
+                .collect();
+            let out_full = full.push_day(&day).unwrap();
+            let out_part = part.push_day(&sub).unwrap();
+            for (k, &e) in keep.iter().enumerate() {
+                for j in 0..per_entity {
+                    assert_eq!(out_part.sigma[k * per_entity + j], out_full.sigma[e * per_entity + j]);
+                    assert_eq!(
+                        out_part.weights[k * per_entity + j],
+                        out_full.weights[e * per_entity + j]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

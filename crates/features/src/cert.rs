@@ -231,6 +231,45 @@ impl DayExtractor {
         }
         Ok(day)
     }
+
+    /// Processes one day of events and routes the measurements into
+    /// per-shard slabs: `slabs[s]` concatenates the `[frame][feature]`
+    /// chunks of every user with `assign[user] == s`, in ascending user
+    /// order — exactly the local layout a sharded engine's shard ingests
+    /// (`ShardedEngine::ingest_day_slabs` in `acobe`).
+    ///
+    /// First-seen novelty tracking stays global: a host is novel for a user
+    /// regardless of which shard the user lands on, so routed and unrouted
+    /// extraction produce identical measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` does not cover exactly the tracked users or
+    /// references a shard `>= shards`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DayExtractor::ingest_day`].
+    pub fn ingest_day_sharded(
+        &mut self,
+        date: Date,
+        events: &[LogEvent],
+        assign: &[u32],
+        shards: usize,
+    ) -> Result<Vec<Vec<f32>>, ExtractError> {
+        assert_eq!(assign.len(), self.users, "assignment must cover every user");
+        assert!(
+            assign.iter().all(|&s| (s as usize) < shards),
+            "assignment references a shard >= {shards}"
+        );
+        let day = self.ingest_day(date, events)?;
+        let chunk = 2 * self.features;
+        let mut slabs = vec![Vec::new(); shards];
+        for (u, &s) in assign.iter().enumerate() {
+            slabs[s as usize].extend_from_slice(&day[u * chunk..(u + 1) * chunk]);
+        }
+        Ok(slabs)
+    }
 }
 
 /// Bounded extractor producing the 16-feature CERT cube over a fixed date
@@ -477,6 +516,47 @@ mod tests {
         assert_eq!(cube.get(0, day(1), 0, 6), 2.0); // copy local->remote
         assert_eq!(cube.get(0, day(1), 0, 8), 2.0); // both ops on a new pair
         assert_eq!(cube.get(0, day(2), 0, 8), 0.0);
+    }
+
+    #[test]
+    fn sharded_routing_matches_unrouted() {
+        // Two extractors over the same events: full-day output re-gathered
+        // from the routed slabs must be identical, including novelty counts.
+        let users = 5;
+        let mut plain = DayExtractor::new(users, day(1), CountSemantics::Plain);
+        let mut routed = DayExtractor::new(users, day(1), CountSemantics::Plain);
+        let assign: Vec<u32> = vec![1, 0, 2, 0, 1];
+        let shards = 3;
+        let chunk = 2 * plain.features;
+        for d in 1..4 {
+            let events = vec![
+                device(day(d), 9, 0, d as u32),
+                device(day(d), 21, 2, 5),
+                upload(day(d), 10, 4, 100, FileType::Doc),
+                file_op(day(d), 11, 1, d as u32),
+            ];
+            let full = plain.ingest_day(day(d), &events).unwrap();
+            let slabs = routed.ingest_day_sharded(day(d), &events, &assign, shards).unwrap();
+            assert_eq!(slabs.len(), shards);
+            // Rebuild the full day from the slabs via the assignment.
+            let mut cursors = vec![0usize; shards];
+            for (u, &s) in assign.iter().enumerate() {
+                let s = s as usize;
+                let got = &slabs[s][cursors[s]..cursors[s] + chunk];
+                assert_eq!(got, &full[u * chunk..(u + 1) * chunk], "day {d} user {u}");
+                cursors[s] += chunk;
+            }
+            for (s, slab) in slabs.iter().enumerate() {
+                assert_eq!(slab.len(), cursors[s], "shard {s} slab length");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover every user")]
+    fn sharded_routing_rejects_short_assignment() {
+        let mut ex = DayExtractor::new(3, day(1), CountSemantics::Plain);
+        let _ = ex.ingest_day_sharded(day(1), &[], &[0, 1], 2);
     }
 
     #[test]

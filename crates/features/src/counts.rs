@@ -3,6 +3,7 @@
 //! This is the `m_{f,t,d}` tensor of the paper (Section IV-A), per user:
 //! the raw numeric measurements that deviations are derived from.
 
+use crate::exact::ExactF32Sum;
 use acobe_logs::time::Date;
 use serde::{Deserialize, Serialize};
 
@@ -131,18 +132,20 @@ impl FeatureCube {
     }
 
     /// Mean of a feature over all users for one `(day, frame)` — the group
-    /// behavior (Section IV-A) over a set of member indices.
+    /// behavior (Section IV-A) over a set of member indices. Accumulated with
+    /// [`ExactF32Sum`], so the result does not depend on member order or on
+    /// how a sharded engine partitions the roster.
     ///
     /// # Panics
     ///
     /// Panics if `members` is empty.
     pub fn group_mean(&self, members: &[usize], day: usize, frame: usize, feature: usize) -> f32 {
         assert!(!members.is_empty(), "empty group");
-        let sum: f32 = members
-            .iter()
-            .map(|&u| self.data[self.offset(u, day, frame, feature)])
-            .sum();
-        sum / members.len() as f32
+        let mut sum = ExactF32Sum::new();
+        for &u in members {
+            sum.add(self.data[self.offset(u, day, frame, feature)]);
+        }
+        sum.round() / members.len() as f32
     }
 
     /// Total of all measurements (for sanity checks).

@@ -1,0 +1,404 @@
+//! Exact, partition-independent `f32` summation.
+//!
+//! Floating-point addition is not associative, so two shards that each fold
+//! their members' measurements in `f32` cannot, in general, combine their
+//! partial sums into the same bits a single flat fold would produce. The
+//! sharded engine (DESIGN.md §8) therefore accumulates group sums *exactly*:
+//! every finite `f32` is an integer multiple of 2⁻¹⁴⁹ (the smallest positive
+//! subnormal), so a sum of `f32`s is representable as a wide fixed-point
+//! integer. Integer addition is associative and commutative, which makes the
+//! accumulated value independent of both summand order and partitioning;
+//! a single correctly-rounded conversion back to `f32` at the end yields one
+//! well-defined result no matter how the inputs were sharded.
+//!
+//! [`ExactF32Sum`] holds that fixed-point value in 320 bits of two's
+//! complement — enough headroom to absorb on the order of 10¹² summands of
+//! the largest finite `f32` magnitude without overflow, far beyond any
+//! realistic roster. Both the monolithic group-statistics path and the
+//! sharded two-phase reduce use it, so their group averages are bit-equal
+//! by construction.
+
+/// Number of 64-bit limbs in the accumulator.
+const LIMBS: usize = 5;
+
+/// Binary exponent of the fixed-point unit: values are integers × 2⁻¹⁴⁹.
+const UNIT_EXP: i32 = -149;
+
+/// An exact accumulator for `f32` values.
+///
+/// The running sum is a 320-bit two's-complement integer in units of 2⁻¹⁴⁹.
+/// [`add`](Self::add) folds in one value, [`merge`](Self::merge) combines two
+/// accumulators (associative and commutative), and [`round`](Self::round)
+/// performs the single round-to-nearest-even conversion back to `f32`.
+///
+/// Non-finite inputs (`NaN`, `±∞`) have no fixed-point representation; they
+/// poison the accumulator, and a poisoned sum rounds to `NaN`.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::exact::ExactF32Sum;
+///
+/// let values = [0.1f32, 0.2, 0.3, -0.6];
+/// let mut whole = ExactF32Sum::new();
+/// for v in values {
+///     whole.add(v);
+/// }
+/// // Any partition merges to the identical sum.
+/// let mut left = ExactF32Sum::new();
+/// left.add(values[2]);
+/// let mut right = ExactF32Sum::new();
+/// right.add(values[1]);
+/// right.add(values[3]);
+/// right.add(values[0]);
+/// left.merge(&right);
+/// assert_eq!(whole.round().to_bits(), left.round().to_bits());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactF32Sum {
+    /// Little-endian limbs of the two's-complement fixed-point sum.
+    limbs: [u64; LIMBS],
+    /// Set when a non-finite value was added; forces `round()` to `NaN`.
+    poisoned: bool,
+}
+
+impl Default for ExactF32Sum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactF32Sum {
+    /// An empty (zero) sum.
+    pub fn new() -> Self {
+        ExactF32Sum { limbs: [0; LIMBS], poisoned: false }
+    }
+
+    /// Whether a non-finite value has been absorbed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Adds one `f32` to the sum exactly.
+    pub fn add(&mut self, x: f32) {
+        if !x.is_finite() {
+            self.poisoned = true;
+            return;
+        }
+        if x == 0.0 {
+            return;
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 23) & 0xff) as u32;
+        let frac = (bits & 0x7f_ffff) as u64;
+        // value = mantissa × 2^shift × 2⁻¹⁴⁹ (normals carry the implicit bit
+        // and a rebased exponent; subnormals are already integer multiples).
+        let (mantissa, shift) = if exp > 0 { (frac | (1 << 23), exp - 1) } else { (frac, 0) };
+        let limb = (shift / 64) as usize;
+        let bit = shift % 64;
+        let wide = (mantissa as u128) << bit;
+        let (lo, hi) = (wide as u64, (wide >> 64) as u64);
+        if bits >> 31 == 0 {
+            self.add_magnitude(limb, lo, hi);
+        } else {
+            self.sub_magnitude(limb, lo, hi);
+        }
+    }
+
+    /// Adds `lo` at `limb` and `hi` at `limb + 1`, propagating carries.
+    fn add_magnitude(&mut self, limb: usize, lo: u64, hi: u64) {
+        let mut carry;
+        (self.limbs[limb], carry) = self.limbs[limb].overflowing_add(lo);
+        let mut i = limb + 1;
+        let (word, c1) = self.limbs[i].overflowing_add(hi);
+        let (word, c2) = word.overflowing_add(carry as u64);
+        self.limbs[i] = word;
+        carry = c1 || c2;
+        while carry {
+            i += 1;
+            // Wrap silently past the top limb: two's complement keeps
+            // negative partial sums correct, and 320 bits cannot overflow
+            // from realistic `f32` workloads (see module docs).
+            if i == LIMBS {
+                break;
+            }
+            (self.limbs[i], carry) = self.limbs[i].overflowing_add(1);
+        }
+    }
+
+    /// Subtracts `lo` at `limb` and `hi` at `limb + 1`, propagating borrows.
+    fn sub_magnitude(&mut self, limb: usize, lo: u64, hi: u64) {
+        let mut borrow;
+        (self.limbs[limb], borrow) = self.limbs[limb].overflowing_sub(lo);
+        let mut i = limb + 1;
+        let (word, b1) = self.limbs[i].overflowing_sub(hi);
+        let (word, b2) = word.overflowing_sub(borrow as u64);
+        self.limbs[i] = word;
+        borrow = b1 || b2;
+        while borrow {
+            i += 1;
+            if i == LIMBS {
+                break;
+            }
+            (self.limbs[i], borrow) = self.limbs[i].overflowing_sub(1);
+        }
+    }
+
+    /// Folds another accumulator into this one. Limb-wise integer addition,
+    /// so `merge` is associative and commutative: any partition of a value
+    /// set across accumulators merges to the same bits.
+    pub fn merge(&mut self, other: &ExactF32Sum) {
+        self.poisoned |= other.poisoned;
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (word, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (word, c2) = word.overflowing_add(carry);
+            self.limbs[i] = word;
+            carry = (c1 || c2) as u64;
+        }
+    }
+
+    /// Converts the exact sum to the nearest `f32` (ties to even).
+    ///
+    /// This is the only rounding step in the whole summation, so the result
+    /// is a pure function of the *set* of added values.
+    pub fn round(&self) -> f32 {
+        if self.poisoned {
+            return f32::NAN;
+        }
+        let negative = self.limbs[LIMBS - 1] >> 63 == 1;
+        let mut mag = self.limbs;
+        if negative {
+            // Two's-complement negation: invert and add one.
+            let mut carry = 1u64;
+            for limb in &mut mag {
+                let (word, c) = (!*limb).overflowing_add(carry);
+                *limb = word;
+                carry = c as u64;
+            }
+        }
+        let Some(high) = highest_bit(&mag) else {
+            return 0.0;
+        };
+        let unsigned = if high <= 52 {
+            // ≤ 53 significant bits: exact in f64, so the single f64→f32
+            // cast below performs the one correct rounding (this branch
+            // covers all results in the f32 subnormal range).
+            mag[0] as f64 * pow2(UNIT_EXP)
+        } else {
+            // Keep the top 53 bits and fold every dropped bit into the LSB
+            // as a sticky bit. f64→f32 keeps 24 bits, so the round bit is
+            // bit 28 of this mantissa and the sticky OR sits strictly below
+            // it — the final cast rounds exactly like a direct 320-bit→f32
+            // round-to-nearest-even would.
+            let cut = high - 52;
+            let mut m53 = shift_right(&mag, cut);
+            if any_bit_below(&mag, cut) {
+                m53 |= 1;
+            }
+            m53 as f64 * pow2(cut as i32 + UNIT_EXP)
+        };
+        let rounded = unsigned as f32;
+        if negative {
+            -rounded
+        } else {
+            rounded
+        }
+    }
+}
+
+/// 2^`exp` built directly from IEEE-754 bits — exact, unlike libm `exp2`.
+fn pow2(exp: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&exp), "pow2 exponent out of normal range");
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
+
+/// Index of the highest set bit across little-endian limbs, if any.
+fn highest_bit(limbs: &[u64; LIMBS]) -> Option<usize> {
+    for i in (0..LIMBS).rev() {
+        if limbs[i] != 0 {
+            return Some(i * 64 + 63 - limbs[i].leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// The limbs logically shifted right by `count` bits, truncated to 64 bits.
+fn shift_right(limbs: &[u64; LIMBS], count: usize) -> u64 {
+    let word = count / 64;
+    let bit = count % 64;
+    let lo = limbs.get(word).copied().unwrap_or(0) >> bit;
+    if bit == 0 {
+        lo
+    } else {
+        lo | limbs.get(word + 1).copied().unwrap_or(0) << (64 - bit)
+    }
+}
+
+/// Whether any bit strictly below position `count` is set.
+fn any_bit_below(limbs: &[u64; LIMBS], count: usize) -> bool {
+    let word = count / 64;
+    let bit = count % 64;
+    limbs[..word.min(LIMBS)].iter().any(|&l| l != 0)
+        || (bit > 0 && word < LIMBS && limbs[word] & ((1u64 << bit) - 1) != 0)
+}
+
+/// Sums an iterator of `f32`s exactly and rounds once at the end.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_features::exact::exact_sum;
+/// assert_eq!(exact_sum([1.0f32, 2.0, 3.0]), 6.0);
+/// ```
+pub fn exact_sum(values: impl IntoIterator<Item = f32>) -> f32 {
+    let mut acc = ExactF32Sum::new();
+    for v in values {
+        acc.add(v);
+    }
+    acc.round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_via_parts(values: &[f32], parts: usize) -> f32 {
+        let mut accs = vec![ExactF32Sum::new(); parts];
+        for (i, &v) in values.iter().enumerate() {
+            accs[i % parts].add(v);
+        }
+        let mut total = ExactF32Sum::new();
+        for acc in &accs {
+            total.merge(acc);
+        }
+        total.round()
+    }
+
+    #[test]
+    fn integer_sums_are_exact() {
+        assert_eq!(exact_sum([1.0f32, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(exact_sum(std::iter::repeat(1.0f32).take(1000)), 1000.0);
+    }
+
+    #[test]
+    fn empty_and_zero_sums() {
+        assert_eq!(exact_sum(std::iter::empty::<f32>()).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exact_sum([0.0f32, -0.0]).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exact_sum([5.5f32, -5.5]).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        // Naive f32 folds lose the small term; the exact sum keeps it.
+        let vals = [1.0e8f32, 1.0, -1.0e8];
+        assert_eq!(exact_sum(vals), 1.0);
+        let naive: f32 = vals.iter().sum();
+        assert_eq!(naive, 0.0);
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        let tiny = f32::from_bits(1); // 2⁻¹⁴⁹
+        assert_eq!(exact_sum([tiny]).to_bits(), tiny.to_bits());
+        assert_eq!(exact_sum([tiny, tiny]).to_bits(), f32::from_bits(2).to_bits());
+        assert_eq!(exact_sum([tiny, -tiny]).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exact_sum([-tiny]).to_bits(), (-tiny).to_bits());
+    }
+
+    #[test]
+    fn single_values_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = f32::from_bits(rng.gen::<u32>());
+            if !v.is_finite() {
+                continue;
+            }
+            assert_eq!(exact_sum([v]).to_bits(), (v + 0.0).to_bits(), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn partition_independent() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..200);
+            let values: Vec<f32> = (0..n)
+                .map(|_| {
+                    let scale = 10f32.powi(rng.gen_range(-6..7));
+                    rng.gen_range(-1.0f32..1.0) * scale
+                })
+                .collect();
+            let whole = exact_sum(values.iter().copied());
+            for parts in [1usize, 2, 3, 4, 7, 16] {
+                let split = exact_via_parts(&values, parts);
+                assert_eq!(
+                    whole.to_bits(),
+                    split.to_bits(),
+                    "trial {trial}: {parts}-way partition diverged"
+                );
+            }
+            // Order independence too: reversed input, same bits.
+            let reversed = exact_sum(values.iter().rev().copied());
+            assert_eq!(whole.to_bits(), reversed.to_bits());
+        }
+    }
+
+    #[test]
+    fn rounding_matches_f64_reference_on_moderate_values() {
+        // For a handful of values whose exact sum fits in f64 without
+        // rounding (24-bit mantissas, nearby exponents), f64 accumulation is
+        // itself exact, so casting its total to f32 is the ground truth.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let values: Vec<f32> =
+                (0..rng.gen_range(1..20)).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+            let reference = values.iter().map(|&v| v as f64).sum::<f64>() as f32;
+            assert_eq!(exact_sum(values.iter().copied()).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn large_magnitudes_do_not_overflow() {
+        let big = f32::MAX;
+        let n = 1000;
+        let mut acc = ExactF32Sum::new();
+        for _ in 0..n {
+            acc.add(big);
+        }
+        // Exact total is n × MAX, far above f32 range → rounds to +∞.
+        assert_eq!(acc.round(), f32::INFINITY);
+        for _ in 0..n {
+            acc.add(-big);
+        }
+        assert_eq!(acc.round().to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn non_finite_poisons() {
+        let mut acc = ExactF32Sum::new();
+        acc.add(1.0);
+        acc.add(f32::INFINITY);
+        assert!(acc.is_poisoned());
+        assert!(acc.round().is_nan());
+        let mut other = ExactF32Sum::new();
+        other.add(2.0);
+        other.merge(&acc);
+        assert!(other.round().is_nan());
+        assert!(exact_sum([f32::NAN]).is_nan());
+    }
+
+    #[test]
+    fn negative_totals_round_correctly() {
+        assert_eq!(exact_sum([-1.5f32, -2.5]), -4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let values: Vec<f32> =
+                (0..rng.gen_range(1..30)).map(|_| rng.gen_range(-50.0f32..10.0)).collect();
+            let reference = values.iter().map(|&v| v as f64).sum::<f64>() as f32;
+            assert_eq!(exact_sum(values.iter().copied()).to_bits(), reference.to_bits());
+        }
+    }
+}

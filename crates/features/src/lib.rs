@@ -5,6 +5,8 @@
 //! deviation matrices are built from:
 //!
 //! * [`counts`] — the dense [`counts::FeatureCube`] measurement store,
+//! * [`exact`] — partition-independent exact `f32` summation backing the
+//!   group statistics (and the sharded engine's two-phase reduce),
 //! * [`spec`] — feature catalogs and behavioral-aspect partitions,
 //! * [`cert`] — the 16 evaluation features (device / file / HTTP, with
 //!   "new-op" first-seen tracking, paper Section V-A3),
@@ -38,6 +40,7 @@ pub mod baseline;
 pub mod cert;
 pub mod counts;
 pub mod enterprise;
+pub mod exact;
 pub mod seq;
 pub mod spec;
 

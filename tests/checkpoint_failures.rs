@@ -1,0 +1,212 @@
+//! Checkpoint failure paths (DESIGN.md §8): damaged checkpoints must fail
+//! with *typed* errors — and damage confined to one shard file must
+//! quarantine that shard while the remaining shards keep scoring.
+
+use acobe::config::AcobeConfig;
+use acobe::error::AcobeError;
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::PathBuf;
+
+const DAYS: usize = 30;
+const SPLIT: usize = 24;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+const USERS: usize = 9;
+const SHARDS: usize = 3;
+
+fn random_cube(seed: u64) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(USERS, Date::from_ymd(2012, 5, 1), DAYS, FRAMES, FEATURES);
+    for u in 0..USERS {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("acobe_ckfail_{}_{tag}", std::process::id()))
+}
+
+/// Trains a 3-shard engine on the first SPLIT days, streams one scored day,
+/// saves it into `dir`, and returns it together with the cube (for feeding
+/// further days) and the next day index to ingest.
+fn saved_engine(dir: &PathBuf, seed: u64) -> (FeatureCube, ShardedEngine, usize) {
+    let cube = random_cube(seed);
+    let start = cube.start();
+    let split = start.add_days(SPLIT as i32);
+    let groups: Vec<Vec<usize>> = (0..SHARDS).map(|g| (g * 3..g * 3 + 3).collect()).collect();
+    let mut cfg = AcobeConfig::tiny();
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+
+    let mut pipe = AcobePipeline::new(cube.clone(), feature_set(), &groups, cfg).unwrap();
+    pipe.fit(start, split).unwrap();
+    let mut engine = pipe.into_engine();
+    engine.reset_stream();
+    let mut engine = ShardedEngine::from_engine(engine, SHARDS).unwrap();
+
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in 0..=SPLIT {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            engine.warm_day(date, &day_buf).unwrap();
+        } else {
+            assert!(engine.ingest_day(date, &day_buf).unwrap().is_some());
+        }
+    }
+    fs::remove_dir_all(dir).ok();
+    engine.save(dir).unwrap();
+    (cube, engine, SPLIT + 1)
+}
+
+#[test]
+fn corrupt_manifest_json_is_a_typed_checkpoint_error() {
+    let dir = temp_dir("manifest");
+    let (_, _, _) = saved_engine(&dir, 31);
+    let manifest = dir.join("manifest.json");
+    let json = fs::read_to_string(&manifest).unwrap();
+    fs::write(&manifest, &json[..json.len() / 2]).unwrap();
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    assert!(matches!(err, AcobeError::Checkpoint(_)), "got {err:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_manifest_version_is_corrupt_checkpoint() {
+    let dir = temp_dir("version");
+    let (_, _, _) = saved_engine(&dir, 32);
+    let manifest = dir.join("manifest.json");
+    let json = fs::read_to_string(&manifest).unwrap();
+    fs::write(&manifest, json.replacen("\"version\":2", "\"version\":99", 1)).unwrap();
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    match &err {
+        AcobeError::CorruptCheckpoint(msg) => assert!(msg.contains("99"), "{msg}"),
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unparsable_v1_file_is_a_typed_checkpoint_error() {
+    let dir = temp_dir("v1garbage");
+    fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("old_checkpoint.json");
+    fs::write(&file, "{\"version\": 1, \"truncated").unwrap();
+    let err = ShardedEngine::load(&file, 2).unwrap_err();
+    assert!(matches!(err, AcobeError::Checkpoint(_)), "got {err:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_shard_file_quarantines_while_the_rest_keep_scoring() {
+    let dir = temp_dir("truncated");
+    let (cube, mut pristine, next) = saved_engine(&dir, 33);
+    let shard_file = dir.join("shard_001.json");
+    let json = fs::read_to_string(&shard_file).unwrap();
+    fs::write(&shard_file, &json[..json.len() / 2]).unwrap();
+
+    let mut damaged = ShardedEngine::load(&dir, 1).unwrap();
+    let quarantined = damaged.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    let (idx, err) = &quarantined[0];
+    assert_eq!(*idx, 1);
+    match err {
+        AcobeError::Shard { shard: 1, source } => {
+            assert!(matches!(**source, AcobeError::Checkpoint(_)), "got {source:?}")
+        }
+        other => panic!("expected Shard wrapper, got {other:?}"),
+    }
+    assert_eq!(damaged.live_users(), USERS - 3);
+
+    // Shard 1's users score NaN; every other user still gets a finite
+    // score. (Scores legitimately differ from the pristine engine: the
+    // degraded group average spans live members only.)
+    let lost: Vec<usize> = damaged
+        .assignment()
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s == 1)
+        .map(|(u, _)| u)
+        .collect();
+    assert!(!lost.is_empty());
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in next..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = cube.start().add_days(d as i32);
+        let day = damaged.ingest_day(date, &day_buf).unwrap().unwrap();
+        assert!(pristine.ingest_day(date, &day_buf).unwrap().is_some());
+        for scores in &day.scores {
+            for (u, s) in scores.iter().enumerate() {
+                if lost.contains(&u) {
+                    assert!(s.is_nan(), "user {u} on the dead shard scored {s}");
+                } else {
+                    assert!(s.is_finite(), "live user {u} scored {s} on day {d}");
+                }
+            }
+        }
+    }
+    // The daily critic still ranks the live users.
+    let list = damaged.daily_investigation(2, 3);
+    assert!(!list.is_empty());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_file_version_mismatch_quarantines_with_corrupt_checkpoint() {
+    let dir = temp_dir("shardversion");
+    let (_, _, _) = saved_engine(&dir, 34);
+    let shard_file = dir.join("shard_002.json");
+    let json = fs::read_to_string(&shard_file).unwrap();
+    fs::write(&shard_file, json.replacen("\"version\":2", "\"version\":7", 1)).unwrap();
+
+    let engine = ShardedEngine::load(&dir, 1).unwrap();
+    let quarantined = engine.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    match quarantined[0] {
+        (2, AcobeError::Shard { shard: 2, source }) => {
+            assert!(matches!(**source, AcobeError::CorruptCheckpoint(_)), "got {source:?}")
+        }
+        (i, other) => panic!("expected shard 2 CorruptCheckpoint, got shard {i}: {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn losing_every_shard_file_is_no_live_shards() {
+    let dir = temp_dir("allgone");
+    let (_, _, _) = saved_engine(&dir, 35);
+    for i in 0..SHARDS {
+        fs::remove_file(dir.join(format!("shard_{i:03}.json"))).unwrap();
+    }
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    assert!(matches!(err, AcobeError::NoLiveShards), "got {err:?}");
+    fs::remove_dir_all(&dir).ok();
+}

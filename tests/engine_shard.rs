@@ -1,0 +1,167 @@
+//! Property tests for the sharded engine (DESIGN.md §8): a
+//! [`ShardedEngine`] with any shard count must reproduce the unsharded
+//! [`DetectionEngine`] bit for bit — including after a mid-stream
+//! save/load of the whole sharded checkpoint — across random org sizes
+//! and interrupt days.
+
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const DAYS: usize = 36;
+const SPLIT: usize = 26;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+/// Includes 1 (degenerate), powers of two, and a prime that leaves some
+/// shards empty at small org sizes.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn random_cube(users: usize, seed: u64) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(users, Date::from_ymd(2011, 2, 1), DAYS, FRAMES, FEATURES);
+    for u in 0..users {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn config(seed: u64) -> AcobeConfig {
+    let mut cfg = AcobeConfig::tiny();
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+    cfg
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("acobe_shard_it_{}_{tag}", std::process::id()))
+}
+
+proptest! {
+    // Each case trains an ensemble and replays it through five engines, so
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every shard count scores bit-identically to the unsharded engine,
+    /// and a sharded checkpoint saved and reloaded mid-stream continues
+    /// bit-identically too.
+    #[test]
+    fn sharded_engines_match_the_monolith(
+        users in 4usize..=8,
+        checkpoint_offset in 0usize..(DAYS - SPLIT),
+        seed in 0u64..1_000,
+    ) {
+        let cube = random_cube(users, seed);
+        let start = cube.start();
+        let split = start.add_days(SPLIT as i32);
+        let groups: Vec<Vec<usize>> =
+            vec![(0..users / 2).collect(), (users / 2..users).collect()];
+
+        let mut pipe =
+            AcobePipeline::new(cube.clone(), feature_set(), &groups, config(seed)).unwrap();
+        pipe.fit(start, split).unwrap();
+        let mut engine = pipe.into_engine();
+        engine.reset_stream();
+
+        // Duplicate the trained engine into one sharded replica per count
+        // via its own checkpoint (snapshot → restore is bit-exact).
+        let ck = engine.snapshot();
+        let mut sharded: Vec<ShardedEngine> = SHARD_COUNTS
+            .iter()
+            .map(|&n| {
+                let replica = DetectionEngine::restore(ck.clone()).unwrap();
+                ShardedEngine::from_engine(replica, n).unwrap()
+            })
+            .collect();
+        for (s, &n) in sharded.iter().zip(&SHARD_COUNTS) {
+            prop_assert_eq!(s.shard_count(), n);
+            prop_assert_eq!(s.live_users(), users);
+            prop_assert!(s.is_trained());
+        }
+
+        let checkpoint_day = SPLIT + checkpoint_offset;
+        let dir = temp_dir(&format!("{seed}_{users}_{checkpoint_offset}"));
+        let mut reloaded: Option<ShardedEngine> = None;
+        let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+        for d in 0..DAYS {
+            cube.day_slice_into(d, &mut day_buf);
+            let date = start.add_days(d as i32);
+            if d < SPLIT {
+                engine.warm_day(date, &day_buf).unwrap();
+                for s in sharded.iter_mut() {
+                    s.warm_day(date, &day_buf).unwrap();
+                }
+                continue;
+            }
+            let reference = engine.ingest_day(date, &day_buf).unwrap().unwrap();
+            for (s, &n) in sharded.iter_mut().zip(&SHARD_COUNTS) {
+                let day = s.ingest_day(date, &day_buf).unwrap().unwrap();
+                prop_assert_eq!(
+                    &reference,
+                    &day,
+                    "{} shards diverged from the monolith at day {}",
+                    n,
+                    d
+                );
+            }
+            if let Some(r) = reloaded.as_mut() {
+                let day = r.ingest_day(date, &day_buf).unwrap().unwrap();
+                prop_assert_eq!(
+                    &reference,
+                    &day,
+                    "reloaded sharded checkpoint diverged at day {}",
+                    d
+                );
+            }
+            if d == checkpoint_day {
+                // Interrupt the 4-shard engine: save everything, reload
+                // from disk, and resume alongside the originals.
+                sharded[2].save(&dir).unwrap();
+                let r = ShardedEngine::load(&dir, 1).unwrap();
+                prop_assert!(r.quarantined().is_empty());
+                prop_assert_eq!(r.shard_count(), SHARD_COUNTS[2]);
+                prop_assert_eq!(r.next_date(), date.add_days(1));
+                reloaded = Some(r);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+
+        // The daily critic sees the same trailing score history everywhere.
+        let reference = engine.daily_investigation(2, 3);
+        for s in sharded.iter().chain(reloaded.iter()) {
+            let list = s.daily_investigation(2, 3);
+            prop_assert_eq!(reference.len(), list.len());
+            for (x, y) in reference.iter().zip(&list) {
+                prop_assert_eq!(x.user, y.user);
+                prop_assert_eq!(x.priority, y.priority);
+            }
+        }
+    }
+}
