@@ -10,12 +10,16 @@ use acobe_features::spec::cert_feature_set;
 use acobe_logs::csv::ParseCsvError;
 use acobe_logs::store::LogStore;
 use acobe_logs::time::{Date, ParseDateError};
+use acobe_obs::HealthEvent;
 use acobe_synth::cert::{CertConfig, CertGenerator};
 use acobe_synth::org::OrgConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 use std::fs;
+
+/// Ingested days after which a resumed-from checkpoint is reported stale.
+const CHECKPOINT_STALE_DAYS: i64 = 30;
 
 /// Everything a CLI command can fail with. Each variant keeps its typed
 /// source so `main` can print one human line while `Error::source` preserves
@@ -404,6 +408,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let mut streamed = 0usize;
     let mut scored = 0usize;
     let mut date = engine.next_date();
+    // When resuming, the checkpoint on disk covers up to the day before the
+    // engine's next day; track its age so /healthz can flag it going stale.
+    let checkpoint_base = arg(args, "--resume").map(|_| engine.next_date());
+    let mut stale_reported = false;
     while date < until {
         let slabs = extractor
             .ingest_day_sharded(date, store.day(date), &assign, shard_count)
@@ -426,6 +434,22 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         }
         streamed += 1;
         date = date.add_days(1);
+        let board = acobe_obs::monitor::board();
+        board.set_days_behind(until.days_since(date).max(0) as i64);
+        if let Some(base) = checkpoint_base {
+            let age = date.days_since(base) as i64;
+            let last_day = base.add_days(-1).to_string();
+            board.set_checkpoint(&last_day, age);
+            if age > CHECKPOINT_STALE_DAYS && !stale_reported {
+                stale_reported = true;
+                board.report(HealthEvent::CheckpointStale { age_days: age, last_day });
+            }
+        }
+        // Keep --metrics-out live: rewrite the snapshot (atomically) after
+        // every ingested day so a crash mid-stream still leaves fresh data.
+        if let Err(e) = acobe_obs::flush_metrics() {
+            eprintln!("warning: metrics flush failed: {e}");
+        }
     }
     acobe_obs::progress!("streamed {streamed} days ({scored} scored) up to {date}");
 
@@ -443,6 +467,8 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             engine.shard_count(),
             engine.state_bytes()
         );
+        acobe_obs::monitor::board()
+            .set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
     }
     Ok(())
 }

@@ -16,9 +16,13 @@ fn main() -> ExitCode {
     // Global observability flags, accepted anywhere on the command line.
     let verbose = take_flag(&mut args, "-v") || take_flag(&mut args, "--verbose");
     let quiet = take_flag(&mut args, "-q") || take_flag(&mut args, "--quiet");
-    let metrics_out = match take_arg(&mut args, "--metrics-out") {
-        Ok(path) => path,
-        Err(msg) => {
+    let (metrics_out, trace_out, serve_addr) = match (
+        take_arg(&mut args, "--metrics-out"),
+        take_arg(&mut args, "--trace-out"),
+        take_arg(&mut args, "--serve-metrics"),
+    ) {
+        (Ok(m), Ok(t), Ok(s)) => (m, t, s),
+        (Err(msg), _, _) | (_, Err(msg), _) | (_, _, Err(msg)) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);
         }
@@ -28,6 +32,30 @@ fn main() -> ExitCode {
     } else if verbose {
         acobe_obs::set_verbosity(acobe_obs::progress::LEVEL_DETAIL);
     }
+    if let Some(path) = &metrics_out {
+        acobe_obs::set_metrics_path(Some(std::path::Path::new(path)));
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = acobe_obs::event::set_trace_file(std::path::Path::new(path)) {
+            eprintln!("error: open trace file {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    // Keep the telemetry server alive for the whole command; dropping the
+    // handle at the end of main stops the accept loop.
+    let _server = match serve_addr.as_deref() {
+        Some(addr) => match acobe_obs::serve::serve(addr) {
+            Ok(server) => {
+                acobe_obs::progress!("telemetry server listening on http://{}", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let command = args.first().cloned();
     let result = match command.as_deref() {
@@ -58,12 +86,15 @@ fn main() -> ExitCode {
             eprintln!("\n{summary}");
         }
     }
-    if let Some(path) = metrics_out {
-        if let Err(e) = std::fs::write(&path, acobe_obs::to_jsonl()) {
+    if let Some(path) = &metrics_out {
+        if let Err(e) = acobe_obs::flush_metrics() {
             eprintln!("error: write {path}: {e}");
             return ExitCode::from(2);
         }
         acobe_obs::progress!("metrics written to {path}");
+    }
+    if trace_out.is_some() {
+        acobe_obs::event::clear_trace_file();
     }
 
     match result {
@@ -144,9 +175,23 @@ GLOBAL OPTIONS (any command):
     -v, --verbose        Detail output: per-epoch training trace.
     -q, --quiet          Silence progress lines and the timing summary.
     --metrics-out FILE   Write every recorded span/counter/gauge/histogram
-                         as JSON lines (one metric per line) to FILE.
+                         as JSON lines (one metric per line) to FILE. In
+                         stream mode the file is rewritten atomically after
+                         every ingested day.
+    --serve-metrics ADDR Serve live telemetry over HTTP on ADDR (for example
+                         127.0.0.1:9184; port 0 picks an ephemeral port):
+                         /metrics (Prometheus text exposition), /healthz
+                         (shard + stream status JSON), /events?n= (recent
+                         trace events as JSON lines).
+    --trace-out FILE     Stream structured trace events (span enter/exit,
+                         progress lines, health events) to FILE as JSON
+                         lines, one event per line, flushed as they happen.
 
 ENVIRONMENT:
+    ACOBE_SERVE_ADDR_FILE
+                         When --serve-metrics is given, write the bound
+                         address (host:port) to this file — lets scripts find
+                         an ephemeral port.
     ACOBE_NN_THREADS     Size of the persistent compute thread pool used by
                          matmul, ensemble training, and deviation measurement.
                          Defaults to the number of CPU cores. Results are

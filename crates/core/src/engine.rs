@@ -31,6 +31,7 @@ use acobe_logs::time::Date;
 use acobe_nn::autoencoder::Autoencoder;
 use acobe_nn::serialize::{restore as restore_model, snapshot as snapshot_model, SavedAutoencoder};
 use acobe_nn::tensor::Matrix;
+use acobe_obs::{DriftConfig, DriftMonitor, HealthEvent};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
@@ -393,6 +394,13 @@ pub struct DetectionEngine {
     pub(crate) models: Vec<Autoencoder>,
     pub(crate) baselines: Vec<Vec<f32>>,
     pub(crate) score_history: Vec<DayScores>,
+    /// Drift thresholds for the score-distribution monitor.
+    pub(crate) drift: DriftConfig,
+    /// Per-aspect score-distribution sketches (built lazily on the first
+    /// scored day; operational state, not part of the checkpoint).
+    pub(crate) monitor: Option<DriftMonitor>,
+    /// Health events raised since the last [`DetectionEngine::take_health_events`].
+    pub(crate) pending_health: Vec<HealthEvent>,
 }
 
 impl DetectionEngine {
@@ -472,6 +480,9 @@ impl DetectionEngine {
             models: Vec::new(),
             baselines: Vec::new(),
             score_history: Vec::new(),
+            drift: DriftConfig::default(),
+            monitor: None,
+            pending_health: Vec::new(),
         };
         engine.reset_stream();
         Ok(engine)
@@ -566,7 +577,43 @@ impl DetectionEngine {
         self.user_ring = DayRing::new(self.config.matrix.matrix_days);
         self.group_ring = needs_group.then(|| DayRing::new(self.config.matrix.matrix_days));
         self.score_history.clear();
+        self.monitor = None;
+        self.pending_health.clear();
         self.next_date = self.start;
+    }
+
+    /// Replaces the drift-monitor thresholds and restarts the monitor's
+    /// trailing window from scratch.
+    pub fn set_drift_config(&mut self, cfg: DriftConfig) {
+        self.drift = cfg;
+        self.monitor = None;
+    }
+
+    /// Drains the health events raised since the previous call (score drift
+    /// detected by the rolling monitor, …). Events are also reported to the
+    /// global [`acobe_obs::monitor::board`] as they happen.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.pending_health)
+    }
+
+    /// Folds one scored day into the drift monitor, publishing score
+    /// quantiles as labeled gauges and reporting any drift events.
+    fn observe_scored_day(&mut self, day: &DayScores) {
+        if self.monitor.is_none() {
+            let aspects =
+                self.feature_set.aspects.iter().map(|a| a.name.clone()).collect();
+            self.monitor = Some(DriftMonitor::new(aspects, self.drift.clone()));
+        }
+        let day_str = day.date.to_string();
+        let slices: Vec<&[f32]> = day.scores.iter().map(|s| s.as_slice()).collect();
+        let monitor = self.monitor.as_mut().expect("drift monitor");
+        let events = monitor.observe_day(&day_str, &slices);
+        let board = acobe_obs::monitor::board();
+        board.note_scored(&day_str);
+        for event in &events {
+            board.report(event.clone());
+        }
+        self.pending_health.extend(events);
     }
 
     /// Group-mean measurements for one day, flattened
@@ -634,6 +681,9 @@ impl DetectionEngine {
         }
         self.next_date = date.add_days(1);
         acobe_obs::counter("engine/days_ingested").inc();
+        let day_str = date.to_string();
+        acobe_obs::monitor::board().note_ingested(&day_str);
+        acobe_obs::event::note("engine/day", &[("day", day_str.as_str())]);
         Ok(())
     }
 
@@ -690,6 +740,7 @@ impl DetectionEngine {
             acobe_obs::counter("engine/rows_scored")
                 .add((self.users * self.models.len()) as u64);
             let day = DayScores { date, scores };
+            self.observe_scored_day(&day);
             self.score_history.push(day.clone());
             if self.score_history.len() > SCORE_HISTORY_DAYS {
                 self.score_history.remove(0);
@@ -889,6 +940,9 @@ impl DetectionEngine {
             models,
             baselines: checkpoint.baselines,
             score_history: checkpoint.score_history,
+            drift: DriftConfig::default(),
+            monitor: None,
+            pending_health: Vec::new(),
         })
     }
 

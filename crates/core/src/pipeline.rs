@@ -167,8 +167,8 @@ impl ScoreTable {
 }
 
 /// Forwards per-epoch training telemetry into `acobe-obs`: every epoch's
-/// wall time lands in the `train/epoch_ms` histogram and, at `-v`
-/// verbosity, prints one trace line per epoch.
+/// wall time lands in the aspect-labeled `train/epoch_ms` histogram and, at
+/// `-v` verbosity, prints one trace line per epoch.
 struct EpochTelemetry<'a> {
     aspect: &'a str,
 }
@@ -181,8 +181,9 @@ impl<'a> EpochTelemetry<'a> {
 
 impl ProgressObserver for EpochTelemetry<'_> {
     fn on_epoch(&mut self, epoch: usize, loss: f32, elapsed_ms: f64) {
-        acobe_obs::histogram(
+        acobe_obs::histogram_with(
             "train/epoch_ms",
+            &[("aspect", self.aspect)],
             &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0],
         )
         .observe(elapsed_ms);
@@ -198,8 +199,9 @@ impl ProgressObserver for EpochTelemetry<'_> {
 
     fn on_batch(&mut self, forward_ms: f64, backward_ms: f64) {
         const BATCH_EDGES: &[f64] = &[0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0];
-        acobe_obs::histogram("train/forward_ms", BATCH_EDGES).observe(forward_ms);
-        acobe_obs::histogram("train/backward_ms", BATCH_EDGES).observe(backward_ms);
+        let labels = [("aspect", self.aspect)];
+        acobe_obs::histogram_with("train/forward_ms", &labels, BATCH_EDGES).observe(forward_ms);
+        acobe_obs::histogram_with("train/backward_ms", &labels, BATCH_EDGES).observe(backward_ms);
     }
 
     fn on_complete(&mut self, report: &TrainReport) {

@@ -41,6 +41,7 @@ use acobe_logs::time::Date;
 use acobe_nn::autoencoder::Autoencoder;
 use acobe_nn::serialize::{restore as restore_model, SavedAutoencoder};
 use acobe_nn::tensor::Matrix;
+use acobe_obs::{DriftConfig, DriftMonitor, HealthEvent, ShardStatus};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
@@ -491,6 +492,13 @@ pub struct ShardedEngine {
     /// Live members per group — the divisor of the degraded group mean.
     /// Equals the full roster size while no shard is quarantined.
     live_group_counts: Vec<usize>,
+    /// Drift thresholds for the score-distribution monitor.
+    drift: DriftConfig,
+    /// Per-aspect score-distribution sketches over the merged global scores
+    /// (built lazily on the first scored day; not checkpointed).
+    monitor: Option<DriftMonitor>,
+    /// Health events raised since the last [`ShardedEngine::take_health_events`].
+    pending_health: Vec<HealthEvent>,
 }
 
 impl ShardedEngine {
@@ -517,7 +525,7 @@ impl ShardedEngine {
             slots.push(ShardSlot::Live(Box::new(shard)));
         }
         let live_group_counts = live_counts(engine.groups.len(), &engine.user_group, &slots);
-        Ok(ShardedEngine {
+        let sharded = ShardedEngine {
             config: engine.config,
             feature_set: engine.feature_set,
             groups: engine.groups,
@@ -532,7 +540,12 @@ impl ShardedEngine {
             group_ring: engine.group_ring,
             saved_models,
             live_group_counts,
-        })
+            drift: engine.drift,
+            monitor: None,
+            pending_health: Vec::new(),
+        };
+        sharded.publish_shard_health();
+        Ok(sharded)
     }
 
     /// The configuration.
@@ -877,13 +890,50 @@ impl ShardedEngine {
             None
         };
 
-        for (i, ms) in shard_ms.iter().enumerate() {
-            if matches!(self.slots[i], ShardSlot::Live(_)) {
-                acobe_obs::histogram("engine/shard_ingest_ms", INGEST_EDGES).observe(*ms);
+        let live_ms: Vec<(usize, f64)> = shard_ms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(self.slots[*i], ShardSlot::Live(_)))
+            .map(|(i, ms)| (i, *ms))
+            .collect();
+        for &(i, ms) in &live_ms {
+            let label = i.to_string();
+            acobe_obs::histogram_with(
+                "engine/shard_ingest_ms",
+                &[("shard", label.as_str())],
+                INGEST_EDGES,
+            )
+            .observe(ms);
+        }
+        // A shard far above its peers' phase time is a capacity problem the
+        // operator should see before it becomes a backlog: flag anything
+        // beyond 4x the live median once the gap is material (>25 ms).
+        if live_ms.len() >= 2 {
+            let mut sorted: Vec<f64> = live_ms.iter().map(|&(_, ms)| ms).collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite shard times"));
+            let median = sorted[sorted.len() / 2];
+            for &(i, ms) in &live_ms {
+                if ms > median * 4.0 && ms > median + 25.0 {
+                    let event = HealthEvent::ShardLagging {
+                        shard: i,
+                        day: date.to_string(),
+                        shard_ms: ms,
+                        median_ms: median,
+                    };
+                    acobe_obs::monitor::board().report(event.clone());
+                    self.pending_health.push(event);
+                }
             }
         }
         self.next_date = date.add_days(1);
         acobe_obs::counter("engine/days_ingested").inc();
+        let day_str = date.to_string();
+        acobe_obs::monitor::board().note_ingested(&day_str);
+        acobe_obs::event::note("engine/day", &[("day", day_str.as_str())]);
+        self.publish_shard_health();
+        if let Some(day) = &out {
+            self.observe_scored_day(day);
+        }
         Ok(out)
     }
 
@@ -1033,7 +1083,7 @@ impl ShardedEngine {
             return Err(AcobeError::NoLiveShards);
         }
         let live_group_counts = live_counts(manifest.groups.len(), &manifest.user_group, &slots);
-        Ok(ShardedEngine {
+        let mut sharded = ShardedEngine {
             config: manifest.config,
             feature_set: manifest.feature_set,
             groups: manifest.groups,
@@ -1048,7 +1098,77 @@ impl ShardedEngine {
             group_ring: manifest.group_ring,
             saved_models: manifest.models,
             live_group_counts,
-        })
+            drift: DriftConfig::default(),
+            monitor: None,
+            pending_health: Vec::new(),
+        };
+        let board = acobe_obs::monitor::board();
+        for (i, slot) in sharded.slots.iter().enumerate() {
+            let ShardSlot::Quarantined { error, .. } = slot else { continue };
+            let event =
+                HealthEvent::ShardQuarantined { shard: i, reason: error.to_string() };
+            board.report(event.clone());
+            sharded.pending_health.push(event);
+        }
+        sharded.publish_shard_health();
+        Ok(sharded)
+    }
+
+    /// Replaces the drift-monitor thresholds and restarts the monitor's
+    /// trailing window from scratch.
+    pub fn set_drift_config(&mut self, cfg: DriftConfig) {
+        self.drift = cfg;
+        self.monitor = None;
+    }
+
+    /// Drains the health events raised since the previous call (quarantined
+    /// shards at load, lagging shards, score drift). Events are also
+    /// reported to the global [`acobe_obs::monitor::board`] as they happen.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.pending_health)
+    }
+
+    /// Publishes per-shard labeled gauges (`engine/shard_users{shard=…}`,
+    /// `engine/shard_live{shard=…}`) and refreshes the health board's shard
+    /// table.
+    fn publish_shard_health(&self) {
+        let mut statuses = Vec::with_capacity(self.slots.len());
+        for (i, slot) in self.slots.iter().enumerate() {
+            let (users, live, error) = match slot {
+                ShardSlot::Live(shard) => (shard.users.len(), true, None),
+                ShardSlot::Quarantined { users, error } => {
+                    (users.len(), false, Some(error.to_string()))
+                }
+            };
+            let label = i.to_string();
+            acobe_obs::gauge_with("engine/shard_users", &[("shard", label.as_str())])
+                .set(users as f64);
+            acobe_obs::gauge_with("engine/shard_live", &[("shard", label.as_str())])
+                .set(if live { 1.0 } else { 0.0 });
+            statuses.push(ShardStatus { shard: i, users, live, error });
+        }
+        acobe_obs::monitor::board().set_shards(statuses);
+    }
+
+    /// Folds one scored day into the drift monitor, publishing score
+    /// quantiles as labeled gauges and reporting any drift events. NaN
+    /// columns (quarantined users) are skipped by the sketch.
+    fn observe_scored_day(&mut self, day: &DayScores) {
+        if self.monitor.is_none() {
+            let aspects =
+                self.feature_set.aspects.iter().map(|a| a.name.clone()).collect();
+            self.monitor = Some(DriftMonitor::new(aspects, self.drift.clone()));
+        }
+        let day_str = day.date.to_string();
+        let slices: Vec<&[f32]> = day.scores.iter().map(|s| s.as_slice()).collect();
+        let monitor = self.monitor.as_mut().expect("drift monitor");
+        let events = monitor.observe_day(&day_str, &slices);
+        let board = acobe_obs::monitor::board();
+        board.note_scored(&day_str);
+        for event in &events {
+            board.report(event.clone());
+        }
+        self.pending_health.extend(events);
     }
 }
 

@@ -1,0 +1,69 @@
+//! Strict Prometheus text-exposition checker (no external dependencies).
+//!
+//! CI uses this to fail the `telemetry-smoke` job on malformed `/metrics`
+//! output; it shares its parser with the `acobe_obs::prometheus` unit tests
+//! so the renderer and the checker cannot drift apart.
+//!
+//! Usage:
+//!   promcheck --addr 127.0.0.1:9184 [--path /metrics]
+//!   promcheck --file exposition.txt
+//!   promcheck --addr-file addr.txt      # addr written by ACOBE_SERVE_ADDR_FILE
+
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = arg_value(&args, "--path").unwrap_or_else(|| "/metrics".to_string());
+
+    let addr = match (arg_value(&args, "--addr"), arg_value(&args, "--addr-file")) {
+        (Some(addr), _) => Some(addr),
+        (None, Some(file)) => match std::fs::read_to_string(&file) {
+            Ok(text) => Some(text.trim().to_string()),
+            Err(e) => {
+                eprintln!("promcheck: cannot read addr file {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => None,
+    };
+
+    let text = if let Some(addr) = addr {
+        match acobe_obs::serve::http_get(&addr, &path) {
+            Ok((200, body)) => body,
+            Ok((status, body)) => {
+                eprintln!("promcheck: GET {addr}{path} returned {status}: {body}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("promcheck: GET {addr}{path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(file) = arg_value(&args, "--file") {
+        match std::fs::read_to_string(&file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("promcheck: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("usage: promcheck --addr HOST:PORT [--path /metrics] | --addr-file FILE | --file FILE");
+        return ExitCode::FAILURE;
+    };
+
+    match acobe_obs::prometheus::validate(&text) {
+        Ok(samples) => {
+            println!("promcheck: ok ({samples} samples, {} bytes)", text.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("promcheck: malformed exposition: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Structured trace events.
+//!
+//! Every span enter/exit, every `progress!`/`detail!` line, and every health
+//! event becomes a [`TraceEvent`] with a process-wide monotonic id. Events
+//! are retained in a bounded in-memory ring (served by `/events?n=` on the
+//! telemetry server) and, when a trace file is configured (`--trace-out`),
+//! appended incrementally as JSON lines — each event is flushed as it
+//! happens, so a killed run still leaves a complete trace prefix.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Events kept in the in-memory ring; older events are dropped (the trace
+/// file, when configured, keeps everything).
+pub const RING_CAPACITY: usize = 4096;
+
+/// What kind of moment a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A span opened; `name` is the full span path.
+    SpanEnter,
+    /// A span closed; `parent` is the id of its enter event and
+    /// `elapsed_ms` its wall time.
+    SpanExit,
+    /// A `progress!` line (shown at default verbosity).
+    Progress,
+    /// A `detail!` line (shown with `-v`).
+    Detail,
+    /// A typed health event from the monitor module.
+    Health,
+    /// A free-form annotation (e.g. per-day engine markers).
+    Note,
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Process-wide monotonic id (1-based).
+    pub id: u64,
+    /// For span enters, the id of the enclosing span's enter event; for span
+    /// exits, the id of the matching enter event; for progress/detail/note
+    /// events, the id of the innermost open span on the emitting thread.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<u64>,
+    /// Milliseconds since the first event of the process.
+    pub t_ms: f64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Span path, message text, or health event name.
+    pub name: String,
+    /// Wall time for span exits.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub elapsed_ms: Option<f64>,
+    /// Structured `(key, value)` fields: shard/day/aspect context.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fields: Vec<(String, String)>,
+}
+
+struct EventLog {
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    writer: Mutex<Option<BufWriter<File>>>,
+    /// Fast path: skip serialization when no file sink is configured.
+    file_active: AtomicBool,
+}
+
+fn log() -> &'static EventLog {
+    static LOG: OnceLock<EventLog> = OnceLock::new();
+    LOG.get_or_init(|| EventLog {
+        next_id: AtomicU64::new(0),
+        ring: Mutex::new(VecDeque::with_capacity(256)),
+        writer: Mutex::new(None),
+        file_active: AtomicBool::new(false),
+    })
+}
+
+fn t_ms() -> f64 {
+    crate::progress::process_start().elapsed().as_secs_f64() * 1e3
+}
+
+/// Records one event, returning its id.
+pub fn record(
+    kind: EventKind,
+    name: &str,
+    parent: Option<u64>,
+    elapsed_ms: Option<f64>,
+    fields: Vec<(String, String)>,
+) -> u64 {
+    let log = log();
+    let id = log.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let event =
+        TraceEvent { id, parent, t_ms: t_ms(), kind, name: name.to_string(), elapsed_ms, fields };
+
+    if log.file_active.load(Ordering::Relaxed) {
+        if let Some(w) = log.writer.lock().as_mut() {
+            let line = serde_json::to_string(&event).expect("trace event serializes");
+            // Flush per event: an incremental trace beats buffered speed here.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+
+    let mut ring = log.ring.lock();
+    if ring.len() >= RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(event);
+    id
+}
+
+/// Records a free-form [`EventKind::Note`] with the current span as parent.
+pub fn note(name: &str, fields: &[(&str, &str)]) -> u64 {
+    record(
+        EventKind::Note,
+        name,
+        crate::span::current_span_id(),
+        None,
+        fields.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect(),
+    )
+}
+
+/// The last `n` events, oldest first.
+pub fn recent(n: usize) -> Vec<TraceEvent> {
+    let ring = log().ring.lock();
+    let skip = ring.len().saturating_sub(n);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+/// The last `n` events rendered as JSON lines, oldest first.
+pub fn recent_jsonl(n: usize) -> String {
+    let mut out = String::new();
+    for event in recent(n) {
+        out.push_str(&serde_json::to_string(&event).expect("trace event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Opens (truncating) the `--trace-out` file; every subsequent event is
+/// appended and flushed as a JSON line.
+pub fn set_trace_file(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let log = log();
+    *log.writer.lock() = Some(BufWriter::new(file));
+    log.file_active.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Detaches the trace file, flushing buffered events.
+pub fn clear_trace_file() {
+    let log = log();
+    log.file_active.store(false, Ordering::Relaxed);
+    if let Some(mut w) = log.writer.lock().take() {
+        let _ = w.flush();
+    }
+}
+
+/// Serializes tests that assert on the shared global ring (unit tests run
+/// concurrently on threads within one binary).
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic_and_ring_is_bounded() {
+        let _guard = test_guard();
+        let a = record(EventKind::Note, "a", None, None, vec![]);
+        let b = record(EventKind::Note, "b", None, None, vec![]);
+        assert!(b > a);
+        // Other tests may record into the shared ring concurrently, so only
+        // assert on our own events: both still present, ids intact.
+        let ids: Vec<u64> = recent(usize::MAX).iter().map(|e| e.id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+        // The ring never exceeds its capacity.
+        for i in 0..RING_CAPACITY + 10 {
+            record(EventKind::Note, &format!("spam{i}"), None, None, vec![]);
+        }
+        assert_eq!(recent(usize::MAX).len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn events_roundtrip_through_serde() {
+        let event = TraceEvent {
+            id: 7,
+            parent: Some(3),
+            t_ms: 12.5,
+            kind: EventKind::SpanExit,
+            name: "engine/ingest_day".into(),
+            elapsed_ms: Some(4.25),
+            fields: vec![("shard".into(), "2".into())],
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.contains("\"kind\":\"span_exit\""), "{line}");
+        let back: TraceEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn trace_file_receives_events_incrementally() {
+        let dir = std::env::temp_dir().join("acobe_obs_event_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        set_trace_file(&path).unwrap();
+        let id = record(EventKind::Note, "file_probe", None, None, vec![]);
+        // Flushed per event: visible before the file is closed.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("file_probe"), "{text}");
+        assert!(text.contains(&format!("\"id\":{id}")), "{text}");
+        clear_trace_file();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

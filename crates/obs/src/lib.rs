@@ -5,14 +5,27 @@
 //! * [`span`] — hierarchical wall-time spans: a [`SpanGuard`] records its
 //!   elapsed time into a registry when dropped, and nested guards aggregate
 //!   under `parent/child` paths. The [`span!`](crate::span!) macro adds
-//!   `name(key=value)` labels.
+//!   `name(key=value)` labels, which also flow as structured fields into
+//!   the trace event stream.
 //! * [`metrics`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
-//!   [`Histogram`]s behind a thread-safe [`Registry`].
+//!   [`Histogram`]s behind a thread-safe [`Registry`]. Series carry label
+//!   sets (`counter_with("engine/rows", &[("shard", "3")])`), and the
+//!   snapshot API groups series into families.
 //! * [`sink`] — a human-readable summary table (for stderr) and a JSON-lines
 //!   export of every recorded metric (for machines; see `acobe detect
-//!   --metrics-out`).
+//!   --metrics-out`), flushed incrementally and atomically in stream mode.
 //! * [`progress`] — verbosity-gated progress lines replacing the ad-hoc
 //!   `eprintln!` calls the binaries used to carry.
+//! * [`event`] — structured trace events (span enter/exit, progress lines,
+//!   health events) with monotonic ids, kept in a bounded ring and
+//!   optionally streamed to a `--trace-out` JSONL file.
+//! * [`monitor`] — score-distribution drift sketches, typed
+//!   [`HealthEvent`](monitor::HealthEvent)s, and the [`monitor::board`]
+//!   behind `/healthz`.
+//! * [`prometheus`] — text exposition v0.0.4 rendering and strict
+//!   validation of the `/metrics` payload.
+//! * [`serve`] — the dependency-free `TcpListener` HTTP server exposing
+//!   `/metrics`, `/healthz`, and `/events?n=` (`--serve-metrics ADDR`).
 //!
 //! The crate deliberately has no external dependencies beyond the workspace
 //! staples (`parking_lot`, `serde`): instrumentation must never be the part
@@ -25,43 +38,71 @@
 //!     let _outer = acobe_obs::span!("fit");
 //!     let _inner = acobe_obs::span!("train", aspect = "device");
 //!     acobe_obs::counter("pipeline/users").add(12);
+//!     acobe_obs::counter_with("pipeline/rows", &[("shard", "0")]).add(3);
 //! }
 //! let stats = acobe_obs::global().span_stats("fit/train(aspect=device)");
 //! assert_eq!(stats.unwrap().count, 1);
 //! let jsonl = acobe_obs::to_jsonl();
 //! assert!(jsonl.contains("pipeline/users"));
+//! let exposition = acobe_obs::prometheus::render(acobe_obs::global());
+//! assert!(exposition.contains("pipeline_rows{shard=\"0\"} 3"));
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod metrics;
+pub mod monitor;
 pub mod progress;
+pub mod prometheus;
 pub mod registry;
+pub mod serve;
 pub mod sink;
 pub mod span;
 
+pub use event::{EventKind, TraceEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use monitor::{DriftConfig, DriftMonitor, HealthEvent, QuantileSketch, ShardStatus};
 pub use progress::{set_verbosity, verbosity};
-pub use registry::{global, Registry, SpanStats};
-pub use sink::{HistogramBucket, MetricRecord};
+pub use registry::{global, FamilyKind, MetricFamily, Registry, SpanStats};
+pub use sink::{HistogramBucket, Labels, MetricRecord};
 pub use span::SpanGuard;
 
 use std::sync::Arc;
 
-/// The named counter from the global registry (created on first use).
+/// The named unlabeled counter from the global registry (created on first
+/// use).
 pub fn counter(name: &str) -> Arc<Counter> {
     global().counter(name)
 }
 
-/// The named gauge from the global registry (created on first use).
+/// The labeled counter series from the global registry (created on first
+/// use). Label order does not matter.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter_with(name, labels)
+}
+
+/// The named unlabeled gauge from the global registry (created on first
+/// use).
 pub fn gauge(name: &str) -> Arc<Gauge> {
     global().gauge(name)
 }
 
-/// The named histogram from the global registry; `edges` are the inclusive
-/// bucket upper bounds and only apply on first creation.
+/// The labeled gauge series from the global registry (created on first use).
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge_with(name, labels)
+}
+
+/// The named unlabeled histogram from the global registry; `edges` are the
+/// inclusive bucket upper bounds and only apply on first creation.
 pub fn histogram(name: &str, edges: &[f64]) -> Arc<Histogram> {
     global().histogram(name, edges)
+}
+
+/// The labeled histogram series from the global registry; `edges` only apply
+/// on first creation of the series.
+pub fn histogram_with(name: &str, labels: &[(&str, &str)], edges: &[f64]) -> Arc<Histogram> {
+    global().histogram_with(name, labels, edges)
 }
 
 /// Clears every metric and span in the global registry (benches and tests).
@@ -77,4 +118,16 @@ pub fn summary_table() -> String {
 /// The global registry rendered as JSON lines (one metric per line).
 pub fn to_jsonl() -> String {
     global().to_jsonl()
+}
+
+/// Sets the `--metrics-out` path used by [`flush_metrics`]; see
+/// [`sink::set_metrics_path`].
+pub fn set_metrics_path(path: Option<&std::path::Path>) {
+    sink::set_metrics_path(path)
+}
+
+/// Atomically writes the global JSONL snapshot to the configured metrics
+/// path; see [`sink::flush_metrics`].
+pub fn flush_metrics() -> std::io::Result<bool> {
+    sink::flush_metrics()
 }

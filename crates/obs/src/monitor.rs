@@ -1,0 +1,670 @@
+//! Drift and health monitoring.
+//!
+//! * [`QuantileSketch`] — a small streaming p50/p90/p99 estimator (exact up
+//!   to 64 observations, P² markers beyond) used to sketch each day's
+//!   per-aspect reconstruction-error distribution in O(1) memory.
+//! * [`DriftMonitor`] — compares today's per-aspect score quantiles against
+//!   the median of a trailing window and raises
+//!   [`HealthEvent::ScoreDrift`] when a quantile moves by more than the
+//!   configured ratio, the signature of a baseline shift or a broken aspect.
+//! * [`HealthBoard`] — the process-wide operational state behind the
+//!   `/healthz` endpoint: per-shard live/quarantined status, last ingested
+//!   day, checkpoint age, days behind the feed, and the recent
+//!   [`HealthEvent`] ring. Every reported event also lands in the trace
+//!   event stream and (at default verbosity) on stderr.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The quantiles tracked by [`QuantileSketch`], in order.
+pub const TRACKED_QUANTILES: [f64; 3] = [0.50, 0.90, 0.99];
+
+/// Labels matching [`TRACKED_QUANTILES`].
+pub const QUANTILE_LABELS: [&str; 3] = ["p50", "p90", "p99"];
+
+/// Health events retained on the board for `/healthz`.
+const BOARD_EVENT_CAPACITY: usize = 256;
+
+/// One P² (piecewise-parabolic) marker set estimating a single quantile in
+/// O(1) memory (Jain & Chlamtac, 1985). Fed only once the owning sketch has
+/// seen more than [`QuantileSketch::EXACT_CAPACITY`] observations.
+#[derive(Debug, Clone)]
+struct P2 {
+    p: f64,
+    n: u64,
+    q: [f64; 5],
+    pos: [f64; 5],
+}
+
+impl P2 {
+    fn new(p: f64) -> Self {
+        P2 { p, n: 0, q: [0.0; 5], pos: [1.0, 2.0, 3.0, 4.0, 5.0] }
+    }
+
+    fn observe(&mut self, x: f64) {
+        if self.n < 5 {
+            self.q[self.n as usize] = x;
+            self.n += 1;
+            if self.n == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+        for pos in self.pos.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        self.n += 1;
+
+        let dp = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for i in 1..4 {
+            let desired = 1.0 + (self.n - 1) as f64 * dp[i];
+            let d = desired - self.pos[i];
+            let ahead = self.pos[i + 1] - self.pos[i];
+            let behind = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0) {
+                let d = d.signum();
+                let parabolic = self.q[i]
+                    + d / (self.pos[i + 1] - self.pos[i - 1])
+                        * ((self.pos[i] - self.pos[i - 1] + d)
+                            * (self.q[i + 1] - self.q[i])
+                            / (self.pos[i + 1] - self.pos[i])
+                            + (self.pos[i + 1] - self.pos[i] - d)
+                                * (self.q[i] - self.q[i - 1])
+                                / (self.pos[i] - self.pos[i - 1]));
+                if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    self.q[i] = parabolic;
+                } else {
+                    // Parabolic prediction left the bracket: linear step.
+                    let j = (i as f64 + d) as usize;
+                    self.q[i] += d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i]);
+                }
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        self.q[2]
+    }
+}
+
+/// A streaming quantile estimator for p50/p90/p99.
+///
+/// Exact (sorted buffer with linear interpolation) while it has seen at most
+/// [`QuantileSketch::EXACT_CAPACITY`] values — which covers per-day score
+/// vectors of small orgs and keeps tests deterministic — then hands the
+/// buffered history to three P² marker sets and stays O(1) from there.
+#[derive(Debug, Clone, Default)]
+pub struct QuantileSketch {
+    buffer: Vec<f64>,
+    p2: Option<Box<[P2; 3]>>,
+    count: u64,
+    sum: f64,
+}
+
+impl QuantileSketch {
+    /// Observations kept exactly before switching to P² markers.
+    pub const EXACT_CAPACITY: usize = 64;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch::default()
+    }
+
+    /// Observations folded in so far (non-finite values are skipped).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observed values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Folds one value in; NaN/inf (e.g. scores of quarantined users) are
+    /// ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        if let Some(p2) = self.p2.as_mut() {
+            for marker in p2.iter_mut() {
+                marker.observe(x);
+            }
+            return;
+        }
+        self.buffer.push(x);
+        if self.buffer.len() > Self::EXACT_CAPACITY {
+            let mut p2 = Box::new([
+                P2::new(TRACKED_QUANTILES[0]),
+                P2::new(TRACKED_QUANTILES[1]),
+                P2::new(TRACKED_QUANTILES[2]),
+            ]);
+            for &v in &self.buffer {
+                for marker in p2.iter_mut() {
+                    marker.observe(v);
+                }
+            }
+            self.p2 = Some(p2);
+            self.buffer = Vec::new();
+        }
+    }
+
+    /// `[p50, p90, p99]`, or `None` before the first (finite) observation.
+    pub fn quantiles(&self) -> Option<[f64; 3]> {
+        if self.count == 0 {
+            return None;
+        }
+        if let Some(p2) = &self.p2 {
+            return Some([p2[0].value(), p2[1].value(), p2[2].value()]);
+        }
+        let mut sorted = self.buffer.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(TRACKED_QUANTILES.map(|p| {
+            let rank = p * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }))
+    }
+}
+
+/// Thresholds for [`DriftMonitor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Trailing days of per-aspect quantiles kept as the baseline.
+    pub window: usize,
+    /// Scored days required in the window before drift is evaluated.
+    pub min_days: usize,
+    /// A quantile moving above `baseline * ratio` (or below
+    /// `baseline / ratio`) raises [`HealthEvent::ScoreDrift`].
+    pub ratio: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { window: 14, min_days: 7, ratio: 2.0 }
+    }
+}
+
+/// Per-aspect rolling score-distribution drift detector.
+///
+/// Feed it each scored day's per-user reconstruction errors (one slice per
+/// aspect); it sketches the day's p50/p90/p99, publishes them as
+/// `engine/score_quantile{aspect=…,q=…}` gauges, and compares them against
+/// the median of the trailing window.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    aspects: Vec<String>,
+    cfg: DriftConfig,
+    /// Per aspect: trailing window of daily `[p50, p90, p99]`.
+    windows: Vec<VecDeque<[f64; 3]>>,
+}
+
+impl DriftMonitor {
+    /// A monitor for the named aspects.
+    pub fn new(aspects: Vec<String>, cfg: DriftConfig) -> Self {
+        let windows = vec![VecDeque::with_capacity(cfg.window + 1); aspects.len()];
+        DriftMonitor { aspects, cfg, windows }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Folds one scored day in. `scores_per_aspect[a]` holds every user's
+    /// score for aspect `a` on `day` (NaNs — quarantined users — are
+    /// skipped). Returns the drift events raised by this day, at most one
+    /// per aspect (the quantile with the worst ratio).
+    pub fn observe_day(&mut self, day: &str, scores_per_aspect: &[&[f32]]) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        for (a, scores) in scores_per_aspect.iter().enumerate() {
+            if a >= self.aspects.len() {
+                break;
+            }
+            let mut sketch = QuantileSketch::new();
+            for &s in scores.iter() {
+                sketch.observe(s as f64);
+            }
+            let Some(today) = sketch.quantiles() else {
+                continue; // nothing finite today (e.g. all shards quarantined)
+            };
+            let aspect = &self.aspects[a];
+            for (q, label) in QUANTILE_LABELS.iter().enumerate() {
+                crate::registry::global()
+                    .gauge_with(
+                        "engine/score_quantile",
+                        &[("aspect", aspect.as_str()), ("q", *label)],
+                    )
+                    .set(today[q]);
+            }
+
+            let window = &mut self.windows[a];
+            if window.len() >= self.cfg.min_days {
+                let mut worst: Option<(usize, f64, f64)> = None;
+                for q in 0..3 {
+                    let mut trailing: Vec<f64> = window.iter().map(|d| d[q]).collect();
+                    trailing
+                        .sort_by(|a, b| a.partial_cmp(b).expect("finite quantiles"));
+                    let baseline = trailing[trailing.len() / 2].max(1e-9);
+                    let ratio = (today[q].max(1e-9) / baseline).max(baseline / today[q].max(1e-9));
+                    if ratio > self.cfg.ratio
+                        && worst.map(|(_, _, w)| ratio > w).unwrap_or(true)
+                    {
+                        worst = Some((q, baseline, ratio));
+                    }
+                }
+                if let Some((q, baseline, ratio)) = worst {
+                    events.push(HealthEvent::ScoreDrift {
+                        aspect: aspect.clone(),
+                        day: day.to_string(),
+                        quantile: QUANTILE_LABELS[q].to_string(),
+                        today: today[q],
+                        baseline,
+                        ratio,
+                    });
+                }
+            }
+
+            window.push_back(today);
+            if window.len() > self.cfg.window {
+                window.pop_front();
+            }
+        }
+        events
+    }
+}
+
+/// A typed operational event surfaced on `/healthz`, in the trace event
+/// stream, and as a stderr warning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum HealthEvent {
+    /// A day's score-quantile moved beyond the drift threshold.
+    ScoreDrift {
+        /// Behavior aspect whose distribution moved.
+        aspect: String,
+        /// Scored day that triggered the event.
+        day: String,
+        /// Which quantile moved (`p50`/`p90`/`p99`).
+        quantile: String,
+        /// Today's value of that quantile.
+        today: f64,
+        /// Median of the trailing window.
+        baseline: f64,
+        /// `max(today/baseline, baseline/today)`.
+        ratio: f64,
+    },
+    /// A shard failed checkpoint restore and was quarantined.
+    ShardQuarantined {
+        /// Shard index.
+        shard: usize,
+        /// The restore error.
+        reason: String,
+    },
+    /// One shard's ingest time is far above its peers'.
+    ShardLagging {
+        /// Shard index.
+        shard: usize,
+        /// Day on which the lag was observed.
+        day: String,
+        /// The lagging shard's phase time in milliseconds.
+        shard_ms: f64,
+        /// Median phase time across live shards.
+        median_ms: f64,
+    },
+    /// The last written checkpoint is falling behind the stream.
+    CheckpointStale {
+        /// Ingested days since the checkpoint was written.
+        age_days: i64,
+        /// Day the checkpoint covers up to.
+        last_day: String,
+    },
+}
+
+impl HealthEvent {
+    /// Short kind name (`score_drift`, `shard_quarantined`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthEvent::ScoreDrift { .. } => "score_drift",
+            HealthEvent::ShardQuarantined { .. } => "shard_quarantined",
+            HealthEvent::ShardLagging { .. } => "shard_lagging",
+            HealthEvent::CheckpointStale { .. } => "checkpoint_stale",
+        }
+    }
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthEvent::ScoreDrift { aspect, day, quantile, today, baseline, ratio } => {
+                write!(
+                    f,
+                    "score drift: aspect {aspect} {quantile} moved {ratio:.2}x on {day} \
+                     (today {today:.6}, baseline {baseline:.6})"
+                )
+            }
+            HealthEvent::ShardQuarantined { shard, reason } => {
+                write!(f, "shard {shard} quarantined: {reason}")
+            }
+            HealthEvent::ShardLagging { shard, day, shard_ms, median_ms } => {
+                write!(
+                    f,
+                    "shard {shard} lagging on {day}: {shard_ms:.1} ms vs median {median_ms:.1} ms"
+                )
+            }
+            HealthEvent::CheckpointStale { age_days, last_day } => {
+                write!(f, "checkpoint stale: {age_days} days behind (covers up to {last_day})")
+            }
+        }
+    }
+}
+
+/// One shard's status on the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Users assigned to the shard.
+    pub users: usize,
+    /// `false` when the shard is quarantined.
+    pub live: bool,
+    /// Quarantine reason, when not live.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// One health event plus the time it was reported.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthEventRecord {
+    /// Milliseconds since process start.
+    pub t_ms: f64,
+    /// The event.
+    pub event: HealthEvent,
+}
+
+#[derive(Debug, Default, Clone, Serialize)]
+struct BoardState {
+    shards: Vec<ShardStatus>,
+    last_ingested_day: Option<String>,
+    last_scored_day: Option<String>,
+    days_behind: Option<i64>,
+    checkpoint_day: Option<String>,
+    checkpoint_age_days: Option<i64>,
+    events: VecDeque<HealthEventRecord>,
+}
+
+/// The process-wide operational state served at `/healthz`.
+#[derive(Debug, Default)]
+pub struct HealthBoard {
+    state: Mutex<BoardState>,
+}
+
+impl HealthBoard {
+    /// Replaces the per-shard status block.
+    pub fn set_shards(&self, shards: Vec<ShardStatus>) {
+        self.state.lock().shards = shards;
+    }
+
+    /// Notes the most recently ingested day.
+    pub fn note_ingested(&self, day: &str) {
+        self.state.lock().last_ingested_day = Some(day.to_string());
+    }
+
+    /// Notes the most recently scored day.
+    pub fn note_scored(&self, day: &str) {
+        self.state.lock().last_scored_day = Some(day.to_string());
+    }
+
+    /// Sets how many days the engine trails the end of the feed.
+    pub fn set_days_behind(&self, days: i64) {
+        self.state.lock().days_behind = Some(days);
+    }
+
+    /// Notes the day the newest checkpoint covers up to and its age in
+    /// ingested days.
+    pub fn set_checkpoint(&self, day: &str, age_days: i64) {
+        let mut state = self.state.lock();
+        state.checkpoint_day = Some(day.to_string());
+        state.checkpoint_age_days = Some(age_days);
+    }
+
+    /// Reports a health event: appends it to the board's bounded ring, the
+    /// trace event stream, and (at default verbosity) stderr.
+    pub fn report(&self, event: HealthEvent) {
+        let fields = vec![("detail".to_string(), event.to_string())];
+        crate::event::record(
+            crate::event::EventKind::Health,
+            event.kind(),
+            crate::span::current_span_id(),
+            None,
+            fields,
+        );
+        crate::progress!("health: {event}");
+        let mut state = self.state.lock();
+        if state.events.len() >= BOARD_EVENT_CAPACITY {
+            state.events.pop_front();
+        }
+        let t_ms = crate::progress::process_start().elapsed().as_secs_f64() * 1e3;
+        state.events.push_back(HealthEventRecord { t_ms, event });
+    }
+
+    /// The most recent health events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<HealthEventRecord> {
+        let state = self.state.lock();
+        let skip = state.events.len().saturating_sub(n);
+        state.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Clears the board (tests and benches).
+    pub fn reset(&self) {
+        *self.state.lock() = BoardState::default();
+    }
+
+    /// The `/healthz` JSON document: overall status (`ok` unless a shard is
+    /// quarantined), shard table, stream position, checkpoint age, and the
+    /// recent event ring.
+    pub fn healthz_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Healthz<'a> {
+            status: &'a str,
+            shards: &'a [ShardStatus],
+            last_ingested_day: &'a Option<String>,
+            last_scored_day: &'a Option<String>,
+            days_behind: &'a Option<i64>,
+            checkpoint_day: &'a Option<String>,
+            checkpoint_age_days: &'a Option<i64>,
+            events: Vec<&'a HealthEventRecord>,
+        }
+        let state = self.state.lock();
+        let status = if state.shards.iter().any(|s| !s.live) { "degraded" } else { "ok" };
+        let doc = Healthz {
+            status,
+            shards: &state.shards,
+            last_ingested_day: &state.last_ingested_day,
+            last_scored_day: &state.last_scored_day,
+            days_behind: &state.days_behind,
+            checkpoint_day: &state.checkpoint_day,
+            checkpoint_age_days: &state.checkpoint_age_days,
+            events: state.events.iter().collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("healthz serializes")
+    }
+}
+
+/// The process-wide [`HealthBoard`] behind `/healthz`.
+pub fn board() -> &'static HealthBoard {
+    static BOARD: OnceLock<HealthBoard> = OnceLock::new();
+    BOARD.get_or_init(HealthBoard::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+        let rank = p * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    #[test]
+    fn sketch_is_exact_for_small_samples() {
+        let mut sketch = QuantileSketch::new();
+        let values = [5.0, 1.0, 9.0, 3.0, 7.0, f64::NAN];
+        for v in values {
+            sketch.observe(v);
+        }
+        assert_eq!(sketch.count(), 5);
+        let [p50, p90, p99] = sketch.quantiles().unwrap();
+        let sorted = [1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(p50, exact_quantile(&sorted, 0.5));
+        assert_eq!(p90, exact_quantile(&sorted, 0.9));
+        assert_eq!(p99, exact_quantile(&sorted, 0.99));
+    }
+
+    #[test]
+    fn sketch_tracks_quantiles_of_large_streams() {
+        // Deterministic pseudo-uniform stream on [0, 1000).
+        let mut sketch = QuantileSketch::new();
+        let mut values = Vec::new();
+        let mut x: u64 = 12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
+            sketch.observe(v);
+            values.push(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = sketch.quantiles().unwrap();
+        for (q, &p) in TRACKED_QUANTILES.iter().enumerate() {
+            let truth = exact_quantile(&values, p);
+            let err = (got[q] - truth).abs();
+            assert!(
+                err < 25.0,
+                "quantile p{p}: sketch {} vs exact {truth} (err {err})",
+                got[q]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let mut sketch = QuantileSketch::new();
+        assert!(sketch.quantiles().is_none());
+        sketch.observe(f64::NAN);
+        assert!(sketch.quantiles().is_none());
+    }
+
+    #[test]
+    fn drift_monitor_raises_on_scale_shift() {
+        let cfg = DriftConfig { window: 8, min_days: 3, ratio: 2.0 };
+        let mut monitor = DriftMonitor::new(vec!["http".into(), "device".into()], cfg);
+        let normal: Vec<f32> = (0..20).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+        for day in 0..5 {
+            let events = monitor.observe_day(
+                &format!("2020-01-{:02}", day + 1),
+                &[normal.as_slice(), normal.as_slice()],
+            );
+            assert!(events.is_empty(), "no drift on steady days: {events:?}");
+        }
+        // Scale every http score 10x; device stays put.
+        let shifted: Vec<f32> = normal.iter().map(|v| v * 10.0).collect();
+        let events =
+            monitor.observe_day("2020-01-06", &[shifted.as_slice(), normal.as_slice()]);
+        assert_eq!(events.len(), 1, "{events:?}");
+        match &events[0] {
+            HealthEvent::ScoreDrift { aspect, ratio, day, .. } => {
+                assert_eq!(aspect, "http");
+                assert_eq!(day, "2020-01-06");
+                assert!(*ratio > 5.0, "ratio {ratio}");
+            }
+            other => panic!("expected ScoreDrift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drift_monitor_waits_for_min_days_and_skips_nan_days() {
+        let cfg = DriftConfig { window: 4, min_days: 3, ratio: 1.5 };
+        let mut monitor = DriftMonitor::new(vec!["a".into()], cfg);
+        let nan_day = vec![f32::NAN; 8];
+        assert!(monitor.observe_day("d0", &[nan_day.as_slice()]).is_empty());
+        let quiet = vec![1.0f32; 8];
+        let loud = vec![100.0f32; 8];
+        // Too little history: the loud day only seeds the window.
+        assert!(monitor.observe_day("d1", &[quiet.as_slice()]).is_empty());
+        assert!(monitor.observe_day("d2", &[loud.as_slice()]).is_empty());
+        assert!(monitor.observe_day("d3", &[quiet.as_slice()]).is_empty());
+        // Window now holds [quiet, loud, quiet]; median is quiet → drift.
+        let events = monitor.observe_day("d4", &[loud.as_slice()]);
+        assert_eq!(events.len(), 1, "{events:?}");
+    }
+
+    #[test]
+    fn health_events_serialize_with_kind_tags() {
+        let event = HealthEvent::ShardQuarantined { shard: 3, reason: "bad manifest".into() };
+        let json = serde_json::to_string(&event).unwrap();
+        assert!(json.contains("\"kind\":\"shard_quarantined\""), "{json}");
+        let back: HealthEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+        assert_eq!(event.kind(), "shard_quarantined");
+        assert!(event.to_string().contains("shard 3"));
+    }
+
+    #[test]
+    fn board_tracks_shards_and_serves_healthz() {
+        let board = HealthBoard::default();
+        board.set_shards(vec![
+            ShardStatus { shard: 0, users: 10, live: true, error: None },
+            ShardStatus { shard: 1, users: 12, live: false, error: Some("corrupt".into()) },
+        ]);
+        board.note_ingested("2020-02-01");
+        board.set_days_behind(3);
+        board.set_checkpoint("2020-01-20", 12);
+        board.report(HealthEvent::CheckpointStale {
+            age_days: 12,
+            last_day: "2020-01-20".into(),
+        });
+        let json = board.healthz_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["status"], "degraded");
+        assert_eq!(doc["shards"][1]["live"], false);
+        assert_eq!(doc["shards"][1]["error"], "corrupt");
+        assert_eq!(doc["last_ingested_day"], "2020-02-01");
+        assert_eq!(doc["days_behind"], 3);
+        assert_eq!(doc["checkpoint_age_days"], 12);
+        assert_eq!(doc["events"][0]["event"]["kind"], "checkpoint_stale");
+        board.set_shards(vec![ShardStatus { shard: 0, users: 22, live: true, error: None }]);
+        let doc: serde_json::Value =
+            serde_json::from_str(&board.healthz_json()).unwrap();
+        assert_eq!(doc["status"], "ok");
+    }
+}

@@ -30,18 +30,28 @@ pub fn verbosity() -> u8 {
     VERBOSITY.load(Ordering::Relaxed)
 }
 
-fn start_time() -> Instant {
+/// The instant of the first observability call in the process; trace-event
+/// timestamps (`t_ms`) and progress-line prefixes share this origin.
+pub(crate) fn process_start() -> Instant {
     static START: OnceLock<Instant> = OnceLock::new();
     *START.get_or_init(Instant::now)
 }
 
 /// Prints one timestamped line to stderr when `level` is within the current
-/// verbosity. Use through [`progress!`](crate::progress!) /
-/// [`detail!`](crate::detail!).
+/// verbosity, and records the line as a structured trace event regardless of
+/// verbosity (so `/events` and `--trace-out` stay complete under `-q`). Use
+/// through [`progress!`](crate::progress!) / [`detail!`](crate::detail!).
 pub fn emit(level: u8, message: fmt::Arguments<'_>) {
+    let text = message.to_string();
+    let kind = if level >= LEVEL_DETAIL {
+        crate::event::EventKind::Detail
+    } else {
+        crate::event::EventKind::Progress
+    };
+    crate::event::record(kind, &text, crate::span::current_span_id(), None, Vec::new());
     if verbosity() >= level {
-        let elapsed = start_time().elapsed().as_secs_f64();
-        eprintln!("[{elapsed:7.2}s] {message}");
+        let elapsed = process_start().elapsed().as_secs_f64();
+        eprintln!("[{elapsed:7.2}s] {text}");
     }
 }
 

@@ -1,0 +1,546 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`render`] turns a [`Registry`] snapshot into the `/metrics` payload:
+//! one `# TYPE` header per family, labeled samples, and full histogram
+//! series (`_bucket{le=…}` cumulative counts ending at `+Inf`, `_sum`,
+//! `_count`). Span aggregates — which have no Prometheus type — export as
+//! three gauge families keyed by a `path` label.
+//!
+//! [`validate`] is the strict parser behind the exposition unit tests and
+//! the `promcheck` CI binary; it shares this module so renderer and checker
+//! can never drift apart.
+
+use crate::registry::{FamilyKind, Registry};
+use crate::sink::MetricRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps an internal metric name (`engine/ingest_ms`) to a valid Prometheus
+/// name: `/`, `-`, `.`, and spaces become `_`; any other invalid character
+/// is dropped; a leading digit gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            '/' | '-' | '.' | ' ' => out.push('_'),
+            _ => {}
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    if out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the registry as Prometheus text exposition v0.0.4.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    // Span aggregates first, folded into three gauge families.
+    let spans = registry.span_records();
+    if !spans.is_empty() {
+        for (family, pick) in [
+            ("acobe_span_count", 0usize),
+            ("acobe_span_total_ms", 1usize),
+            ("acobe_span_max_ms", 2usize),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for record in &spans {
+                if let MetricRecord::Span { name, count, total_ms, max_ms, .. } = record {
+                    let value = match pick {
+                        0 => *count as f64,
+                        1 => *total_ms,
+                        _ => *max_ms,
+                    };
+                    let labels = render_labels(&[], Some(("path", name.as_str())));
+                    let _ = writeln!(out, "{family}{labels} {}", format_value(value));
+                }
+            }
+        }
+    }
+
+    for family in registry.families() {
+        if family.kind == FamilyKind::Span {
+            continue;
+        }
+        let name = sanitize_name(&family.name);
+        let type_str = match family.kind {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+            FamilyKind::Span => unreachable!(),
+        };
+        let _ = writeln!(out, "# TYPE {name} {type_str}");
+        for record in &family.records {
+            match record {
+                MetricRecord::Counter { labels, value, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {value}",
+                        render_labels(labels, None)
+                    );
+                }
+                MetricRecord::Gauge { labels, value, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(labels, None),
+                        format_value(*value)
+                    );
+                }
+                MetricRecord::Histogram { labels, count, sum, buckets, .. } => {
+                    // Internal buckets are per-bucket counts; Prometheus
+                    // wants cumulative counts ending at +Inf.
+                    let mut cumulative = 0u64;
+                    for bucket in buckets {
+                        cumulative += bucket.count;
+                        let le = match bucket.le {
+                            Some(edge) => format_value(edge),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            render_labels(labels, Some(("le", le.as_str())))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        render_labels(labels, None),
+                        format_value(*sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {count}",
+                        render_labels(labels, None)
+                    );
+                }
+                MetricRecord::Span { .. } => {}
+            }
+        }
+    }
+    out
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.as_bytes()[0].is_ascii_digit()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.as_bytes()[0].is_ascii_digit()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("invalid sample value: {s:?}")),
+    }
+}
+
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label block: {line:?}"))?;
+            if close < brace {
+                return Err(format!("malformed label block: {line:?}"));
+            }
+            (&line[..brace], Some((&line[brace + 1..close], &line[close + 1..])))
+        }
+        None => {
+            let space = line
+                .find(' ')
+                .ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (&line[..space], None::<(&str, &str)>)
+        }
+    };
+    if !is_valid_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?} in {line:?}"));
+    }
+    let (labels, value_part) = match rest {
+        Some((label_block, tail)) => {
+            let mut labels = Vec::new();
+            let mut chars = label_block.chars().peekable();
+            while chars.peek().is_some() {
+                let mut label_name = String::new();
+                for c in chars.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    label_name.push(c);
+                }
+                if !is_valid_label_name(&label_name) {
+                    return Err(format!("invalid label name {label_name:?} in {line:?}"));
+                }
+                if chars.next() != Some('"') {
+                    return Err(format!("label value not quoted in {line:?}"));
+                }
+                let mut value = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('\\') => value.push('\\'),
+                            Some('"') => value.push('"'),
+                            Some('n') => value.push('\n'),
+                            other => {
+                                return Err(format!(
+                                    "invalid escape \\{other:?} in {line:?}"
+                                ))
+                            }
+                        },
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\n' => {
+                            return Err(format!("raw newline in label value: {line:?}"))
+                        }
+                        _ => value.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(format!("unterminated label value in {line:?}"));
+                }
+                labels.push((label_name, value));
+                match chars.peek() {
+                    Some(',') => {
+                        chars.next();
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "unexpected {other:?} after label value in {line:?}"
+                        ))
+                    }
+                    None => {}
+                }
+            }
+            (labels, tail.trim_start())
+        }
+        None => {
+            let space = line.find(' ').expect("checked above");
+            (Vec::new(), line[space + 1..].trim_start())
+        }
+    };
+    let value_str = value_part.split_whitespace().next().unwrap_or("");
+    let value = parse_value(value_str)?;
+    Ok(Sample { name: name_part.to_string(), labels, value })
+}
+
+/// Strictly validates a text exposition document: name and label charsets,
+/// quoting and escapes, `# TYPE` headers preceding their samples (one per
+/// family), parseable values, and — for histogram families — per-series
+/// `_bucket` sets with nondecreasing cumulative counts ending at an `+Inf`
+/// bucket that matches `_count`, plus `_sum`/`_count` presence. Returns
+/// `Ok(sample_count)` (an empty document is valid).
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| format!("line {}: bare TYPE", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without kind", lineno + 1))?;
+            if !is_valid_name(name) {
+                return Err(format!("line {}: invalid family name {name:?}", lineno + 1));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {}: unknown metric type {kind:?}", lineno + 1));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {}: duplicate TYPE for {name:?}", lineno + 1));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let sample =
+            parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        // Histogram samples attach to their family via suffix.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                sample
+                    .name
+                    .strip_suffix(suffix)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                    .map(str::to_string)
+            })
+            .unwrap_or_else(|| sample.name.clone());
+        if !types.contains_key(&family) {
+            return Err(format!(
+                "line {}: sample {:?} precedes or lacks its # TYPE header",
+                lineno + 1,
+                sample.name
+            ));
+        }
+        samples.push(sample);
+    }
+
+    // Histogram family coherence.
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group buckets by their non-`le` label signature.
+        let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for sample in &samples {
+            let sig = |labels: &[(String, String)]| -> String {
+                let mut parts: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                parts.sort();
+                parts.join(",")
+            };
+            if sample.name == format!("{family}_bucket") {
+                let le = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("{family}_bucket without le label"))?;
+                let edge = parse_value(&le.1)
+                    .map_err(|_| format!("{family}_bucket has bad le {:?}", le.1))?;
+                series.entry(sig(&sample.labels)).or_default().push((edge, sample.value));
+            } else if sample.name == format!("{family}_sum") {
+                sums.insert(sig(&sample.labels), sample.value);
+            } else if sample.name == format!("{family}_count") {
+                counts.insert(sig(&sample.labels), sample.value);
+            }
+        }
+        if series.is_empty() {
+            return Err(format!("histogram {family} has no _bucket samples"));
+        }
+        for (sig, buckets) in &series {
+            let mut sorted = buckets.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le values comparable"));
+            let last = sorted.last().expect("nonempty");
+            if last.0 != f64::INFINITY {
+                return Err(format!("histogram {family}{{{sig}}} lacks an +Inf bucket"));
+            }
+            let mut prev = -1.0;
+            for (le, count) in &sorted {
+                if *count < prev {
+                    return Err(format!(
+                        "histogram {family}{{{sig}}} bucket le={le} count {count} \
+                         below previous {prev} (not cumulative)"
+                    ));
+                }
+                prev = *count;
+            }
+            let count = counts
+                .get(sig)
+                .ok_or_else(|| format!("histogram {family}{{{sig}}} lacks _count"))?;
+            if !sums.contains_key(sig) {
+                return Err(format!("histogram {family}{{{sig}}} lacks _sum"));
+            }
+            if *count != last.1 {
+                return Err(format!(
+                    "histogram {family}{{{sig}}}: _count {count} != +Inf bucket {}",
+                    last.1
+                ));
+            }
+        }
+    }
+
+    Ok(samples.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("engine/ingest_ms"), "engine_ingest_ms");
+        assert_eq!(sanitize_name("train/epoch-ms"), "train_epoch_ms");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("weird!@#"), "weird");
+        assert_eq!(sanitize_name("!@#"), "_");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+    }
+
+    #[test]
+    fn renders_labeled_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter_with("engine/rows_scored", &[("shard", "3")]).add(42);
+        r.gauge_with("engine/score_quantile", &[("aspect", "http"), ("q", "p99")]).set(1.5);
+        let text = render(&r);
+        assert!(
+            text.contains("# TYPE engine_rows_scored counter"),
+            "{text}"
+        );
+        assert!(text.contains("engine_rows_scored{shard=\"3\"} 42"), "{text}");
+        assert!(
+            text.contains("engine_score_quantile{aspect=\"http\",q=\"p99\"} 1.5"),
+            "{text}"
+        );
+        validate(&text).expect("rendered exposition validates");
+    }
+
+    #[test]
+    fn renders_cumulative_histogram_with_inf_bucket() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat", &[("shard", "0")], &[1.0, 2.0]);
+        h.observe(0.5); // bucket le=1
+        h.observe(1.5); // bucket le=2
+        h.observe(9.0); // overflow
+        let text = render(&r);
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{shard=\"0\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{shard=\"0\",le=\"2\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{shard=\"0\",le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_count{shard=\"0\"} 3"), "{text}");
+        assert!(text.contains("lat_sum{shard=\"0\"} 11"), "{text}");
+        validate(&text).expect("rendered exposition validates");
+    }
+
+    #[test]
+    fn renders_spans_as_path_labeled_gauges() {
+        let r = Registry::new();
+        r.record_span("fit/train(aspect=device)", std::time::Duration::from_millis(10));
+        let text = render(&r);
+        assert!(text.contains("# TYPE acobe_span_count gauge"), "{text}");
+        assert!(
+            text.contains("acobe_span_count{path=\"fit/train(aspect=device)\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("acobe_span_total_ms{path="), "{text}");
+        validate(&text).expect("rendered exposition validates");
+    }
+
+    #[test]
+    fn label_values_needing_escapes_roundtrip_through_validate() {
+        let r = Registry::new();
+        r.counter_with("evil", &[("why", "quote\" slash\\ line\nend")]).inc();
+        let text = render(&r);
+        validate(&text).expect("escaped exposition validates");
+        assert!(text.contains(r#"quote\" slash\\ line\nend"#), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_and_validates() {
+        let r = Registry::new();
+        let text = render(&r);
+        assert_eq!(text, "");
+        assert_eq!(validate(&text).unwrap(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Sample before its TYPE header.
+        assert!(validate("orphan 1\n").is_err());
+        // Invalid name charset.
+        assert!(validate("# TYPE bad-name counter\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate("# TYPE a counter\n# TYPE a counter\na 1\n").is_err());
+        // Unparseable value.
+        assert!(validate("# TYPE a counter\na forty\n").is_err());
+        // Unterminated label value.
+        assert!(validate("# TYPE a counter\na{x=\"y} 1\n").is_err());
+        // Histogram without +Inf.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate(text).unwrap_err().contains("+Inf"));
+        // Histogram with non-cumulative buckets.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 1\nh_count 3\n";
+        assert!(validate(text).unwrap_err().contains("cumulative"));
+        // Histogram _count disagreeing with +Inf bucket.
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(validate(text).unwrap_err().contains("_count"));
+        // Histogram missing _sum.
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+        assert!(validate(text).unwrap_err().contains("_sum"));
+    }
+
+    #[test]
+    fn validator_accepts_full_rendered_registry() {
+        let r = Registry::new();
+        r.counter("plain").inc();
+        r.counter_with("sharded", &[("shard", "0")]).add(1);
+        r.counter_with("sharded", &[("shard", "1")]).add(2);
+        r.gauge("g").set(f64::INFINITY);
+        r.histogram("h", &[0.5, 5.0]).observe(1.0);
+        r.histogram_with("h2", &[("aspect", "a b")], &[1.0]).observe(2.0);
+        r.record_span("root/child", std::time::Duration::from_micros(500));
+        let text = render(&r);
+        let n = validate(&text).expect("validates");
+        assert!(n >= 10, "expected a rich document, got {n} samples:\n{text}");
+    }
+}

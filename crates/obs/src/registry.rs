@@ -1,11 +1,34 @@
 //! The thread-safe registry holding every named metric and span aggregate.
 
 use crate::metrics::{Counter, Gauge, Histogram};
-use crate::sink::{HistogramBucket, MetricRecord};
+use crate::sink::{HistogramBucket, Labels, MetricRecord};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Normalizes a borrowed label slice into the canonical sorted owned form
+/// used as part of a series identity.
+pub fn label_set(labels: &[(&str, &str)]) -> Labels {
+    let mut set: Labels =
+        labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
+    set.sort();
+    set
+}
+
+/// One metric series: a family name plus its sorted label set. Two lookups
+/// with the same labels in different orders resolve to the same series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Labels,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        SeriesKey { name: name.to_string(), labels: label_set(labels) }
+    }
+}
 
 /// Aggregated wall-time statistics of one span path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,16 +66,48 @@ impl SpanStats {
     }
 }
 
+/// The kind of a [`MetricFamily`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Span path aggregates.
+    Span,
+    /// Monotonic counters.
+    Counter,
+    /// Latest-value gauges.
+    Gauge,
+    /// Fixed-bucket histograms.
+    Histogram,
+}
+
+/// Every series of one metric family (same name and kind), as produced by
+/// [`Registry::families`]. The Prometheus exposition renders one `# TYPE`
+/// header per family followed by its series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Family name shared by every series.
+    pub name: String,
+    /// Metric kind shared by every series.
+    pub kind: FamilyKind,
+    /// The family's series, label-sorted.
+    pub records: Vec<MetricRecord>,
+}
+
 /// A collection of named counters, gauges, histograms, and span aggregates.
 ///
-/// Most code uses the process-wide instance from [`global`]; tests can make
-/// private registries to stay isolated.
+/// Series carry label sets: `counter_with("engine/rows", &[("shard", "3")])`
+/// and the unlabeled `counter("engine/rows")` are distinct series of the same
+/// family. Most code uses the process-wide instance from [`global`]; tests
+/// can make private registries to stay isolated.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
+    /// Serializes whole-registry operations ([`Registry::snapshot`] vs
+    /// [`Registry::reset`]) so a reset never appears half-applied across
+    /// metric families. Lock order is always gate → family maps.
+    gate: Mutex<()>,
 }
 
 impl Registry {
@@ -61,27 +116,48 @@ impl Registry {
         Registry::default()
     }
 
-    /// The named counter, created on first use.
+    /// The named unlabeled counter, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels}`, created on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let mut map = self.counters.lock();
-        map.entry(name.to_string())
+        map.entry(SeriesKey::new(name, labels))
             .or_insert_with(|| Arc::new(Counter::new()))
             .clone()
     }
 
-    /// The named gauge, created on first use.
+    /// The named unlabeled gauge, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge series `name{labels}`, created on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut map = self.gauges.lock();
-        map.entry(name.to_string())
+        map.entry(SeriesKey::new(name, labels))
             .or_insert_with(|| Arc::new(Gauge::new()))
             .clone()
     }
 
-    /// The named histogram, created on first use; later calls ignore `edges`
-    /// and return the existing instance.
+    /// The named unlabeled histogram, created on first use; later calls
+    /// ignore `edges` and return the existing instance.
     pub fn histogram(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], edges)
+    }
+
+    /// The histogram series `name{labels}`, created on first use; later calls
+    /// ignore `edges` and return the existing instance.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        edges: &[f64],
+    ) -> Arc<Histogram> {
         let mut map = self.histograms.lock();
-        map.entry(name.to_string())
+        map.entry(SeriesKey::new(name, labels))
             .or_insert_with(|| Arc::new(Histogram::new(edges)))
             .clone()
     }
@@ -111,8 +187,12 @@ impl Registry {
     }
 
     /// Clears all metrics and span aggregates, keeping registered metric
-    /// objects alive (outstanding `Arc` handles keep working).
+    /// objects alive (outstanding `Arc` handles keep working). Atomic with
+    /// respect to [`Registry::snapshot`]: a concurrent snapshot sees either
+    /// the full pre-reset state or the full post-reset state, never counters
+    /// cleared with histograms or spans still populated.
     pub fn reset(&self) {
+        let _gate = self.gate.lock();
         for c in self.counters.lock().values() {
             c.reset();
         }
@@ -141,16 +221,26 @@ impl Registry {
             .collect()
     }
 
-    /// Serializable records for every metric and span, spans first.
+    /// Serializable records for every metric and span, spans first, then
+    /// counters, gauges, and histograms, each (name, labels)-sorted.
     pub fn snapshot(&self) -> Vec<MetricRecord> {
+        let _gate = self.gate.lock();
         let mut records = self.span_records();
-        records.extend(self.counters.lock().iter().map(|(name, c)| {
-            MetricRecord::Counter { name: name.clone(), value: c.get() }
+        records.extend(self.counters.lock().iter().map(|(key, c)| {
+            MetricRecord::Counter {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: c.get(),
+            }
         }));
-        records.extend(self.gauges.lock().iter().map(|(name, g)| {
-            MetricRecord::Gauge { name: name.clone(), value: g.get() }
+        records.extend(self.gauges.lock().iter().map(|(key, g)| {
+            MetricRecord::Gauge {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: g.get(),
+            }
         }));
-        records.extend(self.histograms.lock().iter().map(|(name, h)| {
+        records.extend(self.histograms.lock().iter().map(|(key, h)| {
             let snap = h.snapshot();
             let mut buckets: Vec<HistogramBucket> = snap
                 .edges
@@ -163,7 +253,8 @@ impl Registry {
                 count: *snap.counts.last().expect("overflow bucket"),
             });
             MetricRecord::Histogram {
-                name: name.clone(),
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 count: snap.total,
                 sum: snap.sum,
                 min: snap.min,
@@ -172,6 +263,30 @@ impl Registry {
             }
         }));
         records
+    }
+
+    /// The snapshot grouped into metric families: consecutive series of the
+    /// same kind and name, in snapshot order (spans, counters, gauges,
+    /// histograms; families name-sorted within each kind).
+    pub fn families(&self) -> Vec<MetricFamily> {
+        let mut families: Vec<MetricFamily> = Vec::new();
+        for record in self.snapshot() {
+            let kind = match &record {
+                MetricRecord::Span { .. } => FamilyKind::Span,
+                MetricRecord::Counter { .. } => FamilyKind::Counter,
+                MetricRecord::Gauge { .. } => FamilyKind::Gauge,
+                MetricRecord::Histogram { .. } => FamilyKind::Histogram,
+            };
+            match families.last_mut() {
+                Some(f) if f.kind == kind && f.name == record.name() => f.records.push(record),
+                _ => families.push(MetricFamily {
+                    name: record.name().to_string(),
+                    kind,
+                    records: vec![record],
+                }),
+            }
+        }
+        families
     }
 
     /// Renders the registry as JSON lines, one [`MetricRecord`] per line.
@@ -214,6 +329,39 @@ mod tests {
     }
 
     #[test]
+    fn labels_distinguish_series_and_order_does_not() {
+        let r = Registry::new();
+        r.counter_with("ingest", &[("shard", "0")]).add(1);
+        r.counter_with("ingest", &[("shard", "1")]).add(2);
+        r.counter("ingest").add(10);
+        assert_eq!(r.counter_with("ingest", &[("shard", "1")]).get(), 2);
+        assert_eq!(r.counter("ingest").get(), 10);
+        let a = r.gauge_with("g", &[("x", "1"), ("y", "2")]);
+        let b = r.gauge_with("g", &[("y", "2"), ("x", "1")]);
+        a.set(5.0);
+        assert_eq!(b.get(), 5.0);
+    }
+
+    #[test]
+    fn families_group_series_by_name_and_kind() {
+        let r = Registry::new();
+        r.counter_with("ingest", &[("shard", "0")]).add(1);
+        r.counter_with("ingest", &[("shard", "1")]).add(2);
+        r.counter("other").inc();
+        r.gauge("ingest").set(3.0); // same name, different kind → own family
+        let fams = r.families();
+        let ingest_counters: Vec<&MetricFamily> = fams
+            .iter()
+            .filter(|f| f.name == "ingest" && f.kind == FamilyKind::Counter)
+            .collect();
+        assert_eq!(ingest_counters.len(), 1);
+        assert_eq!(ingest_counters[0].records.len(), 2);
+        assert!(fams
+            .iter()
+            .any(|f| f.name == "ingest" && f.kind == FamilyKind::Gauge));
+    }
+
+    #[test]
     fn span_stats_aggregate() {
         let r = Registry::new();
         r.record_span("a/b", Duration::from_millis(10));
@@ -238,5 +386,62 @@ mod tests {
         assert!(r.span_stats("s").is_none());
         c.inc();
         assert_eq!(r.counter("x").get(), 1);
+    }
+
+    /// Regression test: `reset` used to clear family by family without a
+    /// guard, so a snapshot running concurrently could observe the counters
+    /// already cleared while spans (cleared last) still held pre-reset data.
+    ///
+    /// The writer populates families in *reverse* snapshot-read order
+    /// (histogram, then counter, then span) and resets at the end of each
+    /// cycle. Snapshot reads spans first: if it sees the span, the histogram
+    /// and counter writes happened before that read, and — with reset gated
+    /// out for the duration of the snapshot — nothing may clear them before
+    /// their (later) reads. Seeing the span with a zero counter or histogram
+    /// therefore proves a reset tore through mid-snapshot.
+    #[test]
+    fn reset_is_atomic_with_respect_to_snapshot() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let r = std::sync::Arc::new(Registry::new());
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let r = std::sync::Arc::clone(&r);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let c = r.counter("ops");
+                let h = r.histogram("lat", &[1.0]);
+                while !stop.load(Ordering::Relaxed) {
+                    h.observe(0.5);
+                    c.inc();
+                    r.record_span("w", Duration::from_micros(1));
+                    r.reset();
+                }
+            })
+        };
+
+        for _ in 0..2000 {
+            let snap = r.snapshot();
+            let span_seen = snap
+                .iter()
+                .any(|m| matches!(m, MetricRecord::Span { name, count, .. } if name == "w" && *count > 0));
+            if !span_seen {
+                continue;
+            }
+            let counter = snap.iter().find_map(|m| match m {
+                MetricRecord::Counter { name, value, .. } if name == "ops" => Some(*value),
+                _ => None,
+            });
+            let hist = snap.iter().find_map(|m| match m {
+                MetricRecord::Histogram { name, count, .. } if name == "lat" => Some(*count),
+                _ => None,
+            });
+            assert!(
+                counter.unwrap_or(0) > 0 && hist.unwrap_or(0) > 0,
+                "torn reset visible: span present but counter={counter:?} histogram={hist:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

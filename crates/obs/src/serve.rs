@@ -1,0 +1,261 @@
+//! The telemetry HTTP server.
+//!
+//! A dependency-free `std::net::TcpListener` server exposing the live
+//! observability plane of a running `acobe stream`/`acobe run`:
+//!
+//! * `GET /metrics` — Prometheus text exposition v0.0.4 of the global
+//!   registry (see [`crate::prometheus`]).
+//! * `GET /healthz` — the [`crate::monitor::board`] JSON: per-shard
+//!   live/quarantined status, last ingested day, checkpoint age, days
+//!   behind the feed, recent health events.
+//! * `GET /events?n=N` — the last `N` structured trace events as JSON
+//!   lines (default 256).
+//!
+//! The accept loop runs on its own thread in nonblocking mode, so scraping
+//! never blocks ingest; each response snapshots state under short locks.
+//! Binding port `0` picks an ephemeral port — the bound address is returned
+//! by [`TelemetryServer::addr`] and, when the `ACOBE_SERVE_ADDR_FILE`
+//! environment variable names a file, written there so CI scripts can find
+//! the port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default number of events served by `/events`.
+const DEFAULT_EVENT_TAIL: usize = 256;
+
+/// A running telemetry server; dropping it stops the accept loop.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, port `0` for ephemeral) and serves
+/// the telemetry endpoints until the returned handle is dropped.
+pub fn serve(addr: &str) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    if let Ok(path) = std::env::var("ACOBE_SERVE_ADDR_FILE") {
+        if !path.is_empty() {
+            let _ = std::fs::write(&path, addr.to_string());
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("acobe-telemetry".into())
+        .spawn(move || accept_loop(listener, stop_flag))
+        .expect("spawn telemetry server thread");
+    Ok(TelemetryServer { addr, stop, handle: Some(handle) })
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: responses are small and built from short
+                // lock-protected snapshots, so one connection at a time is
+                // plenty for scrape traffic.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut request = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                if request.windows(4).any(|w| w == b"\r\n\r\n".as_slice())
+                    || request.len() > 16 * 1024
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&request);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return write_response(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let body = crate::prometheus::render(crate::registry::global());
+            write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => {
+            let body = crate::monitor::board().healthz_json();
+            write_response(&mut stream, 200, "application/json; charset=utf-8", &body)
+        }
+        "/events" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&').find_map(|kv| {
+                        kv.strip_prefix("n=").and_then(|v| v.parse::<usize>().ok())
+                    })
+                })
+                .unwrap_or(DEFAULT_EVENT_TAIL);
+            let body = crate::event::recent_jsonl(n);
+            write_response(&mut stream, 200, "application/x-ndjson; charset=utf-8", &body)
+        }
+        "/" => write_response(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            "acobe telemetry: /metrics /healthz /events?n=\n",
+        ),
+        _ => write_response(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetches `path` from a running telemetry server over a plain TCP
+/// connection, returning `(status, body)`. Used by tests, `promcheck`, and
+/// the example — no HTTP client dependency anywhere.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+        })?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_healthz_and_events() {
+        let _guard = crate::event::test_guard();
+        crate::counter("serve_test/requests").add(3);
+        crate::event::record(
+            crate::event::EventKind::Note,
+            "serve_test_marker",
+            None,
+            None,
+            vec![],
+        );
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        let (status, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_test_requests 3"), "{body}");
+        crate::prometheus::validate(&body).expect("served exposition validates");
+
+        let (status, body) = http_get(&addr, "/healthz").expect("scrape /healthz");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).expect("healthz is JSON");
+        assert!(doc.get("status").is_some(), "{body}");
+
+        let (status, body) = http_get(&addr, "/events?n=4096").expect("scrape /events");
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_test_marker"), "{body}");
+
+        let (status, _) = http_get(&addr, "/nope").expect("scrape unknown path");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn addr_file_records_bound_port() {
+        let _guard = crate::event::test_guard();
+        let dir = std::env::temp_dir().join("acobe_obs_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("addr.txt");
+        std::env::set_var("ACOBE_SERVE_ADDR_FILE", &path);
+        let server = serve("127.0.0.1:0").expect("bind");
+        std::env::remove_var("ACOBE_SERVE_ADDR_FILE");
+        let written = std::fs::read_to_string(&path).expect("addr file written");
+        assert_eq!(written, server.addr().to_string());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,7 +1,17 @@
-//! Output sinks: serializable metric records (JSON lines) and the
-//! human-readable summary table.
+//! Output sinks: serializable metric records (JSON lines), the
+//! human-readable summary table, and the incremental `--metrics-out` flush.
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// A sorted `(key, value)` label set attached to one metric series.
+///
+/// The empty set is the unlabeled series; records serialize it as an absent
+/// field so pre-label JSONL output (and `fig6_results.json` stage timings)
+/// round-trip unchanged.
+pub type Labels = Vec<(String, String)>;
 
 /// One histogram bucket in a [`MetricRecord`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,22 +44,31 @@ pub enum MetricRecord {
     },
     /// A monotonic counter.
     Counter {
-        /// Metric name.
+        /// Metric family name.
         name: String,
+        /// Label set distinguishing this series within the family.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        labels: Labels,
         /// Current value.
         value: u64,
     },
     /// A latest-value gauge.
     Gauge {
-        /// Metric name.
+        /// Metric family name.
         name: String,
+        /// Label set distinguishing this series within the family.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        labels: Labels,
         /// Current value.
         value: f64,
     },
     /// A fixed-bucket histogram.
     Histogram {
-        /// Metric name.
+        /// Metric family name.
         name: String,
+        /// Label set distinguishing this series within the family.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        labels: Labels,
         /// Total observations.
         count: u64,
         /// Sum of observed values.
@@ -64,7 +83,7 @@ pub enum MetricRecord {
 }
 
 impl MetricRecord {
-    /// The metric's name, independent of kind.
+    /// The metric's family name, independent of kind.
     pub fn name(&self) -> &str {
         match self {
             MetricRecord::Span { name, .. }
@@ -73,6 +92,31 @@ impl MetricRecord {
             | MetricRecord::Histogram { name, .. } => name,
         }
     }
+
+    /// The record's label set; spans carry none (their path is the identity).
+    pub fn labels(&self) -> &[(String, String)] {
+        match self {
+            MetricRecord::Span { .. } => &[],
+            MetricRecord::Counter { labels, .. }
+            | MetricRecord::Gauge { labels, .. }
+            | MetricRecord::Histogram { labels, .. } => labels,
+        }
+    }
+
+    /// `name{k=v,...}` for labeled series, bare `name` otherwise.
+    pub fn display_name(&self) -> String {
+        render_series_name(self.name(), self.labels())
+    }
+}
+
+/// Renders `name{k=v,...}` (bare `name` for the empty label set) — the series
+/// identity used in summary tables and tests.
+pub fn render_series_name(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", parts.join(","))
 }
 
 fn pad(s: &str, width: usize) -> String {
@@ -83,12 +127,8 @@ fn pad(s: &str, width: usize) -> String {
 /// completion (`acobe detect -v`, `acobe enterprise -v`).
 pub fn render_summary(records: &[MetricRecord]) -> String {
     let mut out = String::new();
-    let name_width = records
-        .iter()
-        .map(|r| r.name().len())
-        .max()
-        .unwrap_or(4)
-        .max(4);
+    let names: Vec<String> = records.iter().map(|r| r.display_name()).collect();
+    let name_width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
 
     let spans: Vec<&MetricRecord> = records
         .iter()
@@ -121,11 +161,11 @@ pub fn render_summary(records: &[MetricRecord]) -> String {
         out.push_str("counters & gauges\n");
         for record in &counters {
             match record {
-                MetricRecord::Counter { name, value } => {
-                    out.push_str(&format!("  {} {value}\n", pad(name, name_width)));
+                MetricRecord::Counter { value, .. } => {
+                    out.push_str(&format!("  {} {value}\n", pad(&record.display_name(), name_width)));
                 }
-                MetricRecord::Gauge { name, value } => {
-                    out.push_str(&format!("  {} {value}\n", pad(name, name_width)));
+                MetricRecord::Gauge { value, .. } => {
+                    out.push_str(&format!("  {} {value}\n", pad(&record.display_name(), name_width)));
                 }
                 _ => {}
             }
@@ -146,16 +186,54 @@ pub fn render_summary(records: &[MetricRecord]) -> String {
             "max"
         ));
         for record in &hists {
-            if let MetricRecord::Histogram { name, count, sum, min, max, .. } = record {
+            if let MetricRecord::Histogram { count, sum, min, max, .. } = record {
                 let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
                 out.push_str(&format!(
                     "  {} {count:>7} {mean:>12.2} {min:>12.2} {max:>12.2}\n",
-                    pad(name, name_width)
+                    pad(&record.display_name(), name_width)
                 ));
             }
         }
     }
     out
+}
+
+fn metrics_path_slot() -> &'static Mutex<Option<PathBuf>> {
+    static SLOT: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets (or clears) the process-wide `--metrics-out` path used by
+/// [`flush_metrics`]. Long-running commands call `flush_metrics` after every
+/// ingested day so a killed run still leaves a fresh snapshot on disk.
+pub fn set_metrics_path(path: Option<&Path>) {
+    *metrics_path_slot().lock() = path.map(Path::to_path_buf);
+}
+
+/// The currently configured `--metrics-out` path, if any.
+pub fn metrics_path() -> Option<PathBuf> {
+    metrics_path_slot().lock().clone()
+}
+
+/// Writes the global registry's JSONL snapshot to the configured metrics
+/// path, atomically (tmp file + rename), returning `false` when no path is
+/// set. A scrape or a `kill -9` therefore never sees a half-written file.
+pub fn flush_metrics() -> std::io::Result<bool> {
+    let Some(path) = metrics_path() else {
+        return Ok(false);
+    };
+    let jsonl = crate::registry::global().to_jsonl();
+    write_atomic(&path, jsonl.as_bytes())?;
+    Ok(true)
+}
+
+/// Writes `bytes` to `path` via a sibling tmp file and an atomic rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -172,10 +250,15 @@ mod tests {
                 min_ms: 30.0,
                 max_ms: 55.0,
             },
-            MetricRecord::Counter { name: "events_parsed".into(), value: 991 },
-            MetricRecord::Gauge { name: "users".into(), value: 24.0 },
+            MetricRecord::Counter { name: "events_parsed".into(), labels: vec![], value: 991 },
+            MetricRecord::Gauge {
+                name: "shard_users".into(),
+                labels: vec![("shard".into(), "2".into())],
+                value: 24.0,
+            },
             MetricRecord::Histogram {
                 name: "epoch_ms".into(),
+                labels: vec![("aspect".into(), "http".into())],
                 count: 2,
                 sum: 12.0,
                 min: 5.0,
@@ -206,15 +289,41 @@ mod tests {
     }
 
     #[test]
+    fn unlabeled_records_serialize_without_labels_field() {
+        let line = serde_json::to_string(&sample_records()[1]).unwrap();
+        assert!(!line.contains("labels"), "{line}");
+        // Pre-label JSONL (no `labels` field at all) still deserializes.
+        let legacy = r#"{"kind":"counter","name":"events_parsed","value":991}"#;
+        let back: MetricRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, sample_records()[1]);
+    }
+
+    #[test]
     fn summary_mentions_every_metric() {
         let text = render_summary(&sample_records());
         for record in sample_records() {
-            assert!(text.contains(record.name()), "missing {}:\n{text}", record.name());
+            assert!(
+                text.contains(&record.display_name()),
+                "missing {}:\n{text}",
+                record.display_name()
+            );
         }
+        assert!(text.contains("shard_users{shard=2}"), "{text}");
     }
 
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(render_summary(&[]), "");
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_file() {
+        let dir = std::env::temp_dir().join("acobe_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,13 +5,26 @@
 //! while another is open aggregates under `parent/child`, so the same
 //! instrumented code reports flat paths when called directly and prefixed
 //! paths when called from an instrumented caller.
+//!
+//! Every guard also emits [`SpanEnter`](crate::event::EventKind::SpanEnter) /
+//! [`SpanExit`](crate::event::EventKind::SpanExit) trace events carrying the
+//! span's structured fields (shard, aspect, …) and linked to the enclosing
+//! span's enter event, feeding the event ring and `--trace-out`.
 
+use crate::event::{self, EventKind};
 use crate::registry::{global, Registry};
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread: `(path, enter event id)`.
+    static SPAN_STACK: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The enter-event id of the innermost open span on this thread, used as the
+/// parent of progress/detail/note events.
+pub(crate) fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().map(|(_, id)| *id))
 }
 
 /// An open span; dropping it records the elapsed wall time.
@@ -23,34 +36,68 @@ pub struct SpanGuard<'a> {
     registry: &'a Registry,
     path: String,
     start: Instant,
+    enter_id: u64,
 }
 
 impl SpanGuard<'static> {
     /// Opens a span recording into the [`global`] registry.
     pub fn enter(name: impl Into<String>) -> SpanGuard<'static> {
-        SpanGuard::enter_in(global(), name)
+        SpanGuard::enter_fields_in(global(), name, Vec::new())
+    }
+
+    /// Opens a span on the global registry with structured fields. The
+    /// fields render into the span path (`train(aspect=device)`) — keeping
+    /// one aggregate per label combination — and flow verbatim into the
+    /// span's trace events.
+    pub fn enter_fields(
+        name: impl Into<String>,
+        fields: Vec<(String, String)>,
+    ) -> SpanGuard<'static> {
+        SpanGuard::enter_fields_in(global(), name, fields)
     }
 }
 
 impl<'a> SpanGuard<'a> {
     /// Opens a span recording into a specific registry.
     pub fn enter_in(registry: &'a Registry, name: impl Into<String>) -> SpanGuard<'a> {
-        let name = name.into();
-        let path = SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            let path = match stack.last() {
-                Some(parent) => format!("{parent}/{name}"),
-                None => name,
-            };
-            stack.push(path.clone());
-            path
+        SpanGuard::enter_fields_in(registry, name, Vec::new())
+    }
+
+    /// Opens a span recording into a specific registry, with structured
+    /// fields (see [`SpanGuard::enter_fields`]).
+    pub fn enter_fields_in(
+        registry: &'a Registry,
+        name: impl Into<String>,
+        fields: Vec<(String, String)>,
+    ) -> SpanGuard<'a> {
+        let mut name = name.into();
+        if !fields.is_empty() {
+            let rendered: Vec<String> =
+                fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            name = format!("{name}({})", rendered.join(","));
+        }
+        let (path, parent) = SPAN_STACK.with(|stack| {
+            let stack = stack.borrow();
+            match stack.last() {
+                Some((parent_path, parent_id)) => {
+                    (format!("{parent_path}/{name}"), Some(*parent_id))
+                }
+                None => (name, None),
+            }
         });
-        SpanGuard { registry, path, start: Instant::now() }
+        let enter_id = event::record(EventKind::SpanEnter, &path, parent, None, fields);
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((path.clone(), enter_id)));
+        SpanGuard { registry, path, start: Instant::now(), enter_id }
     }
 
     /// The full `parent/child` path this span aggregates under.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// The id of this span's enter trace event.
+    pub fn enter_id(&self) -> u64 {
+        self.enter_id
     }
 }
 
@@ -61,10 +108,17 @@ impl Drop for SpanGuard<'_> {
             let mut stack = stack.borrow_mut();
             // Scoped guards drop LIFO; tolerate out-of-order drops by
             // removing this span's entry wherever it sits.
-            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+            if let Some(pos) = stack.iter().rposition(|(_, id)| *id == self.enter_id) {
                 stack.remove(pos);
             }
         });
+        event::record(
+            EventKind::SpanExit,
+            &self.path,
+            Some(self.enter_id),
+            Some(elapsed.as_secs_f64() * 1e3),
+            Vec::new(),
+        );
         self.registry.record_span(&self.path, elapsed);
     }
 }
@@ -73,21 +127,24 @@ impl Drop for SpanGuard<'_> {
 ///
 /// `span!("score")` times a plain stage; `span!("train", aspect = name)`
 /// renders labels into the span name (`train(aspect=device)`), giving each
-/// label combination its own aggregate.
+/// label combination its own aggregate, and attaches them as structured
+/// fields on the span's trace events.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
         $crate::span::SpanGuard::enter($name)
     };
     ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
-        let fields: Vec<String> = vec![$(format!("{}={}", stringify!($key), $value)),+];
-        $crate::span::SpanGuard::enter(format!("{}({})", $name, fields.join(",")))
+        let fields: Vec<(String, String)> =
+            vec![$((stringify!($key).to_string(), format!("{}", $value))),+];
+        $crate::span::SpanGuard::enter_fields($name, fields)
     }};
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::TraceEvent;
 
     #[test]
     fn nested_spans_build_paths() {
@@ -137,5 +194,43 @@ mod tests {
         // A new root span must not inherit a stale parent.
         let b = SpanGuard::enter_in(&r, "b");
         assert_eq!(b.path(), "b");
+    }
+
+    #[test]
+    fn spans_emit_linked_trace_events_with_fields() {
+        let _guard = crate::event::test_guard();
+        let r = Registry::new();
+        let (outer_id, inner_id);
+        {
+            let outer = SpanGuard::enter_fields_in(
+                &r,
+                "evt_outer",
+                vec![("shard".into(), "3".into())],
+            );
+            outer_id = outer.enter_id();
+            assert_eq!(outer.path(), "evt_outer(shard=3)");
+            let inner = SpanGuard::enter_in(&r, "evt_inner");
+            inner_id = inner.enter_id();
+        }
+        let events: Vec<TraceEvent> = crate::event::recent(usize::MAX)
+            .into_iter()
+            .filter(|e| e.name.starts_with("evt_outer"))
+            .collect();
+        let enter = events
+            .iter()
+            .find(|e| e.id == outer_id)
+            .expect("outer enter event");
+        assert_eq!(enter.kind, crate::event::EventKind::SpanEnter);
+        assert_eq!(enter.fields, vec![("shard".to_string(), "3".to_string())]);
+        let inner_enter = events
+            .iter()
+            .find(|e| e.id == inner_id)
+            .expect("inner enter event");
+        assert_eq!(inner_enter.parent, Some(outer_id), "child links to parent span");
+        let exit = events
+            .iter()
+            .find(|e| e.kind == crate::event::EventKind::SpanExit && e.parent == Some(outer_id))
+            .expect("outer exit event");
+        assert!(exit.elapsed_ms.is_some());
     }
 }

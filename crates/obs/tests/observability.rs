@@ -126,17 +126,17 @@ fn jsonl_export_roundtrips_through_serde_json() {
         |r| matches!(r, MetricRecord::Span { name, count: 1, .. } if name == "stage")
     ));
     assert!(records.iter().any(
-        |r| matches!(r, MetricRecord::Counter { name, value: 12 } if name == "events")
+        |r| matches!(r, MetricRecord::Counter { name, value: 12, .. } if name == "events")
     ));
     assert!(records.iter().any(
-        |r| matches!(r, MetricRecord::Gauge { name, value } if name == "users" && *value == 24.0)
+        |r| matches!(r, MetricRecord::Gauge { name, value, .. } if name == "users" && *value == 24.0)
     ));
     match records
         .iter()
         .find(|r| matches!(r, MetricRecord::Histogram { .. }))
         .unwrap()
     {
-        MetricRecord::Histogram { name, count, sum, min, max, buckets } => {
+        MetricRecord::Histogram { name, count, sum, min, max, buckets, .. } => {
             assert_eq!(name, "epoch_ms");
             assert_eq!(*count, 2);
             assert_eq!(*sum, 253.5);
@@ -157,6 +157,7 @@ fn global_helpers_cover_the_full_surface() {
     acobe_obs::counter("itest/counter").add(5);
     acobe_obs::gauge("itest/gauge").set(1.5);
     acobe_obs::histogram("itest/hist", &[10.0]).observe(2.0);
+    acobe_obs::counter_with("itest/labeled", &[("shard", "1")]).add(2);
     {
         let _g = acobe_obs::span!("itest_span", case = "global");
     }
@@ -164,7 +165,13 @@ fn global_helpers_cover_the_full_surface() {
     for needle in ["itest/counter", "itest/gauge", "itest/hist", "itest_span(case=global)"] {
         assert!(jsonl.contains(needle), "missing {needle} in:\n{jsonl}");
     }
+    // Labeled series export their label set alongside the raw family name.
+    assert!(
+        jsonl.contains(r#"[["shard","1"]]"#),
+        "missing labels in:\n{jsonl}"
+    );
     let table = acobe_obs::summary_table();
     assert!(table.contains("itest/counter"));
+    assert!(table.contains("itest/labeled{shard=1}"));
     assert!(table.contains("stage timings"));
 }

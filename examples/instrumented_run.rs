@@ -1,6 +1,7 @@
-//! Instrumented run: the quickstart pipeline with the observability layer
-//! turned all the way up — per-epoch training traces on stderr, a stage
-//! timing summary, and a JSON-lines metrics export.
+//! Instrumented run: the quickstart pipeline with the full telemetry plane
+//! turned on — per-epoch training traces on stderr, a stage timing summary,
+//! a JSON-lines metrics export with labeled series, the structured trace
+//! event ring, and a live Prometheus scrape of the run's own metrics.
 //!
 //! Run with: `cargo run --release --example instrumented_run`
 
@@ -8,6 +9,7 @@ use acobe::config::AcobeConfig;
 use acobe::pipeline::AcobePipeline;
 use acobe_features::cert::{extract_cert_features, CountSemantics};
 use acobe_features::spec::cert_feature_set;
+use acobe_obs::serve::{http_get, serve};
 use acobe_obs::MetricRecord;
 use acobe_synth::cert::{CertConfig, CertGenerator};
 
@@ -16,8 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CLI shows under `-v`) reach stderr alongside the `progress!` lines.
     acobe_obs::set_verbosity(acobe_obs::progress::LEVEL_DETAIL);
 
+    // The telemetry server is what `--serve-metrics ADDR` starts: /metrics,
+    // /healthz, and /events over plain HTTP. Port 0 picks an ephemeral port.
+    let server = serve("127.0.0.1:0")?;
+    let addr = server.addr().to_string();
+    println!("telemetry server listening on http://{addr}");
+
     // The pipeline below is the quickstart; every stage it runs records
-    // spans and counters into the global registry as a side effect.
+    // spans, counters, and labeled histograms into the global registry as a
+    // side effect — e.g. `train/epoch_ms{aspect=...}`, one series per
+    // autoencoder.
     let mut generator = CertGenerator::new(CertConfig::small(42));
     let store = generator.build_store();
     let config = generator.config().clone();
@@ -42,13 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let list = table.investigation_list_smoothed(2, 3);
     println!("most suspicious: user {}", list[0].user);
 
+    // Labeled metrics from application code: the label set distinguishes
+    // series within one family, so dashboards can aggregate or facet.
+    acobe_obs::counter_with("example/runs", &[("kind", "quickstart")]).inc();
+    acobe_obs::gauge_with("example/top_user", &[("kind", "quickstart")])
+        .set(list[0].user as f64);
+
     // The human-readable rendering — what `acobe detect` prints on
     // completion: per-stage wall time (count / total / mean / min / max),
-    // then counters, gauges, and histogram summaries.
+    // then counters, gauges, and histogram summaries (labeled series render
+    // as `family{k=v}`).
     println!("\n{}", acobe_obs::summary_table());
 
     // The machine-readable rendering — what `--metrics-out FILE` writes:
-    // one JSON object per line, tagged by kind.
+    // one JSON object per line, tagged by kind, labels as `[k, v]` pairs.
     let jsonl = acobe_obs::to_jsonl();
     std::fs::write("instrumented_run.metrics.jsonl", &jsonl)?;
     println!(
@@ -70,5 +87,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {name}: {total_ms:.1} ms");
         }
     }
+
+    // Structured trace events: every span enter/exit and progress line also
+    // lands in a bounded in-memory ring (and `--trace-out FILE` streams the
+    // same events as JSON lines). Here: the last few events of the run.
+    println!("\nlast trace events:");
+    for event in acobe_obs::event::recent(5) {
+        println!("  #{:>4} {:?} {}", event.id, event.kind, event.name);
+    }
+
+    // Scrape ourselves: the same bytes Prometheus would ingest, validated
+    // against the text exposition format.
+    let (status, body) = http_get(&addr, "/metrics")?;
+    let samples = acobe_obs::prometheus::validate(&body).expect("valid exposition");
+    println!("\nGET /metrics -> {status}, {samples} samples; first lines:");
+    for line in body.lines().take(6) {
+        println!("  {line}");
+    }
+    let (status, health) = http_get(&addr, "/healthz")?;
+    println!("GET /healthz -> {status}: {health}");
+
+    server.shutdown();
     Ok(())
 }

@@ -1,0 +1,220 @@
+//! Integration tests for the live telemetry plane: the `/metrics` and
+//! `/healthz` endpoints reflect real engine state mid-stream, and the
+//! rolling drift monitor raises a typed `ScoreDrift` health event when the
+//! score distribution shifts.
+//!
+//! Both tests share one process (and therefore the global registry, health
+//! board, and event ring), so assertions are written to be insensitive to
+//! the other test's traffic: the shard table is only ever written by the
+//! sharded test, and drift events are drained from the engine under test,
+//! not from the shared board.
+
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use acobe_obs::serve::{http_get, serve};
+use acobe_obs::{DriftConfig, HealthEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const DAYS: usize = 40;
+const SPLIT: usize = 28;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+
+fn random_cube(users: usize, seed: u64) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(users, Date::from_ymd(2012, 3, 1), DAYS, FRAMES, FEATURES);
+    for u in 0..users {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn config(seed: u64) -> AcobeConfig {
+    let mut cfg = AcobeConfig::tiny();
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Trains a tiny ensemble and hands back the streaming engine rewound to
+/// the start of the cube, plus the cube itself.
+fn trained_engine(users: usize, seed: u64) -> (DetectionEngine, FeatureCube) {
+    let cube = random_cube(users, seed);
+    let start = cube.start();
+    let split = start.add_days(SPLIT as i32);
+    let groups: Vec<Vec<usize>> =
+        vec![(0..users / 2).collect(), (users / 2..users).collect()];
+    let mut pipe =
+        AcobePipeline::new(cube.clone(), feature_set(), &groups, config(seed)).unwrap();
+    pipe.fit(start, split).unwrap();
+    let mut engine = pipe.into_engine();
+    engine.reset_stream();
+    (engine, cube)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acobe_telemetry_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn telemetry_server_reflects_engine_state() {
+    let users = 8;
+    let (engine, cube) = trained_engine(users, 41);
+    let start = cube.start();
+    let mut sharded = ShardedEngine::from_engine(engine, 3).unwrap();
+
+    let server = serve("127.0.0.1:0").expect("bind ephemeral telemetry port");
+    let addr = server.addr().to_string();
+
+    // Stream the warm-up window and a few scored days with the server up.
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in 0..SPLIT + 4 {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            sharded.warm_day(date, &day_buf).unwrap();
+        } else {
+            let scores = sharded.ingest_day(date, &day_buf).unwrap().unwrap();
+            assert_eq!(scores.date, date);
+        }
+    }
+
+    // Mid-stream scrape: valid Prometheus exposition with per-shard labeled
+    // gauges matching the engine's actual user assignment.
+    let (status, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(status, 200);
+    let samples = acobe_obs::prometheus::validate(&body).expect("exposition validates");
+    assert!(samples > 0);
+    let mut per_shard = vec![0usize; 3];
+    for &s in sharded.assignment() {
+        per_shard[s as usize] += 1;
+    }
+    for (i, &n) in per_shard.iter().enumerate() {
+        let users_series = format!("engine_shard_users{{shard=\"{i}\"}} {n}");
+        assert!(body.contains(&users_series), "missing {users_series} in:\n{body}");
+        let live_series = format!("engine_shard_live{{shard=\"{i}\"}} 1");
+        assert!(body.contains(&live_series), "missing {live_series} in:\n{body}");
+    }
+    assert!(body.contains("engine_ingest_ms_bucket"), "{body}");
+    assert!(body.contains("engine_score_quantile{"), "{body}");
+
+    // Healthy /healthz: three live shards.
+    let (status, body) = http_get(&addr, "/healthz").expect("scrape /healthz");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("healthz is JSON");
+    assert_eq!(doc["status"], "ok", "{body}");
+    let shards = doc["shards"].as_array().expect("shard table");
+    assert_eq!(shards.len(), 3);
+    assert!(shards.iter().all(|s| s["live"] == true), "{body}");
+
+    // The event stream carries the per-day trace notes.
+    let (status, events) = http_get(&addr, "/events?n=4096").expect("scrape /events");
+    assert_eq!(status, 200);
+    assert!(events.contains("engine/day"), "{events}");
+
+    // Corrupt one shard's checkpoint file; the reloaded engine must
+    // quarantine it and /healthz must go degraded with the reason.
+    let dir = temp_dir("quarantine");
+    sharded.save(&dir).unwrap();
+    let victim = dir.join("shard_001.json");
+    let full = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
+    let degraded = ShardedEngine::load(&dir, 0).unwrap();
+    assert_eq!(degraded.quarantined().len(), 1);
+
+    let (status, body) = http_get(&addr, "/healthz").expect("scrape degraded /healthz");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("healthz is JSON");
+    assert_eq!(doc["status"], "degraded", "{body}");
+    let shards = doc["shards"].as_array().expect("shard table");
+    assert_eq!(shards[1]["live"], false, "{body}");
+    assert!(shards[1]["error"].is_string(), "{body}");
+    assert!(body.contains("shard_quarantined"), "{body}");
+
+    // And the labeled liveness gauge follows.
+    let (_, body) = http_get(&addr, "/metrics").expect("rescrape /metrics");
+    assert!(body.contains("engine_shard_live{shard=\"1\"} 0"), "{body}");
+    acobe_obs::prometheus::validate(&body).expect("degraded exposition still validates");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn score_drift_raises_health_event() {
+    let users = 6;
+    let (mut engine, cube) = trained_engine(users, 17);
+    let start = cube.start();
+    engine.set_drift_config(DriftConfig { window: 5, min_days: 3, ratio: 1.5 });
+
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    let chunk = FRAMES * FEATURES;
+    let mut drift_events = Vec::new();
+    for d in 0..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            engine.warm_day(date, &day_buf).unwrap();
+            continue;
+        }
+        // From day SPLIT+6 on, user 0's measurements explode 100x — the
+        // reconstruction-error distribution's upper quantiles must follow.
+        if d >= SPLIT + 6 {
+            for v in &mut day_buf[0..chunk] {
+                *v *= 100.0;
+            }
+        }
+        engine.ingest_day(date, &day_buf).unwrap().unwrap();
+        // Only drift raised during the shifted period counts: two-epoch
+        // models can be noisy enough to trip the (deliberately tight) 1.5x
+        // threshold on a quiet day, and that must not mask the real signal.
+        if d >= SPLIT + 6 {
+            drift_events.extend(
+                engine.take_health_events().into_iter().filter(|e| e.kind() == "score_drift"),
+            );
+        } else {
+            engine.take_health_events();
+        }
+    }
+    let worst = drift_events
+        .iter()
+        .map(|e| match e {
+            HealthEvent::ScoreDrift { ratio, .. } => *ratio,
+            _ => 0.0,
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst > 10.0,
+        "a 100x measurement shift should move a quantile far beyond the 1.5x \
+         threshold, got worst ratio {worst} from {drift_events:?}"
+    );
+}
