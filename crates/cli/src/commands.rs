@@ -1,10 +1,13 @@
 //! CLI command implementations.
 
+use acobe::alert::{AlertLog, AlertLogEntry, AlertPolicy};
 use acobe::config::AcobeConfig;
 use acobe::engine::{DetectionEngine, EngineCheckpoint};
 use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
 use acobe::shard::ShardedEngine;
+use acobe_obs::alert::AlertStatus;
+use acobe_obs::DriftConfig;
 use acobe_features::cert::{extract_cert_features, CountSemantics, DayExtractor};
 use acobe_features::spec::cert_feature_set;
 use acobe_logs::csv::ParseCsvError;
@@ -322,6 +325,17 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     if shards == 0 {
         return Err(CliError::Usage("--shards must be at least 1".into()));
     }
+    let lag_defaults = DriftConfig::default();
+    let lag_ratio: f64 = num_arg(args, "--lag-ratio", lag_defaults.lag_ratio)?;
+    let lag_min_ms: f64 = num_arg(args, "--lag-min-ms", lag_defaults.lag_min_ms)?;
+    let policy_defaults = AlertPolicy::default();
+    let policy = AlertPolicy {
+        watch_top_n: num_arg(args, "--alert-top-n", policy_defaults.watch_top_n)?,
+        rank_jump_min: num_arg(args, "--alert-rank-jump", policy_defaults.rank_jump_min)?,
+        cooldown_days: num_arg(args, "--alert-cooldown", policy_defaults.cooldown_days)?,
+        rule_z: num_arg(args, "--alert-rule-z", policy_defaults.rule_z)?,
+        top_k_features: num_arg(args, "--alert-top-k", policy_defaults.top_k_features)?,
+    };
 
     let (meta, start, end) = load_meta(meta_path)?;
     let until = match arg(args, "--until") {
@@ -400,6 +414,22 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             engine.next_date()
         )));
     }
+    // The alert policy is deliberately not checkpointed: thresholds can be
+    // retuned across a resume. The lag knobs feed the shard-lag heuristic
+    // only, so setting them never perturbs scores or the drift monitor.
+    engine.set_lag_config(lag_ratio, lag_min_ms);
+    engine.set_alert_policy(Some(policy));
+    let alert_log = match arg(args, "--alerts-log") {
+        Some(path) => {
+            // On resume the checkpoint carries the alert high-water mark:
+            // prune anything the replay will re-raise so the log stays
+            // exactly-once. A fresh stream truncates.
+            let resume_seq =
+                arg(args, "--resume").map(|_| engine.alert_next_seq());
+            Some(AlertLog::open(path, resume_seq)?)
+        }
+        None => None,
+    };
 
     let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
     let assign = engine.assignment().to_vec();
@@ -407,6 +437,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let mut last_list = Vec::new();
     let mut streamed = 0usize;
     let mut scored = 0usize;
+    let mut alerts_raised = 0usize;
     let mut date = engine.next_date();
     // When resuming, the checkpoint on disk covers up to the day before the
     // engine's next day; track its age so /healthz can flag it going stale.
@@ -431,6 +462,20 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
                 .collect();
             println!("{date}  {}", line.join("  "));
             last_list = list;
+            let alerts = engine.take_alerts();
+            if !alerts.is_empty() {
+                alerts_raised += alerts.len();
+                for a in &alerts {
+                    let who = match a.user {
+                        Some(u) => format!("user {u}"),
+                        None => "system".to_string(),
+                    };
+                    println!("          ! {} [{}] {who}: {}", a.id, a.severity, a.trigger);
+                }
+                if let Some(log) = &alert_log {
+                    log.append_raised(&alerts)?;
+                }
+            }
         }
         streamed += 1;
         date = date.add_days(1);
@@ -452,6 +497,12 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         }
     }
     acobe_obs::progress!("streamed {streamed} days ({scored} scored) up to {date}");
+    if let Some(log) = &alert_log {
+        acobe_obs::progress!(
+            "{alerts_raised} alerts appended to {}",
+            log.path().display()
+        );
+    }
 
     if let Some(path) = arg(args, "--final-out") {
         write_file(path, &serde_json::to_string_pretty(&last_list)?)?;
@@ -471,6 +522,117 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             .set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
     }
     Ok(())
+}
+
+/// Parses a `--status` value, mapping unknown names to a usage error that
+/// lists the valid lifecycle states.
+fn parse_status(s: &str) -> Result<AlertStatus, CliError> {
+    AlertStatus::parse(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown status '{s}' (expected one of: new, investigating, confirmed, \
+             false_positive, resolved)"
+        ))
+    })
+}
+
+/// `acobe alerts`: inspect and act on an alert audit log written by
+/// `acobe stream --alerts-log`.
+pub fn alerts(args: &[String]) -> Result<(), CliError> {
+    const USAGE: &str = "usage: acobe alerts <list|show|ack> --log FILE (try --help)";
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let rest = &args[1..];
+    let log_path =
+        arg(rest, "--log").ok_or_else(|| CliError::Usage("--log FILE is required".into()))?;
+    let entries = AlertLog::read_entries(log_path)?;
+    let current = AlertLog::current_alerts(&entries);
+    // `show` and `ack` address one alert by its positional id (`al-000042`).
+    let target_id = rest.first().filter(|a| !a.starts_with("--")).map(String::as_str);
+
+    match sub {
+        "list" => {
+            let status = arg(rest, "--status").map(parse_status).transpose()?;
+            let user: Option<usize> = match arg(rest, "--user") {
+                Some(s) => {
+                    Some(s.parse().map_err(|_| CliError::Usage("bad --user".into()))?)
+                }
+                None => None,
+            };
+            let since: u64 = num_arg(rest, "--since", 0)?;
+            let mut shown = 0usize;
+            for a in &current {
+                if a.seq < since
+                    || status.is_some_and(|s| a.status != s)
+                    || user.is_some_and(|u| a.user != Some(u))
+                {
+                    continue;
+                }
+                let who = match a.user {
+                    Some(u) => format!("user {u}"),
+                    None => "system".to_string(),
+                };
+                println!(
+                    "{}  {}  {:<14} {:<8} {who:<12} {}",
+                    a.id,
+                    a.day,
+                    a.status.as_str(),
+                    a.severity.as_str(),
+                    a.trigger
+                );
+                shown += 1;
+            }
+            println!("{shown} of {} alerts shown", current.len());
+            Ok(())
+        }
+        "show" => {
+            let id = target_id
+                .ok_or_else(|| CliError::Usage("usage: acobe alerts show ID --log FILE".into()))?;
+            let alert = current
+                .iter()
+                .find(|a| a.id == id)
+                .ok_or_else(|| CliError::Usage(format!("no alert '{id}' in {log_path}")))?;
+            println!("{}", serde_json::to_string_pretty(alert)?);
+            Ok(())
+        }
+        "ack" => {
+            let id = target_id.ok_or_else(|| {
+                CliError::Usage("usage: acobe alerts ack ID --to STATUS [--note TEXT] --log FILE".into())
+            })?;
+            let to = parse_status(
+                arg(rest, "--to")
+                    .ok_or_else(|| CliError::Usage("--to STATUS is required".into()))?,
+            )?;
+            let alert = current
+                .iter()
+                .find(|a| a.id == id)
+                .ok_or_else(|| CliError::Usage(format!("no alert '{id}' in {log_path}")))?;
+            if !alert.status.can_transition_to(to) {
+                return Err(CliError::Usage(format!(
+                    "alert {id} is '{}': cannot transition to '{}'",
+                    alert.status.as_str(),
+                    to.as_str()
+                )));
+            }
+            let log = AlertLog::attach(log_path)?;
+            log.append(&AlertLogEntry::Transition {
+                alert_id: alert.id.clone(),
+                from: alert.status,
+                to,
+                note: arg(rest, "--note").map(String::from),
+            })?;
+            println!(
+                "{id}: {} -> {} (audit-logged)",
+                alert.status.as_str(),
+                to.as_str()
+            );
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown alerts subcommand '{other}' ({USAGE})"
+        ))),
+    }
 }
 
 /// `acobe enterprise`.

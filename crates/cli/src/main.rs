@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         Some("synth") => commands::synth(&args[1..]),
         Some("detect") => commands::detect(&args[1..]),
         Some("stream") => commands::stream(&args[1..]),
+        Some("alerts") => commands::alerts(&args[1..]),
         Some("enterprise") => commands::enterprise(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print_help();
@@ -148,6 +149,9 @@ USAGE:
                  [--until YYYY-MM-DD] [--top N] [--critic-n N] [--smooth N]
                  [--shards N] [--paper-model] [--checkpoint DIR]
                  [--resume DIR|FILE] [--final-out FILE]
+                 [--alerts-log FILE] [--alert-top-n N] [--alert-rank-jump N]
+                 [--alert-cooldown N] [--alert-rule-z Z] [--alert-top-k N]
+                 [--lag-ratio R] [--lag-min-ms MS]
         Replay the logs one day at a time through the incremental detection
         engine — the streaming deployment of the exact batch scoring path.
         Trains up to --train-end, then prints one investigation line per
@@ -162,6 +166,31 @@ USAGE:
         warning while the rest keep scoring) or a legacy v1 single-file
         checkpoint (migrated into --shards shards). --final-out writes the
         last day's investigation list as JSON.
+
+        Alerting: every scored day is evaluated against an alert policy;
+        raised alerts (rank jumps, watchlist entrants, extreme deviation
+        cells, score drift, degraded shards) are printed inline, published to
+        the telemetry /alerts endpoint, and — with --alerts-log — appended to
+        an append-only JSONL audit log that stays exactly-once across
+        --checkpoint / --resume. --alert-top-n sets the watchlist size
+        (default 10); --alert-rank-jump the minimum position improvement
+        that fires (default 5); --alert-cooldown the per-key dedup window in
+        scored days (default 7); --alert-rule-z the |z| threshold on a
+        single deviation cell (default 6); --alert-top-k how many
+        contributing cells each evidence bundle keeps (default 5).
+        --lag-ratio and --lag-min-ms tune the shard-lag health heuristic: a
+        shard is reported lagging when its scoring time exceeds
+        lag-ratio x median AND median + lag-min-ms (defaults 4 and 25).
+
+    acobe alerts list --log FILE [--status S] [--user N] [--since SEQ]
+    acobe alerts show ID --log FILE
+    acobe alerts ack ID --to STATUS [--note TEXT] --log FILE
+        Inspect an alert audit log written by `acobe stream --alerts-log`.
+        `list` prints current alerts (transitions applied) with optional
+        status/user/sequence filters; `show` dumps one alert with its full
+        evidence bundle as JSON; `ack` appends a lifecycle transition
+        (new -> investigating -> confirmed | false_positive -> resolved) to
+        the audit log, rejecting transitions the lifecycle does not allow.
 
     acobe enterprise [--attack zeus|ransomware] [--users N] [--seed N]
         Run the Section-VI case study end-to-end: synthesize the enterprise
@@ -182,7 +211,8 @@ GLOBAL OPTIONS (any command):
                          127.0.0.1:9184; port 0 picks an ephemeral port):
                          /metrics (Prometheus text exposition), /healthz
                          (shard + stream status JSON), /events?n= (recent
-                         trace events as JSON lines).
+                         trace events as JSON lines), /alerts?since=&status=
+                         &user= (alerts raised this run, filtered, as JSON).
     --trace-out FILE     Stream structured trace events (span enter/exit,
                          progress lines, health events) to FILE as JSON
                          lines, one event per line, flushed as they happen.

@@ -1,0 +1,766 @@
+//! The alert decision plane: policy, per-stream state, and the append-only
+//! audit log.
+//!
+//! The *data* plane — the [`Alert`] type itself, its severity / status /
+//! trigger enums, and the in-process [`acobe_obs::alert::AlertBoard`] served
+//! by `/alerts` — lives in `acobe_obs` so every crate can consume alerts
+//! without depending on the engine. This module owns the *decisions*: when
+//! an ingested day turns into an alert, what evidence is attached, and how
+//! the alert stream survives checkpoint/resume without gaps or duplicates.
+//!
+//! Determinism is the load-bearing property. The alert log must be
+//! bit-identical across shard counts and across interrupt/resume, so
+//! everything here is derived from scored state only: alert ids come from a
+//! checkpointed monotonic sequence (never wall clock), cooldowns count
+//! scored days (never dates diffed against "now"), and the timing-based
+//! `ShardLagging` health signal is deliberately *not* an alert trigger.
+
+use crate::critic::{investigate_from_scores, scores_to_ranks, Investigation};
+use crate::engine::DayRing;
+use crate::error::AcobeError;
+use acobe_features::spec::FeatureSet;
+use acobe_obs::alert::{
+    Alert, AlertSeverity, AlertStatus, AlertTrigger, AspectEvidence, EvidenceBundle,
+    FeatureContribution,
+};
+use acobe_obs::HealthEvent;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+fn default_watch_top_n() -> usize {
+    10
+}
+fn default_rank_jump_min() -> usize {
+    5
+}
+fn default_cooldown_days() -> i64 {
+    7
+}
+fn default_rule_z() -> f32 {
+    6.0
+}
+fn default_top_k_features() -> usize {
+    5
+}
+
+/// Thresholds governing when an ingested day raises an [`Alert`].
+///
+/// The policy is evaluated after every scored day. It is *not* part of the
+/// checkpoint — an operator may retune thresholds across a resume — but the
+/// [`AlertState`] it drives is, so a resumed stream with the same policy
+/// raises exactly the alerts an uninterrupted one would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertPolicy {
+    /// Watchlist size: only the top `N` of the day's investigation list are
+    /// considered for user-level alerts.
+    #[serde(default = "default_watch_top_n")]
+    pub watch_top_n: usize,
+    /// Minimum improvement in watchlist position (previous − current) for a
+    /// [`AlertTrigger::RankJump`].
+    #[serde(default = "default_rank_jump_min")]
+    pub rank_jump_min: usize,
+    /// Scored days an alert key stays silenced after firing (dedup window).
+    #[serde(default = "default_cooldown_days")]
+    pub cooldown_days: i64,
+    /// Absolute deviation (in weighted σ units) above which a watchlisted
+    /// user's top feature cell fires a [`AlertTrigger::RuleHit`].
+    #[serde(default = "default_rule_z")]
+    pub rule_z: f32,
+    /// Contributing feature cells retained in each evidence bundle.
+    #[serde(default = "default_top_k_features")]
+    pub top_k_features: usize,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        AlertPolicy {
+            watch_top_n: default_watch_top_n(),
+            rank_jump_min: default_rank_jump_min(),
+            cooldown_days: default_cooldown_days(),
+            rule_z: default_rule_z(),
+            top_k_features: default_top_k_features(),
+        }
+    }
+}
+
+/// Checkpointed alert-evaluation state.
+///
+/// Carried inside engine checkpoints (with `#[serde(default)]` so pre-alert
+/// checkpoints still load) so that `next_seq` is a high-water mark: on
+/// resume, [`AlertLog::open`] discards any logged alerts at or above it and
+/// the replayed days regenerate them byte-for-byte — neither gaps nor
+/// duplicates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlertState {
+    /// Sequence number the next raised alert will take (gap-free, 0-based).
+    #[serde(default)]
+    pub next_seq: u64,
+    /// True once a scored day has primed the watchlist baseline.
+    #[serde(default)]
+    pub primed: bool,
+    /// `(user, 1-based position)` pairs of the previous day's watchlist.
+    #[serde(default)]
+    pub last_positions: Vec<(usize, usize)>,
+    /// `(key, remaining scored days)` dedup cooldowns.
+    #[serde(default)]
+    pub cooldowns: Vec<(String, i64)>,
+    /// Shards already alerted as degraded (latched for the stream's life).
+    #[serde(default)]
+    pub degraded_reported: Vec<usize>,
+}
+
+impl AlertState {
+    fn cooled(&self, key: &str) -> bool {
+        self.cooldowns.iter().any(|(k, _)| k == key)
+    }
+
+    fn set_cooldown(&mut self, key: String, days: i64) {
+        if days > 0 {
+            self.cooldowns.push((key, days));
+        }
+    }
+}
+
+/// Everything [`evaluate_day`] needs to know about one scored day.
+pub(crate) struct AlertDayInput<'a> {
+    /// The scored day, rendered (`YYYY-MM-DD`).
+    pub day: &'a str,
+    /// `scores[aspect][user]` for the day (NaN = unscored / quarantined).
+    pub scores: &'a [Vec<f32>],
+    /// Health events the drift monitor raised *for this day*.
+    pub drift: &'a [HealthEvent],
+    /// Currently quarantined shards as `(index, reason)`.
+    pub degraded: &'a [(usize, String)],
+    /// The critic's N (votes required across aspects).
+    pub critic_n: usize,
+}
+
+/// Points-based severity: watchlist position strength plus deviation
+/// magnitude of the strongest contributing cell.
+fn severity_for(position: usize, users: usize, max_abs_z: f32) -> AlertSeverity {
+    let frac = position as f64 / users.max(1) as f64;
+    let mut points = 0u32;
+    if position == 1 || frac <= 0.02 {
+        points += 2;
+    } else if position <= 3 || frac <= 0.10 {
+        points += 1;
+    }
+    if max_abs_z >= 8.0 {
+        points += 2;
+    } else if max_abs_z >= 4.0 {
+        points += 1;
+    }
+    match points {
+        0 => AlertSeverity::Low,
+        1 => AlertSeverity::Medium,
+        2 | 3 => AlertSeverity::High,
+        _ => AlertSeverity::Critical,
+    }
+}
+
+/// Evaluates one scored day against the policy, mutating `state` and
+/// returning the alerts raised, in deterministic order: watchlist position
+/// order, then drift events in monitor order, then degraded shards by index.
+///
+/// `evidence(user, position, priority)` builds the attribution bundle from
+/// engine state; it is only invoked for watchlisted users with real scores.
+pub(crate) fn evaluate_day<F>(
+    policy: &AlertPolicy,
+    state: &mut AlertState,
+    input: &AlertDayInput<'_>,
+    mut evidence: F,
+) -> Vec<Alert>
+where
+    F: FnMut(usize, usize, usize) -> EvidenceBundle,
+{
+    let mut alerts = Vec::new();
+    for c in &mut state.cooldowns {
+        c.1 -= 1;
+    }
+    state.cooldowns.retain(|c| c.1 > 0);
+
+    let users = input.scores.first().map(|s| s.len()).unwrap_or(0);
+    let list = investigate_from_scores(input.scores, input.critic_n);
+    let take = list.len().min(policy.watch_top_n);
+    let watch = &list[..take];
+    let prev = std::mem::take(&mut state.last_positions);
+
+    let mut raise = |state: &mut AlertState,
+                     user: Option<usize>,
+                     severity: AlertSeverity,
+                     trigger: AlertTrigger,
+                     bundle: Option<EvidenceBundle>| {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        alerts.push(Alert {
+            seq,
+            id: format!("al-{seq:06}"),
+            user,
+            day: input.day.to_string(),
+            severity,
+            status: AlertStatus::New,
+            trigger,
+            evidence: bundle,
+        });
+    };
+
+    if state.primed {
+        for (i, inv) in watch.iter().enumerate() {
+            let position = i + 1;
+            // Unscored (NaN) users can pad out a short watchlist; they have
+            // no live state to build evidence from and never alert.
+            if input.scores.iter().any(|s| s[inv.user].is_nan()) {
+                continue;
+            }
+            let bundle = evidence(inv.user, position, inv.priority);
+            let max_abs_z =
+                bundle.top_features.iter().map(|f| f.z.abs()).fold(0.0f32, f32::max);
+            let old = prev.iter().find(|&&(u, _)| u == inv.user).map(|&(_, p)| p);
+            // One candidate trigger per user per day, by precedence; if that
+            // trigger's key is cooling down, the user stays quiet today.
+            let trigger = match old {
+                Some(from) if from > position && from - position >= policy.rank_jump_min => {
+                    Some(AlertTrigger::RankJump { from, to: position })
+                }
+                None => Some(AlertTrigger::NewEntrant { position }),
+                _ => bundle
+                    .top_features
+                    .first()
+                    .filter(|f| f.z.abs() >= policy.rule_z)
+                    .map(|f| AlertTrigger::RuleHit {
+                        feature: f.feature.clone(),
+                        frame: f.frame,
+                        z: f.z,
+                    }),
+            };
+            let Some(trigger) = trigger else { continue };
+            let key = format!("u{}:{}", inv.user, trigger.kind());
+            if state.cooled(&key) {
+                continue;
+            }
+            state.set_cooldown(key, policy.cooldown_days);
+            let severity = severity_for(position, users, max_abs_z);
+            raise(state, Some(inv.user), severity, trigger, Some(bundle));
+        }
+    }
+    state.primed = true;
+    state.last_positions =
+        watch.iter().enumerate().map(|(i, inv)| (inv.user, i + 1)).collect();
+
+    for event in input.drift {
+        let HealthEvent::ScoreDrift { aspect, quantile, ratio, .. } = event else { continue };
+        let key = format!("drift:{aspect}");
+        if state.cooled(&key) {
+            continue;
+        }
+        state.set_cooldown(key, policy.cooldown_days);
+        let severity =
+            if *ratio >= 10.0 { AlertSeverity::High } else { AlertSeverity::Medium };
+        let trigger = AlertTrigger::ScoreDrift {
+            aspect: aspect.clone(),
+            quantile: quantile.clone(),
+            ratio: *ratio,
+        };
+        raise(state, None, severity, trigger, None);
+    }
+
+    let mut degraded: Vec<&(usize, String)> = input.degraded.iter().collect();
+    degraded.sort_by_key(|(shard, _)| *shard);
+    for (shard, reason) in degraded {
+        if state.degraded_reported.contains(shard) {
+            continue;
+        }
+        state.degraded_reported.push(*shard);
+        let trigger = AlertTrigger::ShardDegraded { shard: *shard, reason: reason.clone() };
+        raise(state, None, AlertSeverity::High, trigger, None);
+    }
+
+    alerts
+}
+
+/// Assembles the attribution bundle for one watchlisted user from the
+/// engine's live state: per-aspect score and rank for the day, the top-k
+/// contributing cells of the compound deviation matrix (today's weighted
+/// z-score, the group-mean context when group behavior is on, and the ω-day
+/// history excerpt oldest-first), and the matrix window depth.
+///
+/// `entity` is the user's column in `ring` (the global index for the
+/// monolith, the local index inside a shard); `group_entity` is the user's
+/// group column in `group_ring`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_evidence(
+    feature_set: &FeatureSet,
+    frames: usize,
+    ring: &DayRing,
+    entity: usize,
+    group_ring: Option<&DayRing>,
+    group_entity: Option<usize>,
+    scores: &[Vec<f32>],
+    user: usize,
+    position: usize,
+    priority: usize,
+    top_k: usize,
+) -> EvidenceBundle {
+    let n_features = feature_set.len();
+    let aspects: Vec<AspectEvidence> = feature_set
+        .aspects
+        .iter()
+        .enumerate()
+        .map(|(a, spec)| AspectEvidence {
+            aspect: spec.name.clone(),
+            score: scores[a][user],
+            rank: scores_to_ranks(&scores[a])[user],
+        })
+        .collect();
+
+    let days = ring.len();
+    let mut contributions: Vec<FeatureContribution> = Vec::new();
+    for spec in &feature_set.aspects {
+        for &f in &spec.features {
+            for t in 0..frames {
+                let idx = (entity * frames + t) * n_features + f;
+                let z = ring.offset(0).map(|d| d[idx]).unwrap_or(0.0);
+                let history: Vec<f32> = (0..days)
+                    .rev()
+                    .map(|k| ring.offset(k).map(|d| d[idx]).unwrap_or(0.0))
+                    .collect();
+                let group_z = match (group_ring, group_entity) {
+                    (Some(gring), Some(ge)) => {
+                        gring.offset(0).map(|d| d[(ge * frames + t) * n_features + f])
+                    }
+                    _ => None,
+                };
+                contributions.push(FeatureContribution {
+                    aspect: spec.name.clone(),
+                    feature: feature_set.names[f].clone(),
+                    frame: t,
+                    z,
+                    group_z,
+                    history,
+                });
+            }
+        }
+    }
+    contributions.sort_by(|x, y| {
+        y.z.abs()
+            .total_cmp(&x.z.abs())
+            .then_with(|| x.aspect.cmp(&y.aspect))
+            .then_with(|| x.feature.cmp(&y.feature))
+            .then_with(|| x.frame.cmp(&y.frame))
+    });
+    contributions.truncate(top_k);
+    EvidenceBundle {
+        position,
+        priority,
+        aspects,
+        top_features: contributions,
+        window_days: days,
+    }
+}
+
+/// One line of the append-only alert audit log.
+///
+/// Raised alerts carry the engine's gap-free sequence inside the alert
+/// itself. Lifecycle transitions deliberately have *no* sequence number:
+/// they reference the alert by id and their audit order is the file's line
+/// order, so an operator acking alerts between stream runs can never collide
+/// with the engine's sequence space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "entry", rename_all = "snake_case")]
+pub enum AlertLogEntry {
+    /// An alert raised by the engine.
+    Raised {
+        /// The alert, evidence bundle included.
+        alert: Alert,
+    },
+    /// A lifecycle transition recorded by an operator (`acobe alerts ack`).
+    Transition {
+        /// Id of the alert being transitioned.
+        alert_id: String,
+        /// Status before the transition.
+        from: AlertStatus,
+        /// Status after the transition.
+        to: AlertStatus,
+        /// Optional operator note.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        note: Option<String>,
+    },
+}
+
+/// The append-only JSONL alert audit log.
+///
+/// Every raised alert and every lifecycle transition is one flushed JSON
+/// line. [`AlertLog::open`] reconciles the file against a checkpoint-carried
+/// high-water mark so a resumed stream neither drops nor duplicates alerts:
+/// raised entries at or above the resume sequence (written after the
+/// checkpoint, about to be regenerated by replay) are pruned, along with any
+/// transitions that reference them.
+#[derive(Debug, Clone)]
+pub struct AlertLog {
+    path: PathBuf,
+}
+
+fn io_error(path: &Path, source: std::io::Error) -> AcobeError {
+    AcobeError::Io { path: path.display().to_string(), source }
+}
+
+impl AlertLog {
+    /// Opens the log for a stream run.
+    ///
+    /// `resume_seq = None` starts a fresh stream: any existing file is
+    /// truncated. `resume_seq = Some(high)` resumes from a checkpoint whose
+    /// next alert sequence is `high`: entries raised at or above `high` are
+    /// pruned (the resumed stream will re-raise them identically), keeping
+    /// the log exactly-once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] when an existing line fails to parse.
+    pub fn open<P: AsRef<Path>>(path: P, resume_seq: Option<u64>) -> Result<Self, AcobeError> {
+        let path = path.as_ref().to_path_buf();
+        match resume_seq {
+            None => {
+                std::fs::write(&path, "").map_err(|e| io_error(&path, e))?;
+            }
+            Some(high) => {
+                if path.exists() {
+                    let entries = Self::read_entries(&path)?;
+                    let kept: Vec<&AlertLogEntry> = entries
+                        .iter()
+                        .filter(|entry| match entry {
+                            AlertLogEntry::Raised { alert } => alert.seq < high,
+                            AlertLogEntry::Transition { alert_id, .. } => {
+                                entries.iter().any(|e| match e {
+                                    AlertLogEntry::Raised { alert } => {
+                                        alert.seq < high && alert.id == *alert_id
+                                    }
+                                    _ => false,
+                                })
+                            }
+                        })
+                        .collect();
+                    let mut text = String::new();
+                    for entry in kept {
+                        text.push_str(
+                            &serde_json::to_string(entry).expect("alert entry serializes"),
+                        );
+                        text.push('\n');
+                    }
+                    let tmp = path.with_extension("jsonl.tmp");
+                    std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
+                    std::fs::rename(&tmp, &path).map_err(|e| io_error(&path, e))?;
+                } else {
+                    std::fs::write(&path, "").map_err(|e| io_error(&path, e))?;
+                }
+            }
+        }
+        Ok(AlertLog { path })
+    }
+
+    /// Attaches to an existing log file without rewriting it — the handle
+    /// `acobe alerts ack` uses to append lifecycle transitions after the
+    /// raising stream has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] when the file does not exist.
+    pub fn attach<P: AsRef<Path>>(path: P) -> Result<Self, AcobeError> {
+        let path = path.as_ref().to_path_buf();
+        if !path.exists() {
+            return Err(io_error(
+                &path,
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no such alert log"),
+            ));
+        }
+        Ok(AlertLog { path })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry as a flushed JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures.
+    pub fn append(&self, entry: &AlertLogEntry) -> Result<(), AcobeError> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_error(&self.path, e))?;
+        let line = serde_json::to_string(entry).expect("alert entry serializes");
+        writeln!(file, "{line}").map_err(|e| io_error(&self.path, e))?;
+        file.flush().map_err(|e| io_error(&self.path, e))?;
+        Ok(())
+    }
+
+    /// Appends one raised-alert entry per alert, in order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AlertLog::append`].
+    pub fn append_raised(&self, alerts: &[Alert]) -> Result<(), AcobeError> {
+        for alert in alerts {
+            self.append(&AlertLogEntry::Raised { alert: alert.clone() })?;
+        }
+        Ok(())
+    }
+
+    /// Reads and parses every entry of a log file, in file order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] for an unparsable line.
+    pub fn read_entries<P: AsRef<Path>>(path: P) -> Result<Vec<AlertLogEntry>, AcobeError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(serde_json::from_str(line)?);
+        }
+        Ok(entries)
+    }
+
+    /// Collapses a log into the current alert set: raised alerts in sequence
+    /// order with every recorded transition applied (last one wins).
+    pub fn current_alerts(entries: &[AlertLogEntry]) -> Vec<Alert> {
+        let mut alerts: Vec<Alert> = entries
+            .iter()
+            .filter_map(|e| match e {
+                AlertLogEntry::Raised { alert } => Some(alert.clone()),
+                _ => None,
+            })
+            .collect();
+        for entry in entries {
+            let AlertLogEntry::Transition { alert_id, to, .. } = entry else { continue };
+            if let Some(alert) = alerts.iter_mut().find(|a| a.id == *alert_id) {
+                alert.status = *to;
+            }
+        }
+        alerts.sort_by_key(|a| a.seq);
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(z: f32) -> EvidenceBundle {
+        EvidenceBundle {
+            position: 1,
+            priority: 1,
+            aspects: Vec::new(),
+            top_features: vec![FeatureContribution {
+                aspect: "all".into(),
+                feature: "f0".into(),
+                frame: 0,
+                z,
+                group_z: None,
+                history: vec![z],
+            }],
+            window_days: 1,
+        }
+    }
+
+    fn day_input<'a>(
+        day: &'a str,
+        scores: &'a [Vec<f32>],
+        drift: &'a [HealthEvent],
+        degraded: &'a [(usize, String)],
+    ) -> AlertDayInput<'a> {
+        AlertDayInput { day, scores, drift, degraded, critic_n: 1 }
+    }
+
+    #[test]
+    fn first_day_primes_without_alerting() {
+        let policy = AlertPolicy::default();
+        let mut state = AlertState::default();
+        let scores = vec![vec![0.1, 0.9, 0.2]];
+        let alerts =
+            evaluate_day(&policy, &mut state, &day_input("2020-01-01", &scores, &[], &[]), |_, _, _| {
+                bundle(9.0)
+            });
+        assert!(alerts.is_empty(), "{alerts:?}");
+        assert!(state.primed);
+        assert_eq!(state.last_positions[0], (1, 1));
+    }
+
+    #[test]
+    fn rank_jump_fires_once_then_cools_down() {
+        let policy = AlertPolicy {
+            watch_top_n: 4,
+            rank_jump_min: 2,
+            cooldown_days: 2,
+            rule_z: 100.0,
+            ..AlertPolicy::default()
+        };
+        let mut state = AlertState::default();
+        let quiet = vec![vec![0.9, 0.8, 0.7, 0.6]];
+        evaluate_day(&policy, &mut state, &day_input("d0", &quiet, &[], &[]), |_, _, _| bundle(0.0));
+        // User 3 leaps from position 4 to position 1.
+        let loud = vec![vec![0.3, 0.2, 0.1, 0.9]];
+        let alerts =
+            evaluate_day(&policy, &mut state, &day_input("d1", &loud, &[], &[]), |_, _, _| bundle(9.0));
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].user, Some(3));
+        assert_eq!(alerts[0].seq, 0);
+        assert_eq!(alerts[0].id, "al-000000");
+        assert!(matches!(alerts[0].trigger, AlertTrigger::RankJump { from: 4, to: 1 }));
+        assert_eq!(alerts[0].severity, AlertSeverity::Critical);
+        // Same picture next day: the jump already fired and the hold at
+        // position 1 is not a jump, so nothing new fires.
+        let again =
+            evaluate_day(&policy, &mut state, &day_input("d2", &loud, &[], &[]), |_, _, _| bundle(9.0));
+        assert!(again.is_empty(), "{again:?}");
+        assert_eq!(state.next_seq, 1);
+    }
+
+    #[test]
+    fn rule_hit_requires_threshold_and_new_entrant_needs_room() {
+        // Watchlist of 2 over 4 users: user 2 is off-list on day 0, enters
+        // on day 1 -> NewEntrant; user 0 stays on-list with a big z -> RuleHit.
+        let policy = AlertPolicy {
+            watch_top_n: 2,
+            rank_jump_min: 10,
+            cooldown_days: 1,
+            rule_z: 5.0,
+            ..AlertPolicy::default()
+        };
+        let mut state = AlertState::default();
+        let d0 = vec![vec![0.9, 0.8, 0.1, 0.2]];
+        evaluate_day(&policy, &mut state, &day_input("d0", &d0, &[], &[]), |_, _, _| bundle(0.0));
+        let d1 = vec![vec![0.9, 0.1, 0.8, 0.2]];
+        let alerts =
+            evaluate_day(&policy, &mut state, &day_input("d1", &d1, &[], &[]), |user, _, _| {
+                bundle(if user == 0 { 6.5 } else { 1.0 })
+            });
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert!(matches!(alerts[0].trigger, AlertTrigger::RuleHit { z, .. } if z == 6.5));
+        assert_eq!(alerts[0].user, Some(0));
+        assert!(matches!(alerts[1].trigger, AlertTrigger::NewEntrant { position: 2 }));
+        assert_eq!(alerts[1].user, Some(2));
+        assert_eq!((alerts[0].seq, alerts[1].seq), (0, 1));
+    }
+
+    #[test]
+    fn nan_users_never_alert() {
+        let policy =
+            AlertPolicy { watch_top_n: 4, rule_z: 0.0, ..AlertPolicy::default() };
+        let mut state = AlertState::default();
+        let d0 = vec![vec![0.9, f32::NAN]];
+        evaluate_day(&policy, &mut state, &day_input("d0", &d0, &[], &[]), |_, _, _| bundle(9.0));
+        let alerts =
+            evaluate_day(&policy, &mut state, &day_input("d1", &d0, &[], &[]), |user, _, _| {
+                assert_ne!(user, 1, "evidence requested for an unscored user");
+                bundle(9.0)
+            });
+        assert!(alerts.iter().all(|a| a.user != Some(1)), "{alerts:?}");
+    }
+
+    #[test]
+    fn drift_and_degraded_raise_system_alerts_with_dedup() {
+        let policy = AlertPolicy { cooldown_days: 3, ..AlertPolicy::default() };
+        let mut state = AlertState::default();
+        let scores = vec![vec![0.5, 0.6]];
+        let drift = vec![HealthEvent::ScoreDrift {
+            aspect: "http".into(),
+            day: "d0".into(),
+            quantile: "p99".into(),
+            today: 12.0,
+            baseline: 1.0,
+            ratio: 12.0,
+        }];
+        let degraded = vec![(1usize, "shard file truncated".to_string())];
+        let alerts = evaluate_day(
+            &policy,
+            &mut state,
+            &day_input("d0", &scores, &drift, &degraded),
+            |_, _, _| bundle(0.0),
+        );
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert!(matches!(&alerts[0].trigger, AlertTrigger::ScoreDrift { aspect, .. } if aspect == "http"));
+        assert_eq!(alerts[0].severity, AlertSeverity::High);
+        assert_eq!(alerts[0].user, None);
+        assert!(matches!(&alerts[1].trigger, AlertTrigger::ShardDegraded { shard: 1, .. }));
+        // Same drift + same quarantine next day: both are deduped (cooldown
+        // for drift, latch for the shard).
+        let again = evaluate_day(
+            &policy,
+            &mut state,
+            &day_input("d1", &scores, &drift, &degraded),
+            |_, _, _| bundle(0.0),
+        );
+        assert!(again.is_empty(), "{again:?}");
+    }
+
+    #[test]
+    fn log_roundtrips_and_resume_prunes_the_tail() {
+        let dir = std::env::temp_dir()
+            .join(format!("acobe_alert_log_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alerts.jsonl");
+
+        let alert = |seq: u64| Alert {
+            seq,
+            id: format!("al-{seq:06}"),
+            user: Some(seq as usize),
+            day: "2020-01-01".into(),
+            severity: AlertSeverity::Medium,
+            status: AlertStatus::New,
+            trigger: AlertTrigger::NewEntrant { position: 1 },
+            evidence: None,
+        };
+
+        let log = AlertLog::open(&path, None).unwrap();
+        log.append_raised(&[alert(0), alert(1), alert(2)]).unwrap();
+        log.append(&AlertLogEntry::Transition {
+            alert_id: "al-000000".into(),
+            from: AlertStatus::New,
+            to: AlertStatus::Investigating,
+            note: Some("on it".into()),
+        })
+        .unwrap();
+        log.append(&AlertLogEntry::Transition {
+            alert_id: "al-000002".into(),
+            from: AlertStatus::New,
+            to: AlertStatus::Investigating,
+            note: None,
+        })
+        .unwrap();
+
+        let entries = AlertLog::read_entries(&path).unwrap();
+        assert_eq!(entries.len(), 5);
+        let current = AlertLog::current_alerts(&entries);
+        assert_eq!(current.len(), 3);
+        assert_eq!(current[0].status, AlertStatus::Investigating);
+        assert_eq!(current[1].status, AlertStatus::New);
+
+        // Resume from a checkpoint whose high-water mark is 2: the raised
+        // seq-2 entry and its transition are pruned; seq 0 and 1 (and the
+        // seq-0 transition) survive.
+        let _resumed = AlertLog::open(&path, Some(2)).unwrap();
+        let entries = AlertLog::read_entries(&path).unwrap();
+        assert_eq!(entries.len(), 3, "{entries:?}");
+        let current = AlertLog::current_alerts(&entries);
+        assert_eq!(current.len(), 2);
+        assert_eq!(current[0].id, "al-000000");
+        assert_eq!(current[0].status, AlertStatus::Investigating);
+        assert_eq!(current[1].id, "al-000001");
+
+        // Fresh open truncates.
+        let _fresh = AlertLog::open(&path, None).unwrap();
+        assert!(AlertLog::read_entries(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

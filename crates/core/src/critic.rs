@@ -16,17 +16,46 @@ pub struct Investigation {
     pub priority: usize,
 }
 
+/// True when score `b` is strictly less anomalous than score `a` under the
+/// critic's total order: NaN (an unscored user, e.g. on a quarantined shard)
+/// is strictly worse than every real score, and two NaNs tie.
+fn strictly_below(b: f32, a: f32) -> bool {
+    match (b.is_nan(), a.is_nan()) {
+        (true, true) => false,
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => b < a,
+    }
+}
+
 /// Converts per-aspect anomaly scores (higher = more anomalous) into
 /// per-aspect 1-based ranks. Ties share the better (smaller) rank so that a
 /// tie cannot demote a user below an identically-scored peer.
+///
+/// The ordering is a total order: NaN scores (users excluded from scoring,
+/// e.g. on a quarantined shard) sort strictly worst and share one rank
+/// block, with index as the final sort tie-break — so the result never
+/// depends on input insertion order, and investigation lists are stable
+/// across shard counts.
 pub fn scores_to_ranks(scores: &[f32]) -> Vec<usize> {
     let n = scores.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        // Descending by score with NaN last; total_cmp puts NaN above every
+        // real value, so a plain reverse would rank NaN best — flip it via
+        // the NaN-aware comparison instead.
+        let worse_a = strictly_below(scores[a], scores[b]);
+        let worse_b = strictly_below(scores[b], scores[a]);
+        match (worse_a, worse_b) {
+            (false, true) => std::cmp::Ordering::Less,
+            (true, false) => std::cmp::Ordering::Greater,
+            _ => a.cmp(&b),
+        }
+    });
     let mut ranks = vec![0usize; n];
     let mut rank = 0usize;
     for (pos, &idx) in order.iter().enumerate() {
-        if pos == 0 || scores[idx] < scores[order[pos - 1]] {
+        if pos == 0 || strictly_below(scores[idx], scores[order[pos - 1]]) {
             rank = pos + 1;
         }
         ranks[idx] = rank;
@@ -146,5 +175,27 @@ mod tests {
     #[should_panic(expected = "n must be in")]
     fn invalid_n_rejected() {
         let _ = investigation_list(&[vec![1, 2]], 2);
+    }
+
+    #[test]
+    fn nan_scores_rank_worst_deterministically() {
+        // NaN columns (quarantined users) must sort strictly below every
+        // real score and share one rank block, regardless of where the NaNs
+        // sit in the input — insertion order must not leak into ranks.
+        let ranks = scores_to_ranks(&[f32::NAN, 0.9, f32::NAN, 0.1]);
+        assert_eq!(ranks, vec![3, 1, 3, 2]);
+        // Same multiset, permuted: per-user ranks are identical.
+        let permuted = scores_to_ranks(&[0.1, f32::NAN, 0.9, f32::NAN]);
+        assert_eq!(permuted, vec![2, 3, 1, 3]);
+    }
+
+    #[test]
+    fn nan_ties_keep_investigation_list_stable() {
+        // Two quarantined users in one aspect: the list still orders by
+        // (priority, user) with the NaN pair sharing the worst priority.
+        let scores = vec![vec![0.5, f32::NAN, 0.8, f32::NAN]];
+        let list = investigate_from_scores(&scores, 1);
+        let order: Vec<(usize, usize)> = list.iter().map(|i| (i.user, i.priority)).collect();
+        assert_eq!(order, vec![(2, 1), (0, 2), (1, 3), (3, 3)]);
     }
 }

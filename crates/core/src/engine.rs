@@ -21,9 +21,11 @@
 //! and restores without changing a single subsequent score — `serde_json`
 //! round-trips `f32`/`f64` exactly.
 
+use crate::alert::{AlertPolicy, AlertState};
 use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::error::AcobeError;
+use acobe_obs::alert::Alert;
 use crate::streaming::RollingDeviation;
 use acobe_features::exact::ExactF32Sum;
 use acobe_features::spec::FeatureSet;
@@ -212,6 +214,15 @@ pub struct EngineCheckpoint {
     pub(crate) models: Vec<SavedAutoencoder>,
     pub(crate) baselines: Vec<Vec<f32>>,
     pub(crate) score_history: Vec<DayScores>,
+    /// Drift-monitor trailing window (appended in-place with a default so
+    /// pre-alerting checkpoints still parse; carrying it means a resumed
+    /// stream raises the same drift events an uninterrupted one would).
+    #[serde(default)]
+    pub(crate) monitor: Option<DriftMonitor>,
+    /// Alert-evaluation state, including the `next_seq` high-water mark that
+    /// makes the alert log exactly-once across resume.
+    #[serde(default)]
+    pub(crate) alert_state: AlertState,
 }
 
 impl EngineCheckpoint {
@@ -397,10 +408,18 @@ pub struct DetectionEngine {
     /// Drift thresholds for the score-distribution monitor.
     pub(crate) drift: DriftConfig,
     /// Per-aspect score-distribution sketches (built lazily on the first
-    /// scored day; operational state, not part of the checkpoint).
+    /// scored day; checkpointed so resumed streams keep their trailing
+    /// window).
     pub(crate) monitor: Option<DriftMonitor>,
     /// Health events raised since the last [`DetectionEngine::take_health_events`].
     pub(crate) pending_health: Vec<HealthEvent>,
+    /// Alerting thresholds; `None` (the default) disables alert evaluation.
+    pub(crate) alert_policy: Option<AlertPolicy>,
+    /// Checkpointed alert-evaluation state (sequence high-water mark,
+    /// watchlist baseline, dedup cooldowns).
+    pub(crate) alert_state: AlertState,
+    /// Alerts raised since the last [`DetectionEngine::take_alerts`].
+    pub(crate) pending_alerts: Vec<Alert>,
 }
 
 impl DetectionEngine {
@@ -483,6 +502,9 @@ impl DetectionEngine {
             drift: DriftConfig::default(),
             monitor: None,
             pending_health: Vec::new(),
+            alert_policy: None,
+            alert_state: AlertState::default(),
+            pending_alerts: Vec::new(),
         };
         engine.reset_stream();
         Ok(engine)
@@ -579,6 +601,8 @@ impl DetectionEngine {
         self.score_history.clear();
         self.monitor = None;
         self.pending_health.clear();
+        self.alert_state = AlertState::default();
+        self.pending_alerts.clear();
         self.next_date = self.start;
     }
 
@@ -589,6 +613,39 @@ impl DetectionEngine {
         self.monitor = None;
     }
 
+    /// Retunes only the shard-lag heuristic thresholds, leaving the drift
+    /// monitor's trailing window intact (a resumed stream must keep raising
+    /// the same drift events).
+    pub fn set_lag_config(&mut self, lag_ratio: f64, lag_min_ms: f64) {
+        self.drift.lag_ratio = lag_ratio;
+        self.drift.lag_min_ms = lag_min_ms;
+    }
+
+    /// Sets (or with `None` disables) the alert policy evaluated after every
+    /// scored day. The policy itself is not checkpointed — thresholds may be
+    /// retuned across a resume — but the [`AlertState`] it drives is.
+    pub fn set_alert_policy(&mut self, policy: Option<AlertPolicy>) {
+        self.alert_policy = policy;
+    }
+
+    /// The active alert policy, if alerting is enabled.
+    pub fn alert_policy(&self) -> Option<&AlertPolicy> {
+        self.alert_policy.as_ref()
+    }
+
+    /// Drains the alerts raised since the previous call. Alerts are also
+    /// published to the global [`acobe_obs::alert::alerts`] board as they
+    /// happen.
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending_alerts)
+    }
+
+    /// The sequence number the next raised alert will take — the high-water
+    /// mark [`crate::alert::AlertLog::open`] reconciles against on resume.
+    pub fn alert_next_seq(&self) -> u64 {
+        self.alert_state.next_seq
+    }
+
     /// Drains the health events raised since the previous call (score drift
     /// detected by the rolling monitor, …). Events are also reported to the
     /// global [`acobe_obs::monitor::board`] as they happen.
@@ -597,8 +654,10 @@ impl DetectionEngine {
     }
 
     /// Folds one scored day into the drift monitor, publishing score
-    /// quantiles as labeled gauges and reporting any drift events.
-    fn observe_scored_day(&mut self, day: &DayScores) {
+    /// quantiles as labeled gauges and reporting any drift events. Returns
+    /// the events raised *for this day* (they are also queued for
+    /// [`DetectionEngine::take_health_events`]).
+    fn observe_scored_day(&mut self, day: &DayScores) -> Vec<HealthEvent> {
         if self.monitor.is_none() {
             let aspects =
                 self.feature_set.aspects.iter().map(|a| a.name.clone()).collect();
@@ -613,7 +672,57 @@ impl DetectionEngine {
         for event in &events {
             board.report(event.clone());
         }
-        self.pending_health.extend(events);
+        self.pending_health.extend(events.iter().cloned());
+        events
+    }
+
+    /// Evaluates the alert policy against one scored day: watchlist triggers
+    /// with evidence bundles built from the live deviation rings, plus
+    /// system-level drift alerts. Raised alerts are published to the global
+    /// board and queued for [`DetectionEngine::take_alerts`].
+    fn evaluate_alerts(&mut self, day: &DayScores, drift: &[HealthEvent]) {
+        let Some(policy) = self.alert_policy.clone() else { return };
+        let mut state = std::mem::take(&mut self.alert_state);
+        let day_str = day.date.to_string();
+        let input = crate::alert::AlertDayInput {
+            day: &day_str,
+            scores: &day.scores,
+            drift,
+            degraded: &[],
+            critic_n: self.config.critic_n,
+        };
+        let feature_set = &self.feature_set;
+        let frames = self.frames;
+        let user_ring = &self.user_ring;
+        let group_ring = self.group_ring.as_ref();
+        let user_group = &self.user_group;
+        let top_k = policy.top_k_features;
+        let alerts =
+            crate::alert::evaluate_day(&policy, &mut state, &input, |user, position, priority| {
+                let group_entity = user_group.get(user).copied().filter(|&g| g != usize::MAX);
+                crate::alert::build_evidence(
+                    feature_set,
+                    frames,
+                    user_ring,
+                    user,
+                    group_ring,
+                    group_entity,
+                    &day.scores,
+                    user,
+                    position,
+                    priority,
+                    top_k,
+                )
+            });
+        self.alert_state = state;
+        if alerts.is_empty() {
+            return;
+        }
+        let board = acobe_obs::alert::alerts();
+        for alert in &alerts {
+            board.publish(alert);
+        }
+        self.pending_alerts.extend(alerts);
     }
 
     /// Group-mean measurements for one day, flattened
@@ -740,7 +849,8 @@ impl DetectionEngine {
             acobe_obs::counter("engine/rows_scored")
                 .add((self.users * self.models.len()) as u64);
             let day = DayScores { date, scores };
-            self.observe_scored_day(&day);
+            let drift = self.observe_scored_day(&day);
+            self.evaluate_alerts(&day, &drift);
             self.score_history.push(day.clone());
             if self.score_history.len() > SCORE_HISTORY_DAYS {
                 self.score_history.remove(0);
@@ -898,6 +1008,8 @@ impl DetectionEngine {
             models: self.models.iter_mut().map(snapshot_model).collect(),
             baselines: self.baselines.clone(),
             score_history: self.score_history.clone(),
+            monitor: self.monitor.clone(),
+            alert_state: self.alert_state.clone(),
         }
     }
 
@@ -940,9 +1052,16 @@ impl DetectionEngine {
             models,
             baselines: checkpoint.baselines,
             score_history: checkpoint.score_history,
-            drift: DriftConfig::default(),
-            monitor: None,
+            drift: checkpoint
+                .monitor
+                .as_ref()
+                .map(|m| m.config().clone())
+                .unwrap_or_default(),
+            monitor: checkpoint.monitor,
             pending_health: Vec::new(),
+            alert_policy: None,
+            alert_state: checkpoint.alert_state,
+            pending_alerts: Vec::new(),
         })
     }
 

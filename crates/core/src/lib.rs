@@ -16,6 +16,9 @@
 //! * [`pipeline`] — the autoencoder-ensemble detector
 //!   ([`pipeline::AcobePipeline`], Figure 1), a batch driver over the engine,
 //! * [`critic`] — the investigation-list critic (Algorithm 1),
+//! * [`alert`] — the alert decision plane: [`alert::AlertPolicy`] thresholds
+//!   evaluated after every scored day, deviation-matrix evidence bundles,
+//!   and the append-only [`alert::AlertLog`] with exactly-once resume,
 //! * [`config`] — presets for the paper's configuration and its ablations
 //!   (No-Group, 1-Day, All-in-1, Baseline style).
 //!
@@ -50,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod config;
 pub mod critic;
 pub mod deviation;
@@ -61,6 +65,7 @@ pub mod shard;
 pub mod streaming;
 pub mod waveform;
 
+pub use alert::{AlertLog, AlertLogEntry, AlertPolicy, AlertState};
 pub use config::{AcobeConfig, OptimizerKind, Representation};
 pub use critic::{investigation_list, investigate_from_scores, Investigation};
 pub use deviation::{compute_deviations, group_average_cube, DeviationConfig, DeviationCube};

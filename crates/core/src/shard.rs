@@ -27,6 +27,7 @@
 //! (group means degrade to the live-member average) while the remaining
 //! shards keep the stream going.
 
+use crate::alert::{AlertPolicy, AlertState};
 use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::engine::{
@@ -41,6 +42,7 @@ use acobe_logs::time::Date;
 use acobe_nn::autoencoder::Autoencoder;
 use acobe_nn::serialize::{restore as restore_model, SavedAutoencoder};
 use acobe_nn::tensor::Matrix;
+use acobe_obs::alert::Alert;
 use acobe_obs::{DriftConfig, DriftMonitor, HealthEvent, ShardStatus};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -327,6 +329,13 @@ struct ShardManifest {
     group_rolling: Option<RollingDeviation>,
     group_ring: Option<DayRing>,
     models: Vec<SavedAutoencoder>,
+    /// Drift-monitor trailing window (appended with a default so v2
+    /// checkpoints written before alerting still parse).
+    #[serde(default)]
+    monitor: Option<DriftMonitor>,
+    /// Alert-evaluation state, including the `next_seq` high-water mark.
+    #[serde(default)]
+    alert_state: AlertState,
 }
 
 impl ShardManifest {
@@ -495,10 +504,17 @@ pub struct ShardedEngine {
     /// Drift thresholds for the score-distribution monitor.
     drift: DriftConfig,
     /// Per-aspect score-distribution sketches over the merged global scores
-    /// (built lazily on the first scored day; not checkpointed).
+    /// (built lazily on the first scored day; checkpointed in the manifest).
     monitor: Option<DriftMonitor>,
     /// Health events raised since the last [`ShardedEngine::take_health_events`].
     pending_health: Vec<HealthEvent>,
+    /// Alerting thresholds; `None` (the default) disables alert evaluation.
+    alert_policy: Option<AlertPolicy>,
+    /// Checkpointed alert-evaluation state (sequence high-water mark,
+    /// watchlist baseline, dedup cooldowns, degraded-shard latch).
+    alert_state: AlertState,
+    /// Alerts raised since the last [`ShardedEngine::take_alerts`].
+    pending_alerts: Vec<Alert>,
 }
 
 impl ShardedEngine {
@@ -541,8 +557,11 @@ impl ShardedEngine {
             saved_models,
             live_group_counts,
             drift: engine.drift,
-            monitor: None,
+            monitor: engine.monitor,
             pending_health: Vec::new(),
+            alert_policy: engine.alert_policy,
+            alert_state: engine.alert_state,
+            pending_alerts: engine.pending_alerts,
         };
         sharded.publish_shard_health();
         Ok(sharded)
@@ -907,13 +926,14 @@ impl ShardedEngine {
         }
         // A shard far above its peers' phase time is a capacity problem the
         // operator should see before it becomes a backlog: flag anything
-        // beyond 4x the live median once the gap is material (>25 ms).
+        // beyond `lag_ratio`x the live median once the gap is material
+        // (> `lag_min_ms`); both thresholds come from the [`DriftConfig`].
         if live_ms.len() >= 2 {
             let mut sorted: Vec<f64> = live_ms.iter().map(|&(_, ms)| ms).collect();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite shard times"));
             let median = sorted[sorted.len() / 2];
             for &(i, ms) in &live_ms {
-                if ms > median * 4.0 && ms > median + 25.0 {
+                if ms > median * self.drift.lag_ratio && ms > median + self.drift.lag_min_ms {
                     let event = HealthEvent::ShardLagging {
                         shard: i,
                         day: date.to_string(),
@@ -932,9 +952,79 @@ impl ShardedEngine {
         acobe_obs::event::note("engine/day", &[("day", day_str.as_str())]);
         self.publish_shard_health();
         if let Some(day) = &out {
-            self.observe_scored_day(day);
+            let drift = self.observe_scored_day(day);
+            self.evaluate_alerts(day, &drift);
         }
         Ok(out)
+    }
+
+    /// Evaluates the alert policy against one scored day. Evidence bundles
+    /// are built from the owning shard's local deviation ring (and the
+    /// shared group ring), so they are bit-identical to the monolith's —
+    /// [`DayRing::extract_entities`] preserves ring content and positions.
+    /// Quarantined shards additionally raise latched
+    /// [`acobe_obs::alert::AlertTrigger::ShardDegraded`] alerts.
+    fn evaluate_alerts(&mut self, day: &DayScores, drift: &[HealthEvent]) {
+        let Some(policy) = self.alert_policy.clone() else { return };
+        let mut state = std::mem::take(&mut self.alert_state);
+        let degraded: Vec<(usize, String)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                ShardSlot::Quarantined { error, .. } => Some((i, error.to_string())),
+                ShardSlot::Live(_) => None,
+            })
+            .collect();
+        let day_str = day.date.to_string();
+        let input = crate::alert::AlertDayInput {
+            day: &day_str,
+            scores: &day.scores,
+            drift,
+            degraded: &degraded,
+            critic_n: self.config.critic_n,
+        };
+        let feature_set = &self.feature_set;
+        let frames = self.frames;
+        let group_ring = self.group_ring.as_ref();
+        let user_group = &self.user_group;
+        let assign = &self.assign;
+        let slots = &self.slots;
+        let top_k = policy.top_k_features;
+        let alerts =
+            crate::alert::evaluate_day(&policy, &mut state, &input, |user, position, priority| {
+                // Watchlisted users always score non-NaN, so their shard is
+                // live and their column exists in its ring.
+                let shard = assign[user] as usize;
+                let ShardSlot::Live(owner) = &slots[shard] else {
+                    unreachable!("watchlisted user {user} on quarantined shard {shard}")
+                };
+                let local =
+                    owner.users.binary_search(&user).expect("user missing from shard roster");
+                let group_entity = user_group.get(user).copied().filter(|&g| g != usize::MAX);
+                crate::alert::build_evidence(
+                    feature_set,
+                    frames,
+                    &owner.ring,
+                    local,
+                    group_ring,
+                    group_entity,
+                    &day.scores,
+                    user,
+                    position,
+                    priority,
+                    top_k,
+                )
+            });
+        self.alert_state = state;
+        if alerts.is_empty() {
+            return;
+        }
+        let board = acobe_obs::alert::alerts();
+        for alert in &alerts {
+            board.publish(alert);
+        }
+        self.pending_alerts.extend(alerts);
     }
 
     /// The global critic's investigation list for the most recent scored
@@ -1004,6 +1094,8 @@ impl ShardedEngine {
             group_rolling: self.group_rolling.clone(),
             group_ring: self.group_ring.clone(),
             models: self.saved_models.clone(),
+            monitor: self.monitor.clone(),
+            alert_state: self.alert_state.clone(),
         };
         let path = dir.join(MANIFEST_FILE);
         let json = serde_json::to_string(&manifest)?;
@@ -1098,9 +1190,16 @@ impl ShardedEngine {
             group_ring: manifest.group_ring,
             saved_models: manifest.models,
             live_group_counts,
-            drift: DriftConfig::default(),
-            monitor: None,
+            drift: manifest
+                .monitor
+                .as_ref()
+                .map(|m| m.config().clone())
+                .unwrap_or_default(),
+            monitor: manifest.monitor,
             pending_health: Vec::new(),
+            alert_policy: None,
+            alert_state: manifest.alert_state,
+            pending_alerts: Vec::new(),
         };
         let board = acobe_obs::monitor::board();
         for (i, slot) in sharded.slots.iter().enumerate() {
@@ -1119,6 +1218,41 @@ impl ShardedEngine {
     pub fn set_drift_config(&mut self, cfg: DriftConfig) {
         self.drift = cfg;
         self.monitor = None;
+    }
+
+    /// Retunes only the shard-lag heuristic thresholds (`lag_ratio`x the
+    /// live median, material beyond `lag_min_ms`), leaving the drift
+    /// monitor's trailing window intact — a resumed stream must keep raising
+    /// the same drift events.
+    pub fn set_lag_config(&mut self, lag_ratio: f64, lag_min_ms: f64) {
+        self.drift.lag_ratio = lag_ratio;
+        self.drift.lag_min_ms = lag_min_ms;
+    }
+
+    /// Sets (or with `None` disables) the alert policy evaluated after every
+    /// scored day. The policy is not checkpointed — thresholds may be
+    /// retuned across a resume — but the [`AlertState`] it drives rides in
+    /// the manifest.
+    pub fn set_alert_policy(&mut self, policy: Option<AlertPolicy>) {
+        self.alert_policy = policy;
+    }
+
+    /// The active alert policy, if alerting is enabled.
+    pub fn alert_policy(&self) -> Option<&AlertPolicy> {
+        self.alert_policy.as_ref()
+    }
+
+    /// Drains the alerts raised since the previous call. Alerts are also
+    /// published to the global [`acobe_obs::alert::alerts`] board as they
+    /// happen.
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending_alerts)
+    }
+
+    /// The sequence number the next raised alert will take — the high-water
+    /// mark [`crate::alert::AlertLog::open`] reconciles against on resume.
+    pub fn alert_next_seq(&self) -> u64 {
+        self.alert_state.next_seq
     }
 
     /// Drains the health events raised since the previous call (quarantined
@@ -1152,8 +1286,10 @@ impl ShardedEngine {
 
     /// Folds one scored day into the drift monitor, publishing score
     /// quantiles as labeled gauges and reporting any drift events. NaN
-    /// columns (quarantined users) are skipped by the sketch.
-    fn observe_scored_day(&mut self, day: &DayScores) {
+    /// columns (quarantined users) are skipped by the sketch. Returns the
+    /// events raised *for this day* (they are also queued for
+    /// [`ShardedEngine::take_health_events`]).
+    fn observe_scored_day(&mut self, day: &DayScores) -> Vec<HealthEvent> {
         if self.monitor.is_none() {
             let aspects =
                 self.feature_set.aspects.iter().map(|a| a.name.clone()).collect();
@@ -1168,7 +1304,8 @@ impl ShardedEngine {
         for event in &events {
             board.report(event.clone());
         }
-        self.pending_health.extend(events);
+        self.pending_health.extend(events.iter().cloned());
+        events
     }
 }
 

@@ -1,0 +1,459 @@
+//! Typed alerts and the process-wide alert board.
+//!
+//! This module holds the *data plane* of the alerting subsystem: the
+//! [`Alert`] record (severity, trigger, lifecycle status, evidence bundle)
+//! and the [`AlertBoard`] ring served by `/alerts?since=&status=&user=` on
+//! the telemetry server. The *decision plane* — the `AlertPolicy` evaluated
+//! after each ingested day and the append-only audit log — lives in the
+//! core crate, which computes evidence from engine state and publishes the
+//! resulting alerts here.
+//!
+//! Every published alert also lands in the trace event stream (kind
+//! [`crate::event::EventKind::Alert`], so `/events` and `--trace-out` carry
+//! it) and bumps the `alerts/raised_total{trigger=…}` counter.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Alerts retained on the in-memory board for `/alerts`. The audit log, when
+/// configured, keeps everything.
+pub const ALERT_RING_CAPACITY: usize = 1024;
+
+/// How urgent an alert is, derived at raise time from the user's position in
+/// the investigation list and the magnitude of the worst deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlertSeverity {
+    /// Routine: on the watchlist, but neither near the top nor far deviated.
+    Low,
+    /// Either a strong rank signal or a strong deviation, not both.
+    Medium,
+    /// Strong rank and deviation signals together.
+    High,
+    /// Top-percentile rank *and* an extreme deviation.
+    Critical,
+}
+
+impl AlertSeverity {
+    /// The serialized (snake_case) name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertSeverity::Low => "low",
+            AlertSeverity::Medium => "medium",
+            AlertSeverity::High => "high",
+            AlertSeverity::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for AlertSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lifecycle state of an alert: `New → Investigating → Confirmed |
+/// FalsePositive → Resolved`. Transitions outside this lattice are rejected
+/// by [`AlertStatus::can_transition_to`] and audit-logged when applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlertStatus {
+    /// Raised, not yet looked at.
+    New,
+    /// An analyst picked it up.
+    Investigating,
+    /// The investigation confirmed anomalous behavior.
+    Confirmed,
+    /// The investigation cleared the user.
+    FalsePositive,
+    /// Closed out after confirmation or clearance.
+    Resolved,
+}
+
+impl AlertStatus {
+    /// The serialized (snake_case) name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertStatus::New => "new",
+            AlertStatus::Investigating => "investigating",
+            AlertStatus::Confirmed => "confirmed",
+            AlertStatus::FalsePositive => "false_positive",
+            AlertStatus::Resolved => "resolved",
+        }
+    }
+
+    /// Parses the snake_case name back into a status.
+    pub fn parse(s: &str) -> Option<AlertStatus> {
+        match s {
+            "new" => Some(AlertStatus::New),
+            "investigating" => Some(AlertStatus::Investigating),
+            "confirmed" => Some(AlertStatus::Confirmed),
+            "false_positive" => Some(AlertStatus::FalsePositive),
+            "resolved" => Some(AlertStatus::Resolved),
+            _ => None,
+        }
+    }
+
+    /// Whether `self → next` is a legal lifecycle transition.
+    pub fn can_transition_to(self, next: AlertStatus) -> bool {
+        matches!(
+            (self, next),
+            (AlertStatus::New, AlertStatus::Investigating)
+                | (AlertStatus::Investigating, AlertStatus::Confirmed)
+                | (AlertStatus::Investigating, AlertStatus::FalsePositive)
+                | (AlertStatus::Confirmed, AlertStatus::Resolved)
+                | (AlertStatus::FalsePositive, AlertStatus::Resolved)
+        )
+    }
+}
+
+impl fmt::Display for AlertStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why an alert was raised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AlertTrigger {
+    /// A watchlisted user moved up the investigation list by at least the
+    /// policy's rank-jump threshold.
+    RankJump {
+        /// Position on the previous scored day (1-based).
+        from: usize,
+        /// Position today (1-based, smaller is worse).
+        to: usize,
+    },
+    /// A user entered the top-N watchlist who was not on it yesterday.
+    NewEntrant {
+        /// Position today (1-based).
+        position: usize,
+    },
+    /// A single deviation-matrix cell crossed the policy's hard z threshold.
+    RuleHit {
+        /// Feature name (from the feature set).
+        feature: String,
+        /// Time frame index within the day.
+        frame: usize,
+        /// The offending z-score.
+        z: f32,
+    },
+    /// The drift monitor saw a score-distribution shift (a system alert —
+    /// carries no user).
+    ScoreDrift {
+        /// Behavior aspect whose distribution moved.
+        aspect: String,
+        /// Which quantile moved (`p50`/`p90`/`p99`).
+        quantile: String,
+        /// `max(today/baseline, baseline/today)`.
+        ratio: f64,
+    },
+    /// A shard was quarantined — its users are no longer being scored (a
+    /// system alert — carries no user).
+    ShardDegraded {
+        /// Shard index.
+        shard: usize,
+        /// The quarantine reason.
+        reason: String,
+    },
+}
+
+impl AlertTrigger {
+    /// Short kind name (`rank_jump`, `new_entrant`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AlertTrigger::RankJump { .. } => "rank_jump",
+            AlertTrigger::NewEntrant { .. } => "new_entrant",
+            AlertTrigger::RuleHit { .. } => "rule_hit",
+            AlertTrigger::ScoreDrift { .. } => "score_drift",
+            AlertTrigger::ShardDegraded { .. } => "shard_degraded",
+        }
+    }
+}
+
+impl fmt::Display for AlertTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertTrigger::RankJump { from, to } => write!(f, "rank jump {from} → {to}"),
+            AlertTrigger::NewEntrant { position } => {
+                write!(f, "new entrant at position {position}")
+            }
+            AlertTrigger::RuleHit { feature, frame, z } => {
+                write!(f, "rule hit: {feature}@t{frame} z={z:.2}")
+            }
+            AlertTrigger::ScoreDrift { aspect, quantile, ratio } => {
+                write!(f, "score drift: {aspect} {quantile} moved {ratio:.2}x")
+            }
+            AlertTrigger::ShardDegraded { shard, reason } => {
+                write!(f, "shard {shard} degraded: {reason}")
+            }
+        }
+    }
+}
+
+/// One aspect's contribution to the compound ranking, as seen at raise time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AspectEvidence {
+    /// Aspect name.
+    pub aspect: String,
+    /// The user's reconstruction-error score for this aspect today.
+    pub score: f32,
+    /// The user's rank among all users for this aspect today (1 = worst).
+    pub rank: usize,
+}
+
+/// One cell of the compound behavior-deviation matrix that contributed to
+/// the alert, with its recent history for context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureContribution {
+    /// Aspect the feature belongs to.
+    pub aspect: String,
+    /// Feature name.
+    pub feature: String,
+    /// Time frame index within the day.
+    pub frame: usize,
+    /// Today's deviation z-score for this `(feature, frame)` cell.
+    pub z: f32,
+    /// The user's group's deviation for the same cell today, when group
+    /// context is available — how far the *cohort* moved.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub group_z: Option<f32>,
+    /// The cell's z-score over the retained matrix window, oldest first
+    /// (ends with today's value).
+    pub history: Vec<f32>,
+}
+
+/// The attribution payload computed when an alert is raised: why *this*
+/// user, on *this* day, in terms the analyst can check against the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceBundle {
+    /// The user's position in today's investigation list (1-based).
+    pub position: usize,
+    /// The compound priority (the critic's N-th best per-aspect rank).
+    pub priority: usize,
+    /// Per-aspect score and rank today.
+    pub aspects: Vec<AspectEvidence>,
+    /// Top-k matrix cells by today's |z|, with group context and history.
+    pub top_features: Vec<FeatureContribution>,
+    /// Days of history each contribution's `history` covers.
+    pub window_days: usize,
+}
+
+/// A typed alert raised by the detection engine (or a system condition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Monotonic sequence number within the raising stream (0-based,
+    /// gap-free; carried through checkpoints so resume neither skips nor
+    /// duplicates).
+    pub seq: u64,
+    /// Stable id derived from `seq` (`al-000042`).
+    pub id: String,
+    /// The user the alert is about; `None` for system alerts
+    /// ([`AlertTrigger::ScoreDrift`], [`AlertTrigger::ShardDegraded`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub user: Option<usize>,
+    /// The scored day (ISO date) that raised the alert.
+    pub day: String,
+    /// Urgency.
+    pub severity: AlertSeverity,
+    /// Lifecycle state.
+    pub status: AlertStatus,
+    /// Why it fired.
+    pub trigger: AlertTrigger,
+    /// Attribution payload; absent for system alerts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evidence: Option<EvidenceBundle>,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.user {
+            Some(user) => {
+                write!(f, "{} [{}] user {user} on {}: {}", self.id, self.severity, self.day, self.trigger)
+            }
+            None => write!(f, "{} [{}] on {}: {}", self.id, self.severity, self.day, self.trigger),
+        }
+    }
+}
+
+/// The process-wide alert ring behind `/alerts`.
+///
+/// Holds the most recent [`ALERT_RING_CAPACITY`] alerts by sequence number.
+/// Lifecycle transitions applied through [`AlertBoard::update_status`] are
+/// reflected in place so `/alerts?status=` filters see current state.
+#[derive(Debug, Default)]
+pub struct AlertBoard {
+    ring: Mutex<VecDeque<Alert>>,
+}
+
+impl AlertBoard {
+    /// Publishes one alert: appends it to the bounded ring, the trace event
+    /// stream (kind [`crate::event::EventKind::Alert`]), bumps
+    /// `alerts/raised_total{trigger=…}`, and prints a progress line.
+    pub fn publish(&self, alert: &Alert) {
+        crate::counter_with("alerts/raised_total", &[("trigger", alert.trigger.kind())]).add(1);
+        let mut fields = vec![
+            ("id".to_string(), alert.id.clone()),
+            ("day".to_string(), alert.day.clone()),
+            ("severity".to_string(), alert.severity.as_str().to_string()),
+            ("detail".to_string(), alert.trigger.to_string()),
+        ];
+        if let Some(user) = alert.user {
+            fields.push(("user".to_string(), user.to_string()));
+        }
+        crate::event::record(
+            crate::event::EventKind::Alert,
+            alert.trigger.kind(),
+            crate::span::current_span_id(),
+            None,
+            fields,
+        );
+        crate::progress!("alert: {alert}");
+        let mut ring = self.ring.lock();
+        if ring.len() >= ALERT_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(alert.clone());
+    }
+
+    /// Applies a lifecycle transition to the alert with `id`, if it is still
+    /// on the board. Returns `true` when an alert was updated.
+    pub fn update_status(&self, id: &str, status: AlertStatus) -> bool {
+        let mut ring = self.ring.lock();
+        match ring.iter_mut().find(|a| a.id == id) {
+            Some(alert) => {
+                alert.status = status;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The alerts matching every given filter, oldest first.
+    pub fn query(
+        &self,
+        since: Option<u64>,
+        status: Option<AlertStatus>,
+        user: Option<usize>,
+    ) -> Vec<Alert> {
+        let ring = self.ring.lock();
+        ring.iter()
+            .filter(|a| since.map(|s| a.seq >= s).unwrap_or(true))
+            .filter(|a| status.map(|s| a.status == s).unwrap_or(true))
+            .filter(|a| user.map(|u| a.user == Some(u)).unwrap_or(true))
+            .cloned()
+            .collect()
+    }
+
+    /// Clears the board (tests and benches).
+    pub fn reset(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+/// The process-wide [`AlertBoard`] behind `/alerts`.
+pub fn alerts() -> &'static AlertBoard {
+    static BOARD: OnceLock<AlertBoard> = OnceLock::new();
+    BOARD.get_or_init(AlertBoard::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(seq: u64, user: Option<usize>, status: AlertStatus) -> Alert {
+        Alert {
+            seq,
+            id: format!("al-{seq:06}"),
+            user,
+            day: "2020-01-05".into(),
+            severity: AlertSeverity::Medium,
+            status,
+            trigger: AlertTrigger::NewEntrant { position: 3 },
+            evidence: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_transitions_follow_the_lattice() {
+        use AlertStatus::*;
+        assert!(New.can_transition_to(Investigating));
+        assert!(Investigating.can_transition_to(Confirmed));
+        assert!(Investigating.can_transition_to(FalsePositive));
+        assert!(Confirmed.can_transition_to(Resolved));
+        assert!(FalsePositive.can_transition_to(Resolved));
+        assert!(!New.can_transition_to(Confirmed));
+        assert!(!New.can_transition_to(Resolved));
+        assert!(!Resolved.can_transition_to(Investigating));
+        assert!(!Confirmed.can_transition_to(FalsePositive));
+        for s in [New, Investigating, Confirmed, FalsePositive, Resolved] {
+            assert_eq!(AlertStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(AlertStatus::parse("bogus"), None);
+    }
+
+    #[test]
+    fn alerts_serialize_with_tagged_triggers() {
+        let a = Alert {
+            seq: 7,
+            id: "al-000007".into(),
+            user: Some(12),
+            day: "2020-02-03".into(),
+            severity: AlertSeverity::High,
+            status: AlertStatus::New,
+            trigger: AlertTrigger::RankJump { from: 9, to: 2 },
+            evidence: Some(EvidenceBundle {
+                position: 2,
+                priority: 3,
+                aspects: vec![AspectEvidence { aspect: "http".into(), score: 0.8, rank: 1 }],
+                top_features: vec![FeatureContribution {
+                    aspect: "http".into(),
+                    feature: "f3".into(),
+                    frame: 1,
+                    z: 6.5,
+                    group_z: Some(0.2),
+                    history: vec![0.1, 6.5],
+                }],
+                window_days: 2,
+            }),
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"type\":\"rank_jump\""), "{json}");
+        assert!(json.contains("\"severity\":\"high\""), "{json}");
+        let back: Alert = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn board_publishes_filters_and_updates() {
+        let board = AlertBoard::default();
+        board.publish(&alert(0, Some(3), AlertStatus::New));
+        board.publish(&alert(1, Some(4), AlertStatus::New));
+        board.publish(&alert(2, None, AlertStatus::New));
+        assert_eq!(board.query(None, None, None).len(), 3);
+        assert_eq!(board.query(Some(1), None, None).len(), 2);
+        assert_eq!(board.query(None, None, Some(3)).len(), 1);
+        assert!(board.update_status("al-000001", AlertStatus::Investigating));
+        assert!(!board.update_status("al-999999", AlertStatus::Investigating));
+        let investigating = board.query(None, Some(AlertStatus::Investigating), None);
+        assert_eq!(investigating.len(), 1);
+        assert_eq!(investigating[0].seq, 1);
+        board.reset();
+        assert!(board.query(None, None, None).is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let board = AlertBoard::default();
+        for seq in 0..(ALERT_RING_CAPACITY as u64 + 10) {
+            board.publish(&alert(seq, Some(1), AlertStatus::New));
+        }
+        let all = board.query(None, None, None);
+        assert_eq!(all.len(), ALERT_RING_CAPACITY);
+        assert_eq!(all[0].seq, 10);
+    }
+}

@@ -35,6 +35,8 @@ pub enum EventKind {
     Detail,
     /// A typed health event from the monitor module.
     Health,
+    /// A typed alert published on the alert board.
+    Alert,
     /// A free-form annotation (e.g. per-day engine markers).
     Note,
 }

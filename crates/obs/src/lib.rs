@@ -22,10 +22,14 @@
 //! * [`monitor`] — score-distribution drift sketches, typed
 //!   [`HealthEvent`](monitor::HealthEvent)s, and the [`monitor::board`]
 //!   behind `/healthz`.
+//! * [`alert`] — typed [`Alert`](alert::Alert)s with severity, lifecycle
+//!   status, trigger, and evidence bundle, plus the [`alert::alerts`] board
+//!   behind `/alerts`.
 //! * [`prometheus`] — text exposition v0.0.4 rendering and strict
 //!   validation of the `/metrics` payload.
 //! * [`serve`] — the dependency-free `TcpListener` HTTP server exposing
-//!   `/metrics`, `/healthz`, and `/events?n=` (`--serve-metrics ADDR`).
+//!   `/metrics`, `/healthz`, `/events?n=`, and `/alerts`
+//!   (`--serve-metrics ADDR`).
 //!
 //! The crate deliberately has no external dependencies beyond the workspace
 //! staples (`parking_lot`, `serde`): instrumentation must never be the part
@@ -50,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod event;
 pub mod metrics;
 pub mod monitor;
@@ -60,6 +65,10 @@ pub mod serve;
 pub mod sink;
 pub mod span;
 
+pub use alert::{
+    Alert, AlertBoard, AlertSeverity, AlertStatus, AlertTrigger, AspectEvidence, EvidenceBundle,
+    FeatureContribution,
+};
 pub use event::{EventKind, TraceEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftMonitor, HealthEvent, QuantileSketch, ShardStatus};

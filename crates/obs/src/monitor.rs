@@ -194,7 +194,7 @@ impl QuantileSketch {
     }
 }
 
-/// Thresholds for [`DriftMonitor`].
+/// Thresholds for [`DriftMonitor`] and the shard-lag heuristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriftConfig {
     /// Trailing days of per-aspect quantiles kept as the baseline.
@@ -204,11 +204,35 @@ pub struct DriftConfig {
     /// A quantile moving above `baseline * ratio` (or below
     /// `baseline / ratio`) raises [`HealthEvent::ScoreDrift`].
     pub ratio: f64,
+    /// A shard whose per-day ingest time exceeds `lag_ratio` times the
+    /// median across live shards raises [`HealthEvent::ShardLagging`]
+    /// (combined with [`DriftConfig::lag_min_ms`]).
+    #[serde(default = "default_lag_ratio")]
+    pub lag_ratio: f64,
+    /// Absolute slack in milliseconds a shard must also exceed beyond the
+    /// median before it counts as lagging — keeps sub-millisecond jitter on
+    /// tiny orgs from raising events.
+    #[serde(default = "default_lag_min_ms")]
+    pub lag_min_ms: f64,
+}
+
+fn default_lag_ratio() -> f64 {
+    4.0
+}
+
+fn default_lag_min_ms() -> f64 {
+    25.0
 }
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        DriftConfig { window: 14, min_days: 7, ratio: 2.0 }
+        DriftConfig {
+            window: 14,
+            min_days: 7,
+            ratio: 2.0,
+            lag_ratio: default_lag_ratio(),
+            lag_min_ms: default_lag_min_ms(),
+        }
     }
 }
 
@@ -218,7 +242,9 @@ impl Default for DriftConfig {
 /// aspect); it sketches the day's p50/p90/p99, publishes them as
 /// `engine/score_quantile{aspect=…,q=…}` gauges, and compares them against
 /// the median of the trailing window.
-#[derive(Debug, Clone)]
+/// Serializable so checkpoints can carry the trailing window: a resumed
+/// stream then raises the same drift events an uninterrupted one would.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DriftMonitor {
     aspects: Vec<String>,
     cfg: DriftConfig,
@@ -586,7 +612,7 @@ mod tests {
 
     #[test]
     fn drift_monitor_raises_on_scale_shift() {
-        let cfg = DriftConfig { window: 8, min_days: 3, ratio: 2.0 };
+        let cfg = DriftConfig { window: 8, min_days: 3, ratio: 2.0, ..DriftConfig::default() };
         let mut monitor = DriftMonitor::new(vec!["http".into(), "device".into()], cfg);
         let normal: Vec<f32> = (0..20).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
         for day in 0..5 {
@@ -613,7 +639,7 @@ mod tests {
 
     #[test]
     fn drift_monitor_waits_for_min_days_and_skips_nan_days() {
-        let cfg = DriftConfig { window: 4, min_days: 3, ratio: 1.5 };
+        let cfg = DriftConfig { window: 4, min_days: 3, ratio: 1.5, ..DriftConfig::default() };
         let mut monitor = DriftMonitor::new(vec!["a".into()], cfg);
         let nan_day = vec![f32::NAN; 8];
         assert!(monitor.observe_day("d0", &[nan_day.as_slice()]).is_empty());

@@ -9,7 +9,13 @@
 //!   live/quarantined status, last ingested day, checkpoint age, days
 //!   behind the feed, recent health events.
 //! * `GET /events?n=N` — the last `N` structured trace events as JSON
-//!   lines (default 256).
+//!   lines (default 256, capped at the ring capacity).
+//! * `GET /alerts?since=SEQ&status=STATUS&user=ID` — the
+//!   [`crate::alert::alerts`] board as a JSON array, optionally filtered.
+//!
+//! Malformed query parameters (a non-numeric `n`, an unknown `status`, …)
+//! are rejected with HTTP 400 and a JSON error body — never silently
+//! defaulted.
 //!
 //! The accept loop runs on its own thread in nonblocking mode, so scraping
 //! never blocks ingest; each response snapshots state under short locks.
@@ -143,24 +149,99 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
             write_response(&mut stream, 200, "application/json; charset=utf-8", &body)
         }
         "/events" => {
-            let n = query
-                .and_then(|q| {
-                    q.split('&').find_map(|kv| {
-                        kv.strip_prefix("n=").and_then(|v| v.parse::<usize>().ok())
-                    })
-                })
-                .unwrap_or(DEFAULT_EVENT_TAIL);
+            let n = match parse_numeric_param(
+                query,
+                "n",
+                crate::event::RING_CAPACITY as u64,
+            ) {
+                Ok(n) => n.map(|n| n as usize).unwrap_or(DEFAULT_EVENT_TAIL),
+                Err(body) => {
+                    return write_response(
+                        &mut stream,
+                        400,
+                        "application/json; charset=utf-8",
+                        &body,
+                    )
+                }
+            };
             let body = crate::event::recent_jsonl(n);
             write_response(&mut stream, 200, "application/x-ndjson; charset=utf-8", &body)
         }
+        "/alerts" => match alerts_response(query) {
+            Ok(body) => {
+                write_response(&mut stream, 200, "application/json; charset=utf-8", &body)
+            }
+            Err(body) => {
+                write_response(&mut stream, 400, "application/json; charset=utf-8", &body)
+            }
+        },
         "/" => write_response(
             &mut stream,
             200,
             "text/plain; charset=utf-8",
-            "acobe telemetry: /metrics /healthz /events?n=\n",
+            "acobe telemetry: /metrics /healthz /events?n= /alerts?since=&status=&user=\n",
         ),
         _ => write_response(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
+}
+
+/// The raw value of `key=` in a query string, if present.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query.and_then(|q| {
+        q.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == key).then_some(v)
+        })
+    })
+}
+
+/// JSON body for a 400 response.
+fn error_body(message: &str) -> String {
+    serde_json::json!({ "error": message }).to_string() + "\n"
+}
+
+/// Parses an optional numeric query parameter, rejecting non-numeric values
+/// and values above `max` with a JSON error body (no silent fallback).
+fn parse_numeric_param(
+    query: Option<&str>,
+    key: &str,
+    max: u64,
+) -> Result<Option<u64>, String> {
+    match query_param(query, key) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if n <= max => Ok(Some(n)),
+            Ok(n) => Err(error_body(&format!(
+                "parameter '{key}' too large: {n} (max {max})"
+            ))),
+            Err(_) => Err(error_body(&format!(
+                "parameter '{key}' must be a non-negative integer, got '{raw}'"
+            ))),
+        },
+    }
+}
+
+/// Builds the `/alerts` JSON array, validating `since`/`status`/`user`.
+fn alerts_response(query: Option<&str>) -> Result<String, String> {
+    let since = parse_numeric_param(query, "since", u64::MAX)?;
+    let user = parse_numeric_param(query, "user", usize::MAX as u64)?.map(|u| u as usize);
+    let status = match query_param(query, "status") {
+        None => None,
+        Some(raw) => match crate::alert::AlertStatus::parse(raw) {
+            Some(status) => Some(status),
+            None => {
+                return Err(error_body(&format!(
+                    "parameter 'status' must be one of \
+                     new/investigating/confirmed/false_positive/resolved, got '{raw}'"
+                )))
+            }
+        },
+    };
+    let alerts = crate::alert::alerts().query(since, status, user);
+    let mut body =
+        serde_json::to_string_pretty(&alerts).expect("alerts serialize");
+    body.push('\n');
+    Ok(body)
 }
 
 fn write_response(
@@ -171,6 +252,7 @@ fn write_response(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Error",
@@ -240,6 +322,69 @@ mod tests {
 
         let (status, _) = http_get(&addr, "/nope").expect("scrape unknown path");
         assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_query_params_are_rejected_with_json_400() {
+        let _guard = crate::event::test_guard();
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        for path in [
+            "/events?n=abc",
+            "/events?n=-1",
+            "/events?n=99999999",
+            "/alerts?since=soon",
+            "/alerts?user=alice",
+            "/alerts?status=snoozed",
+        ] {
+            let (status, body) = http_get(&addr, path).expect("request");
+            assert_eq!(status, 400, "{path} -> {body}");
+            let doc: serde_json::Value =
+                serde_json::from_str(&body).expect("error body is JSON");
+            assert!(doc["error"].is_string(), "{path} -> {body}");
+        }
+
+        // The documented upper bound is still accepted.
+        let max = crate::event::RING_CAPACITY;
+        let (status, _) = http_get(&addr, &format!("/events?n={max}")).expect("request");
+        assert_eq!(status, 200);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn alerts_endpoint_serves_the_board() {
+        let _guard = crate::event::test_guard();
+        let alert = crate::alert::Alert {
+            seq: 0,
+            id: "al-000000".into(),
+            user: Some(90210),
+            day: "2020-03-04".into(),
+            severity: crate::alert::AlertSeverity::High,
+            status: crate::alert::AlertStatus::New,
+            trigger: crate::alert::AlertTrigger::NewEntrant { position: 1 },
+            evidence: None,
+        };
+        crate::alert::alerts().publish(&alert);
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        let (status, body) = http_get(&addr, "/alerts?user=90210").expect("request");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).expect("alerts are JSON");
+        let arr = doc.as_array().expect("array");
+        assert_eq!(arr.len(), 1, "{body}");
+        assert_eq!(arr[0]["id"], "al-000000");
+        assert_eq!(arr[0]["trigger"]["type"], "new_entrant");
+
+        // A filter matching nothing is an empty array, not an error.
+        let (status, body) =
+            http_get(&addr, "/alerts?user=90210&status=resolved").expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body.trim(), "[]");
 
         server.shutdown();
     }

@@ -175,3 +175,72 @@ fn global_helpers_cover_the_full_surface() {
     assert!(table.contains("itest/labeled{shard=1}"));
     assert!(table.contains("stage timings"));
 }
+
+#[test]
+fn promcheck_binary_judges_exposition_edge_cases() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_promcheck");
+    let dir = std::env::temp_dir().join(format!("acobe_promcheck_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |file: &std::path::Path| {
+        Command::new(bin)
+            .args(["--file", file.to_str().unwrap()])
+            .output()
+            .expect("spawn promcheck")
+    };
+
+    // An empty registry renders an empty document — valid, zero samples.
+    let empty = dir.join("empty.prom");
+    std::fs::write(&empty, acobe_obs::prometheus::render(&Registry::new())).unwrap();
+    let out = run(&empty);
+    assert!(
+        out.status.success(),
+        "empty exposition rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("promcheck: ok (0 samples"), "{stdout}");
+
+    // Label values needing every escape (backslash, quote, newline) must
+    // render escaped and satisfy the strict checker, alongside histogram
+    // series whose _count/_sum/+Inf-bucket invariants it verifies.
+    let registry = Registry::new();
+    registry
+        .counter_with("nasty", &[("path", "C:\\logs\\\"day 1\"\nnext")])
+        .add(3);
+    registry.gauge_with("shards", &[("shard", "0")]).set(4.0);
+    registry.histogram_with("lat_ms", &[("op", "ingest")], &[1.0, 10.0]).observe(2.5);
+    let nasty = dir.join("nasty.prom");
+    let rendered = acobe_obs::prometheus::render(&registry);
+    assert!(rendered.contains("\\\\"), "backslash unescaped:\n{rendered}");
+    assert!(rendered.contains("\\n"), "newline unescaped:\n{rendered}");
+    std::fs::write(&nasty, &rendered).unwrap();
+    let out = run(&nasty);
+    assert!(
+        out.status.success(),
+        "escaped exposition rejected: {}\n{rendered}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("(0 samples"), "{stdout}");
+
+    // A malformed document (unclosed label quote) fails with a diagnostic.
+    let broken = dir.join("broken.prom");
+    std::fs::write(&broken, "m{label=\"oops} 1\n").unwrap();
+    let out = run(&broken);
+    assert!(!out.status.success(), "malformed exposition accepted");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("malformed exposition"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // No input source at all is a usage error, not a pass.
+    let out = Command::new(bin).output().expect("spawn promcheck");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,335 @@
+//! Integration tests for the alerting plane: a planted anomalous user
+//! raises an alert whose evidence bundle names the planted aspect, the
+//! append-only alert log is bit-identical across shard counts and across an
+//! interrupt/resume, and the live `/alerts` endpoint serves and filters the
+//! alerts an engine raised.
+//!
+//! All tests share one process (and therefore the global alert board), so
+//! endpoint assertions are written to be insensitive to the other tests'
+//! alerts: this file gives the endpoint test a unique date range (2013-*)
+//! and filters on it, rather than assuming the board is otherwise empty.
+
+use acobe::alert::{AlertLog, AlertLogEntry, AlertPolicy};
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use acobe_obs::serve::{http_get, serve};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const DAYS: usize = 40;
+const SPLIT: usize = 28;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+
+fn random_cube(users: usize, seed: u64, start: Date) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(users, start, DAYS, FRAMES, FEATURES);
+    for u in 0..users {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn config(seed: u64) -> AcobeConfig {
+    let mut cfg = AcobeConfig::tiny();
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Trains a tiny ensemble and hands back the streaming engine rewound to
+/// the start of the cube, plus the cube itself. Training is seeded and
+/// deterministic, so two calls with the same arguments yield identical
+/// engines — the bit-identity test leans on that.
+fn trained_engine(users: usize, seed: u64, start: Date) -> (DetectionEngine, FeatureCube) {
+    let cube = random_cube(users, seed, start);
+    let split = start.add_days(SPLIT as i32);
+    let groups: Vec<Vec<usize>> =
+        vec![(0..users / 2).collect(), (users / 2..users).collect()];
+    let mut pipe =
+        AcobePipeline::new(cube.clone(), feature_set(), &groups, config(seed)).unwrap();
+    pipe.fit(start, split).unwrap();
+    let mut engine = pipe.into_engine();
+    engine.reset_stream();
+    (engine, cube)
+}
+
+/// Multiplies the aspect-"first" features (0 and 1) of `user` by `factor`
+/// in a day buffer laid out `[(user * FRAMES + t) * FEATURES + f]`.
+fn boost_first_aspect(buf: &mut [f32], user: usize, factor: f32) {
+    for t in 0..FRAMES {
+        for f in 0..2 {
+            buf[(user * FRAMES + t) * FEATURES + f] *= factor;
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acobe_alerts_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn planted_anomaly_raises_alert_with_aspect_evidence() {
+    let users = 8;
+    let start = Date::from_ymd(2012, 3, 1);
+    let (mut engine, cube) = trained_engine(users, 73, start);
+    // Watch everyone so the planted user cannot hide below the watchlist;
+    // the trigger is then either a rank jump or a rule hit on a deviation
+    // cell — a 30x blowup clears both thresholds by a wide margin.
+    engine.set_alert_policy(Some(AlertPolicy {
+        watch_top_n: users,
+        rank_jump_min: 3,
+        cooldown_days: 1,
+        rule_z: 4.0,
+        top_k_features: 4,
+    }));
+
+    let plant_from = SPLIT + 3;
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    let mut planted_alerts = Vec::new();
+    let mut all = Vec::new();
+    for d in 0..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        if d >= plant_from {
+            boost_first_aspect(&mut day_buf, 5, 30.0);
+        }
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            engine.warm_day(date, &day_buf).unwrap();
+            continue;
+        }
+        engine.ingest_day(date, &day_buf).unwrap().unwrap();
+        let alerts = engine.take_alerts();
+        if d >= plant_from {
+            planted_alerts.extend(alerts.iter().filter(|a| a.user == Some(5)).cloned());
+        }
+        all.extend(alerts);
+    }
+    assert!(
+        !planted_alerts.is_empty(),
+        "a 30x feature blowup should raise at least one alert for user 5, \
+         got alerts {all:?}"
+    );
+
+    // The evidence bundle attributes the alert to the planted aspect: the
+    // boosted features live in aspect "first", so it must appear among the
+    // top contributing deviation cells.
+    let names_first = planted_alerts.iter().any(|a| {
+        a.evidence
+            .as_ref()
+            .is_some_and(|e| e.top_features.iter().any(|c| c.aspect == "first"))
+    });
+    assert!(
+        names_first,
+        "no planted-period alert names aspect 'first' in its evidence: \
+         {planted_alerts:?}"
+    );
+    let ev = planted_alerts.iter().find_map(|a| a.evidence.as_ref()).unwrap();
+    assert_eq!(ev.aspects.len(), 2, "per-aspect context covers every aspect");
+    assert!(ev.window_days > 0);
+    assert!(!ev.top_features.is_empty() && ev.top_features.len() <= 4);
+
+    // Sequences are gap-free from 0 and ids derive from them.
+    for (i, a) in all.iter().enumerate() {
+        assert_eq!(a.seq, i as u64);
+        assert_eq!(a.id, format!("al-{:06}", a.seq));
+    }
+}
+
+#[test]
+fn alert_log_is_bit_identical_across_shards_and_resume() {
+    fn planted(cube: &FeatureCube, d: usize, buf: &mut [f32]) {
+        cube.day_slice_into(d, buf);
+        if d >= SPLIT + 2 {
+            boost_first_aspect(buf, 4, 20.0);
+        }
+    }
+
+    /// Streams cube days `from..to`, appending every raised alert.
+    fn stream_span(
+        eng: &mut ShardedEngine,
+        log: &AlertLog,
+        cube: &FeatureCube,
+        from: usize,
+        to: usize,
+    ) {
+        let start = cube.start();
+        let mut buf = vec![0.0f32; cube.day_slice_len()];
+        for d in from..to {
+            planted(cube, d, &mut buf);
+            let date = start.add_days(d as i32);
+            if d < SPLIT {
+                eng.warm_day(date, &buf).unwrap();
+            } else {
+                eng.ingest_day(date, &buf).unwrap().unwrap();
+                log.append_raised(&eng.take_alerts()).unwrap();
+            }
+        }
+    }
+
+    let users = 9;
+    let start = Date::from_ymd(2012, 3, 1);
+    let (engine_a, cube) = trained_engine(users, 91, start);
+    let (engine_b, _) = trained_engine(users, 91, start);
+    let policy = AlertPolicy {
+        watch_top_n: 6,
+        rank_jump_min: 2,
+        cooldown_days: 1,
+        rule_z: 3.0,
+        top_k_features: 3,
+    };
+
+    let base = temp_dir("logs");
+    std::fs::create_dir_all(&base).unwrap();
+    let path_a = base.join("a.jsonl");
+    let path_b = base.join("b.jsonl");
+    let path_c = base.join("c.jsonl");
+    let ck = base.join("ck");
+
+    // Stream A: one shard, straight through.
+    let mut a = ShardedEngine::from_engine(engine_a, 1).unwrap();
+    a.set_alert_policy(Some(policy.clone()));
+    let log_a = AlertLog::open(&path_a, None).unwrap();
+    stream_span(&mut a, &log_a, &cube, 0, DAYS);
+
+    // Stream B: four shards; checkpoint mid-stream, then keep going.
+    let mut b = ShardedEngine::from_engine(engine_b, 4).unwrap();
+    b.set_alert_policy(Some(policy.clone()));
+    let log_b = AlertLog::open(&path_b, None).unwrap();
+    stream_span(&mut b, &log_b, &cube, 0, SPLIT + 5);
+    b.save(&ck).unwrap();
+    stream_span(&mut b, &log_b, &cube, SPLIT + 5, SPLIT + 7);
+    // What a crash would leave behind: a log holding alerts raised *after*
+    // the checkpoint was written.
+    std::fs::copy(&path_b, &path_c).unwrap();
+    stream_span(&mut b, &log_b, &cube, SPLIT + 7, DAYS);
+
+    // Stream C: resume the checkpoint against the stale log copy. Opening
+    // with the checkpoint's high-water mark prunes the post-checkpoint tail;
+    // replay re-raises those alerts byte-for-byte.
+    let mut c = ShardedEngine::load(&ck, 0).unwrap();
+    c.set_alert_policy(Some(policy));
+    let log_c = AlertLog::open(&path_c, Some(c.alert_next_seq())).unwrap();
+    let resume_day = c.next_date().days_since(start) as usize;
+    assert_eq!(resume_day, SPLIT + 5);
+    stream_span(&mut c, &log_c, &cube, resume_day, DAYS);
+
+    let bytes_a = std::fs::read(&path_a).unwrap();
+    let bytes_b = std::fs::read(&path_b).unwrap();
+    let bytes_c = std::fs::read(&path_c).unwrap();
+    assert!(!bytes_a.is_empty(), "the touchy policy should raise alerts");
+    assert_eq!(bytes_a, bytes_b, "shard count changed the alert log");
+    assert_eq!(bytes_b, bytes_c, "interrupt/resume changed the alert log");
+
+    // Raised sequences are contiguous from 0: no gaps, no duplicates.
+    let entries = AlertLog::read_entries(&path_a).unwrap();
+    let seqs: Vec<u64> = entries
+        .iter()
+        .filter_map(|e| match e {
+            AlertLogEntry::Raised { alert } => Some(alert.seq),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn alerts_endpoint_serves_engine_raised_alerts() {
+    let users = 6;
+    // A date range unique to this test; the global alert board is shared
+    // with the other tests in this binary.
+    let start = Date::from_ymd(2013, 7, 1);
+    let (mut engine, cube) = trained_engine(users, 57, start);
+    engine.set_alert_policy(Some(AlertPolicy {
+        watch_top_n: users,
+        rank_jump_min: 2,
+        cooldown_days: 1,
+        rule_z: 3.0,
+        top_k_features: 3,
+    }));
+
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in 0..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        if d >= SPLIT + 1 {
+            boost_first_aspect(&mut day_buf, 3, 25.0);
+        }
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            engine.warm_day(date, &day_buf).unwrap();
+        } else {
+            engine.ingest_day(date, &day_buf).unwrap().unwrap();
+            // Raising publishes to the global board even when the stream
+            // drains its queue — the endpoint reads the board, not the log.
+            engine.take_alerts();
+        }
+    }
+
+    let server = serve("127.0.0.1:0").expect("bind ephemeral telemetry port");
+    let addr = server.addr().to_string();
+
+    let (status, body) = http_get(&addr, "/alerts").expect("GET /alerts");
+    assert_eq!(status, 200);
+    let all: Vec<serde_json::Value> = serde_json::from_str(&body).expect("alerts JSON");
+    assert!(
+        all.iter().any(|a| a["day"].as_str().unwrap_or("").starts_with("2013-")),
+        "no alert from this engine on the board: {body}"
+    );
+
+    // User filter: every returned alert is about user 3, and the planted
+    // anomaly put at least one of this engine's there.
+    let (status, body) = http_get(&addr, "/alerts?user=3").expect("GET /alerts?user=3");
+    assert_eq!(status, 200);
+    let filtered: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+    assert!(filtered.iter().all(|a| a["user"] == 3), "{body}");
+    assert!(
+        filtered.iter().any(|a| a["day"].as_str().unwrap_or("").starts_with("2013-")),
+        "{body}"
+    );
+
+    // Status filter: nothing in this process ever leaves 'new'.
+    let (status, body) = http_get(&addr, "/alerts?status=resolved").unwrap();
+    assert_eq!(status, 200);
+    let resolved: Vec<serde_json::Value> = serde_json::from_str(&body).unwrap();
+    assert!(resolved.iter().all(|a| a["status"] == "resolved"), "{body}");
+
+    // Malformed parameters are a 400 with a JSON error, not a fallback.
+    for path in ["/alerts?since=abc", "/alerts?user=-1", "/alerts?status=bogus"] {
+        let (status, body) = http_get(&addr, path).unwrap();
+        assert_eq!(status, 400, "{path} -> {body}");
+        let err: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(err["error"].is_string(), "{body}");
+    }
+
+    server.shutdown();
+}

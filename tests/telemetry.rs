@@ -174,7 +174,7 @@ fn score_drift_raises_health_event() {
     let users = 6;
     let (mut engine, cube) = trained_engine(users, 17);
     let start = cube.start();
-    engine.set_drift_config(DriftConfig { window: 5, min_days: 3, ratio: 1.5 });
+    engine.set_drift_config(DriftConfig { window: 5, min_days: 3, ratio: 1.5, ..DriftConfig::default() });
 
     let mut day_buf = vec![0.0f32; cube.day_slice_len()];
     let chunk = FRAMES * FEATURES;
