@@ -43,7 +43,17 @@ struct ShardScalingResult {
     days: usize,
     mean_ms: f64,
     days_per_s: f64,
-    state_bytes: usize,
+    /// Largest single shard's state — the per-node memory a deployment
+    /// actually provisions for (the total is the same at every shard count).
+    peak_shard_bytes: usize,
+}
+
+/// Engine memory normalized per user, reported once per population size
+/// rather than repeated on every shard-count row.
+#[derive(Debug, Serialize)]
+struct PerUserState {
+    users: usize,
+    bytes_per_user: usize,
 }
 
 #[derive(Debug, Serialize)]
@@ -52,6 +62,7 @@ struct EngineReport {
     warm_ingest: Vec<IngestResult>,
     scored: ScoredResult,
     shard_scaling: Vec<ShardScalingResult>,
+    shard_user_state: Vec<PerUserState>,
 }
 
 fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
@@ -93,7 +104,9 @@ fn bench_warm_ingest(users: usize, days: usize) -> IngestResult {
             *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
         }
         let t = Instant::now();
-        engine.warm_day(start.add_days(d as i32), &day).expect("ingest");
+        engine
+            .warm_day(start.add_days(d as i32), &day)
+            .expect("ingest");
         latencies.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let (mean_ms, p50_ms, max_ms) = stats(&latencies);
@@ -142,7 +155,9 @@ fn bench_shard_ingest(users: usize, shards: usize, days: usize) -> ShardScalingR
             *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
         }
         let t = Instant::now();
-        engine.warm_day(start.add_days(d as i32), &day).expect("ingest");
+        engine
+            .warm_day(start.add_days(d as i32), &day)
+            .expect("ingest");
         latencies.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let (mean_ms, _, _) = stats(&latencies);
@@ -152,7 +167,7 @@ fn bench_shard_ingest(users: usize, shards: usize, days: usize) -> ShardScalingR
         days,
         mean_ms,
         days_per_s: 1e3 / mean_ms,
-        state_bytes: engine.state_bytes(),
+        peak_shard_bytes: engine.shard_state_bytes().into_iter().max().unwrap_or(0),
     }
 }
 
@@ -173,7 +188,9 @@ fn bench_scored() -> ScoredResult {
         AcobeConfig::tiny(),
     )
     .expect("pipeline");
-    pipeline.fit(split.train_start, split.train_end).expect("fit");
+    pipeline
+        .fit(split.train_start, split.train_end)
+        .expect("fit");
     let mut engine = pipeline.into_engine();
     engine.reset_stream();
 
@@ -193,8 +210,9 @@ fn bench_scored() -> ScoredResult {
         }
     }
     let (mean_scored_ms, _, _) = stats(&latencies);
-    let checkpoint_bytes =
-        serde_json::to_string(&engine.snapshot()).expect("checkpoint").len();
+    let checkpoint_bytes = serde_json::to_string(&engine.snapshot())
+        .expect("checkpoint")
+        .len();
     ScoredResult {
         users: ds.users,
         warm_days,
@@ -242,24 +260,45 @@ fn main() {
     );
 
     let scaling_days = if quick { 6 } else { 20 };
-    let scaling_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let scaling_sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
     let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
     let mut shard_scaling = Vec::new();
+    let mut shard_user_state = Vec::new();
     for &users in scaling_sizes {
         for &shards in shard_counts {
             let r = bench_shard_ingest(users, shards, scaling_days);
             println!(
                 "sharded ingest {users} users / {shards} shards x {scaling_days} days: \
-                 mean {:.3} ms/day, {:.0} days/s, {} MB state",
+                 mean {:.3} ms/day, {:.0} days/s, {} MB peak shard",
                 r.mean_ms,
                 r.days_per_s,
-                r.state_bytes / (1 << 20)
+                r.peak_shard_bytes / (1 << 20)
             );
+            if shards == 1 {
+                // One shard holds every user, so its state IS the total:
+                // report the per-user footprint once per population size.
+                let bytes_per_user = r.peak_shard_bytes / users;
+                println!("  state: {bytes_per_user} bytes/user");
+                shard_user_state.push(PerUserState {
+                    users,
+                    bytes_per_user,
+                });
+            }
             shard_scaling.push(r);
         }
     }
 
-    let report = EngineReport { quick, warm_ingest, scored, shard_scaling };
+    let report = EngineReport {
+        quick,
+        warm_ingest,
+        scored,
+        shard_scaling,
+        shard_user_state,
+    };
     let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok())

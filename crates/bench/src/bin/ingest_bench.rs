@@ -1,0 +1,374 @@
+//! Raw-log ingestion benchmark: events/s and GB/s of the zero-copy parser
+//! and the full `acobe-ingest` pipeline against the naive line-by-line
+//! `parse_record` baseline (one `Vec<String>` per record, flexible timestamp
+//! parse — the reader this repository shipped before the borrowed-field
+//! parser). Merges an `"ingest"` section into `BENCH_nn.json`.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin ingest_bench [--quick] [--out PATH]`
+
+use acobe_bench::{arg_value, parse_args};
+use acobe_ingest::IngestConfig;
+use acobe_logs::csv::{parse_event, record_slices, RecordBuf, ToCsv};
+use acobe_logs::event::*;
+use acobe_logs::ids::{DomainId, FileId, HostId, UserId};
+use acobe_logs::time::{Date, Timestamp};
+use acobe_synth::cert::{CertConfig, CertGenerator};
+use acobe_synth::org::OrgConfig;
+use serde::Serialize;
+use std::io::Cursor;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ParserThroughput {
+    mode: String,
+    threads: usize,
+    secs: f64,
+    events_per_s: f64,
+    gb_per_s: f64,
+    speedup_vs_naive: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct IngestReport {
+    quick: bool,
+    bytes: usize,
+    events: usize,
+    days: usize,
+    naive: ParserThroughput,
+    zero_copy: ParserThroughput,
+    pipeline: Vec<ParserThroughput>,
+}
+
+/// Synthesizes a raw CSV fixture in memory: the exact bytes `acobe synth
+/// --raw-out` writes (each day sorted by timestamp).
+fn fixture(
+    users_per_dept: usize,
+    departments: usize,
+    span_days: i32,
+    seed: u64,
+) -> (String, usize, usize) {
+    let mut config = CertConfig::small(seed);
+    config.org = OrgConfig {
+        departments,
+        users_per_dept,
+        seed: 0x0a6,
+    };
+    config.end = config.start.add_days(span_days).min(config.end);
+    let start = config.start;
+    let end = config.end;
+    let mut generator = CertGenerator::new(config);
+    let mut text = String::new();
+    let mut events = 0usize;
+    let mut days = 0usize;
+    for date in start.range_to(end) {
+        let mut day = generator.generate_day(date);
+        day.sort_by_key(|e| e.ts());
+        for event in &day {
+            text.push_str(&event.to_csv());
+            text.push('\n');
+        }
+        events += day.len();
+        days += 1;
+    }
+    (text, events, days)
+}
+
+/// The record splitter this repository shipped before the zero-copy parser:
+/// a char-by-char state machine accumulating every field into a fresh
+/// `String` inside a fresh `Vec` (verbatim from the seed's `csv.rs`, kept
+/// here so the baseline stays fixed as the library's splitter improves).
+fn naive_parse_record(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return None;
+                }
+                fields.push(cur);
+                return Some(fields);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(ch) => cur.push(ch),
+        }
+    }
+}
+
+/// The flexible `YYYY-MM-DD HH:MM:SS` timestamp parse the old reader used
+/// (no fixed-width digit fast path).
+fn naive_ts(s: &str) -> Option<Timestamp> {
+    let (date_part, time_part) = s.split_once(' ')?;
+    let date = Date::parse(date_part).ok()?;
+    let mut it = time_part.splitn(3, ':');
+    let h: u32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let sec: u32 = it.next()?.parse().ok()?;
+    if h >= 24 || m >= 60 || sec >= 60 {
+        return None;
+    }
+    Some(date.at(h, m, sec))
+}
+
+fn naive_loc(s: &str) -> Option<Location> {
+    match s {
+        "Local" => Some(Location::Local),
+        "Remote" => Some(Location::Remote),
+        _ => None,
+    }
+}
+
+/// Decodes one record from owned fields, mirroring the pre-zero-copy reader:
+/// every value parse goes through `str::parse` on a per-record `String`.
+fn naive_event(f: &[String]) -> Option<LogEvent> {
+    match f.first().map(String::as_str)? {
+        "device" if f.len() == 5 => {
+            let activity = match f[4].as_str() {
+                "Connect" => DeviceActivity::Connect,
+                "Disconnect" => DeviceActivity::Disconnect,
+                _ => return None,
+            };
+            Some(LogEvent::Device(DeviceEvent {
+                ts: naive_ts(&f[1])?,
+                user: UserId(f[2].parse().ok()?),
+                host: HostId(f[3].parse().ok()?),
+                activity,
+            }))
+        }
+        "file" if f.len() == 8 => {
+            let activity = match f[5].as_str() {
+                "Open" => FileActivity::Open,
+                "Write" => FileActivity::Write,
+                "Copy" => FileActivity::Copy,
+                "Delete" => FileActivity::Delete,
+                _ => return None,
+            };
+            Some(LogEvent::File(FileEvent {
+                ts: naive_ts(&f[1])?,
+                user: UserId(f[2].parse().ok()?),
+                host: HostId(f[3].parse().ok()?),
+                file: FileId(f[4].parse().ok()?),
+                activity,
+                from: naive_loc(&f[6])?,
+                to: naive_loc(&f[7])?,
+            }))
+        }
+        "http" if f.len() == 7 => {
+            let activity = match f[4].as_str() {
+                "Visit" => HttpActivity::Visit,
+                "Download" => HttpActivity::Download,
+                "Upload" => HttpActivity::Upload,
+                _ => return None,
+            };
+            let filetype = match f[5].as_str() {
+                "doc" => FileType::Doc,
+                "exe" => FileType::Exe,
+                "jpg" => FileType::Jpg,
+                "pdf" => FileType::Pdf,
+                "txt" => FileType::Txt,
+                "zip" => FileType::Zip,
+                "other" => FileType::Other,
+                _ => return None,
+            };
+            Some(LogEvent::Http(HttpEvent {
+                ts: naive_ts(&f[1])?,
+                user: UserId(f[2].parse().ok()?),
+                domain: DomainId(f[3].parse().ok()?),
+                activity,
+                filetype,
+                success: f[6] == "1",
+            }))
+        }
+        "email" if f.len() == 6 => Some(LogEvent::Email(EmailEvent {
+            ts: naive_ts(&f[1])?,
+            user: UserId(f[2].parse().ok()?),
+            recipients: f[3].parse().ok()?,
+            size: f[4].parse().ok()?,
+            attachment: f[5] == "1",
+        })),
+        "logon" if f.len() == 6 => {
+            let activity = match f[4].as_str() {
+                "Logon" => LogonActivity::Logon,
+                "Logoff" => LogonActivity::Logoff,
+                _ => return None,
+            };
+            Some(LogEvent::Logon(LogonEvent {
+                ts: naive_ts(&f[1])?,
+                user: UserId(f[2].parse().ok()?),
+                host: HostId(f[3].parse().ok()?),
+                activity,
+                success: f[5] == "1",
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Runs `f` `reps` times and keeps the best wall clock (least scheduler
+/// noise); `f` returns `(events, checksum)` to keep the work observable.
+fn best_of<F: FnMut() -> (usize, u64)>(reps: usize, mut f: F) -> (f64, usize, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = (0usize, 0u64);
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out.0, out.1)
+}
+
+fn throughput(
+    mode: &str,
+    threads: usize,
+    bytes: usize,
+    secs: f64,
+    events: usize,
+    naive_secs: f64,
+) -> ParserThroughput {
+    ParserThroughput {
+        mode: mode.to_string(),
+        threads,
+        secs,
+        events_per_s: events as f64 / secs,
+        gb_per_s: bytes as f64 / secs / 1e9,
+        speedup_vs_naive: naive_secs / secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let quick = arg_value(&parsed, "quick").is_some();
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    let out_path = arg_value(&parsed, "out").unwrap_or(default_out).to_string();
+
+    let (users_per_dept, departments, span_days) = if quick { (12, 2, 21) } else { (48, 4, 90) };
+    let reps = if quick { 2 } else { 3 };
+    let (text, events, days) = fixture(users_per_dept, departments, span_days, 11);
+    let bytes = text.len();
+    println!(
+        "fixture: {} users x {days} days, {events} events, {:.1} MB",
+        users_per_dept * departments,
+        bytes as f64 / 1e6
+    );
+
+    // Baseline: line-by-line `parse_record` into a fresh `Vec<String>` per
+    // record, then decode from the owned fields — the old reader's cost model.
+    let (naive_secs, naive_events, naive_check) = best_of(reps, || {
+        let mut count = 0usize;
+        let mut check = 0u64;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields = naive_parse_record(line).expect("well-formed fixture");
+            let event = naive_event(&fields).expect("known category");
+            count += 1;
+            check = check.wrapping_add(u64::from(event.user().0));
+        }
+        (count, check)
+    });
+    assert_eq!(naive_events, events);
+    let naive = throughput(
+        "naive_parse_record",
+        1,
+        bytes,
+        naive_secs,
+        events,
+        naive_secs,
+    );
+    println!(
+        "naive   : {:.3}s, {:.0} events/s, {:.3} GB/s",
+        naive.secs, naive.events_per_s, naive.gb_per_s
+    );
+
+    // Zero-copy single-thread parse: record-slice iteration plus one reused
+    // `RecordBuf`, no batching or routing — the parser in isolation.
+    let (zc_secs, zc_events, zc_check) = best_of(reps, || {
+        let mut count = 0usize;
+        let mut check = 0u64;
+        let mut buf = RecordBuf::new();
+        for record in record_slices(text.as_bytes()) {
+            if record.is_empty() {
+                continue;
+            }
+            let line = std::str::from_utf8(record).expect("utf-8 fixture");
+            let event = parse_event(line, &mut buf).expect("well-formed fixture");
+            count += 1;
+            check = check.wrapping_add(u64::from(event.user().0));
+        }
+        (count, check)
+    });
+    assert_eq!(zc_events, events);
+    assert_eq!(zc_check, naive_check);
+    let zero_copy = throughput("zero_copy_parse", 1, bytes, zc_secs, events, naive_secs);
+    println!(
+        "zerocopy: {:.3}s, {:.0} events/s, {:.3} GB/s ({:.1}x naive)",
+        zero_copy.secs, zero_copy.events_per_s, zero_copy.gb_per_s, zero_copy.speedup_vs_naive
+    );
+
+    // Full pipeline: chunking, parse workers, day batching and ordered
+    // delivery through the bounded queues, at several worker counts.
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let mut pipeline = Vec::new();
+    for &threads in thread_counts {
+        let config = IngestConfig {
+            threads,
+            ..IngestConfig::default()
+        };
+        let (secs, count, check) = best_of(reps, || {
+            let mut count = 0usize;
+            let mut check = 0u64;
+            let stats =
+                acobe_ingest::ingest_events(Cursor::new(text.as_bytes()), &config, |batch| {
+                    for event in &batch.events {
+                        count += 1;
+                        check = check.wrapping_add(u64::from(event.user().0));
+                    }
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .expect("ingest fixture");
+            assert_eq!(stats.parse_errors, 0);
+            (count, check)
+        });
+        assert_eq!(count, events);
+        assert_eq!(check, naive_check);
+        let r = throughput("pipeline", threads, bytes, secs, events, naive_secs);
+        println!(
+            "pipeline: {threads} threads: {:.3}s, {:.0} events/s, {:.3} GB/s ({:.1}x naive)",
+            r.secs, r.events_per_s, r.gb_per_s, r.speedup_vs_naive
+        );
+        pipeline.push(r);
+    }
+
+    let report = IngestReport {
+        quick,
+        bytes,
+        events,
+        days,
+        naive,
+        zero_copy,
+        pipeline,
+    };
+    let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    root["ingest"] = serde_json::to_value(&report).expect("serialize ingest report");
+    let json = serde_json::to_string_pretty(&root).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_nn.json");
+    println!("merged ingest section into {out_path}");
+}

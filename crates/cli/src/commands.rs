@@ -6,13 +6,13 @@ use acobe::engine::{DetectionEngine, EngineCheckpoint};
 use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
 use acobe::shard::ShardedEngine;
-use acobe_obs::alert::AlertStatus;
-use acobe_obs::DriftConfig;
-use acobe_features::cert::{extract_cert_features, CountSemantics, DayExtractor};
+use acobe_features::cert::{extract_cert_features, route_day_slabs, CountSemantics, DayExtractor};
 use acobe_features::spec::cert_feature_set;
 use acobe_logs::csv::ParseCsvError;
 use acobe_logs::store::LogStore;
 use acobe_logs::time::{Date, ParseDateError};
+use acobe_obs::alert::AlertStatus;
+use acobe_obs::DriftConfig;
 use acobe_obs::HealthEvent;
 use acobe_synth::cert::{CertConfig, CertGenerator};
 use acobe_synth::org::OrgConfig;
@@ -170,11 +170,17 @@ fn num_arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Resu
 }
 
 fn read_file(path: &str) -> Result<String, CliError> {
-    fs::read_to_string(path).map_err(|e| CliError::Io { path: path.to_string(), source: e })
+    fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        source: e,
+    })
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
-    fs::write(path, contents).map_err(|e| CliError::Io { path: path.to_string(), source: e })
+    fs::write(path, contents).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        source: e,
+    })
 }
 
 fn load_meta(path: &str) -> Result<(DatasetMeta, Date, Date), CliError> {
@@ -186,12 +192,20 @@ fn load_meta(path: &str) -> Result<(DatasetMeta, Date, Date), CliError> {
 
 /// `acobe synth`.
 pub fn synth(args: &[String]) -> Result<(), CliError> {
-    let out = arg(args, "--out").unwrap_or("acobe_logs.csv").to_string();
+    let raw_out = arg(args, "--raw-out").map(str::to_string);
+    let out = match &raw_out {
+        Some(path) => path.clone(),
+        None => arg(args, "--out").unwrap_or("acobe_logs.csv").to_string(),
+    };
     let seed: u64 = num_arg(args, "--seed", 1)?;
     let users_per_dept: usize = num_arg(args, "--users-per-dept", 20)?;
     let departments: usize = num_arg(args, "--departments", 4)?;
 
-    let org = OrgConfig { departments, users_per_dept, seed: seed ^ 0x0a6 };
+    let org = OrgConfig {
+        departments,
+        users_per_dept,
+        seed: seed ^ 0x0a6,
+    };
     let config = CertConfig::paper(org, seed);
     acobe_obs::progress!(
         "synthesizing {} users over {}..{} ...",
@@ -200,8 +214,41 @@ pub fn synth(args: &[String]) -> Result<(), CliError> {
         config.end
     );
     let mut generator = CertGenerator::new(config.clone());
-    let store = generator.build_store();
-    write_file(&out, &store.to_csv())?;
+    let events_written = if raw_out.is_some() {
+        // Raw streaming mode: write each day to disk as it is generated,
+        // never holding the full dataset in memory. Events within a day are
+        // stably sorted by timestamp, so the bytes are identical to the
+        // store-backed `--out` path (which sorts globally — days never
+        // interleave across midnight).
+        use acobe_logs::csv::ToCsv;
+        use std::io::Write;
+        let file = fs::File::create(&out).map_err(|e| CliError::Io {
+            path: out.clone(),
+            source: e,
+        })?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut written = 0usize;
+        for date in config.start.range_to(config.end) {
+            let mut day = generator.generate_day(date);
+            day.sort_by_key(|e| e.ts());
+            for event in &day {
+                writeln!(writer, "{}", event.to_csv()).map_err(|e| CliError::Io {
+                    path: out.clone(),
+                    source: e,
+                })?;
+            }
+            written += day.len();
+        }
+        writer.flush().map_err(|e| CliError::Io {
+            path: out.clone(),
+            source: e,
+        })?;
+        written
+    } else {
+        let store = generator.build_store();
+        write_file(&out, &store.to_csv())?;
+        store.len()
+    };
 
     let groups: Vec<Vec<usize>> = generator
         .directory()
@@ -233,10 +280,7 @@ pub fn synth(args: &[String]) -> Result<(), CliError> {
     };
     let meta_path = format!("{out}.meta.json");
     write_file(&meta_path, &serde_json::to_string_pretty(&meta)?)?;
-    println!(
-        "wrote {} events to {out} and metadata to {meta_path}",
-        store.len()
-    );
+    println!("wrote {events_written} events to {out} and metadata to {meta_path}");
     Ok(())
 }
 
@@ -394,7 +438,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
                 AcobeConfig::fast()
             }
             .with_critic_n(critic_n);
-            acobe_obs::progress!("extracting training features from {} events ...", store.len());
+            acobe_obs::progress!(
+                "extracting training features from {} events ...",
+                store.len()
+            );
             let cube =
                 extract_cert_features(&store, meta.users, start, train_end, CountSemantics::Plain);
             let mut pipeline = AcobePipeline::new(cube, cert_feature_set(), &meta.groups, config)?;
@@ -424,8 +471,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             // On resume the checkpoint carries the alert high-water mark:
             // prune anything the replay will re-raise so the log stays
             // exactly-once. A fresh stream truncates.
-            let resume_seq =
-                arg(args, "--resume").map(|_| engine.alert_next_seq());
+            let resume_seq = arg(args, "--resume").map(|_| engine.alert_next_seq());
             Some(AlertLog::open(path, resume_seq)?)
         }
         None => None,
@@ -487,7 +533,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             board.set_checkpoint(&last_day, age);
             if age > CHECKPOINT_STALE_DAYS && !stale_reported {
                 stale_reported = true;
-                board.report(HealthEvent::CheckpointStale { age_days: age, last_day });
+                board.report(HealthEvent::CheckpointStale {
+                    age_days: age,
+                    last_day,
+                });
             }
         }
         // Keep --metrics-out live: rewrite the snapshot (atomically) after
@@ -510,7 +559,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(dir) = arg(args, "--checkpoint") {
         engine.save(dir)?;
-        let sm = StreamMeta { train_end: train_end.to_string(), extractor };
+        let sm = StreamMeta {
+            train_end: train_end.to_string(),
+            extractor,
+        };
         let sidecar = format!("{dir}/stream.json");
         write_file(&sidecar, &serde_json::to_string(&sm)?)?;
         acobe_obs::progress!(
@@ -518,8 +570,496 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             engine.shard_count(),
             engine.state_bytes()
         );
-        acobe_obs::monitor::board()
-            .set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
+        acobe_obs::monitor::board().set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
+    }
+    Ok(())
+}
+
+/// Training-phase accumulation for a fresh `acobe ingest` run: the feature
+/// cube being filled ahead of model fitting, plus the flat warm-day vectors
+/// buffered for replay once the engine exists.
+struct IngestTraining {
+    cube: acobe_features::FeatureCube,
+    warm: Vec<(Date, Vec<f32>)>,
+    model_config: AcobeConfig,
+}
+
+/// Per-run state for `acobe ingest`: one [`DayExtractor`] feeding both the
+/// training cube and the (lazily built) engine, plus the scoring/alerting
+/// loop state mirrored from [`stream`] so the two paths print, alert and
+/// checkpoint identically.
+struct IngestRun<'a> {
+    users: usize,
+    features: usize,
+    start: Date,
+    train_end: Date,
+    until: Date,
+    groups: &'a [Vec<usize>],
+    victims: &'a HashSet<usize>,
+    shards: usize,
+    critic_n: usize,
+    smooth: usize,
+    top: usize,
+    lag_ratio: f64,
+    lag_min_ms: f64,
+    policy: AlertPolicy,
+    extractor: DayExtractor,
+    /// Extractor state cloned the moment the stream reaches `until`, for the
+    /// checkpoint sidecar when training consumes days past `until`.
+    snapshot: Option<DayExtractor>,
+    /// Next calendar day to feed.
+    cursor: Date,
+    training: Option<IngestTraining>,
+    engine: Option<ShardedEngine>,
+    alert_log: Option<AlertLog>,
+    checkpoint_base: Option<Date>,
+    stale_reported: bool,
+    last_list: Vec<acobe::critic::Investigation>,
+    streamed: usize,
+    scored: usize,
+    alerts_raised: usize,
+}
+
+impl IngestRun<'_> {
+    /// Feeds every calendar day in `[cursor, date)` as empty, then `date`
+    /// itself. Days before the cursor (already covered by a resumed
+    /// checkpoint) are skipped.
+    fn feed_through(
+        &mut self,
+        date: Date,
+        events: &[acobe_logs::event::LogEvent],
+    ) -> Result<(), CliError> {
+        if date < self.cursor {
+            return Ok(());
+        }
+        while self.cursor < date {
+            let d = self.cursor;
+            self.feed_day(d, &[])?;
+        }
+        self.feed_day(date, events)
+    }
+
+    /// Feeds one calendar day — the ingest-path equivalent of one `stream`
+    /// loop iteration. Training days accumulate the cube (fresh) or warm the
+    /// engine (resume); scored days run the engine, print the investigation
+    /// line and raise alerts exactly as `stream` does.
+    fn feed_day(
+        &mut self,
+        date: Date,
+        events: &[acobe_logs::event::LogEvent],
+    ) -> Result<(), CliError> {
+        debug_assert_eq!(date, self.cursor, "days must be fed consecutively");
+        if date == self.until {
+            // The checkpoint sidecar wants the extractor exactly here even
+            // when training reads further ahead.
+            self.snapshot = Some(self.extractor.clone());
+        }
+        let in_stream = date < self.until;
+        if date < self.train_end {
+            if let Some(training) = self.training.as_mut() {
+                let flat = self
+                    .extractor
+                    .ingest_day(date, events)
+                    .map_err(AcobeError::from)?;
+                for u in 0..self.users {
+                    for t in 0..2 {
+                        for f in 0..self.features {
+                            let v = flat[(u * 2 + t) * self.features + f];
+                            if v != 0.0 {
+                                training.cube.add(u, date, t, f, v);
+                            }
+                        }
+                    }
+                }
+                if in_stream {
+                    training.warm.push((date, flat));
+                }
+            } else if in_stream {
+                let engine = self.engine.as_mut().expect("resumed engine");
+                engine.warm_day_events(&mut self.extractor, date, events)?;
+            }
+        } else if in_stream {
+            self.build_engine_if_needed()?;
+            let engine = self.engine.as_mut().expect("engine");
+            if engine
+                .ingest_day_events(&mut self.extractor, date, events)?
+                .is_some()
+            {
+                self.scored += 1;
+                let list = engine.daily_investigation(self.critic_n, self.smooth);
+                let line: Vec<String> = list
+                    .iter()
+                    .take(self.top)
+                    .map(|inv| {
+                        let mark = if self.victims.contains(&inv.user) {
+                            "*"
+                        } else {
+                            ""
+                        };
+                        format!("{}{}(p{})", inv.user, mark, inv.priority)
+                    })
+                    .collect();
+                println!("{date}  {}", line.join("  "));
+                self.last_list = list;
+                let alerts = engine.take_alerts();
+                if !alerts.is_empty() {
+                    self.alerts_raised += alerts.len();
+                    for a in &alerts {
+                        let who = match a.user {
+                            Some(u) => format!("user {u}"),
+                            None => "system".to_string(),
+                        };
+                        println!("          ! {} [{}] {who}: {}", a.id, a.severity, a.trigger);
+                    }
+                    if let Some(log) = &self.alert_log {
+                        log.append_raised(&alerts)?;
+                    }
+                }
+            }
+        }
+        self.cursor = date.add_days(1);
+        if in_stream {
+            self.streamed += 1;
+            self.after_day();
+        }
+        Ok(())
+    }
+
+    /// Trains the model and builds the sharded engine from the accumulated
+    /// cube, then replays the buffered warm days into it. No-op once built.
+    fn build_engine_if_needed(&mut self) -> Result<(), CliError> {
+        if self.engine.is_some() {
+            return Ok(());
+        }
+        let training = self.training.take().expect("training state");
+        acobe_obs::progress!("training on {}..{} ...", self.start, self.train_end);
+        let mut pipeline = AcobePipeline::new(
+            training.cube,
+            cert_feature_set(),
+            self.groups,
+            training.model_config,
+        )?;
+        pipeline.fit(self.start, self.train_end)?;
+        let mut engine = pipeline.into_engine();
+        engine.reset_stream();
+        let mut engine = ShardedEngine::from_engine(engine, self.shards)?;
+        engine.set_lag_config(self.lag_ratio, self.lag_min_ms);
+        engine.set_alert_policy(Some(self.policy.clone()));
+        let assign = engine.assignment().to_vec();
+        let shard_count = engine.shard_count();
+        for (d, flat) in &training.warm {
+            let slabs = route_day_slabs(flat, self.users, self.features, &assign, shard_count);
+            engine.warm_day_slabs(*d, &slabs)?;
+        }
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    /// Per-day telemetry updates, identical to the `stream` loop tail.
+    fn after_day(&mut self) {
+        let date = self.cursor;
+        let board = acobe_obs::monitor::board();
+        board.set_days_behind(self.until.days_since(date).max(0) as i64);
+        if let Some(base) = self.checkpoint_base {
+            let age = date.days_since(base) as i64;
+            let last_day = base.add_days(-1).to_string();
+            board.set_checkpoint(&last_day, age);
+            if age > CHECKPOINT_STALE_DAYS && !self.stale_reported {
+                self.stale_reported = true;
+                board.report(HealthEvent::CheckpointStale {
+                    age_days: age,
+                    last_day,
+                });
+            }
+        }
+        if let Err(e) = acobe_obs::flush_metrics() {
+            eprintln!("warning: metrics flush failed: {e}");
+        }
+    }
+}
+
+/// `acobe ingest`: the wire-speed raw-log frontend end-to-end — record-
+/// boundary chunking, zero-copy parallel CSV parsing with bounded-queue
+/// back-pressure, optional inline rules, and per-day batches fed straight
+/// into the same training/scoring/alerting/checkpointing path as
+/// `acobe stream`. The investigation lists and alert log are bit-identical
+/// to the stream path at every `--threads` and `--shards` setting.
+pub fn ingest(args: &[String]) -> Result<(), CliError> {
+    use acobe_ingest::{IngestConfig, IngestError, RuleSet};
+
+    let raw_path =
+        arg(args, "--raw").ok_or_else(|| CliError::Usage("--raw FILE is required".into()))?;
+    let meta_path =
+        arg(args, "--meta").ok_or_else(|| CliError::Usage("--meta FILE is required".into()))?;
+    let top: usize = num_arg(args, "--top", 10)?;
+    let critic_n: usize = num_arg(args, "--critic-n", 2)?;
+    let smooth: usize = num_arg(args, "--smooth", 3)?;
+    let shards: usize = num_arg(args, "--shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let defaults = IngestConfig::default();
+    let threads: usize = num_arg(args, "--threads", defaults.threads)?;
+    let chunk_kb: usize = num_arg(args, "--chunk-kb", 1024)?;
+    let queue: usize = num_arg(args, "--queue", defaults.queue_depth)?;
+    let ingest_cfg = IngestConfig {
+        threads: threads.max(1),
+        chunk_bytes: chunk_kb.max(1) * 1024,
+        queue_depth: queue.max(1),
+        strict: flag(args, "--strict"),
+        rules: if flag(args, "--inline-rules") {
+            RuleSet::standard()
+        } else {
+            RuleSet::none()
+        },
+    };
+    let lag_defaults = DriftConfig::default();
+    let lag_ratio: f64 = num_arg(args, "--lag-ratio", lag_defaults.lag_ratio)?;
+    let lag_min_ms: f64 = num_arg(args, "--lag-min-ms", lag_defaults.lag_min_ms)?;
+    let policy_defaults = AlertPolicy::default();
+    let policy = AlertPolicy {
+        watch_top_n: num_arg(args, "--alert-top-n", policy_defaults.watch_top_n)?,
+        rank_jump_min: num_arg(args, "--alert-rank-jump", policy_defaults.rank_jump_min)?,
+        cooldown_days: num_arg(args, "--alert-cooldown", policy_defaults.cooldown_days)?,
+        rule_z: num_arg(args, "--alert-rule-z", policy_defaults.rule_z)?,
+        top_k_features: num_arg(args, "--alert-top-k", policy_defaults.top_k_features)?,
+    };
+
+    let (meta, start, end) = load_meta(meta_path)?;
+    let until = match arg(args, "--until") {
+        Some(s) => Date::parse(s)?,
+        None => end,
+    };
+    let features = cert_feature_set().len();
+
+    let (engine, extractor, training, train_end) = match arg(args, "--resume") {
+        Some(path) if std::path::Path::new(path).is_dir() => {
+            let sidecar = format!("{path}/stream.json");
+            let sm: StreamMeta = serde_json::from_str(&read_file(&sidecar)?)?;
+            let train_end = Date::parse(&sm.train_end)?;
+            let engine = ShardedEngine::load(path, shards)?;
+            for (i, e) in engine.quarantined() {
+                eprintln!("warning: shard {i} quarantined, its users score NaN: {e}");
+            }
+            acobe_obs::progress!(
+                "resumed sharded checkpoint {path} ({} shards, {}/{} users live): next day {}",
+                engine.shard_count(),
+                engine.live_users(),
+                engine.users(),
+                engine.next_date()
+            );
+            (Some(engine), sm.extractor, None, train_end)
+        }
+        Some(path) => {
+            let ck: StreamCheckpoint = serde_json::from_str(&read_file(path)?)?;
+            let train_end = Date::parse(&ck.train_end)?;
+            let engine = ShardedEngine::from_engine(DetectionEngine::restore(ck.engine)?, shards)?;
+            acobe_obs::progress!(
+                "migrated v1 checkpoint {path} into {} shard(s): next day {}",
+                engine.shard_count(),
+                engine.next_date()
+            );
+            (Some(engine), ck.extractor, None, train_end)
+        }
+        None => {
+            let train_end = match arg(args, "--train-end") {
+                Some(s) => Date::parse(s)?,
+                None => start.add_days(end.days_since(start) * 7 / 10),
+            };
+            if train_end <= start || train_end >= end {
+                return Err(CliError::Usage(format!(
+                    "--train-end must fall inside the span {start}..{end}"
+                )));
+            }
+            let model_config = if flag(args, "--paper-model") {
+                AcobeConfig::paper()
+            } else {
+                AcobeConfig::fast()
+            }
+            .with_critic_n(critic_n);
+            let days = train_end.days_since(start) as usize;
+            let training = IngestTraining {
+                cube: acobe_features::FeatureCube::new(meta.users, start, days, 2, features),
+                warm: Vec::new(),
+                model_config,
+            };
+            let extractor = DayExtractor::new(meta.users, start, CountSemantics::Plain);
+            (None, extractor, Some(training), train_end)
+        }
+    };
+    let mut engine = engine;
+    if let Some(engine) = engine.as_mut() {
+        if extractor.next_date() != engine.next_date() {
+            return Err(CliError::Usage(format!(
+                "checkpoint is inconsistent: extractor at {}, engine at {}",
+                extractor.next_date(),
+                engine.next_date()
+            )));
+        }
+        engine.set_lag_config(lag_ratio, lag_min_ms);
+        engine.set_alert_policy(Some(policy.clone()));
+    }
+    let alert_log = match arg(args, "--alerts-log") {
+        Some(path) => {
+            let resume_seq = match (&engine, arg(args, "--resume")) {
+                (Some(engine), Some(_)) => Some(engine.alert_next_seq()),
+                _ => None,
+            };
+            Some(AlertLog::open(path, resume_seq)?)
+        }
+        None => None,
+    };
+
+    let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
+    let cursor = engine.as_ref().map_or(start, ShardedEngine::next_date);
+    let checkpoint_base = arg(args, "--resume").map(|_| cursor);
+    let mut run = IngestRun {
+        users: meta.users,
+        features,
+        start,
+        train_end,
+        until,
+        groups: &meta.groups,
+        victims: &victims,
+        shards,
+        critic_n,
+        smooth,
+        top,
+        lag_ratio,
+        lag_min_ms,
+        policy,
+        extractor,
+        snapshot: None,
+        cursor,
+        training,
+        engine,
+        alert_log,
+        checkpoint_base,
+        stale_reported: false,
+        last_list: Vec::new(),
+        streamed: 0,
+        scored: 0,
+        alerts_raised: 0,
+    };
+
+    acobe_obs::progress!(
+        "ingesting {raw_path} ({} threads, {} KiB chunks, queue depth {}) ...",
+        ingest_cfg.threads,
+        ingest_cfg.chunk_bytes / 1024,
+        ingest_cfg.queue_depth
+    );
+    let file = fs::File::open(raw_path).map_err(|e| CliError::Io {
+        path: raw_path.to_string(),
+        source: e,
+    })?;
+    let mut rule_seq = 0u64;
+    let stats = acobe_ingest::ingest_events(file, &ingest_cfg, |batch| {
+        let date = batch.date;
+        run.feed_through(date, &batch.events)?;
+        // Inline-rule hits surface on the telemetry alert board only — they
+        // never touch the engine or the alert audit log, keeping the
+        // measurement path bit-identical with rules on or off.
+        if date >= cursor && date < until {
+            for hit in &batch.rule_hits {
+                let alert = acobe_obs::alert::Alert {
+                    seq: rule_seq,
+                    id: format!("rh-{rule_seq:06}"),
+                    user: Some(hit.user as usize),
+                    day: date.to_string(),
+                    severity: acobe_obs::alert::AlertSeverity::Low,
+                    status: AlertStatus::New,
+                    trigger: acobe_obs::alert::AlertTrigger::RuleHit {
+                        feature: hit.rule.name().to_string(),
+                        frame: hit.frame,
+                        z: hit.count as f32,
+                    },
+                    evidence: None,
+                };
+                acobe_obs::alert::alerts().publish(&alert);
+                rule_seq += 1;
+            }
+        }
+        Ok(())
+    })
+    .map_err(|e| match e {
+        IngestError::Io(source) => CliError::Io {
+            path: raw_path.to_string(),
+            source,
+        },
+        IngestError::Parse { record, source } => CliError::Usage(format!(
+            "malformed record {record:?} in {raw_path}: {source}"
+        )),
+        IngestError::OutOfOrder { prev, got } => CliError::Usage(format!(
+            "{raw_path} is not in day order: {got} after {prev}"
+        )),
+        IngestError::Sink(e) => e,
+    })?;
+    for sample in &stats.error_samples {
+        eprintln!("warning: skipped malformed record {sample}");
+    }
+    acobe_obs::progress!(
+        "parsed {} bytes / {} records -> {} events in {} chunks \
+         ({} malformed, {} blank, {} rule hits)",
+        stats.bytes,
+        stats.records,
+        stats.events,
+        stats.chunks,
+        stats.parse_errors,
+        stats.blank_lines,
+        stats.rule_hits
+    );
+
+    // The raw file may end before --until (or before the training horizon):
+    // complete the calendar with empty days, exactly as `stream` iterates
+    // every day in range regardless of event presence.
+    let goal = if run.training.is_some() {
+        run.train_end.max(until)
+    } else {
+        until
+    };
+    while run.cursor < goal {
+        let d = run.cursor;
+        run.feed_day(d, &[])?;
+    }
+    // --until inside the training window: train now so the checkpoint holds
+    // the same fitted engine a `stream` run would have written.
+    if run.training.is_some() {
+        run.build_engine_if_needed()?;
+    }
+
+    let up_to = until.max(cursor);
+    acobe_obs::progress!(
+        "streamed {} days ({} scored) up to {up_to}",
+        run.streamed,
+        run.scored
+    );
+    if let Some(log) = &run.alert_log {
+        acobe_obs::progress!(
+            "{} alerts appended to {}",
+            run.alerts_raised,
+            log.path().display()
+        );
+    }
+    if let Some(path) = arg(args, "--final-out") {
+        write_file(path, &serde_json::to_string_pretty(&run.last_list)?)?;
+        acobe_obs::progress!("final investigation list written to {path}");
+    }
+    if let Some(dir) = arg(args, "--checkpoint") {
+        let engine = run.engine.as_ref().expect("engine built by now");
+        engine.save(dir)?;
+        let sidecar_extractor = run.snapshot.take().unwrap_or_else(|| run.extractor.clone());
+        let sm = StreamMeta {
+            train_end: run.train_end.to_string(),
+            extractor: sidecar_extractor,
+        };
+        let sidecar = format!("{dir}/stream.json");
+        write_file(&sidecar, &serde_json::to_string(&sm)?)?;
+        acobe_obs::progress!(
+            "sharded checkpoint written to {dir}/ ({} shards, {} bytes of engine state)",
+            engine.shard_count(),
+            engine.state_bytes()
+        );
+        acobe_obs::monitor::board().set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
     }
     Ok(())
 }
@@ -549,15 +1089,19 @@ pub fn alerts(args: &[String]) -> Result<(), CliError> {
     let entries = AlertLog::read_entries(log_path)?;
     let current = AlertLog::current_alerts(&entries);
     // `show` and `ack` address one alert by its positional id (`al-000042`).
-    let target_id = rest.first().filter(|a| !a.starts_with("--")).map(String::as_str);
+    let target_id = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str);
 
     match sub {
         "list" => {
             let status = arg(rest, "--status").map(parse_status).transpose()?;
             let user: Option<usize> = match arg(rest, "--user") {
-                Some(s) => {
-                    Some(s.parse().map_err(|_| CliError::Usage("bad --user".into()))?)
-                }
+                Some(s) => Some(
+                    s.parse()
+                        .map_err(|_| CliError::Usage("bad --user".into()))?,
+                ),
                 None => None,
             };
             let since: u64 = num_arg(rest, "--since", 0)?;
@@ -598,7 +1142,9 @@ pub fn alerts(args: &[String]) -> Result<(), CliError> {
         }
         "ack" => {
             let id = target_id.ok_or_else(|| {
-                CliError::Usage("usage: acobe alerts ack ID --to STATUS [--note TEXT] --log FILE".into())
+                CliError::Usage(
+                    "usage: acobe alerts ack ID --to STATUS [--note TEXT] --log FILE".into(),
+                )
             })?;
             let to = parse_status(
                 arg(rest, "--to")
@@ -694,7 +1240,11 @@ pub fn enterprise(args: &[String]) -> Result<(), CliError> {
         if date >= config.attack_day {
             best = best.min(pos);
         }
-        let marker = if date == config.attack_day { "  <= attack day" } else { "" };
+        let marker = if date == config.attack_day {
+            "  <= attack day"
+        } else {
+            ""
+        };
         println!("  {date}: #{pos}{marker}");
     }
     println!("\nbest post-attack rank: #{best} of {users}");

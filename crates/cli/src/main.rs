@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         Some("synth") => commands::synth(&args[1..]),
         Some("detect") => commands::detect(&args[1..]),
         Some("stream") => commands::stream(&args[1..]),
+        Some("ingest") => commands::ingest(&args[1..]),
         Some("alerts") => commands::alerts(&args[1..]),
         Some("enterprise") => commands::enterprise(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
@@ -78,7 +79,7 @@ fn main() -> ExitCode {
     if result.is_ok()
         && matches!(
             command.as_deref(),
-            Some("detect") | Some("stream") | Some("enterprise")
+            Some("detect") | Some("stream") | Some("ingest") | Some("enterprise")
         )
         && acobe_obs::verbosity() >= acobe_obs::progress::LEVEL_PROGRESS
     {
@@ -133,10 +134,14 @@ fn print_help() {
         "acobe — anomalous-user detection from audit logs (DSN 2021 reproduction)
 
 USAGE:
-    acobe synth [--out FILE] [--seed N] [--users-per-dept N] [--departments N]
+    acobe synth [--out FILE] [--raw-out FILE] [--seed N]
+                [--users-per-dept N] [--departments N]
         Synthesize a CERT-like audit-log dataset. Writes events to FILE
         (CSV; default acobe_logs.csv) and metadata (users, groups, span,
-        ground truth) to FILE with a .meta.json suffix.
+        ground truth) to FILE with a .meta.json suffix. --raw-out streams
+        each day to disk as it is generated instead of building the dataset
+        in memory first — the bytes are identical to --out; use it to
+        produce large raw fixtures for `acobe ingest`.
 
     acobe detect --logs FILE --meta FILE [--train-end YYYY-MM-DD]
                  [--top N] [--critic-n N] [--smooth N] [--paper-model]
@@ -181,6 +186,25 @@ USAGE:
         --lag-ratio and --lag-min-ms tune the shard-lag health heuristic: a
         shard is reported lagging when its scoring time exceeds
         lag-ratio x median AND median + lag-min-ms (defaults 4 and 25).
+
+    acobe ingest --raw FILE --meta FILE [--threads N] [--chunk-kb N]
+                 [--queue N] [--strict] [--inline-rules]
+                 [... every acobe stream flag except --logs ...]
+        Wire-speed raw-log frontend: read the raw CSV in record-aligned
+        chunks, parse them on --threads workers with the zero-copy
+        borrowed-field parser, and feed per-day batches straight into the
+        same training / scoring / alerting / checkpointing path as
+        `acobe stream`. Investigation lists, alert logs and checkpoints are
+        bit-identical to the stream path at every --threads, --chunk-kb and
+        --shards setting. --queue bounds the in-flight chunk queues (back-
+        pressure: a slow engine throttles the reader instead of growing
+        memory). Malformed records are counted (ingest/parse_errors) and
+        reported, never silently dropped; --strict aborts on the first one.
+        --inline-rules evaluates cheap per-record predicates (off-hours
+        activity, removable-media writes, exe uploads, failed logons) while
+        parsing and publishes rule-hit alerts (ids rh-NNNNNN) to the
+        telemetry alert board — they never perturb scores or the alert
+        audit log.
 
     acobe alerts list --log FILE [--status S] [--user N] [--since SEQ]
     acobe alerts show ID --log FILE

@@ -738,6 +738,80 @@ impl ShardedEngine {
         Ok(out)
     }
 
+    /// [`ShardedEngine::warm_day`] over raw per-day events: extracts one day
+    /// of measurements with `extractor`, routes them through the stable
+    /// user→shard assignment, and ingests the resulting slabs. This is the
+    /// entry point the raw-log ingestion frontend (`acobe-ingest`) feeds.
+    ///
+    /// The extractor must track the same population as this engine and be in
+    /// step with it (`extractor.next_date() == self.next_date()`); novelty
+    /// state stays inside the extractor, so the measurements — and therefore
+    /// every downstream score — are bit-identical to the
+    /// `DayMeasurements` path at any shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`AcobeError::Extract`] when extraction rejects the day (out-of-order
+    /// date, unknown user), plus the [`ShardedEngine::warm_day_slabs`]
+    /// contract.
+    pub fn warm_day_events(
+        &mut self,
+        extractor: &mut acobe_features::cert::DayExtractor,
+        date: Date,
+        events: &[acobe_logs::event::LogEvent],
+    ) -> Result<(), AcobeError> {
+        let slabs = self.extract_event_slabs(extractor, date, events)?;
+        self.warm_day_slabs(date, &slabs)
+    }
+
+    /// [`ShardedEngine::ingest_day`] over raw per-day events (see
+    /// [`ShardedEngine::warm_day_events`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedEngine::warm_day_events`].
+    pub fn ingest_day_events(
+        &mut self,
+        extractor: &mut acobe_features::cert::DayExtractor,
+        date: Date,
+        events: &[acobe_logs::event::LogEvent],
+    ) -> Result<Option<DayScores>, AcobeError> {
+        let slabs = self.extract_event_slabs(extractor, date, events)?;
+        self.ingest_day_slabs(date, &slabs)
+    }
+
+    fn extract_event_slabs(
+        &self,
+        extractor: &mut acobe_features::cert::DayExtractor,
+        date: Date,
+        events: &[acobe_logs::event::LogEvent],
+    ) -> Result<Vec<Vec<f32>>, AcobeError> {
+        if extractor.users() != self.users {
+            return Err(AcobeError::Config(format!(
+                "extractor tracks {} users but the engine has {}",
+                extractor.users(),
+                self.users
+            )));
+        }
+        extractor
+            .ingest_day_sharded(date, events, &self.assign, self.slots.len())
+            .map_err(AcobeError::from)
+    }
+
+    /// Per-shard approximate heap footprint of the temporal state, in bytes
+    /// (quarantined shards report 0). Unlike [`ShardedEngine::state_bytes`]
+    /// this excludes the shared group state, so it reflects what each shard
+    /// would cost on its own host.
+    pub fn shard_state_bytes(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                ShardSlot::Live(shard) => shard.state_bytes(),
+                ShardSlot::Quarantined { .. } => 0,
+            })
+            .collect()
+    }
+
     /// The three-phase day step shared by warm-up and scoring.
     fn step(
         &mut self,

@@ -263,13 +263,43 @@ impl DayExtractor {
             "assignment references a shard >= {shards}"
         );
         let day = self.ingest_day(date, events)?;
-        let chunk = 2 * self.features;
-        let mut slabs = vec![Vec::new(); shards];
-        for (u, &s) in assign.iter().enumerate() {
-            slabs[s as usize].extend_from_slice(&day[u * chunk..(u + 1) * chunk]);
-        }
-        Ok(slabs)
+        Ok(route_day_slabs(&day, self.users, self.features, assign, shards))
     }
+}
+
+/// Routes one flat day vector (`[user][frame][feature]`, as produced by
+/// [`DayExtractor::ingest_day`]) into per-shard slabs: `slabs[s]`
+/// concatenates the `[frame][feature]` chunks of every user with
+/// `assign[user] == s`, in ascending user order.
+///
+/// This is the routing half of [`DayExtractor::ingest_day_sharded`], exposed
+/// so callers that also need the flat vector (for example to accumulate a
+/// training cube *and* feed shards from one extraction pass) can route it
+/// without extracting twice.
+///
+/// # Panics
+///
+/// Panics if `day.len() != users * 2 * features`, if `assign` does not cover
+/// exactly `users` entries, or if it references a shard `>= shards`.
+pub fn route_day_slabs(
+    day: &[f32],
+    users: usize,
+    features: usize,
+    assign: &[u32],
+    shards: usize,
+) -> Vec<Vec<f32>> {
+    let chunk = 2 * features;
+    assert_eq!(day.len(), users * chunk, "day vector has the wrong width");
+    assert_eq!(assign.len(), users, "assignment must cover every user");
+    assert!(
+        assign.iter().all(|&s| (s as usize) < shards),
+        "assignment references a shard >= {shards}"
+    );
+    let mut slabs = vec![Vec::new(); shards];
+    for (u, &s) in assign.iter().enumerate() {
+        slabs[s as usize].extend_from_slice(&day[u * chunk..(u + 1) * chunk]);
+    }
+    slabs
 }
 
 /// Bounded extractor producing the 16-feature CERT cube over a fixed date

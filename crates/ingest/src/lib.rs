@@ -1,0 +1,757 @@
+//! Wire-speed raw-log ingestion frontend.
+//!
+//! Turns a raw CERT-style CSV byte stream into ordered per-day event
+//! batches, ready for `DayExtractor` / `ShardedEngine` ingestion:
+//!
+//! 1. **Chunk** — [`chunk::ChunkReader`] cuts the stream into large blocks
+//!    on record boundaries (newlines at even quote parity), so blocks parse
+//!    independently.
+//! 2. **Parse** — a pool of worker threads splits each block into records
+//!    and decodes them with the zero-copy borrowed-field parser
+//!    (`acobe_logs::csv::RecordBuf`): no per-record `Vec<String>`, no field
+//!    copies except quoted-escape normalization.
+//! 3. **Rules** — an inline per-record predicate layer
+//!    ([`rules::RuleSet`]) runs while the event is hot; hits aggregate per
+//!    `(user, rule, frame)` into the day batch.
+//! 4. **Route & batch** — parsed chunks are re-sequenced in input order and
+//!    grouped into per-day [`DayBatch`]es.
+//! 5. **Back-pressure** — both the chunk and the result queues are bounded
+//!    (`queue_depth`), so a slow consumer (the engine) throttles the reader
+//!    instead of ballooning memory.
+//!
+//! Chunking preserves record order and the day batcher is sequential, so
+//! the emitted event stream is byte-for-byte independent of `threads`,
+//! `chunk_bytes` and `queue_depth` — the property the raw-ingest
+//! equivalence tests pin down.
+//!
+//! Malformed records are never silently dropped: each one either counts
+//! into `ingest/parse_errors` (with a capped sample kept in
+//! [`IngestStats`]) or, in strict mode, aborts ingestion with a typed
+//! [`IngestError::Parse`].
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod rules;
+
+use acobe_logs::csv::{parse_event, record_slices, ParseCsvError, RecordBuf};
+use acobe_logs::event::LogEvent;
+use acobe_logs::time::Date;
+use chunk::ChunkReader;
+pub use rules::{Rule, RuleHit, RuleSet};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum number of malformed-record samples retained in [`IngestStats`].
+const ERROR_SAMPLE_CAP: usize = 8;
+
+/// Histogram edges for per-chunk parse latency (milliseconds).
+const CHUNK_PARSE_EDGES: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0];
+
+/// Tuning knobs for the ingestion pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Parser worker threads. `1` parses inline on the calling thread.
+    pub threads: usize,
+    /// Target chunk size in bytes (min 4 KiB).
+    pub chunk_bytes: usize,
+    /// Bounded-queue depth between the reader, workers and the consumer —
+    /// the back-pressure window, in chunks.
+    pub queue_depth: usize,
+    /// Abort on the first malformed record instead of counting it.
+    pub strict: bool,
+    /// Inline per-record rules (empty = disabled, zero hot-path cost).
+    pub rules: RuleSet,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk_bytes: 1 << 20,
+            queue_depth: 8,
+            strict: false,
+            rules: RuleSet::none(),
+        }
+    }
+}
+
+/// One completed day of parsed events.
+#[derive(Debug, Clone)]
+pub struct DayBatch {
+    /// The day every event in `events` falls on.
+    pub date: Date,
+    /// Events in input order.
+    pub events: Vec<LogEvent>,
+    /// Inline-rule hits aggregated per `(user, rule, frame)`, sorted by
+    /// `(user, rule index, frame)` for deterministic output.
+    pub rule_hits: Vec<RuleHit>,
+}
+
+/// Volume and error accounting for one ingestion run.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Raw bytes consumed.
+    pub bytes: u64,
+    /// Record-aligned chunks produced.
+    pub chunks: u64,
+    /// Non-blank records seen (parsed + malformed).
+    pub records: u64,
+    /// Blank lines skipped.
+    pub blank_lines: u64,
+    /// Successfully parsed events.
+    pub events: u64,
+    /// Malformed records counted (non-strict mode).
+    pub parse_errors: u64,
+    /// A capped sample of malformed-record descriptions.
+    pub error_samples: Vec<String>,
+    /// Day batches emitted.
+    pub days: u64,
+    /// Total inline-rule hits.
+    pub rule_hits: u64,
+}
+
+/// Ingestion failure.
+#[derive(Debug)]
+pub enum IngestError<E = std::convert::Infallible> {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A malformed record in strict mode.
+    Parse {
+        /// The offending record (truncated preview).
+        record: String,
+        /// The decode failure.
+        source: ParseCsvError,
+    },
+    /// The event stream's day sequence went backwards.
+    OutOfOrder {
+        /// Last day in progress.
+        prev: Date,
+        /// The regressing day encountered.
+        got: Date,
+    },
+    /// The day-batch consumer failed.
+    Sink(E),
+}
+
+impl<E: fmt::Display> fmt::Display for IngestError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::Parse { record, source } => {
+                write!(f, "malformed record {record:?}: {source}")
+            }
+            IngestError::OutOfOrder { prev, got } => {
+                write!(f, "day order violated: {got} after {prev}")
+            }
+            IngestError::Sink(e) => write!(f, "day-batch consumer failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for IngestError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Parse { source, .. } => Some(source),
+            IngestError::OutOfOrder { .. } => None,
+            IngestError::Sink(e) => Some(e),
+        }
+    }
+}
+
+impl<E> From<std::io::Error> for IngestError<E> {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// One parsed chunk, produced by a worker.
+#[derive(Debug, Default)]
+struct ParsedChunk {
+    events: Vec<LogEvent>,
+    /// `(event index, rule index)` pairs for inline-rule hits.
+    hits: Vec<(u32, u8)>,
+    bytes: usize,
+    records: u64,
+    blank_lines: u64,
+    parse_errors: u64,
+    error_samples: Vec<String>,
+    /// First malformed record, kept for strict-mode abort.
+    first_error: Option<(String, ParseCsvError)>,
+}
+
+/// Parses one record-aligned chunk. `buf` is the worker's reusable field
+/// buffer; `scratch_hits` its reusable per-event rule-hit scratch.
+fn parse_chunk(
+    bytes: &[u8],
+    rules: &RuleSet,
+    buf: &mut RecordBuf,
+    scratch_hits: &mut Vec<u8>,
+) -> ParsedChunk {
+    let t0 = Instant::now();
+    let mut out = ParsedChunk {
+        bytes: bytes.len(),
+        ..ParsedChunk::default()
+    };
+    for slice in record_slices(bytes) {
+        if slice.is_empty() {
+            out.blank_lines += 1;
+            continue;
+        }
+        out.records += 1;
+        let parsed = match std::str::from_utf8(slice) {
+            Ok(line) => parse_event(line, buf),
+            Err(_) => Err(ParseCsvError {
+                reason: "invalid utf-8".into(),
+            }),
+        };
+        match parsed {
+            Ok(event) => {
+                if !rules.is_empty() {
+                    scratch_hits.clear();
+                    rules.matching(&event, scratch_hits);
+                    let idx = out.events.len() as u32;
+                    out.hits.extend(scratch_hits.iter().map(|&r| (idx, r)));
+                }
+                out.events.push(event);
+            }
+            Err(e) => {
+                out.parse_errors += 1;
+                let preview = preview_record(slice);
+                if out.first_error.is_none() {
+                    out.first_error = Some((preview.clone(), e.clone()));
+                }
+                if out.error_samples.len() < ERROR_SAMPLE_CAP {
+                    out.error_samples.push(format!("{preview:?}: {e}"));
+                }
+            }
+        }
+    }
+    acobe_obs::histogram("ingest/chunk_parse_ms", CHUNK_PARSE_EDGES)
+        .observe(t0.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+/// Truncated lossy preview of a raw record for error reporting.
+fn preview_record(slice: &[u8]) -> String {
+    let shown = &slice[..slice.len().min(80)];
+    let mut s = String::from_utf8_lossy(shown).into_owned();
+    if slice.len() > 80 {
+        s.push('…');
+    }
+    s
+}
+
+/// Groups the ordered event stream into per-day batches.
+struct DayBatcher {
+    date: Option<Date>,
+    events: Vec<LogEvent>,
+    hits: HashMap<(u32, u8, u8), u32>,
+}
+
+impl DayBatcher {
+    fn new() -> Self {
+        DayBatcher {
+            date: None,
+            events: Vec::new(),
+            hits: HashMap::new(),
+        }
+    }
+
+    /// Adds one event (with the indices of its rule hits); returns the
+    /// previous day's completed batch when the date advances.
+    fn push<E>(
+        &mut self,
+        event: LogEvent,
+        rule_indices: &[u8],
+    ) -> Result<Option<DayBatch>, IngestError<E>> {
+        let date = event.ts().date();
+        let flushed = match self.date {
+            Some(cur) if date == cur => None,
+            Some(cur) if date > cur => Some(self.take_batch(cur)),
+            Some(cur) => {
+                return Err(IngestError::OutOfOrder {
+                    prev: cur,
+                    got: date,
+                })
+            }
+            None => None,
+        };
+        self.date = Some(date);
+        let user = event.user().0;
+        let frame = event.ts().time_frame().index() as u8;
+        for &r in rule_indices {
+            *self.hits.entry((user, r, frame)).or_insert(0) += 1;
+        }
+        self.events.push(event);
+        Ok(flushed)
+    }
+
+    /// Flushes the in-progress day, if any.
+    fn finish(&mut self) -> Option<DayBatch> {
+        self.date.take().map(|d| self.take_batch(d))
+    }
+
+    fn take_batch(&mut self, date: Date) -> DayBatch {
+        let mut rule_hits: Vec<RuleHit> = self
+            .hits
+            .drain()
+            .map(|((user, rule, frame), count)| RuleHit {
+                user,
+                rule: Rule::ALL[rule as usize],
+                frame: frame as usize,
+                count,
+            })
+            .collect();
+        rule_hits.sort_by_key(|h| (h.user, h.rule.index(), h.frame));
+        DayBatch {
+            date,
+            events: std::mem::take(&mut self.events),
+            rule_hits,
+        }
+    }
+}
+
+/// Streams raw CSV from `reader` through the chunk → parse → batch pipeline,
+/// invoking `on_day` with each completed [`DayBatch`] in day order.
+///
+/// The emitted batches are identical for every `threads` / `chunk_bytes` /
+/// `queue_depth` setting; see the module docs for the pipeline stages.
+///
+/// # Errors
+///
+/// [`IngestError::Io`] on read failures, [`IngestError::Parse`] on the first
+/// malformed record in strict mode, [`IngestError::OutOfOrder`] when the
+/// stream's day sequence regresses, and [`IngestError::Sink`] wrapping the
+/// first `on_day` failure.
+pub fn ingest_events<R, E, F>(
+    reader: R,
+    config: &IngestConfig,
+    mut on_day: F,
+) -> Result<IngestStats, IngestError<E>>
+where
+    R: Read + Send,
+    E: Send,
+    F: FnMut(DayBatch) -> Result<(), E>,
+{
+    let _span = acobe_obs::span!("ingest");
+    let mut stats = IngestStats::default();
+    let mut batcher = DayBatcher::new();
+    let mut sink = |batch: DayBatch, stats: &mut IngestStats| -> Result<(), IngestError<E>> {
+        stats.days += 1;
+        stats.rule_hits += batch
+            .rule_hits
+            .iter()
+            .map(|h| u64::from(h.count))
+            .sum::<u64>();
+        acobe_obs::counter("ingest/days").inc();
+        for h in &batch.rule_hits {
+            acobe_obs::counter_with("ingest/rule_hits", &[("rule", h.rule.name())])
+                .add(u64::from(h.count));
+        }
+        on_day(batch).map_err(IngestError::Sink)
+    };
+
+    if config.threads <= 1 {
+        // Inline path: chunk, parse and batch on the calling thread.
+        let mut chunks = ChunkReader::new(reader, config.chunk_bytes);
+        let mut buf = RecordBuf::new();
+        let mut scratch = Vec::new();
+        while let Some(chunk) = chunks.next_chunk()? {
+            let parsed = parse_chunk(&chunk, &config.rules, &mut buf, &mut scratch);
+            consume_chunk(parsed, config, &mut stats, &mut batcher, &mut sink)?;
+        }
+    } else {
+        parallel_ingest(reader, config, &mut stats, &mut batcher, &mut sink)?;
+    }
+
+    if let Some(batch) = batcher.finish() {
+        sink(batch, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Folds one ordered parsed chunk into the stats, metrics and day batcher.
+fn consume_chunk<E>(
+    parsed: ParsedChunk,
+    config: &IngestConfig,
+    stats: &mut IngestStats,
+    batcher: &mut DayBatcher,
+    sink: &mut impl FnMut(DayBatch, &mut IngestStats) -> Result<(), IngestError<E>>,
+) -> Result<(), IngestError<E>> {
+    stats.chunks += 1;
+    stats.bytes += parsed.bytes as u64;
+    stats.records += parsed.records;
+    stats.blank_lines += parsed.blank_lines;
+    stats.events += parsed.events.len() as u64;
+    stats.parse_errors += parsed.parse_errors;
+    for s in parsed.error_samples {
+        if stats.error_samples.len() < ERROR_SAMPLE_CAP {
+            stats.error_samples.push(s);
+        }
+    }
+    acobe_obs::counter("ingest/chunks").inc();
+    acobe_obs::counter("ingest/bytes").add(parsed.bytes as u64);
+    acobe_obs::counter("ingest/records").add(parsed.records);
+    acobe_obs::counter("ingest/events").add(parsed.events.len() as u64);
+    if parsed.parse_errors > 0 {
+        acobe_obs::counter("ingest/parse_errors").add(parsed.parse_errors);
+    }
+    if config.strict {
+        if let Some((record, source)) = parsed.first_error {
+            return Err(IngestError::Parse { record, source });
+        }
+    }
+    // Walk events in order, attaching each one's rule-hit indices.
+    let mut hit_iter = parsed.hits.into_iter().peekable();
+    let mut scratch: Vec<u8> = Vec::new();
+    for (i, event) in parsed.events.into_iter().enumerate() {
+        scratch.clear();
+        while let Some(&(idx, rule)) = hit_iter.peek() {
+            if idx as usize == i {
+                scratch.push(rule);
+                hit_iter.next();
+            } else {
+                break;
+            }
+        }
+        if let Some(batch) = batcher.push(event, &scratch)? {
+            sink(batch, stats)?;
+        }
+    }
+    Ok(())
+}
+
+/// The multi-threaded pipeline: a reader thread feeding a bounded chunk
+/// queue, `threads` parser workers, and in-order collection on the calling
+/// thread (which runs the day batcher and the consumer callback).
+///
+/// Shutdown protocol: the reader owns `chunk_tx` and drops it on exit, which
+/// disconnects the workers; each worker owns an `out_tx` clone and drops it
+/// on exit, which disconnects the collector. On a collector-side error the
+/// `abort` flag flips, the reader stops producing, workers skip parsing, and
+/// the collector drains both queues so no thread is ever left blocked on a
+/// full bounded channel.
+fn parallel_ingest<R, E>(
+    reader: R,
+    config: &IngestConfig,
+    stats: &mut IngestStats,
+    batcher: &mut DayBatcher,
+    sink: &mut impl FnMut(DayBatch, &mut IngestStats) -> Result<(), IngestError<E>>,
+) -> Result<(), IngestError<E>>
+where
+    R: Read + Send,
+{
+    let depth = config.queue_depth.max(1);
+    let (chunk_tx, chunk_rx) = std::sync::mpsc::sync_channel::<(u64, Vec<u8>)>(depth);
+    let (out_tx, out_rx) =
+        std::sync::mpsc::sync_channel::<(u64, ParsedChunk)>(depth + config.threads);
+    let chunk_rx = Mutex::new(chunk_rx);
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let chunk_bytes = config.chunk_bytes;
+
+    let result = std::thread::scope(|scope| {
+        // Reader: cut the stream on record boundaries; owns chunk_tx.
+        {
+            let io_error = &io_error;
+            let abort = &abort;
+            scope.spawn(move || {
+                let mut chunks = ChunkReader::new(reader, chunk_bytes);
+                let mut index = 0u64;
+                while !abort.load(Ordering::Relaxed) {
+                    match chunks.next_chunk() {
+                        Ok(Some(chunk)) => {
+                            if chunk_tx.send((index, chunk)).is_err() {
+                                break; // all workers gone
+                            }
+                            index += 1;
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            *io_error.lock().expect("io-error lock") = Some(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        // Workers: pull chunks, parse with reusable buffers, push results.
+        // Holding the queue lock across the blocking recv is fine — the lock
+        // is only held while there is nothing to parse.
+        for _ in 0..config.threads {
+            let tx = out_tx.clone();
+            let chunk_rx = &chunk_rx;
+            let rules = &config.rules;
+            let abort = &abort;
+            scope.spawn(move || {
+                let mut buf = RecordBuf::new();
+                let mut scratch = Vec::new();
+                loop {
+                    let next = {
+                        let queue = chunk_rx.lock().expect("chunk-queue lock");
+                        queue.recv()
+                    };
+                    let (index, chunk) = match next {
+                        Ok(pair) => pair,
+                        Err(_) => break, // reader done
+                    };
+                    // Drain mode: keep the pipeline moving without the
+                    // parse cost once the collector has failed.
+                    let parsed = if abort.load(Ordering::Relaxed) {
+                        ParsedChunk::default()
+                    } else {
+                        parse_chunk(&chunk, rules, &mut buf, &mut scratch)
+                    };
+                    if tx.send((index, parsed)).is_err() {
+                        break; // collector gone
+                    }
+                }
+            });
+        }
+        drop(out_tx);
+        // Collector (this thread): re-sequence chunks by index and feed the
+        // batcher. `out_rx` closes once every worker exits.
+        let mut pending: BTreeMap<u64, ParsedChunk> = BTreeMap::new();
+        let mut next = 0u64;
+        let mut result: Result<(), IngestError<E>> = Ok(());
+        while let Ok((index, parsed)) = out_rx.recv() {
+            if result.is_err() {
+                continue; // draining after failure
+            }
+            pending.insert(index, parsed);
+            while let Some(parsed) = pending.remove(&next) {
+                if let Err(e) = consume_chunk(parsed, config, stats, batcher, sink) {
+                    result = Err(e);
+                    abort.store(true, Ordering::Relaxed);
+                    pending.clear();
+                    break;
+                }
+                next += 1;
+            }
+        }
+        result
+    });
+    // An I/O failure surfaces after the queues drain so already-parsed
+    // chunks are still accounted; pipeline errors take precedence.
+    if result.is_ok() {
+        if let Some(e) = io_error.lock().expect("io-error lock").take() {
+            return Err(IngestError::Io(e));
+        }
+    }
+    result
+}
+
+/// [`ingest_events`] over a file path.
+///
+/// # Errors
+///
+/// Same contract as [`ingest_events`], with open failures as
+/// [`IngestError::Io`].
+pub fn ingest_file<E, F>(
+    path: &std::path::Path,
+    config: &IngestConfig,
+    on_day: F,
+) -> Result<IngestStats, IngestError<E>>
+where
+    E: Send,
+    F: FnMut(DayBatch) -> Result<(), E>,
+{
+    let file = std::fs::File::open(path)?;
+    ingest_events(file, config, on_day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_logs::csv::ToCsv;
+    use acobe_logs::event::*;
+    use acobe_logs::ids::{HostId, UserId};
+    use acobe_logs::time::Date;
+    use std::io::Cursor;
+
+    fn event(day: u32, hour: u32, user: u32) -> LogEvent {
+        LogEvent::Device(DeviceEvent {
+            ts: Date::from_ymd(2010, 1, day).at(hour, 0, 0),
+            user: UserId(user),
+            host: HostId(user),
+            activity: DeviceActivity::Connect,
+        })
+    }
+
+    fn to_csv(events: &[LogEvent]) -> String {
+        let mut s = String::new();
+        for e in events {
+            s.push_str(&e.to_csv());
+            s.push('\n');
+        }
+        s
+    }
+
+    fn run(text: &str, config: &IngestConfig) -> (Vec<DayBatch>, Result<IngestStats, IngestError>) {
+        let mut days = Vec::new();
+        let result = ingest_events(Cursor::new(text.as_bytes().to_vec()), config, |b| {
+            days.push(b);
+            Ok(())
+        });
+        (days, result)
+    }
+
+    #[test]
+    fn batches_split_on_day_boundaries() {
+        let events = vec![
+            event(4, 9, 0),
+            event(4, 22, 1),
+            event(5, 8, 0),
+            event(7, 10, 1),
+        ];
+        let (days, result) = run(&to_csv(&events), &IngestConfig::default());
+        let stats = result.unwrap();
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.parse_errors, 0);
+        assert_eq!(days.len(), 3); // calendar gap on Jan 6 emits no batch
+        assert_eq!(days[0].date, Date::from_ymd(2010, 1, 4));
+        assert_eq!(days[0].events.len(), 2);
+        assert_eq!(days[2].date, Date::from_ymd(2010, 1, 7));
+    }
+
+    #[test]
+    fn identical_output_across_threads_and_chunk_sizes() {
+        let events: Vec<LogEvent> = (0..500)
+            .map(|i| event(4 + (i / 200) as u32, (i % 24) as u32, i % 7))
+            .collect();
+        let text = to_csv(&events);
+        let baseline = run(
+            &text,
+            &IngestConfig {
+                threads: 1,
+                ..IngestConfig::default()
+            },
+        );
+        for threads in [2, 4] {
+            for chunk_bytes in [4096, 1 << 20] {
+                let cfg = IngestConfig {
+                    threads,
+                    chunk_bytes,
+                    ..IngestConfig::default()
+                };
+                let (days, result) = run(&text, &cfg);
+                result.unwrap();
+                assert_eq!(days.len(), baseline.0.len());
+                for (a, b) in days.iter().zip(&baseline.0) {
+                    assert_eq!(a.date, b.date);
+                    assert_eq!(a.events, b.events);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_records_count_and_never_drop_silently() {
+        let good = to_csv(&[event(4, 9, 0), event(4, 10, 1)]);
+        let text = format!("{good}garbage line\nnot,a,record\n");
+        let (days, result) = run(
+            &text,
+            &IngestConfig {
+                threads: 2,
+                ..IngestConfig::default()
+            },
+        );
+        let stats = result.unwrap();
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.parse_errors, 2);
+        assert_eq!(stats.records, 4); // parsed + malformed accounted
+        assert_eq!(stats.error_samples.len(), 2);
+        assert_eq!(days.len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_aborts_with_typed_error() {
+        let good = to_csv(&[event(4, 9, 0)]);
+        let text = format!("{good}garbage line\n");
+        let cfg = IngestConfig {
+            strict: true,
+            threads: 1,
+            ..IngestConfig::default()
+        };
+        let (_, result) = run(&text, &cfg);
+        match result {
+            Err(IngestError::Parse { record, .. }) => assert_eq!(record, "garbage line"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn day_regression_is_rejected() {
+        let text = to_csv(&[event(5, 9, 0), event(4, 9, 0)]);
+        let (_, result) = run(
+            &text,
+            &IngestConfig {
+                threads: 1,
+                ..IngestConfig::default()
+            },
+        );
+        match result {
+            Err(IngestError::OutOfOrder { prev, got }) => {
+                assert_eq!(prev, Date::from_ymd(2010, 1, 5));
+                assert_eq!(got, Date::from_ymd(2010, 1, 4));
+            }
+            other => panic!("expected out-of-order, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_rules_aggregate_per_day() {
+        let events = vec![
+            event(4, 22, 3), // off-hours device connect
+            event(4, 23, 3), // off-hours again, same user/frame
+            event(4, 9, 1),  // working hours: no hit
+        ];
+        let cfg = IngestConfig {
+            rules: RuleSet::standard(),
+            threads: 1,
+            ..IngestConfig::default()
+        };
+        let (days, result) = run(&to_csv(&events), &cfg);
+        let stats = result.unwrap();
+        assert_eq!(stats.rule_hits, 2);
+        assert_eq!(days.len(), 1);
+        assert_eq!(days[0].rule_hits.len(), 1);
+        let hit = &days[0].rule_hits[0];
+        assert_eq!(hit.user, 3);
+        assert_eq!(hit.rule, Rule::OffHoursActivity);
+        assert_eq!(hit.frame, 1);
+        assert_eq!(hit.count, 2);
+    }
+
+    #[test]
+    fn sink_error_aborts_pipeline() {
+        let text = to_csv(&[event(4, 9, 0), event(5, 9, 0), event(6, 9, 0)]);
+        let mut seen = 0;
+        let result = ingest_events::<_, &'static str, _>(
+            Cursor::new(text.into_bytes()),
+            &IngestConfig {
+                threads: 2,
+                ..IngestConfig::default()
+            },
+            |_| {
+                seen += 1;
+                if seen == 2 {
+                    Err("sink full")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        match result {
+            Err(IngestError::Sink(e)) => assert_eq!(e, "sink full"),
+            other => panic!("expected sink error, got {other:?}"),
+        }
+        assert_eq!(seen, 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Inline per-record rule layer.
+//!
+//! Cheap predicates evaluated on every parsed event while it is still hot in
+//! cache, in the style of per-record detection rules over raw audit logs.
+//! Hits are aggregated per `(user, rule, frame)` within each day batch and
+//! surface as `AlertTrigger::RuleHit` alerts in the CLI (opt-in) plus
+//! `ingest/rule_hits` metrics — they never feed the behavioral scores, so
+//! the measurement path stays bit-identical with rules on or off.
+
+use acobe_logs::event::{FileActivity, HttpActivity, Location, LogEvent};
+
+/// A per-record predicate over raw log events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Any device / file / http activity in the off-hours frame.
+    OffHoursActivity,
+    /// A file write or copy whose destination is removable media.
+    RemovableMediaWrite,
+    /// An executable uploaded over http.
+    ExeUpload,
+    /// A failed logon attempt.
+    FailedLogon,
+}
+
+impl Rule {
+    /// Every rule, in stable index order.
+    pub const ALL: [Rule; 4] = [
+        Rule::OffHoursActivity,
+        Rule::RemovableMediaWrite,
+        Rule::ExeUpload,
+        Rule::FailedLogon,
+    ];
+
+    /// Stable identifier used in alerts and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::OffHoursActivity => "off_hours_activity",
+            Rule::RemovableMediaWrite => "removable_media_write",
+            Rule::ExeUpload => "exe_upload",
+            Rule::FailedLogon => "failed_logon",
+        }
+    }
+
+    /// Index of this rule in [`Rule::ALL`].
+    pub fn index(self) -> usize {
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("rule in ALL")
+    }
+
+    /// Whether `event` trips this rule.
+    pub fn matches(self, event: &LogEvent) -> bool {
+        match self {
+            Rule::OffHoursActivity => {
+                event.ts().time_frame() == acobe_logs::time::TimeFrame::Off
+                    && matches!(
+                        event,
+                        LogEvent::Device(_) | LogEvent::File(_) | LogEvent::Http(_)
+                    )
+            }
+            Rule::RemovableMediaWrite => matches!(
+                event,
+                LogEvent::File(f)
+                    if f.to == Location::Remote
+                        && matches!(f.activity, FileActivity::Write | FileActivity::Copy)
+            ),
+            Rule::ExeUpload => matches!(
+                event,
+                LogEvent::Http(h)
+                    if h.activity == HttpActivity::Upload
+                        && h.filetype == acobe_logs::event::FileType::Exe
+            ),
+            Rule::FailedLogon => matches!(event, LogEvent::Logon(l) if !l.success),
+        }
+    }
+}
+
+/// The set of rules evaluated inline during parsing. Empty by default — an
+/// empty set costs nothing on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn none() -> Self {
+        RuleSet::default()
+    }
+
+    /// All built-in rules.
+    pub fn standard() -> Self {
+        RuleSet {
+            rules: Rule::ALL.to_vec(),
+        }
+    }
+
+    /// A custom selection.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// The active rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// True when no rules are active.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Appends the indices (into [`Rule::ALL`]) of every rule matching
+    /// `event` to `out`.
+    pub fn matching(&self, event: &LogEvent, out: &mut Vec<u8>) {
+        for rule in &self.rules {
+            if rule.matches(event) {
+                out.push(rule.index() as u8);
+            }
+        }
+    }
+}
+
+/// One day's aggregated hits for one `(user, rule, frame)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleHit {
+    /// Global user index.
+    pub user: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Time-frame index the hits landed in (0 = working, 1 = off).
+    pub frame: usize,
+    /// Number of matching events that day.
+    pub count: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acobe_logs::event::*;
+    use acobe_logs::ids::{FileId, HostId, UserId};
+    use acobe_logs::time::Date;
+
+    #[test]
+    fn rule_predicates() {
+        let off = Date::from_ymd(2010, 3, 1).at(22, 0, 0);
+        let working = Date::from_ymd(2010, 3, 1).at(10, 0, 0);
+        let usb_write = LogEvent::File(FileEvent {
+            ts: working,
+            user: UserId(1),
+            host: HostId(0),
+            file: FileId(9),
+            activity: FileActivity::Write,
+            from: Location::Local,
+            to: Location::Remote,
+        });
+        assert!(Rule::RemovableMediaWrite.matches(&usb_write));
+        assert!(!Rule::OffHoursActivity.matches(&usb_write));
+
+        let night_connect = LogEvent::Device(DeviceEvent {
+            ts: off,
+            user: UserId(1),
+            host: HostId(0),
+            activity: DeviceActivity::Connect,
+        });
+        assert!(Rule::OffHoursActivity.matches(&night_connect));
+
+        let failed = LogEvent::Logon(LogonEvent {
+            ts: working,
+            user: UserId(2),
+            host: HostId(0),
+            activity: LogonActivity::Logon,
+            success: false,
+        });
+        assert!(Rule::FailedLogon.matches(&failed));
+        assert!(!Rule::ExeUpload.matches(&failed));
+
+        let mut hits = Vec::new();
+        RuleSet::standard().matching(&usb_write, &mut hits);
+        assert_eq!(hits, vec![Rule::RemovableMediaWrite.index() as u8]);
+        hits.clear();
+        RuleSet::none().matching(&night_connect, &mut hits);
+        assert!(hits.is_empty());
+    }
+}

@@ -11,7 +11,7 @@
 //! trailing columns are ignored, making the readers robust across the r4-r6
 //! column variations.
 
-use crate::csv::{parse_record, ParseCsvError};
+use crate::csv::{Fields, ParseCsvError, RecordBuf};
 use crate::event::*;
 use crate::ids::{DomainId, FileId, HostId, Interner, UserId};
 use crate::store::LogStore;
@@ -63,7 +63,12 @@ impl CertDatasetFiles {
                 "Disconnect" => DeviceActivity::Disconnect,
                 _ => return None,
             };
-            Some(LogEvent::Device(DeviceEvent { ts, user, host, activity }))
+            Some(LogEvent::Device(DeviceEvent {
+                ts,
+                user,
+                host,
+                activity,
+            }))
         })
     }
 
@@ -82,7 +87,13 @@ impl CertDatasetFiles {
                 "Logoff" => LogonActivity::Logoff,
                 _ => return None,
             };
-            Some(LogEvent::Logon(LogonEvent { ts, user, host, activity, success: true }))
+            Some(LogEvent::Logon(LogonEvent {
+                ts,
+                user,
+                host,
+                activity,
+                success: true,
+            }))
         })
     }
 
@@ -107,7 +118,14 @@ impl CertDatasetFiles {
                 _ => HttpActivity::Visit,
             };
             let filetype = filetype_from_url(url);
-            Some(LogEvent::Http(HttpEvent { ts, user, domain, activity, filetype, success: true }))
+            Some(LogEvent::Http(HttpEvent {
+                ts,
+                user,
+                domain,
+                activity,
+                filetype,
+                success: true,
+            }))
         })
     }
 
@@ -136,7 +154,15 @@ impl CertDatasetFiles {
                 (_, true) => (Location::Local, Location::Remote),
                 _ => (Location::Local, Location::Local),
             };
-            Some(LogEvent::File(FileEvent { ts, user, host, file, activity, from, to }))
+            Some(LogEvent::File(FileEvent {
+                ts,
+                user,
+                host,
+                file,
+                activity,
+                from,
+                to,
+            }))
         })
     }
 
@@ -160,7 +186,13 @@ impl CertDatasetFiles {
                 .and_then(|s| s.trim().parse::<u32>().ok())
                 .map(|n| n > 0)
                 .unwrap_or(false);
-            Some(LogEvent::Email(EmailEvent { ts, user, recipients, size, attachment }))
+            Some(LogEvent::Email(EmailEvent {
+                ts,
+                user,
+                recipients,
+                size,
+                attachment,
+            }))
         })
     }
 
@@ -172,9 +204,13 @@ impl CertDatasetFiles {
 
     fn read_lines<F>(&mut self, text: &str, mut convert: F) -> Result<usize, ParseCsvError>
     where
-        F: FnMut(&mut Self, &Fields) -> Option<LogEvent>,
+        F: FnMut(&mut Self, &Fields<'_>) -> Option<LogEvent>,
     {
         let mut added = 0usize;
+        // One reusable field buffer for the whole file: fields are borrowed
+        // slices of each line, so the per-record `Vec<String>` the old
+        // reader allocated is gone.
+        let mut buf = RecordBuf::new();
         for (i, line) in text.lines().enumerate() {
             if line.is_empty() {
                 continue;
@@ -183,8 +219,7 @@ impl CertDatasetFiles {
             if i == 0 && !line.starts_with('{') {
                 continue;
             }
-            let record = parse_record(line)?;
-            let fields = Fields(record);
+            let fields = buf.parse(line)?;
             match convert(self, &fields) {
                 Some(event) => {
                     self.store.push(event);
@@ -194,14 +229,6 @@ impl CertDatasetFiles {
             }
         }
         Ok(added)
-    }
-}
-
-struct Fields(Vec<String>);
-
-impl Fields {
-    fn get(&self, i: usize) -> Option<&str> {
-        self.0.get(i).map(String::as_str)
     }
 }
 
@@ -299,10 +326,7 @@ mod tests {
         assert_eq!(store.len(), 3);
         assert_eq!(interners.users.len(), 2);
         assert_eq!(interners.pcs.len(), 2);
-        assert_eq!(
-            store.events()[0].ts().date(),
-            Date::from_ymd(2010, 1, 4)
-        );
+        assert_eq!(store.events()[0].ts().date(), Date::from_ymd(2010, 1, 4));
     }
 
     #[test]
@@ -316,14 +340,18 @@ id,date,user,pc,url,activity
         let (store, interners, _) = ds.finish();
         let events = store.events();
         assert_eq!(events.len(), 2);
-        let LogEvent::Http(up) = &events[0] else { panic!("expected http") };
+        let LogEvent::Http(up) = &events[0] else {
+            panic!("expected http")
+        };
         assert_eq!(up.activity, HttpActivity::Upload);
         assert_eq!(up.filetype, FileType::Doc);
         assert_eq!(
             interners.domains.resolve(up.domain.0),
             Some("jobsearch.example.com")
         );
-        let LogEvent::Http(visit) = &events[1] else { panic!("expected http") };
+        let LogEvent::Http(visit) = &events[1] else {
+            panic!("expected http")
+        };
         assert_eq!(visit.activity, HttpActivity::Visit);
     }
 
@@ -337,12 +365,18 @@ id,date,user,pc,filename,activity,to_removable_media,from_removable_media
         let mut ds = CertDatasetFiles::new();
         ds.read_file(text).unwrap();
         let (store, _, _) = ds.finish();
-        let LogEvent::File(copy) = &store.events()[0] else { panic!() };
+        let LogEvent::File(copy) = &store.events()[0] else {
+            panic!()
+        };
         assert_eq!(copy.activity, FileActivity::Copy);
         assert_eq!(copy.to, Location::Remote);
-        let LogEvent::File(open) = &store.events()[1] else { panic!() };
+        let LogEvent::File(open) = &store.events()[1] else {
+            panic!()
+        };
         assert_eq!(open.from, Location::Remote);
-        let LogEvent::File(write) = &store.events()[2] else { panic!() };
+        let LogEvent::File(write) = &store.events()[2] else {
+            panic!()
+        };
         assert_eq!(write.to, Location::Local);
     }
 
@@ -354,7 +388,9 @@ id,date,user,pc,to,cc,bcc,from,size,attachments
         let mut ds = CertDatasetFiles::new();
         ds.read_email(text).unwrap();
         let (store, _, _) = ds.finish();
-        let LogEvent::Email(e) = &store.events()[0] else { panic!() };
+        let LogEvent::Email(e) = &store.events()[0] else {
+            panic!()
+        };
         assert_eq!(e.recipients, 2);
         assert_eq!(e.size, 25_000);
         assert!(e.attachment);

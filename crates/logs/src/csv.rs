@@ -19,7 +19,9 @@ pub struct ParseCsvError {
 
 impl ParseCsvError {
     fn new(reason: impl Into<String>) -> Self {
-        ParseCsvError { reason: reason.into() }
+        ParseCsvError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -61,40 +63,372 @@ pub fn write_record(fields: &[&str]) -> String {
     out
 }
 
-/// Splits one CSV record into fields, honoring RFC-4180 quoting.
+/// SWAR zero-byte detector: a set high bit per byte of `x` that is zero.
+#[inline]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Position of the first `needle` in `hay`, scanning eight bytes per step.
+///
+/// The splitters below spend most of their time looking for one delimiter
+/// byte in delimiter-free runs; a word-at-a-time scan keeps them from
+/// crawling the haystack a byte per iteration (std's `memchr` is not public,
+/// so this is the classic SWAR formulation of the same idea).
+#[inline]
+fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    let pat = u64::from_ne_bytes([needle; 8]);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte window"));
+        let m = zero_bytes(w ^ pat);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// Position of the first `a` or `b` in `hay`, scanning eight bytes per step.
+#[inline]
+fn find_either(hay: &[u8], a: u8, b: u8) -> Option<usize> {
+    let pa = u64::from_ne_bytes([a; 8]);
+    let pb = u64::from_ne_bytes([b; 8]);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte window"));
+        let m = zero_bytes(w ^ pa) | zero_bytes(w ^ pb);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&c| c == a || c == b)
+        .map(|p| i + p)
+}
+
+/// Splits one CSV record into owned fields, honoring RFC-4180 quoting.
+///
+/// This is the allocating convenience wrapper (one `Vec<String>` per record)
+/// kept for API compatibility; hot paths should reuse a [`RecordBuf`] and
+/// borrow the fields instead.
 ///
 /// # Errors
 ///
 /// Returns an error for an unterminated quoted field.
 pub fn parse_record(line: &str) -> Result<Vec<String>, ParseCsvError> {
-    let mut fields = Vec::new();
-    let mut cur = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
-    loop {
-        match chars.next() {
-            None => {
-                if in_quotes {
-                    return Err(ParseCsvError::new("unterminated quoted field"));
-                }
-                fields.push(cur);
-                return Ok(fields);
+    let mut buf = RecordBuf::new();
+    Ok(buf.parse(line)?.iter().map(str::to_owned).collect())
+}
+
+/// Where one parsed field's bytes live: in the source line or, for quoted
+/// fields that needed unescaping, in the [`RecordBuf`] scratch buffer.
+#[derive(Debug, Clone, Copy)]
+struct FieldSpan {
+    start: u32,
+    end: u32,
+    scratch: bool,
+}
+
+/// Reusable zero-copy CSV record splitter.
+///
+/// [`RecordBuf::parse`] records field *spans* into the input line instead of
+/// copying field content: unquoted fields and quoted fields without escape
+/// sequences borrow straight from the line, and only fields that actually
+/// contain `""` escapes (or mix quoted and bare segments) are normalized into
+/// an internal scratch buffer. Reusing one `RecordBuf` across records makes
+/// the steady state allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use acobe_logs::csv::RecordBuf;
+/// let mut buf = RecordBuf::new();
+/// let fields = buf.parse("a,\"b,c\",\"d\"\"e\"").unwrap();
+/// assert_eq!(fields.len(), 3);
+/// assert_eq!(fields.get(1), Some("b,c"));
+/// assert_eq!(fields.get(2), Some("d\"e"));
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordBuf {
+    spans: Vec<FieldSpan>,
+    scratch: String,
+}
+
+impl RecordBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        RecordBuf::default()
+    }
+
+    /// Splits `line` into borrowed fields, honoring RFC-4180 quoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unterminated quoted field. The grammar is
+    /// byte-for-byte the one [`parse_record`] has always accepted, including
+    /// its lenient treatment of stray quotes inside unquoted fields.
+    pub fn parse<'a>(&'a mut self, line: &'a str) -> Result<Fields<'a>, ParseCsvError> {
+        self.spans.clear();
+        self.scratch.clear();
+        let bytes = line.as_bytes();
+        // Fast path: while no quote has appeared, every field is a plain
+        // comma-delimited slice of the line; one word-at-a-time scan finds
+        // each delimiter. The first quote bails out to the full grammar.
+        let mut start = 0usize;
+        let mut quoteless = true;
+        while let Some(p) = find_either(&bytes[start..], b',', b'"') {
+            let i = start + p;
+            if bytes[i] == b'"' {
+                quoteless = false;
+                break;
             }
-            Some('"') if in_quotes => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    cur.push('"');
+            self.spans.push(FieldSpan {
+                start: start as u32,
+                end: i as u32,
+                scratch: false,
+            });
+            start = i + 1;
+        }
+        if quoteless {
+            self.spans.push(FieldSpan {
+                start: start as u32,
+                end: bytes.len() as u32,
+                scratch: false,
+            });
+        } else {
+            self.spans.clear();
+            self.parse_quoted(line)?;
+        }
+        Ok(Fields {
+            line,
+            scratch: &self.scratch,
+            spans: &self.spans,
+        })
+    }
+
+    /// Slow path for records containing at least one quote. A field either
+    /// starts with a quote (quoted content + optional literal tail) or is
+    /// fully literal; only escaped quotes and quoted-plus-tail mixtures are
+    /// copied into the scratch buffer.
+    fn parse_quoted(&mut self, line: &str) -> Result<(), ParseCsvError> {
+        let bytes = line.as_bytes();
+        let n = bytes.len();
+        let mut i = 0usize;
+        loop {
+            // One field starts at `i`.
+            if i < n && bytes[i] == b'"' {
+                // Quoted field: content until the closing quote, `""` is an
+                // escaped quote.
+                i += 1;
+                let content_start = i;
+                let mut has_escape = false;
+                loop {
+                    if i >= n {
+                        return Err(ParseCsvError::new("unterminated quoted field"));
+                    }
+                    if bytes[i] == b'"' {
+                        if i + 1 < n && bytes[i + 1] == b'"' {
+                            has_escape = true;
+                            i += 2;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                let content_end = i;
+                i += 1; // past the closing quote
+                        // Anything between the closing quote and the next comma is
+                        // literal tail content (the historical lenient grammar).
+                let tail_start = i;
+                while i < n && bytes[i] != b',' {
+                    i += 1;
+                }
+                if !has_escape && tail_start == i {
+                    self.spans.push(FieldSpan {
+                        start: content_start as u32,
+                        end: content_end as u32,
+                        scratch: false,
+                    });
                 } else {
-                    in_quotes = false;
+                    let s_start = self.scratch.len() as u32;
+                    let mut j = content_start;
+                    let mut run = content_start;
+                    while j < content_end {
+                        if bytes[j] == b'"' {
+                            self.scratch.push_str(&line[run..j + 1]); // keep one quote
+                            j += 2; // skip the escape pair
+                            run = j;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    self.scratch.push_str(&line[run..content_end]);
+                    self.scratch.push_str(&line[tail_start..i]);
+                    self.spans.push(FieldSpan {
+                        start: s_start,
+                        end: self.scratch.len() as u32,
+                        scratch: true,
+                    });
                 }
+            } else {
+                // Literal field (stray quotes after the first byte are
+                // content, matching the historical parser).
+                let start = i;
+                while i < n && bytes[i] != b',' {
+                    i += 1;
+                }
+                self.spans.push(FieldSpan {
+                    start: start as u32,
+                    end: i as u32,
+                    scratch: false,
+                });
             }
-            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
-            Some(',') if !in_quotes => {
-                fields.push(std::mem::take(&mut cur));
+            if i >= n {
+                return Ok(());
             }
-            Some(ch) => cur.push(ch),
+            debug_assert_eq!(bytes[i], b',');
+            i += 1; // past the comma; an empty trailing field parses next turn
         }
     }
+}
+
+/// Borrowed view of one parsed record's fields.
+///
+/// Produced by [`RecordBuf::parse`]; fields borrow from the input line (or
+/// the buffer's scratch space) for the lifetime of the borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct Fields<'a> {
+    line: &'a str,
+    scratch: &'a str,
+    spans: &'a [FieldSpan],
+}
+
+impl<'a> Fields<'a> {
+    /// Number of fields (always at least 1).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the record has no fields (never, for a parsed record; kept
+    /// for sub-views produced by [`Fields::tail`]).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Field `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<&'a str> {
+        let span = self.spans.get(i)?;
+        let src = if span.scratch {
+            self.scratch
+        } else {
+            self.line
+        };
+        Some(&src[span.start as usize..span.end as usize])
+    }
+
+    /// Iterates the fields in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a str> + '_ {
+        (0..self.len()).map(|i| self.get(i).expect("in range"))
+    }
+
+    /// Sub-view starting at field `from` (used to strip the category tag
+    /// before dispatching to a concrete event parser).
+    pub fn tail(&self, from: usize) -> Fields<'a> {
+        Fields {
+            line: self.line,
+            scratch: self.scratch,
+            spans: &self.spans[from.min(self.spans.len())..],
+        }
+    }
+}
+
+/// Length of the longest prefix of `buf` ending on a record boundary: one
+/// past the last newline at even quote parity. `buf` must itself start on a
+/// record boundary (true for the file start and for any suffix produced by a
+/// previous call). Returns `None` when the block contains no complete record
+/// — the caller should grow the buffer and retry.
+///
+/// Newlines inside quoted fields sit at odd parity and are never treated as
+/// boundaries, so chunks split here can be parsed independently.
+pub fn complete_record_prefix(buf: &[u8]) -> Option<usize> {
+    let mut last = None;
+    let mut pos = 0usize;
+    while let Some(p) = find_either(&buf[pos..], b'\n', b'"') {
+        let i = pos + p;
+        if buf[i] == b'\n' {
+            last = Some(i + 1);
+            pos = i + 1;
+        } else {
+            match find_byte(&buf[i + 1..], b'"') {
+                Some(q) => pos = i + q + 2,
+                None => break, // unterminated quote: no boundary past it
+            }
+        }
+    }
+    last
+}
+
+/// Iterator over the records of a record-aligned byte chunk.
+///
+/// Splits on newlines at even quote parity (so quoted fields may embed
+/// newlines), strips one trailing `\r` per record (like [`str::lines`]), and
+/// yields raw byte slices — callers decide how to handle non-UTF-8 content.
+/// A chunk produced by [`complete_record_prefix`] yields only complete
+/// records; an unterminated trailing record (no final newline) is still
+/// yielded so nothing is silently dropped.
+#[derive(Debug, Clone)]
+pub struct RecordSlices<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Iterator for RecordSlices<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        // Outside quotes, scan for the next newline or opening quote; inside
+        // quotes only the closing quote matters (embedded newlines are
+        // content). Both scans go a word at a time.
+        let mut pos = 0usize;
+        loop {
+            let Some(p) = find_either(&self.buf[pos..], b'\n', b'"') else {
+                break;
+            };
+            let i = pos + p;
+            if self.buf[i] == b'\n' {
+                let (rec, rest) = self.buf.split_at(i);
+                self.buf = &rest[1..];
+                return Some(strip_cr(rec));
+            }
+            match find_byte(&self.buf[i + 1..], b'"') {
+                Some(q) => pos = i + q + 2,
+                None => break, // unterminated quote: the rest is one record
+            }
+        }
+        let rec = self.buf;
+        self.buf = &[];
+        Some(strip_cr(rec))
+    }
+}
+
+fn strip_cr(rec: &[u8]) -> &[u8] {
+    match rec.last() {
+        Some(b'\r') => &rec[..rec.len() - 1],
+        _ => rec,
+    }
+}
+
+/// Iterates the records of a record-aligned chunk. See [`RecordSlices`].
+pub fn record_slices(chunk: &[u8]) -> RecordSlices<'_> {
+    RecordSlices { buf: chunk }
 }
 
 fn fmt_ts(ts: Timestamp) -> String {
@@ -105,8 +439,8 @@ fn parse_ts(s: &str) -> Result<Timestamp, ParseCsvError> {
     let (date_part, time_part) = s
         .split_once(' ')
         .ok_or_else(|| ParseCsvError::new(format!("bad timestamp: {s}")))?;
-    let date = Date::parse(date_part)
-        .map_err(|_| ParseCsvError::new(format!("bad date: {date_part}")))?;
+    let date =
+        Date::parse(date_part).map_err(|_| ParseCsvError::new(format!("bad date: {date_part}")))?;
     let mut it = time_part.splitn(3, ':');
     let h: u32 = it
         .next()
@@ -126,7 +460,80 @@ fn parse_ts(s: &str) -> Result<Timestamp, ParseCsvError> {
     Ok(date.at(h, m, sec))
 }
 
+/// Decodes the canonical fixed-width `YYYY-MM-DD HH:MM:SS` layout written by
+/// [`ToCsv`] with straight digit arithmetic; any deviation falls back to the
+/// flexible [`parse_ts`] so accepted inputs and error text stay identical.
+fn parse_ts_fast(s: &str) -> Result<Timestamp, ParseCsvError> {
+    let b = s.as_bytes();
+    if b.len() == 19
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b[10] == b' '
+        && b[13] == b':'
+        && b[16] == b':'
+    {
+        if let Some(ts) = decode_canonical_ts(b) {
+            return Ok(ts);
+        }
+    }
+    parse_ts(s)
+}
+
+std::thread_local! {
+    /// Last canonical date decoded on this thread (`YYYY-MM-DD` bytes and
+    /// the resulting [`Date`]). Log files arrive day-clustered, so the
+    /// civil→epoch conversion almost always short-circuits here. The initial
+    /// key can never equal a digits-and-dashes date, so it never false-hits.
+    static LAST_DATE: std::cell::Cell<([u8; 10], Date)> =
+        const { std::cell::Cell::new(([0xff; 10], Date::EPOCH)) };
+}
+
+fn decode_canonical_ts(b: &[u8]) -> Option<Timestamp> {
+    fn d2(bytes: &[u8], i: usize) -> Option<u32> {
+        let hi = bytes[i];
+        let lo = bytes[i + 1];
+        if hi.is_ascii_digit() && lo.is_ascii_digit() {
+            Some((hi - b'0') as u32 * 10 + (lo - b'0') as u32)
+        } else {
+            None
+        }
+    }
+    let hour = d2(b, 11)?;
+    let minute = d2(b, 14)?;
+    let second = d2(b, 17)?;
+    if hour >= 24 || minute >= 60 || second >= 60 {
+        return None; // let the flexible path produce its usual error
+    }
+    let key: [u8; 10] = b[..10].try_into().expect("canonical date prefix");
+    let (last_key, last_date) = LAST_DATE.get();
+    let date = if key == last_key {
+        last_date
+    } else {
+        let year = (d2(b, 0)? * 100 + d2(b, 2)?) as i32;
+        let month = d2(b, 5)?;
+        let day = d2(b, 8)?;
+        if !(1..=12).contains(&month) || day < 1 || day > crate::time::days_in_month(year, month) {
+            return None;
+        }
+        let date = Date::from_ymd(year, month, day);
+        LAST_DATE.set((key, date));
+        date
+    };
+    Some(date.at(hour, minute, second))
+}
+
 fn parse_u32(s: &str, what: &str) -> Result<u32, ParseCsvError> {
+    // Digit-loop fast path for the plain decimal integers we write ourselves;
+    // anything else (empty, signs, overflow-length) goes through `str::parse`
+    // so accepted inputs like `+5` keep parsing exactly as before.
+    let b = s.as_bytes();
+    if !b.is_empty() && b.len() <= 9 && b.iter().all(|c| c.is_ascii_digit()) {
+        let mut v = 0u32;
+        for &c in b {
+            v = v * 10 + (c - b'0') as u32;
+        }
+        return Ok(v);
+    }
     s.parse()
         .map_err(|_| ParseCsvError::new(format!("bad {what}: {s}")))
 }
@@ -147,6 +554,32 @@ pub trait FromCsv: Sized {
     fn from_csv(line: &str) -> Result<Self, ParseCsvError>;
 }
 
+/// Types that can be decoded from an already-split borrowed record view.
+///
+/// This is the zero-copy counterpart of [`FromCsv`]: the caller owns a
+/// [`RecordBuf`], parses each line into [`Fields`] and hands the view here, so
+/// decoding a record allocates nothing beyond the event itself.
+pub trait FromCsvFields: Sized {
+    /// Decodes from the fields of one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] when the field count or content is malformed.
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError>;
+}
+
+/// Parses one tagged `category,...` log line, reusing `buf` for field storage.
+///
+/// Equivalent to [`LogEvent::from_csv`] but allocation-free in steady state.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] when the record is malformed.
+pub fn parse_event(line: &str, buf: &mut RecordBuf) -> Result<LogEvent, ParseCsvError> {
+    let f = buf.parse(line)?;
+    LogEvent::from_fields(&f)
+}
+
 impl ToCsv for DeviceEvent {
     fn to_csv(&self) -> String {
         let act = match self.activity {
@@ -162,23 +595,28 @@ impl ToCsv for DeviceEvent {
     }
 }
 
-impl FromCsv for DeviceEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for DeviceEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 4 {
             return Err(ParseCsvError::new("device record needs 4 fields"));
         }
-        let activity = match f[3].as_str() {
+        let activity = match f.get(3).unwrap_or_default() {
             "Connect" => DeviceActivity::Connect,
             "Disconnect" => DeviceActivity::Disconnect,
             other => return Err(ParseCsvError::new(format!("bad device activity: {other}"))),
         };
         Ok(DeviceEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            host: HostId(parse_u32(&f[2], "host")?),
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            host: HostId(parse_u32(f.get(2).unwrap_or_default(), "host")?),
             activity,
         })
+    }
+}
+
+impl FromCsv for DeviceEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        DeviceEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -217,13 +655,12 @@ impl ToCsv for FileEvent {
     }
 }
 
-impl FromCsv for FileEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for FileEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 7 {
             return Err(ParseCsvError::new("file record needs 7 fields"));
         }
-        let activity = match f[4].as_str() {
+        let activity = match f.get(4).unwrap_or_default() {
             "Open" => FileActivity::Open,
             "Write" => FileActivity::Write,
             "Copy" => FileActivity::Copy,
@@ -231,14 +668,20 @@ impl FromCsv for FileEvent {
             other => return Err(ParseCsvError::new(format!("bad file activity: {other}"))),
         };
         Ok(FileEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            host: HostId(parse_u32(&f[2], "host")?),
-            file: FileId(parse_u32(&f[3], "file")?),
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            host: HostId(parse_u32(f.get(2).unwrap_or_default(), "host")?),
+            file: FileId(parse_u32(f.get(3).unwrap_or_default(), "file")?),
             activity,
-            from: parse_loc(&f[5])?,
-            to: parse_loc(&f[6])?,
+            from: parse_loc(f.get(5).unwrap_or_default())?,
+            to: parse_loc(f.get(6).unwrap_or_default())?,
         })
+    }
+}
+
+impl FromCsv for FileEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        FileEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -285,26 +728,31 @@ impl ToCsv for HttpEvent {
     }
 }
 
-impl FromCsv for HttpEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for HttpEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 6 {
             return Err(ParseCsvError::new("http record needs 6 fields"));
         }
-        let activity = match f[3].as_str() {
+        let activity = match f.get(3).unwrap_or_default() {
             "Visit" => HttpActivity::Visit,
             "Download" => HttpActivity::Download,
             "Upload" => HttpActivity::Upload,
             other => return Err(ParseCsvError::new(format!("bad http activity: {other}"))),
         };
         Ok(HttpEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            domain: DomainId(parse_u32(&f[2], "domain")?),
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            domain: DomainId(parse_u32(f.get(2).unwrap_or_default(), "domain")?),
             activity,
-            filetype: parse_filetype(&f[4])?,
-            success: f[5] == "1",
+            filetype: parse_filetype(f.get(4).unwrap_or_default())?,
+            success: f.get(5) == Some("1"),
         })
+    }
+}
+
+impl FromCsv for HttpEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        HttpEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -320,19 +768,24 @@ impl ToCsv for EmailEvent {
     }
 }
 
-impl FromCsv for EmailEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for EmailEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 5 {
             return Err(ParseCsvError::new("email record needs 5 fields"));
         }
         Ok(EmailEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            recipients: parse_u32(&f[2], "recipients")?,
-            size: parse_u32(&f[3], "size")?,
-            attachment: f[4] == "1",
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            recipients: parse_u32(f.get(2).unwrap_or_default(), "recipients")?,
+            size: parse_u32(f.get(3).unwrap_or_default(), "size")?,
+            attachment: f.get(4) == Some("1"),
         })
+    }
+}
+
+impl FromCsv for EmailEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        EmailEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -352,24 +805,29 @@ impl ToCsv for LogonEvent {
     }
 }
 
-impl FromCsv for LogonEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for LogonEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 5 {
             return Err(ParseCsvError::new("logon record needs 5 fields"));
         }
-        let activity = match f[3].as_str() {
+        let activity = match f.get(3).unwrap_or_default() {
             "Logon" => LogonActivity::Logon,
             "Logoff" => LogonActivity::Logoff,
             other => return Err(ParseCsvError::new(format!("bad logon activity: {other}"))),
         };
         Ok(LogonEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            host: HostId(parse_u32(&f[2], "host")?),
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            host: HostId(parse_u32(f.get(2).unwrap_or_default(), "host")?),
             activity,
-            success: f[4] == "1",
+            success: f.get(4) == Some("1"),
         })
+    }
+}
+
+impl FromCsv for LogonEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        LogonEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -391,30 +849,37 @@ impl ToCsv for WindowsEvent {
     }
 }
 
-impl FromCsv for WindowsEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for WindowsEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 5 {
             return Err(ParseCsvError::new("windows record needs 5 fields"));
         }
-        let channel = match f[2].as_str() {
+        let channel = match f.get(2).unwrap_or_default() {
             "Security" => WinChannel::Security,
             "Sysmon" => WinChannel::Sysmon,
             "PowerShell" => WinChannel::PowerShell,
             "System" => WinChannel::System,
             other => return Err(ParseCsvError::new(format!("bad channel: {other}"))),
         };
+        let event_id = f.get(3).unwrap_or_default();
+        let object = f.get(4).unwrap_or_default();
         Ok(WindowsEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
             channel,
-            event_id: f[3]
+            event_id: event_id
                 .parse()
-                .map_err(|_| ParseCsvError::new(format!("bad event id: {}", f[3])))?,
-            object: f[4]
+                .map_err(|_| ParseCsvError::new(format!("bad event id: {event_id}")))?,
+            object: object
                 .parse()
-                .map_err(|_| ParseCsvError::new(format!("bad object: {}", f[4])))?,
+                .map_err(|_| ParseCsvError::new(format!("bad object: {object}")))?,
         })
+    }
+}
+
+impl FromCsv for WindowsEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        WindowsEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -429,18 +894,23 @@ impl ToCsv for ProxyEvent {
     }
 }
 
-impl FromCsv for ProxyEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let f = parse_record(line)?;
+impl FromCsvFields for ProxyEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
         if f.len() != 4 {
             return Err(ParseCsvError::new("proxy record needs 4 fields"));
         }
         Ok(ProxyEvent {
-            ts: parse_ts(&f[0])?,
-            user: UserId(parse_u32(&f[1], "user")?),
-            domain: DomainId(parse_u32(&f[2], "domain")?),
-            success: f[3] == "1",
+            ts: parse_ts_fast(f.get(0).unwrap_or_default())?,
+            user: UserId(parse_u32(f.get(1).unwrap_or_default(), "user")?),
+            domain: DomainId(parse_u32(f.get(2).unwrap_or_default(), "domain")?),
+            success: f.get(3) == Some("1"),
         })
+    }
+}
+
+impl FromCsv for ProxyEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        ProxyEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -459,21 +929,28 @@ impl ToCsv for LogEvent {
     }
 }
 
-impl FromCsv for LogEvent {
-    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
-        let (tag, rest) = line
-            .split_once(',')
+impl FromCsvFields for LogEvent {
+    fn from_fields(f: &Fields<'_>) -> Result<Self, ParseCsvError> {
+        let tag = f
+            .get(0)
             .ok_or_else(|| ParseCsvError::new("missing category tag"))?;
+        let body = f.tail(1);
         Ok(match tag {
-            "device" => LogEvent::Device(DeviceEvent::from_csv(rest)?),
-            "file" => LogEvent::File(FileEvent::from_csv(rest)?),
-            "http" => LogEvent::Http(HttpEvent::from_csv(rest)?),
-            "email" => LogEvent::Email(EmailEvent::from_csv(rest)?),
-            "logon" => LogEvent::Logon(LogonEvent::from_csv(rest)?),
-            "windows" => LogEvent::Windows(WindowsEvent::from_csv(rest)?),
-            "proxy" => LogEvent::Proxy(ProxyEvent::from_csv(rest)?),
+            "device" => LogEvent::Device(DeviceEvent::from_fields(&body)?),
+            "file" => LogEvent::File(FileEvent::from_fields(&body)?),
+            "http" => LogEvent::Http(HttpEvent::from_fields(&body)?),
+            "email" => LogEvent::Email(EmailEvent::from_fields(&body)?),
+            "logon" => LogEvent::Logon(LogonEvent::from_fields(&body)?),
+            "windows" => LogEvent::Windows(WindowsEvent::from_fields(&body)?),
+            "proxy" => LogEvent::Proxy(ProxyEvent::from_fields(&body)?),
             other => return Err(ParseCsvError::new(format!("unknown category: {other}"))),
         })
+    }
+}
+
+impl FromCsv for LogEvent {
+    fn from_csv(line: &str) -> Result<Self, ParseCsvError> {
+        LogEvent::from_fields(&RecordBuf::new().parse(line)?)
     }
 }
 
@@ -605,6 +1082,140 @@ mod tests {
         assert!(DeviceEvent::from_csv("2010-07-09,3,8,Connect").is_err());
         assert!(HttpEvent::from_csv("2010-07-09 25:00:00,1,2,Visit,other,1").is_err());
     }
+
+    /// The pre-zero-copy char-by-char parser, kept verbatim as the
+    /// differential reference for [`RecordBuf::parse`].
+    pub(super) fn parse_record_reference(line: &str) -> Result<Vec<String>, ParseCsvError> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut in_quotes = false;
+        loop {
+            match chars.next() {
+                None => {
+                    if in_quotes {
+                        return Err(ParseCsvError::new("unterminated quoted field"));
+                    }
+                    fields.push(cur);
+                    return Ok(fields);
+                }
+                Some('"') if in_quotes => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+                Some(',') if !in_quotes => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                Some(ch) => cur.push(ch),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_matches_reference_on_quirky_inputs() {
+        // Historical lenient-grammar corners: stray quotes mid-field, literal
+        // tails after a close quote, escapes, empty fields.
+        let cases = [
+            "",
+            ",",
+            ",,",
+            "a,b,c",
+            "\"\"",
+            "\"\"\"\"",
+            "\"a\"\"b\"",
+            "\"a\"x",
+            "\"\"x\"",
+            "a\"b",
+            "x,\"y,z\",w",
+            "\"a\",,\"\"",
+            "\"tail\"stuff,next",
+            "\"multi\nline\",2",
+        ];
+        for case in cases {
+            let reference = parse_record_reference(case).expect(case);
+            assert_eq!(
+                parse_record(case).expect(case),
+                reference,
+                "input: {case:?}"
+            );
+        }
+        for bad in ["\"oops", "a,\"", "\"\"\"", "x,\"y"] {
+            assert!(
+                parse_record_reference(bad).is_err(),
+                "reference accepts {bad:?}"
+            );
+            assert!(parse_record(bad).is_err(), "zero-copy accepts {bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_buf_borrows_unescaped_fields() {
+        let line = "plain,\"quoted\",\"es\"\"caped\"";
+        let mut buf = RecordBuf::new();
+        let f = buf.parse(line).unwrap();
+        // Borrowed fields point back into the input line; only the escaped
+        // one is materialized in scratch.
+        let plain = f.get(0).unwrap();
+        let quoted = f.get(1).unwrap();
+        let line_range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+        assert!(line_range.contains(&(plain.as_ptr() as usize)));
+        assert!(line_range.contains(&(quoted.as_ptr() as usize)));
+        assert_eq!(f.get(2), Some("es\"caped"));
+        assert!(!line_range.contains(&(f.get(2).unwrap().as_ptr() as usize)));
+    }
+
+    #[test]
+    fn chunker_splits_on_record_boundaries_only() {
+        let data = b"a,b\n\"x\ny\",2\nlast";
+        // The embedded newline inside quotes is not a boundary.
+        assert_eq!(complete_record_prefix(data), Some(12));
+        let recs: Vec<&[u8]> = record_slices(data).collect();
+        assert_eq!(recs, [&b"a,b"[..], &b"\"x\ny\",2"[..], &b"last"[..]]);
+    }
+
+    #[test]
+    fn chunker_strips_crlf_and_handles_no_complete_record() {
+        let recs: Vec<&[u8]> = record_slices(b"a,b\r\nc\r\n").collect();
+        assert_eq!(recs, [&b"a,b"[..], &b"c"[..]]);
+        assert_eq!(complete_record_prefix(b"no newline here"), None);
+        assert_eq!(complete_record_prefix(b"\"open quote\nstill open"), None);
+        assert!(record_slices(b"").next().is_none());
+    }
+
+    #[test]
+    fn parse_event_matches_from_csv() {
+        let mut buf = RecordBuf::new();
+        let line = "device,2010-07-09 13:05:59,3,8,Connect";
+        assert_eq!(
+            parse_event(line, &mut buf).unwrap(),
+            LogEvent::from_csv(line).unwrap()
+        );
+        assert!(parse_event("garbage", &mut buf).is_err());
+        // Buffer reuse across records keeps working.
+        let line2 = "proxy,2010-07-09 13:05:59,7,2,0";
+        assert_eq!(
+            parse_event(line2, &mut buf).unwrap(),
+            LogEvent::from_csv(line2).unwrap()
+        );
+    }
+
+    #[test]
+    fn fast_ts_and_u32_match_flexible_semantics() {
+        // Non-canonical widths and signs still parse via the fallback.
+        let e = DeviceEvent::from_csv("2010-7-9 13:5:59,+3,8,Connect").unwrap();
+        assert_eq!(e.ts, Date::from_ymd(2010, 7, 9).at(13, 5, 59));
+        assert_eq!(e.user.0, 3);
+        // Canonical-looking but invalid values go through the fallback's
+        // validation instead of panicking.
+        assert!(DeviceEvent::from_csv("2010-02-30 10:00:00,3,8,Connect").is_err());
+        assert!(DeviceEvent::from_csv("2010-07-09 24:00:00,3,8,Connect").is_err());
+        assert!(DeviceEvent::from_csv("2010-07-09 13:05:59,4294967296,8,Connect").is_err());
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +1234,84 @@ mod proptests {
             let line = write_record(&refs);
             let parsed = parse_record(&line).unwrap();
             prop_assert_eq!(parsed, fields);
+        }
+
+        /// The zero-copy parser agrees with the historical char-by-char
+        /// parser on arbitrary input — same fields or same rejection —
+        /// including inputs that are not valid records at all.
+        #[test]
+        fn zero_copy_differential(line in "[a-c,\"\\n ]{0,48}") {
+            let reference = super::tests::parse_record_reference(&line);
+            let mut buf = RecordBuf::new();
+            match (buf.parse(&line), reference) {
+                (Ok(f), Ok(r)) => {
+                    let got: Vec<String> = f.iter().map(str::to_owned).collect();
+                    prop_assert_eq!(got, r);
+                }
+                (Err(_), Err(_)) => {}
+                (got, reference) => prop_assert!(
+                    false,
+                    "diverged on {:?}: new {:?}, reference {:?}", line, got.is_ok(), reference
+                ),
+            }
+        }
+
+        /// Quoted/escaped/embedded-newline records survive the full
+        /// write → chunk → slice → parse cycle, and truncating the final
+        /// newline never drops the last record.
+        #[test]
+        fn chunked_records_roundtrip(
+            // No '\r': a trailing CR is stripped by line splitting, exactly
+            // as the old `str::lines`-based reader did.
+            records in prop::collection::vec(
+                prop::collection::vec("[a-z ,\"\\n]{0,12}", 1..5),
+                1..6,
+            ),
+            trailing_newline in proptest::bool::ANY,
+        ) {
+            let mut blob = String::new();
+            for rec in &records {
+                let refs: Vec<&str> = rec.iter().map(|s| s.as_str()).collect();
+                blob.push_str(&write_record(&refs));
+                blob.push('\n');
+            }
+            if !trailing_newline {
+                blob.pop();
+            }
+            let mut buf = RecordBuf::new();
+            let mut parsed = Vec::new();
+            for slice in record_slices(blob.as_bytes()) {
+                let line = std::str::from_utf8(slice).unwrap();
+                parsed.push(buf.parse(line).unwrap().iter().map(str::to_owned).collect::<Vec<_>>());
+            }
+            // Records whose serialization is empty ("" written with no
+            // trailing newline) vanish as blank lines, like `str::lines`.
+            let expect: Vec<Vec<String>> = records
+                .iter()
+                .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+                .cloned()
+                .collect();
+            let parsed: Vec<Vec<String>> = parsed
+                .into_iter()
+                .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+                .collect();
+            prop_assert_eq!(parsed, expect);
+        }
+
+        /// `complete_record_prefix` always lands on a boundary the record
+        /// iterator agrees with: slicing the prefix and the remainder
+        /// separately yields the same records as slicing the whole blob.
+        #[test]
+        fn chunk_split_is_transparent(blob in "[a-b,\"\\n]{0,64}") {
+            let bytes = blob.as_bytes();
+            if let Some(cut) = complete_record_prefix(bytes) {
+                let whole: Vec<&[u8]> = record_slices(bytes).collect();
+                let mut split: Vec<&[u8]> = record_slices(&bytes[..cut]).collect();
+                split.extend(record_slices(&bytes[cut..]));
+                // An empty remainder contributes nothing; a prefix ending in
+                // '\n' never yields a trailing empty record.
+                prop_assert_eq!(whole, split);
+            }
         }
     }
 }

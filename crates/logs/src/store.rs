@@ -4,7 +4,7 @@
 //! per `(feature, time-frame, day)`), so the store keeps events sorted by
 //! timestamp and answers day-slice queries with binary search.
 
-use crate::csv::{FromCsv, ParseCsvError, ToCsv};
+use crate::csv::{ParseCsvError, ToCsv};
 use crate::event::LogEvent;
 use crate::time::{Date, Timestamp};
 
@@ -148,12 +148,13 @@ impl LogStore {
         let parsed = acobe_obs::counter("logs/events_parsed");
         let skipped = acobe_obs::counter("logs/lines_skipped");
         let mut store = LogStore::new();
+        let mut buf = crate::csv::RecordBuf::new();
         for line in text.lines() {
             if line.is_empty() {
                 skipped.inc();
                 continue;
             }
-            store.push(LogEvent::from_csv(line)?);
+            store.push(crate::csv::parse_event(line, &mut buf)?);
             parsed.inc();
         }
         store.finalize();

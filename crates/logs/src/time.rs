@@ -24,6 +24,9 @@ pub const SECS_PER_DAY: i64 = 86_400;
 pub struct Date(i32);
 
 impl Date {
+    /// 1970-01-01, the epoch all dates count days from.
+    pub const EPOCH: Date = Date(0);
+
     /// Builds a date from a year, month (1-12) and day (1-31).
     ///
     /// # Panics
@@ -96,7 +99,10 @@ impl Date {
     ///
     /// Panics if `hour >= 24`, `minute >= 60` or `second >= 60`.
     pub fn at(self, hour: u32, minute: u32, second: u32) -> Timestamp {
-        assert!(hour < 24 && minute < 60 && second < 60, "invalid wall-clock time");
+        assert!(
+            hour < 24 && minute < 60 && second < 60,
+            "invalid wall-clock time"
+        );
         Timestamp::from_secs(
             self.0 as i64 * SECS_PER_DAY + (hour * 3600 + minute * 60 + second) as i64,
         )
