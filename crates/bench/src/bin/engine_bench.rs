@@ -1,11 +1,17 @@
 //! Incremental-engine benchmark: per-day ingest latency and steady-state
 //! engine memory at 1k/10k users, scored-ingest latency and checkpoint
-//! size on a small trained dataset, and shard-scaling of the partitioned
-//! engine at 1k/10k/100k users. Merges an `"engine"` section into
+//! size on a small trained dataset, shard-scaling of the partitioned
+//! engine at 1k/10k/100k users, and the persistence layer itself — full
+//! vs delta save latency, restore latency, and bytes/user for the v2 JSON
+//! directory layout against the v3 binary container on a sparse
+//! (~10%-active) roster. Merges an `"engine"` section into
 //! `BENCH_nn.json` (run after `nn_bench`, which rewrites the file).
 //!
-//! Usage: `cargo run --release -p acobe-bench --bin engine_bench [--quick] [--out PATH]`
+//! Usage: `cargo run --release -p acobe-bench --bin engine_bench
+//!         [--quick] [--huge] [--out PATH]`
+//! (`--huge` adds the 1M-user checkpoint row.)
 
+use acobe::checkpoint::{CheckpointFormat, CheckpointOptions};
 use acobe::config::AcobeConfig;
 use acobe::engine::DetectionEngine;
 use acobe::pipeline::AcobePipeline;
@@ -56,6 +62,23 @@ struct PerUserState {
     bytes_per_user: usize,
 }
 
+/// One persistence-layer measurement: a format at a population size.
+#[derive(Debug, Serialize)]
+struct CheckpointResult {
+    users: usize,
+    format: String,
+    full_save_ms: f64,
+    restore_ms: f64,
+    total_bytes: u64,
+    bytes_per_user: f64,
+    /// v3 only: latency of a one-day per-shard delta save.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    delta_save_ms: Option<f64>,
+    /// v3 only: bytes of that delta (scales with touched users, not roster).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    delta_bytes: Option<u64>,
+}
+
 #[derive(Debug, Serialize)]
 struct EngineReport {
     quick: bool,
@@ -63,6 +86,7 @@ struct EngineReport {
     scored: ScoredResult,
     shard_scaling: Vec<ShardScalingResult>,
     shard_user_state: Vec<PerUserState>,
+    checkpoint: Vec<CheckpointResult>,
 }
 
 fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
@@ -210,9 +234,12 @@ fn bench_scored() -> ScoredResult {
         }
     }
     let (mean_scored_ms, _, _) = stats(&latencies);
-    let checkpoint_bytes = serde_json::to_string(&engine.snapshot())
-        .expect("checkpoint")
-        .len();
+    // Size of the single-file v3 checkpoint a stream deployment would write.
+    let ck_path =
+        std::env::temp_dir().join(format!("acobe_bench_scored_{}.acb", std::process::id()));
+    engine.save(&ck_path).expect("checkpoint");
+    let checkpoint_bytes = std::fs::metadata(&ck_path).expect("stat").len() as usize;
+    std::fs::remove_file(&ck_path).ok();
     ScoredResult {
         users: ds.users,
         warm_days,
@@ -221,6 +248,100 @@ fn bench_scored() -> ScoredResult {
         state_bytes: engine.state_bytes(),
         checkpoint_bytes,
     }
+}
+
+/// Persistence-layer benchmark on a production-shaped roster: ~10% of users
+/// active per day (the rest contribute zero slabs), warmed long enough to
+/// fill the rolling window, then measured as v2 JSON vs v3 binary — full
+/// save, restore, and (v3) a one-day delta save.
+fn bench_checkpoint(users: usize, warm_days: usize) -> Vec<CheckpointResult> {
+    let feature_set = cert_feature_set();
+    let features = feature_set.len();
+    let frames = 2;
+    let group_size = (users / 8).max(1);
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let start = acobe_logs::time::Date::from_ymd(2010, 1, 1);
+    let engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+    let mut engine = ShardedEngine::from_engine(engine, 4).expect("shard");
+
+    let width = users * frames * features;
+    let mut day = vec![0.0f32; width];
+    for d in 0..warm_days {
+        // Sparse day: roughly every 10th user active, integer-ish counts so
+        // the quantizer's certified-lossless encodings engage at scale.
+        day.iter_mut().for_each(|v| *v = 0.0);
+        for u in (d % 10..users).step_by(10) {
+            for x in &mut day[u * frames * features..(u + 1) * frames * features] {
+                *x = ((u * 31 + d * 7) % 13) as f32;
+            }
+        }
+        engine
+            .warm_day(start.add_days(d as i32), &day)
+            .expect("ingest");
+    }
+
+    let base = std::env::temp_dir().join(format!("acobe_bench_ck_{}_{users}", std::process::id()));
+    let mut results = Vec::new();
+    for format in [CheckpointFormat::V2Json, CheckpointFormat::V3Binary] {
+        let dir = base.join(format.to_string());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let opts = CheckpointOptions { format, delta_every: 8 };
+        let t = Instant::now();
+        let report = engine.save_checkpoint(&dir, &opts).expect("save");
+        let full_save_ms = t.elapsed().as_secs_f64() * 1e3;
+        let total_bytes = report.bytes;
+        let t = Instant::now();
+        let restored = ShardedEngine::load(&dir, 1).expect("restore");
+        let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(restored.next_date(), engine.next_date());
+
+        let (delta_save_ms, delta_bytes) = if format == CheckpointFormat::V3Binary {
+            let d = warm_days;
+            day.iter_mut().for_each(|v| *v = 0.0);
+            for u in (d % 10..users).step_by(10) {
+                for x in &mut day[u * frames * features..(u + 1) * frames * features] {
+                    *x = ((u * 31 + d * 7) % 13) as f32;
+                }
+            }
+            engine
+                .warm_day(start.add_days(d as i32), &day)
+                .expect("ingest");
+            let t = Instant::now();
+            let delta = engine.save_checkpoint(&dir, &opts).expect("delta save");
+            (
+                Some(t.elapsed().as_secs_f64() * 1e3),
+                Some(delta.bytes),
+            )
+        } else {
+            (None, None)
+        };
+        results.push(CheckpointResult {
+            users,
+            format: format.to_string(),
+            full_save_ms,
+            restore_ms,
+            total_bytes,
+            bytes_per_user: total_bytes as f64 / users as f64,
+            delta_save_ms,
+            delta_bytes,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+    results
 }
 
 fn main() {
@@ -292,12 +413,42 @@ fn main() {
         }
     }
 
+    let ckpt_sizes: Vec<usize> = if quick {
+        vec![1_000]
+    } else if arg_value(&parsed, "huge").is_some() {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![10_000, 100_000]
+    };
+    let ckpt_warm_days = if quick { 8 } else { 24 };
+    let mut checkpoint = Vec::new();
+    for &users in &ckpt_sizes {
+        for r in bench_checkpoint(users, ckpt_warm_days) {
+            println!(
+                "checkpoint {} users [{}]: full save {:.1} ms, restore {:.1} ms, \
+                 {} bytes ({:.1} bytes/user){}",
+                r.users,
+                r.format,
+                r.full_save_ms,
+                r.restore_ms,
+                r.total_bytes,
+                r.bytes_per_user,
+                match (r.delta_save_ms, r.delta_bytes) {
+                    (Some(ms), Some(b)) => format!(", delta save {ms:.1} ms / {b} bytes"),
+                    _ => String::new(),
+                }
+            );
+            checkpoint.push(r);
+        }
+    }
+
     let report = EngineReport {
         quick,
         warm_ingest,
         scored,
         shard_scaling,
         shard_user_state,
+        checkpoint,
     };
     let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
         .ok()

@@ -1,6 +1,7 @@
 //! CLI command implementations.
 
 use acobe::alert::{AlertLog, AlertLogEntry, AlertPolicy};
+use acobe::checkpoint::{CheckpointFormat, CheckpointOptions, SaveReport};
 use acobe::config::AcobeConfig;
 use acobe::engine::{DetectionEngine, EngineCheckpoint};
 use acobe::error::AcobeError;
@@ -183,6 +184,48 @@ fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
     })
 }
 
+/// Serializes a JSON artifact: compact by default, indented with `--pretty`.
+fn json_out<T: Serialize>(value: &T, pretty: bool) -> Result<String, CliError> {
+    Ok(if pretty {
+        serde_json::to_string_pretty(value)?
+    } else {
+        serde_json::to_string(value)?
+    })
+}
+
+/// Parses the checkpoint knobs shared by `stream` and `ingest`:
+/// `--checkpoint-format v2|v3` and `--delta-every N`.
+fn checkpoint_options(args: &[String]) -> Result<CheckpointOptions, CliError> {
+    let defaults = CheckpointOptions::default();
+    let format = match arg(args, "--checkpoint-format") {
+        Some(s) => s
+            .parse::<CheckpointFormat>()
+            .map_err(|e| CliError::Usage(format!("--checkpoint-format: {e}")))?,
+        None => defaults.format,
+    };
+    let delta_every = num_arg(args, "--delta-every", defaults.delta_every)?;
+    Ok(CheckpointOptions { format, delta_every })
+}
+
+/// Writes one stream checkpoint — the engine via [`ShardedEngine::save_checkpoint`]
+/// plus the `stream.json` sidecar binding the extractor and split date.
+fn save_stream_checkpoint(
+    engine: &mut ShardedEngine,
+    extractor: &DayExtractor,
+    train_end: Date,
+    dir: &str,
+    opts: &CheckpointOptions,
+) -> Result<SaveReport, CliError> {
+    let report = engine.save_checkpoint(dir, opts)?;
+    let sm = StreamMeta {
+        train_end: train_end.to_string(),
+        extractor: extractor.clone(),
+    };
+    write_file(&format!("{dir}/stream.json"), &serde_json::to_string(&sm)?)?;
+    acobe_obs::monitor::board().set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
+    Ok(report)
+}
+
 fn load_meta(path: &str) -> Result<(DatasetMeta, Date, Date), CliError> {
     let meta: DatasetMeta = serde_json::from_str(&read_file(path)?)?;
     let start = Date::parse(&meta.start)?;
@@ -279,7 +322,7 @@ pub fn synth(args: &[String]) -> Result<(), CliError> {
             .collect(),
     };
     let meta_path = format!("{out}.meta.json");
-    write_file(&meta_path, &serde_json::to_string_pretty(&meta)?)?;
+    write_file(&meta_path, &json_out(&meta, flag(args, "--pretty"))?)?;
     println!("wrote {events_written} events to {out} and metadata to {meta_path}");
     Ok(())
 }
@@ -369,6 +412,10 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     if shards == 0 {
         return Err(CliError::Usage("--shards must be at least 1".into()));
     }
+    let pretty = flag(args, "--pretty");
+    let ckpt_opts = checkpoint_options(args)?;
+    let checkpoint_every: usize = num_arg(args, "--checkpoint-every", 0)?;
+    let checkpoint_dir = arg(args, "--checkpoint").map(str::to_string);
     let lag_defaults = DriftConfig::default();
     let lag_ratio: f64 = num_arg(args, "--lag-ratio", lag_defaults.lag_ratio)?;
     let lag_min_ms: f64 = num_arg(args, "--lag-min-ms", lag_defaults.lag_min_ms)?;
@@ -390,10 +437,12 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     acobe_obs::progress!("loading {logs_path} ...");
     let store = LogStore::from_csv(&read_file(logs_path)?)?;
 
+    let mut resumed_legacy = false;
     let (mut engine, mut extractor, train_end) = match arg(args, "--resume") {
         Some(path) if std::path::Path::new(path).is_dir() => {
-            // v2 directory checkpoint: sharded engine + stream sidecar. The
-            // manifest's shard count wins over --shards.
+            // Directory checkpoint (v2 JSON or v3 binary): sharded engine +
+            // stream sidecar. The manifest's shard count wins over --shards.
+            resumed_legacy = !acobe::checkpoint::dir_is_v3(path);
             let sidecar = format!("{path}/stream.json");
             let sm: StreamMeta = serde_json::from_str(&read_file(&sidecar)?)?;
             let train_end = Date::parse(&sm.train_end)?;
@@ -412,6 +461,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         }
         Some(path) => {
             // Legacy v1 single-file checkpoint: migrate into --shards shards.
+            resumed_legacy = true;
             let ck: StreamCheckpoint = serde_json::from_str(&read_file(path)?)?;
             let train_end = Date::parse(&ck.train_end)?;
             let engine = ShardedEngine::from_engine(DetectionEngine::restore(ck.engine)?, shards)?;
@@ -466,6 +516,17 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     // only, so setting them never perturbs scores or the drift monitor.
     engine.set_lag_config(lag_ratio, lag_min_ms);
     engine.set_alert_policy(Some(policy));
+    // Upgrade-on-load: a v1/v2 JSON resume with a v3 checkpoint target is
+    // rewritten immediately, so the legacy format is read at most once.
+    if resumed_legacy && ckpt_opts.format == CheckpointFormat::V3Binary {
+        if let Some(dir) = &checkpoint_dir {
+            let report = save_stream_checkpoint(&mut engine, &extractor, train_end, dir, &ckpt_opts)?;
+            acobe_obs::progress!(
+                "upgraded legacy checkpoint to v3 binary at {dir}/ ({} bytes)",
+                report.bytes
+            );
+        }
+    }
     let alert_log = match arg(args, "--alerts-log") {
         Some(path) => {
             // On resume the checkpoint carries the alert high-water mark:
@@ -544,6 +605,19 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         if let Err(e) = acobe_obs::flush_metrics() {
             eprintln!("warning: metrics flush failed: {e}");
         }
+        // Periodic checkpoints: a full snapshot first, then per-shard deltas
+        // until the --delta-every bound compacts the chain.
+        if checkpoint_every > 0 && streamed % checkpoint_every == 0 {
+            if let Some(dir) = &checkpoint_dir {
+                let report =
+                    save_stream_checkpoint(&mut engine, &extractor, train_end, dir, &ckpt_opts)?;
+                acobe_obs::progress!(
+                    "checkpoint ({}) written to {dir}/ after {date}: {} bytes",
+                    report.kind.label(),
+                    report.bytes
+                );
+            }
+        }
     }
     acobe_obs::progress!("streamed {streamed} days ({scored} scored) up to {date}");
     if let Some(log) = &alert_log {
@@ -554,23 +628,18 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     }
 
     if let Some(path) = arg(args, "--final-out") {
-        write_file(path, &serde_json::to_string_pretty(&last_list)?)?;
+        write_file(path, &json_out(&last_list, pretty)?)?;
         acobe_obs::progress!("final investigation list written to {path}");
     }
-    if let Some(dir) = arg(args, "--checkpoint") {
-        engine.save(dir)?;
-        let sm = StreamMeta {
-            train_end: train_end.to_string(),
-            extractor,
-        };
-        let sidecar = format!("{dir}/stream.json");
-        write_file(&sidecar, &serde_json::to_string(&sm)?)?;
+    if let Some(dir) = &checkpoint_dir {
+        let report = save_stream_checkpoint(&mut engine, &extractor, train_end, dir, &ckpt_opts)?;
         acobe_obs::progress!(
-            "sharded checkpoint written to {dir}/ ({} shards, {} bytes of engine state)",
+            "sharded checkpoint written to {dir}/ ({} shards, {} {} save, {} bytes)",
             engine.shard_count(),
-            engine.state_bytes()
+            ckpt_opts.format,
+            report.kind.label(),
+            report.bytes
         );
-        acobe_obs::monitor::board().set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
     }
     Ok(())
 }
@@ -613,6 +682,12 @@ struct IngestRun<'a> {
     engine: Option<ShardedEngine>,
     alert_log: Option<AlertLog>,
     checkpoint_base: Option<Date>,
+    /// `--checkpoint` target directory, when given.
+    checkpoint_dir: Option<String>,
+    /// Format + delta cadence for every save this run writes.
+    ckpt_opts: CheckpointOptions,
+    /// Streamed days between periodic saves (`0` = final save only).
+    checkpoint_every: usize,
     stale_reported: bool,
     last_list: Vec<acobe::critic::Investigation>,
     streamed: usize,
@@ -721,6 +796,25 @@ impl IngestRun<'_> {
         if in_stream {
             self.streamed += 1;
             self.after_day();
+            // Periodic checkpoints, mirroring the `stream` loop tail: a full
+            // snapshot first, then per-shard deltas until the --delta-every
+            // bound compacts the chain.
+            if self.checkpoint_every > 0 && self.streamed % self.checkpoint_every == 0 {
+                if let (Some(dir), Some(engine)) = (&self.checkpoint_dir, self.engine.as_mut()) {
+                    let report = save_stream_checkpoint(
+                        engine,
+                        &self.extractor,
+                        self.train_end,
+                        dir,
+                        &self.ckpt_opts,
+                    )?;
+                    acobe_obs::progress!(
+                        "checkpoint ({}) written to {dir}/ after {date}: {} bytes",
+                        report.kind.label(),
+                        report.bytes
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -798,6 +892,10 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     if shards == 0 {
         return Err(CliError::Usage("--shards must be at least 1".into()));
     }
+    let pretty = flag(args, "--pretty");
+    let ckpt_opts = checkpoint_options(args)?;
+    let checkpoint_every: usize = num_arg(args, "--checkpoint-every", 0)?;
+    let checkpoint_dir = arg(args, "--checkpoint").map(str::to_string);
     let defaults = IngestConfig::default();
     let threads: usize = num_arg(args, "--threads", defaults.threads)?;
     let chunk_kb: usize = num_arg(args, "--chunk-kb", 1024)?;
@@ -832,8 +930,10 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     };
     let features = cert_feature_set().len();
 
+    let mut resumed_legacy = false;
     let (engine, extractor, training, train_end) = match arg(args, "--resume") {
         Some(path) if std::path::Path::new(path).is_dir() => {
+            resumed_legacy = !acobe::checkpoint::dir_is_v3(path);
             let sidecar = format!("{path}/stream.json");
             let sm: StreamMeta = serde_json::from_str(&read_file(&sidecar)?)?;
             let train_end = Date::parse(&sm.train_end)?;
@@ -851,6 +951,7 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
             (Some(engine), sm.extractor, None, train_end)
         }
         Some(path) => {
+            resumed_legacy = true;
             let ck: StreamCheckpoint = serde_json::from_str(&read_file(path)?)?;
             let train_end = Date::parse(&ck.train_end)?;
             let engine = ShardedEngine::from_engine(DetectionEngine::restore(ck.engine)?, shards)?;
@@ -898,6 +999,18 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         }
         engine.set_lag_config(lag_ratio, lag_min_ms);
         engine.set_alert_policy(Some(policy.clone()));
+        // Upgrade-on-load: a v1/v2 JSON resume with a v3 checkpoint target is
+        // rewritten immediately, so the legacy format is read at most once.
+        if resumed_legacy && ckpt_opts.format == CheckpointFormat::V3Binary {
+            if let Some(dir) = &checkpoint_dir {
+                let report =
+                    save_stream_checkpoint(engine, &extractor, train_end, dir, &ckpt_opts)?;
+                acobe_obs::progress!(
+                    "upgraded legacy checkpoint to v3 binary at {dir}/ ({} bytes)",
+                    report.bytes
+                );
+            }
+        }
     }
     let alert_log = match arg(args, "--alerts-log") {
         Some(path) => {
@@ -935,6 +1048,9 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         engine,
         alert_log,
         checkpoint_base,
+        checkpoint_dir: checkpoint_dir.clone(),
+        ckpt_opts,
+        checkpoint_every,
         stale_reported: false,
         last_list: Vec::new(),
         streamed: 0,
@@ -1041,25 +1157,21 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         );
     }
     if let Some(path) = arg(args, "--final-out") {
-        write_file(path, &serde_json::to_string_pretty(&run.last_list)?)?;
+        write_file(path, &json_out(&run.last_list, pretty)?)?;
         acobe_obs::progress!("final investigation list written to {path}");
     }
-    if let Some(dir) = arg(args, "--checkpoint") {
-        let engine = run.engine.as_ref().expect("engine built by now");
-        engine.save(dir)?;
+    if let Some(dir) = &checkpoint_dir {
         let sidecar_extractor = run.snapshot.take().unwrap_or_else(|| run.extractor.clone());
-        let sm = StreamMeta {
-            train_end: run.train_end.to_string(),
-            extractor: sidecar_extractor,
-        };
-        let sidecar = format!("{dir}/stream.json");
-        write_file(&sidecar, &serde_json::to_string(&sm)?)?;
+        let engine = run.engine.as_mut().expect("engine built by now");
+        let report =
+            save_stream_checkpoint(engine, &sidecar_extractor, run.train_end, dir, &ckpt_opts)?;
         acobe_obs::progress!(
-            "sharded checkpoint written to {dir}/ ({} shards, {} bytes of engine state)",
+            "sharded checkpoint written to {dir}/ ({} shards, {} {} save, {} bytes)",
             engine.shard_count(),
-            engine.state_bytes()
+            ckpt_opts.format,
+            report.kind.label(),
+            report.bytes
         );
-        acobe_obs::monitor::board().set_checkpoint(&engine.next_date().add_days(-1).to_string(), 0);
     }
     Ok(())
 }

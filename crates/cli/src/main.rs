@@ -135,7 +135,7 @@ fn print_help() {
 
 USAGE:
     acobe synth [--out FILE] [--raw-out FILE] [--seed N]
-                [--users-per-dept N] [--departments N]
+                [--users-per-dept N] [--departments N] [--pretty]
         Synthesize a CERT-like audit-log dataset. Writes events to FILE
         (CSV; default acobe_logs.csv) and metadata (users, groups, span,
         ground truth) to FILE with a .meta.json suffix. --raw-out streams
@@ -153,6 +153,8 @@ USAGE:
     acobe stream --logs FILE --meta FILE [--train-end YYYY-MM-DD]
                  [--until YYYY-MM-DD] [--top N] [--critic-n N] [--smooth N]
                  [--shards N] [--paper-model] [--checkpoint DIR]
+                 [--checkpoint-format v2|v3] [--checkpoint-every N]
+                 [--delta-every N] [--pretty]
                  [--resume DIR|FILE] [--final-out FILE]
                  [--alerts-log FILE] [--alert-top-n N] [--alert-rank-jump N]
                  [--alert-cooldown N] [--alert-rule-z Z] [--alert-top-k N]
@@ -170,7 +172,18 @@ USAGE:
         count wins; shards whose files are damaged are quarantined with a
         warning while the rest keep scoring) or a legacy v1 single-file
         checkpoint (migrated into --shards shards). --final-out writes the
-        last day's investigation list as JSON.
+        last day's investigation list as JSON (compact; --pretty indents
+        every JSON artifact this run writes).
+
+        Checkpoint encoding: --checkpoint-format picks v3 (default; compact
+        checksummed binary with quantized histories) or v2 (the legacy JSON
+        directory layout); --resume autodetects v1/v2/v3, and a legacy
+        resume with a v3 target is upgraded on load. --checkpoint-every N
+        also saves after every N streamed days (default: final save only);
+        with v3, periodic saves after the first full snapshot write only
+        per-shard deltas covering the days since, and --delta-every K
+        (default 8) bounds the chain before a full snapshot compacts it
+        (0 = every save is full).
 
         Alerting: every scored day is evaluated against an alert policy;
         raised alerts (rank jumps, watchlist entrants, extreme deviation

@@ -447,9 +447,8 @@ impl AlertLog {
                         );
                         text.push('\n');
                     }
-                    let tmp = path.with_extension("jsonl.tmp");
-                    std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
-                    std::fs::rename(&tmp, &path).map_err(|e| io_error(&path, e))?;
+                    acobe_obs::write_atomic(&path, text.as_bytes())
+                        .map_err(|e| io_error(&path, e))?;
                 } else {
                     std::fs::write(&path, "").map_err(|e| io_error(&path, e))?;
                 }

@@ -1,0 +1,1386 @@
+//! The v3 checkpoint container: compact, checksummed, section-tagged binary
+//! persistence shared by [`DetectionEngine`](crate::engine::DetectionEngine)
+//! and [`ShardedEngine`](crate::shard::ShardedEngine).
+//!
+//! One module owns the entire wire format so the two engines cannot drift:
+//! the monolithic engine writes a single `KIND_ENGINE` container, the sharded
+//! engine writes a `KIND_MANIFEST` container plus one `KIND_SHARD` container
+//! per live shard, and incremental saves append `KIND_DELTA` day-replay files
+//! committed by a `KIND_CHAIN` index (see DESIGN.md §12 for the layout).
+//!
+//! Every container starts with the magic `b"ACB3"`, a container version, a
+//! kind byte, and a section count; each section is a 4-byte ASCII tag, a
+//! payload length, a CRC-32 of the payload, and the payload itself. CRCs are
+//! verified eagerly on read so corruption is reported as a typed
+//! [`AcobeError::CorruptCheckpoint`] naming *which* section is damaged,
+//! never as a panic or a silently wrong score. Rolling histories are stored
+//! through the certified-lossless codecs in [`acobe_obs::binio`], so a
+//! restored engine scores bit-identically to the one that saved — narrower
+//! encodings (f16 / u8 / sparse) are chosen only when every element provably
+//! round-trips.
+
+use crate::alert::AlertState;
+use crate::config::AcobeConfig;
+use crate::engine::{DayRing, DayScores, EngineCheckpoint, CHECKPOINT_VERSION};
+use crate::error::AcobeError;
+use crate::shard::{assign_users, ShardCheckpoint, ShardManifest, SHARD_CHECKPOINT_VERSION};
+use crate::streaming::RollingDeviation;
+use acobe_features::spec::FeatureSet;
+use acobe_logs::time::Date;
+use acobe_nn::serialize::SavedAutoencoder;
+use acobe_obs::binio::{self, BinError, ByteReader, ByteWriter};
+use acobe_obs::DriftMonitor;
+use std::str::FromStr;
+
+/// Magic prefix of every v3 checkpoint file.
+pub const MAGIC: &[u8; 4] = b"ACB3";
+/// Version of the binary container layout this build reads and writes.
+pub const CONTAINER_VERSION: u32 = 3;
+
+/// Container kind: a monolithic-engine snapshot.
+pub(crate) const KIND_ENGINE: u8 = 1;
+/// Container kind: a sharded-engine manifest.
+pub(crate) const KIND_MANIFEST: u8 = 2;
+/// Container kind: one shard's state.
+pub(crate) const KIND_SHARD: u8 = 3;
+/// Container kind: one shard's day-replay delta.
+pub(crate) const KIND_DELTA: u8 = 4;
+/// Container kind: the delta-chain commit index.
+pub(crate) const KIND_CHAIN: u8 = 5;
+
+/// Histogram bucket edges (milliseconds) for checkpoint write/restore timing.
+pub(crate) const CHECKPOINT_EDGES: &[f64] =
+    &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10_000.0, 60_000.0];
+
+/// On-disk name of the v3 sharded-checkpoint manifest.
+pub(crate) const MANIFEST_FILE_V3: &str = "manifest.acb";
+/// On-disk name of the delta-chain commit index.
+pub(crate) const CHAIN_FILE: &str = "chain.acb";
+
+/// On-disk name of shard `i`'s v3 state file.
+pub(crate) fn shard_file_v3(shard: usize) -> String {
+    format!("shard_{shard:03}.acb")
+}
+
+/// On-disk name of shard `shard`'s delta file for chain entry `seq`.
+pub(crate) fn delta_file(seq: u64, shard: usize) -> String {
+    format!("delta_{seq:03}_shard_{shard:03}.acb")
+}
+
+/// True when `bytes` starts with the v3 container magic.
+pub(crate) fn is_v3(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Reports whether `dir` holds a v3 directory checkpoint (a binary
+/// `manifest.acb` is present). Resume paths use this to decide whether a
+/// legacy v2 JSON checkpoint should be upgraded on load.
+pub fn dir_is_v3<P: AsRef<std::path::Path>>(dir: P) -> bool {
+    dir.as_ref().join(MANIFEST_FILE_V3).is_file()
+}
+
+// ---------------------------------------------------------------------------
+// Public save knobs
+// ---------------------------------------------------------------------------
+
+/// Which on-disk encoding a checkpoint save uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// The v2 directory layout: `manifest.json` + `shard_NNN.json`,
+    /// human-readable, kept for compatibility and downgrade paths.
+    V2Json,
+    /// The v3 binary container layout (default): compact, checksummed,
+    /// delta-capable.
+    #[default]
+    V3Binary,
+}
+
+impl FromStr for CheckpointFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "v2" | "json" | "v2-json" => Ok(CheckpointFormat::V2Json),
+            "v3" | "binary" | "v3-binary" => Ok(CheckpointFormat::V3Binary),
+            other => Err(format!(
+                "unknown checkpoint format {other:?} (expected \"v2-json\" or \"v3-binary\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointFormat::V2Json => f.write_str("v2-json"),
+            CheckpointFormat::V3Binary => f.write_str("v3-binary"),
+        }
+    }
+}
+
+/// How a sharded save should be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// On-disk encoding.
+    pub format: CheckpointFormat,
+    /// Number of delta saves between full snapshots (bounded compaction).
+    /// `0` disables deltas entirely — every save is a full snapshot.
+    pub delta_every: usize,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 }
+    }
+}
+
+/// What kind of artifact a save produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveKind {
+    /// A complete snapshot (manifest + every live shard).
+    Full,
+    /// A day-replay delta covering only users touched since the last full.
+    Delta,
+}
+
+impl SaveKind {
+    /// Metric-label value for this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            SaveKind::Full => "full",
+            SaveKind::Delta => "delta",
+        }
+    }
+}
+
+/// Summary of one completed checkpoint save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Whether the save was a full snapshot or a delta.
+    pub kind: SaveKind,
+    /// Total bytes written across all files of this save.
+    pub bytes: u64,
+    /// Number of files written.
+    pub files: usize,
+    /// Container format version written (2 or 3).
+    pub format_version: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Error helpers
+// ---------------------------------------------------------------------------
+
+/// A typed corruption error.
+pub(crate) fn corrupt(msg: impl Into<String>) -> AcobeError {
+    AcobeError::CorruptCheckpoint(msg.into())
+}
+
+/// Maps a decode-layer [`BinError`] into a typed corruption error that names
+/// what was being decoded.
+fn bin_corrupt(what: &str, e: BinError) -> AcobeError {
+    corrupt(format!("{what}: {e}"))
+}
+
+fn tag_str(tag: &[u8; 4]) -> String {
+    String::from_utf8_lossy(tag).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Container framing
+// ---------------------------------------------------------------------------
+
+/// Serializes `sections` into one framed container of the given `kind`.
+fn write_container(kind: u8, sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+    let total: usize = sections.iter().map(|(_, p)| p.len() + 16).sum();
+    let mut w = ByteWriter::with_capacity(13 + total);
+    w.put_bytes(MAGIC);
+    w.put_u32(CONTAINER_VERSION);
+    w.put_u8(kind);
+    w.put_u32(sections.len() as u32);
+    for (tag, payload) in sections {
+        w.put_bytes(tag);
+        w.put_u64(payload.len() as u64);
+        w.put_u32(binio::crc32(payload));
+        w.put_bytes(payload);
+    }
+    w.into_bytes()
+}
+
+/// Parsed sections of one container, with tag-based lookup.
+struct Sections<'a> {
+    what: &'a str,
+    entries: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> Sections<'a> {
+    fn find(&self, tag: &[u8; 4]) -> Option<&'a [u8]> {
+        self.entries.iter().find(|(t, _)| t == tag).map(|(_, p)| *p)
+    }
+
+    /// A reader over the named section, or a typed error naming it.
+    fn required(&self, tag: &[u8; 4]) -> Result<ByteReader<'a>, AcobeError> {
+        self.find(tag).map(ByteReader::new).ok_or_else(|| {
+            corrupt(format!("{}: missing section {:?}", self.what, tag_str(tag)))
+        })
+    }
+
+    /// Asserts the section reader consumed its whole payload.
+    fn finish(&self, tag: &[u8; 4], r: &ByteReader<'_>) -> Result<(), AcobeError> {
+        if r.is_done() {
+            Ok(())
+        } else {
+            Err(corrupt(format!(
+                "{}: section {:?} has {} trailing bytes",
+                self.what,
+                tag_str(tag),
+                r.remaining()
+            )))
+        }
+    }
+}
+
+/// Parses and checksum-verifies a framed container, expecting `kind`.
+///
+/// Unknown section tags are retained (and ignored by decoders) so future
+/// writers can add sections without breaking this reader.
+fn parse_container<'a>(
+    bytes: &'a [u8],
+    kind: u8,
+    what: &'a str,
+) -> Result<Sections<'a>, AcobeError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .take(4)
+        .map_err(|_| corrupt(format!("{what}: file too short for a v3 header")))?;
+    if magic != MAGIC {
+        return Err(corrupt(format!(
+            "{what}: not a v3 checkpoint (magic {magic:02x?}, expected {MAGIC:02x?})"
+        )));
+    }
+    let version = r.get_u32().map_err(|e| bin_corrupt(what, e))?;
+    if version != CONTAINER_VERSION {
+        return Err(corrupt(format!(
+            "{what}: unsupported checkpoint container version {version} \
+             (this build reads {CONTAINER_VERSION})"
+        )));
+    }
+    let found_kind = r.get_u8().map_err(|e| bin_corrupt(what, e))?;
+    if found_kind != kind {
+        return Err(corrupt(format!(
+            "{what}: container kind {found_kind} where kind {kind} was expected"
+        )));
+    }
+    let n_sections = r.get_u32().map_err(|e| bin_corrupt(what, e))?;
+    let mut entries = Vec::new();
+    for i in 0..n_sections {
+        let tag_bytes = r
+            .take(4)
+            .map_err(|_| corrupt(format!("{what}: truncated in section {i} header")))?;
+        let tag: [u8; 4] = tag_bytes.try_into().expect("take(4) yields 4 bytes");
+        let len = r
+            .get_u64()
+            .map_err(|_| corrupt(format!("{what}: truncated in section {i} header")))?;
+        let crc = r
+            .get_u32()
+            .map_err(|_| corrupt(format!("{what}: truncated in section {i} header")))?;
+        let len = usize::try_from(len)
+            .map_err(|_| corrupt(format!("{what}: section {:?} length overflows", tag_str(&tag))))?;
+        let payload = r.take(len).map_err(|_| {
+            corrupt(format!("{what}: section {:?} truncated", tag_str(&tag)))
+        })?;
+        if binio::crc32(payload) != crc {
+            return Err(corrupt(format!(
+                "{what}: section {:?}: checksum mismatch",
+                tag_str(&tag)
+            )));
+        }
+        entries.push((tag, payload));
+    }
+    if !r.is_done() {
+        return Err(corrupt(format!(
+            "{what}: {} trailing bytes after the last section",
+            r.remaining()
+        )));
+    }
+    Ok(Sections { what, entries })
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs
+// ---------------------------------------------------------------------------
+
+/// Writes a usize slice whose elements are often all equal (ring cursors and
+/// fill counts after warm-up): mode byte 1 stores the single shared value,
+/// mode 0 falls back to a full [`binio::put_usizes`] array.
+fn put_uniform_usizes(w: &mut ByteWriter, vs: &[usize]) {
+    if !vs.is_empty() && vs.iter().all(|&v| v == vs[0]) {
+        w.put_u8(1);
+        w.put_varu(vs[0] as u64);
+    } else {
+        w.put_u8(0);
+        binio::put_usizes(w, vs);
+    }
+}
+
+/// Reads a slice written by [`put_uniform_usizes`], checking it has exactly
+/// `expected` elements before allocating.
+fn get_uniform_usizes(
+    r: &mut ByteReader<'_>,
+    what: &str,
+    expected: usize,
+) -> Result<Vec<usize>, BinError> {
+    match r.get_u8()? {
+        1 => {
+            let v = r.get_varu()? as usize;
+            Ok(vec![v; expected])
+        }
+        0 => {
+            let vs = binio::get_usizes(r, what)?;
+            if vs.len() != expected {
+                return Err(BinError::new(format!(
+                    "{what}: {} elements where {expected} were expected",
+                    vs.len()
+                )));
+            }
+            Ok(vs)
+        }
+        m => Err(BinError::new(format!("{what}: unknown uniform mode {m}"))),
+    }
+}
+
+/// Encodes one rolling-deviation state: config scalars, dimensions, every
+/// per-series history ring flattened through the certified f32 codec, the
+/// cursors/fill counts, and the **exact** f64 running sums (never quantized —
+/// they are the accumulators the σ math depends on).
+fn encode_rolling(w: &mut ByteWriter, rolling: &RollingDeviation) {
+    let config = rolling.config();
+    w.put_varu(config.window as u64);
+    w.put_f32(config.delta);
+    w.put_f32(config.epsilon);
+    w.put_varu(config.min_history as u64);
+    let (entities, frames, features) = rolling.dims();
+    w.put_varu(entities as u64);
+    w.put_varu(frames as u64);
+    w.put_varu(features as u64);
+    let cap = config.window - 1;
+    let mut flat = Vec::with_capacity(rolling.history().len() * cap);
+    for ring in rolling.history() {
+        flat.extend_from_slice(ring);
+    }
+    binio::put_f32_array(w, &flat);
+    put_uniform_usizes(w, rolling.cursor());
+    put_uniform_usizes(w, rolling.filled());
+    binio::put_f64_array(w, rolling.sum());
+    binio::put_f64_array(w, rolling.sum_sq());
+    w.put_varu(rolling.days_seen() as u64);
+}
+
+/// Decodes state written by [`encode_rolling`], re-validating every dimension
+/// through [`RollingDeviation::from_state`].
+fn decode_rolling(r: &mut ByteReader<'_>, what: &str) -> Result<RollingDeviation, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let window = r.get_varu().map_err(err)? as usize;
+    let delta = r.get_f32().map_err(err)?;
+    let epsilon = r.get_f32().map_err(err)?;
+    let min_history = r.get_varu().map_err(err)? as usize;
+    if window < 2 {
+        return Err(corrupt(format!("{what}: window {window} below minimum 2")));
+    }
+    let entities = r.get_varu().map_err(err)? as usize;
+    let frames = r.get_varu().map_err(err)? as usize;
+    let features = r.get_varu().map_err(err)? as usize;
+    let series = entities
+        .checked_mul(frames)
+        .and_then(|v| v.checked_mul(features))
+        .ok_or_else(|| corrupt(format!("{what}: series count overflows")))?;
+    let cap = window - 1;
+    let flat = binio::get_f32_array(r, what).map_err(err)?;
+    let expected = series
+        .checked_mul(cap)
+        .ok_or_else(|| corrupt(format!("{what}: history size overflows")))?;
+    if flat.len() != expected {
+        return Err(corrupt(format!(
+            "{what}: flattened history has {} values, {series} series × {cap} slots need {expected}",
+            flat.len()
+        )));
+    }
+    let history: Vec<Vec<f32>> = flat.chunks(cap.max(1)).map(|c| c.to_vec()).collect();
+    let cursor = get_uniform_usizes(r, what, series).map_err(err)?;
+    let filled = get_uniform_usizes(r, what, series).map_err(err)?;
+    let sum = binio::get_f64_array(r, what).map_err(err)?;
+    let sum_sq = binio::get_f64_array(r, what).map_err(err)?;
+    let days_seen = r.get_varu().map_err(err)? as usize;
+    let config = crate::deviation::DeviationConfig { window, delta, epsilon, min_history };
+    RollingDeviation::from_state(
+        config, entities, frames, features, history, cursor, filled, sum, sum_sq, days_seen,
+    )
+}
+
+/// Encodes a day ring: capacity, write cursor, then each stored day through
+/// the certified f32 codec.
+fn encode_ring(w: &mut ByteWriter, ring: &DayRing) {
+    w.put_varu(ring.capacity() as u64);
+    w.put_varu(ring.raw_next() as u64);
+    w.put_varu(ring.raw_days().len() as u64);
+    for day in ring.raw_days() {
+        binio::put_f32_array(w, day);
+    }
+}
+
+/// Decodes a ring written by [`encode_ring`] via [`DayRing::from_state`].
+fn decode_ring(r: &mut ByteReader<'_>, what: &str) -> Result<DayRing, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let capacity = r.get_varu().map_err(err)? as usize;
+    let next = r.get_varu().map_err(err)? as usize;
+    let n_days = r.get_varu().map_err(err)? as usize;
+    let mut days = Vec::with_capacity(n_days.min(4096));
+    for _ in 0..n_days {
+        days.push(binio::get_f32_array(r, what).map_err(err)?);
+    }
+    DayRing::from_state(capacity, days, next)
+}
+
+/// Encodes an `Option<RollingDeviation>` behind a presence byte.
+fn encode_opt_rolling(rolling: Option<&RollingDeviation>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match rolling {
+        Some(state) => {
+            w.put_u8(1);
+            encode_rolling(&mut w, state);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
+}
+
+fn decode_opt_rolling(
+    r: &mut ByteReader<'_>,
+    what: &str,
+) -> Result<Option<RollingDeviation>, AcobeError> {
+    match r.get_u8().map_err(|e| bin_corrupt(what, e))? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_rolling(r, what)?)),
+        m => Err(corrupt(format!("{what}: unknown presence byte {m}"))),
+    }
+}
+
+/// Encodes an `Option<DayRing>` behind a presence byte.
+fn encode_opt_ring(ring: Option<&DayRing>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match ring {
+        Some(state) => {
+            w.put_u8(1);
+            encode_ring(&mut w, state);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
+}
+
+fn decode_opt_ring(r: &mut ByteReader<'_>, what: &str) -> Result<Option<DayRing>, AcobeError> {
+    match r.get_u8().map_err(|e| bin_corrupt(what, e))? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_ring(r, what)?)),
+        m => Err(corrupt(format!("{what}: unknown presence byte {m}"))),
+    }
+}
+
+/// Encodes the model bank as length-prefixed `ACNN` binary blocks.
+fn encode_models(models: &[SavedAutoencoder]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varu(models.len() as u64);
+    for model in models {
+        let block = model.to_bytes();
+        w.put_varu(block.len() as u64);
+        w.put_bytes(&block);
+    }
+    w.into_bytes()
+}
+
+fn decode_models(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<SavedAutoencoder>, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let n = r.get_varu().map_err(err)? as usize;
+    let mut models = Vec::with_capacity(n.min(4096));
+    for i in 0..n {
+        let len = r.get_varu().map_err(err)? as usize;
+        let block = r
+            .take(len)
+            .map_err(|_| corrupt(format!("{what}: model {i} block truncated")))?;
+        models.push(SavedAutoencoder::from_bytes(block).map_err(AcobeError::Model)?);
+    }
+    Ok(models)
+}
+
+/// Encodes per-aspect calibration baselines.
+fn encode_baselines(baselines: &[Vec<f32>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varu(baselines.len() as u64);
+    for row in baselines {
+        binio::put_f32_array(&mut w, row);
+    }
+    w.into_bytes()
+}
+
+fn decode_baselines(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<Vec<f32>>, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let n = r.get_varu().map_err(err)? as usize;
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        rows.push(binio::get_f32_array(r, what).map_err(err)?);
+    }
+    Ok(rows)
+}
+
+/// Encodes the trailing score history (dates + per-aspect score rows).
+fn encode_scores(history: &[DayScores]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varu(history.len() as u64);
+    for day in history {
+        w.put_i32(day.date.days());
+        w.put_varu(day.scores.len() as u64);
+        for aspect in &day.scores {
+            binio::put_f32_array(&mut w, aspect);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_scores(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<DayScores>, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let n = r.get_varu().map_err(err)? as usize;
+    let mut history = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let date = Date::from_days(r.get_i32().map_err(err)?);
+        let aspects = r.get_varu().map_err(err)? as usize;
+        let mut scores = Vec::with_capacity(aspects.min(4096));
+        for _ in 0..aspects {
+            scores.push(binio::get_f32_array(r, what).map_err(err)?);
+        }
+        history.push(DayScores { date, scores });
+    }
+    Ok(history)
+}
+
+/// Shared META payload: config + feature set (as schema-flexible JSON — both
+/// are tiny next to the state arrays), population shape, and the date range.
+#[allow(clippy::too_many_arguments)]
+fn encode_meta(
+    config: &AcobeConfig,
+    feature_set: &FeatureSet,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    groups: &[Vec<usize>],
+    user_group: &[usize],
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&serde_json::to_string(config).expect("config serializes"));
+    w.put_str(&serde_json::to_string(feature_set).expect("feature set serializes"));
+    w.put_varu(users as u64);
+    w.put_varu(frames as u64);
+    w.put_i32(start.days());
+    w.put_i32(next_date.days());
+    w.put_varu(groups.len() as u64);
+    for group in groups {
+        binio::put_usizes(&mut w, group);
+    }
+    binio::put_usizes(&mut w, user_group);
+    w.into_bytes()
+}
+
+struct Meta {
+    config: AcobeConfig,
+    feature_set: FeatureSet,
+    users: usize,
+    frames: usize,
+    start: Date,
+    next_date: Date,
+    groups: Vec<Vec<usize>>,
+    user_group: Vec<usize>,
+}
+
+fn decode_meta(r: &mut ByteReader<'_>, what: &str) -> Result<Meta, AcobeError> {
+    let err = |e| bin_corrupt(what, e);
+    let config_json = r.get_str(what).map_err(err)?;
+    let config: AcobeConfig = serde_json::from_str(&config_json)?;
+    let feature_json = r.get_str(what).map_err(err)?;
+    let feature_set: FeatureSet = serde_json::from_str(&feature_json)?;
+    let users = r.get_varu().map_err(err)? as usize;
+    let frames = r.get_varu().map_err(err)? as usize;
+    let start = Date::from_days(r.get_i32().map_err(err)?);
+    let next_date = Date::from_days(r.get_i32().map_err(err)?);
+    let n_groups = r.get_varu().map_err(err)? as usize;
+    let mut groups = Vec::with_capacity(n_groups.min(4096));
+    for _ in 0..n_groups {
+        groups.push(binio::get_usizes(r, what).map_err(err)?);
+    }
+    let user_group = binio::get_usizes(r, what).map_err(err)?;
+    Ok(Meta { config, feature_set, users, frames, start, next_date, groups, user_group })
+}
+
+/// Encodes a JSON-carried section (drift monitor, alert state): small,
+/// schema-evolving state rides as a length-prefixed JSON string.
+fn encode_json<T: serde::Serialize>(value: &T) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&serde_json::to_string(value).expect("checkpoint side state serializes"));
+    w.into_bytes()
+}
+
+fn decode_json<T: serde::de::DeserializeOwned>(
+    r: &mut ByteReader<'_>,
+    what: &str,
+) -> Result<T, AcobeError> {
+    let json = r.get_str(what).map_err(|e| bin_corrupt(what, e))?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+// ---------------------------------------------------------------------------
+// Engine container (KIND_ENGINE)
+// ---------------------------------------------------------------------------
+
+/// Serializes a monolithic-engine checkpoint into one v3 container.
+pub(crate) fn encode_engine(cp: &EngineCheckpoint) -> Vec<u8> {
+    let sections: Vec<([u8; 4], Vec<u8>)> = vec![
+        (
+            *b"META",
+            encode_meta(
+                &cp.config,
+                &cp.feature_set,
+                cp.users,
+                cp.frames,
+                cp.start,
+                cp.next_date,
+                &cp.groups,
+                &cp.user_group,
+            ),
+        ),
+        (*b"UROL", encode_opt_rolling(cp.user_rolling.as_ref())),
+        (*b"GROL", encode_opt_rolling(cp.group_rolling.as_ref())),
+        (*b"URNG", {
+            let mut w = ByteWriter::new();
+            encode_ring(&mut w, &cp.user_ring);
+            w.into_bytes()
+        }),
+        (*b"GRNG", encode_opt_ring(cp.group_ring.as_ref())),
+        (*b"MODL", encode_models(&cp.models)),
+        (*b"BASE", encode_baselines(&cp.baselines)),
+        (*b"SCOR", encode_scores(&cp.score_history)),
+        (*b"MONI", encode_json(&cp.monitor)),
+        (*b"ALRT", encode_json(&cp.alert_state)),
+    ];
+    write_container(KIND_ENGINE, &sections)
+}
+
+/// Decodes a container written by [`encode_engine`].
+///
+/// # Errors
+///
+/// Returns [`AcobeError::CorruptCheckpoint`] naming the damaged section on
+/// any framing, checksum, or shape failure.
+pub(crate) fn decode_engine(bytes: &[u8]) -> Result<EngineCheckpoint, AcobeError> {
+    let what = "engine checkpoint";
+    let sections = parse_container(bytes, KIND_ENGINE, what)?;
+    let mut r = sections.required(b"META")?;
+    let meta = decode_meta(&mut r, "section META")?;
+    sections.finish(b"META", &r)?;
+    let mut r = sections.required(b"UROL")?;
+    let user_rolling = decode_opt_rolling(&mut r, "section UROL")?;
+    sections.finish(b"UROL", &r)?;
+    let mut r = sections.required(b"GROL")?;
+    let group_rolling = decode_opt_rolling(&mut r, "section GROL")?;
+    sections.finish(b"GROL", &r)?;
+    let mut r = sections.required(b"URNG")?;
+    let user_ring = decode_ring(&mut r, "section URNG")?;
+    sections.finish(b"URNG", &r)?;
+    let mut r = sections.required(b"GRNG")?;
+    let group_ring = decode_opt_ring(&mut r, "section GRNG")?;
+    sections.finish(b"GRNG", &r)?;
+    let mut r = sections.required(b"MODL")?;
+    let models = decode_models(&mut r, "section MODL")?;
+    sections.finish(b"MODL", &r)?;
+    let mut r = sections.required(b"BASE")?;
+    let baselines = decode_baselines(&mut r, "section BASE")?;
+    sections.finish(b"BASE", &r)?;
+    let mut r = sections.required(b"SCOR")?;
+    let score_history = decode_scores(&mut r, "section SCOR")?;
+    sections.finish(b"SCOR", &r)?;
+    let mut r = sections.required(b"MONI")?;
+    let monitor: Option<DriftMonitor> = decode_json(&mut r, "section MONI")?;
+    sections.finish(b"MONI", &r)?;
+    let mut r = sections.required(b"ALRT")?;
+    let alert_state: AlertState = decode_json(&mut r, "section ALRT")?;
+    sections.finish(b"ALRT", &r)?;
+    Ok(EngineCheckpoint {
+        version: CHECKPOINT_VERSION,
+        config: meta.config,
+        feature_set: meta.feature_set,
+        groups: meta.groups,
+        user_group: meta.user_group,
+        users: meta.users,
+        frames: meta.frames,
+        start: meta.start,
+        next_date: meta.next_date,
+        user_rolling,
+        group_rolling,
+        user_ring,
+        group_ring,
+        models,
+        baselines,
+        score_history,
+        monitor,
+        alert_state,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Manifest container (KIND_MANIFEST)
+// ---------------------------------------------------------------------------
+
+/// Serializes a sharded-engine manifest with its save `generation` (the
+/// torn-save fence every shard file of the same snapshot must match).
+pub(crate) fn encode_manifest(manifest: &ShardManifest, generation: u64) -> Vec<u8> {
+    let shards = manifest.shard_files.len();
+    let mut asgn = ByteWriter::new();
+    if assign_users(manifest.users, shards) == manifest.assign {
+        // The default splitmix64 placement — store only the shard count.
+        asgn.put_u8(1);
+        asgn.put_varu(shards as u64);
+    } else {
+        asgn.put_u8(0);
+        asgn.put_varu(shards as u64);
+        asgn.put_varu(manifest.assign.len() as u64);
+        for &a in &manifest.assign {
+            asgn.put_varu(a as u64);
+        }
+    }
+    let mut file = ByteWriter::new();
+    file.put_varu(manifest.shard_files.len() as u64);
+    for name in &manifest.shard_files {
+        file.put_str(name);
+    }
+    let mut genr = ByteWriter::new();
+    genr.put_u64(generation);
+    let sections: Vec<([u8; 4], Vec<u8>)> = vec![
+        (
+            *b"META",
+            encode_meta(
+                &manifest.config,
+                &manifest.feature_set,
+                manifest.users,
+                manifest.frames,
+                manifest.start,
+                manifest.next_date,
+                &manifest.groups,
+                &manifest.user_group,
+            ),
+        ),
+        (*b"ASGN", asgn.into_bytes()),
+        (*b"FILE", file.into_bytes()),
+        (*b"GROL", encode_opt_rolling(manifest.group_rolling.as_ref())),
+        (*b"GRNG", encode_opt_ring(manifest.group_ring.as_ref())),
+        (*b"MODL", encode_models(&manifest.models)),
+        (*b"MONI", encode_json(&manifest.monitor)),
+        (*b"ALRT", encode_json(&manifest.alert_state)),
+        (*b"GENR", genr.into_bytes()),
+    ];
+    write_container(KIND_MANIFEST, &sections)
+}
+
+/// Decodes a container written by [`encode_manifest`], returning the
+/// manifest and its save generation.
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(ShardManifest, u64), AcobeError> {
+    let what = "shard manifest";
+    let sections = parse_container(bytes, KIND_MANIFEST, what)?;
+    let mut r = sections.required(b"META")?;
+    let meta = decode_meta(&mut r, "section META")?;
+    sections.finish(b"META", &r)?;
+    let mut r = sections.required(b"ASGN")?;
+    let err = |e| bin_corrupt("section ASGN", e);
+    let assign = match r.get_u8().map_err(err)? {
+        1 => {
+            let shards = r.get_varu().map_err(err)? as usize;
+            assign_users(meta.users, shards)
+        }
+        0 => {
+            let _shards = r.get_varu().map_err(err)? as usize;
+            let n = r.get_varu().map_err(err)? as usize;
+            if n != meta.users {
+                return Err(corrupt(format!(
+                    "section ASGN: {n} assignments for {} users",
+                    meta.users
+                )));
+            }
+            let mut assign = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                assign.push(r.get_varu().map_err(err)? as u32);
+            }
+            assign
+        }
+        m => return Err(corrupt(format!("section ASGN: unknown mode {m}"))),
+    };
+    sections.finish(b"ASGN", &r)?;
+    let mut r = sections.required(b"FILE")?;
+    let err = |e| bin_corrupt("section FILE", e);
+    let n_files = r.get_varu().map_err(err)? as usize;
+    let mut shard_files = Vec::with_capacity(n_files.min(4096));
+    for _ in 0..n_files {
+        shard_files.push(r.get_str("section FILE").map_err(err)?);
+    }
+    sections.finish(b"FILE", &r)?;
+    let mut r = sections.required(b"GROL")?;
+    let group_rolling = decode_opt_rolling(&mut r, "section GROL")?;
+    sections.finish(b"GROL", &r)?;
+    let mut r = sections.required(b"GRNG")?;
+    let group_ring = decode_opt_ring(&mut r, "section GRNG")?;
+    sections.finish(b"GRNG", &r)?;
+    let mut r = sections.required(b"MODL")?;
+    let models = decode_models(&mut r, "section MODL")?;
+    sections.finish(b"MODL", &r)?;
+    let mut r = sections.required(b"MONI")?;
+    let monitor: Option<DriftMonitor> = decode_json(&mut r, "section MONI")?;
+    sections.finish(b"MONI", &r)?;
+    let mut r = sections.required(b"ALRT")?;
+    let alert_state: AlertState = decode_json(&mut r, "section ALRT")?;
+    sections.finish(b"ALRT", &r)?;
+    let mut r = sections.required(b"GENR")?;
+    let generation = r.get_u64().map_err(|e| bin_corrupt("section GENR", e))?;
+    sections.finish(b"GENR", &r)?;
+    let manifest = ShardManifest {
+        version: SHARD_CHECKPOINT_VERSION,
+        config: meta.config,
+        feature_set: meta.feature_set,
+        groups: meta.groups,
+        user_group: meta.user_group,
+        users: meta.users,
+        frames: meta.frames,
+        start: meta.start,
+        next_date: meta.next_date,
+        assign,
+        shard_files,
+        group_rolling,
+        group_ring,
+        models,
+        monitor,
+        alert_state,
+    };
+    Ok((manifest, generation))
+}
+
+// ---------------------------------------------------------------------------
+// Shard container (KIND_SHARD)
+// ---------------------------------------------------------------------------
+
+/// Serializes one shard's state, stamped with the snapshot `generation`.
+pub(crate) fn encode_shard(cp: &ShardCheckpoint, generation: u64) -> Vec<u8> {
+    let mut head = ByteWriter::new();
+    head.put_varu(cp.shard as u64);
+    binio::put_usizes(&mut head, &cp.users);
+    head.put_u64(generation);
+    let sections: Vec<([u8; 4], Vec<u8>)> = vec![
+        (*b"HEAD", head.into_bytes()),
+        (*b"ROLL", encode_opt_rolling(cp.rolling.as_ref())),
+        (*b"RING", {
+            let mut w = ByteWriter::new();
+            encode_ring(&mut w, &cp.ring);
+            w.into_bytes()
+        }),
+        (*b"BASE", encode_baselines(&cp.baselines)),
+        (*b"SCOR", encode_scores(&cp.score_history)),
+    ];
+    write_container(KIND_SHARD, &sections)
+}
+
+/// Decodes a container written by [`encode_shard`], returning the shard
+/// checkpoint and the generation it was stamped with.
+pub(crate) fn decode_shard(bytes: &[u8]) -> Result<(ShardCheckpoint, u64), AcobeError> {
+    let what = "shard checkpoint";
+    let sections = parse_container(bytes, KIND_SHARD, what)?;
+    let mut r = sections.required(b"HEAD")?;
+    let err = |e| bin_corrupt("section HEAD", e);
+    let shard = r.get_varu().map_err(err)? as usize;
+    let users = binio::get_usizes(&mut r, "section HEAD").map_err(err)?;
+    let generation = r.get_u64().map_err(err)?;
+    sections.finish(b"HEAD", &r)?;
+    let mut r = sections.required(b"ROLL")?;
+    let rolling = decode_opt_rolling(&mut r, "section ROLL")?;
+    sections.finish(b"ROLL", &r)?;
+    let mut r = sections.required(b"RING")?;
+    let ring = decode_ring(&mut r, "section RING")?;
+    sections.finish(b"RING", &r)?;
+    let mut r = sections.required(b"BASE")?;
+    let baselines = decode_baselines(&mut r, "section BASE")?;
+    sections.finish(b"BASE", &r)?;
+    let mut r = sections.required(b"SCOR")?;
+    let score_history = decode_scores(&mut r, "section SCOR")?;
+    sections.finish(b"SCOR", &r)?;
+    let cp = ShardCheckpoint {
+        version: SHARD_CHECKPOINT_VERSION,
+        shard,
+        users,
+        rolling,
+        ring,
+        baselines,
+        score_history,
+    };
+    Ok((cp, generation))
+}
+
+// ---------------------------------------------------------------------------
+// Delta containers (KIND_DELTA + KIND_CHAIN)
+// ---------------------------------------------------------------------------
+
+/// One ingested day buffered for the next delta save: the date, whether the
+/// day produced scores, and each live shard's roster-ordered measurement slab
+/// already pushed through the certified f32 codec (`None` for quarantined
+/// slots).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingDay {
+    pub(crate) date: Date,
+    pub(crate) scored: bool,
+    pub(crate) enc_slabs: Vec<Option<Vec<u8>>>,
+}
+
+/// One committed delta save in the chain index: which days it covers, which
+/// per-shard delta file holds each shard's slabs, and the JSON snapshots of
+/// the shared mutable state (drift monitor + alert state) taken *after* the
+/// covered days — restore replays the days, then overwrites with these so
+/// alert sequence numbers stay exactly-once.
+#[derive(Debug, Clone)]
+pub(crate) struct ChainEntry {
+    pub(crate) seq: u64,
+    pub(crate) days: Vec<(Date, bool)>,
+    pub(crate) files: Vec<Option<String>>,
+    pub(crate) monitor_json: String,
+    pub(crate) alert_json: String,
+}
+
+/// Book-keeping for delta checkpointing, owned by the sharded engine.
+///
+/// A fresh tracker (new stream or just-loaded checkpoint) forces the first
+/// save to be a full snapshot; after that, saves append deltas until
+/// `delta_every` entries accumulate, which triggers compaction back to a
+/// full snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaTracker {
+    pub(crate) delta_every: usize,
+    pub(crate) base_generation: Option<u64>,
+    pub(crate) entries: Vec<ChainEntry>,
+    pub(crate) pending: Vec<PendingDay>,
+}
+
+impl DeltaTracker {
+    pub(crate) fn new(delta_every: usize) -> Self {
+        DeltaTracker {
+            delta_every,
+            base_generation: None,
+            entries: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// True when the next save must be a full snapshot: deltas disabled, no
+    /// base snapshot yet, or the chain reached its compaction bound.
+    pub(crate) fn needs_full(&self) -> bool {
+        self.delta_every == 0
+            || self.base_generation.is_none()
+            || self.entries.len() >= self.delta_every
+    }
+
+    /// Resets the tracker onto a fresh full snapshot.
+    pub(crate) fn note_full(&mut self, generation: u64) {
+        self.base_generation = Some(generation);
+        self.entries.clear();
+        self.pending.clear();
+    }
+}
+
+/// A decoded per-shard delta file.
+pub(crate) struct DeltaShardFile {
+    pub(crate) shard: usize,
+    pub(crate) base_generation: u64,
+    pub(crate) seq: u64,
+    /// `(date, roster-ordered slab)` per covered day.
+    pub(crate) days: Vec<(Date, Vec<f32>)>,
+}
+
+/// Encodes one shard's slab stream for a delta save. `days` pairs each date
+/// with the shard's **already-encoded** slab bytes (spliced verbatim — the
+/// encoding happened in the ingest worker, off the save path).
+pub(crate) fn encode_delta(
+    shard: usize,
+    base_generation: u64,
+    seq: u64,
+    days: &[(Date, &[u8])],
+) -> Vec<u8> {
+    let mut head = ByteWriter::new();
+    head.put_varu(shard as u64);
+    head.put_u64(base_generation);
+    head.put_varu(seq);
+    head.put_varu(days.len() as u64);
+    let mut body = ByteWriter::with_capacity(days.iter().map(|(_, s)| s.len() + 4).sum());
+    for (date, slab) in days {
+        body.put_i32(date.days());
+        body.put_bytes(slab);
+    }
+    let sections: Vec<([u8; 4], Vec<u8>)> =
+        vec![(*b"HEAD", head.into_bytes()), (*b"DAYS", body.into_bytes())];
+    write_container(KIND_DELTA, &sections)
+}
+
+/// Decodes a file written by [`encode_delta`], expanding each day's slab
+/// back to dense roster order.
+pub(crate) fn decode_delta(bytes: &[u8]) -> Result<DeltaShardFile, AcobeError> {
+    let what = "shard delta";
+    let sections = parse_container(bytes, KIND_DELTA, what)?;
+    let mut r = sections.required(b"HEAD")?;
+    let err = |e| bin_corrupt("section HEAD", e);
+    let shard = r.get_varu().map_err(err)? as usize;
+    let base_generation = r.get_u64().map_err(err)?;
+    let seq = r.get_varu().map_err(err)?;
+    let n_days = r.get_varu().map_err(err)? as usize;
+    sections.finish(b"HEAD", &r)?;
+    let mut r = sections.required(b"DAYS")?;
+    let err = |e| bin_corrupt("section DAYS", e);
+    let mut days = Vec::with_capacity(n_days.min(4096));
+    for _ in 0..n_days {
+        let date = Date::from_days(r.get_i32().map_err(err)?);
+        let slab = binio::get_f32_array(&mut r, "section DAYS").map_err(err)?;
+        days.push((date, slab));
+    }
+    sections.finish(b"DAYS", &r)?;
+    Ok(DeltaShardFile { shard, base_generation, seq, days })
+}
+
+/// Encodes the chain index. Rewriting this file atomically *is* the commit
+/// point of a delta save: per-shard delta files written before it are
+/// unreachable (and harmless) until the chain references them.
+pub(crate) fn encode_chain(base_generation: u64, entries: &[ChainEntry]) -> Vec<u8> {
+    let mut head = ByteWriter::new();
+    head.put_u64(base_generation);
+    head.put_varu(entries.len() as u64);
+    let mut body = ByteWriter::new();
+    for entry in entries {
+        body.put_varu(entry.seq);
+        body.put_varu(entry.days.len() as u64);
+        for (date, scored) in &entry.days {
+            body.put_i32(date.days());
+            body.put_u8(u8::from(*scored));
+        }
+        body.put_varu(entry.files.len() as u64);
+        for file in &entry.files {
+            match file {
+                Some(name) => {
+                    body.put_u8(1);
+                    body.put_str(name);
+                }
+                None => body.put_u8(0),
+            }
+        }
+        body.put_str(&entry.monitor_json);
+        body.put_str(&entry.alert_json);
+    }
+    let sections: Vec<([u8; 4], Vec<u8>)> =
+        vec![(*b"HEAD", head.into_bytes()), (*b"ENTR", body.into_bytes())];
+    write_container(KIND_CHAIN, &sections)
+}
+
+/// Decodes an index written by [`encode_chain`].
+pub(crate) fn decode_chain(bytes: &[u8]) -> Result<(u64, Vec<ChainEntry>), AcobeError> {
+    let what = "delta chain";
+    let sections = parse_container(bytes, KIND_CHAIN, what)?;
+    let mut r = sections.required(b"HEAD")?;
+    let err = |e| bin_corrupt("section HEAD", e);
+    let base_generation = r.get_u64().map_err(err)?;
+    let n_entries = r.get_varu().map_err(err)? as usize;
+    sections.finish(b"HEAD", &r)?;
+    let mut r = sections.required(b"ENTR")?;
+    let err = |e| bin_corrupt("section ENTR", e);
+    let mut entries = Vec::with_capacity(n_entries.min(4096));
+    for _ in 0..n_entries {
+        let seq = r.get_varu().map_err(err)?;
+        let n_days = r.get_varu().map_err(err)? as usize;
+        let mut days = Vec::with_capacity(n_days.min(4096));
+        for _ in 0..n_days {
+            let date = Date::from_days(r.get_i32().map_err(err)?);
+            let scored = match r.get_u8().map_err(err)? {
+                0 => false,
+                1 => true,
+                m => {
+                    return Err(corrupt(format!("section ENTR: unknown scored flag {m}")));
+                }
+            };
+            days.push((date, scored));
+        }
+        let n_files = r.get_varu().map_err(err)? as usize;
+        let mut files = Vec::with_capacity(n_files.min(4096));
+        for _ in 0..n_files {
+            files.push(match r.get_u8().map_err(err)? {
+                0 => None,
+                1 => Some(r.get_str("section ENTR").map_err(err)?),
+                m => {
+                    return Err(corrupt(format!("section ENTR: unknown presence byte {m}")));
+                }
+            });
+        }
+        let monitor_json = r.get_str("section ENTR").map_err(err)?;
+        let alert_json = r.get_str("section ENTR").map_err(err)?;
+        entries.push(ChainEntry { seq, days, files, monitor_json, alert_json });
+    }
+    sections.finish(b"ENTR", &r)?;
+    Ok((base_generation, entries))
+}
+
+/// Encodes one roster-ordered measurement slab through the certified f32
+/// codec (called from ingest workers so the save path only splices bytes).
+pub(crate) fn encode_slab(slab: &[f32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    binio::put_f32_array(&mut w, slab);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::DeviationConfig;
+
+    fn sample_rolling() -> RollingDeviation {
+        let config = DeviationConfig { window: 4, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+        let mut rolling = RollingDeviation::new(3, 2, 2, config);
+        for d in 0..5 {
+            let day: Vec<f32> = (0..12).map(|i| ((i * 7 + d * 3) % 5) as f32 * 0.25).collect();
+            rolling.push_day(&day).unwrap();
+        }
+        rolling
+    }
+
+    fn sample_ring() -> DayRing {
+        let mut ring = DayRing::new(3);
+        for d in 0..5 {
+            ring.push((0..6).map(|i| (i + d) as f32 * 0.5).collect());
+        }
+        ring
+    }
+
+    #[test]
+    fn container_roundtrip_and_lookup() {
+        let sections = vec![(*b"AAAA", vec![1, 2, 3]), (*b"BBBB", vec![]), (*b"CCCC", vec![9; 100])];
+        let bytes = write_container(KIND_ENGINE, &sections);
+        let parsed = parse_container(&bytes, KIND_ENGINE, "test").unwrap();
+        assert_eq!(parsed.find(b"AAAA"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(parsed.find(b"BBBB"), Some(&[][..]));
+        assert_eq!(parsed.find(b"CCCC").unwrap().len(), 100);
+        assert!(parsed.find(b"DDDD").is_none());
+        assert!(parsed.required(b"DDDD").is_err());
+    }
+
+    #[test]
+    fn container_rejects_bad_magic() {
+        let mut bytes = write_container(KIND_ENGINE, &[(*b"AAAA", vec![1])]);
+        bytes[0] = b'X';
+        let err = parse_container(&bytes, KIND_ENGINE, "test").unwrap_err();
+        assert!(err.to_string().contains("not a v3 checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn container_rejects_future_version() {
+        let mut bytes = write_container(KIND_ENGINE, &[(*b"AAAA", vec![1])]);
+        bytes[4] = 99;
+        let err = parse_container(&bytes, KIND_ENGINE, "test").unwrap_err();
+        assert!(err.to_string().contains("unsupported checkpoint container version"), "{err}");
+    }
+
+    #[test]
+    fn container_rejects_wrong_kind() {
+        let bytes = write_container(KIND_SHARD, &[(*b"AAAA", vec![1])]);
+        let err = parse_container(&bytes, KIND_ENGINE, "test").unwrap_err();
+        assert!(err.to_string().contains("container kind"), "{err}");
+    }
+
+    #[test]
+    fn container_names_checksum_damaged_section() {
+        let sections = vec![(*b"GOOD", vec![7; 40]), (*b"EVIL", vec![8; 40])];
+        let bytes = write_container(KIND_ENGINE, &sections);
+        // Flip one bit inside the second payload (header 13 + 16 + 40 + 16).
+        let mut bad = bytes.clone();
+        let target = 13 + 16 + 40 + 16 + 20;
+        bad[target] ^= 0x10;
+        let err = parse_container(&bad, KIND_ENGINE, "test").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("EVIL") && msg.contains("checksum mismatch"), "{msg}");
+        assert!(!msg.contains("GOOD"), "{msg}");
+    }
+
+    #[test]
+    fn container_rejects_truncation_typed() {
+        let bytes = write_container(KIND_ENGINE, &[(*b"AAAA", vec![5; 64])]);
+        for cut in [2, 8, 12, 20, bytes.len() - 1] {
+            let err = parse_container(&bytes[..cut], KIND_ENGINE, "test").unwrap_err();
+            assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn uniform_usizes_roundtrip() {
+        for vs in [vec![4usize; 9], vec![0, 1, 2, 3], vec![7]] {
+            let mut w = ByteWriter::new();
+            put_uniform_usizes(&mut w, &vs);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = get_uniform_usizes(&mut r, "test", vs.len()).unwrap();
+            assert_eq!(back, vs);
+            assert!(r.is_done());
+        }
+        // Length mismatch is typed, not a bad allocation.
+        let mut w = ByteWriter::new();
+        put_uniform_usizes(&mut w, &[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(get_uniform_usizes(&mut r, "test", 5).is_err());
+    }
+
+    #[test]
+    fn rolling_roundtrip_bit_identical() {
+        let rolling = sample_rolling();
+        let mut w = ByteWriter::new();
+        encode_rolling(&mut w, &rolling);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_rolling(&mut r, "test").unwrap();
+        assert!(r.is_done());
+        // Bit-identical state ⇒ identical JSON (serde emits exact values).
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&rolling).unwrap()
+        );
+    }
+
+    #[test]
+    fn ring_roundtrip_bit_identical() {
+        let ring = sample_ring();
+        let mut w = ByteWriter::new();
+        encode_ring(&mut w, &ring);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_ring(&mut r, "test").unwrap();
+        assert!(r.is_done());
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&ring).unwrap()
+        );
+    }
+
+    #[test]
+    fn scores_and_baselines_roundtrip() {
+        let history = vec![
+            DayScores { date: Date::from_days(19000), scores: vec![vec![0.5, f32::NAN], vec![1.0, 2.0]] },
+            DayScores { date: Date::from_days(19001), scores: vec![vec![], vec![3.5]] },
+        ];
+        let bytes = encode_scores(&history);
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_scores(&mut r, "test").unwrap();
+        assert!(r.is_done());
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&history).unwrap()
+        );
+        let baselines = vec![vec![1.0f32, 2.0], vec![0.0, -0.0, 0.125]];
+        let bytes = encode_baselines(&baselines);
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_baselines(&mut r, "test").unwrap();
+        assert!(r.is_done());
+        assert_eq!(back.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   baselines.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let slab_a: Vec<f32> = (0..24).map(|i| if i % 5 == 0 { i as f32 } else { 0.0 }).collect();
+        let slab_b: Vec<f32> = vec![0.0; 24];
+        let enc_a = encode_slab(&slab_a);
+        let enc_b = encode_slab(&slab_b);
+        let bytes = encode_delta(
+            2,
+            777,
+            3,
+            &[(Date::from_days(19500), &enc_a), (Date::from_days(19501), &enc_b)],
+        );
+        let file = decode_delta(&bytes).unwrap();
+        assert_eq!(file.shard, 2);
+        assert_eq!(file.base_generation, 777);
+        assert_eq!(file.seq, 3);
+        assert_eq!(file.days.len(), 2);
+        assert_eq!(file.days[0].0, Date::from_days(19500));
+        assert_eq!(file.days[0].1, slab_a);
+        assert_eq!(file.days[1].1, slab_b);
+    }
+
+    #[test]
+    fn chain_roundtrip_and_corruption() {
+        let entries = vec![
+            ChainEntry {
+                seq: 0,
+                days: vec![(Date::from_days(19500), true), (Date::from_days(19501), false)],
+                files: vec![Some("delta_000_shard_000.acb".into()), None],
+                monitor_json: "null".into(),
+                alert_json: "{}".into(),
+            },
+            ChainEntry {
+                seq: 1,
+                days: vec![(Date::from_days(19502), true)],
+                files: vec![Some("delta_001_shard_000.acb".into()), Some("x.acb".into())],
+                monitor_json: "null".into(),
+                alert_json: "{\"next_seq\":4}".into(),
+            },
+        ];
+        let bytes = encode_chain(42, &entries);
+        let (base, back) = decode_chain(&bytes).unwrap();
+        assert_eq!(base, 42);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].days, entries[0].days);
+        assert_eq!(back[0].files, entries[0].files);
+        assert_eq!(back[1].alert_json, entries[1].alert_json);
+        // A flipped bit anywhere in a payload is caught by the section CRC.
+        let mut bad = bytes.clone();
+        let target = bytes.len() - 3;
+        bad[target] ^= 0x01;
+        assert!(matches!(decode_chain(&bad), Err(AcobeError::CorruptCheckpoint(_))));
+    }
+
+    #[test]
+    fn checkpoint_format_parses() {
+        assert_eq!("v3-binary".parse::<CheckpointFormat>().unwrap(), CheckpointFormat::V3Binary);
+        assert_eq!("V2".parse::<CheckpointFormat>().unwrap(), CheckpointFormat::V2Json);
+        assert_eq!("json".parse::<CheckpointFormat>().unwrap(), CheckpointFormat::V2Json);
+        assert!("yaml".parse::<CheckpointFormat>().is_err());
+        assert_eq!(CheckpointFormat::default(), CheckpointFormat::V3Binary);
+        let opts = CheckpointOptions::default();
+        assert_eq!(opts.delta_every, 8);
+    }
+
+    #[test]
+    fn delta_tracker_schedule() {
+        let mut tracker = DeltaTracker::new(2);
+        assert!(tracker.needs_full(), "no base yet");
+        tracker.note_full(10);
+        assert!(!tracker.needs_full());
+        tracker.entries.push(ChainEntry {
+            seq: 0,
+            days: vec![],
+            files: vec![],
+            monitor_json: "null".into(),
+            alert_json: "{}".into(),
+        });
+        assert!(!tracker.needs_full());
+        tracker.entries.push(ChainEntry {
+            seq: 1,
+            days: vec![],
+            files: vec![],
+            monitor_json: "null".into(),
+            alert_json: "{}".into(),
+        });
+        assert!(tracker.needs_full(), "compaction bound reached");
+        let always_full = DeltaTracker::new(0);
+        assert!(always_full.needs_full());
+    }
+}

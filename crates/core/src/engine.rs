@@ -42,7 +42,7 @@ use std::time::Instant;
 pub(crate) const SCORE_HISTORY_DAYS: usize = 64;
 
 /// Checkpoint format version written by [`DetectionEngine::snapshot`].
-const CHECKPOINT_VERSION: u32 = 1;
+pub(crate) const CHECKPOINT_VERSION: u32 = 1;
 
 /// Histogram edges (milliseconds) for per-day ingest latency.
 pub(crate) const INGEST_EDGES: &[f64] =
@@ -116,6 +116,47 @@ impl DayRing {
     /// True when every stored day vector has exactly `width` values.
     pub(crate) fn days_have_width(&self, width: usize) -> bool {
         self.days.iter().all(|d| d.len() == width)
+    }
+
+    /// Stored day vectors in raw slot order (for the checkpoint codec).
+    pub(crate) fn raw_days(&self) -> &[Vec<f32>] {
+        &self.days
+    }
+
+    /// The raw write cursor (for the checkpoint codec).
+    pub(crate) fn raw_next(&self) -> usize {
+        self.next
+    }
+
+    /// Rebuilds a ring from raw checkpoint fields, validating the cursor
+    /// against the fill level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::CorruptCheckpoint`] when the cursor is
+    /// inconsistent with the stored days or the capacity is zero.
+    pub(crate) fn from_state(
+        capacity: usize,
+        days: Vec<Vec<f32>>,
+        next: usize,
+    ) -> Result<Self, AcobeError> {
+        if capacity == 0 {
+            return Err(AcobeError::CorruptCheckpoint("ring capacity is zero".into()));
+        }
+        if days.len() > capacity {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "ring holds {} days, capacity {capacity}",
+                days.len()
+            )));
+        }
+        let valid = if days.len() < capacity { next == days.len() } else { next < capacity };
+        if !valid {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "ring cursor {next} inconsistent with {} stored days (capacity {capacity})",
+                days.len()
+            )));
+        }
+        Ok(DayRing { capacity, days, next })
     }
 
     /// A ring holding only the listed entities' `[frame][feature]` chunks of
@@ -1065,34 +1106,78 @@ impl DetectionEngine {
         })
     }
 
-    /// Saves a checkpoint as JSON.
+    /// Saves a checkpoint in the v3 binary container format (written
+    /// atomically via tmp + rename) and records checkpoint metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures.
+    pub fn save<P: AsRef<Path>>(&mut self, path: P) -> Result<(), AcobeError> {
+        let started = Instant::now();
+        let bytes = crate::checkpoint::encode_engine(&self.snapshot());
+        acobe_obs::write_atomic(path.as_ref(), &bytes).map_err(|source| AcobeError::Io {
+            path: path.as_ref().display().to_string(),
+            source,
+        })?;
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        acobe_obs::histogram_with(
+            "checkpoint/write_ms",
+            &[("kind", "full")],
+            crate::checkpoint::CHECKPOINT_EDGES,
+        )
+        .observe(ms);
+        acobe_obs::counter_with("checkpoint/bytes", &[("kind", "full")]).add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Saves a checkpoint in the legacy v1 JSON format.
     ///
     /// # Errors
     ///
     /// Returns [`AcobeError::Io`] for filesystem failures and
     /// [`AcobeError::Checkpoint`] for serialization failures.
-    pub fn save<P: AsRef<Path>>(&mut self, path: P) -> Result<(), AcobeError> {
+    pub fn save_v1_json<P: AsRef<Path>>(&mut self, path: P) -> Result<(), AcobeError> {
         let json = serde_json::to_string(&self.snapshot())?;
-        std::fs::write(&path, json).map_err(|source| AcobeError::Io {
-            path: path.as_ref().display().to_string(),
-            source,
+        acobe_obs::write_atomic(path.as_ref(), json.as_bytes()).map_err(|source| {
+            AcobeError::Io { path: path.as_ref().display().to_string(), source }
         })
     }
 
-    /// Loads a checkpoint saved by [`DetectionEngine::save`].
+    /// Loads a checkpoint saved by [`DetectionEngine::save`] (v3 binary) or
+    /// by a previous release's v1 JSON save — the format is sniffed from the
+    /// file's magic bytes, so old checkpoints keep loading unchanged.
     ///
     /// # Errors
     ///
     /// Returns [`AcobeError::Io`] for filesystem failures,
+    /// [`AcobeError::CorruptCheckpoint`] for damaged binary containers,
     /// [`AcobeError::Checkpoint`] for malformed JSON, and the
     /// [`DetectionEngine::restore`] errors.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, AcobeError> {
-        let json = std::fs::read_to_string(&path).map_err(|source| AcobeError::Io {
+        let started = Instant::now();
+        let bytes = std::fs::read(&path).map_err(|source| AcobeError::Io {
             path: path.as_ref().display().to_string(),
             source,
         })?;
-        let checkpoint: EngineCheckpoint = serde_json::from_str(&json)?;
-        Self::restore(checkpoint)
+        let checkpoint = if crate::checkpoint::is_v3(&bytes) {
+            crate::checkpoint::decode_engine(&bytes)?
+        } else {
+            let json = std::str::from_utf8(&bytes).map_err(|_| {
+                AcobeError::CorruptCheckpoint(
+                    "checkpoint is neither a v3 container nor UTF-8 JSON".into(),
+                )
+            })?;
+            serde_json::from_str::<EngineCheckpoint>(json)?
+        };
+        let engine = Self::restore(checkpoint)?;
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        acobe_obs::histogram_with(
+            "checkpoint/restore_ms",
+            &[("kind", "full")],
+            crate::checkpoint::CHECKPOINT_EDGES,
+        )
+        .observe(ms);
+        Ok(engine)
     }
 }
 

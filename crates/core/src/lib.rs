@@ -19,6 +19,9 @@
 //! * [`alert`] — the alert decision plane: [`alert::AlertPolicy`] thresholds
 //!   evaluated after every scored day, deviation-matrix evidence bundles,
 //!   and the append-only [`alert::AlertLog`] with exactly-once resume,
+//! * [`checkpoint`] — the v3 binary checkpoint container shared by both
+//!   engines: CRC-checksummed sections, certified-lossless quantized
+//!   histories, and per-shard day-replay deltas (DESIGN.md §12),
 //! * [`config`] — presets for the paper's configuration and its ablations
 //!   (No-Group, 1-Day, All-in-1, Baseline style).
 //!
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod checkpoint;
 pub mod config;
 pub mod critic;
 pub mod deviation;
@@ -66,6 +70,7 @@ pub mod streaming;
 pub mod waveform;
 
 pub use alert::{AlertLog, AlertLogEntry, AlertPolicy, AlertState};
+pub use checkpoint::{CheckpointFormat, CheckpointOptions, SaveKind, SaveReport};
 pub use config::{AcobeConfig, OptimizerKind, Representation};
 pub use critic::{investigation_list, investigate_from_scores, Investigation};
 pub use deviation::{compute_deviations, group_average_cube, DeviationConfig, DeviationCube};

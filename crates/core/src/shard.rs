@@ -28,6 +28,10 @@
 //! shards keep the stream going.
 
 use crate::alert::{AlertPolicy, AlertState};
+use crate::checkpoint::{
+    self, ChainEntry, CheckpointFormat, CheckpointOptions, DeltaTracker, PendingDay, SaveKind,
+    SaveReport, CHAIN_FILE, CHECKPOINT_EDGES, MANIFEST_FILE_V3,
+};
 use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::engine::{
@@ -48,10 +52,11 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
 
-/// Checkpoint format version written by [`ShardedEngine::save`].
-const SHARD_CHECKPOINT_VERSION: u32 = 2;
+/// Version carried inside shard checkpoints (the JSON layout is v2; the v3
+/// binary container re-stamps this same logical version on decode).
+pub(crate) const SHARD_CHECKPOINT_VERSION: u32 = 2;
 
-/// Manifest file name inside a sharded checkpoint directory.
+/// v2 manifest file name inside a sharded checkpoint directory.
 const MANIFEST_FILE: &str = "manifest.json";
 
 /// SplitMix64 finalizer — a seedless, stable 64-bit mix. The user→shard
@@ -312,30 +317,31 @@ enum ShardSlot {
     },
 }
 
-/// Serialized shared state of a sharded checkpoint (`manifest.json`).
+/// Serialized shared state of a sharded checkpoint (`manifest.json` for v2,
+/// the `manifest.acb` META/ASGN/… sections for v3 — see `crate::checkpoint`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct ShardManifest {
-    version: u32,
-    config: AcobeConfig,
-    feature_set: FeatureSet,
-    groups: Vec<Vec<usize>>,
-    user_group: Vec<usize>,
-    users: usize,
-    frames: usize,
-    start: Date,
-    next_date: Date,
-    assign: Vec<u32>,
-    shard_files: Vec<String>,
-    group_rolling: Option<RollingDeviation>,
-    group_ring: Option<DayRing>,
-    models: Vec<SavedAutoencoder>,
+pub(crate) struct ShardManifest {
+    pub(crate) version: u32,
+    pub(crate) config: AcobeConfig,
+    pub(crate) feature_set: FeatureSet,
+    pub(crate) groups: Vec<Vec<usize>>,
+    pub(crate) user_group: Vec<usize>,
+    pub(crate) users: usize,
+    pub(crate) frames: usize,
+    pub(crate) start: Date,
+    pub(crate) next_date: Date,
+    pub(crate) assign: Vec<u32>,
+    pub(crate) shard_files: Vec<String>,
+    pub(crate) group_rolling: Option<RollingDeviation>,
+    pub(crate) group_ring: Option<DayRing>,
+    pub(crate) models: Vec<SavedAutoencoder>,
     /// Drift-monitor trailing window (appended with a default so v2
     /// checkpoints written before alerting still parse).
     #[serde(default)]
-    monitor: Option<DriftMonitor>,
+    pub(crate) monitor: Option<DriftMonitor>,
     /// Alert-evaluation state, including the `next_seq` high-water mark.
     #[serde(default)]
-    alert_state: AlertState,
+    pub(crate) alert_state: AlertState,
 }
 
 impl ShardManifest {
@@ -443,16 +449,17 @@ impl ShardManifest {
     }
 }
 
-/// Serialized state of one shard (`shard_NNN.json`).
+/// Serialized state of one shard (`shard_NNN.json` for v2, `shard_NNN.acb`
+/// for v3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct ShardCheckpoint {
-    version: u32,
-    shard: usize,
-    users: Vec<usize>,
-    rolling: Option<RollingDeviation>,
-    ring: DayRing,
-    baselines: Vec<Vec<f32>>,
-    score_history: Vec<DayScores>,
+pub(crate) struct ShardCheckpoint {
+    pub(crate) version: u32,
+    pub(crate) shard: usize,
+    pub(crate) users: Vec<usize>,
+    pub(crate) rolling: Option<RollingDeviation>,
+    pub(crate) ring: DayRing,
+    pub(crate) baselines: Vec<Vec<f32>>,
+    pub(crate) score_history: Vec<DayScores>,
 }
 
 /// The sharded detection engine: an orchestrator over `N` [`EngineShard`]s
@@ -515,6 +522,10 @@ pub struct ShardedEngine {
     alert_state: AlertState,
     /// Alerts raised since the last [`ShardedEngine::take_alerts`].
     pending_alerts: Vec<Alert>,
+    /// Delta-checkpoint book-keeping: present once delta saves are enabled
+    /// (via [`ShardedEngine::save_checkpoint`] with a non-zero
+    /// `delta_every`), buffering per-day encoded slabs between saves.
+    delta_tracker: Option<DeltaTracker>,
 }
 
 impl ShardedEngine {
@@ -562,6 +573,7 @@ impl ShardedEngine {
             alert_policy: engine.alert_policy,
             alert_state: engine.alert_state,
             pending_alerts: engine.pending_alerts,
+            delta_tracker: None,
         };
         sharded.publish_shard_health();
         Ok(sharded)
@@ -858,9 +870,12 @@ impl ShardedEngine {
         };
 
         // Phase 1 — per-shard local accumulation, in parallel on the shared
-        // worker pool (no matmuls run here, so nesting is safe).
+        // worker pool (no matmuls run here, so nesting is safe). When delta
+        // checkpointing is armed, each worker also encodes its slab through
+        // the certified f32 codec here, off the save path.
         let n = self.slots.len();
-        type Phase1Out = Option<Result<(Vec<ExactF32Sum>, f64), AcobeError>>;
+        let record_deltas = self.delta_tracker.is_some();
+        type Phase1Out = Option<Result<(Vec<ExactF32Sum>, f64, Option<Vec<u8>>), AcobeError>>;
         let mut partials: Vec<Phase1Out> = Vec::with_capacity(n);
         partials.resize_with(n, || None);
         {
@@ -890,9 +905,10 @@ impl ShardedEngine {
                             }
                             DayInput::Slabs(slabs) => &slabs[i],
                         };
+                        let enc = record_deltas.then(|| checkpoint::encode_slab(slab));
                         let r = shard.accumulate(slab, ctx);
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
-                        *out = Some(r.map(|sums| (sums, ms)));
+                        *out = Some(r.map(|sums| (sums, ms, enc)));
                     }) as acobe_nn::pool::Job<'_>)
                 })
                 .collect();
@@ -900,14 +916,16 @@ impl ShardedEngine {
         }
         let mut shard_ms = vec![0.0f64; n];
         let mut merged = vec![ExactF32Sum::new(); ctx.group_cells];
+        let mut enc_slabs: Vec<Option<Vec<u8>>> = vec![None; n];
         for (i, p) in partials.into_iter().enumerate() {
             let Some(result) = p else { continue };
-            let (sums, ms) =
+            let (sums, ms, enc) =
                 result.map_err(|e| AcobeError::Shard { shard: i, source: Box::new(e) })?;
             for (m, s) in merged.iter_mut().zip(&sums) {
                 m.merge(s);
             }
             shard_ms[i] = ms;
+            enc_slabs[i] = enc;
         }
 
         // Phase 2 — global group reduce: one final rounding of the merged
@@ -1018,6 +1036,9 @@ impl ShardedEngine {
                     self.pending_health.push(event);
                 }
             }
+        }
+        if let Some(tracker) = &mut self.delta_tracker {
+            tracker.pending.push(PendingDay { date, scored: out.is_some(), enc_slabs });
         }
         self.next_date = date.add_days(1);
         acobe_obs::counter("engine/days_ingested").inc();
@@ -1140,20 +1161,9 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Saves a sharded checkpoint: `dir/manifest.json` plus one
-    /// `dir/shard_NNN.json` per live shard. Quarantined shards have no state
-    /// to save; their missing files quarantine them again on load.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AcobeError::Io`] for filesystem failures and
-    /// [`AcobeError::Checkpoint`] for serialization failures.
-    pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<(), AcobeError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
-        let shard_files: Vec<String> =
-            (0..self.slots.len()).map(|i| format!("shard_{i:03}.json")).collect();
-        let manifest = ShardManifest {
+    /// Builds the manifest struct describing the current shared state.
+    fn manifest_snapshot(&self, shard_files: Vec<String>) -> ShardManifest {
+        ShardManifest {
             version: SHARD_CHECKPOINT_VERSION,
             config: self.config.clone(),
             feature_set: self.feature_set.clone(),
@@ -1164,32 +1174,231 @@ impl ShardedEngine {
             start: self.start,
             next_date: self.next_date,
             assign: self.assign.clone(),
-            shard_files: shard_files.clone(),
+            shard_files,
             group_rolling: self.group_rolling.clone(),
             group_ring: self.group_ring.clone(),
             models: self.saved_models.clone(),
             monitor: self.monitor.clone(),
             alert_state: self.alert_state.clone(),
-        };
-        let path = dir.join(MANIFEST_FILE);
-        let json = serde_json::to_string(&manifest)?;
-        std::fs::write(&path, json).map_err(|e| io_error(&path, e))?;
+        }
+    }
+
+    /// Builds shard `i`'s checkpoint struct.
+    fn shard_snapshot(&self, i: usize, shard: &EngineShard) -> ShardCheckpoint {
+        ShardCheckpoint {
+            version: SHARD_CHECKPOINT_VERSION,
+            shard: i,
+            users: shard.users.clone(),
+            rolling: shard.rolling.clone(),
+            ring: shard.ring.clone(),
+            baselines: shard.baselines.clone(),
+            score_history: shard.score_history.clone(),
+        }
+    }
+
+    /// The generation stamp of a full save: the stream position, so every
+    /// shard file of one snapshot — and any delta chain layered on it —
+    /// carries the same fence, turning torn saves into typed quarantines
+    /// instead of silently inconsistent state.
+    fn generation(&self) -> u64 {
+        self.next_date.days() as u64
+    }
+
+    /// Saves a sharded checkpoint in the v3 binary format: one
+    /// `dir/shard_NNN.acb` per live shard, then `dir/manifest.acb` as the
+    /// commit point (all written atomically via tmp + rename). Quarantined
+    /// shards have no state to save; their missing files quarantine them
+    /// again on load. Any delta chain in the directory is deleted — this
+    /// snapshot supersedes it.
+    ///
+    /// Use [`ShardedEngine::save_checkpoint`] for delta-aware periodic
+    /// saves and [`ShardedEngine::save_v2`] for the legacy JSON layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures.
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<(), AcobeError> {
+        self.save_v3_full(dir.as_ref()).map(|_| ())
+    }
+
+    /// v3 full snapshot; returns `(bytes written, files written, generation)`.
+    fn save_v3_full(&self, dir: &Path) -> Result<(u64, usize, u64), AcobeError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
+        let generation = self.generation();
+        let shard_files: Vec<String> =
+            (0..self.slots.len()).map(checkpoint::shard_file_v3).collect();
+        let mut bytes = 0u64;
+        let mut files = 0usize;
         for (i, slot) in self.slots.iter().enumerate() {
             let ShardSlot::Live(shard) = slot else { continue };
-            let cp = ShardCheckpoint {
-                version: SHARD_CHECKPOINT_VERSION,
-                shard: i,
-                users: shard.users.clone(),
-                rolling: shard.rolling.clone(),
-                ring: shard.ring.clone(),
-                baselines: shard.baselines.clone(),
-                score_history: shard.score_history.clone(),
-            };
+            let encoded = checkpoint::encode_shard(&self.shard_snapshot(i, shard), generation);
             let path = dir.join(&shard_files[i]);
-            let json = serde_json::to_string(&cp)?;
-            std::fs::write(&path, json).map_err(|e| io_error(&path, e))?;
+            acobe_obs::write_atomic(&path, &encoded).map_err(|e| io_error(&path, e))?;
+            bytes += encoded.len() as u64;
+            files += 1;
         }
-        Ok(())
+        let manifest = self.manifest_snapshot(shard_files);
+        let encoded = checkpoint::encode_manifest(&manifest, generation);
+        let path = dir.join(MANIFEST_FILE_V3);
+        acobe_obs::write_atomic(&path, &encoded).map_err(|e| io_error(&path, e))?;
+        bytes += encoded.len() as u64;
+        files += 1;
+        // The snapshot is committed; any previous delta chain is stale.
+        let _ = std::fs::remove_file(dir.join(CHAIN_FILE));
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("delta_") && name.ends_with(".acb") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok((bytes, files, generation))
+    }
+
+    /// Saves a sharded checkpoint in the legacy v2 JSON layout:
+    /// `dir/manifest.json` plus one `dir/shard_NNN.json` per live shard
+    /// (written atomically via tmp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] for serialization failures.
+    pub fn save_v2<P: AsRef<Path>>(&self, dir: P) -> Result<(), AcobeError> {
+        self.save_v2_inner(dir.as_ref()).map(|_| ())
+    }
+
+    fn save_v2_inner(&self, dir: &Path) -> Result<(u64, usize), AcobeError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
+        let shard_files: Vec<String> =
+            (0..self.slots.len()).map(|i| format!("shard_{i:03}.json")).collect();
+        let manifest = self.manifest_snapshot(shard_files.clone());
+        let path = dir.join(MANIFEST_FILE);
+        let json = serde_json::to_string(&manifest)?;
+        acobe_obs::write_atomic(&path, json.as_bytes()).map_err(|e| io_error(&path, e))?;
+        let mut bytes = json.len() as u64;
+        let mut files = 1usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let ShardSlot::Live(shard) = slot else { continue };
+            let path = dir.join(&shard_files[i]);
+            let json = serde_json::to_string(&self.shard_snapshot(i, shard))?;
+            acobe_obs::write_atomic(&path, json.as_bytes()).map_err(|e| io_error(&path, e))?;
+            bytes += json.len() as u64;
+            files += 1;
+        }
+        Ok((bytes, files))
+    }
+
+    /// Appends one delta to the chain: per-shard day-replay files first,
+    /// then the rewritten `chain.acb` as the atomic commit point. Returns
+    /// `(bytes, files)`; an empty pending buffer writes nothing.
+    fn save_v3_delta(&mut self, dir: &Path) -> Result<(u64, usize), AcobeError> {
+        let monitor_json = serde_json::to_string(&self.monitor)?;
+        let alert_json = serde_json::to_string(&self.alert_state)?;
+        let n = self.slots.len();
+        let tracker = self.delta_tracker.as_mut().expect("delta save without tracker");
+        let base = tracker.base_generation.expect("delta save without base snapshot");
+        if tracker.pending.is_empty() {
+            // Nothing ingested since the last save — the chain already
+            // describes the on-disk state.
+            return Ok((0, 0));
+        }
+        let seq = tracker.entries.last().map_or(0, |e| e.seq + 1);
+        let pending = std::mem::take(&mut tracker.pending);
+        let days: Vec<(Date, bool)> = pending.iter().map(|d| (d.date, d.scored)).collect();
+        let mut bytes = 0u64;
+        let mut files_written = 0usize;
+        let mut files: Vec<Option<String>> = vec![None; n];
+        for i in 0..n {
+            let shard_days: Vec<(Date, &[u8])> = pending
+                .iter()
+                .filter_map(|d| d.enc_slabs[i].as_deref().map(|slab| (d.date, slab)))
+                .collect();
+            if shard_days.len() != pending.len() {
+                // Quarantined (or mid-stream-lost) shard: no slabs recorded.
+                continue;
+            }
+            let encoded = checkpoint::encode_delta(i, base, seq, &shard_days);
+            let name = checkpoint::delta_file(seq, i);
+            let path = dir.join(&name);
+            acobe_obs::write_atomic(&path, &encoded).map_err(|e| io_error(&path, e))?;
+            bytes += encoded.len() as u64;
+            files_written += 1;
+            files[i] = Some(name);
+        }
+        tracker.entries.push(ChainEntry { seq, days, files, monitor_json, alert_json });
+        let encoded = checkpoint::encode_chain(base, &tracker.entries);
+        let path = dir.join(CHAIN_FILE);
+        acobe_obs::write_atomic(&path, &encoded).map_err(|e| io_error(&path, e))?;
+        bytes += encoded.len() as u64;
+        files_written += 1;
+        Ok((bytes, files_written))
+    }
+
+    /// Delta-aware periodic save: dispatches on
+    /// [`CheckpointOptions::format`], arming the delta tracker on the first
+    /// v3 save so subsequent days buffer their slabs for cheap incremental
+    /// saves, and compacting back to a full snapshot every
+    /// [`CheckpointOptions::delta_every`] deltas. Records
+    /// `checkpoint/write_ms` and `checkpoint/bytes{kind=…}` metrics and
+    /// publishes the artifact size to the health board.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::Io`] for filesystem failures and
+    /// [`AcobeError::Checkpoint`] for JSON serialization failures.
+    pub fn save_checkpoint<P: AsRef<Path>>(
+        &mut self,
+        dir: P,
+        options: &CheckpointOptions,
+    ) -> Result<SaveReport, AcobeError> {
+        let dir = dir.as_ref();
+        let started = Instant::now();
+        let report = match options.format {
+            CheckpointFormat::V2Json => {
+                let (bytes, files) = self.save_v2_inner(dir)?;
+                if let Some(tracker) = &mut self.delta_tracker {
+                    // The committed state is JSON now; a v3 chain in this
+                    // directory no longer applies.
+                    tracker.base_generation = None;
+                    tracker.entries.clear();
+                    tracker.pending.clear();
+                }
+                SaveReport { kind: SaveKind::Full, bytes, files, format_version: 2 }
+            }
+            CheckpointFormat::V3Binary => {
+                if options.delta_every == 0 {
+                    self.delta_tracker = None;
+                } else if let Some(tracker) = self.delta_tracker.as_mut() {
+                    tracker.delta_every = options.delta_every;
+                } else {
+                    self.delta_tracker = Some(DeltaTracker::new(options.delta_every));
+                }
+                let needs_full = self.delta_tracker.as_ref().is_none_or(|t| t.needs_full());
+                if needs_full {
+                    let (bytes, files, generation) = self.save_v3_full(dir)?;
+                    if let Some(tracker) = &mut self.delta_tracker {
+                        tracker.note_full(generation);
+                    }
+                    SaveReport { kind: SaveKind::Full, bytes, files, format_version: 3 }
+                } else {
+                    let (bytes, files) = self.save_v3_delta(dir)?;
+                    SaveReport { kind: SaveKind::Delta, bytes, files, format_version: 3 }
+                }
+            }
+        };
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let kind = report.kind.label();
+        acobe_obs::histogram_with("checkpoint/write_ms", &[("kind", kind)], CHECKPOINT_EDGES)
+            .observe(ms);
+        acobe_obs::counter_with("checkpoint/bytes", &[("kind", kind)]).add(report.bytes);
+        acobe_obs::monitor::board().set_checkpoint_artifact(
+            report.bytes,
+            report.format_version,
+            kind,
+        );
+        Ok(report)
     }
 
     /// Loads a checkpoint saved by [`ShardedEngine::save`] — or, when `path`
@@ -1209,42 +1418,38 @@ impl ShardedEngine {
     /// for corrupt model snapshots, and [`AcobeError::NoLiveShards`] when
     /// every shard quarantines.
     pub fn load<P: AsRef<Path>>(path: P, shards_for_v1: usize) -> Result<Self, AcobeError> {
+        let started = Instant::now();
         let path = path.as_ref();
-        if path.is_file() {
-            let json =
-                std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
-            let checkpoint: EngineCheckpoint = serde_json::from_str(&json)?;
+        let sharded = if path.is_file() {
+            // A single file is an engine checkpoint: v3 binary or v1 JSON,
+            // sniffed from the magic bytes.
+            let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+            let checkpoint = if checkpoint::is_v3(&bytes) {
+                checkpoint::decode_engine(&bytes)?
+            } else {
+                let json = std::str::from_utf8(&bytes).map_err(|_| {
+                    AcobeError::CorruptCheckpoint(
+                        "checkpoint is neither a v3 container nor UTF-8 JSON".into(),
+                    )
+                })?;
+                serde_json::from_str::<EngineCheckpoint>(json)?
+            };
             let engine = DetectionEngine::restore(checkpoint)?;
-            return Self::from_engine(engine, shards_for_v1.max(1));
-        }
-        let manifest_path = path.join(MANIFEST_FILE);
-        let json =
-            std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, e))?;
-        let manifest: ShardManifest = serde_json::from_str(&json)?;
-        if manifest.version != SHARD_CHECKPOINT_VERSION {
-            return Err(AcobeError::CorruptCheckpoint(format!(
-                "unsupported sharded checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
-                manifest.version
-            )));
-        }
-        manifest.validate()?;
-        // Manifest-level model corruption is fatal (every shard shares the
-        // snapshots), so surface it before touching shard files.
-        for saved in &manifest.models {
-            restore_model(saved)?;
-        }
-        let shards = manifest.shard_files.len();
-        let rosters = rosters_from(&manifest.assign, shards);
-        let mut slots = Vec::with_capacity(shards);
-        for (i, file) in manifest.shard_files.iter().enumerate() {
-            match load_shard(&path.join(file), i, &rosters[i], &manifest) {
-                Ok(shard) => slots.push(ShardSlot::Live(Box::new(shard))),
-                Err(error) => slots.push(ShardSlot::Quarantined {
-                    users: rosters[i].clone(),
-                    error: AcobeError::Shard { shard: i, source: Box::new(error) },
-                }),
-            }
-        }
+            Self::from_engine(engine, shards_for_v1.max(1))?
+        } else if path.join(MANIFEST_FILE_V3).is_file() {
+            Self::load_v3_dir(path)?
+        } else {
+            Self::load_v2_dir(path)?
+        };
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        acobe_obs::histogram_with("checkpoint/restore_ms", &[("kind", "full")], CHECKPOINT_EDGES)
+            .observe(ms);
+        Ok(sharded)
+    }
+
+    /// Assembles the engine from a validated manifest + shard slots, wiring
+    /// health events for every quarantined slot.
+    fn assemble(manifest: ShardManifest, slots: Vec<ShardSlot>) -> Result<Self, AcobeError> {
         if !slots.iter().any(|s| matches!(s, ShardSlot::Live(_))) {
             return Err(AcobeError::NoLiveShards);
         }
@@ -1274,6 +1479,7 @@ impl ShardedEngine {
             alert_policy: None,
             alert_state: manifest.alert_state,
             pending_alerts: Vec::new(),
+            delta_tracker: None,
         };
         let board = acobe_obs::monitor::board();
         for (i, slot) in sharded.slots.iter().enumerate() {
@@ -1285,6 +1491,175 @@ impl ShardedEngine {
         }
         sharded.publish_shard_health();
         Ok(sharded)
+    }
+
+    /// Loads a v2 JSON checkpoint directory.
+    fn load_v2_dir(path: &Path) -> Result<Self, AcobeError> {
+        let manifest_path = path.join(MANIFEST_FILE);
+        let json =
+            std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, e))?;
+        let manifest: ShardManifest = serde_json::from_str(&json)?;
+        if manifest.version != SHARD_CHECKPOINT_VERSION {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "unsupported sharded checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
+                manifest.version
+            )));
+        }
+        manifest.validate()?;
+        // Manifest-level model corruption is fatal (every shard shares the
+        // snapshots), so surface it before touching shard files.
+        for saved in &manifest.models {
+            restore_model(saved)?;
+        }
+        let shards = manifest.shard_files.len();
+        let rosters = rosters_from(&manifest.assign, shards);
+        let mut slots = Vec::with_capacity(shards);
+        for (i, file) in manifest.shard_files.iter().enumerate() {
+            match load_shard_v2(&path.join(file), i, &rosters[i], &manifest) {
+                Ok(shard) => slots.push(ShardSlot::Live(Box::new(shard))),
+                Err(error) => slots.push(ShardSlot::Quarantined {
+                    users: rosters[i].clone(),
+                    error: AcobeError::Shard { shard: i, source: Box::new(error) },
+                }),
+            }
+        }
+        Self::assemble(manifest, slots)
+    }
+
+    /// Loads a v3 binary checkpoint directory: the base snapshot
+    /// (`manifest.acb` + shard files), then — when a committed `chain.acb`
+    /// matches the base generation — replays the buffered delta days to
+    /// reach the exact stream position of the last delta save.
+    fn load_v3_dir(path: &Path) -> Result<Self, AcobeError> {
+        let manifest_path = path.join(MANIFEST_FILE_V3);
+        let bytes = std::fs::read(&manifest_path).map_err(|e| io_error(&manifest_path, e))?;
+        let (manifest, generation) = checkpoint::decode_manifest(&bytes)?;
+        manifest.validate()?;
+        // Manifest-level model corruption is fatal (every shard shares the
+        // snapshots), so surface it before touching shard files.
+        for saved in &manifest.models {
+            restore_model(saved)?;
+        }
+        let shards = manifest.shard_files.len();
+        let rosters = rosters_from(&manifest.assign, shards);
+        let mut slots = Vec::with_capacity(shards);
+        for (i, file) in manifest.shard_files.iter().enumerate() {
+            match load_shard_v3(&path.join(file), i, &rosters[i], &manifest, generation) {
+                Ok(shard) => slots.push(ShardSlot::Live(Box::new(shard))),
+                Err(error) => slots.push(ShardSlot::Quarantined {
+                    users: rosters[i].clone(),
+                    error: AcobeError::Shard { shard: i, source: Box::new(error) },
+                }),
+            }
+        }
+        let mut sharded = Self::assemble(manifest, slots)?;
+        sharded.replay_chain(path, generation)?;
+        Ok(sharded)
+    }
+
+    /// Replays a committed delta chain over the freshly loaded base
+    /// snapshot. A chain whose base generation does not match the manifest
+    /// is stale (a crash interrupted full-save cleanup) and is ignored; a
+    /// chain that parses but cannot be replayed coherently is a fatal
+    /// [`AcobeError::CorruptCheckpoint`]. Per-shard delta files that are
+    /// missing or damaged quarantine only their shard before replay begins.
+    fn replay_chain(&mut self, dir: &Path, generation: u64) -> Result<(), AcobeError> {
+        let chain_path = dir.join(CHAIN_FILE);
+        let bytes = match std::fs::read(&chain_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(io_error(&chain_path, e)),
+        };
+        let (base, entries) = checkpoint::decode_chain(&bytes)?;
+        if base != generation || entries.is_empty() {
+            // Stale chain from an older base snapshot — superseded state.
+            return Ok(());
+        }
+        let n = self.slots.len();
+        let width = self.frames * self.feature_set.len();
+        // Pre-validate every live shard's delta files; failures quarantine
+        // the shard so the remaining shards still replay and resume.
+        //
+        // decoded[i] = per chain entry, that shard's slabs in day order.
+        let mut decoded: Vec<Option<Vec<Vec<Vec<f32>>>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if !matches!(self.slots[i], ShardSlot::Live(_)) {
+                decoded.push(None);
+                continue;
+            }
+            match load_shard_deltas(dir, i, &entries, base, self.roster_len(i) * width) {
+                Ok(slabs) => decoded.push(Some(slabs)),
+                Err(error) => {
+                    self.quarantine_shard(i, error);
+                    decoded.push(None);
+                }
+            }
+        }
+        if !self.slots.iter().any(|s| matches!(s, ShardSlot::Live(_))) {
+            return Err(AcobeError::NoLiveShards);
+        }
+        // Replay day by day. Alerting is off during load (the policy is
+        // re-attached afterwards) and the monitor is overwritten below, so
+        // replay affects exactly the per-shard temporal state.
+        let health_before = std::mem::take(&mut self.pending_health);
+        for (entry_idx, entry) in entries.iter().enumerate() {
+            for (day_idx, &(date, scored)) in entry.days.iter().enumerate() {
+                if date != self.next_date {
+                    return Err(AcobeError::CorruptCheckpoint(format!(
+                        "delta chain discontinuity: entry {entry_idx} replays {date} where {} \
+                         was expected",
+                        self.next_date
+                    )));
+                }
+                let slabs: Vec<Vec<f32>> = (0..n)
+                    .map(|i| {
+                        decoded[i]
+                            .as_ref()
+                            .map(|per_entry| per_entry[entry_idx][day_idx].clone())
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                self.step_input(date, DayInput::Slabs(&slabs), scored).map_err(|e| {
+                    AcobeError::CorruptCheckpoint(format!("delta replay failed at {date}: {e}"))
+                })?;
+            }
+        }
+        // The shared mutable state is not replayed — it is restored from
+        // the snapshots the last delta save committed, so alert sequence
+        // numbers and drift windows resume exactly-once.
+        let last = entries.last().expect("non-empty chain");
+        self.monitor = serde_json::from_str(&last.monitor_json)?;
+        self.alert_state = serde_json::from_str(&last.alert_json)?;
+        if let Some(monitor) = &self.monitor {
+            self.drift = monitor.config().clone();
+        }
+        self.pending_alerts.clear();
+        self.pending_health = health_before;
+        Ok(())
+    }
+
+    /// The roster size of slot `i` (live or quarantined).
+    fn roster_len(&self, i: usize) -> usize {
+        match &self.slots[i] {
+            ShardSlot::Live(shard) => shard.users.len(),
+            ShardSlot::Quarantined { users, .. } => users.len(),
+        }
+    }
+
+    /// Quarantines live slot `i` with `error`, rebuilding the live group
+    /// counts and reporting the health event.
+    fn quarantine_shard(&mut self, i: usize, error: AcobeError) {
+        let users = match &self.slots[i] {
+            ShardSlot::Live(shard) => shard.users.clone(),
+            ShardSlot::Quarantined { users, .. } => users.clone(),
+        };
+        let error = AcobeError::Shard { shard: i, source: Box::new(error) };
+        let event = HealthEvent::ShardQuarantined { shard: i, reason: error.to_string() };
+        acobe_obs::monitor::board().report(event.clone());
+        self.pending_health.push(event);
+        self.slots[i] = ShardSlot::Quarantined { users, error };
+        self.live_group_counts = live_counts(self.groups.len(), &self.user_group, &self.slots);
+        self.publish_shard_health();
     }
 
     /// Replaces the drift-monitor thresholds and restarts the monitor's
@@ -1398,24 +1773,125 @@ fn live_counts(groups: usize, user_group: &[usize], slots: &[ShardSlot]) -> Vec<
     counts
 }
 
-/// Reads, parses, validates, and rebuilds one shard. Any error quarantines
-/// the shard (the caller wraps it in [`AcobeError::Shard`]).
-fn load_shard(
+/// Reads and parses one v2 JSON shard file, then rebuilds the shard. Any
+/// error quarantines the shard (the caller wraps it in [`AcobeError::Shard`]).
+fn load_shard_v2(
     path: &Path,
+    index: usize,
+    roster: &[usize],
+    manifest: &ShardManifest,
+) -> Result<EngineShard, AcobeError> {
+    let json = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+    let cp: ShardCheckpoint = serde_json::from_str(&json)?;
+    if cp.version != SHARD_CHECKPOINT_VERSION {
+        return Err(AcobeError::CorruptCheckpoint(format!(
+            "unsupported shard checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
+            cp.version
+        )));
+    }
+    build_shard(cp, index, roster, manifest)
+}
+
+/// Reads and decodes one v3 binary shard file, checks its generation fence
+/// against the manifest's (a mismatch means a torn save), then rebuilds the
+/// shard. Any error quarantines the shard.
+fn load_shard_v3(
+    path: &Path,
+    index: usize,
+    roster: &[usize],
+    manifest: &ShardManifest,
+    generation: u64,
+) -> Result<EngineShard, AcobeError> {
+    let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+    let (cp, shard_generation) = checkpoint::decode_shard(&bytes)?;
+    if shard_generation != generation {
+        return Err(AcobeError::CorruptCheckpoint(format!(
+            "shard file generation {shard_generation} does not match manifest generation \
+             {generation} (torn save)"
+        )));
+    }
+    build_shard(cp, index, roster, manifest)
+}
+
+/// Reads, decodes, and cross-checks every delta file shard `index` needs to
+/// replay `entries`. Returns `slabs[entry][day]` in chain order; any failure
+/// quarantines the shard (the caller wraps it).
+fn load_shard_deltas(
+    dir: &Path,
+    index: usize,
+    entries: &[ChainEntry],
+    base: u64,
+    slab_width: usize,
+) -> Result<Vec<Vec<Vec<f32>>>, AcobeError> {
+    fn corrupt(msg: String) -> AcobeError {
+        AcobeError::CorruptCheckpoint(msg)
+    }
+    let mut decoded = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let Some(name) = entry.files.get(index).cloned().flatten() else {
+            return Err(corrupt(format!(
+                "delta chain entry {} has no data for this shard",
+                entry.seq
+            )));
+        };
+        let path = dir.join(&name);
+        let bytes = std::fs::read(&path).map_err(|e| io_error(&path, e))?;
+        let delta = checkpoint::decode_delta(&bytes)?;
+        if delta.shard != index {
+            return Err(corrupt(format!(
+                "delta file {name} claims shard {}, expected {index}",
+                delta.shard
+            )));
+        }
+        if delta.base_generation != base {
+            return Err(corrupt(format!(
+                "delta file {name} targets base generation {}, chain expects {base}",
+                delta.base_generation
+            )));
+        }
+        if delta.seq != entry.seq {
+            return Err(corrupt(format!(
+                "delta file {name} carries sequence {}, chain entry expects {}",
+                delta.seq, entry.seq
+            )));
+        }
+        if delta.days.len() != entry.days.len() {
+            return Err(corrupt(format!(
+                "delta file {name} covers {} days, chain entry lists {}",
+                delta.days.len(),
+                entry.days.len()
+            )));
+        }
+        let mut slabs = Vec::with_capacity(delta.days.len());
+        for ((date, slab), &(expected_date, _)) in delta.days.into_iter().zip(&entry.days) {
+            if date != expected_date {
+                return Err(corrupt(format!(
+                    "delta file {name} replays {date} where the chain lists {expected_date}"
+                )));
+            }
+            if slab.len() != slab_width {
+                return Err(corrupt(format!(
+                    "delta file {name} day {date} has {} values, roster needs {slab_width}",
+                    slab.len()
+                )));
+            }
+            slabs.push(slab);
+        }
+        decoded.push(slabs);
+    }
+    Ok(decoded)
+}
+
+/// Validates a parsed shard checkpoint against the manifest and rebuilds the
+/// live shard (shared by the v2 and v3 load paths).
+fn build_shard(
+    cp: ShardCheckpoint,
     index: usize,
     roster: &[usize],
     manifest: &ShardManifest,
 ) -> Result<EngineShard, AcobeError> {
     fn corrupt(msg: String) -> AcobeError {
         AcobeError::CorruptCheckpoint(msg)
-    }
-    let json = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
-    let cp: ShardCheckpoint = serde_json::from_str(&json)?;
-    if cp.version != SHARD_CHECKPOINT_VERSION {
-        return Err(corrupt(format!(
-            "unsupported shard checkpoint version {} (expected {SHARD_CHECKPOINT_VERSION})",
-            cp.version
-        )));
     }
     if cp.shard != index {
         return Err(corrupt(format!("shard file claims index {}, expected {index}", cp.shard)));
@@ -1594,10 +2070,10 @@ mod tests {
         }
         full.save(&dir_a).unwrap();
         slabbed.save(&dir_b).unwrap();
-        for file in ["manifest.json", "shard_000.json", "shard_001.json", "shard_002.json"] {
+        for file in ["manifest.acb", "shard_000.acb", "shard_001.acb", "shard_002.acb"] {
             assert_eq!(
-                std::fs::read_to_string(dir_a.join(file)).unwrap(),
-                std::fs::read_to_string(dir_b.join(file)).unwrap(),
+                std::fs::read(dir_a.join(file)).unwrap(),
+                std::fs::read(dir_b.join(file)).unwrap(),
                 "{file} diverged"
             );
         }
@@ -1616,9 +2092,9 @@ mod tests {
         }
         let sharded = ShardedEngine::from_engine(engine, 3).unwrap();
         sharded.save(&dir).unwrap();
-        // Truncate one shard file mid-JSON.
-        let victim = dir.join("shard_001.json");
-        let full = std::fs::read_to_string(&victim).unwrap();
+        // Truncate one shard file mid-container.
+        let victim = dir.join("shard_001.acb");
+        let full = std::fs::read(&victim).unwrap();
         std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
         let mut degraded = ShardedEngine::load(&dir, 0).unwrap();
         let quarantined = degraded.quarantined();
@@ -1637,8 +2113,8 @@ mod tests {
         let engine = grouped_engine(5);
         let sharded = ShardedEngine::from_engine(engine, 2).unwrap();
         sharded.save(&dir).unwrap();
-        std::fs::write(dir.join("shard_000.json"), "{").unwrap();
-        std::fs::write(dir.join("shard_001.json"), "not json at all").unwrap();
+        std::fs::write(dir.join("shard_000.acb"), "{").unwrap();
+        std::fs::write(dir.join("shard_001.acb"), "not a container at all").unwrap();
         let err = ShardedEngine::load(&dir, 0).unwrap_err();
         assert!(matches!(err, AcobeError::NoLiveShards), "{err:?}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -1649,7 +2125,7 @@ mod tests {
         let dir = temp_dir("bad_version");
         let engine = grouped_engine(4);
         let sharded = ShardedEngine::from_engine(engine, 2).unwrap();
-        sharded.save(&dir).unwrap();
+        sharded.save_v2(&dir).unwrap();
         let manifest = dir.join(MANIFEST_FILE);
         let json = std::fs::read_to_string(&manifest).unwrap();
         std::fs::write(&manifest, json.replacen("\"version\":2", "\"version\":9", 1)).unwrap();
@@ -1676,6 +2152,143 @@ mod tests {
         assert_eq!(sharded.shard_count(), 4);
         assert_eq!(sharded.next_date(), start.add_days(5));
         sharded.warm_day(start.add_days(5), &day(width, 5)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_json_checkpoint_still_loads() {
+        let dir = temp_dir("v2_compat");
+        let mut engine = grouped_engine(6);
+        let width = engine.day_width();
+        let start = engine.start();
+        for i in 0..5 {
+            engine.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        let mut sharded = ShardedEngine::from_engine(engine, 3).unwrap();
+        sharded.save_v2(&dir).unwrap();
+        assert!(dir.join(MANIFEST_FILE).exists());
+        assert!(!dir.join(MANIFEST_FILE_V3).exists());
+        let mut resumed = ShardedEngine::load(&dir, 0).unwrap();
+        assert!(resumed.quarantined().is_empty());
+        for i in 5..8 {
+            let d = day(width, i);
+            sharded.warm_day(start.add_days(i), &d).unwrap();
+            resumed.warm_day(start.add_days(i), &d).unwrap();
+        }
+        assert_eq!(resumed.state_bytes(), sharded.state_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_chain_resume_is_bit_identical() {
+        let dir = temp_dir("delta_chain");
+        let mut engine = grouped_engine(7);
+        let width = engine.day_width();
+        let start = engine.start();
+        for i in 0..4 {
+            engine.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        let mut sharded = ShardedEngine::from_engine(engine, 3).unwrap();
+        let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 4 };
+        let report = sharded.save_checkpoint(&dir, &opts).unwrap();
+        assert_eq!(report.kind, SaveKind::Full);
+        for i in 4..7 {
+            sharded.warm_day(start.add_days(i), &day(width, i)).unwrap();
+            let report = sharded.save_checkpoint(&dir, &opts).unwrap();
+            assert_eq!(report.kind, SaveKind::Delta, "day {i} should append a delta");
+            assert!(report.bytes > 0);
+        }
+        assert!(dir.join(CHAIN_FILE).exists());
+        let mut resumed = ShardedEngine::load(&dir, 0).unwrap();
+        assert_eq!(resumed.next_date(), sharded.next_date());
+        assert!(resumed.quarantined().is_empty());
+        for i in 7..9 {
+            let d = day(width, i);
+            sharded.warm_day(start.add_days(i), &d).unwrap();
+            resumed.warm_day(start.add_days(i), &d).unwrap();
+        }
+        // The replayed engine must be byte-identical to the one that never stopped.
+        let dir_a = temp_dir("delta_chain_a");
+        let dir_b = temp_dir("delta_chain_b");
+        sharded.save(&dir_a).unwrap();
+        resumed.save(&dir_b).unwrap();
+        for file in ["manifest.acb", "shard_000.acb", "shard_001.acb", "shard_002.acb"] {
+            assert_eq!(
+                std::fs::read(dir_a.join(file)).unwrap(),
+                std::fs::read(dir_b.join(file)).unwrap(),
+                "{file} diverged after delta-chain resume"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn delta_compaction_rolls_back_to_full() {
+        let dir = temp_dir("delta_compact");
+        let mut sharded = ShardedEngine::from_engine(grouped_engine(5), 2).unwrap();
+        let width = sharded.day_width();
+        let start = sharded.start();
+        let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 2 };
+        assert_eq!(sharded.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Full);
+        for i in 0..2 {
+            sharded.warm_day(start.add_days(i), &day(width, i)).unwrap();
+            assert_eq!(sharded.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Delta);
+        }
+        // Chain is at the delta_every bound: the next save must compact to a full
+        // snapshot and clear the chain.
+        sharded.warm_day(start.add_days(2), &day(width, 2)).unwrap();
+        assert_eq!(sharded.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Full);
+        assert!(!dir.join(CHAIN_FILE).exists());
+        assert!(std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .all(|e| !e.file_name().to_string_lossy().starts_with("delta_")));
+        let resumed = ShardedEngine::load(&dir, 0).unwrap();
+        assert_eq!(resumed.next_date(), sharded.next_date());
+        assert_eq!(resumed.state_bytes(), sharded.state_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_chain_file_is_a_typed_error() {
+        let dir = temp_dir("bad_chain");
+        let mut sharded = ShardedEngine::from_engine(grouped_engine(5), 2).unwrap();
+        let width = sharded.day_width();
+        let start = sharded.start();
+        let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 };
+        sharded.save_checkpoint(&dir, &opts).unwrap();
+        sharded.warm_day(start, &day(width, 0)).unwrap();
+        sharded.save_checkpoint(&dir, &opts).unwrap();
+        // Flip a byte deep inside the chain payload: the section CRC must catch it.
+        let chain = dir.join(CHAIN_FILE);
+        let mut bytes = std::fs::read(&chain).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&chain, &bytes).unwrap();
+        let err = ShardedEngine::load(&dir, 0).unwrap_err();
+        assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_delta_file_quarantines_that_shard() {
+        let dir = temp_dir("lost_delta");
+        let mut sharded = ShardedEngine::from_engine(grouped_engine(6), 2).unwrap();
+        let width = sharded.day_width();
+        let start = sharded.start();
+        let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 };
+        sharded.save_checkpoint(&dir, &opts).unwrap();
+        sharded.warm_day(start, &day(width, 0)).unwrap();
+        sharded.save_checkpoint(&dir, &opts).unwrap();
+        std::fs::remove_file(dir.join(checkpoint::delta_file(0, 0))).unwrap();
+        let degraded = ShardedEngine::load(&dir, 0).unwrap();
+        let quarantined = degraded.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0, 0);
+        // The surviving shard replayed the chain up to the live frontier.
+        assert_eq!(degraded.next_date(), sharded.next_date());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -142,6 +142,126 @@ impl RollingDeviation {
         }
     }
 
+    // --- raw state access for the binary checkpoint codec -----------------
+    //
+    // `crate::checkpoint` flattens these fields into quantized arrays and
+    // rebuilds the struct via `from_state`; everything stays private to the
+    // crate so the in-memory invariants cannot be broken from outside.
+
+    /// The deviation configuration.
+    pub(crate) fn config(&self) -> DeviationConfig {
+        self.config
+    }
+
+    /// `(entities, frames, features)` dimensions.
+    pub(crate) fn dims(&self) -> (usize, usize, usize) {
+        (self.entities, self.frames, self.features)
+    }
+
+    /// Per-series ring buffers, `[series][window - 1]`.
+    pub(crate) fn history(&self) -> &[Vec<f32>] {
+        &self.history
+    }
+
+    /// Per-series write cursors.
+    pub(crate) fn cursor(&self) -> &[usize] {
+        &self.cursor
+    }
+
+    /// Per-series fill counts.
+    pub(crate) fn filled(&self) -> &[usize] {
+        &self.filled
+    }
+
+    /// Per-series running window sums (exact f64 accumulators).
+    pub(crate) fn sum(&self) -> &[f64] {
+        &self.sum
+    }
+
+    /// Per-series running window sums of squares (exact f64 accumulators).
+    pub(crate) fn sum_sq(&self) -> &[f64] {
+        &self.sum_sq
+    }
+
+    /// Rebuilds rolling state from raw checkpoint fields, validating every
+    /// dimension so a corrupt checkpoint cannot construct broken state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::CorruptCheckpoint`] naming the first
+    /// inconsistency.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_state(
+        config: DeviationConfig,
+        entities: usize,
+        frames: usize,
+        features: usize,
+        history: Vec<Vec<f32>>,
+        cursor: Vec<usize>,
+        filled: Vec<usize>,
+        sum: Vec<f64>,
+        sum_sq: Vec<f64>,
+        days_seen: usize,
+    ) -> Result<Self, AcobeError> {
+        config
+            .validate()
+            .map_err(|e| AcobeError::CorruptCheckpoint(format!("rolling config: {e}")))?;
+        if entities == 0 || frames == 0 || features == 0 {
+            return Err(AcobeError::CorruptCheckpoint(
+                "rolling state has an empty dimension".into(),
+            ));
+        }
+        let series = entities * frames * features;
+        let cap = config.window - 1;
+        if history.len() != series
+            || cursor.len() != series
+            || filled.len() != series
+            || sum.len() != series
+            || sum_sq.len() != series
+        {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "rolling state arrays do not match {series} series (history {}, cursor {}, \
+                 filled {}, sum {}, sum_sq {})",
+                history.len(),
+                cursor.len(),
+                filled.len(),
+                sum.len(),
+                sum_sq.len()
+            )));
+        }
+        if let Some(i) = history.iter().position(|h| h.len() != cap) {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "rolling series {i} ring has {} slots, window {} needs {cap}",
+                history[i].len(),
+                config.window
+            )));
+        }
+        if let Some(i) = cursor.iter().position(|&c| c >= cap) {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "rolling series {i} cursor {} out of range (ring capacity {cap})",
+                cursor[i]
+            )));
+        }
+        if let Some(i) = filled.iter().position(|&n| n > cap) {
+            return Err(AcobeError::CorruptCheckpoint(format!(
+                "rolling series {i} fill count {} exceeds ring capacity {cap}",
+                filled[i]
+            )));
+        }
+        Ok(RollingDeviation {
+            config,
+            entities,
+            frames,
+            features,
+            history,
+            cursor,
+            filled,
+            sum,
+            sum_sq,
+            days_seen,
+        })
+    }
+
     /// Consumes one day of measurements (flattened `[entity][frame][feature]`)
     /// and returns that day's deviations, then folds the measurements into
     /// the history.

@@ -1,10 +1,12 @@
-//! Model persistence: save/load trained autoencoders as JSON.
+//! Model persistence: save/load trained autoencoders as JSON or as the
+//! compact binary block embedded in v3 checkpoints.
 //!
 //! Serializes the builder configuration, every trainable parameter, and every
 //! state buffer (BatchNorm running statistics) so a reloaded model scores
 //! identically in inference mode.
 
 use crate::autoencoder::{Autoencoder, AutoencoderConfig};
+use acobe_obs::binio::{ByteReader, ByteWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
@@ -37,6 +39,8 @@ pub enum LoadError {
         /// How many the snapshot carried.
         found: usize,
     },
+    /// Binary snapshot failed to decode (truncation, bad magic, bad version).
+    Corrupt(String),
 }
 
 impl fmt::Display for LoadError {
@@ -47,6 +51,7 @@ impl fmt::Display for LoadError {
             LoadError::ShapeMismatch { what, expected, found } => {
                 write!(f, "{what} shape mismatch: expected {expected}, found {found}")
             }
+            LoadError::Corrupt(msg) => write!(f, "corrupt model snapshot: {msg}"),
         }
     }
 }
@@ -99,7 +104,75 @@ pub fn restore(saved: &SavedAutoencoder) -> Result<Autoencoder, LoadError> {
     Ok(ae)
 }
 
-/// Saves a model as pretty JSON.
+/// Magic prefix of a binary [`SavedAutoencoder`] block.
+pub const MODEL_MAGIC: &[u8; 4] = b"ACNN";
+/// Version of the binary model block layout.
+pub const MODEL_BINARY_VERSION: u8 = 1;
+
+impl SavedAutoencoder {
+    /// Encodes the snapshot as a compact self-describing binary block:
+    /// `"ACNN"`, a version byte, the JSON-encoded [`AutoencoderConfig`]
+    /// (length-prefixed — configs are tiny and schema-flexible), then the
+    /// parameter and buffer vectors as raw little-endian f32 arrays.
+    ///
+    /// Weights stay full-precision: model parameters are not quantized,
+    /// so a decoded model scores bit-identically.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let config_json =
+            serde_json::to_string(&self.config).expect("autoencoder config serializes");
+        let mut w = ByteWriter::with_capacity(
+            16 + config_json.len() + 4 * (self.params.len() + self.buffers.len()),
+        );
+        w.put_bytes(MODEL_MAGIC);
+        w.put_u8(MODEL_BINARY_VERSION);
+        w.put_str(&config_json);
+        w.put_f32s(&self.params);
+        w.put_f32s(&self.buffers);
+        w.into_bytes()
+    }
+
+    /// Decodes a block written by [`SavedAutoencoder::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Corrupt`] on truncation, bad magic, an unknown
+    /// version, or trailing garbage; the architecture itself is validated
+    /// later by [`restore`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, LoadError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(4).map_err(|e| LoadError::Corrupt(e.to_string()))?;
+        if magic != MODEL_MAGIC {
+            return Err(LoadError::Corrupt(format!(
+                "bad model magic {magic:02x?} (expected {MODEL_MAGIC:02x?})"
+            )));
+        }
+        let version = r.get_u8().map_err(|e| LoadError::Corrupt(e.to_string()))?;
+        if version != MODEL_BINARY_VERSION {
+            return Err(LoadError::Corrupt(format!(
+                "unsupported model block version {version} (this build reads {MODEL_BINARY_VERSION})"
+            )));
+        }
+        let config_json = r
+            .get_str("model config")
+            .map_err(|e| LoadError::Corrupt(e.to_string()))?;
+        let config: AutoencoderConfig = serde_json::from_str(&config_json)?;
+        let params = r
+            .get_f32s("model params")
+            .map_err(|e| LoadError::Corrupt(e.to_string()))?;
+        let buffers = r
+            .get_f32s("model buffers")
+            .map_err(|e| LoadError::Corrupt(e.to_string()))?;
+        if !r.is_done() {
+            return Err(LoadError::Corrupt(format!(
+                "{} trailing bytes after model block",
+                r.remaining()
+            )));
+        }
+        Ok(SavedAutoencoder { config, params, buffers })
+    }
+}
+
+/// Saves a model as compact JSON.
 ///
 /// # Errors
 ///
@@ -183,6 +256,54 @@ mod tests {
         assert!(matches!(
             restore(&saved),
             Err(LoadError::ShapeMismatch { what: "buffers", .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip_bit_identical() {
+        let (mut ae, data) = trained_model();
+        let saved = snapshot(&mut ae);
+        let bytes = saved.to_bytes();
+        // Far smaller than the JSON encoding it replaces inside checkpoints.
+        assert!(bytes.len() < serde_json::to_string(&saved).unwrap().len() / 2);
+        let decoded = SavedAutoencoder::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, saved);
+        let mut restored = restore(&decoded).unwrap();
+        assert_eq!(
+            ae.reconstruction_errors(&data),
+            restored.reconstruction_errors(&data)
+        );
+    }
+
+    #[test]
+    fn binary_corruption_is_typed() {
+        let (mut ae, _) = trained_model();
+        let bytes = snapshot(&mut ae).to_bytes();
+        // Truncation.
+        assert!(matches!(
+            SavedAutoencoder::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(LoadError::Corrupt(_))
+        ));
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            SavedAutoencoder::from_bytes(&bad),
+            Err(LoadError::Corrupt(_))
+        ));
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            SavedAutoencoder::from_bytes(&bad),
+            Err(LoadError::Corrupt(_))
+        ));
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            SavedAutoencoder::from_bytes(&bad),
+            Err(LoadError::Corrupt(_))
         ));
     }
 

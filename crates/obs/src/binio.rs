@@ -1,0 +1,947 @@
+//! Shared binary-wire primitives for the v3 checkpoint format.
+//!
+//! Everything the persistence layer needs to lay bytes down deterministically
+//! lives here so core, nn, and the CLI agree on one encoding: little-endian
+//! scalars, LEB128 varints, a table-based IEEE CRC-32, IEEE-754 half-precision
+//! conversion with round-to-nearest-even, and a family of *lossless-certified*
+//! array codecs that pick the smallest encoding which provably round-trips
+//! bit-identically (raw f32, f16, u8, and sparse variants of each).
+//!
+//! The codecs never trade accuracy for size: a narrower encoding is chosen
+//! only when every element converts back to the exact original bit pattern,
+//! so a decoded checkpoint reproduces scores bit-for-bit by construction.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Decode-side failure: truncated input, bad tag, or a corrupt payload.
+/// Carries a human-readable description naming what was being decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinError(pub String);
+
+impl BinError {
+    /// A new error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        BinError(msg.into())
+    }
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BinError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `bytes` (the common zlib/PNG variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// f32 <-> f16 (IEEE-754 binary16), round-to-nearest-even
+// ---------------------------------------------------------------------------
+
+/// Convert an `f32` to IEEE-754 binary16 bits with round-to-nearest-even,
+/// handling subnormals, overflow-to-infinity, and NaN payload truncation.
+pub fn f32_to_f16_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: keep NaN-ness (set a mantissa bit if any were set).
+        return sign | 0x7C00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent in half precision.
+    let half_exp = exp - 127 + 15;
+    if half_exp >= 0x1F {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if half_exp <= 0 {
+        // Subnormal half (or underflow to zero). The implicit leading 1
+        // becomes explicit; shift right by (1 - half_exp) extra places.
+        if half_exp < -10 {
+            return sign; // Rounds to +-0 even at nearest-even.
+        }
+        let man = man | 0x0080_0000; // make leading 1 explicit
+        let shift = (14 - half_exp) as u32; // 24-bit mantissa -> 10-bit field
+        let half_man = (man >> shift) as u16;
+        // Round to nearest, ties to even.
+        let round_bit = 1u32 << (shift - 1);
+        if (man & round_bit) != 0 && ((man & (round_bit - 1)) | (half_man as u32 & 1)) != 0 {
+            return sign | (half_man + 1);
+        }
+        return sign | half_man;
+    }
+    // Normal case: 23-bit mantissa -> 10-bit field, round-to-nearest-even.
+    let half_man = (man >> 13) as u16;
+    let out = sign | ((half_exp as u16) << 10) | half_man;
+    let round_bit = 0x0000_1000u32; // bit 12
+    if (man & round_bit) != 0 && ((man & (round_bit - 1)) | (half_man as u32 & 1)) != 0 {
+        // Carry may overflow mantissa into exponent; that is correct
+        // (rounds up to the next binade or to infinity).
+        return out + 1;
+    }
+    out
+}
+
+/// Convert IEEE-754 binary16 bits back to `f32` (exact; every half value is
+/// representable in single precision).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign // +-0
+        } else {
+            // Subnormal half: normalize into a single-precision normal.
+            let mut exp32 = 127 - 15 + 1;
+            let mut man32 = man;
+            while man32 & 0x0400 == 0 {
+                man32 <<= 1;
+                exp32 -= 1;
+            }
+            man32 &= 0x03FF;
+            sign | ((exp32 as u32) << 23) | (man32 << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (man << 13) // Inf / NaN
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// True when `v` survives an f32→f16→f32 round trip bit-identically.
+#[inline]
+pub fn f16_exact(v: f32) -> bool {
+    f16_bits_to_f32(f32_to_f16_bits(v)).to_bits() == v.to_bits()
+}
+
+/// True when `v` is a small non-negative integer that round-trips through u8
+/// bit-identically (this excludes -0.0 and NaN by construction).
+#[inline]
+pub fn u8_exact(v: f32) -> bool {
+    let b = v.to_bits();
+    if b > 0x437F_0000 {
+        // Positive values above 255.0, or any negative value (sign bit set
+        // makes bits >= 0x8000_0000), or NaN/Inf.
+        return false;
+    }
+    let t = v as u8; // in-range by the bits check above
+    (t as f32).to_bits() == b
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// An empty writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The accumulated bytes without consuming the writer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i32.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f32 as its little-endian bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends an f64 as its little-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Unsigned LEB128 varint.
+    pub fn put_varu(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_varu(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Count-prefixed raw little-endian f32 array.
+    pub fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_varu(vs.len() as u64);
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Count-prefixed raw little-endian f64 array.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_varu(vs.len() as u64);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// Cursor over a byte slice with typed little-endian reads. Every read is
+/// bounds-checked and returns a [`BinError`] naming the failure instead of
+/// panicking, so corrupt checkpoints surface as typed errors.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// The next `n` bytes, advancing the cursor.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::new(format!(
+                "truncated input: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, BinError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, BinError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, BinError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian i32.
+    pub fn get_i32(&mut self) -> Result<i32, BinError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads an f32 from its little-endian bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, BinError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an f64 from its little-endian bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Unsigned LEB128 varint (max 10 bytes / 64 bits).
+    pub fn get_varu(&mut self) -> Result<u64, BinError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(BinError::new("varint overflows 64 bits"));
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A varint length that must also fit in `usize` and be plausibly
+    /// backed by the remaining input (at `min_elem_bytes` per element), so
+    /// corrupt counts fail fast instead of attempting huge allocations.
+    pub fn get_len(&mut self, what: &str, min_elem_bytes: usize) -> Result<usize, BinError> {
+        let n = self.get_varu()?;
+        let n = usize::try_from(n)
+            .map_err(|_| BinError::new(format!("{what}: count {n} exceeds usize")))?;
+        if min_elem_bytes > 0 && n > self.remaining() / min_elem_bytes + 1 {
+            return Err(BinError::new(format!(
+                "{what}: count {n} exceeds remaining input ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &str) -> Result<String, BinError> {
+        let n = self.get_len(what, 1)?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| BinError::new(format!("{what}: invalid UTF-8 string")))
+    }
+
+    /// Count-prefixed raw f32 array.
+    pub fn get_f32s(&mut self, what: &str) -> Result<Vec<f32>, BinError> {
+        let n = self.get_len(what, 4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Count-prefixed raw f64 array.
+    pub fn get_f64s(&mut self, what: &str) -> Result<Vec<f64>, BinError> {
+        let n = self.get_len(what, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lossless quantized array codecs
+// ---------------------------------------------------------------------------
+
+/// Encodings for [`put_f32_array`]. The encoder certifies losslessness before
+/// choosing anything narrower than raw f32, so decode always reproduces the
+/// original bit patterns.
+const ENC_F32: u8 = 0;
+const ENC_F16: u8 = 1;
+const ENC_U8: u8 = 2;
+const ENC_SPARSE_F32: u8 = 3;
+const ENC_SPARSE_F16: u8 = 4;
+const ENC_SPARSE_U8: u8 = 5;
+
+/// A value is "zero" for sparse encoding purposes only when its bit pattern
+/// is exactly +0.0 — so −0.0 and NaN are stored as explicit entries and the
+/// round trip stays bit-identical.
+#[inline]
+fn is_pos_zero(v: f32) -> bool {
+    v.to_bits() == 0
+}
+
+/// Encode an f32 slice choosing the smallest certified-lossless encoding:
+/// dense raw/f16/u8, or sparse (varint index-delta + value) variants when
+/// most entries are bit-exact +0.0. Layout: `varu count, u8 enc, payload`.
+pub fn put_f32_array(w: &mut ByteWriter, vs: &[f32]) {
+    w.put_varu(vs.len() as u64);
+    if vs.is_empty() {
+        w.put_u8(ENC_F32);
+        return;
+    }
+    let all_f16 = vs.iter().all(|&v| f16_exact(v));
+    let all_u8 = vs.iter().all(|&v| u8_exact(v));
+    let nnz = vs.iter().filter(|&&v| !is_pos_zero(v)).count();
+
+    // Dense payload sizes (bytes per element).
+    let dense_elem: usize = if all_u8 {
+        1
+    } else if all_f16 {
+        2
+    } else {
+        4
+    };
+    let dense_size = vs.len() * dense_elem;
+
+    // Sparse payload: varu nnz + per-entry (varu index delta + value).
+    // Index deltas are usually tiny (1-2 bytes); size them exactly.
+    let sparse_elem = dense_elem;
+    let sparse_size = if nnz * 2 < vs.len() {
+        let mut size = varu_len(nnz as u64);
+        let mut prev = 0usize;
+        for (i, &v) in vs.iter().enumerate() {
+            if !is_pos_zero(v) {
+                size += varu_len((i - prev) as u64) + sparse_elem;
+                prev = i + 1;
+            }
+        }
+        size
+    } else {
+        usize::MAX
+    };
+
+    if sparse_size < dense_size {
+        let enc = if all_u8 {
+            ENC_SPARSE_U8
+        } else if all_f16 {
+            ENC_SPARSE_F16
+        } else {
+            ENC_SPARSE_F32
+        };
+        w.put_u8(enc);
+        w.put_varu(nnz as u64);
+        let mut prev = 0usize;
+        for (i, &v) in vs.iter().enumerate() {
+            if !is_pos_zero(v) {
+                w.put_varu((i - prev) as u64);
+                match enc {
+                    ENC_SPARSE_U8 => w.put_u8(v as u8),
+                    ENC_SPARSE_F16 => w.put_u16(f32_to_f16_bits(v)),
+                    _ => w.put_f32(v),
+                }
+                prev = i + 1;
+            }
+        }
+    } else if all_u8 {
+        w.put_u8(ENC_U8);
+        for &v in vs {
+            w.put_u8(v as u8);
+        }
+    } else if all_f16 {
+        w.put_u8(ENC_F16);
+        for &v in vs {
+            w.put_u16(f32_to_f16_bits(v));
+        }
+    } else {
+        w.put_u8(ENC_F32);
+        for &v in vs {
+            w.put_f32(v);
+        }
+    }
+}
+
+/// Bytes a LEB128 varint of `v` occupies.
+fn varu_len(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// Decode an array written by [`put_f32_array`].
+pub fn get_f32_array(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<f32>, BinError> {
+    let n = r.get_len(what, 0)?;
+    let enc = r.get_u8()?;
+    // Guard dense counts against the remaining input.
+    let elem = match enc {
+        ENC_F32 => 4,
+        ENC_F16 => 2,
+        ENC_U8 => 1,
+        _ => 0,
+    };
+    if elem > 0 && n > r.remaining() / elem {
+        return Err(BinError::new(format!(
+            "{what}: count {n} exceeds remaining input ({} bytes)",
+            r.remaining()
+        )));
+    }
+    match enc {
+        ENC_F32 => {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(r.get_f32()?);
+            }
+            Ok(out)
+        }
+        ENC_F16 => {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(f16_bits_to_f32(r.get_u16()?));
+            }
+            Ok(out)
+        }
+        ENC_U8 => {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(r.get_u8()? as f32);
+            }
+            Ok(out)
+        }
+        ENC_SPARSE_F32 | ENC_SPARSE_F16 | ENC_SPARSE_U8 => {
+            let nnz = r.get_len(what, 1)?;
+            if nnz > n {
+                return Err(BinError::new(format!(
+                    "{what}: sparse nnz {nnz} exceeds length {n}"
+                )));
+            }
+            let mut out = vec![0.0f32; n];
+            let mut idx = 0usize;
+            for k in 0..nnz {
+                let delta = r.get_varu()? as usize;
+                idx = idx
+                    .checked_add(delta)
+                    .filter(|&i| i < n)
+                    .ok_or_else(|| {
+                        BinError::new(format!(
+                            "{what}: sparse entry {k} index out of range (len {n})"
+                        ))
+                    })?;
+                out[idx] = match enc {
+                    ENC_SPARSE_U8 => r.get_u8()? as f32,
+                    ENC_SPARSE_F16 => f16_bits_to_f32(r.get_u16()?),
+                    _ => r.get_f32()?,
+                };
+                idx += 1;
+            }
+            Ok(out)
+        }
+        other => Err(BinError::new(format!(
+            "{what}: unknown f32 array encoding {other}"
+        ))),
+    }
+}
+
+/// f64 array codec: dense raw, or sparse when most entries are bit-exact
+/// +0.0 (accumulators for mostly-idle users). Layout mirrors
+/// [`put_f32_array`] with encodings 0 = dense, 3 = sparse.
+pub fn put_f64_array(w: &mut ByteWriter, vs: &[f64]) {
+    w.put_varu(vs.len() as u64);
+    let nnz = vs.iter().filter(|&&v| v.to_bits() != 0).count();
+    let dense_size = vs.len() * 8;
+    let sparse_size = if nnz * 2 < vs.len() {
+        let mut size = varu_len(nnz as u64);
+        let mut prev = 0usize;
+        for (i, &v) in vs.iter().enumerate() {
+            if v.to_bits() != 0 {
+                size += varu_len((i - prev) as u64) + 8;
+                prev = i + 1;
+            }
+        }
+        size
+    } else {
+        usize::MAX
+    };
+    if sparse_size < dense_size {
+        w.put_u8(ENC_SPARSE_F32);
+        w.put_varu(nnz as u64);
+        let mut prev = 0usize;
+        for (i, &v) in vs.iter().enumerate() {
+            if v.to_bits() != 0 {
+                w.put_varu((i - prev) as u64);
+                w.put_f64(v);
+                prev = i + 1;
+            }
+        }
+    } else {
+        w.put_u8(ENC_F32);
+        for &v in vs {
+            w.put_f64(v);
+        }
+    }
+}
+
+/// Decode an array written by [`put_f64_array`].
+pub fn get_f64_array(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<f64>, BinError> {
+    let n = r.get_len(what, 0)?;
+    let enc = r.get_u8()?;
+    match enc {
+        ENC_F32 => {
+            if n > r.remaining() / 8 {
+                return Err(BinError::new(format!(
+                    "{what}: count {n} exceeds remaining input ({} bytes)",
+                    r.remaining()
+                )));
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(r.get_f64()?);
+            }
+            Ok(out)
+        }
+        ENC_SPARSE_F32 => {
+            let nnz = r.get_len(what, 9)?;
+            if nnz > n {
+                return Err(BinError::new(format!(
+                    "{what}: sparse nnz {nnz} exceeds length {n}"
+                )));
+            }
+            let mut out = vec![0.0f64; n];
+            let mut idx = 0usize;
+            for k in 0..nnz {
+                let delta = r.get_varu()? as usize;
+                idx = idx
+                    .checked_add(delta)
+                    .filter(|&i| i < n)
+                    .ok_or_else(|| {
+                        BinError::new(format!(
+                            "{what}: sparse entry {k} index out of range (len {n})"
+                        ))
+                    })?;
+                out[idx] = r.get_f64()?;
+                idx += 1;
+            }
+            Ok(out)
+        }
+        other => Err(BinError::new(format!(
+            "{what}: unknown f64 array encoding {other}"
+        ))),
+    }
+}
+
+/// Count-prefixed array of usizes stored as varints.
+pub fn put_usizes(w: &mut ByteWriter, vs: &[usize]) {
+    w.put_varu(vs.len() as u64);
+    for &v in vs {
+        w.put_varu(v as u64);
+    }
+}
+
+/// Decode an array written by [`put_usizes`].
+pub fn get_usizes(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<usize>, BinError> {
+    let n = r.get_len(what, 1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.get_varu()?;
+        out.push(usize::try_from(v).map_err(|_| {
+            BinError::new(format!("{what}: value {v} exceeds usize"))
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            6.5,
+            65504.0,
+            -65504.0,
+            6.103_515_6e-5,  // smallest normal half
+            5.960_464_5e-8,  // smallest subnormal half
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ] {
+            assert!(f16_exact(v), "{v} should be f16-exact");
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)).to_bits(), v.to_bits());
+        }
+        for v in [0.1f32, 1e-9, 1e9, 65536.0, 3.141_592_7] {
+            assert!(!f16_exact(v), "{v} should not be f16-exact");
+        }
+        // NaN stays NaN (payload may change, which f16_exact correctly
+        // reports as inexact — NaN histories fall back to raw f32).
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half value;
+        // nearest-even rounds down to 1.0.
+        let halfway = f32::from_bits(0x3F80_1000);
+        assert_eq!(f32_to_f16_bits(halfway), 0x3C00);
+        // Slightly above halfway rounds up.
+        let above = f32::from_bits(0x3F80_1001);
+        assert_eq!(f32_to_f16_bits(above), 0x3C01);
+    }
+
+    #[test]
+    fn u8_exactness() {
+        assert!(u8_exact(0.0));
+        assert!(u8_exact(255.0));
+        assert!(u8_exact(13.0));
+        assert!(!u8_exact(-0.0));
+        assert!(!u8_exact(0.5));
+        assert!(!u8_exact(256.0));
+        assert!(!u8_exact(-1.0));
+        assert!(!u8_exact(f32::NAN));
+        assert!(!u8_exact(f32::INFINITY));
+    }
+
+    #[test]
+    fn writer_reader_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i32(-42);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_varu(0);
+        w.put_varu(127);
+        w.put_varu(128);
+        w.put_varu(u64::MAX);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i32().unwrap(), -42);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert_eq!(r.get_varu().unwrap(), 0);
+        assert_eq!(r.get_varu().unwrap(), 127);
+        assert_eq!(r.get_varu().unwrap(), 128);
+        assert_eq!(r.get_varu().unwrap(), u64::MAX);
+        assert_eq!(r.get_str("s").unwrap(), "héllo");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn reader_truncation_is_typed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.get_u32().is_err());
+        let mut r = ByteReader::new(&[0xFF; 11]);
+        assert!(r.get_varu().is_err(), "over-long varint must fail");
+    }
+
+    fn roundtrip_f32(vs: &[f32]) -> Vec<f32> {
+        let mut w = ByteWriter::new();
+        put_f32_array(&mut w, vs);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let out = get_f32_array(&mut r, "t").unwrap();
+        assert!(r.is_done());
+        out
+    }
+
+    fn bits(vs: &[f32]) -> Vec<u32> {
+        vs.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn f32_array_dense_paths_bit_identical() {
+        // Raw f32 path (arbitrary floats).
+        let raw = vec![0.1f32, -3.7, 1e-20, f32::NAN, f32::INFINITY, -0.0];
+        assert_eq!(bits(&roundtrip_f32(&raw)), bits(&raw));
+        // f16 path (halves of small integers).
+        let halves: Vec<f32> = (0..64).map(|i| i as f32 * 0.5 - 8.0).collect();
+        assert_eq!(bits(&roundtrip_f32(&halves)), bits(&halves));
+        // u8 path (small non-negative integers).
+        let small: Vec<f32> = (0..64).map(|i| (i % 13) as f32).collect();
+        assert_eq!(bits(&roundtrip_f32(&small)), bits(&small));
+        // Empty.
+        assert!(roundtrip_f32(&[]).is_empty());
+    }
+
+    #[test]
+    fn f32_array_sparse_paths_bit_identical() {
+        // ~5% non-zero, values arbitrary — sparse f32.
+        let mut vs = vec![0.0f32; 1000];
+        for i in (0..1000).step_by(37) {
+            vs[i] = 0.123 + i as f32;
+        }
+        assert_eq!(bits(&roundtrip_f32(&vs)), bits(&vs));
+        // Sparse with a -0.0 (must be stored explicitly, not dropped).
+        let mut vs = vec![0.0f32; 100];
+        vs[50] = -0.0;
+        vs[51] = 2.5;
+        let out = roundtrip_f32(&vs);
+        assert_eq!(out[50].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(bits(&out), bits(&vs));
+        // Sparse u8 path.
+        let mut vs = vec![0.0f32; 500];
+        for i in (0..500).step_by(29) {
+            vs[i] = ((i % 12) + 1) as f32;
+        }
+        assert_eq!(bits(&roundtrip_f32(&vs)), bits(&vs));
+    }
+
+    #[test]
+    fn f32_array_sparse_is_smaller() {
+        let mut vs = vec![0.0f32; 10_000];
+        for i in (0..10_000).step_by(17) {
+            vs[i] = 0.321 + i as f32;
+        }
+        let mut w = ByteWriter::new();
+        put_f32_array(&mut w, &vs);
+        assert!(
+            w.len() < 10_000, // dense raw would be ~40 KB
+            "sparse encoding should beat dense ({} bytes)",
+            w.len()
+        );
+    }
+
+    #[test]
+    fn f64_array_roundtrip() {
+        let dense = vec![0.1f64, -2.5, 1e300, f64::NAN];
+        let mut w = ByteWriter::new();
+        put_f64_array(&mut w, &dense);
+        let bytes = w.into_bytes();
+        let out = get_f64_array(&mut ByteReader::new(&bytes), "t").unwrap();
+        let b: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        let e: Vec<u64> = dense.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b, e);
+
+        let mut sparse = vec![0.0f64; 1000];
+        sparse[3] = 7.25;
+        sparse[999] = -1.5;
+        let mut w = ByteWriter::new();
+        put_f64_array(&mut w, &sparse);
+        assert!(w.len() < 100);
+        let bytes = w.into_bytes();
+        let out = get_f64_array(&mut ByteReader::new(&bytes), "t").unwrap();
+        assert_eq!(out, sparse);
+    }
+
+    #[test]
+    fn usizes_roundtrip() {
+        let vs = vec![0usize, 1, 127, 128, 1 << 20];
+        let mut w = ByteWriter::new();
+        put_usizes(&mut w, &vs);
+        let bytes = w.into_bytes();
+        let out = get_usizes(&mut ByteReader::new(&bytes), "t").unwrap();
+        assert_eq!(out, vs);
+    }
+
+    #[test]
+    fn corrupt_arrays_are_typed_errors() {
+        // Huge count with no backing bytes.
+        let mut w = ByteWriter::new();
+        w.put_varu(1 << 40);
+        w.put_u8(ENC_F32);
+        let bytes = w.into_bytes();
+        assert!(get_f32_array(&mut ByteReader::new(&bytes), "t").is_err());
+        // Unknown encoding.
+        let mut w = ByteWriter::new();
+        w.put_varu(1);
+        w.put_u8(99);
+        w.put_f32(1.0);
+        let bytes = w.into_bytes();
+        assert!(get_f32_array(&mut ByteReader::new(&bytes), "t").is_err());
+        // Sparse index past the end.
+        let mut w = ByteWriter::new();
+        w.put_varu(4); // len
+        w.put_u8(ENC_SPARSE_F32);
+        w.put_varu(1); // nnz
+        w.put_varu(10); // delta -> index 10 >= len 4
+        w.put_f32(1.0);
+        let bytes = w.into_bytes();
+        assert!(get_f32_array(&mut ByteReader::new(&bytes), "t").is_err());
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod binio;
 pub mod event;
 pub mod metrics;
 pub mod monitor;
@@ -74,7 +75,7 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftMonitor, HealthEvent, QuantileSketch, ShardStatus};
 pub use progress::{set_verbosity, verbosity};
 pub use registry::{global, FamilyKind, MetricFamily, Registry, SpanStats};
-pub use sink::{HistogramBucket, Labels, MetricRecord};
+pub use sink::{write_atomic, HistogramBucket, Labels, MetricRecord};
 pub use span::SpanGuard;
 
 use std::sync::Arc;

@@ -443,6 +443,9 @@ struct BoardState {
     days_behind: Option<i64>,
     checkpoint_day: Option<String>,
     checkpoint_age_days: Option<i64>,
+    checkpoint_bytes: Option<u64>,
+    checkpoint_format: Option<u32>,
+    checkpoint_kind: Option<String>,
     events: VecDeque<HealthEventRecord>,
 }
 
@@ -479,6 +482,15 @@ impl HealthBoard {
         let mut state = self.state.lock();
         state.checkpoint_day = Some(day.to_string());
         state.checkpoint_age_days = Some(age_days);
+    }
+
+    /// Notes the size, on-disk format version, and kind (`full` or `delta`)
+    /// of the most recently written checkpoint artifact.
+    pub fn set_checkpoint_artifact(&self, bytes: u64, format_version: u32, kind: &str) {
+        let mut state = self.state.lock();
+        state.checkpoint_bytes = Some(bytes);
+        state.checkpoint_format = Some(format_version);
+        state.checkpoint_kind = Some(kind.to_string());
     }
 
     /// Reports a health event: appends it to the board's bounded ring, the
@@ -526,6 +538,9 @@ impl HealthBoard {
             days_behind: &'a Option<i64>,
             checkpoint_day: &'a Option<String>,
             checkpoint_age_days: &'a Option<i64>,
+            checkpoint_bytes: &'a Option<u64>,
+            checkpoint_format: &'a Option<u32>,
+            checkpoint_kind: &'a Option<String>,
             events: Vec<&'a HealthEventRecord>,
         }
         let state = self.state.lock();
@@ -538,6 +553,9 @@ impl HealthBoard {
             days_behind: &state.days_behind,
             checkpoint_day: &state.checkpoint_day,
             checkpoint_age_days: &state.checkpoint_age_days,
+            checkpoint_bytes: &state.checkpoint_bytes,
+            checkpoint_format: &state.checkpoint_format,
+            checkpoint_kind: &state.checkpoint_kind,
             events: state.events.iter().collect(),
         };
         serde_json::to_string_pretty(&doc).expect("healthz serializes")
@@ -675,6 +693,7 @@ mod tests {
         board.note_ingested("2020-02-01");
         board.set_days_behind(3);
         board.set_checkpoint("2020-01-20", 12);
+        board.set_checkpoint_artifact(4096, 3, "delta");
         board.report(HealthEvent::CheckpointStale {
             age_days: 12,
             last_day: "2020-01-20".into(),
@@ -687,6 +706,9 @@ mod tests {
         assert_eq!(doc["last_ingested_day"], "2020-02-01");
         assert_eq!(doc["days_behind"], 3);
         assert_eq!(doc["checkpoint_age_days"], 12);
+        assert_eq!(doc["checkpoint_bytes"], 4096);
+        assert_eq!(doc["checkpoint_format"], 3);
+        assert_eq!(doc["checkpoint_kind"], "delta");
         assert_eq!(doc["events"][0]["event"]["kind"], "checkpoint_stale");
         board.set_shards(vec![ShardStatus { shard: 0, users: 22, live: true, error: None }]);
         let doc: serde_json::Value =

@@ -1,7 +1,11 @@
-//! Checkpoint failure paths (DESIGN.md §8): damaged checkpoints must fail
-//! with *typed* errors — and damage confined to one shard file must
-//! quarantine that shard while the remaining shards keep scoring.
+//! Checkpoint failure paths (DESIGN.md §8, §12): damaged checkpoints must
+//! fail with *typed* errors — and damage confined to one shard file must
+//! quarantine that shard while the remaining shards keep scoring. Covers
+//! both the legacy v2 JSON layout and the v3 binary container (truncation,
+//! bit flips caught by per-section checksums, wrong magic, future versions,
+//! broken delta chains).
 
+use acobe::checkpoint::{CheckpointFormat, CheckpointOptions, SaveKind};
 use acobe::config::AcobeConfig;
 use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
@@ -53,9 +57,14 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// Trains a 3-shard engine on the first SPLIT days, streams one scored day,
-/// saves it into `dir`, and returns it together with the cube (for feeding
-/// further days) and the next day index to ingest.
-fn saved_engine(dir: &PathBuf, seed: u64) -> (FeatureCube, ShardedEngine, usize) {
+/// saves it into `dir` in the requested format, and returns it together
+/// with the cube (for feeding further days) and the next day index to
+/// ingest.
+fn saved_engine(
+    dir: &PathBuf,
+    seed: u64,
+    format: CheckpointFormat,
+) -> (FeatureCube, ShardedEngine, usize) {
     let cube = random_cube(seed);
     let start = cube.start();
     let split = start.add_days(SPLIT as i32);
@@ -83,14 +92,17 @@ fn saved_engine(dir: &PathBuf, seed: u64) -> (FeatureCube, ShardedEngine, usize)
         }
     }
     fs::remove_dir_all(dir).ok();
-    engine.save(dir).unwrap();
+    match format {
+        CheckpointFormat::V2Json => engine.save_v2(dir).unwrap(),
+        CheckpointFormat::V3Binary => engine.save(dir).unwrap(),
+    }
     (cube, engine, SPLIT + 1)
 }
 
 #[test]
 fn corrupt_manifest_json_is_a_typed_checkpoint_error() {
     let dir = temp_dir("manifest");
-    let (_, _, _) = saved_engine(&dir, 31);
+    let (_, _, _) = saved_engine(&dir, 31, CheckpointFormat::V2Json);
     let manifest = dir.join("manifest.json");
     let json = fs::read_to_string(&manifest).unwrap();
     fs::write(&manifest, &json[..json.len() / 2]).unwrap();
@@ -102,7 +114,7 @@ fn corrupt_manifest_json_is_a_typed_checkpoint_error() {
 #[test]
 fn wrong_manifest_version_is_corrupt_checkpoint() {
     let dir = temp_dir("version");
-    let (_, _, _) = saved_engine(&dir, 32);
+    let (_, _, _) = saved_engine(&dir, 32, CheckpointFormat::V2Json);
     let manifest = dir.join("manifest.json");
     let json = fs::read_to_string(&manifest).unwrap();
     fs::write(&manifest, json.replacen("\"version\":2", "\"version\":99", 1)).unwrap();
@@ -128,7 +140,7 @@ fn unparsable_v1_file_is_a_typed_checkpoint_error() {
 #[test]
 fn truncated_shard_file_quarantines_while_the_rest_keep_scoring() {
     let dir = temp_dir("truncated");
-    let (cube, mut pristine, next) = saved_engine(&dir, 33);
+    let (cube, mut pristine, next) = saved_engine(&dir, 33, CheckpointFormat::V2Json);
     let shard_file = dir.join("shard_001.json");
     let json = fs::read_to_string(&shard_file).unwrap();
     fs::write(&shard_file, &json[..json.len() / 2]).unwrap();
@@ -182,7 +194,7 @@ fn truncated_shard_file_quarantines_while_the_rest_keep_scoring() {
 #[test]
 fn shard_file_version_mismatch_quarantines_with_corrupt_checkpoint() {
     let dir = temp_dir("shardversion");
-    let (_, _, _) = saved_engine(&dir, 34);
+    let (_, _, _) = saved_engine(&dir, 34, CheckpointFormat::V2Json);
     let shard_file = dir.join("shard_002.json");
     let json = fs::read_to_string(&shard_file).unwrap();
     fs::write(&shard_file, json.replacen("\"version\":2", "\"version\":7", 1)).unwrap();
@@ -202,11 +214,147 @@ fn shard_file_version_mismatch_quarantines_with_corrupt_checkpoint() {
 #[test]
 fn losing_every_shard_file_is_no_live_shards() {
     let dir = temp_dir("allgone");
-    let (_, _, _) = saved_engine(&dir, 35);
+    let (_, _, _) = saved_engine(&dir, 35, CheckpointFormat::V2Json);
     for i in 0..SHARDS {
         fs::remove_file(dir.join(format!("shard_{i:03}.json"))).unwrap();
     }
     let err = ShardedEngine::load(&dir, 1).unwrap_err();
     assert!(matches!(err, AcobeError::NoLiveShards), "got {err:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// v3 binary container failure paths (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_binary_manifest_is_a_typed_checkpoint_error() {
+    let dir = temp_dir("bin_manifest");
+    let (_, _, _) = saved_engine(&dir, 41, CheckpointFormat::V3Binary);
+    let manifest = dir.join("manifest.acb");
+    let bytes = fs::read(&manifest).unwrap();
+    for cut in [3, bytes.len() / 3, bytes.len() - 1] {
+        fs::write(&manifest, &bytes[..cut]).unwrap();
+        let err = ShardedEngine::load(&dir, 1).unwrap_err();
+        assert!(
+            matches!(err, AcobeError::CorruptCheckpoint(_)),
+            "cut at {cut}: got {err:?}"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flip_in_binary_shard_file_quarantines_with_section_checksum() {
+    let dir = temp_dir("bin_bitflip");
+    let (cube, mut pristine, next) = saved_engine(&dir, 42, CheckpointFormat::V3Binary);
+    let shard_file = dir.join("shard_001.acb");
+    let mut bytes = fs::read(&shard_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&shard_file, &bytes).unwrap();
+
+    let mut damaged = ShardedEngine::load(&dir, 1).unwrap();
+    let quarantined = damaged.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    match quarantined[0] {
+        (1, AcobeError::Shard { shard: 1, source }) => {
+            assert!(matches!(**source, AcobeError::CorruptCheckpoint(_)), "got {source:?}");
+            // The container layer pinpoints the damage: the error names the
+            // section whose checksum (or framing) the flip broke.
+            let msg = source.to_string();
+            assert!(msg.contains("section") || msg.contains("checksum"), "{msg}");
+        }
+        (i, other) => panic!("expected shard 1 CorruptCheckpoint, got shard {i}: {other:?}"),
+    }
+    // The degraded engine keeps scoring, like the v2 quarantine path.
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    cube.day_slice_into(next, &mut day_buf);
+    let date = cube.start().add_days(next as i32);
+    assert!(damaged.ingest_day(date, &day_buf).unwrap().is_some());
+    assert!(pristine.ingest_day(date, &day_buf).unwrap().is_some());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_is_rejected_as_corrupt() {
+    let dir = temp_dir("bin_magic");
+    let (_, _, _) = saved_engine(&dir, 43, CheckpointFormat::V3Binary);
+    let manifest = dir.join("manifest.acb");
+    let mut bytes = fs::read(&manifest).unwrap();
+    bytes[..4].copy_from_slice(b"NOPE");
+    fs::write(&manifest, &bytes).unwrap();
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    match &err {
+        AcobeError::CorruptCheckpoint(msg) => {
+            assert!(msg.contains("not a v3 checkpoint"), "{msg}")
+        }
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_container_version_is_rejected_with_the_version_named() {
+    let dir = temp_dir("bin_future");
+    let (_, _, _) = saved_engine(&dir, 44, CheckpointFormat::V3Binary);
+    let manifest = dir.join("manifest.acb");
+    let mut bytes = fs::read(&manifest).unwrap();
+    // The container version is the little-endian u32 right after the magic.
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    fs::write(&manifest, &bytes).unwrap();
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    match &err {
+        AcobeError::CorruptCheckpoint(msg) => {
+            assert!(
+                msg.contains("unsupported checkpoint container version") && msg.contains("99"),
+                "{msg}"
+            )
+        }
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn broken_delta_chain_quarantines_or_fails_typed_never_panics() {
+    let dir = temp_dir("bin_chain");
+    let (cube, mut engine, next) = saved_engine(&dir, 45, CheckpointFormat::V3Binary);
+    // Arm delta checkpointing: one full save, then two delta saves.
+    let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 };
+    assert_eq!(engine.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Full);
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in next..next + 2 {
+        cube.day_slice_into(d, &mut day_buf);
+        engine.ingest_day(cube.start().add_days(d as i32), &day_buf).unwrap();
+        assert_eq!(engine.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Delta);
+    }
+    // Sanity: the intact chain resumes to the same frontier.
+    let intact = ShardedEngine::load(&dir, 1).unwrap();
+    assert_eq!(intact.next_date(), engine.next_date());
+    assert!(intact.quarantined().is_empty());
+
+    // Damage one shard's delta file: that shard is quarantined while the
+    // chain still replays for the others.
+    let delta = dir.join("delta_000_shard_001.acb");
+    let mut bytes = fs::read(&delta).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    fs::write(&delta, &bytes).unwrap();
+    let degraded = ShardedEngine::load(&dir, 1).unwrap();
+    let quarantined = degraded.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, 1);
+    assert!(matches!(quarantined[0].1, AcobeError::Shard { shard: 1, .. }));
+    assert_eq!(degraded.next_date(), engine.next_date());
+
+    // Damage the chain index itself: fatal, but typed — never a panic.
+    let chain = dir.join("chain.acb");
+    let mut bytes = fs::read(&chain).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    fs::write(&chain, &bytes).unwrap();
+    let err = ShardedEngine::load(&dir, 1).unwrap_err();
+    assert!(matches!(err, AcobeError::CorruptCheckpoint(_)), "got {err:?}");
     fs::remove_dir_all(&dir).ok();
 }

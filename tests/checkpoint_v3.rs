@@ -1,0 +1,269 @@
+//! v3 binary checkpoint equivalence (DESIGN.md §12): migration from the v2
+//! JSON layout, quantized-history round-trips, and interrupted delta-chain
+//! resume must all be *bit-identical* to an engine that never stopped.
+
+use acobe::checkpoint::{CheckpointFormat, CheckpointOptions, SaveKind};
+use acobe::config::AcobeConfig;
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::counts::FeatureCube;
+use acobe_features::spec::{AspectSpec, FeatureSet};
+use acobe_logs::time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const DAYS: usize = 32;
+const SPLIT: usize = 24;
+const FRAMES: usize = 2;
+const FEATURES: usize = 4;
+const USERS: usize = 9;
+const SHARDS: usize = 3;
+
+fn random_cube(seed: u64) -> FeatureCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cube = FeatureCube::new(USERS, Date::from_ymd(2013, 2, 1), DAYS, FRAMES, FEATURES);
+    for u in 0..USERS {
+        let base: f32 = rng.gen_range(2.0..8.0);
+        for d in 0..DAYS {
+            for t in 0..FRAMES {
+                for f in 0..FEATURES {
+                    let noise: f32 = rng.gen_range(-1.5..1.5);
+                    cube.set_by_index(u, d, t, f, (base + f as f32 + noise).max(0.0));
+                }
+            }
+        }
+    }
+    cube
+}
+
+fn feature_set() -> FeatureSet {
+    FeatureSet {
+        names: (0..FEATURES).map(|f| format!("f{f}")).collect(),
+        aspects: vec![
+            AspectSpec { name: "first".into(), features: vec![0, 1] },
+            AspectSpec { name: "second".into(), features: vec![2, 3] },
+        ],
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("acobe_ckv3_{}_{tag}", std::process::id()))
+}
+
+/// Trains a 3-shard engine on the first SPLIT days and streams one scored
+/// day; the caller decides what to save where.
+fn streamed_engine(seed: u64) -> (FeatureCube, ShardedEngine, usize) {
+    let cube = random_cube(seed);
+    let start = cube.start();
+    let split = start.add_days(SPLIT as i32);
+    let groups: Vec<Vec<usize>> = (0..SHARDS).map(|g| (g * 3..g * 3 + 3).collect()).collect();
+    let mut cfg = AcobeConfig::tiny();
+    cfg.encoder_dims = vec![8];
+    cfg.train.epochs = 2;
+    cfg.max_train_samples = 200;
+    cfg.seed = seed;
+
+    let mut pipe = AcobePipeline::new(cube.clone(), feature_set(), &groups, cfg).unwrap();
+    pipe.fit(start, split).unwrap();
+    let mut engine = pipe.into_engine();
+    engine.reset_stream();
+    let mut engine = ShardedEngine::from_engine(engine, SHARDS).unwrap();
+
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    for d in 0..=SPLIT {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = start.add_days(d as i32);
+        if d < SPLIT {
+            engine.warm_day(date, &day_buf).unwrap();
+        } else {
+            assert!(engine.ingest_day(date, &day_buf).unwrap().is_some());
+        }
+    }
+    (cube, engine, SPLIT + 1)
+}
+
+/// Feeds days `[from, DAYS)` into `engine`, returning every score bit
+/// pattern in ingestion order.
+fn drain_scores(engine: &mut ShardedEngine, cube: &FeatureCube, from: usize) -> Vec<u32> {
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    let mut bits = Vec::new();
+    for d in from..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = cube.start().add_days(d as i32);
+        let day = engine.ingest_day(date, &day_buf).unwrap().unwrap();
+        for scores in &day.scores {
+            bits.extend(scores.iter().map(|s| s.to_bits()));
+        }
+    }
+    bits
+}
+
+/// Total bytes across every regular file directly inside `dir`.
+fn dir_bytes(dir: &Path) -> u64 {
+    fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// Asserts that two v3 checkpoint directories hold byte-identical engine
+/// state (manifest + every shard file).
+fn assert_same_snapshot(a: &Path, b: &Path) {
+    let mut files = vec!["manifest.acb".to_string()];
+    files.extend((0..SHARDS).map(|i| format!("shard_{i:03}.acb")));
+    for file in files {
+        assert_eq!(
+            fs::read(a.join(&file)).unwrap(),
+            fs::read(b.join(&file)).unwrap(),
+            "{file} diverged"
+        );
+    }
+}
+
+#[test]
+fn quantized_round_trip_scores_are_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    fs::remove_dir_all(&dir).ok();
+    let (cube, mut stayed, next) = streamed_engine(51);
+    stayed.save(&dir).unwrap();
+    let mut resumed = ShardedEngine::load(&dir, 1).unwrap();
+    assert!(resumed.quarantined().is_empty());
+    // Certified-lossless quantization: the restored engine must score every
+    // remaining day with exactly the same bits as the one that never left
+    // memory — NaN payloads and signed zeros included.
+    assert_eq!(
+        drain_scores(&mut resumed, &cube, next),
+        drain_scores(&mut stayed, &cube, next)
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_to_v3_migration_is_bit_identical() {
+    let dir_v2 = temp_dir("mig_v2");
+    let dir_v3 = temp_dir("mig_v3");
+    let dir_a = temp_dir("mig_final_a");
+    let dir_b = temp_dir("mig_final_b");
+    for d in [&dir_v2, &dir_v3, &dir_a, &dir_b] {
+        fs::remove_dir_all(d).ok();
+    }
+    let (cube, mut stayed, next) = streamed_engine(52);
+    stayed.save_v2(&dir_v2).unwrap();
+    // Upgrade on load: read the v2 JSON once, rewrite as v3 binary.
+    let mut migrated = ShardedEngine::load(&dir_v2, 1).unwrap();
+    assert!(migrated.quarantined().is_empty());
+    migrated.save(&dir_v3).unwrap();
+    // A fresh engine resumed from the migrated v3 dir scores identically to
+    // the engine that never checkpointed at all.
+    let mut resumed = ShardedEngine::load(&dir_v3, 1).unwrap();
+    assert_eq!(
+        drain_scores(&mut resumed, &cube, next),
+        drain_scores(&mut stayed, &cube, next)
+    );
+    // And the final serialized states agree byte for byte.
+    resumed.save(&dir_a).unwrap();
+    stayed.save(&dir_b).unwrap();
+    assert_same_snapshot(&dir_a, &dir_b);
+    for d in [&dir_v2, &dir_v3, &dir_a, &dir_b] {
+        fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn interrupted_delta_chain_resume_matches_uninterrupted() {
+    let dir = temp_dir("chain");
+    let dir_a = temp_dir("chain_final_a");
+    let dir_b = temp_dir("chain_final_b");
+    for d in [&dir, &dir_a, &dir_b] {
+        fs::remove_dir_all(d).ok();
+    }
+    let (cube, mut stayed, next) = streamed_engine(53);
+    let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 };
+
+    // The checkpointing run: full snapshot, then a delta after every day.
+    assert_eq!(stayed.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Full);
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    let mid = next + 2;
+    for d in next..mid {
+        cube.day_slice_into(d, &mut day_buf);
+        stayed.ingest_day(cube.start().add_days(d as i32), &day_buf).unwrap();
+        assert_eq!(stayed.save_checkpoint(&dir, &opts).unwrap().kind, SaveKind::Delta);
+    }
+    // Interrupt: a new process resumes mid-chain and keeps appending deltas
+    // to the same directory.
+    let mut resumed = ShardedEngine::load(&dir, 1).unwrap();
+    assert!(resumed.quarantined().is_empty());
+    assert_eq!(resumed.next_date(), stayed.next_date());
+    for d in mid..DAYS {
+        cube.day_slice_into(d, &mut day_buf);
+        let date = cube.start().add_days(d as i32);
+        let a = resumed.ingest_day(date, &day_buf).unwrap().unwrap();
+        let b = stayed.ingest_day(date, &day_buf).unwrap().unwrap();
+        for (ra, rb) in a.scores.iter().zip(&b.scores) {
+            let bits_a: Vec<u32> = ra.iter().map(|s| s.to_bits()).collect();
+            let bits_b: Vec<u32> = rb.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "scores diverged on {date}");
+        }
+        resumed.save_checkpoint(&dir, &opts).unwrap();
+    }
+    // A final resume over the interrupted chain equals the engine that ran
+    // straight through, byte for byte.
+    let final_resume = ShardedEngine::load(&dir, 1).unwrap();
+    assert_eq!(final_resume.next_date(), stayed.next_date());
+    final_resume.save(&dir_a).unwrap();
+    stayed.save(&dir_b).unwrap();
+    assert_same_snapshot(&dir_a, &dir_b);
+    for d in [&dir, &dir_a, &dir_b] {
+        fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn delta_saves_are_smaller_than_full_saves() {
+    let dir = temp_dir("delta_size");
+    fs::remove_dir_all(&dir).ok();
+    let (cube, mut engine, next) = streamed_engine(54);
+    let opts = CheckpointOptions { format: CheckpointFormat::V3Binary, delta_every: 8 };
+    let full = engine.save_checkpoint(&dir, &opts).unwrap();
+    let mut day_buf = vec![0.0f32; cube.day_slice_len()];
+    cube.day_slice_into(next, &mut day_buf);
+    engine.ingest_day(cube.start().add_days(next as i32), &day_buf).unwrap();
+    let delta = engine.save_checkpoint(&dir, &opts).unwrap();
+    assert_eq!(delta.kind, SaveKind::Delta);
+    // One day of slabs (+ the chain index) must be much smaller than the
+    // whole engine state: deltas scale with touched users, not history.
+    assert!(
+        delta.bytes * 2 < full.bytes,
+        "delta {} bytes vs full {} bytes",
+        delta.bytes,
+        full.bytes
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v3_is_substantially_smaller_than_v2_json() {
+    let dir_v2 = temp_dir("size_v2");
+    let dir_v3 = temp_dir("size_v3");
+    for d in [&dir_v2, &dir_v3] {
+        fs::remove_dir_all(d).ok();
+    }
+    let (_, engine, _) = streamed_engine(55);
+    engine.save_v2(&dir_v2).unwrap();
+    engine.save(&dir_v3).unwrap();
+    let v2 = dir_bytes(&dir_v2);
+    let v3 = dir_bytes(&dir_v3);
+    // Even on dense random histories (where the quantizer must certify-fail
+    // back to raw f32) the binary container wins well over 2x; the >=5x
+    // bytes-per-user acceptance at scale is measured by engine_bench on
+    // sparse production-shaped rosters.
+    assert!(v3 * 2 < v2, "v3 {v3} bytes vs v2 {v2} bytes");
+    for d in [&dir_v2, &dir_v3] {
+        fs::remove_dir_all(d).ok();
+    }
+}

@@ -145,8 +145,8 @@ fn telemetry_server_reflects_engine_state() {
     // quarantine it and /healthz must go degraded with the reason.
     let dir = temp_dir("quarantine");
     sharded.save(&dir).unwrap();
-    let victim = dir.join("shard_001.json");
-    let full = std::fs::read_to_string(&victim).unwrap();
+    let victim = dir.join("shard_001.acb");
+    let full = std::fs::read(&victim).unwrap();
     std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
     let degraded = ShardedEngine::load(&dir, 0).unwrap();
     assert_eq!(degraded.quarantined().len(), 1);
