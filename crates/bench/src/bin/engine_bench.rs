@@ -4,7 +4,9 @@
 //! engine at 1k/10k/100k users, and the persistence layer itself — full
 //! vs delta save latency, restore latency, and bytes/user for the v2 JSON
 //! directory layout against the v3 binary container on a sparse
-//! (~10%-active) roster. Merges an `"engine"` section into
+//! (~10%-active) roster — plus intra-day scoring cost: provisional-score
+//! latency per flush and the per-day overhead of flushing K times instead
+//! of committing once. Merges an `"engine"` section into
 //! `BENCH_nn.json` (run after `nn_bench`, which rewrites the file).
 //!
 //! Usage: `cargo run --release -p acobe-bench --bin engine_bench
@@ -62,6 +64,29 @@ struct PerUserState {
     bytes_per_user: usize,
 }
 
+/// Intra-day scoring cost: provisional-score latency per flush, and the
+/// extra engine time a deployment pays per day for flushing `flushes_per_day`
+/// times instead of committing once at close (`overhead_pct`). The
+/// provisional pass is read-only, so the committed day costs the same either
+/// way — the overhead is purely the added provisional passes.
+#[derive(Debug, Serialize)]
+struct IntradayResult {
+    users: usize,
+    shards: usize,
+    flushes_per_day: usize,
+    days: usize,
+    mean_provisional_ms: f64,
+    p50_provisional_ms: f64,
+    max_provisional_ms: f64,
+    /// Provisional scores the engine can serve per second at this size.
+    provisional_per_s: f64,
+    /// Commit-only (daily path) mean latency per scored day.
+    mean_commit_ms: f64,
+    /// Full intra-day day: `flushes_per_day` provisional passes + commit.
+    mean_intraday_day_ms: f64,
+    overhead_pct: f64,
+}
+
 /// One persistence-layer measurement: a format at a population size.
 #[derive(Debug, Serialize)]
 struct CheckpointResult {
@@ -87,6 +112,7 @@ struct EngineReport {
     shard_scaling: Vec<ShardScalingResult>,
     shard_user_state: Vec<PerUserState>,
     checkpoint: Vec<CheckpointResult>,
+    intraday: Vec<IntradayResult>,
 }
 
 fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
@@ -344,6 +370,115 @@ fn bench_checkpoint(users: usize, warm_days: usize) -> Vec<CheckpointResult> {
     results
 }
 
+/// Fills `day` with the sparse (~10%-active) integer-ish pattern the
+/// checkpoint bench uses, so the intraday rows are comparable to it.
+fn sparse_day(day: &mut [f32], users: usize, chunk: usize, d: usize) {
+    day.iter_mut().for_each(|v| *v = 0.0);
+    for u in (d % 10..users).step_by(10) {
+        for (i, x) in day[u * chunk..(u + 1) * chunk].iter_mut().enumerate() {
+            *x = ((u * 31 + d * 7 + i) % 13) as f32;
+        }
+    }
+}
+
+/// Intra-day scoring on a trained sharded engine: per-flush provisional
+/// latency and the day-cost overhead of flushing K times vs committing once.
+/// Training uses a synthetic sparse cube — sample count is capped by the
+/// config, so fit cost stays flat while scoring scales with the roster.
+fn bench_intraday(users: usize, flushes_per_day: usize, score_days: usize) -> IntradayResult {
+    let feature_set = cert_feature_set();
+    let features = feature_set.len();
+    let frames = 2;
+    let train_days = 12;
+    let warm_days = 10;
+    let shards = 4;
+    let group_size = (users / 4).max(1);
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let start = acobe_logs::time::Date::from_ymd(2010, 1, 1);
+    let chunk = frames * features;
+    let width = users * chunk;
+
+    let mut cube = acobe_features::counts::FeatureCube::new(
+        users, start, train_days, frames, features,
+    );
+    let mut day = vec![0.0f32; width];
+    for d in 0..train_days {
+        sparse_day(&mut day, users, chunk, d);
+        for u in 0..users {
+            for t in 0..frames {
+                for f in 0..features {
+                    let v = day[u * chunk + t * features + f];
+                    if v != 0.0 {
+                        cube.set_by_index(u, d, t, f, v);
+                    }
+                }
+            }
+        }
+    }
+    let train_end = start.add_days(train_days as i32);
+    let mut pipeline =
+        AcobePipeline::new(cube, cert_feature_set(), &groups, AcobeConfig::tiny())
+            .expect("pipeline");
+    pipeline.fit(start, train_end).expect("fit");
+    let mut engine = pipeline.into_engine();
+    engine.reset_stream();
+    let mut engine = ShardedEngine::from_engine(engine, shards).expect("shard");
+    for d in 0..warm_days {
+        sparse_day(&mut day, users, chunk, d);
+        engine
+            .warm_day(start.add_days(d as i32), &day)
+            .expect("warm");
+    }
+
+    let mut provisional_ms = Vec::with_capacity(score_days * flushes_per_day);
+    let mut commit_ms = Vec::with_capacity(score_days);
+    let mut partial = vec![0.0f32; width];
+    for i in 0..score_days {
+        let d = warm_days + i;
+        let date = start.add_days(d as i32);
+        sparse_day(&mut day, users, chunk, d);
+        for flush in 1..=flushes_per_day {
+            // A flush part-way through the day sees a fraction of the final
+            // counts; the exact shape doesn't matter for latency, only the
+            // width and sparsity do.
+            let frac = flush as f32 / flushes_per_day as f32;
+            for (p, v) in partial.iter_mut().zip(&day) {
+                *p = v * frac;
+            }
+            let events = (flush * 1_000) as u64;
+            let t = Instant::now();
+            engine
+                .ingest_partial(date, &partial, events)
+                .expect("partial")
+                .expect("trained engine yields provisional scores");
+            provisional_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let t = Instant::now();
+        engine.ingest_day(date, &day).expect("commit");
+        commit_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let (mean_provisional_ms, p50_provisional_ms, max_provisional_ms) = stats(&provisional_ms);
+    let (mean_commit_ms, _, _) = stats(&commit_ms);
+    let mean_intraday_day_ms = mean_commit_ms + flushes_per_day as f64 * mean_provisional_ms;
+    IntradayResult {
+        users,
+        shards,
+        flushes_per_day,
+        days: score_days,
+        mean_provisional_ms,
+        p50_provisional_ms,
+        max_provisional_ms,
+        provisional_per_s: 1e3 / mean_provisional_ms,
+        mean_commit_ms,
+        mean_intraday_day_ms,
+        overhead_pct: 100.0 * (mean_intraday_day_ms - mean_commit_ms) / mean_commit_ms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_args(&args);
@@ -442,6 +577,28 @@ fn main() {
         }
     }
 
+    let intraday_sizes: &[usize] = if quick { &[1_000] } else { &[10_000, 100_000] };
+    let intraday_days = if quick { 3 } else { 4 };
+    let mut intraday = Vec::new();
+    for &users in intraday_sizes {
+        let r = bench_intraday(users, 4, intraday_days);
+        println!(
+            "intraday {users} users / {} shards, {} flushes/day: provisional mean {:.3} ms \
+             (p50 {:.3}, max {:.3}, {:.0}/s), commit {:.3} ms/day, \
+             intraday day {:.3} ms (+{:.1}%)",
+            r.shards,
+            r.flushes_per_day,
+            r.mean_provisional_ms,
+            r.p50_provisional_ms,
+            r.max_provisional_ms,
+            r.provisional_per_s,
+            r.mean_commit_ms,
+            r.mean_intraday_day_ms,
+            r.overhead_pct
+        );
+        intraday.push(r);
+    }
+
     let report = EngineReport {
         quick,
         warm_ingest,
@@ -449,6 +606,7 @@ fn main() {
         shard_scaling,
         shard_user_state,
         checkpoint,
+        intraday,
     };
     let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
         .ok()

@@ -3,13 +3,15 @@
 use acobe::alert::{AlertLog, AlertLogEntry, AlertPolicy};
 use acobe::checkpoint::{CheckpointFormat, CheckpointOptions, SaveReport};
 use acobe::config::AcobeConfig;
-use acobe::engine::{DetectionEngine, EngineCheckpoint};
+use acobe::engine::{DetectionEngine, EngineCheckpoint, ProvisionalResolution, ProvisionalScores};
 use acobe::error::AcobeError;
 use acobe::pipeline::AcobePipeline;
 use acobe::shard::ShardedEngine;
 use acobe_features::cert::{extract_cert_features, route_day_slabs, CountSemantics, DayExtractor};
 use acobe_features::spec::cert_feature_set;
+use acobe_ingest::FlushCadence;
 use acobe_logs::csv::ParseCsvError;
+use acobe_logs::event::LogEvent;
 use acobe_logs::store::LogStore;
 use acobe_logs::time::{Date, ParseDateError};
 use acobe_obs::alert::AlertStatus;
@@ -207,8 +209,114 @@ fn checkpoint_options(args: &[String]) -> Result<CheckpointOptions, CliError> {
     Ok(CheckpointOptions { format, delta_every })
 }
 
+/// Parses a `--flush-every` value: `30m` flushes on 30-minute windows,
+/// `500e` (or a bare `500`) after every 500 events of the open day.
+fn parse_flush_cadence(s: &str) -> Result<FlushCadence, CliError> {
+    let bad = || CliError::Usage(format!("bad --flush-every '{s}' (expected e.g. 30m or 500e)"));
+    if let Some(mins) = s.strip_suffix('m') {
+        let m: u32 = mins.parse().map_err(|_| bad())?;
+        if m == 0 {
+            return Err(bad());
+        }
+        return Ok(FlushCadence::Minutes(m));
+    }
+    let n: u64 = s.strip_suffix('e').unwrap_or(s).parse().map_err(|_| bad())?;
+    if n == 0 {
+        return Err(bad());
+    }
+    Ok(FlushCadence::Events(n))
+}
+
+/// Parses the intraday knobs shared by `stream` and `ingest`: `--intraday`
+/// enables provisional mid-day scoring, `--flush-every` sets its cadence
+/// (default: one-hour windows).
+fn intraday_options(args: &[String]) -> Result<Option<FlushCadence>, CliError> {
+    let cadence = arg(args, "--flush-every").map(parse_flush_cadence).transpose()?;
+    if !flag(args, "--intraday") {
+        return match cadence {
+            Some(_) => Err(CliError::Usage("--flush-every requires --intraday".into())),
+            None => Ok(None),
+        };
+    }
+    Ok(Some(cadence.unwrap_or(FlushCadence::Minutes(60))))
+}
+
+/// Splits one day's time-ordered events into sub-day flush slices — the
+/// store-backed twin of the raw frontend's cadence batching. A window-
+/// crossing event lands in the flush it triggers, and an event-less day
+/// still yields one (empty) slice so the day opens.
+fn cadence_slices(events: &[LogEvent], cadence: FlushCadence) -> Vec<&[LogEvent]> {
+    if events.is_empty() {
+        return vec![events];
+    }
+    match cadence {
+        FlushCadence::PerDay => vec![events],
+        FlushCadence::Events(n) => events.chunks(n.max(1) as usize).collect(),
+        FlushCadence::Minutes(m) => {
+            let mut slices = Vec::new();
+            let mut begin = 0usize;
+            let mut window_start: Option<u32> = None;
+            for (i, event) in events.iter().enumerate() {
+                let ts = event.ts();
+                let now = ts.hour() * 3600 + ts.minute() * 60 + ts.second();
+                let start = *window_start.get_or_insert(now);
+                if now.saturating_sub(start) >= m.max(1) * 60 {
+                    slices.push(&events[begin..=i]);
+                    begin = i + 1;
+                    window_start = None;
+                }
+            }
+            if begin < events.len() {
+                slices.push(&events[begin..]);
+            }
+            slices
+        }
+    }
+}
+
+/// Prints one provisional (mid-day) evaluation: the would-be investigation
+/// line plus any provisional alerts, every line marked `~` so daily output
+/// stays grep-ably distinct.
+fn print_provisional(p: &ProvisionalScores, victims: &HashSet<usize>, top: usize) {
+    let line: Vec<String> = p
+        .investigation
+        .iter()
+        .take(top)
+        .map(|inv| {
+            let mark = if victims.contains(&inv.user) { "*" } else { "" };
+            format!("{}{}(p{})", inv.user, mark, inv.priority)
+        })
+        .collect();
+    println!("{} ~{:<8} {}", p.date, format!("{}ev", p.events), line.join("  "));
+    for a in &p.alerts {
+        let who = match a.user {
+            Some(u) => format!("user {u}"),
+            None => "system".to_string(),
+        };
+        println!("          ~ {} [{}] {who}: {}", a.id, a.severity, a.trigger);
+    }
+}
+
+/// Prints how the open day's provisional alerts fared once it closed:
+/// confirmed (naming the committed `al-` id) or retracted.
+fn print_resolutions(resolutions: &[ProvisionalResolution]) {
+    for r in resolutions {
+        let outcome = if r.confirmed {
+            match &r.committed_id {
+                Some(id) => format!("confirmed as {id}"),
+                None => "confirmed".to_string(),
+            }
+        } else {
+            "retracted".to_string()
+        };
+        println!("          ~ {} {outcome}", r.alert.id);
+    }
+}
+
 /// Writes one stream checkpoint — the engine via [`ShardedEngine::save_checkpoint`]
-/// plus the `stream.json` sidecar binding the extractor and split date.
+/// plus the `stream.json` sidecar binding the extractor and split date. A
+/// mid-day save stages the extractor's open day into the checkpoint's ODAY
+/// section; day-boundary saves clear it.
 fn save_stream_checkpoint(
     engine: &mut ShardedEngine,
     extractor: &DayExtractor,
@@ -216,6 +324,7 @@ fn save_stream_checkpoint(
     dir: &str,
     opts: &CheckpointOptions,
 ) -> Result<SaveReport, CliError> {
+    engine.set_open_day(extractor.open_day().cloned());
     let report = engine.save_checkpoint(dir, opts)?;
     let sm = StreamMeta {
         train_end: train_end.to_string(),
@@ -416,6 +525,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let ckpt_opts = checkpoint_options(args)?;
     let checkpoint_every: usize = num_arg(args, "--checkpoint-every", 0)?;
     let checkpoint_dir = arg(args, "--checkpoint").map(str::to_string);
+    let intraday = intraday_options(args)?;
     let lag_defaults = DriftConfig::default();
     let lag_ratio: f64 = num_arg(args, "--lag-ratio", lag_defaults.lag_ratio)?;
     let lag_min_ms: f64 = num_arg(args, "--lag-min-ms", lag_defaults.lag_min_ms)?;
@@ -511,6 +621,22 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
             engine.next_date()
         )));
     }
+    // Mid-day checkpoint: the sidecar extractor normally carries the open
+    // day already; re-install it from the engine's ODAY section when it
+    // does not (a sidecar written by a pre-intraday build). Boundary delta
+    // saves append to the chain without rewriting the manifest, so the ODAY
+    // section can be stale from an older mid-day full save — the sidecar is
+    // authoritative, and a date mismatch means the section is ignored.
+    if let Some(open) = engine.take_open_day() {
+        if extractor.open_day().is_none() {
+            let date = open.date();
+            if extractor.restore_open_day(open).is_err() {
+                acobe_obs::progress!(
+                    "ignoring stale mid-day state in checkpoint (open day {date}, sidecar is ahead)"
+                );
+            }
+        }
+    }
     // The alert policy is deliberately not checkpointed: thresholds can be
     // retuned across a resume. The lag knobs feed the shard-lag heuristic
     // only, so setting them never perturbs scores or the drift monitor.
@@ -541,22 +667,66 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
     let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
     let assign = engine.assignment().to_vec();
     let shard_count = engine.shard_count();
+    let features = cert_feature_set().len();
     let mut last_list = Vec::new();
     let mut streamed = 0usize;
     let mut scored = 0usize;
     let mut alerts_raised = 0usize;
     let mut date = engine.next_date();
+    // A mid-day resume already absorbed the first events of the open day;
+    // event order is deterministic, so a count says where to pick up.
+    let mut resume_skip = extractor.open_day().map(|o| (o.date(), o.events()));
     // When resuming, the checkpoint on disk covers up to the day before the
     // engine's next day; track its age so /healthz can flag it going stale.
     let checkpoint_base = arg(args, "--resume").map(|_| engine.next_date());
     let mut stale_reported = false;
     while date < until {
-        let slabs = extractor
-            .ingest_day_sharded(date, store.day(date), &assign, shard_count)
-            .map_err(AcobeError::from)?;
-        if date < train_end {
-            engine.warm_day_slabs(date, &slabs)?;
-        } else if engine.ingest_day_slabs(date, &slabs)?.is_some() {
+        let full_day = store.day(date);
+        let day_events = match resume_skip {
+            Some((d, n)) if d == date => {
+                resume_skip = None;
+                &full_day[(n as usize).min(full_day.len())..]
+            }
+            _ => full_day,
+        };
+        let scores = match (intraday, date >= train_end) {
+            (Some(cadence), true) => {
+                // Intraday: push the day in cadence slices, scoring the open
+                // day provisionally at each flush, then close and commit —
+                // the committed results are bit-identical to the daily path.
+                for slice in cadence_slices(day_events, cadence) {
+                    extractor.push_events(date, slice).map_err(AcobeError::from)?;
+                    let open = extractor.open_day().expect("day just opened");
+                    let events_so_far = open.events();
+                    acobe_obs::monitor::board().set_open_day(
+                        &date.to_string(),
+                        events_so_far,
+                        open.flushes(),
+                    );
+                    if let Some(p) =
+                        engine.ingest_partial(date, open.measurements_so_far(), events_so_far)?
+                    {
+                        print_provisional(&p, &victims, top);
+                    }
+                }
+                let flat = extractor.close_day().expect("open day closes");
+                acobe_obs::monitor::board().clear_open_day();
+                let slabs = route_day_slabs(&flat, meta.users, features, &assign, shard_count);
+                engine.ingest_day_slabs(date, &slabs)?
+            }
+            _ => {
+                let slabs = extractor
+                    .ingest_day_sharded(date, day_events, &assign, shard_count)
+                    .map_err(AcobeError::from)?;
+                if date < train_end {
+                    engine.warm_day_slabs(date, &slabs)?;
+                    None
+                } else {
+                    engine.ingest_day_slabs(date, &slabs)?
+                }
+            }
+        };
+        if scores.is_some() {
             scored += 1;
             let list = engine.daily_investigation(critic_n, smooth);
             let line: Vec<String> = list
@@ -582,6 +752,9 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
                 if let Some(log) = &alert_log {
                     log.append_raised(&alerts)?;
                 }
+            }
+            if intraday.is_some() {
+                print_resolutions(&engine.take_provisional_resolutions());
             }
         }
         streamed += 1;
@@ -693,6 +866,19 @@ struct IngestRun<'a> {
     streamed: usize,
     scored: usize,
     alerts_raised: usize,
+    /// `--intraday`: score the open day provisionally at each sub-day flush
+    /// (the flush cadence itself lives in the raw frontend).
+    intraday: bool,
+    /// Events of a resumed open day the pre-crash run already absorbed —
+    /// event order is deterministic, so a count says where to pick up.
+    skip: Option<(Date, u64)>,
+    /// `--stop-after-flushes`: remaining sub-day flushes before the run
+    /// stops consuming — a deterministic mid-day interrupt, so crash-resume
+    /// drills don't need to kill the process.
+    stop_after_flushes: Option<u64>,
+    /// Set once the flush budget is spent; every later feed is a no-op and
+    /// the final checkpoint carries the open day.
+    stopped: bool,
 }
 
 impl IngestRun<'_> {
@@ -704,7 +890,7 @@ impl IngestRun<'_> {
         date: Date,
         events: &[acobe_logs::event::LogEvent],
     ) -> Result<(), CliError> {
-        if date < self.cursor {
+        if self.stopped || date < self.cursor {
             return Ok(());
         }
         while self.cursor < date {
@@ -712,6 +898,75 @@ impl IngestRun<'_> {
             self.feed_day(d, &[])?;
         }
         self.feed_day(date, events)
+    }
+
+    /// Drops the prefix of a resumed open day's events that the pre-crash
+    /// run already absorbed.
+    fn trim_resumed<'e>(
+        &mut self,
+        date: Date,
+        events: &'e [acobe_logs::event::LogEvent],
+    ) -> &'e [acobe_logs::event::LogEvent] {
+        let Some((d, n)) = self.skip.as_mut() else { return events };
+        if *d != date || *n == 0 {
+            return events;
+        }
+        let take = (*n).min(events.len() as u64) as usize;
+        *n -= take as u64;
+        &events[take..]
+    }
+
+    /// Feeds one sub-day flush: calendar-completes up to its day, pushes the
+    /// slice into the open day and — in the scored window — evaluates
+    /// provisional scores against the committed baselines. The ingest-path
+    /// twin of one `stream --intraday` flush iteration.
+    fn feed_partial(&mut self, partial: &acobe_ingest::PartialDay) -> Result<(), CliError> {
+        let date = partial.date;
+        if self.stopped || date < self.cursor {
+            return Ok(());
+        }
+        while self.cursor < date {
+            let d = self.cursor;
+            self.feed_day(d, &[])?;
+            if self.stopped {
+                return Ok(());
+            }
+        }
+        if date == self.until && self.snapshot.is_none() {
+            // The checkpoint sidecar wants the extractor exactly at --until,
+            // before this day absorbs any events.
+            self.snapshot = Some(self.extractor.clone());
+        }
+        let events = self.trim_resumed(date, &partial.events);
+        self.extractor.push_events(date, events).map_err(AcobeError::from)?;
+        let (events_so_far, flushes) = {
+            let open = self.extractor.open_day().expect("day just opened");
+            (open.events(), open.flushes())
+        };
+        acobe_obs::monitor::board().set_open_day(&date.to_string(), events_so_far, flushes);
+        if let Some(budget) = self.stop_after_flushes.as_mut() {
+            *budget = budget.saturating_sub(1);
+            if *budget == 0 {
+                self.stopped = true;
+                acobe_obs::progress!(
+                    "stopping mid-day after flush budget: {date} open at {events_so_far} events"
+                );
+                return Ok(());
+            }
+        }
+        if date < self.train_end || date >= self.until {
+            return Ok(());
+        }
+        self.build_engine_if_needed()?;
+        let provisional = {
+            let open = self.extractor.open_day().expect("day is open");
+            let engine = self.engine.as_mut().expect("engine");
+            engine.ingest_partial(date, open.measurements_so_far(), events_so_far)?
+        };
+        if let Some(p) = provisional {
+            print_provisional(&p, self.victims, self.top);
+        }
+        Ok(())
     }
 
     /// Feeds one calendar day — the ingest-path equivalent of one `stream`
@@ -724,11 +979,15 @@ impl IngestRun<'_> {
         events: &[acobe_logs::event::LogEvent],
     ) -> Result<(), CliError> {
         debug_assert_eq!(date, self.cursor, "days must be fed consecutively");
-        if date == self.until {
+        if self.stopped {
+            return Ok(());
+        }
+        if date == self.until && self.snapshot.is_none() {
             // The checkpoint sidecar wants the extractor exactly here even
             // when training reads further ahead.
             self.snapshot = Some(self.extractor.clone());
         }
+        let events = self.trim_resumed(date, events);
         let in_stream = date < self.until;
         if date < self.train_end {
             if let Some(training) = self.training.as_mut() {
@@ -790,7 +1049,13 @@ impl IngestRun<'_> {
                         log.append_raised(&alerts)?;
                     }
                 }
+                if self.intraday {
+                    print_resolutions(&engine.take_provisional_resolutions());
+                }
             }
+        }
+        if self.intraday {
+            acobe_obs::monitor::board().clear_open_day();
         }
         self.cursor = date.add_days(1);
         if in_stream {
@@ -896,6 +1161,11 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     let ckpt_opts = checkpoint_options(args)?;
     let checkpoint_every: usize = num_arg(args, "--checkpoint-every", 0)?;
     let checkpoint_dir = arg(args, "--checkpoint").map(str::to_string);
+    let intraday = intraday_options(args)?;
+    let stop_after_flushes: u64 = num_arg(args, "--stop-after-flushes", 0)?;
+    if stop_after_flushes > 0 && intraday.is_none() {
+        return Err(CliError::Usage("--stop-after-flushes requires --intraday".into()));
+    }
     let defaults = IngestConfig::default();
     let threads: usize = num_arg(args, "--threads", defaults.threads)?;
     let chunk_kb: usize = num_arg(args, "--chunk-kb", 1024)?;
@@ -931,7 +1201,7 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     let features = cert_feature_set().len();
 
     let mut resumed_legacy = false;
-    let (engine, extractor, training, train_end) = match arg(args, "--resume") {
+    let (engine, mut extractor, training, train_end) = match arg(args, "--resume") {
         Some(path) if std::path::Path::new(path).is_dir() => {
             resumed_legacy = !acobe::checkpoint::dir_is_v3(path);
             let sidecar = format!("{path}/stream.json");
@@ -999,6 +1269,23 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         }
         engine.set_lag_config(lag_ratio, lag_min_ms);
         engine.set_alert_policy(Some(policy.clone()));
+        // Mid-day checkpoint: the sidecar extractor normally carries the
+        // open day already; re-install it from the engine's ODAY section
+        // when it does not (a sidecar written by a pre-intraday build).
+        // Boundary delta saves append to the chain without rewriting the
+        // manifest, so the ODAY section can be stale from an older mid-day
+        // full save — the sidecar is authoritative, and a date mismatch
+        // means the section is ignored.
+        if let Some(open) = engine.take_open_day() {
+            if extractor.open_day().is_none() {
+                let date = open.date();
+                if extractor.restore_open_day(open).is_err() {
+                    acobe_obs::progress!(
+                        "ignoring stale mid-day state in checkpoint (open day {date}, sidecar is ahead)"
+                    );
+                }
+            }
+        }
         // Upgrade-on-load: a v1/v2 JSON resume with a v3 checkpoint target is
         // rewritten immediately, so the legacy format is read at most once.
         if resumed_legacy && ckpt_opts.format == CheckpointFormat::V3Binary {
@@ -1026,7 +1313,10 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     let victims: HashSet<usize> = meta.victims.iter().map(|v| v.user).collect();
     let cursor = engine.as_ref().map_or(start, ShardedEngine::next_date);
     let checkpoint_base = arg(args, "--resume").map(|_| cursor);
-    let mut run = IngestRun {
+    // A resumed open day means the pre-crash run consumed its first events
+    // already; the replayed raw file must skip exactly that prefix.
+    let skip = extractor.open_day().map(|o| (o.date(), o.events()));
+    let run = IngestRun {
         users: meta.users,
         features,
         start,
@@ -1056,6 +1346,10 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         streamed: 0,
         scored: 0,
         alerts_raised: 0,
+        intraday: intraday.is_some(),
+        skip,
+        stop_after_flushes: (stop_after_flushes > 0).then_some(stop_after_flushes),
+        stopped: false,
     };
 
     acobe_obs::progress!(
@@ -1069,13 +1363,23 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         source: e,
     })?;
     let mut rule_seq = 0u64;
-    let stats = acobe_ingest::ingest_events(file, &ingest_cfg, |batch| {
+    // Two sink closures (partial flushes and day closes) both need the run
+    // state; the frontend calls them strictly sequentially, so a RefCell is
+    // enough to share it without restructuring the ingest API.
+    let run_cell = std::cell::RefCell::new(run);
+    let stats = acobe_ingest::ingest_events_flushed(
+        file,
+        &ingest_cfg,
+        intraday.unwrap_or(FlushCadence::PerDay),
+        |partial| run_cell.borrow_mut().feed_partial(&partial),
+        |batch| {
+        let mut run = run_cell.borrow_mut();
         let date = batch.date;
         run.feed_through(date, &batch.events)?;
         // Inline-rule hits surface on the telemetry alert board only — they
         // never touch the engine or the alert audit log, keeping the
         // measurement path bit-identical with rules on or off.
-        if date >= cursor && date < until {
+        if !run.stopped && date >= cursor && date < until {
             for hit in &batch.rule_hits {
                 let alert = acobe_obs::alert::Alert {
                     seq: rule_seq,
@@ -1096,7 +1400,8 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
             }
         }
         Ok(())
-    })
+        },
+    )
     .map_err(|e| match e {
         IngestError::Io(source) => CliError::Io {
             path: raw_path.to_string(),
@@ -1110,37 +1415,45 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
         )),
         IngestError::Sink(e) => e,
     })?;
+    let mut run = run_cell.into_inner();
     for sample in &stats.error_samples {
         eprintln!("warning: skipped malformed record {sample}");
     }
     acobe_obs::progress!(
         "parsed {} bytes / {} records -> {} events in {} chunks \
-         ({} malformed, {} blank, {} rule hits)",
+         ({} malformed, {} blank, {} rule hits, {} partial flushes)",
         stats.bytes,
         stats.records,
         stats.events,
         stats.chunks,
         stats.parse_errors,
         stats.blank_lines,
-        stats.rule_hits
+        stats.rule_hits,
+        stats.partial_flushes
     );
 
-    // The raw file may end before --until (or before the training horizon):
-    // complete the calendar with empty days, exactly as `stream` iterates
-    // every day in range regardless of event presence.
-    let goal = if run.training.is_some() {
-        run.train_end.max(until)
-    } else {
-        until
-    };
-    while run.cursor < goal {
-        let d = run.cursor;
-        run.feed_day(d, &[])?;
-    }
-    // --until inside the training window: train now so the checkpoint holds
-    // the same fitted engine a `stream` run would have written.
-    if run.training.is_some() {
-        run.build_engine_if_needed()?;
+    // A --stop-after-flushes run deliberately leaves its last day open so the
+    // final checkpoint carries the ODAY section; skip calendar completion
+    // (feed_day no-ops without advancing the cursor once stopped) and any
+    // deferred training.
+    if !run.stopped {
+        // The raw file may end before --until (or before the training
+        // horizon): complete the calendar with empty days, exactly as
+        // `stream` iterates every day in range regardless of event presence.
+        let goal = if run.training.is_some() {
+            run.train_end.max(until)
+        } else {
+            until
+        };
+        while run.cursor < goal {
+            let d = run.cursor;
+            run.feed_day(d, &[])?;
+        }
+        // --until inside the training window: train now so the checkpoint
+        // holds the same fitted engine a `stream` run would have written.
+        if run.training.is_some() {
+            run.build_engine_if_needed()?;
+        }
     }
 
     let up_to = until.max(cursor);
@@ -1162,7 +1475,12 @@ pub fn ingest(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(dir) = &checkpoint_dir {
         let sidecar_extractor = run.snapshot.take().unwrap_or_else(|| run.extractor.clone());
-        let engine = run.engine.as_mut().expect("engine built by now");
+        let engine = run.engine.as_mut().ok_or_else(|| {
+            CliError::Usage(
+                "--stop-after-flushes stopped before training completed; nothing to checkpoint"
+                    .into(),
+            )
+        })?;
         let report =
             save_stream_checkpoint(engine, &sidecar_extractor, run.train_end, dir, &ckpt_opts)?;
         acobe_obs::progress!(

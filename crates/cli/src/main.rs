@@ -159,6 +159,7 @@ USAGE:
                  [--alerts-log FILE] [--alert-top-n N] [--alert-rank-jump N]
                  [--alert-cooldown N] [--alert-rule-z Z] [--alert-top-k N]
                  [--lag-ratio R] [--lag-min-ms MS]
+                 [--intraday] [--flush-every 30m|500e]
         Replay the logs one day at a time through the incremental detection
         engine — the streaming deployment of the exact batch scoring path.
         Trains up to --train-end, then prints one investigation line per
@@ -200,8 +201,22 @@ USAGE:
         shard is reported lagging when its scoring time exceeds
         lag-ratio x median AND median + lag-min-ms (defaults 4 and 25).
 
+        Intra-day scoring: --intraday accumulates each scored day in sub-day
+        flushes and prints provisional investigation lines (marked '~') plus
+        provisional alerts (ids pv-NNNNNN) as events arrive, instead of
+        waiting for the day to close. --flush-every sets the cadence: '30m'
+        flushes every 30 minutes of log time, '500e' (or bare '500') every
+        500 events per user-day batch (default 60m). Provisional output is
+        advisory only — at day close the committed scores, investigation
+        list, alert log and checkpoints are byte-identical to a daily run,
+        and each provisional alert is printed as confirmed (with its
+        committed al-NNNNNN id) or retracted. Mid-day checkpoint saves carry
+        the open day's accumulator (v3 ODAY section), so --resume continues
+        from the middle of a day without rescoring its consumed events.
+
     acobe ingest --raw FILE --meta FILE [--threads N] [--chunk-kb N]
                  [--queue N] [--strict] [--inline-rules]
+                 [--stop-after-flushes N]
                  [... every acobe stream flag except --logs ...]
         Wire-speed raw-log frontend: read the raw CSV in record-aligned
         chunks, parse them on --threads workers with the zero-copy
@@ -217,7 +232,11 @@ USAGE:
         activity, removable-media writes, exe uploads, failed logons) while
         parsing and publishes rule-hit alerts (ids rh-NNNNNN) to the
         telemetry alert board — they never perturb scores or the alert
-        audit log.
+        audit log. --intraday / --flush-every work as in `acobe stream`;
+        --stop-after-flushes N (requires --intraday) halts the run after N
+        partial flushes with the last day still open — a deterministic
+        mid-day interrupt whose final checkpoint carries the open-day
+        accumulator for --resume to continue from.
 
     acobe alerts list --log FILE [--status S] [--user N] [--since SEQ]
     acobe alerts show ID --log FILE

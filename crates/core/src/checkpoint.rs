@@ -761,7 +761,7 @@ pub(crate) fn encode_manifest(manifest: &ShardManifest, generation: u64) -> Vec<
     }
     let mut genr = ByteWriter::new();
     genr.put_u64(generation);
-    let sections: Vec<([u8; 4], Vec<u8>)> = vec![
+    let mut sections: Vec<([u8; 4], Vec<u8>)> = vec![
         (
             *b"META",
             encode_meta(
@@ -784,6 +784,11 @@ pub(crate) fn encode_manifest(manifest: &ShardManifest, generation: u64) -> Vec<
         (*b"ALRT", encode_json(&manifest.alert_state)),
         (*b"GENR", genr.into_bytes()),
     ];
+    // The intraday open-day accumulator is only present on mid-day saves, so
+    // day-boundary manifests stay byte-identical with pre-intraday builds.
+    if manifest.open_day.is_some() {
+        sections.push((*b"ODAY", encode_json(&manifest.open_day)));
+    }
     write_container(KIND_MANIFEST, &sections)
 }
 
@@ -846,6 +851,17 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(ShardManifest, u64), Acob
     let mut r = sections.required(b"GENR")?;
     let generation = r.get_u64().map_err(|e| bin_corrupt("section GENR", e))?;
     sections.finish(b"GENR", &r)?;
+    // Optional: only written by mid-day (intraday) saves; absent from
+    // day-boundary and pre-intraday manifests.
+    let open_day = match sections.find(b"ODAY") {
+        Some(payload) => {
+            let mut r = ByteReader::new(payload);
+            let open_day = decode_json(&mut r, "section ODAY")?;
+            sections.finish(b"ODAY", &r)?;
+            open_day
+        }
+        None => None,
+    };
     let manifest = ShardManifest {
         version: SHARD_CHECKPOINT_VERSION,
         config: meta.config,
@@ -863,6 +879,7 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(ShardManifest, u64), Acob
         models,
         monitor,
         alert_state,
+        open_day,
     };
     Ok((manifest, generation))
 }

@@ -25,7 +25,7 @@ use crate::alert::{AlertPolicy, AlertState};
 use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::error::AcobeError;
-use acobe_obs::alert::Alert;
+use acobe_obs::alert::{Alert, AlertStatus, AlertTrigger};
 use crate::streaming::RollingDeviation;
 use acobe_features::exact::ExactF32Sum;
 use acobe_features::spec::FeatureSet;
@@ -55,6 +55,40 @@ pub struct DayScores {
     pub date: Date,
     /// `scores[aspect][user]` = (calibrated) reconstruction error.
     pub scores: Vec<Vec<f32>>,
+}
+
+/// A provisional mid-day scoring of the open day: what [`DayScores`] *would*
+/// be if the day closed with its current measurements. Computed by
+/// [`DetectionEngine::ingest_partial`] against the committed baselines
+/// without mutating rolling-deviation state, matrix rings, score history, or
+/// alert state — the daily path stays bit-identical whether or not the open
+/// day was ever peeked at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionalScores {
+    /// The open day being scored.
+    pub date: Date,
+    /// Events accumulated into the open day when it was scored.
+    pub events: u64,
+    /// `scores[aspect][user]`, same layout and calibration as [`DayScores`].
+    pub scores: Vec<Vec<f32>>,
+    /// The compound-critic investigation list the open day would produce if
+    /// it closed now (single-day, same input the alert policy ranks on).
+    pub investigation: Vec<Investigation>,
+    /// Provisional alerts (`pv-` ids, [`acobe_obs::alert::AlertTrigger::Provisional`]
+    /// triggers). Published to the board, never written to the audit log.
+    pub alerts: Vec<Alert>,
+}
+
+/// How one provisional alert fared when its day actually closed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionalResolution {
+    /// The provisional alert as raised mid-day.
+    pub alert: Alert,
+    /// True when day close raised a committed alert for the same user with
+    /// the same trigger kind; false when the provisional signal evaporated.
+    pub confirmed: bool,
+    /// The committed alert id (`al-…`) that confirmed it, when confirmed.
+    pub committed_id: Option<String>,
 }
 
 /// A ring buffer of the `D` most recent day vectors.
@@ -176,6 +210,45 @@ impl DayRing {
             })
             .collect();
         DayRing { capacity: self.capacity, days, next: self.next }
+    }
+}
+
+/// Confirm/retract step for provisional alerts at day close, shared by the
+/// monolithic and sharded engines: a provisional alert is confirmed when a
+/// committed alert raised at the close carries the same user and the same
+/// (inner) trigger kind, retracted otherwise. Board entries flip to
+/// `Confirmed`/`FalsePositive`; the audit log and committed alert state are
+/// untouched. Stale provisional alerts from another day are dropped
+/// silently.
+pub(crate) fn resolve_provisional_alerts(
+    provisional: &mut Vec<Alert>,
+    committed: &[Alert],
+    date: Date,
+    resolutions: &mut Vec<ProvisionalResolution>,
+) {
+    if provisional.is_empty() {
+        return;
+    }
+    let taken = std::mem::take(provisional);
+    let board = acobe_obs::alert::alerts();
+    let day_str = date.to_string();
+    for alert in taken {
+        if alert.day != day_str {
+            continue;
+        }
+        let matched = committed
+            .iter()
+            .find(|c| c.user == alert.user && c.trigger.kind() == alert.trigger.inner_kind());
+        let confirmed = matched.is_some();
+        let status = if confirmed { AlertStatus::Confirmed } else { AlertStatus::FalsePositive };
+        board.update_status(&alert.id, status);
+        let outcome = if confirmed { "confirmed" } else { "retracted" };
+        acobe_obs::counter_with("alerts/provisional_resolved", &[("outcome", outcome)]).add(1);
+        resolutions.push(ProvisionalResolution {
+            alert,
+            confirmed,
+            committed_id: matched.map(|c| c.id.clone()),
+        });
     }
 }
 
@@ -461,6 +534,13 @@ pub struct DetectionEngine {
     pub(crate) alert_state: AlertState,
     /// Alerts raised since the last [`DetectionEngine::take_alerts`].
     pub(crate) pending_alerts: Vec<Alert>,
+    /// Provisional alerts from the most recent [`DetectionEngine::ingest_partial`]
+    /// of the still-open day; resolved (confirmed/retracted) when that day
+    /// closes. Deliberately *not* part of the committed alert state.
+    pub(crate) provisional_alerts: Vec<Alert>,
+    /// Resolutions produced at day close, drained by
+    /// [`DetectionEngine::take_provisional_resolutions`].
+    pub(crate) provisional_resolutions: Vec<ProvisionalResolution>,
 }
 
 impl DetectionEngine {
@@ -546,6 +626,8 @@ impl DetectionEngine {
             alert_policy: None,
             alert_state: AlertState::default(),
             pending_alerts: Vec::new(),
+            provisional_alerts: Vec::new(),
+            provisional_resolutions: Vec::new(),
         };
         engine.reset_stream();
         Ok(engine)
@@ -644,6 +726,8 @@ impl DetectionEngine {
         self.pending_health.clear();
         self.alert_state = AlertState::default();
         self.pending_alerts.clear();
+        self.provisional_alerts.clear();
+        self.provisional_resolutions.clear();
         self.next_date = self.start;
     }
 
@@ -850,9 +934,12 @@ impl DetectionEngine {
     /// next day and [`AcobeError::WidthMismatch`] for a wrong-length slice;
     /// the engine state is unchanged on error.
     pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::span!("engine/warm_day");
         let t0 = Instant::now();
         self.absorb_day(date, measurements)?;
+        // A warmed day closes without alert evaluation, so any provisional
+        // alerts raised for it mid-day are retracted.
+        self.resolve_provisional(date, self.pending_alerts.len());
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
             .observe(t0.elapsed().as_secs_f64() * 1e3);
         Ok(())
@@ -875,6 +962,7 @@ impl DetectionEngine {
         let t0 = Instant::now();
         self.absorb_day(date, measurements)?;
         let out = if self.models.is_empty() {
+            self.resolve_provisional(date, self.pending_alerts.len());
             None
         } else {
             let mut scores = Vec::with_capacity(self.models.len());
@@ -891,7 +979,9 @@ impl DetectionEngine {
                 .add((self.users * self.models.len()) as u64);
             let day = DayScores { date, scores };
             let drift = self.observe_scored_day(&day);
+            let committed_from = self.pending_alerts.len();
             self.evaluate_alerts(&day, &drift);
+            self.resolve_provisional(date, committed_from);
             self.score_history.push(day.clone());
             if self.score_history.len() > SCORE_HISTORY_DAYS {
                 self.score_history.remove(0);
@@ -903,6 +993,196 @@ impl DetectionEngine {
         Ok(out)
     }
 
+    /// Scores the open day `date` provisionally against the committed
+    /// baselines, without committing anything: rolling-deviation σ state,
+    /// matrix rings, novelty history, score history, drift monitor, and
+    /// alert state are all left untouched, so the end-of-day daily path
+    /// stays bit-identical at any flush cadence. Returns `None` before
+    /// training.
+    ///
+    /// `measurements` are the open day's counts *so far*
+    /// (`DayExtractor::measurements_so_far` in `acobe-features`); `events`
+    /// is the open day's accumulated event count, carried into provisional
+    /// triggers and telemetry.
+    ///
+    /// Provisional alerts are evaluated against a throwaway copy of the
+    /// alert state — ids re-prefixed `pv-`, triggers wrapped in
+    /// [`AlertTrigger::Provisional`] — published to the global board, and
+    /// held aside for confirm/retract when the day closes. They are never
+    /// queued for [`DetectionEngine::take_alerts`], so they never reach the
+    /// append-only audit log and the committed `al-` sequence is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::OutOfOrder`] when `date` is not the open
+    /// (next-expected) day and [`AcobeError::WidthMismatch`] for a
+    /// wrong-length slice; the engine state is unchanged on error (as it is
+    /// on success).
+    pub fn ingest_partial(
+        &mut self,
+        date: Date,
+        measurements: &[f32],
+        events: u64,
+    ) -> Result<Option<ProvisionalScores>, AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_partial");
+        let t0 = Instant::now();
+        if date != self.next_date {
+            return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });
+        }
+        let width = self.day_width();
+        if measurements.len() != width {
+            return Err(AcobeError::WidthMismatch { expected: width, found: measurements.len() });
+        }
+        if self.models.is_empty() {
+            return Ok(None);
+        }
+        // The day vectors a close would push at ring offset 0, computed
+        // read-only (peek instead of push).
+        let group_day = self.group_ring.is_some().then(|| self.group_day(measurements));
+        let (user_today, group_today) = match self.config.representation {
+            Representation::Deviation => {
+                let use_weights = self.config.matrix.use_weights;
+                let rolling = self.user_rolling.as_ref().expect("deviation state");
+                let mut dev = rolling.peek_day(measurements)?;
+                if use_weights {
+                    for (s, w) in dev.sigma.iter_mut().zip(&dev.weights) {
+                        *s *= w;
+                    }
+                }
+                let gtoday = match &group_day {
+                    Some(gday) => {
+                        let grolling = self.group_rolling.as_ref().expect("group deviation state");
+                        let mut gdev = grolling.peek_day(gday)?;
+                        if use_weights {
+                            for (s, w) in gdev.sigma.iter_mut().zip(&gdev.weights) {
+                                *s *= w;
+                            }
+                        }
+                        Some(gdev.sigma)
+                    }
+                    None => None,
+                };
+                (dev.sigma, gtoday)
+            }
+            Representation::SingleDayCounts => (measurements.to_vec(), group_day),
+        };
+        // Overlay rings: the committed rings with the provisional day pushed
+        // on top — exactly the rings a close would score against. The
+        // engine's own rings are not touched.
+        let mut user_ring = self.user_ring.clone();
+        user_ring.push(user_today);
+        let group_ring = match (&self.group_ring, group_today) {
+            (Some(ring), Some(gtoday)) => {
+                let mut ring = ring.clone();
+                ring.push(gtoday);
+                Some(ring)
+            }
+            _ => None,
+        };
+        let mut scores = Vec::with_capacity(self.models.len());
+        for aspect in 0..self.models.len() {
+            let dim = self.input_dim(aspect);
+            let mut batch = Matrix::zeros(self.users, dim);
+            for u in 0..self.users {
+                batch
+                    .row_mut(u)
+                    .copy_from_slice(&self.input_row_from(aspect, u, &user_ring, group_ring.as_ref()));
+            }
+            let mut errs = self.models[aspect].reconstruction_errors(&batch);
+            if self.config.calibrate && !self.baselines.is_empty() {
+                for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
+                    *e /= b;
+                }
+            }
+            scores.push(errs);
+        }
+        let investigation = investigate_from_scores(&scores, self.config.critic_n);
+        let alerts =
+            self.provisional_alert_pass(date, &scores, &user_ring, group_ring.as_ref(), events);
+        self.provisional_alerts = alerts.clone();
+        acobe_obs::counter("engine/partial_scores").inc();
+        acobe_obs::histogram("engine/provisional_score_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(Some(ProvisionalScores { date, events, scores, investigation, alerts }))
+    }
+
+    /// Evaluates the alert policy against provisional scores on a throwaway
+    /// copy of the alert state (dropped afterwards, so watchlist baselines,
+    /// cooldowns, and the committed sequence never move mid-day).
+    fn provisional_alert_pass(
+        &self,
+        date: Date,
+        scores: &[Vec<f32>],
+        user_ring: &DayRing,
+        group_ring: Option<&DayRing>,
+        events: u64,
+    ) -> Vec<Alert> {
+        let Some(policy) = self.alert_policy.clone() else { return Vec::new() };
+        let mut state = self.alert_state.clone();
+        let day_str = date.to_string();
+        let input = crate::alert::AlertDayInput {
+            day: &day_str,
+            scores,
+            drift: &[],
+            degraded: &[],
+            critic_n: self.config.critic_n,
+        };
+        let feature_set = &self.feature_set;
+        let frames = self.frames;
+        let user_group = &self.user_group;
+        let top_k = policy.top_k_features;
+        let mut alerts =
+            crate::alert::evaluate_day(&policy, &mut state, &input, |user, position, priority| {
+                let group_entity = user_group.get(user).copied().filter(|&g| g != usize::MAX);
+                crate::alert::build_evidence(
+                    feature_set,
+                    frames,
+                    user_ring,
+                    user,
+                    group_ring,
+                    group_entity,
+                    scores,
+                    user,
+                    position,
+                    priority,
+                    top_k,
+                )
+            });
+        for alert in &mut alerts {
+            alert.id = format!("pv-{:06}", alert.seq);
+            alert.trigger =
+                AlertTrigger::Provisional { inner: Box::new(alert.trigger.clone()), events };
+        }
+        let board = acobe_obs::alert::alerts();
+        for alert in &alerts {
+            board.publish(alert);
+        }
+        alerts
+    }
+
+    /// Resolves the open day's provisional alerts against the committed
+    /// alerts raised at its close (see [`resolve_provisional_alerts`]).
+    fn resolve_provisional(&mut self, date: Date, committed_from: usize) {
+        resolve_provisional_alerts(
+            &mut self.provisional_alerts,
+            &self.pending_alerts[committed_from..],
+            date,
+            &mut self.provisional_resolutions,
+        );
+    }
+
+    /// Drains the provisional-alert resolutions produced at the most recent
+    /// day close.
+    pub fn take_provisional_resolutions(&mut self) -> Vec<ProvisionalResolution> {
+        std::mem::take(&mut self.provisional_resolutions)
+    }
+
+    /// The provisional alerts outstanding for the still-open day (the most
+    /// recent [`DetectionEngine::ingest_partial`] evaluation wins).
+    pub fn provisional_alerts(&self) -> &[Alert] {
+        &self.provisional_alerts
+    }
+
     /// Builds the model-input row for `user` in `aspect`, for the most
     /// recently ingested day — the streaming equivalent of the batch matrix
     /// builder ([`crate::matrix::build_row`]), reading the pre-weighted day
@@ -912,18 +1192,31 @@ impl DetectionEngine {
     ///
     /// Panics if `aspect` or `user` is out of range.
     pub fn input_row(&self, aspect: usize, user: usize) -> Vec<f32> {
+        self.input_row_from(aspect, user, &self.user_ring, self.group_ring.as_ref())
+    }
+
+    /// [`DetectionEngine::input_row`] against explicit rings — the committed
+    /// rings for the daily path, overlay rings (committed days plus the
+    /// provisional day) for [`DetectionEngine::ingest_partial`].
+    fn input_row_from(
+        &self,
+        aspect: usize,
+        user: usize,
+        user_ring: &DayRing,
+        group_ring: Option<&DayRing>,
+    ) -> Vec<f32> {
         let features = &self.feature_set.aspects[aspect].features;
         let mut row = Vec::with_capacity(self.input_dim(aspect));
         match self.config.representation {
             Representation::Deviation => {
-                self.append_ring_block(&self.user_ring, user, features, &mut row);
-                if let Some(gring) = &self.group_ring {
+                self.append_ring_block(user_ring, user, features, &mut row);
+                if let Some(gring) = group_ring {
                     self.append_ring_block(gring, self.user_group[user], features, &mut row);
                 }
             }
             Representation::SingleDayCounts => {
-                self.append_counts_block(&self.user_ring, user, features, &mut row);
-                if let Some(gring) = &self.group_ring {
+                self.append_counts_block(user_ring, user, features, &mut row);
+                if let Some(gring) = group_ring {
                     self.append_counts_block(gring, self.user_group[user], features, &mut row);
                 }
             }
@@ -1103,6 +1396,8 @@ impl DetectionEngine {
             alert_policy: None,
             alert_state: checkpoint.alert_state,
             pending_alerts: Vec::new(),
+            provisional_alerts: Vec::new(),
+            provisional_resolutions: Vec::new(),
         })
     }
 
@@ -1328,6 +1623,37 @@ mod tests {
         // The untouched snapshot still restores.
         let cp = e.snapshot();
         assert!(DetectionEngine::restore(cp).is_ok());
+    }
+
+    #[test]
+    fn ingest_partial_validates_and_never_perturbs_the_stream() {
+        let mut e = engine(3);
+        let width = e.day_width();
+        let day = vec![1.0; width];
+        // Untrained: validated but scoreless.
+        assert!(e.ingest_partial(e.start(), &day, 5).unwrap().is_none());
+        let err = e.ingest_partial(e.start().add_days(1), &day, 5).unwrap_err();
+        assert!(matches!(err, AcobeError::OutOfOrder { .. }), "{err:?}");
+        let err = e.ingest_partial(e.start(), &[0.0; 3], 5).unwrap_err();
+        assert!(matches!(err, AcobeError::WidthMismatch { .. }), "{err:?}");
+        // A shadow engine that never peeks stays bit-identical: same matrix
+        // rows and same checkpoint bytes, at every day.
+        let mut shadow = engine(3);
+        for i in 0..10 {
+            let full: Vec<f32> = (0..width).map(|j| ((i * 7 + j as i32) % 5) as f32).collect();
+            let partial: Vec<f32> = full.iter().map(|v| v * 0.5).collect();
+            e.ingest_partial(e.start().add_days(i), &partial, 3).unwrap();
+            e.ingest_partial(e.start().add_days(i), &full, 7).unwrap();
+            e.warm_day(e.start().add_days(i), &full).unwrap();
+            shadow.warm_day(shadow.start().add_days(i), &full).unwrap();
+            for u in 0..3 {
+                assert_eq!(e.input_row(0, u), shadow.input_row(0, u), "day {i} user {u}");
+            }
+        }
+        assert_eq!(
+            serde_json::to_string(&e.snapshot()).unwrap(),
+            serde_json::to_string(&shadow.snapshot()).unwrap()
+        );
     }
 
     #[test]

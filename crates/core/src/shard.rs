@@ -35,18 +35,20 @@ use crate::checkpoint::{
 use crate::config::{AcobeConfig, Representation};
 use crate::critic::{investigate_from_scores, Investigation};
 use crate::engine::{
-    counts_block_into, ring_block_into, DayRing, DayScores, DetectionEngine, EngineCheckpoint,
-    INGEST_EDGES, SCORE_HISTORY_DAYS,
+    counts_block_into, resolve_provisional_alerts, ring_block_into, DayRing, DayScores,
+    DetectionEngine, EngineCheckpoint, ProvisionalResolution, ProvisionalScores, INGEST_EDGES,
+    SCORE_HISTORY_DAYS,
 };
 use crate::error::AcobeError;
 use crate::streaming::RollingDeviation;
+use acobe_features::cert::OpenDay;
 use acobe_features::exact::ExactF32Sum;
 use acobe_features::spec::FeatureSet;
 use acobe_logs::time::Date;
 use acobe_nn::autoencoder::Autoencoder;
 use acobe_nn::serialize::{restore as restore_model, SavedAutoencoder};
 use acobe_nn::tensor::Matrix;
-use acobe_obs::alert::Alert;
+use acobe_obs::alert::{Alert, AlertTrigger};
 use acobe_obs::{DriftConfig, DriftMonitor, HealthEvent, ShardStatus};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -220,74 +222,30 @@ impl EngineShard {
         config: &AcobeConfig,
         frames: usize,
     ) -> Vec<Vec<f32>> {
-        let locals = self.users.len();
-        let n_features = feature_set.len();
-        let mut scores = Vec::with_capacity(self.models.len());
-        if locals == 0 {
-            scores.resize_with(self.models.len(), Vec::new);
-        } else {
-            for aspect in 0..self.models.len() {
-                let features = &feature_set.aspects[aspect].features;
-                let dim = config.matrix.input_dim(features.len(), frames);
-                let mut batch = Matrix::zeros(locals, dim);
-                let mut row = Vec::with_capacity(dim);
-                for k in 0..locals {
-                    row.clear();
-                    match config.representation {
-                        Representation::Deviation => {
-                            ring_block_into(
-                                &self.ring,
-                                k,
-                                features,
-                                frames,
-                                n_features,
-                                config.matrix.matrix_days,
-                                config.matrix.delta,
-                                &mut row,
-                            );
-                            if let Some(gring) = group_ring {
-                                ring_block_into(
-                                    gring,
-                                    self.user_group[k],
-                                    features,
-                                    frames,
-                                    n_features,
-                                    config.matrix.matrix_days,
-                                    config.matrix.delta,
-                                    &mut row,
-                                );
-                            }
-                        }
-                        Representation::SingleDayCounts => {
-                            counts_block_into(&self.ring, k, features, frames, n_features, &mut row);
-                            if let Some(gring) = group_ring {
-                                counts_block_into(
-                                    gring,
-                                    self.user_group[k],
-                                    features,
-                                    frames,
-                                    n_features,
-                                    &mut row,
-                                );
-                            }
-                        }
-                    }
-                    batch.row_mut(k).copy_from_slice(&row);
-                }
-                let mut errs = self.models[aspect].reconstruction_errors(&batch);
-                if config.calibrate && !self.baselines.is_empty() {
-                    for (e, &b) in errs.iter_mut().zip(&self.baselines[aspect]) {
-                        *e /= b;
-                    }
-                }
-                scores.push(errs);
-            }
-        }
+        let scores = score_shard_rows(
+            &mut self.models,
+            &self.baselines,
+            &self.user_group,
+            &self.ring,
+            group_ring,
+            feature_set,
+            config,
+            frames,
+        );
         self.score_history.push(DayScores { date, scores: scores.clone() });
         if self.score_history.len() > SCORE_HISTORY_DAYS {
             self.score_history.remove(0);
         }
         scores
+    }
+
+    /// One shard's read-only slab gather out of full-width measurements.
+    fn gather_slab(&self, measurements: &[f32], chunk: usize) -> Vec<f32> {
+        let mut slab = Vec::with_capacity(self.users.len() * chunk);
+        for &u in &self.users {
+            slab.extend_from_slice(&measurements[u * chunk..(u + 1) * chunk]);
+        }
+        slab
     }
 
     fn state_bytes(&self) -> usize {
@@ -302,6 +260,87 @@ impl EngineShard {
             .sum();
         rolling + self.ring.bytes() + baselines + history
     }
+}
+
+/// Matrix assembly + scoring for one shard's users against an explicit
+/// local ring — the committed ring at day close, an overlay ring (committed
+/// days plus the provisional day) for provisional scoring. Returns
+/// `scores[aspect][local_user]`; the shard's score history is untouched.
+#[allow(clippy::too_many_arguments)]
+fn score_shard_rows(
+    models: &mut [Autoencoder],
+    baselines: &[Vec<f32>],
+    user_group: &[usize],
+    ring: &DayRing,
+    group_ring: Option<&DayRing>,
+    feature_set: &FeatureSet,
+    config: &AcobeConfig,
+    frames: usize,
+) -> Vec<Vec<f32>> {
+    let locals = user_group.len();
+    let n_features = feature_set.len();
+    let mut scores = Vec::with_capacity(models.len());
+    if locals == 0 {
+        scores.resize_with(models.len(), Vec::new);
+        return scores;
+    }
+    for (aspect, model) in models.iter_mut().enumerate() {
+        let features = &feature_set.aspects[aspect].features;
+        let dim = config.matrix.input_dim(features.len(), frames);
+        let mut batch = Matrix::zeros(locals, dim);
+        let mut row = Vec::with_capacity(dim);
+        for k in 0..locals {
+            row.clear();
+            match config.representation {
+                Representation::Deviation => {
+                    ring_block_into(
+                        ring,
+                        k,
+                        features,
+                        frames,
+                        n_features,
+                        config.matrix.matrix_days,
+                        config.matrix.delta,
+                        &mut row,
+                    );
+                    if let Some(gring) = group_ring {
+                        ring_block_into(
+                            gring,
+                            user_group[k],
+                            features,
+                            frames,
+                            n_features,
+                            config.matrix.matrix_days,
+                            config.matrix.delta,
+                            &mut row,
+                        );
+                    }
+                }
+                Representation::SingleDayCounts => {
+                    counts_block_into(ring, k, features, frames, n_features, &mut row);
+                    if let Some(gring) = group_ring {
+                        counts_block_into(
+                            gring,
+                            user_group[k],
+                            features,
+                            frames,
+                            n_features,
+                            &mut row,
+                        );
+                    }
+                }
+            }
+            batch.row_mut(k).copy_from_slice(&row);
+        }
+        let mut errs = model.reconstruction_errors(&batch);
+        if config.calibrate && !baselines.is_empty() {
+            for (e, &b) in errs.iter_mut().zip(&baselines[aspect]) {
+                *e /= b;
+            }
+        }
+        scores.push(errs);
+    }
+    scores
 }
 
 /// A shard slot: live state, or a quarantine record for a shard whose
@@ -342,6 +381,12 @@ pub(crate) struct ShardManifest {
     /// Alert-evaluation state, including the `next_seq` high-water mark.
     #[serde(default)]
     pub(crate) alert_state: AlertState,
+    /// The intraday open-day accumulator captured at save time (the v3
+    /// `ODAY` section), so a crash between sub-day flushes resumes without
+    /// losing the open day. `None` on saves at a day boundary and on
+    /// pre-intraday checkpoints.
+    #[serde(default)]
+    pub(crate) open_day: Option<OpenDay>,
 }
 
 impl ShardManifest {
@@ -522,6 +567,17 @@ pub struct ShardedEngine {
     alert_state: AlertState,
     /// Alerts raised since the last [`ShardedEngine::take_alerts`].
     pending_alerts: Vec<Alert>,
+    /// Provisional alerts from the most recent [`ShardedEngine::ingest_partial`]
+    /// of the still-open day; resolved (confirmed/retracted) when that day
+    /// closes. Deliberately *not* part of the committed alert state.
+    provisional_alerts: Vec<Alert>,
+    /// Resolutions produced at day close, drained by
+    /// [`ShardedEngine::take_provisional_resolutions`].
+    provisional_resolutions: Vec<ProvisionalResolution>,
+    /// Intraday open-day accumulator to persist in the next checkpoint's
+    /// `ODAY` section. Set by the driver (via [`ShardedEngine::set_open_day`])
+    /// just before a mid-day save; `None` at day boundaries.
+    open_day: Option<OpenDay>,
     /// Delta-checkpoint book-keeping: present once delta saves are enabled
     /// (via [`ShardedEngine::save_checkpoint`] with a non-zero
     /// `delta_every`), buffering per-day encoded slabs between saves.
@@ -573,6 +629,9 @@ impl ShardedEngine {
             alert_policy: engine.alert_policy,
             alert_state: engine.alert_state,
             pending_alerts: engine.pending_alerts,
+            provisional_alerts: engine.provisional_alerts,
+            provisional_resolutions: engine.provisional_resolutions,
+            open_day: None,
             delta_tracker: None,
         };
         sharded.publish_shard_health();
@@ -682,7 +741,7 @@ impl ShardedEngine {
     /// Same contract as [`DetectionEngine::warm_day`], plus
     /// [`AcobeError::Shard`] when a shard's local phase fails.
     pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::span!("engine/warm_day");
         let t0 = Instant::now();
         self.step(date, measurements, false)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -723,7 +782,7 @@ impl ShardedEngine {
     /// and a shard-wrapped [`AcobeError::WidthMismatch`] for a wrong-width
     /// slab.
     pub fn warm_day_slabs(&mut self, date: Date, slabs: &[Vec<f32>]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::span!("engine/warm_day");
         let t0 = Instant::now();
         self.step_input(date, DayInput::Slabs(slabs), false)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -808,6 +867,249 @@ impl ShardedEngine {
         extractor
             .ingest_day_sharded(date, events, &self.assign, self.slots.len())
             .map_err(AcobeError::from)
+    }
+
+    /// Scores the open day `date` provisionally against the committed
+    /// per-shard baselines, without committing anything — the sharded
+    /// counterpart of [`DetectionEngine::ingest_partial`], bit-identical to
+    /// it at any shard count (read-only peeks replace the rolling pushes;
+    /// overlay rings replace the ring pushes; the exact group reduce is
+    /// unchanged). Users on quarantined shards score `f32::NAN`. Returns
+    /// `None` before training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::OutOfOrder`] when `date` is not the open
+    /// (next-expected) day, [`AcobeError::WidthMismatch`] for a wrong-length
+    /// slice, and a shard-wrapped error when a shard's read-only peek fails;
+    /// the engine state is unchanged in every case.
+    pub fn ingest_partial(
+        &mut self,
+        date: Date,
+        measurements: &[f32],
+        events: u64,
+    ) -> Result<Option<ProvisionalScores>, AcobeError> {
+        let _span = acobe_obs::span!("engine/ingest_partial");
+        let t0 = Instant::now();
+        if date != self.next_date {
+            return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });
+        }
+        let width = self.day_width();
+        if measurements.len() != width {
+            return Err(AcobeError::WidthMismatch { expected: width, found: measurements.len() });
+        }
+        if self.saved_models.is_empty() {
+            return Ok(None);
+        }
+        let frames = self.frames;
+        let chunk = frames * self.feature_set.len();
+        let group_cells =
+            if self.config.matrix.include_group { self.groups.len() * chunk } else { 0 };
+        let use_weights = self.config.matrix.use_weights;
+
+        // Phase 1 (read-only): per-shard slab gather, partial group sums,
+        // and the peeked provisional day layered onto a cloned local ring.
+        let n = self.slots.len();
+        let mut merged = vec![ExactF32Sum::new(); group_cells];
+        let mut overlay_rings: Vec<Option<DayRing>> = Vec::with_capacity(n);
+        for (i, slot) in self.slots.iter().enumerate() {
+            let ShardSlot::Live(shard) = slot else {
+                overlay_rings.push(None);
+                continue;
+            };
+            let slab = shard.gather_slab(measurements, chunk);
+            if group_cells > 0 {
+                for (k, &g) in shard.user_group.iter().enumerate() {
+                    let from = k * chunk;
+                    for j in 0..chunk {
+                        merged[g * chunk + j].add(slab[from + j]);
+                    }
+                }
+            }
+            let today = if shard.users.is_empty() {
+                Vec::new()
+            } else {
+                match self.config.representation {
+                    Representation::Deviation => {
+                        let rolling = shard.rolling.as_ref().expect("shard deviation state");
+                        let mut dev = rolling
+                            .peek_day(&slab)
+                            .map_err(|e| AcobeError::Shard { shard: i, source: Box::new(e) })?;
+                        if use_weights {
+                            for (s, w) in dev.sigma.iter_mut().zip(&dev.weights) {
+                                *s *= w;
+                            }
+                        }
+                        dev.sigma
+                    }
+                    Representation::SingleDayCounts => slab,
+                }
+            };
+            let mut ring = shard.ring.clone();
+            ring.push(today);
+            overlay_rings.push(Some(ring));
+        }
+
+        // Phase 2 (read-only): exact global group reduce + peeked group day
+        // layered onto a cloned group ring.
+        let group_overlay = if group_cells > 0 {
+            let gday: Vec<f32> = merged
+                .iter()
+                .enumerate()
+                .map(|(j, s)| s.round() / self.live_group_counts[j / chunk] as f32)
+                .collect();
+            let today = match self.config.representation {
+                Representation::Deviation => {
+                    let rolling = self.group_rolling.as_ref().expect("group deviation state");
+                    let mut gdev = rolling.peek_day(&gday)?;
+                    if use_weights {
+                        for (s, w) in gdev.sigma.iter_mut().zip(&gdev.weights) {
+                            *s *= w;
+                        }
+                    }
+                    gdev.sigma
+                }
+                Representation::SingleDayCounts => gday,
+            };
+            let mut ring = self.group_ring.as_ref().expect("group ring").clone();
+            ring.push(today);
+            Some(ring)
+        } else {
+            None
+        };
+
+        // Phase 3 (read-only except model scratch buffers): score every live
+        // shard against its overlay ring and scatter into the global vector.
+        let aspects = self.saved_models.len();
+        let mut scores = vec![vec![f32::NAN; self.users]; aspects];
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let ShardSlot::Live(shard) = slot else { continue };
+            let Some(ring) = &overlay_rings[i] else { continue };
+            let local = score_shard_rows(
+                &mut shard.models,
+                &shard.baselines,
+                &shard.user_group,
+                ring,
+                group_overlay.as_ref(),
+                &self.feature_set,
+                &self.config,
+                frames,
+            );
+            for (a, col) in local.into_iter().enumerate() {
+                for (k, &u) in shard.users.iter().enumerate() {
+                    scores[a][u] = col[k];
+                }
+            }
+        }
+        let investigation = investigate_from_scores(&scores, self.config.critic_n);
+        let alerts = self.provisional_alert_pass(
+            date,
+            &scores,
+            &overlay_rings,
+            group_overlay.as_ref(),
+            events,
+        );
+        self.provisional_alerts = alerts.clone();
+        acobe_obs::counter("engine/partial_scores").inc();
+        acobe_obs::histogram("engine/provisional_score_ms", INGEST_EDGES)
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(Some(ProvisionalScores { date, events, scores, investigation, alerts }))
+    }
+
+    /// Evaluates the alert policy against provisional scores on a throwaway
+    /// copy of the alert state (dropped afterwards). Evidence bundles read
+    /// the overlay rings, so they show the open day at offset 0 exactly as a
+    /// close would.
+    fn provisional_alert_pass(
+        &self,
+        date: Date,
+        scores: &[Vec<f32>],
+        overlay_rings: &[Option<DayRing>],
+        group_ring: Option<&DayRing>,
+        events: u64,
+    ) -> Vec<Alert> {
+        let Some(policy) = self.alert_policy.clone() else { return Vec::new() };
+        let mut state = self.alert_state.clone();
+        let day_str = date.to_string();
+        let input = crate::alert::AlertDayInput {
+            day: &day_str,
+            scores,
+            drift: &[],
+            degraded: &[],
+            critic_n: self.config.critic_n,
+        };
+        let feature_set = &self.feature_set;
+        let frames = self.frames;
+        let user_group = &self.user_group;
+        let assign = &self.assign;
+        let slots = &self.slots;
+        let top_k = policy.top_k_features;
+        let mut alerts =
+            crate::alert::evaluate_day(&policy, &mut state, &input, |user, position, priority| {
+                let shard = assign[user] as usize;
+                let ShardSlot::Live(owner) = &slots[shard] else {
+                    unreachable!("watchlisted user {user} on quarantined shard {shard}")
+                };
+                let ring = overlay_rings[shard].as_ref().expect("overlay ring for live shard");
+                let local =
+                    owner.users.binary_search(&user).expect("user missing from shard roster");
+                let group_entity = user_group.get(user).copied().filter(|&g| g != usize::MAX);
+                crate::alert::build_evidence(
+                    feature_set,
+                    frames,
+                    ring,
+                    local,
+                    group_ring,
+                    group_entity,
+                    scores,
+                    user,
+                    position,
+                    priority,
+                    top_k,
+                )
+            });
+        for alert in &mut alerts {
+            alert.id = format!("pv-{:06}", alert.seq);
+            alert.trigger =
+                AlertTrigger::Provisional { inner: Box::new(alert.trigger.clone()), events };
+        }
+        let board = acobe_obs::alert::alerts();
+        for alert in &alerts {
+            board.publish(alert);
+        }
+        alerts
+    }
+
+    /// Drains the provisional-alert resolutions produced at the most recent
+    /// day close.
+    pub fn take_provisional_resolutions(&mut self) -> Vec<ProvisionalResolution> {
+        std::mem::take(&mut self.provisional_resolutions)
+    }
+
+    /// The provisional alerts outstanding for the still-open day (the most
+    /// recent [`ShardedEngine::ingest_partial`] evaluation wins).
+    pub fn provisional_alerts(&self) -> &[Alert] {
+        &self.provisional_alerts
+    }
+
+    /// Stages an intraday open-day accumulator for the next checkpoint's
+    /// `ODAY` section (pass `None` at a day boundary to clear it). The engine
+    /// itself never reads this state — it exists so a mid-day crash can
+    /// resume the open day from the checkpoint alone.
+    pub fn set_open_day(&mut self, open_day: Option<OpenDay>) {
+        self.open_day = open_day;
+    }
+
+    /// The staged (or checkpoint-restored) intraday open-day accumulator.
+    pub fn open_day(&self) -> Option<&OpenDay> {
+        self.open_day.as_ref()
+    }
+
+    /// Removes and returns the checkpoint-restored open-day accumulator, for
+    /// the driver to hand back to its [`acobe_features::cert::DayExtractor`]
+    /// on mid-day resume.
+    pub fn take_open_day(&mut self) -> Option<OpenDay> {
+        self.open_day.take()
     }
 
     /// Per-shard approximate heap footprint of the temporal state, in bytes
@@ -1048,9 +1350,28 @@ impl ShardedEngine {
         self.publish_shard_health();
         if let Some(day) = &out {
             let drift = self.observe_scored_day(day);
+            let committed_from = self.pending_alerts.len();
             self.evaluate_alerts(day, &drift);
+            self.resolve_provisional(date, committed_from);
+        } else {
+            // The day closed without alert evaluation (warm-up or
+            // untrained), so any provisional alerts for it are retracted.
+            self.resolve_provisional(date, self.pending_alerts.len());
         }
         Ok(out)
+    }
+
+    /// Resolves the open day's provisional alerts against the committed
+    /// alerts raised at its close (see
+    /// [`crate::engine::DetectionEngine::take_provisional_resolutions`] for
+    /// the monolith counterpart).
+    fn resolve_provisional(&mut self, date: Date, committed_from: usize) {
+        resolve_provisional_alerts(
+            &mut self.provisional_alerts,
+            &self.pending_alerts[committed_from..],
+            date,
+            &mut self.provisional_resolutions,
+        );
     }
 
     /// Evaluates the alert policy against one scored day. Evidence bundles
@@ -1180,6 +1501,7 @@ impl ShardedEngine {
             models: self.saved_models.clone(),
             monitor: self.monitor.clone(),
             alert_state: self.alert_state.clone(),
+            open_day: self.open_day.clone(),
         }
     }
 
@@ -1375,7 +1697,11 @@ impl ShardedEngine {
                 } else {
                     self.delta_tracker = Some(DeltaTracker::new(options.delta_every));
                 }
-                let needs_full = self.delta_tracker.as_ref().is_none_or(|t| t.needs_full());
+                // Delta saves append slab entries without rewriting the
+                // manifest, so a staged mid-day open day (the ODAY section
+                // lives in the manifest) must ride a full snapshot.
+                let needs_full = self.open_day.is_some()
+                    || self.delta_tracker.as_ref().is_none_or(|t| t.needs_full());
                 if needs_full {
                     let (bytes, files, generation) = self.save_v3_full(dir)?;
                     if let Some(tracker) = &mut self.delta_tracker {
@@ -1479,6 +1805,9 @@ impl ShardedEngine {
             alert_policy: None,
             alert_state: manifest.alert_state,
             pending_alerts: Vec::new(),
+            provisional_alerts: Vec::new(),
+            provisional_resolutions: Vec::new(),
+            open_day: manifest.open_day,
             delta_tracker: None,
         };
         let board = acobe_obs::monitor::board();
@@ -2044,6 +2373,47 @@ mod tests {
             resumed.warm_day(start.add_days(i), &d).unwrap();
         }
         assert_eq!(resumed.state_bytes(), sharded.state_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_day_section_roundtrips_through_checkpoint() {
+        use acobe_features::cert::{CountSemantics, DayExtractor};
+        let dir = temp_dir("oday");
+        let mut sharded = ShardedEngine::from_engine(grouped_engine(6), 2).unwrap();
+        let width = sharded.day_width();
+        let start = sharded.start();
+        for i in 0..5 {
+            sharded.warm_day(start.add_days(i), &day(width, i)).unwrap();
+        }
+        // Day-boundary save: no ODAY section, nothing restored.
+        sharded.save(&dir).unwrap();
+        let resumed = ShardedEngine::load(&dir, 0).unwrap();
+        assert!(resumed.open_day().is_none());
+        // Mid-day save: stage the extractor's open day and save again.
+        let mut ex = DayExtractor::new(6, start, CountSemantics::Plain);
+        for i in 0..5 {
+            ex.ingest_day(start.add_days(i), &[]).unwrap();
+        }
+        ex.push_events(start.add_days(5), &[]).unwrap();
+        sharded.set_open_day(ex.open_day().cloned());
+        sharded.save(&dir).unwrap();
+        let mut resumed = ShardedEngine::load(&dir, 0).unwrap();
+        let restored = resumed.take_open_day().expect("ODAY section restored");
+        assert_eq!(restored.date(), start.add_days(5));
+        assert_eq!(restored.flushes(), 1);
+        // A fresh extractor at the same position accepts the recovered day.
+        let mut fresh = DayExtractor::new(6, start, CountSemantics::Plain);
+        for i in 0..5 {
+            fresh.ingest_day(start.add_days(i), &[]).unwrap();
+        }
+        fresh.restore_open_day(restored).unwrap();
+        assert_eq!(fresh.open_day().map(OpenDay::flushes), Some(1));
+        // But rejects it when a day is already open or the dates disagree.
+        let stale = fresh.open_day().cloned().unwrap();
+        assert!(fresh.restore_open_day(stale.clone()).is_err());
+        fresh.close_day();
+        assert!(fresh.restore_open_day(stale).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -280,6 +280,63 @@ impl RollingDeviation {
         Ok(DayDeviations { sigma, weights })
     }
 
+    /// Emits the deviations today's measurements *would* produce — the same
+    /// arithmetic as [`RollingDeviation::push_day`]'s emit phase, bit for
+    /// bit — **without** folding the measurements into the window.
+    ///
+    /// This is the provisional-scoring primitive: an open (in-progress) day
+    /// can be peeked any number of times at any fill level, and the eventual
+    /// `push_day` at day close still sees exactly the state it would have
+    /// seen on the daily path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcobeError::WidthMismatch`] when `measurements.len()` does
+    /// not match the tracked series.
+    pub fn peek_day(&self, measurements: &[f32]) -> Result<DayDeviations, AcobeError> {
+        acobe_obs::counter("streaming/days_peeked").inc();
+        let mut sigma = vec![0.0f32; self.series_count()];
+        let mut weights = vec![1.0f32; self.series_count()];
+        self.peek_day_into(measurements, &mut sigma, &mut weights)?;
+        Ok(DayDeviations { sigma, weights })
+    }
+
+    /// Core of [`RollingDeviation::peek_day`], writing into caller-owned
+    /// slices. The per-series emit is copied verbatim from
+    /// [`RollingDeviation::push_day_into`] minus the fold, so
+    /// `peek_day(m) == push_day(m)`'s emitted deviations for any state.
+    pub(crate) fn peek_day_into(
+        &self,
+        measurements: &[f32],
+        sigma: &mut [f32],
+        weights: &mut [f32],
+    ) -> Result<(), AcobeError> {
+        if measurements.len() != self.series_count() {
+            return Err(AcobeError::WidthMismatch {
+                expected: self.series_count(),
+                found: measurements.len(),
+            });
+        }
+        debug_assert_eq!(sigma.len(), measurements.len());
+        debug_assert_eq!(weights.len(), measurements.len());
+        for (i, &m) in measurements.iter().enumerate() {
+            let hist_len = self.filled[i];
+            if hist_len >= self.config.min_history {
+                let n = hist_len as f64;
+                let mean = self.sum[i] / n;
+                let var = (self.sum_sq[i] / n - mean * mean).max(0.0);
+                let std = (var.sqrt() as f32).max(self.config.epsilon);
+                let delta = (m - mean as f32) / std;
+                sigma[i] = delta.clamp(-self.config.delta, self.config.delta);
+                weights[i] = 1.0 / std.max(2.0).log2();
+            } else {
+                sigma[i] = 0.0;
+                weights[i] = 1.0;
+            }
+        }
+        Ok(())
+    }
+
     /// Core of [`RollingDeviation::push_day`], writing into caller-owned
     /// slices: the batch replay uses this to fill cube slabs directly.
     ///
@@ -505,6 +562,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `peek_day` emits exactly what `push_day` would emit — at every point
+    /// in the stream — and never perturbs subsequent pushes.
+    #[test]
+    fn peek_matches_push_and_never_mutates() {
+        let config = DeviationConfig { window: 6, delta: 3.0, epsilon: 1e-3, min_history: 2 };
+        let (frames, features) = (2usize, 3usize);
+        let mut rolling = RollingDeviation::new(3, frames, features, config);
+        let mut rng = StdRng::seed_from_u64(23);
+        let width = 3 * frames * features;
+        for day in 0..15 {
+            let m: Vec<f32> = (0..width).map(|_| rng.gen_range(0.0f32..20.0)).collect();
+            // Peek twice (any number of peeks must be idempotent) ...
+            let peek1 = rolling.peek_day(&m).unwrap();
+            let peek2 = rolling.peek_day(&m).unwrap();
+            assert_eq!(peek1, peek2, "day {day}");
+            let before_days = rolling.days_seen();
+            // ... then push the same day: emitted deviations must agree.
+            let pushed = rolling.push_day(&m).unwrap();
+            assert_eq!(peek1, pushed, "day {day}");
+            assert_eq!(before_days + 1, rolling.days_seen());
+        }
+        let err = rolling.peek_day(&[0.0; 3]).unwrap_err();
+        assert!(matches!(err, AcobeError::WidthMismatch { .. }), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Intra-day flush-cadence identity: splitting a day's events into any
+//! number of in-order sub-day flushes — with provisional scoring between
+//! flushes and an optional mid-day checkpoint save/resume — must leave every
+//! committed artifact byte-identical to the daily (single-flush) path:
+//! day-close scores, investigation lists, drained alerts, and the final
+//! on-disk checkpoint. Provisional output is advisory only.
+
+use std::sync::OnceLock;
+
+use acobe::alert::AlertPolicy;
+use acobe::config::AcobeConfig;
+use acobe::engine::{DayScores, DetectionEngine, EngineCheckpoint};
+use acobe::pipeline::AcobePipeline;
+use acobe::shard::ShardedEngine;
+use acobe_features::cert::{extract_cert_features, route_day_slabs, CountSemantics, DayExtractor};
+use acobe_features::spec::cert_feature_set;
+use acobe_logs::store::LogStore;
+use acobe_logs::time::Date;
+use acobe_obs::alert::Alert;
+use acobe_synth::cert::{CertConfig, CertGenerator};
+use proptest::prelude::*;
+
+/// Days scored after the training horizon in every case.
+const SCORE_DAYS: i64 = 4;
+
+/// The expensive, deterministic part shared by every proptest case: a small
+/// synthetic CERT dataset, a pipeline fitted on its training window, and the
+/// resulting engine reset to streaming mode and warmed through `train_end`
+/// (the exact `acobe stream` training flow).
+struct Fixture {
+    users: usize,
+    train_end: Date,
+    /// Trained monolith checkpoint, warmed through `train_end`.
+    checkpoint: EngineCheckpoint,
+    /// Matching extractor whose expected next date is `train_end`.
+    extractor: DayExtractor,
+    store: LogStore,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut gen = CertGenerator::new(CertConfig::small(11));
+        let store = gen.build_store();
+        let cfg = gen.config().clone();
+        let users = cfg.org.total_users();
+        let start = cfg.start;
+        let train_end = start.add_days(24);
+        let groups: Vec<Vec<usize>> = gen
+            .directory()
+            .departments()
+            .map(|d| gen.directory().members(d).iter().map(|u| u.index()).collect())
+            .collect();
+        let cube = extract_cert_features(&store, users, start, train_end, CountSemantics::Plain);
+        let mut pipe = AcobePipeline::new(
+            cube,
+            cert_feature_set(),
+            &groups,
+            AcobeConfig::tiny().with_critic_n(2),
+        )
+        .expect("pipeline");
+        pipe.fit(start, train_end).expect("fit");
+        let mut engine = pipe.into_engine();
+        engine.reset_stream();
+        let mut extractor = DayExtractor::new(users, start, CountSemantics::Plain);
+        let mut d = start;
+        while d < train_end {
+            let flat = extractor.ingest_day(d, store.day(d)).expect("extract");
+            engine.warm_day(d, &flat).expect("warm");
+            d = d.add_days(1);
+        }
+        let checkpoint = engine.snapshot();
+        Fixture { users, train_end, checkpoint, extractor, store }
+    })
+}
+
+fn temp_dir(name: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("acobe_intraday_{}_{name}_{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fresh sharded engine restored from the fixture checkpoint with the
+/// default alert policy — the state both twins start every case from.
+fn fresh_engine(shards: usize) -> ShardedEngine {
+    let fx = fixture();
+    let engine = DetectionEngine::restore(fx.checkpoint.clone()).expect("restore");
+    let mut engine = ShardedEngine::from_engine(engine, shards).expect("shard");
+    engine.set_alert_policy(Some(AlertPolicy::default()));
+    engine
+}
+
+/// Everything the daily path commits, collected for comparison.
+struct Committed {
+    scores: Vec<Option<DayScores>>,
+    investigations: Vec<String>,
+    alerts: String,
+}
+
+fn collect_day(
+    engine: &mut ShardedEngine,
+    scores: Option<DayScores>,
+    out: &mut Committed,
+    alerts: &mut Vec<Alert>,
+) {
+    out.investigations
+        .push(serde_json::to_string(&engine.daily_investigation(2, 1)).expect("json"));
+    out.scores.push(scores);
+    alerts.extend(engine.take_alerts());
+}
+
+/// Reference run: one flush per day, exactly the pre-intraday pipeline.
+fn run_daily(shards: usize, dir: &std::path::Path) -> Committed {
+    let fx = fixture();
+    let mut engine = fresh_engine(shards);
+    let mut ex = fx.extractor.clone();
+    let mut out =
+        Committed { scores: Vec::new(), investigations: Vec::new(), alerts: String::new() };
+    let mut alerts = Vec::new();
+    for i in 0..SCORE_DAYS {
+        let date = fx.train_end.add_days(i);
+        let scores = engine.ingest_day_events(&mut ex, date, fx.store.day(date)).expect("ingest");
+        collect_day(&mut engine, scores, &mut out, &mut alerts);
+    }
+    out.alerts = serde_json::to_string(&alerts).expect("json");
+    engine.save(dir).expect("save");
+    out
+}
+
+/// Scales raw proptest cut points (0..1000) onto an event slice, yielding
+/// in-order flush boundaries (possibly empty or duplicated — both legal).
+fn flush_bounds(cuts: &[usize], n: usize) -> Vec<usize> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c * n / 1000).collect();
+    bounds.sort_unstable();
+    bounds.push(n);
+    bounds
+}
+
+/// Flushed run: each day's events split at the case's cut points, with a
+/// provisional score after every flush and — on the chosen flush of the
+/// chosen day — a full checkpoint save, reload, and ODAY-restore resume
+/// simulating a mid-day crash.
+fn run_flushed(
+    shards: usize,
+    day_cuts: &[Vec<usize>],
+    save_day: usize,
+    save_flush: usize,
+    dir: &std::path::Path,
+    mid_dir: &std::path::Path,
+) -> Committed {
+    let fx = fixture();
+    let features = cert_feature_set().len();
+    let mut engine = fresh_engine(shards);
+    let mut ex = fx.extractor.clone();
+    let mut out =
+        Committed { scores: Vec::new(), investigations: Vec::new(), alerts: String::new() };
+    let mut alerts = Vec::new();
+    for i in 0..SCORE_DAYS {
+        let date = fx.train_end.add_days(i);
+        let events = fx.store.day(date);
+        // The sidecar a real deployment would have persisted at the last day
+        // boundary — the state a crash rewinds the extractor to.
+        let boundary_snapshot = ex.clone();
+        let cuts = &day_cuts[i as usize];
+        let bounds = flush_bounds(cuts, events.len());
+        let mut consumed = 0usize;
+        for (flush, &end) in bounds.iter().enumerate() {
+            ex.push_events(date, &events[consumed..end]).expect("push");
+            consumed = end;
+            let open = ex.open_day().expect("open day");
+            let measurements = open.measurements_so_far().to_vec();
+            engine
+                .ingest_partial(date, &measurements, open.events())
+                .expect("partial");
+            if i as usize == save_day && flush == save_flush.min(bounds.len() - 1) {
+                // Mid-day crash: save with the ODAY section, reload, and
+                // restore the open day into a boundary-fresh extractor.
+                engine.set_open_day(ex.open_day().cloned());
+                engine.save(mid_dir).expect("mid save");
+                let mut resumed = ShardedEngine::load(mid_dir, shards).expect("mid load");
+                resumed.set_alert_policy(Some(AlertPolicy::default()));
+                let open = resumed.take_open_day().expect("ODAY section");
+                let mut ex2 = boundary_snapshot.clone();
+                ex2.restore_open_day(open).expect("restore open day");
+                engine = resumed;
+                ex = ex2;
+            }
+        }
+        let flat = ex.close_day().expect("close");
+        let slabs = route_day_slabs(
+            &flat,
+            fx.users,
+            features,
+            &engine.assignment().to_vec(),
+            engine.shard_count(),
+        );
+        let scores = engine.ingest_day_slabs(date, &slabs).expect("ingest");
+        // Provisional alerts are advisory: every one raised this day must
+        // resolve at close, and none may leak a committed al- id prefix.
+        for resolution in engine.take_provisional_resolutions() {
+            assert!(resolution.alert.id.starts_with("pv-"), "{:?}", resolution.alert.id);
+        }
+        collect_day(&mut engine, scores, &mut out, &mut alerts);
+    }
+    out.alerts = serde_json::to_string(&alerts).expect("json");
+    // Mirror the CLI save funnel: no open day at a boundary save, so any
+    // staged mid-day ODAY must not leak into the final checkpoint.
+    engine.set_open_day(ex.open_day().cloned());
+    engine.save(dir).expect("save");
+    out
+}
+
+fn checkpoint_files(shards: usize) -> Vec<String> {
+    let mut files = vec!["manifest.acb".to_string()];
+    files.extend((0..shards).map(|s| format!("shard_{s:03}.acb")));
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any flush cadence, any shard count, any mid-day save point: the
+    /// committed artifacts match the daily path byte for byte.
+    #[test]
+    fn flush_cadence_commits_identically(
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+        day_cuts in prop::collection::vec(prop::collection::vec(0usize..1000, 0..4), SCORE_DAYS as usize),
+        save_day in 0..SCORE_DAYS as usize,
+        save_flush in 0usize..4,
+        case in 0u64..u64::MAX,
+    ) {
+        let dir_daily = temp_dir("daily", case);
+        let dir_flushed = temp_dir("flushed", case);
+        let dir_mid = temp_dir("mid", case);
+        let daily = run_daily(shards, &dir_daily);
+        let flushed =
+            run_flushed(shards, &day_cuts, save_day, save_flush, &dir_flushed, &dir_mid);
+
+        prop_assert_eq!(&daily.scores, &flushed.scores);
+        prop_assert_eq!(&daily.investigations, &flushed.investigations);
+        prop_assert_eq!(&daily.alerts, &flushed.alerts);
+        for file in checkpoint_files(shards) {
+            let a = std::fs::read(dir_daily.join(&file)).expect("daily file");
+            let b = std::fs::read(dir_flushed.join(&file)).expect("flushed file");
+            prop_assert_eq!(a, b, "{} diverged", file);
+        }
+        let _ = std::fs::remove_dir_all(&dir_daily);
+        let _ = std::fs::remove_dir_all(&dir_flushed);
+        let _ = std::fs::remove_dir_all(&dir_mid);
+    }
+}

@@ -78,6 +78,85 @@ impl fmt::Display for ExtractError {
 
 impl std::error::Error for ExtractError {}
 
+/// The `event → (user, frame)` counting slot every per-day aggregation in
+/// the pipeline keys on.
+///
+/// Both the feature extractor ([`DayExtractor`]) and the raw-log ingest
+/// frontend (`acobe-ingest`'s per-day rule aggregation) historically
+/// computed this inline; they must agree or rule hits and measurements
+/// land in different frames. This is the single shared definition.
+pub fn event_slot(event: &LogEvent) -> (usize, usize) {
+    (event.user().index(), event.ts().time_frame().index())
+}
+
+/// One in-progress (open) day of incremental feature accumulation.
+///
+/// An `OpenDay` holds the partially-accumulated `[user][frame][feature]`
+/// measurement vector plus the day-local novelty overlays ("pairs first
+/// seen today stay novel for the whole day"). It is created and advanced
+/// by [`DayExtractor::push_events`] — the novelty *baseline* (`seen_*`
+/// sets) lives on the extractor, so the open day only carries the overlay
+/// — and folded back by [`DayExtractor::close_day`].
+///
+/// Because counting is additive and events arrive in order, pushing a
+/// day's events in any number of sub-batches and then closing produces a
+/// vector bit-identical to the one-shot [`DayExtractor::ingest_day`] path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenDay {
+    date: Date,
+    day: Vec<f32>,
+    today_hosts: Vec<HashSet<u32>>,
+    today_file: Vec<HashSet<(FileTag, u32)>>,
+    today_http: Vec<HashSet<(u8, u32)>>,
+    events: u64,
+    flushes: u64,
+    last_event_secs: Option<i64>,
+}
+
+impl OpenDay {
+    fn new(date: Date, users: usize, width: usize) -> Self {
+        OpenDay {
+            date,
+            day: vec![0.0f32; width],
+            today_hosts: vec![HashSet::new(); users],
+            today_file: vec![HashSet::new(); users],
+            today_http: vec![HashSet::new(); users],
+            events: 0,
+            flushes: 0,
+            last_event_secs: None,
+        }
+    }
+
+    /// The day being accumulated.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// The measurements accumulated so far, flattened `[user][frame][feature]`.
+    ///
+    /// This is a live partial view: it grows with every
+    /// [`DayExtractor::push_events`] call and becomes the closed day's
+    /// vector verbatim at [`DayExtractor::close_day`].
+    pub fn measurements_so_far(&self) -> &[f32] {
+        &self.day
+    }
+
+    /// Events pushed into this day so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Sub-day batches ([`DayExtractor::push_events`] calls) absorbed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Timestamp (epoch seconds) of the last event pushed, if any.
+    pub fn last_event_secs(&self) -> Option<i64> {
+        self.last_event_secs
+    }
+}
+
 /// Unbounded day-at-a-time extractor producing one flattened
 /// `[user][frame][feature]` measurement vector per day — the form the
 /// incremental detection engine ingests.
@@ -107,6 +186,10 @@ pub struct DayExtractor {
     seen_file: Vec<HashSet<(FileTag, u32)>>,
     seen_http: Vec<HashSet<(u8, u32)>>,
     next_date: Date,
+    /// The in-progress day, if one is open. `default` so sidecars written
+    /// before intra-day accumulation existed still deserialize.
+    #[serde(default)]
+    open: Option<OpenDay>,
 }
 
 impl DayExtractor {
@@ -125,6 +208,7 @@ impl DayExtractor {
             seen_file: vec![HashSet::new(); users],
             seen_http: vec![HashSet::new(); users],
             next_date: start,
+            open: None,
         }
     }
 
@@ -146,14 +230,44 @@ impl DayExtractor {
     /// Processes one day of events, returning that day's measurements
     /// flattened `[user][frame][feature]`.
     ///
+    /// This is now sugar over the incremental path — one
+    /// [`DayExtractor::push_events`] followed by [`DayExtractor::close_day`]
+    /// — and is bit-identical to it at any sub-batch split. If a day is
+    /// already open on `date`, the events append to it and the day closes.
+    ///
     /// # Errors
     ///
     /// Returns [`ExtractError::OutOfOrder`] for non-consecutive days and
     /// [`ExtractError::UnknownUser`] for events outside the population; in
     /// both cases the first-seen state is left untouched.
     pub fn ingest_day(&mut self, date: Date, events: &[LogEvent]) -> Result<Vec<f32>, ExtractError> {
-        if date != self.next_date {
-            return Err(ExtractError::OutOfOrder { expected: self.next_date, got: date });
+        self.push_events(date, events)?;
+        Ok(self.close_day().expect("push_events opened the day"))
+    }
+
+    /// Pushes a sub-day batch of events into the open day, opening it if
+    /// necessary.
+    ///
+    /// The first push for a day must be for the extractor's expected next
+    /// date; subsequent pushes must stay on the same day until
+    /// [`DayExtractor::close_day`]. Counting is additive and novelty
+    /// overlays are day-local, so any split of a day's (in-order) events
+    /// into pushes yields the same closed-day vector as a single push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::OutOfOrder`] when `date` is not the open
+    /// (or, with no open day, the expected next) day, and
+    /// [`ExtractError::UnknownUser`] for events outside the population;
+    /// in both cases extractor state — including any open day — is left
+    /// untouched.
+    pub fn push_events(&mut self, date: Date, events: &[LogEvent]) -> Result<(), ExtractError> {
+        let expected = match &self.open {
+            Some(open) => open.date,
+            None => self.next_date,
+        };
+        if date != expected {
+            return Err(ExtractError::OutOfOrder { expected, got: date });
         }
         if let Some(event) = events.iter().find(|e| e.user().index() >= self.users) {
             return Err(ExtractError::UnknownUser {
@@ -161,75 +275,139 @@ impl DayExtractor {
                 users: self.users,
             });
         }
-        self.next_date = date.add_days(1);
-
-        let mut day = vec![0.0f32; self.day_width()];
-        let mut add = |user: usize, frame: usize, feature: usize| {
-            day[(user * 2 + frame) * self.features + feature] += 1.0;
-        };
-        // "Before day d" novelty semantics: pairs first seen today stay novel
-        // for the whole day and merge into the seen sets only at day end.
-        let mut today_hosts: Vec<HashSet<u32>> = vec![HashSet::new(); self.users];
-        let mut today_file: Vec<HashSet<(FileTag, u32)>> = vec![HashSet::new(); self.users];
-        let mut today_http: Vec<HashSet<(u8, u32)>> = vec![HashSet::new(); self.users];
-
+        let mut open = self
+            .open
+            .take()
+            .unwrap_or_else(|| OpenDay::new(date, self.users, self.day_width()));
         for event in events {
             debug_assert_eq!(event.ts().date(), date, "event on wrong day");
-            let user = event.user().index();
-            let frame = event.ts().time_frame().index();
-            match event {
-                LogEvent::Device(e) => {
-                    if e.activity == acobe_logs::event::DeviceActivity::Connect {
-                        add(user, frame, 0);
-                        if !self.seen_hosts[user].contains(&e.host.0) {
-                            add(user, frame, 1);
-                            today_hosts[user].insert(e.host.0);
-                        }
-                    }
-                }
-                LogEvent::File(e) => {
-                    let tag = file_tag(e.activity, e.from, e.to);
-                    let feature = file_feature(tag);
-                    let pair = (tag, e.file.0);
-                    let is_new = !self.seen_file[user].contains(&pair);
-                    if is_new {
-                        add(user, frame, 8); // file.new-op
-                        today_file[user].insert(pair);
-                    }
-                    if let Some(f) = feature {
-                        if self.semantics == CountSemantics::Plain || is_new {
-                            add(user, frame, f);
-                        }
-                    }
-                }
-                LogEvent::Http(e) => {
-                    // Visits and downloads are not considered (paper V-A3).
-                    if e.activity == HttpActivity::Upload {
-                        if let Some(ft_idx) = upload_type_index(e.filetype) {
-                            let feature = 9 + ft_idx;
-                            let pair = (ft_idx as u8, e.domain.0);
-                            let is_new = !self.seen_http[user].contains(&pair);
-                            if is_new {
-                                add(user, frame, 15); // http.new-op
-                                today_http[user].insert(pair);
-                            }
-                            if self.semantics == CountSemantics::Plain || is_new {
-                                add(user, frame, feature);
-                            }
-                        }
-                    }
-                }
-                // Email / logon / enterprise events carry no CERT features.
-                _ => {}
-            }
+            self.apply_event(&mut open, event);
+            open.events += 1;
+            open.last_event_secs = Some(event.ts().secs());
         }
+        open.flushes += 1;
+        self.open = Some(open);
+        Ok(())
+    }
 
+    /// The in-progress day, if one is open.
+    pub fn open_day(&self) -> Option<&OpenDay> {
+        self.open.as_ref()
+    }
+
+    /// Re-installs an open day recovered from a checkpoint (the engine
+    /// checkpoint's `ODAY` section), so a mid-day crash resumes accumulation
+    /// exactly where the save left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::OutOfOrder`] when a day is already open or
+    /// when the recovered day is not the extractor's expected next date —
+    /// the checkpoint and the extractor snapshot disagree in that case.
+    pub fn restore_open_day(&mut self, open: OpenDay) -> Result<(), ExtractError> {
+        if let Some(current) = &self.open {
+            return Err(ExtractError::OutOfOrder { expected: current.date, got: open.date });
+        }
+        if open.date != self.next_date {
+            return Err(ExtractError::OutOfOrder { expected: self.next_date, got: open.date });
+        }
+        self.open = Some(open);
+        Ok(())
+    }
+
+    /// The open day's partial measurements, if a day is open.
+    ///
+    /// Shorthand for `open_day().map(OpenDay::measurements_so_far)`.
+    pub fn measurements_so_far(&self) -> Option<&[f32]> {
+        self.open.as_ref().map(|o| o.measurements_so_far())
+    }
+
+    /// Closes the open day: merges its novelty overlay into the first-seen
+    /// sets ("before day d" semantics), advances the expected date, and
+    /// returns the day's measurements. Returns `None` if no day is open.
+    pub fn close_day(&mut self) -> Option<Vec<f32>> {
+        let OpenDay {
+            date,
+            day,
+            mut today_hosts,
+            mut today_file,
+            mut today_http,
+            ..
+        } = self.open.take()?;
         for u in 0..self.users {
             self.seen_hosts[u].extend(today_hosts[u].drain());
             self.seen_file[u].extend(today_file[u].drain());
             self.seen_http[u].extend(today_http[u].drain());
         }
-        Ok(day)
+        self.next_date = date.add_days(1);
+        Some(day)
+    }
+
+    /// Folds one event into the open day's counts and novelty overlay.
+    ///
+    /// The novelty decision reads the committed `seen_*` sets (the "before
+    /// day d" baseline, immutable while a day is open) plus the day-local
+    /// `today_*` overlay.
+    fn apply_event(&self, open: &mut OpenDay, event: &LogEvent) {
+        let (user, frame) = event_slot(event);
+        let features = self.features;
+        let OpenDay {
+            day,
+            today_hosts,
+            today_file,
+            today_http,
+            ..
+        } = open;
+        let mut add = |user: usize, frame: usize, feature: usize| {
+            day[(user * 2 + frame) * features + feature] += 1.0;
+        };
+        match event {
+            LogEvent::Device(e) => {
+                if e.activity == acobe_logs::event::DeviceActivity::Connect {
+                    add(user, frame, 0);
+                    // "Before day d" semantics: a host stays novel for the
+                    // whole day, so only the committed set gates counting.
+                    if !self.seen_hosts[user].contains(&e.host.0) {
+                        add(user, frame, 1);
+                        today_hosts[user].insert(e.host.0);
+                    }
+                }
+            }
+            LogEvent::File(e) => {
+                let tag = file_tag(e.activity, e.from, e.to);
+                let feature = file_feature(tag);
+                let pair = (tag, e.file.0);
+                let is_new = !self.seen_file[user].contains(&pair);
+                if is_new {
+                    add(user, frame, 8); // file.new-op
+                    today_file[user].insert(pair);
+                }
+                if let Some(f) = feature {
+                    if self.semantics == CountSemantics::Plain || is_new {
+                        add(user, frame, f);
+                    }
+                }
+            }
+            LogEvent::Http(e) => {
+                // Visits and downloads are not considered (paper V-A3).
+                if e.activity == HttpActivity::Upload {
+                    if let Some(ft_idx) = upload_type_index(e.filetype) {
+                        let feature = 9 + ft_idx;
+                        let pair = (ft_idx as u8, e.domain.0);
+                        let is_new = !self.seen_http[user].contains(&pair);
+                        if is_new {
+                            add(user, frame, 15); // http.new-op
+                            today_http[user].insert(pair);
+                        }
+                        if self.semantics == CountSemantics::Plain || is_new {
+                            add(user, frame, feature);
+                        }
+                    }
+                }
+            }
+            // Email / logon / enterprise events carry no CERT features.
+            _ => {}
+        }
     }
 
     /// Processes one day of events and routes the measurements into
@@ -689,6 +867,114 @@ mod frame_tests {
         assert_eq!(a[0], 1.0); // connect counted
         assert_eq!(a[1], 0.0); // host 42 is no longer novel
         assert_eq!(restored.next_date(), day(3));
+    }
+
+    /// Pushing a day's events in any number of sub-batches then closing is
+    /// bit-identical to the one-shot `ingest_day` path — the tentpole
+    /// invariant the intra-day pipeline rests on.
+    #[test]
+    fn push_close_matches_one_shot_at_any_split() {
+        let mk_events = |d: Date, salt: u32| {
+            vec![
+                device(d, 7, 0, salt % 3),
+                device(d, 8, 0, salt % 3), // repeat: novel all day
+                upload(d, 9, 1, 100 + salt % 2, FileType::Doc),
+                upload(d, 10, 1, 100 + salt % 2, FileType::Doc),
+                file_op(d, 11, 0, salt % 4),
+                device(d, 21, 1, 9),
+            ]
+        };
+        for semantics in [CountSemantics::Plain, CountSemantics::NovelOnly] {
+            let mut one_shot = DayExtractor::new(2, day(1), semantics);
+            let reference: Vec<Vec<f32>> = (1..4u32)
+                .map(|d| one_shot.ingest_day(day(d), &mk_events(day(d), d)).unwrap())
+                .collect();
+            // Split points 0..=len, covering empty first and last batches.
+            for split in 0..=6usize {
+                let mut pushed = DayExtractor::new(2, day(1), semantics);
+                for d in 1..4u32 {
+                    let events = mk_events(day(d), d);
+                    pushed.push_events(day(d), &events[..split]).unwrap();
+                    assert_eq!(
+                        pushed.open_day().unwrap().events(),
+                        split as u64,
+                        "split {split} day {d}"
+                    );
+                    pushed.push_events(day(d), &events[split..]).unwrap();
+                    let partial = pushed.measurements_so_far().unwrap().to_vec();
+                    let closed = pushed.close_day().unwrap();
+                    assert_eq!(partial, closed, "final partial view is the closed day");
+                    assert_eq!(closed, reference[(d - 1) as usize], "split {split} day {d}");
+                }
+            }
+        }
+    }
+
+    /// A mid-day serde checkpoint of the extractor preserves the open day —
+    /// partial counts, novelty overlay and counters — exactly.
+    #[test]
+    fn open_day_serde_roundtrip_resumes_mid_day() {
+        let d = day(1);
+        let mut ex = DayExtractor::new(2, d, CountSemantics::Plain);
+        ex.push_events(d, &[device(d, 9, 0, 42), upload(d, 10, 1, 7, FileType::Zip)])
+            .unwrap();
+
+        let json = serde_json::to_string(&ex).unwrap();
+        let mut restored: DayExtractor = serde_json::from_str(&json).unwrap();
+        let open = restored.open_day().unwrap();
+        assert_eq!(open.date(), d);
+        assert_eq!(open.events(), 2);
+        assert_eq!(open.flushes(), 1);
+        assert_eq!(open.last_event_secs(), Some(d.at(10, 0, 0).secs()));
+
+        let tail = [device(d, 11, 0, 42), upload(d, 12, 1, 7, FileType::Zip)];
+        ex.push_events(d, &tail).unwrap();
+        restored.push_events(d, &tail).unwrap();
+        assert_eq!(ex.close_day(), restored.close_day());
+        assert_eq!(ex.next_date(), day(2));
+        assert_eq!(restored.next_date(), day(2));
+
+        // Pre-open-day sidecars (no `open` field) still deserialize.
+        let mut legacy: serde_json::Value = serde_json::from_str(&json).unwrap();
+        legacy.as_object_mut().unwrap().remove("open");
+        let legacy: DayExtractor = serde_json::from_value(legacy).unwrap();
+        assert!(legacy.open_day().is_none());
+    }
+
+    /// Pushes for the wrong day are rejected without disturbing the open day.
+    #[test]
+    fn push_events_rejects_wrong_day() {
+        let mut ex = DayExtractor::new(1, day(1), CountSemantics::Plain);
+        ex.push_events(day(1), &[device(day(1), 9, 0, 1)]).unwrap();
+        let err = ex.push_events(day(2), &[]).unwrap_err();
+        assert_eq!(err, ExtractError::OutOfOrder { expected: day(1), got: day(2) });
+        assert_eq!(ex.open_day().unwrap().events(), 1);
+        // Unknown users are rejected before any state changes too.
+        let err = ex.push_events(day(1), &[device(day(1), 9, 3, 1)]).unwrap_err();
+        assert_eq!(err, ExtractError::UnknownUser { user: 3, users: 1 });
+        assert_eq!(ex.open_day().unwrap().events(), 1);
+        // close with no open day after closing
+        ex.close_day().unwrap();
+        assert!(ex.close_day().is_none());
+    }
+
+    /// Lock test: the shared `event_slot` routing equals the historical
+    /// inline `(user().index(), ts().time_frame().index())` computation that
+    /// both the extractor and the ingest frontend used to carry separately.
+    #[test]
+    fn event_slot_matches_historical_inline_routing() {
+        let d = day(3);
+        for hour in 0..24 {
+            let events = [
+                device(d, hour, 2, 9),
+                upload(d, hour, 1, 5, FileType::Pdf),
+                file_op(d, hour, 0, 4),
+            ];
+            for e in &events {
+                let historical = (e.user().index(), e.ts().time_frame().index());
+                assert_eq!(event_slot(e), historical, "hour {hour}");
+            }
+        }
     }
 
     /// The bounded cube extractor and the day extractor agree value for value.

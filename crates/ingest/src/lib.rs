@@ -14,7 +14,9 @@
 //!    ([`rules::RuleSet`]) runs while the event is hot; hits aggregate per
 //!    `(user, rule, frame)` into the day batch.
 //! 4. **Route & batch** — parsed chunks are re-sequenced in input order and
-//!    grouped into per-day [`DayBatch`]es.
+//!    grouped into per-day [`DayBatch`]es; under a sub-day [`FlushCadence`]
+//!    the open day is additionally sliced into ordered [`PartialDay`]
+//!    flushes for intra-day provisional scoring.
 //! 5. **Back-pressure** — both the chunk and the result queues are bounded
 //!    (`queue_depth`), so a slow consumer (the engine) throttles the reader
 //!    instead of ballooning memory.
@@ -81,6 +83,11 @@ impl Default for IngestConfig {
 }
 
 /// One completed day of parsed events.
+///
+/// Under a sub-day [`FlushCadence`] the day's earlier events have already
+/// been forwarded as [`PartialDay`] slices, so `events` holds only the tail
+/// since the last flush; `rule_hits` always covers the whole day. With the
+/// default per-day cadence `events` is the complete day.
 #[derive(Debug, Clone)]
 pub struct DayBatch {
     /// The day every event in `events` falls on.
@@ -90,6 +97,40 @@ pub struct DayBatch {
     /// Inline-rule hits aggregated per `(user, rule, frame)`, sorted by
     /// `(user, rule index, frame)` for deterministic output.
     pub rule_hits: Vec<RuleHit>,
+}
+
+/// How often the open day is flushed to the consumer as [`PartialDay`]
+/// slices (intra-day scoring); the classic per-day batch is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushCadence {
+    /// Forward completed days only — no partial slices.
+    #[default]
+    PerDay,
+    /// Flush after every `n` buffered events of the open day (`n >= 1`;
+    /// `0` is treated as `1`).
+    Events(u64),
+    /// Flush when an event lands `m` minutes or more after the first event
+    /// of the current flush window (the crossing event is included in the
+    /// flushed slice; `0` is treated as `1`).
+    Minutes(u32),
+}
+
+/// A sub-day slice of the open day, emitted between flushes.
+///
+/// Slices arrive in input order and partition the day exactly: the
+/// concatenation of a day's `PartialDay.events` plus the closing
+/// [`DayBatch::events`] tail is byte-identical to the per-day batch the
+/// same stream produces under [`FlushCadence::PerDay`].
+#[derive(Debug, Clone)]
+pub struct PartialDay {
+    /// The still-open day every event in `events` falls on.
+    pub date: Date,
+    /// Events since the previous flush, in input order.
+    pub events: Vec<LogEvent>,
+    /// Cumulative events forwarded for the open day, including this slice.
+    pub events_so_far: u64,
+    /// 0-based flush index within the day.
+    pub flush: u32,
 }
 
 /// Volume and error accounting for one ingestion run.
@@ -111,6 +152,8 @@ pub struct IngestStats {
     pub error_samples: Vec<String>,
     /// Day batches emitted.
     pub days: u64,
+    /// Sub-day partial slices emitted (0 under [`FlushCadence::PerDay`]).
+    pub partial_flushes: u64,
     /// Total inline-rule hits.
     pub rule_hits: u64,
 }
@@ -247,31 +290,45 @@ fn preview_record(slice: &[u8]) -> String {
     s
 }
 
-/// Groups the ordered event stream into per-day batches.
+/// Groups the ordered event stream into per-day batches, optionally slicing
+/// the open day into [`PartialDay`] flushes on a [`FlushCadence`].
 struct DayBatcher {
     date: Option<Date>,
     events: Vec<LogEvent>,
     hits: HashMap<(u32, u8, u8), u32>,
+    cadence: FlushCadence,
+    /// Events already forwarded for the open day in partial slices.
+    forwarded: u64,
+    /// Partial flushes emitted for the open day.
+    flushes: u32,
+    /// Second-of-day of the first event in the current flush window.
+    window_start: Option<u32>,
 }
 
 impl DayBatcher {
-    fn new() -> Self {
+    fn new(cadence: FlushCadence) -> Self {
         DayBatcher {
             date: None,
             events: Vec::new(),
             hits: HashMap::new(),
+            cadence,
+            forwarded: 0,
+            flushes: 0,
+            window_start: None,
         }
     }
 
-    /// Adds one event (with the indices of its rule hits); returns the
-    /// previous day's completed batch when the date advances.
+    /// Adds one event (with the indices of its rule hits). Returns the
+    /// previous day's completed batch when the date advances, and/or a
+    /// partial slice of the open day when the cadence fires — in stream
+    /// order (the day close always precedes the partial).
     fn push<E>(
         &mut self,
         event: LogEvent,
         rule_indices: &[u8],
-    ) -> Result<Option<DayBatch>, IngestError<E>> {
+    ) -> Result<(Option<DayBatch>, Option<PartialDay>), IngestError<E>> {
         let date = event.ts().date();
-        let flushed = match self.date {
+        let closed = match self.date {
             Some(cur) if date == cur => None,
             Some(cur) if date > cur => Some(self.take_batch(cur)),
             Some(cur) => {
@@ -283,13 +340,42 @@ impl DayBatcher {
             None => None,
         };
         self.date = Some(date);
-        let user = event.user().0;
-        let frame = event.ts().time_frame().index() as u8;
+        let (user, frame) = acobe_features::cert::event_slot(&event);
+        let (user, frame) = (user as u32, frame as u8);
         for &r in rule_indices {
             *self.hits.entry((user, r, frame)).or_insert(0) += 1;
         }
+        let ts = event.ts();
+        if self.events.is_empty() {
+            self.window_start = Some(ts.hour() * 3600 + ts.minute() * 60 + ts.second());
+        }
         self.events.push(event);
-        Ok(flushed)
+        let fire = match self.cadence {
+            FlushCadence::PerDay => false,
+            FlushCadence::Events(n) => self.events.len() as u64 >= n.max(1),
+            FlushCadence::Minutes(m) => {
+                // Saturating: only day order is enforced, so an event may
+                // step backwards within the day without firing the window.
+                let now = ts.hour() * 3600 + ts.minute() * 60 + ts.second();
+                now.saturating_sub(self.window_start.expect("window start set")) >= m.max(1) * 60
+            }
+        };
+        let partial = fire.then(|| self.take_partial(date));
+        Ok((closed, partial))
+    }
+
+    /// Drains the buffered open-day events into a partial slice.
+    fn take_partial(&mut self, date: Date) -> PartialDay {
+        self.forwarded += self.events.len() as u64;
+        let slice = PartialDay {
+            date,
+            events: std::mem::take(&mut self.events),
+            events_so_far: self.forwarded,
+            flush: self.flushes,
+        };
+        self.flushes += 1;
+        self.window_start = None;
+        slice
     }
 
     /// Flushes the in-progress day, if any.
@@ -298,6 +384,9 @@ impl DayBatcher {
     }
 
     fn take_batch(&mut self, date: Date) -> DayBatch {
+        self.forwarded = 0;
+        self.flushes = 0;
+        self.window_start = None;
         let mut rule_hits: Vec<RuleHit> = self
             .hits
             .drain()
@@ -332,29 +421,71 @@ impl DayBatcher {
 pub fn ingest_events<R, E, F>(
     reader: R,
     config: &IngestConfig,
-    mut on_day: F,
+    on_day: F,
 ) -> Result<IngestStats, IngestError<E>>
 where
     R: Read + Send,
     E: Send,
     F: FnMut(DayBatch) -> Result<(), E>,
 {
+    ingest_events_flushed(reader, config, FlushCadence::PerDay, |_| Ok(()), on_day)
+}
+
+/// A day close or a sub-day partial slice, on its way to the consumer.
+enum BatchOut {
+    Day(DayBatch),
+    Partial(PartialDay),
+}
+
+/// [`ingest_events`] with a sub-day [`FlushCadence`]: `on_partial` receives
+/// each [`PartialDay`] slice of the open day as the cadence fires, and
+/// `on_day` each completed [`DayBatch`] (holding the since-last-flush tail
+/// plus the whole day's rule hits). Callbacks run on the calling thread in
+/// stream order, so intra-day event order is preserved: concatenating a
+/// day's slices and its tail reproduces the per-day batch exactly.
+///
+/// # Errors
+///
+/// Same contract as [`ingest_events`], with `on_partial` failures also
+/// surfacing as [`IngestError::Sink`].
+pub fn ingest_events_flushed<R, E, P, F>(
+    reader: R,
+    config: &IngestConfig,
+    cadence: FlushCadence,
+    mut on_partial: P,
+    mut on_day: F,
+) -> Result<IngestStats, IngestError<E>>
+where
+    R: Read + Send,
+    E: Send,
+    P: FnMut(PartialDay) -> Result<(), E>,
+    F: FnMut(DayBatch) -> Result<(), E>,
+{
     let _span = acobe_obs::span!("ingest");
     let mut stats = IngestStats::default();
-    let mut batcher = DayBatcher::new();
-    let mut sink = |batch: DayBatch, stats: &mut IngestStats| -> Result<(), IngestError<E>> {
-        stats.days += 1;
-        stats.rule_hits += batch
-            .rule_hits
-            .iter()
-            .map(|h| u64::from(h.count))
-            .sum::<u64>();
-        acobe_obs::counter("ingest/days").inc();
-        for h in &batch.rule_hits {
-            acobe_obs::counter_with("ingest/rule_hits", &[("rule", h.rule.name())])
-                .add(u64::from(h.count));
+    let mut batcher = DayBatcher::new(cadence);
+    let mut sink = |out: BatchOut, stats: &mut IngestStats| -> Result<(), IngestError<E>> {
+        match out {
+            BatchOut::Day(batch) => {
+                stats.days += 1;
+                stats.rule_hits += batch
+                    .rule_hits
+                    .iter()
+                    .map(|h| u64::from(h.count))
+                    .sum::<u64>();
+                acobe_obs::counter("ingest/days").inc();
+                for h in &batch.rule_hits {
+                    acobe_obs::counter_with("ingest/rule_hits", &[("rule", h.rule.name())])
+                        .add(u64::from(h.count));
+                }
+                on_day(batch).map_err(IngestError::Sink)
+            }
+            BatchOut::Partial(slice) => {
+                stats.partial_flushes += 1;
+                acobe_obs::counter("ingest/partial_flushes").inc();
+                on_partial(slice).map_err(IngestError::Sink)
+            }
         }
-        on_day(batch).map_err(IngestError::Sink)
     };
 
     if config.threads <= 1 {
@@ -371,7 +502,7 @@ where
     }
 
     if let Some(batch) = batcher.finish() {
-        sink(batch, &mut stats)?;
+        sink(BatchOut::Day(batch), &mut stats)?;
     }
     Ok(stats)
 }
@@ -382,7 +513,7 @@ fn consume_chunk<E>(
     config: &IngestConfig,
     stats: &mut IngestStats,
     batcher: &mut DayBatcher,
-    sink: &mut impl FnMut(DayBatch, &mut IngestStats) -> Result<(), IngestError<E>>,
+    sink: &mut impl FnMut(BatchOut, &mut IngestStats) -> Result<(), IngestError<E>>,
 ) -> Result<(), IngestError<E>> {
     stats.chunks += 1;
     stats.bytes += parsed.bytes as u64;
@@ -420,8 +551,12 @@ fn consume_chunk<E>(
                 break;
             }
         }
-        if let Some(batch) = batcher.push(event, &scratch)? {
-            sink(batch, stats)?;
+        let (closed, partial) = batcher.push(event, &scratch)?;
+        if let Some(batch) = closed {
+            sink(BatchOut::Day(batch), stats)?;
+        }
+        if let Some(slice) = partial {
+            sink(BatchOut::Partial(slice), stats)?;
         }
     }
     Ok(())
@@ -442,7 +577,7 @@ fn parallel_ingest<R, E>(
     config: &IngestConfig,
     stats: &mut IngestStats,
     batcher: &mut DayBatcher,
-    sink: &mut impl FnMut(DayBatch, &mut IngestStats) -> Result<(), IngestError<E>>,
+    sink: &mut impl FnMut(BatchOut, &mut IngestStats) -> Result<(), IngestError<E>>,
 ) -> Result<(), IngestError<E>>
 where
     R: Read + Send,
@@ -564,6 +699,28 @@ where
 {
     let file = std::fs::File::open(path)?;
     ingest_events(file, config, on_day)
+}
+
+/// [`ingest_events_flushed`] over a file path.
+///
+/// # Errors
+///
+/// Same contract as [`ingest_events_flushed`], with open failures as
+/// [`IngestError::Io`].
+pub fn ingest_file_flushed<E, P, F>(
+    path: &std::path::Path,
+    config: &IngestConfig,
+    cadence: FlushCadence,
+    on_partial: P,
+    on_day: F,
+) -> Result<IngestStats, IngestError<E>>
+where
+    E: Send,
+    P: FnMut(PartialDay) -> Result<(), E>,
+    F: FnMut(DayBatch) -> Result<(), E>,
+{
+    let file = std::fs::File::open(path)?;
+    ingest_events_flushed(file, config, cadence, on_partial, on_day)
 }
 
 #[cfg(test)]
@@ -727,6 +884,121 @@ mod tests {
         assert_eq!(hit.rule, Rule::OffHoursActivity);
         assert_eq!(hit.frame, 1);
         assert_eq!(hit.count, 2);
+    }
+
+    fn run_flushed(
+        text: &str,
+        config: &IngestConfig,
+        cadence: FlushCadence,
+    ) -> (Vec<PartialDay>, Vec<DayBatch>, IngestStats) {
+        let mut partials = Vec::new();
+        let mut days = Vec::new();
+        let stats = ingest_events_flushed::<_, std::convert::Infallible, _, _>(
+            Cursor::new(text.as_bytes().to_vec()),
+            config,
+            cadence,
+            |p| {
+                partials.push(p);
+                Ok(())
+            },
+            |b| {
+                days.push(b);
+                Ok(())
+            },
+        )
+        .unwrap();
+        (partials, days, stats)
+    }
+
+    #[test]
+    fn partial_slices_partition_each_day_exactly() {
+        let events: Vec<LogEvent> = (0..300)
+            .map(|i| event(4 + (i / 120) as u32, (i % 24) as u32, i % 5))
+            .collect();
+        let text = to_csv(&events);
+        let (daily, _) = run(&text, &IngestConfig::default());
+        for cadence in [
+            FlushCadence::Events(1),
+            FlushCadence::Events(7),
+            FlushCadence::Events(10_000), // never fires mid-day
+            FlushCadence::Minutes(1),
+            FlushCadence::Minutes(120),
+        ] {
+            for threads in [1, 4] {
+                let cfg = IngestConfig {
+                    threads,
+                    ..IngestConfig::default()
+                };
+                let (partials, days, stats) = run_flushed(&text, &cfg, cadence);
+                assert_eq!(days.len(), daily.len(), "{cadence:?}");
+                assert_eq!(stats.partial_flushes, partials.len() as u64);
+                for (tail, full) in days.iter().zip(&daily) {
+                    let slices: Vec<&PartialDay> =
+                        partials.iter().filter(|p| p.date == full.date).collect();
+                    // Slice indices are dense and the running count matches.
+                    let mut so_far = 0u64;
+                    for (i, slice) in slices.iter().enumerate() {
+                        assert_eq!(slice.flush, i as u32);
+                        so_far += slice.events.len() as u64;
+                        assert_eq!(slice.events_so_far, so_far);
+                        assert!(!slice.events.is_empty(), "empty partial slice");
+                    }
+                    // Concatenated slices + tail reproduce the daily batch.
+                    let mut joined: Vec<LogEvent> = Vec::new();
+                    for slice in &slices {
+                        joined.extend(slice.events.iter().cloned());
+                    }
+                    joined.extend(tail.events.iter().cloned());
+                    assert_eq!(joined, full.events, "{cadence:?} day {}", full.date);
+                    // Rule hits stay whole-day on the closing batch.
+                    assert_eq!(tail.rule_hits, full.rule_hits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_day_cadence_is_the_daily_path() {
+        let text = to_csv(&[event(4, 9, 0), event(4, 22, 1), event(5, 8, 0)]);
+        let (partials, days, stats) =
+            run_flushed(&text, &IngestConfig::default(), FlushCadence::PerDay);
+        assert!(partials.is_empty());
+        assert_eq!(stats.partial_flushes, 0);
+        let (daily, _) = run(&text, &IngestConfig::default());
+        assert_eq!(days.len(), daily.len());
+        for (a, b) in days.iter().zip(&daily) {
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn minutes_cadence_flushes_on_window_crossings() {
+        // Events at 09:00, 09:10, 09:40, 10:25 with a 30-minute window:
+        // the 09:40 event crosses the 09:00 window (flush of 3), then the
+        // 10:25 event starts and immediately sits alone in a fresh window.
+        let d = Date::from_ymd(2010, 1, 4);
+        let mk = |h: u32, m: u32| {
+            LogEvent::Device(DeviceEvent {
+                ts: d.at(h, m, 0),
+                user: UserId(0),
+                host: HostId(0),
+                activity: DeviceActivity::Connect,
+            })
+        };
+        let text = to_csv(&[mk(9, 0), mk(9, 10), mk(9, 40), mk(10, 25)]);
+        let (partials, days, _) = run_flushed(
+            &text,
+            &IngestConfig {
+                threads: 1,
+                ..IngestConfig::default()
+            },
+            FlushCadence::Minutes(30),
+        );
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0].events.len(), 3);
+        assert_eq!(partials[0].events_so_far, 3);
+        assert_eq!(days.len(), 1);
+        assert_eq!(days[0].events.len(), 1); // the 10:25 tail
     }
 
     #[test]

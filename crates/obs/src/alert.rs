@@ -160,6 +160,15 @@ pub enum AlertTrigger {
         /// The quarantine reason.
         reason: String,
     },
+    /// A mid-day provisional alert: the wrapped trigger would fire if the
+    /// open day closed with its current measurements. Confirmed or retracted
+    /// when the day actually closes; never written to the audit log.
+    Provisional {
+        /// The trigger that would fire at day close.
+        inner: Box<AlertTrigger>,
+        /// How many events the open day had accumulated when scored.
+        events: u64,
+    },
 }
 
 impl AlertTrigger {
@@ -171,6 +180,17 @@ impl AlertTrigger {
             AlertTrigger::RuleHit { .. } => "rule_hit",
             AlertTrigger::ScoreDrift { .. } => "score_drift",
             AlertTrigger::ShardDegraded { .. } => "shard_degraded",
+            AlertTrigger::Provisional { .. } => "provisional",
+        }
+    }
+
+    /// For provisional triggers, the kind of the wrapped trigger; otherwise
+    /// the trigger's own kind. Cooldown keys and confirm/retract matching use
+    /// this so the provisional wrapper never changes daily-path behavior.
+    pub fn inner_kind(&self) -> &'static str {
+        match self {
+            AlertTrigger::Provisional { inner, .. } => inner.inner_kind(),
+            other => other.kind(),
         }
     }
 }
@@ -190,6 +210,9 @@ impl fmt::Display for AlertTrigger {
             }
             AlertTrigger::ShardDegraded { shard, reason } => {
                 write!(f, "shard {shard} degraded: {reason}")
+            }
+            AlertTrigger::Provisional { inner, events } => {
+                write!(f, "provisional ({events} events): {inner}")
             }
         }
     }
@@ -426,6 +449,23 @@ mod tests {
         assert!(json.contains("\"severity\":\"high\""), "{json}");
         let back: Alert = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn provisional_triggers_wrap_and_roundtrip() {
+        let t = AlertTrigger::Provisional {
+            inner: Box::new(AlertTrigger::NewEntrant { position: 2 }),
+            events: 41,
+        };
+        assert_eq!(t.kind(), "provisional");
+        assert_eq!(t.inner_kind(), "new_entrant");
+        assert_eq!(AlertTrigger::RankJump { from: 9, to: 2 }.inner_kind(), "rank_jump");
+        assert_eq!(t.to_string(), "provisional (41 events): new entrant at position 2");
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"type\":\"provisional\""), "{json}");
+        assert!(json.contains("\"type\":\"new_entrant\""), "{json}");
+        let back: AlertTrigger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -435,11 +435,24 @@ pub struct HealthEventRecord {
     pub event: HealthEvent,
 }
 
+/// Intraday open-day progress: how much of the still-open day the stream
+/// has absorbed, surfaced on `/healthz` between sub-day flushes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenDayStatus {
+    /// The day being accumulated.
+    pub day: String,
+    /// Events absorbed into the open day so far.
+    pub events: u64,
+    /// Sub-day flushes absorbed so far.
+    pub flushes: u64,
+}
+
 #[derive(Debug, Default, Clone, Serialize)]
 struct BoardState {
     shards: Vec<ShardStatus>,
     last_ingested_day: Option<String>,
     last_scored_day: Option<String>,
+    open_day: Option<OpenDayStatus>,
     days_behind: Option<i64>,
     checkpoint_day: Option<String>,
     checkpoint_age_days: Option<i64>,
@@ -469,6 +482,17 @@ impl HealthBoard {
     /// Notes the most recently scored day.
     pub fn note_scored(&self, day: &str) {
         self.state.lock().last_scored_day = Some(day.to_string());
+    }
+
+    /// Notes the intraday open day's progress after a sub-day flush.
+    pub fn set_open_day(&self, day: &str, events: u64, flushes: u64) {
+        self.state.lock().open_day =
+            Some(OpenDayStatus { day: day.to_string(), events, flushes });
+    }
+
+    /// Clears the open-day block when the day closes.
+    pub fn clear_open_day(&self) {
+        self.state.lock().open_day = None;
     }
 
     /// Sets how many days the engine trails the end of the feed.
@@ -535,6 +559,7 @@ impl HealthBoard {
             shards: &'a [ShardStatus],
             last_ingested_day: &'a Option<String>,
             last_scored_day: &'a Option<String>,
+            open_day: &'a Option<OpenDayStatus>,
             days_behind: &'a Option<i64>,
             checkpoint_day: &'a Option<String>,
             checkpoint_age_days: &'a Option<i64>,
@@ -550,6 +575,7 @@ impl HealthBoard {
             shards: &state.shards,
             last_ingested_day: &state.last_ingested_day,
             last_scored_day: &state.last_scored_day,
+            open_day: &state.open_day,
             days_behind: &state.days_behind,
             checkpoint_day: &state.checkpoint_day,
             checkpoint_age_days: &state.checkpoint_age_days,
@@ -691,6 +717,7 @@ mod tests {
             ShardStatus { shard: 1, users: 12, live: false, error: Some("corrupt".into()) },
         ]);
         board.note_ingested("2020-02-01");
+        board.set_open_day("2020-02-02", 1234, 3);
         board.set_days_behind(3);
         board.set_checkpoint("2020-01-20", 12);
         board.set_checkpoint_artifact(4096, 3, "delta");
@@ -704,7 +731,14 @@ mod tests {
         assert_eq!(doc["shards"][1]["live"], false);
         assert_eq!(doc["shards"][1]["error"], "corrupt");
         assert_eq!(doc["last_ingested_day"], "2020-02-01");
+        assert_eq!(doc["open_day"]["day"], "2020-02-02");
+        assert_eq!(doc["open_day"]["events"], 1234);
+        assert_eq!(doc["open_day"]["flushes"], 3);
         assert_eq!(doc["days_behind"], 3);
+        board.clear_open_day();
+        let doc: serde_json::Value =
+            serde_json::from_str(&board.healthz_json()).unwrap();
+        assert!(doc["open_day"].is_null());
         assert_eq!(doc["checkpoint_age_days"], 12);
         assert_eq!(doc["checkpoint_bytes"], 4096);
         assert_eq!(doc["checkpoint_format"], 3);
