@@ -1,0 +1,461 @@
+//! Perf-regression gate over `BENCH_nn.json`.
+//!
+//! Diffs a freshly produced benchmark report against the committed
+//! baseline (`BENCH_baseline.json`), walking every numeric leaf and
+//! classifying it by name: `*_ms`/`secs`/`*_pct` are lower-is-better,
+//! `*_per_s`/`gflops`/`speedup*` are higher-is-better, byte footprints
+//! (`*_bytes`, `bytes_per_user`) are lower-is-better with a tighter
+//! tolerance, and workload descriptors (`users`, `days`, `threads`, …)
+//! are informational — a mismatch there means the two reports measured
+//! different workloads and the affected comparison is flagged, not gated.
+//!
+//! Exits nonzero when any gated metric is worse than its tolerance band,
+//! and appends one JSON line per run to `BENCH_history.jsonl` so the
+//! trajectory of every metric is queryable across commits.
+//!
+//! Usage: `cargo run --release -p acobe-bench --bin bench_gate --
+//!         [--baseline PATH] [--current PATH] [--tolerance PCT]
+//!         [--bytes-tolerance PCT] [--history PATH] [--no-history]
+//!         [--label TEXT] [--write-baseline]`
+
+use acobe_bench::{arg_value, parse_args};
+use serde_json::Value;
+
+/// What "worse" means for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Latency, wall time, overhead, footprint: growing is a regression.
+    LowerIsBetter,
+    /// Throughput, speedup, flops: shrinking is a regression.
+    HigherIsBetter,
+    /// Workload descriptor (`users`, `days`, `threads`): never gated, but a
+    /// mismatch invalidates the surrounding comparison.
+    Informational,
+}
+
+/// One metric compared across the two reports.
+#[derive(Debug)]
+struct MetricDiff {
+    path: String,
+    baseline: f64,
+    current: f64,
+    direction: Direction,
+    /// Percent worse in the metric's own direction (negative = improved).
+    worse_pct: f64,
+    tolerance_pct: f64,
+    regression: bool,
+}
+
+/// Full comparison of two benchmark reports.
+#[derive(Debug, Default)]
+struct Comparison {
+    diffs: Vec<MetricDiff>,
+    /// Informational leaves whose values differ: the workloads are not the
+    /// same shape and gated metrics around them are suspect.
+    shape_mismatches: Vec<String>,
+    /// Paths present only in the baseline (metric removed or shrunk run).
+    missing: Vec<String>,
+    /// Paths present only in the current report (new metric — not gated).
+    added: Vec<String>,
+}
+
+impl Comparison {
+    fn regressions(&self) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| d.regression).collect()
+    }
+}
+
+/// Collects every numeric leaf of a JSON value as `(dotted.path[i], f64)`.
+/// Booleans and strings (e.g. the `quick` flags, checkpoint format names)
+/// are skipped — they describe the run, they are not measurements.
+fn flatten(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                out.push((prefix.to_string(), f));
+            }
+        }
+        Value::Object(map) => {
+            for (key, child) in map {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(child, &path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(child, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Classifies a metric by the last segment of its dotted path.
+fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    if leaf.ends_with("_per_s")
+        || leaf.contains("gflops")
+        || leaf.contains("speedup")
+    {
+        Direction::HigherIsBetter
+    } else if leaf.ends_with("_ms")
+        || leaf == "secs"
+        || leaf.ends_with("_secs")
+        || leaf.ends_with("_pct")
+        || leaf.ends_with("_bytes")
+        || leaf == "bytes_per_user"
+        || leaf.ends_with("_loss")
+    {
+        Direction::LowerIsBetter
+    } else {
+        // users, days, threads, shards, epochs, m/k/n, bare `bytes`/`events`
+        // (ingest workload size), counts of scored days, …
+        Direction::Informational
+    }
+}
+
+/// The dotted path of the object containing a leaf (`a.b[0].mean_ms` →
+/// `a.b[0]`; a root-level leaf → `""`).
+fn parent_of(path: &str) -> &str {
+    path.rsplit_once('.').map_or("", |(parent, _)| parent)
+}
+
+/// Whether a lower-is-better metric is a byte footprint (deterministic, so
+/// it gets the tighter tolerance band).
+fn is_bytes_metric(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    leaf.ends_with("_bytes") || leaf == "bytes_per_user"
+}
+
+/// Diffs two reports. `tolerance_pct` bands timing/throughput metrics
+/// (noisy under CI load); `bytes_tolerance_pct` bands byte footprints.
+fn compare(
+    baseline: &Value,
+    current: &Value,
+    tolerance_pct: f64,
+    bytes_tolerance_pct: f64,
+) -> Comparison {
+    let mut base_leaves = Vec::new();
+    let mut cur_leaves = Vec::new();
+    flatten(baseline, "", &mut base_leaves);
+    flatten(current, "", &mut cur_leaves);
+    let cur_map: std::collections::BTreeMap<&str, f64> =
+        cur_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let base_paths: std::collections::BTreeSet<&str> =
+        base_leaves.iter().map(|(p, _)| p.as_str()).collect();
+
+    let mut out = Comparison::default();
+    // First pass: find informational leaves (workload descriptors) whose
+    // values differ. Metrics sharing a parent object with one measured a
+    // different workload — a quick run gated against a full baseline, a
+    // runner with a different core count — and must not be gated.
+    let mut mismatched_parents: std::collections::BTreeSet<String> =
+        std::collections::BTreeSet::new();
+    for (path, base) in &base_leaves {
+        let Some(&cur) = cur_map.get(path.as_str()) else { continue };
+        if direction(path) == Direction::Informational
+            && (base - cur).abs() > f64::EPSILON * base.abs().max(1.0)
+        {
+            out.shape_mismatches.push(format!("{path}: {base} vs {cur}"));
+            mismatched_parents.insert(parent_of(path).to_string());
+        }
+    }
+    for (path, base) in &base_leaves {
+        let Some(&cur) = cur_map.get(path.as_str()) else {
+            out.missing.push(path.clone());
+            continue;
+        };
+        let dir = direction(path);
+        if dir == Direction::Informational || mismatched_parents.contains(parent_of(path)) {
+            continue;
+        }
+        if *base == 0.0 {
+            // No meaningful percentage off a zero baseline; skip rather
+            // than divide. (Timing/throughput baselines are never zero in
+            // practice — this guards hand-edited fixtures.)
+            continue;
+        }
+        let delta_pct = (cur - base) / base * 100.0;
+        let worse_pct = match dir {
+            Direction::LowerIsBetter => delta_pct,
+            Direction::HigherIsBetter => -delta_pct,
+            Direction::Informational => unreachable!(),
+        };
+        let tolerance = if is_bytes_metric(path) {
+            bytes_tolerance_pct
+        } else {
+            tolerance_pct
+        };
+        out.diffs.push(MetricDiff {
+            path: path.clone(),
+            baseline: *base,
+            current: cur,
+            direction: dir,
+            worse_pct,
+            tolerance_pct: tolerance,
+            regression: worse_pct > tolerance,
+        });
+    }
+    for (path, _) in &cur_leaves {
+        if !base_paths.contains(path.as_str()) {
+            out.added.push(path.clone());
+        }
+    }
+    out
+}
+
+/// One JSON line for `BENCH_history.jsonl`: the run's label, wall-clock
+/// stamp, regression count, and every numeric leaf of the current report.
+fn history_line(label: &str, unix_secs: u64, current: &Value, regressions: usize) -> String {
+    let mut leaves = Vec::new();
+    flatten(current, "", &mut leaves);
+    let metrics: serde_json::Map<String, Value> = leaves
+        .into_iter()
+        .map(|(p, v)| (p, serde_json::json!(v)))
+        .collect();
+    serde_json::json!({
+        "label": label,
+        "unix_secs": unix_secs,
+        "regressions": regressions,
+        "metrics": metrics,
+    })
+    .to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args);
+    let default_baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let default_current = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    let default_history = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let baseline_path = arg_value(&parsed, "baseline").unwrap_or(default_baseline);
+    let current_path = arg_value(&parsed, "current").unwrap_or(default_current);
+    let history_path = arg_value(&parsed, "history").unwrap_or(default_history);
+    let tolerance: f64 = arg_value(&parsed, "tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a percentage"))
+        .unwrap_or(25.0);
+    let bytes_tolerance: f64 = arg_value(&parsed, "bytes-tolerance")
+        .map(|v| v.parse().expect("--bytes-tolerance takes a percentage"))
+        .unwrap_or(10.0);
+    let label = arg_value(&parsed, "label").unwrap_or("local").to_string();
+
+    let current: Value = serde_json::from_str(
+        &std::fs::read_to_string(current_path)
+            .unwrap_or_else(|e| panic!("read {current_path}: {e}")),
+    )
+    .expect("current report parses as JSON");
+
+    if arg_value(&parsed, "write-baseline").is_some() {
+        let pretty = serde_json::to_string_pretty(&current).expect("serialize");
+        std::fs::write(baseline_path, pretty + "\n")
+            .unwrap_or_else(|e| panic!("write {baseline_path}: {e}"));
+        println!("wrote {current_path} as the new baseline at {baseline_path}");
+        return;
+    }
+
+    let baseline: Value = serde_json::from_str(
+        &std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e} (bootstrap with --write-baseline)")),
+    )
+    .expect("baseline report parses as JSON");
+
+    let cmp = compare(&baseline, &current, tolerance, bytes_tolerance);
+    for note in &cmp.shape_mismatches {
+        println!("shape mismatch (comparison suspect): {note}");
+    }
+    if !cmp.missing.is_empty() {
+        println!("{} baseline metric(s) absent from the current report:", cmp.missing.len());
+        for path in cmp.missing.iter().take(8) {
+            println!("  - {path}");
+        }
+    }
+    if !cmp.added.is_empty() {
+        println!("{} new metric(s) not yet in the baseline (not gated)", cmp.added.len());
+    }
+
+    let mut ranked: Vec<&MetricDiff> = cmp.diffs.iter().collect();
+    ranked.sort_by(|a, b| b.worse_pct.partial_cmp(&a.worse_pct).unwrap());
+    println!(
+        "{} gated metrics (timing/throughput band ±{tolerance}%, bytes band ±{bytes_tolerance}%); \
+         largest moves:",
+        cmp.diffs.len()
+    );
+    for d in ranked.iter().take(12) {
+        let arrow = match d.direction {
+            Direction::LowerIsBetter => "lower=better",
+            Direction::HigherIsBetter => "higher=better",
+            Direction::Informational => "",
+        };
+        println!(
+            "  {:>+7.1}%  {} ({:.4} -> {:.4}, {arrow}){}",
+            d.worse_pct,
+            d.path,
+            d.baseline,
+            d.current,
+            if d.regression { "  REGRESSION" } else { "" }
+        );
+    }
+
+    let regressions = cmp.regressions();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if arg_value(&parsed, "no-history").is_none() {
+        let line = history_line(&label, unix_secs, &current, regressions.len());
+        let mut text = std::fs::read_to_string(history_path).unwrap_or_default();
+        text.push_str(&line);
+        text.push('\n');
+        std::fs::write(history_path, text)
+            .unwrap_or_else(|e| panic!("append {history_path}: {e}"));
+        println!("appended run '{label}' to {history_path}");
+    }
+
+    if regressions.is_empty() {
+        println!("bench gate: PASS ({} metrics within tolerance)", cmp.diffs.len());
+    } else {
+        println!("bench gate: FAIL — {} regression(s):", regressions.len());
+        for d in &regressions {
+            println!(
+                "  {}: {:.4} -> {:.4} ({:+.1}% worse, tolerance {}%)",
+                d.path, d.baseline, d.current, d.worse_pct, d.tolerance_pct
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample() -> Value {
+        json!({
+            "engine": {
+                "quick": true,
+                "warm_ingest": [
+                    {"users": 1000, "days": 8, "mean_ms": 10.0,
+                     "days_per_s": 100.0, "state_bytes": 4_000_000}
+                ],
+                "checkpoint": [
+                    {"users": 1000, "format": "v3", "full_save_ms": 50.0,
+                     "bytes_per_user": 120.5}
+                ]
+            },
+            "ingest": {"bytes": 1_000_000, "pipeline": [
+                {"threads": 4, "secs": 2.0, "events_per_s": 5e6, "speedup_vs_naive": 3.1}
+            ]}
+        })
+    }
+
+    #[test]
+    fn direction_heuristic_classifies_known_leaves() {
+        assert_eq!(direction("engine.warm_ingest[0].mean_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction("engine.warm_ingest[0].days_per_s"), Direction::HigherIsBetter);
+        assert_eq!(direction("ingest.pipeline[0].secs"), Direction::LowerIsBetter);
+        assert_eq!(direction("ingest.pipeline[0].gb_per_s"), Direction::HigherIsBetter);
+        assert_eq!(direction("ingest.pipeline[0].speedup_vs_naive"), Direction::HigherIsBetter);
+        assert_eq!(direction("matmul[2].gflops"), Direction::HigherIsBetter);
+        assert_eq!(direction("engine.intraday[0].overhead_pct"), Direction::LowerIsBetter);
+        assert_eq!(direction("engine.checkpoint[0].bytes_per_user"), Direction::LowerIsBetter);
+        assert_eq!(direction("engine.warm_ingest[0].state_bytes"), Direction::LowerIsBetter);
+        // Workload descriptors are informational, including the ingest
+        // corpus size whose leaf is a bare `bytes`.
+        assert_eq!(direction("engine.warm_ingest[0].users"), Direction::Informational);
+        assert_eq!(direction("ingest.bytes"), Direction::Informational);
+        assert_eq!(direction("threads"), Direction::Informational);
+    }
+
+    #[test]
+    fn synthetic_20pct_slowdown_fails_the_gate() {
+        let baseline = sample();
+        let mut current = sample();
+        // The acceptance scenario: one timing metric quietly 20% slower.
+        current["engine"]["warm_ingest"][0]["mean_ms"] = json!(12.0);
+        let cmp = compare(&baseline, &current, 10.0, 10.0);
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].path, "engine.warm_ingest[0].mean_ms");
+        assert!((regressions[0].worse_pct - 20.0).abs() < 1e-9);
+        // The same slowdown inside a generous band passes.
+        let lenient = compare(&baseline, &current, 25.0, 10.0);
+        assert!(lenient.regressions().is_empty());
+    }
+
+    #[test]
+    fn throughput_drop_is_a_regression_and_gain_is_not() {
+        let baseline = sample();
+        let mut current = sample();
+        current["ingest"]["pipeline"][0]["events_per_s"] = json!(3.5e6); // -30%
+        let cmp = compare(&baseline, &current, 25.0, 10.0);
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].path, "ingest.pipeline[0].events_per_s");
+
+        let mut faster = sample();
+        faster["ingest"]["pipeline"][0]["events_per_s"] = json!(9e6);
+        faster["engine"]["warm_ingest"][0]["mean_ms"] = json!(5.0);
+        assert!(compare(&baseline, &faster, 25.0, 10.0).regressions().is_empty());
+    }
+
+    #[test]
+    fn byte_footprints_use_the_tighter_band() {
+        let baseline = sample();
+        let mut current = sample();
+        // +15% state: inside the 25% timing band, outside the 10% bytes band.
+        current["engine"]["warm_ingest"][0]["state_bytes"] = json!(4_600_000);
+        let cmp = compare(&baseline, &current, 25.0, 10.0);
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].path, "engine.warm_ingest[0].state_bytes");
+    }
+
+    #[test]
+    fn workload_mismatch_ungates_its_sibling_metrics() {
+        let baseline = sample();
+        let mut current = sample();
+        // A different roster AND a huge slowdown in the same row: the row
+        // measured a different workload, so the slowdown must not gate …
+        current["engine"]["warm_ingest"][0]["users"] = json!(2000);
+        current["engine"]["warm_ingest"][0]["mean_ms"] = json!(30.0);
+        let cmp = compare(&baseline, &current, 25.0, 10.0);
+        assert!(cmp.regressions().is_empty(), "{:?}", cmp.regressions());
+        assert_eq!(cmp.shape_mismatches.len(), 1);
+        assert!(cmp.shape_mismatches[0].contains("users"), "{:?}", cmp.shape_mismatches);
+        // … while the same slowdown on a matching workload still does.
+        let mut slow = sample();
+        slow["engine"]["warm_ingest"][0]["mean_ms"] = json!(30.0);
+        assert_eq!(compare(&baseline, &slow, 25.0, 10.0).regressions().len(), 1);
+    }
+
+    #[test]
+    fn missing_and_added_paths_are_reported_not_gated() {
+        let baseline = sample();
+        let mut current = sample();
+        current["engine"]["tracing_overhead"] = json!({"overhead_pct": 1.5});
+        current["engine"]
+            .as_object_mut()
+            .unwrap()
+            .remove("checkpoint");
+        let cmp = compare(&baseline, &current, 25.0, 10.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.added.iter().any(|p| p.contains("tracing_overhead")));
+        assert!(cmp.missing.iter().any(|p| p.contains("checkpoint")));
+    }
+
+    #[test]
+    fn history_line_is_one_valid_json_object() {
+        let line = history_line("ci", 1_700_000_000, &sample(), 2);
+        assert!(!line.contains('\n'));
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back["label"], "ci");
+        assert_eq!(back["regressions"], 2);
+        assert_eq!(back["metrics"]["engine.warm_ingest[0].mean_ms"], 10.0);
+    }
+}

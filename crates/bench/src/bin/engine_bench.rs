@@ -104,6 +104,33 @@ struct CheckpointResult {
     delta_bytes: Option<u64>,
 }
 
+/// Cross-check of the memory-accounting plane ([`ShardedEngine::mem_report`])
+/// against the engine's own footprint measurement: the `acobe_state_bytes`
+/// gauges must sum to within a few percent of `state_bytes()` (they cover
+/// the same temporal state plus model weights, which warm-only engines
+/// don't carry).
+#[derive(Debug, Serialize)]
+struct MemAccountResult {
+    users: usize,
+    shards: usize,
+    state_bytes: usize,
+    accounted_bytes: usize,
+    /// |accounted - state| / state, in percent. Gate target: ≤ 10%.
+    delta_pct: f64,
+}
+
+/// Cost of trace-event capture on the hot ingest path: the same warm-day
+/// loop timed with the event sinks on (default) and off
+/// (`acobe_obs::event::set_capture(false)`). Gate target: ≤ 3% overhead.
+#[derive(Debug, Serialize)]
+struct TracingOverheadResult {
+    users: usize,
+    days: usize,
+    traced_mean_ms: f64,
+    untraced_mean_ms: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct EngineReport {
     quick: bool,
@@ -113,6 +140,8 @@ struct EngineReport {
     shard_user_state: Vec<PerUserState>,
     checkpoint: Vec<CheckpointResult>,
     intraday: Vec<IntradayResult>,
+    mem_account: MemAccountResult,
+    tracing_overhead: TracingOverheadResult,
 }
 
 fn stats(latencies_ms: &[f64]) -> (f64, f64, f64) {
@@ -479,6 +508,96 @@ fn bench_intraday(users: usize, flushes_per_day: usize, score_days: usize) -> In
     }
 }
 
+/// Builds a fast-config engine over a synthetic roster — the shared setup
+/// of the warm-ingest, mem-account, and tracing-overhead benches.
+fn build_warm_engine(users: usize) -> (DetectionEngine, usize) {
+    let feature_set = cert_feature_set();
+    let features = feature_set.len();
+    let frames = 2;
+    let group_size = (users / 4).max(1);
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let start = acobe_logs::time::Date::from_ymd(2010, 1, 1);
+    let engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+    (engine, users * frames * features)
+}
+
+/// Validates the memory-accounting plane: after a warm-up, the
+/// `acobe_state_bytes` subsystem gauges (from [`ShardedEngine::mem_report`])
+/// must sum to within a few percent of the engine's own `state_bytes()`.
+fn bench_mem_account(users: usize, shards: usize, warm_days: usize) -> MemAccountResult {
+    let (engine, width) = build_warm_engine(users);
+    let start = engine.next_date();
+    let mut engine = ShardedEngine::from_engine(engine, shards).expect("shard");
+    let mut day = vec![0.0f32; width];
+    for d in 0..warm_days {
+        for (i, v) in day.iter_mut().enumerate() {
+            *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
+        }
+        engine
+            .warm_day(start.add_days(d as i32), &day)
+            .expect("ingest");
+    }
+    let state_bytes = engine.state_bytes();
+    let accounted_bytes = engine.mem_report().total();
+    MemAccountResult {
+        users,
+        shards,
+        state_bytes,
+        accounted_bytes,
+        delta_pct: (accounted_bytes as f64 - state_bytes as f64).abs()
+            / state_bytes as f64
+            * 100.0,
+    }
+}
+
+/// Measures what trace-event capture costs on the hot path: two identical
+/// engines ingest the same days, one with the event sinks on and one with
+/// them off, interleaved per day so cache/thermal drift hits both equally.
+fn bench_tracing_overhead(users: usize, days: usize) -> TracingOverheadResult {
+    let (mut traced, width) = build_warm_engine(users);
+    let (mut untraced, _) = build_warm_engine(users);
+    let start = traced.next_date();
+    let mut day = vec![0.0f32; width];
+    let mut traced_ms = Vec::with_capacity(days);
+    let mut untraced_ms = Vec::with_capacity(days);
+    for d in 0..days {
+        for (i, v) in day.iter_mut().enumerate() {
+            *v = ((i * 31 + d * 7) % 13) as f32 * 0.5;
+        }
+        let date = start.add_days(d as i32);
+        acobe_obs::event::set_capture(true);
+        let t = Instant::now();
+        traced.warm_day(date, &day).expect("ingest");
+        traced_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        acobe_obs::event::set_capture(false);
+        let t = Instant::now();
+        untraced.warm_day(date, &day).expect("ingest");
+        untraced_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    acobe_obs::event::set_capture(true);
+    let (traced_mean_ms, _, _) = stats(&traced_ms);
+    let (untraced_mean_ms, _, _) = stats(&untraced_ms);
+    TracingOverheadResult {
+        users,
+        days,
+        traced_mean_ms,
+        untraced_mean_ms,
+        overhead_pct: 100.0 * (traced_mean_ms - untraced_mean_ms) / untraced_mean_ms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_args(&args);
@@ -599,6 +718,34 @@ fn main() {
         intraday.push(r);
     }
 
+    let mem_users = if quick { 1_000 } else { 10_000 };
+    let mem_account = bench_mem_account(mem_users, 4, if quick { 6 } else { 20 });
+    println!(
+        "mem account {} users / {} shards: state_bytes {} vs accounted {} ({:.2}% apart)",
+        mem_account.users,
+        mem_account.shards,
+        mem_account.state_bytes,
+        mem_account.accounted_bytes,
+        mem_account.delta_pct
+    );
+    assert!(
+        mem_account.delta_pct <= 10.0,
+        "mem accounting drifted {:.2}% from state_bytes — a MemReport subsystem is missing \
+         or double-counted",
+        mem_account.delta_pct
+    );
+
+    let tracing_overhead = bench_tracing_overhead(mem_users, if quick { 8 } else { 30 });
+    println!(
+        "tracing overhead {} users x {} days: traced {:.3} ms/day vs untraced {:.3} ms/day \
+         ({:+.2}%)",
+        tracing_overhead.users,
+        tracing_overhead.days,
+        tracing_overhead.traced_mean_ms,
+        tracing_overhead.untraced_mean_ms,
+        tracing_overhead.overhead_pct
+    );
+
     let report = EngineReport {
         quick,
         warm_ingest,
@@ -607,6 +754,8 @@ fn main() {
         shard_user_state,
         checkpoint,
         intraday,
+        mem_account,
+        tracing_overhead,
     };
     let mut root: serde_json::Value = std::fs::read_to_string(&out_path)
         .ok()

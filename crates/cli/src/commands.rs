@@ -297,6 +297,20 @@ fn print_provisional(p: &ProvisionalScores, victims: &HashSet<usize>, top: usize
     }
 }
 
+/// Publishes the day's memory accounting: the engine's per-shard state
+/// breakdown plus the extractor's novelty sets and the in-memory alert
+/// board, as `acobe_state_bytes{subsystem=…[,shard=…]}` gauges and the
+/// `/healthz` mem block.
+fn publish_mem(mut mem: acobe_obs::MemReport, extractor: &DayExtractor) {
+    mem.push("novelty", extractor.state_bytes());
+    mem.push(
+        "alert_board",
+        acobe_obs::MemAccount::mem_bytes(acobe_obs::alert::alerts()),
+    );
+    mem.publish();
+    acobe_obs::monitor::board().set_mem(mem);
+}
+
 /// Prints how the open day's provisional alerts fared once it closed:
 /// confirmed (naming the committed `al-` id) or retracted.
 fn print_resolutions(resolutions: &[ProvisionalResolution]) {
@@ -759,6 +773,7 @@ pub fn stream(args: &[String]) -> Result<(), CliError> {
         }
         streamed += 1;
         date = date.add_days(1);
+        publish_mem(engine.mem_report(), &extractor);
         let board = acobe_obs::monitor::board();
         board.set_days_behind(until.days_since(date).max(0) as i64);
         if let Some(base) = checkpoint_base {
@@ -1116,6 +1131,13 @@ impl IngestRun<'_> {
 
     /// Per-day telemetry updates, identical to the `stream` loop tail.
     fn after_day(&mut self) {
+        if let Some(engine) = self.engine.as_mut() {
+            let mut mem = engine.mem_report();
+            // The raw frontend adds its back-pressure buffer: report the
+            // run's high-water mark, since the queue drains between days.
+            mem.push("ingest_queue", acobe_ingest::queued_bytes_peak());
+            publish_mem(mem, &self.extractor);
+        }
         let date = self.cursor;
         let board = acobe_obs::monitor::board();
         board.set_days_behind(self.until.days_since(date).max(0) as i64);
@@ -1535,14 +1557,21 @@ pub fn alerts(args: &[String]) -> Result<(), CliError> {
                 None => None,
             };
             let since: u64 = num_arg(rest, "--since", 0)?;
-            let mut shown = 0usize;
-            for a in &current {
-                if a.seq < since
-                    || status.is_some_and(|s| a.status != s)
-                    || user.is_some_and(|u| a.user != Some(u))
-                {
-                    continue;
-                }
+            let selected: Vec<_> = current
+                .iter()
+                .filter(|a| {
+                    a.seq >= since
+                        && !status.is_some_and(|s| a.status != s)
+                        && !user.is_some_and(|u| a.user != Some(u))
+                })
+                .collect();
+            if flag(rest, "--json") {
+                // Machine-readable: the filtered alerts as one JSON array,
+                // transitions applied, nothing else on stdout.
+                println!("{}", serde_json::to_string_pretty(&selected)?);
+                return Ok(());
+            }
+            for a in &selected {
                 let who = match a.user {
                     Some(u) => format!("user {u}"),
                     None => "system".to_string(),
@@ -1555,9 +1584,8 @@ pub fn alerts(args: &[String]) -> Result<(), CliError> {
                     a.severity.as_str(),
                     a.trigger
                 );
-                shown += 1;
             }
-            println!("{shown} of {} alerts shown", current.len());
+            println!("{} of {} alerts shown", selected.len(), current.len());
             Ok(())
         }
         "show" => {
@@ -1678,5 +1706,86 @@ pub fn enterprise(args: &[String]) -> Result<(), CliError> {
         println!("  {date}: #{pos}{marker}");
     }
     println!("\nbest post-attack rank: #{best} of {users}");
+    Ok(())
+}
+
+/// `acobe trace`: work with trace-event streams written by `--trace-out`.
+pub fn trace(args: &[String]) -> Result<(), CliError> {
+    const USAGE: &str =
+        "usage: acobe trace export --in FILE [--out FILE] [--day YYYY-MM-DD] (try --help)";
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let rest = &args[1..];
+    match sub {
+        "export" => {
+            let input = arg(rest, "--in")
+                .ok_or_else(|| CliError::Usage("--in FILE is required".into()))?;
+            let events = acobe_obs::perfetto::parse_jsonl(&read_file(input)?)
+                .map_err(|e| CliError::Usage(format!("{input}: {e}")))?;
+            let selected = match arg(rest, "--day") {
+                Some(day) => {
+                    let subtree = acobe_obs::perfetto::day_subtree(&events, day);
+                    if subtree.is_empty() {
+                        acobe_obs::progress!("no spans tagged day={day} in {input}");
+                    }
+                    subtree
+                }
+                None => events,
+            };
+            let rendered = acobe_obs::perfetto::render(&selected);
+            match arg(rest, "--out") {
+                Some(out) => {
+                    write_file(out, &rendered)?;
+                    acobe_obs::progress!(
+                        "{} trace events exported to {out} (load it at ui.perfetto.dev)",
+                        selected.len()
+                    );
+                }
+                None => print!("{rendered}"),
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand '{other}' ({USAGE})"
+        ))),
+    }
+}
+
+/// `acobe mem`: the memory-accounting report for a saved stream checkpoint —
+/// the same `acobe_state_bytes` breakdown a live run publishes, computed
+/// offline by loading the checkpoint.
+pub fn mem(args: &[String]) -> Result<(), CliError> {
+    const USAGE: &str = "usage: acobe mem --checkpoint DIR [--json]";
+    let path = arg(args, "--checkpoint").ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    if !std::path::Path::new(path).is_dir() {
+        return Err(CliError::Usage(format!(
+            "{path} is not a checkpoint directory ({USAGE})"
+        )));
+    }
+    let sidecar = format!("{path}/stream.json");
+    let sm: StreamMeta = serde_json::from_str(&read_file(&sidecar)?)?;
+    let mut engine = ShardedEngine::load(path, 1)?;
+    for (i, e) in engine.quarantined() {
+        eprintln!("warning: shard {i} quarantined, not accounted: {e}");
+    }
+    let mut mem = engine.mem_report();
+    mem.push("novelty", sm.extractor.state_bytes());
+    if flag(args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&mem)?);
+    } else {
+        println!(
+            "memory accounting for checkpoint {path} ({} shards, next day {}):",
+            engine.shard_count(),
+            engine.next_date()
+        );
+        print!("{}", mem.table());
+        println!(
+            "(engine temporal state: {} bytes across {} users)",
+            engine.state_bytes(),
+            engine.users()
+        );
+    }
     Ok(())
 }

@@ -16,14 +16,32 @@ fn main() -> ExitCode {
     // Global observability flags, accepted anywhere on the command line.
     let verbose = take_flag(&mut args, "-v") || take_flag(&mut args, "--verbose");
     let quiet = take_flag(&mut args, "-q") || take_flag(&mut args, "--quiet");
-    let (metrics_out, trace_out, serve_addr) = match (
+    let (metrics_out, trace_out, serve_addr, trace_format) = match (
         take_arg(&mut args, "--metrics-out"),
         take_arg(&mut args, "--trace-out"),
         take_arg(&mut args, "--serve-metrics"),
+        take_arg(&mut args, "--trace-format"),
     ) {
-        (Ok(m), Ok(t), Ok(s)) => (m, t, s),
-        (Err(msg), _, _) | (_, Err(msg), _) | (_, _, Err(msg)) => {
+        (Ok(m), Ok(t), Ok(s), Ok(f)) => (m, t, s, f),
+        (Err(msg), _, _, _)
+        | (_, Err(msg), _, _)
+        | (_, _, Err(msg), _)
+        | (_, _, _, Err(msg)) => {
             eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace_chrome = match trace_format.as_deref() {
+        None | Some("jsonl") => false,
+        Some("chrome") => {
+            if trace_out.is_none() {
+                eprintln!("error: --trace-format chrome requires --trace-out FILE");
+                return ExitCode::from(2);
+            }
+            true
+        }
+        Some(other) => {
+            eprintln!("error: --trace-format must be jsonl or chrome, got '{other}'");
             return ExitCode::from(2);
         }
     };
@@ -64,6 +82,8 @@ fn main() -> ExitCode {
         Some("stream") => commands::stream(&args[1..]),
         Some("ingest") => commands::ingest(&args[1..]),
         Some("alerts") => commands::alerts(&args[1..]),
+        Some("trace") => commands::trace(&args[1..]),
+        Some("mem") => commands::mem(&args[1..]),
         Some("enterprise") => commands::enterprise(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print_help();
@@ -95,8 +115,22 @@ fn main() -> ExitCode {
         }
         acobe_obs::progress!("metrics written to {path}");
     }
-    if trace_out.is_some() {
+    if let Some(path) = &trace_out {
         acobe_obs::event::clear_trace_file();
+        if trace_chrome && result.is_ok() {
+            // Rewrite the JSONL stream as Chrome trace-event JSON in place —
+            // the file a browser (ui.perfetto.dev, chrome://tracing) loads
+            // directly. `acobe trace export` does the same offline.
+            match convert_trace(path) {
+                Ok(n) => acobe_obs::progress!(
+                    "trace {path} converted to Chrome JSON ({n} events; load it at ui.perfetto.dev)"
+                ),
+                Err(e) => {
+                    eprintln!("error: convert trace {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
     }
 
     match result {
@@ -106,6 +140,15 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Rewrites the JSONL trace stream at `path` as Chrome trace-event JSON,
+/// returning the number of events converted.
+fn convert_trace(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let events = acobe_obs::perfetto::parse_jsonl(&text)?;
+    std::fs::write(path, acobe_obs::perfetto::render(&events)).map_err(|e| e.to_string())?;
+    Ok(events.len())
 }
 
 /// Removes every occurrence of `key` from `args`, reporting whether any
@@ -238,15 +281,32 @@ USAGE:
         mid-day interrupt whose final checkpoint carries the open-day
         accumulator for --resume to continue from.
 
-    acobe alerts list --log FILE [--status S] [--user N] [--since SEQ]
+    acobe alerts list --log FILE [--status S] [--user N] [--since SEQ] [--json]
     acobe alerts show ID --log FILE
     acobe alerts ack ID --to STATUS [--note TEXT] --log FILE
         Inspect an alert audit log written by `acobe stream --alerts-log`.
         `list` prints current alerts (transitions applied) with optional
-        status/user/sequence filters; `show` dumps one alert with its full
-        evidence bundle as JSON; `ack` appends a lifecycle transition
-        (new -> investigating -> confirmed | false_positive -> resolved) to
-        the audit log, rejecting transitions the lifecycle does not allow.
+        status/user/sequence filters — `--json` emits the filtered alerts as
+        one machine-readable JSON array instead of the table; `show` dumps
+        one alert with its full evidence bundle as JSON; `ack` appends a
+        lifecycle transition (new -> investigating -> confirmed |
+        false_positive -> resolved) to the audit log, rejecting transitions
+        the lifecycle does not allow.
+
+    acobe trace export --in FILE [--out FILE] [--day YYYY-MM-DD]
+        Convert a JSONL trace stream written by --trace-out into Chrome
+        trace-event JSON (stdout, or --out FILE) that ui.perfetto.dev and
+        chrome://tracing load directly. --day exports only the span tree of
+        one ingested day (spans tagged day=YYYY-MM-DD and everything under
+        them).
+
+    acobe mem --checkpoint DIR [--json]
+        Report where a saved stream checkpoint's bytes live — rolling
+        deviation histories, matrix rings, baselines, score history and
+        model replicas per shard, plus the shared group state and the
+        extractor's novelty sets. The same breakdown a live run publishes as
+        acobe_state_bytes{subsystem=,shard=} gauges and in /healthz's mem
+        block; --json emits the raw entries.
 
     acobe enterprise [--attack zeus|ransomware] [--users N] [--seed N]
         Run the Section-VI case study end-to-end: synthesize the enterprise
@@ -265,13 +325,21 @@ GLOBAL OPTIONS (any command):
                          every ingested day.
     --serve-metrics ADDR Serve live telemetry over HTTP on ADDR (for example
                          127.0.0.1:9184; port 0 picks an ephemeral port):
-                         /metrics (Prometheus text exposition), /healthz
-                         (shard + stream status JSON), /events?n= (recent
-                         trace events as JSON lines), /alerts?since=&status=
-                         &user= (alerts raised this run, filtered, as JSON).
+                         /metrics (Prometheus text exposition, including
+                         process self-metrics and acobe_state_bytes memory
+                         gauges), /healthz (shard + stream status JSON with
+                         the mem block), /events?n= (recent trace events as
+                         JSON lines behind a meta line), /trace?day= (one
+                         day's span tree as Chrome trace-event JSON),
+                         /alerts?since=&status=&user= (alerts raised this
+                         run, filtered, as JSON).
     --trace-out FILE     Stream structured trace events (span enter/exit,
                          progress lines, health events) to FILE as JSON
                          lines, one event per line, flushed as they happen.
+    --trace-format F     jsonl (default) keeps --trace-out as the raw JSONL
+                         stream; chrome rewrites it on successful exit as
+                         Chrome trace-event JSON for ui.perfetto.dev /
+                         chrome://tracing (requires --trace-out).
 
 ENVIRONMENT:
     ACOBE_SERVE_ADDR_FILE

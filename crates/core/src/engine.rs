@@ -706,6 +706,45 @@ impl DetectionEngine {
         rolling + rings + baselines + history
     }
 
+    /// Itemizes the heap owners behind [`DetectionEngine::state_bytes`] into
+    /// a [`MemReport`](acobe_obs::MemReport), and adds the model bank
+    /// (parameters + gradients + optimizer buffers), which `state_bytes`
+    /// deliberately excludes. The `rolling`, `rings`, `baselines`, and
+    /// `scores` entries sum to exactly `state_bytes()`.
+    ///
+    /// Takes `&mut self` because walking the network's parameter tensors
+    /// does ([`acobe_nn::net::Sequential::visit_params`] hands out mutable
+    /// views); nothing is modified.
+    pub fn mem_report(&mut self) -> acobe_obs::MemReport {
+        let rolling = self.user_rolling.as_ref().map_or(0, |r| r.state_bytes())
+            + self.group_rolling.as_ref().map_or(0, |r| r.state_bytes());
+        let rings = self.user_ring.bytes() + self.group_ring.as_ref().map_or(0, |r| r.bytes());
+        let baselines: usize =
+            self.baselines.iter().map(|b| b.len() * std::mem::size_of::<f32>()).sum();
+        let history: usize = self
+            .score_history
+            .iter()
+            .flat_map(|d| d.scores.iter())
+            .map(|s| s.len() * std::mem::size_of::<f32>())
+            .sum();
+        let mut models = 0usize;
+        for model in &mut self.models {
+            let net = model.net_mut();
+            let params = net.param_count();
+            let mut buffers = 0usize;
+            net.visit_buffers(&mut |b| buffers += b.len());
+            // Every parameter carries a gradient slot of the same width.
+            models += (params * 2 + buffers) * std::mem::size_of::<f32>();
+        }
+        let mut report = acobe_obs::MemReport::new();
+        report.push("rolling", rolling);
+        report.push("rings", rings);
+        report.push("baselines", baselines);
+        report.push("scores", history);
+        report.push("models", models);
+        report
+    }
+
     /// Clears all temporal state (rolling histories, matrix rings, recent
     /// scores) and rewinds the stream to [`DetectionEngine::start`]. Trained
     /// models and calibration baselines are kept: the batch driver replays a
@@ -934,7 +973,10 @@ impl DetectionEngine {
     /// next day and [`AcobeError::WidthMismatch`] for a wrong-length slice;
     /// the engine state is unchanged on error.
     pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/warm_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/warm_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         self.absorb_day(date, measurements)?;
         // A warmed day closes without alert evaluation, so any provisional
@@ -958,7 +1000,10 @@ impl DetectionEngine {
         date: Date,
         measurements: &[f32],
     ) -> Result<Option<DayScores>, AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/ingest_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         self.absorb_day(date, measurements)?;
         let out = if self.models.is_empty() {
@@ -1024,7 +1069,10 @@ impl DetectionEngine {
         measurements: &[f32],
         events: u64,
     ) -> Result<Option<ProvisionalScores>, AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_partial");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/ingest_partial",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         if date != self.next_date {
             return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });

@@ -249,6 +249,13 @@ impl EngineShard {
     }
 
     fn state_bytes(&self) -> usize {
+        let (rolling, ring, baselines, history) = self.state_parts();
+        rolling + ring + baselines + history
+    }
+
+    /// [`Shard::state_bytes`] broken out as
+    /// `(rolling, ring, baselines, score history)`.
+    fn state_parts(&self) -> (usize, usize, usize, usize) {
         let rolling = self.rolling.as_ref().map_or(0, |r| r.state_bytes());
         let baselines: usize =
             self.baselines.iter().map(|b| b.len() * std::mem::size_of::<f32>()).sum();
@@ -258,7 +265,22 @@ impl EngineShard {
             .flat_map(|d| d.scores.iter())
             .map(|s| s.len() * std::mem::size_of::<f32>())
             .sum();
-        rolling + self.ring.bytes() + baselines + history
+        (rolling, self.ring.bytes(), baselines, history)
+    }
+
+    /// Heap bytes of this shard's model replicas (parameters + gradients +
+    /// optimizer buffers; `&mut` because the tensor walk hands out mutable
+    /// views).
+    fn model_bytes(&mut self) -> usize {
+        let mut bytes = 0usize;
+        for model in &mut self.models {
+            let net = model.net_mut();
+            let params = net.param_count();
+            let mut buffers = 0usize;
+            net.visit_buffers(&mut |b| buffers += b.len());
+            bytes += (params * 2 + buffers) * std::mem::size_of::<f32>();
+        }
+        bytes
     }
 }
 
@@ -741,7 +763,10 @@ impl ShardedEngine {
     /// Same contract as [`DetectionEngine::warm_day`], plus
     /// [`AcobeError::Shard`] when a shard's local phase fails.
     pub fn warm_day(&mut self, date: Date, measurements: &[f32]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/warm_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/warm_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         self.step(date, measurements, false)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -763,7 +788,10 @@ impl ShardedEngine {
         date: Date,
         measurements: &[f32],
     ) -> Result<Option<DayScores>, AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/ingest_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         let out = self.step(date, measurements, true)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -782,7 +810,10 @@ impl ShardedEngine {
     /// and a shard-wrapped [`AcobeError::WidthMismatch`] for a wrong-width
     /// slab.
     pub fn warm_day_slabs(&mut self, date: Date, slabs: &[Vec<f32>]) -> Result<(), AcobeError> {
-        let _span = acobe_obs::span!("engine/warm_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/warm_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         self.step_input(date, DayInput::Slabs(slabs), false)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -801,7 +832,10 @@ impl ShardedEngine {
         date: Date,
         slabs: &[Vec<f32>],
     ) -> Result<Option<DayScores>, AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_day");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/ingest_day",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         let out = self.step_input(date, DayInput::Slabs(slabs), true)?;
         acobe_obs::histogram("engine/ingest_ms", INGEST_EDGES)
@@ -889,7 +923,10 @@ impl ShardedEngine {
         measurements: &[f32],
         events: u64,
     ) -> Result<Option<ProvisionalScores>, AcobeError> {
-        let _span = acobe_obs::span!("engine/ingest_partial");
+        let _span = acobe_obs::SpanGuard::enter_tagged(
+            "engine/ingest_partial",
+            vec![("day".into(), date.to_string())],
+        );
         let t0 = Instant::now();
         if date != self.next_date {
             return Err(AcobeError::OutOfOrder { expected: self.next_date, got: date });
@@ -1126,6 +1163,30 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Itemizes every shard's heap owners — rolling histories, matrix
+    /// rings, calibration baselines, score history, model replicas — plus
+    /// the shared group state into a [`MemReport`](acobe_obs::MemReport).
+    /// The non-`models` entries sum to exactly
+    /// [`ShardedEngine::state_bytes`]; quarantined shards contribute no
+    /// rows. `&mut self` for the same reason as
+    /// [`DetectionEngine::mem_report`](crate::engine::DetectionEngine::mem_report).
+    pub fn mem_report(&mut self) -> acobe_obs::MemReport {
+        let mut report = acobe_obs::MemReport::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let ShardSlot::Live(shard) = slot else { continue };
+            let (rolling, ring, baselines, scores) = shard.state_parts();
+            report.push_shard("rolling", i, rolling);
+            report.push_shard("rings", i, ring);
+            report.push_shard("baselines", i, baselines);
+            report.push_shard("scores", i, scores);
+            report.push_shard("models", i, shard.model_bytes());
+        }
+        let group = self.group_rolling.as_ref().map_or(0, |r| r.state_bytes())
+            + self.group_ring.as_ref().map_or(0, |r| r.bytes());
+        report.push("group", group);
+        report
+    }
+
     /// The three-phase day step shared by warm-up and scoring.
     fn step(
         &mut self,
@@ -1183,6 +1244,10 @@ impl ShardedEngine {
         {
             let ctx = &ctx;
             let chunk = ctx.frames * ctx.features;
+            // Pool workers have their own span stacks; carry the caller's
+            // day span across so every shard span joins the same trace tree.
+            let trace_ctx = acobe_obs::TraceContext::current();
+            let trace_ctx = &trace_ctx;
             let jobs: Vec<acobe_nn::pool::Job<'_>> = self
                 .slots
                 .iter_mut()
@@ -1191,6 +1256,7 @@ impl ShardedEngine {
                 .filter_map(|(i, (slot, out))| {
                     let ShardSlot::Live(shard) = slot else { return None };
                     Some(Box::new(move || {
+                        let _ctx = trace_ctx.attach();
                         let _span = acobe_obs::span!("engine/shard_ingest", shard = i);
                         let t0 = Instant::now();
                         let gathered;
@@ -1269,12 +1335,15 @@ impl ShardedEngine {
                 let feature_set = &self.feature_set;
                 let config = &self.config;
                 let frames = self.frames;
+                let trace_ctx = acobe_obs::TraceContext::current();
+                let trace_ctx = &trace_ctx;
                 std::thread::scope(|scope| {
                     for (i, (slot, out)) in
                         self.slots.iter_mut().zip(finals.iter_mut()).enumerate()
                     {
                         let ShardSlot::Live(shard) = slot else { continue };
                         scope.spawn(move || {
+                            let _ctx = trace_ctx.attach();
                             let _span = acobe_obs::span!("engine/shard_finalize", shard = i);
                             let t0 = Instant::now();
                             let scores =

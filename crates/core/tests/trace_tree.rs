@@ -1,0 +1,156 @@
+//! End-to-end causal-tracing test: one day ingested through a K-shard
+//! [`ShardedEngine`] must leave exactly one connected, well-formed span
+//! tree in the trace stream — every per-shard phase span reaches the
+//! day-root span through its parent chain even though the phases run on
+//! pool workers — and that tree must export as valid Chrome/Perfetto
+//! trace-event JSON.
+
+use acobe::config::AcobeConfig;
+use acobe::engine::DetectionEngine;
+use acobe::shard::ShardedEngine;
+use acobe_features::spec::cert_feature_set;
+use acobe_logs::time::Date;
+use acobe_obs::event::{self, EventKind};
+use acobe_obs::perfetto;
+use acobe_obs::TraceEvent;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// Each case ingests a distinct date so its events are identifiable in the
+/// shared process-wide ring even when cases interleave.
+static NEXT_DAY: AtomicI32 = AtomicI32::new(0);
+
+/// Ingests one warm day through a freshly built K-shard engine and returns
+/// the day string plus the trace events belonging to that day's trace.
+fn ingest_one_day(users: usize, shards: usize) -> (String, Vec<TraceEvent>) {
+    let feature_set = cert_feature_set();
+    let frames = 2;
+    let features = feature_set.len();
+    let groups: Vec<Vec<usize>> = (0..users)
+        .collect::<Vec<_>>()
+        .chunks((users / 2).max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    let start =
+        Date::from_ymd(2010, 1, 1).add_days(NEXT_DAY.fetch_add(1, Ordering::Relaxed));
+    let engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+    let mut engine = ShardedEngine::from_engine(engine, shards).expect("shard");
+
+    let day: Vec<f32> = (0..users * frames * features)
+        .map(|i| ((i * 31) % 13) as f32 * 0.5)
+        .collect();
+    engine.warm_day(start, &day).expect("ingest");
+    let day_str = start.to_string();
+
+    let all = event::recent(usize::MAX);
+    let root = all
+        .iter()
+        .find(|e| {
+            e.kind == EventKind::SpanEnter
+                && e.name == "engine/warm_day"
+                && e.fields.iter().any(|(k, v)| k == "day" && v == &day_str)
+        })
+        .expect("day-root span enter still in the ring");
+    let trace = root.trace.expect("root span carries a trace id");
+    let ours: Vec<TraceEvent> =
+        all.into_iter().filter(|e| e.trace == Some(trace)).collect();
+    (day_str, ours)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any roster size and shard count, a warm day forms a single
+    /// connected span tree: one root, one `shard_ingest` span per shard
+    /// (each tagged with its shard index), no dangling parents, no cycles
+    /// — and the exported Chrome JSON passes the format checker.
+    #[test]
+    fn sharded_day_exports_one_well_formed_tree(
+        users in 8usize..=32,
+        shards in 2usize..=4,
+    ) {
+        let (day_str, ours) = ingest_one_day(users, shards);
+
+        let stats = perfetto::validate_span_tree(&ours)
+            .expect("day trace is a well-formed forest");
+        prop_assert_eq!(stats.roots, 1, "one day = one tree: {:?}", ours);
+
+        let shard_spans: Vec<&TraceEvent> = ours
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::SpanEnter && e.name.contains("shard_ingest")
+            })
+            .collect();
+        prop_assert_eq!(shard_spans.len(), shards);
+        let mut shard_tags: Vec<String> = shard_spans
+            .iter()
+            .filter_map(|e| {
+                e.fields.iter().find(|(k, _)| k == "shard").map(|(_, v)| v.clone())
+            })
+            .collect();
+        shard_tags.sort();
+        shard_tags.dedup();
+        prop_assert_eq!(shard_tags.len(), shards, "every shard span tags its index");
+
+        // The day's subtree selector recovers the whole tree from the root
+        // tag alone — nothing in this trace is orphaned outside it.
+        let subtree = perfetto::day_subtree(&ours, &day_str);
+        let enters = |evs: &[TraceEvent]| {
+            evs.iter().filter(|e| e.kind == EventKind::SpanEnter).count()
+        };
+        prop_assert_eq!(enters(&subtree), enters(&ours));
+
+        // And the export is Perfetto-loadable.
+        let text = perfetto::render(&subtree);
+        let checked = perfetto::validate(&text).expect("export validates");
+        prop_assert!(checked >= 1 + shards);
+    }
+}
+
+/// Two consecutive days produce two disjoint trees: the day filter on one
+/// date never captures the other day's spans.
+#[test]
+fn consecutive_days_are_separate_trees() {
+    let users = 12;
+    let feature_set = cert_feature_set();
+    let frames = 2;
+    let features = feature_set.len();
+    let groups = vec![(0..users).collect::<Vec<_>>()];
+    let start = Date::from_ymd(2031, 6, 1);
+    let engine = DetectionEngine::new(
+        users,
+        frames,
+        start,
+        feature_set,
+        &groups,
+        AcobeConfig::fast(),
+    )
+    .expect("engine");
+    let mut engine = ShardedEngine::from_engine(engine, 2).expect("shard");
+    let day: Vec<f32> = (0..users * frames * features).map(|i| (i % 7) as f32).collect();
+    engine.warm_day(start, &day).expect("day 1");
+    engine.warm_day(start.add_days(1), &day).expect("day 2");
+
+    let all = event::recent(usize::MAX);
+    let first = perfetto::day_subtree(&all, &start.to_string());
+    let second = perfetto::day_subtree(&all, &start.add_days(1).to_string());
+    assert!(!first.is_empty() && !second.is_empty());
+    let first_ids: std::collections::BTreeSet<u64> = first.iter().map(|e| e.id).collect();
+    assert!(
+        second.iter().all(|e| !first_ids.contains(&e.id)),
+        "day subtrees overlap"
+    );
+    // Each day's tree carries its own trace id throughout.
+    for tree in [&first, &second] {
+        let trace = tree[0].trace.expect("rooted");
+        assert!(tree.iter().all(|e| e.trace == Some(trace)));
+    }
+}

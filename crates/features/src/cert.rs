@@ -443,6 +443,42 @@ impl DayExtractor {
         let day = self.ingest_day(date, events)?;
         Ok(route_day_slabs(&day, self.users, self.features, assign, shards))
     }
+
+    /// Approximate heap footprint of the novelty state — the per-user
+    /// first-seen sets plus the open day's accumulator, if one is open — in
+    /// bytes. This is the memory that grows with stream lifetime (first-seen
+    /// sets only ever gain members), so it is the number worth watching.
+    pub fn state_bytes(&self) -> usize {
+        seen_set_bytes(&self.seen_hosts)
+            + seen_set_bytes(&self.seen_file)
+            + seen_set_bytes(&self.seen_http)
+            + self.open.as_ref().map_or(0, |o| o.state_bytes())
+    }
+}
+
+impl acobe_obs::MemAccount for DayExtractor {
+    fn mem_bytes(&self) -> usize {
+        self.state_bytes()
+    }
+}
+
+impl OpenDay {
+    /// Approximate heap footprint of the open day's accumulator, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.day.capacity() * std::mem::size_of::<f32>()
+            + seen_set_bytes(&self.today_hosts)
+            + seen_set_bytes(&self.today_file)
+            + seen_set_bytes(&self.today_http)
+    }
+}
+
+/// Approximate heap bytes of a per-user vector of hash sets: allocated
+/// slots (element + one control byte each, hashbrown's layout) plus the
+/// set headers themselves.
+fn seen_set_bytes<T>(sets: &[HashSet<T>]) -> usize {
+    let slots: usize =
+        sets.iter().map(|s| s.capacity() * (std::mem::size_of::<T>() + 1)).sum();
+    slots + sets.len() * std::mem::size_of::<HashSet<T>>()
 }
 
 /// Routes one flat day vector (`[user][frame][feature]`, as produced by
@@ -653,6 +689,21 @@ mod tests {
             from: Location::Local,
             to: Location::Remote,
         })
+    }
+
+    #[test]
+    fn novelty_state_bytes_grow_with_first_seen_sets() {
+        let mut ex = DayExtractor::new(2, day(1), CountSemantics::Plain);
+        let empty = ex.state_bytes();
+        let events: Vec<LogEvent> =
+            (0..64).map(|h| device(day(1), 9, 0, h)).collect();
+        ex.ingest_day(day(1), &events).unwrap();
+        assert!(ex.state_bytes() > empty, "{} vs {empty}", ex.state_bytes());
+        // An open day adds its accumulator on top of the first-seen sets.
+        let closed = ex.state_bytes();
+        ex.push_events(day(2), &[device(day(2), 9, 0, 200)]).unwrap();
+        assert!(ex.state_bytes() > closed);
+        assert_eq!(acobe_obs::MemAccount::mem_bytes(&ex), ex.state_bytes());
     }
 
     #[test]

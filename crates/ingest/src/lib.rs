@@ -44,8 +44,26 @@ pub use rules::{Rule, RuleHit, RuleSet};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io::Read;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Bytes currently sitting in the bounded reader→worker chunk queue, and
+/// the run's high-water mark. The current figure backs the live
+/// `acobe_state_bytes{subsystem="ingest_queue"}` gauge; the peak is what
+/// `acobe mem` reports, since the queue is drained at day boundaries.
+static QUEUED_BYTES: AtomicUsize = AtomicUsize::new(0);
+static QUEUED_BYTES_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Bytes currently buffered in the reader→worker chunk queue (the
+/// pipeline's back-pressure buffer). Zero outside a parallel ingest run.
+pub fn queued_bytes() -> usize {
+    QUEUED_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`queued_bytes`] across all ingest runs so far.
+pub fn queued_bytes_peak() -> usize {
+    QUEUED_BYTES_PEAK.load(Ordering::Relaxed)
+}
 use std::time::Instant;
 
 /// Maximum number of malformed-record samples retained in [`IngestStats`].
@@ -590,6 +608,10 @@ where
     let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
     let chunk_bytes = config.chunk_bytes;
+    // Reader and workers get fresh span stacks; carry the caller's span
+    // (the day/ingest root) across so the whole pipeline is one trace tree.
+    let trace_ctx = acobe_obs::TraceContext::current();
+    let trace_ctx = &trace_ctx;
 
     let result = std::thread::scope(|scope| {
         // Reader: cut the stream on record boundaries; owns chunk_tx.
@@ -597,14 +619,28 @@ where
             let io_error = &io_error;
             let abort = &abort;
             scope.spawn(move || {
+                let _ctx = trace_ctx.attach();
+                let _span = acobe_obs::span!("ingest/read");
                 let mut chunks = ChunkReader::new(reader, chunk_bytes);
                 let mut index = 0u64;
                 while !abort.load(Ordering::Relaxed) {
                     match chunks.next_chunk() {
                         Ok(Some(chunk)) => {
+                            // Account before send: a worker may pull (and
+                            // decrement) the chunk the instant it lands.
+                            let bytes = chunk.len();
+                            let queued =
+                                QUEUED_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                            QUEUED_BYTES_PEAK.fetch_max(queued, Ordering::Relaxed);
                             if chunk_tx.send((index, chunk)).is_err() {
+                                QUEUED_BYTES.fetch_sub(bytes, Ordering::Relaxed);
                                 break; // all workers gone
                             }
+                            acobe_obs::gauge_with(
+                                "acobe_state_bytes",
+                                &[("subsystem", "ingest_queue")],
+                            )
+                            .set(QUEUED_BYTES.load(Ordering::Relaxed) as f64);
                             index += 1;
                         }
                         Ok(None) => break,
@@ -625,6 +661,7 @@ where
             let rules = &config.rules;
             let abort = &abort;
             scope.spawn(move || {
+                let _ctx = trace_ctx.attach();
                 let mut buf = RecordBuf::new();
                 let mut scratch = Vec::new();
                 loop {
@@ -636,11 +673,16 @@ where
                         Ok(pair) => pair,
                         Err(_) => break, // reader done
                     };
+                    QUEUED_BYTES.fetch_sub(chunk.len(), Ordering::Relaxed);
                     // Drain mode: keep the pipeline moving without the
                     // parse cost once the collector has failed.
                     let parsed = if abort.load(Ordering::Relaxed) {
                         ParsedChunk::default()
                     } else {
+                        let _span = acobe_obs::SpanGuard::enter_tagged(
+                            "ingest/parse_chunk",
+                            vec![("chunk".into(), index.to_string())],
+                        );
                         parse_chunk(&chunk, rules, &mut buf, &mut scratch)
                     };
                     if tx.send((index, parsed)).is_err() {
@@ -672,6 +714,10 @@ where
         }
         result
     });
+    // The queue drained with the scope; leave the gauge at the true figure
+    // rather than the last mid-run sample.
+    acobe_obs::gauge_with("acobe_state_bytes", &[("subsystem", "ingest_queue")])
+        .set(QUEUED_BYTES.load(Ordering::Relaxed) as f64);
     // An I/O failure surfaces after the queues drain so already-parsed
     // chunks are still accounted; pipeline errors take precedence.
     if result.is_ok() {
@@ -884,6 +930,61 @@ mod tests {
         assert_eq!(hit.rule, Rule::OffHoursActivity);
         assert_eq!(hit.frame, 1);
         assert_eq!(hit.count, 2);
+    }
+
+    #[test]
+    fn parallel_pipeline_joins_one_trace_and_drains_the_queue() {
+        let events: Vec<LogEvent> = (0..600)
+            .map(|i| event(4 + (i / 300) as u32, (i % 24) as u32, i % 7))
+            .collect();
+        let text = to_csv(&events);
+        let cfg = IngestConfig { threads: 2, chunk_bytes: 2048, ..IngestConfig::default() };
+        let (root_id, root_trace) = {
+            let root = acobe_obs::SpanGuard::enter("ingest_trace_test_root");
+            let (days, result) = run(&text, &cfg);
+            result.unwrap();
+            assert!(!days.is_empty());
+            (root.enter_id(), root.trace_id())
+        };
+        let recent = acobe_obs::event::recent(usize::MAX);
+        // Filter to this test's trace: other tests run concurrently with
+        // their own trace ids, so ours are unambiguous.
+        let ours: Vec<_> =
+            recent.iter().filter(|e| e.trace == Some(root_trace)).collect();
+        let reads = ours.iter().filter(|e| {
+            e.kind == acobe_obs::EventKind::SpanEnter && e.name.ends_with("ingest/read")
+        });
+        assert_eq!(reads.count(), 1, "reader span joins the caller's trace");
+        let parses: Vec<_> = ours
+            .iter()
+            .filter(|e| {
+                e.kind == acobe_obs::EventKind::SpanEnter
+                    && e.name.ends_with("ingest/parse_chunk")
+            })
+            .collect();
+        assert!(parses.len() >= 2, "expected several chunks, got {}", parses.len());
+        // Every chunk span's ancestor chain must reach the test root — the
+        // pipeline hop (caller → worker thread) must not break the tree.
+        for enter in &parses {
+            assert!(
+                enter.fields.iter().any(|(k, _)| k == "chunk"),
+                "chunk index tag missing: {:?}",
+                enter.fields
+            );
+            let mut at = enter.parent;
+            let mut hops = 0;
+            while let Some(id) = at {
+                if id == root_id {
+                    break;
+                }
+                at = ours.iter().find(|e| e.id == id).and_then(|e| e.parent);
+                hops += 1;
+                assert!(hops < 16, "runaway ancestor chain from {}", enter.id);
+            }
+            assert_eq!(at, Some(root_id), "chunk span disconnected from the root");
+        }
+        assert_eq!(queued_bytes(), 0, "queue drains with the pipeline");
+        assert!(queued_bytes_peak() > 0, "back-pressure buffer saw traffic");
     }
 
     fn run_flushed(

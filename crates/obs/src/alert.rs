@@ -378,6 +378,27 @@ impl AlertBoard {
     }
 }
 
+impl crate::mem::MemAccount for AlertBoard {
+    /// Approximate heap footprint of the in-memory alert ring: the ring's
+    /// slot array plus each alert's owned strings and evidence payload
+    /// (serialized size as a proxy for the nested evidence structs).
+    fn mem_bytes(&self) -> usize {
+        let ring = self.ring.lock();
+        let slots = ring.capacity() * std::mem::size_of::<Alert>();
+        let owned: usize = ring
+            .iter()
+            .map(|a| {
+                a.id.capacity()
+                    + a.day.capacity()
+                    + a.evidence
+                        .as_ref()
+                        .map_or(0, |e| serde_json::to_string(e).map_or(0, |s| s.len()))
+            })
+            .sum();
+        slots + owned
+    }
+}
+
 /// The process-wide [`AlertBoard`] behind `/alerts`.
 pub fn alerts() -> &'static AlertBoard {
     static BOARD: OnceLock<AlertBoard> = OnceLock::new();

@@ -51,6 +51,17 @@ pub struct TraceEvent {
     /// events, the id of the innermost open span on the emitting thread.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub parent: Option<u64>,
+    /// The trace (span tree) this event belongs to. Allocated when a root
+    /// span opens with no enclosing span and no attached
+    /// [`TraceContext`](crate::span::TraceContext); inherited by everything
+    /// underneath, including spans opened on worker threads under an
+    /// attached context. `None` for events outside any span.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<u64>,
+    /// Process-local numeric id (1-based, in order of first event) of the
+    /// thread that emitted the event.
+    #[serde(default)]
+    pub tid: u64,
     /// Milliseconds since the first event of the process.
     pub t_ms: f64,
     /// Event kind.
@@ -87,7 +98,49 @@ fn t_ms() -> f64 {
     crate::progress::process_start().elapsed().as_secs_f64() * 1e3
 }
 
-/// Records one event, returning its id.
+/// Trace-event capture switch (default on). See [`set_capture`].
+static CAPTURE: AtomicBool = AtomicBool::new(true);
+
+/// Turns trace-event capture on or off, returning the previous setting.
+///
+/// With capture off, [`record_traced`] still allocates ids — span parent
+/// links stay consistent across the gap — but skips the ring and file
+/// sinks. This is the knob `engine_bench` flips to measure the overhead
+/// of tracing itself against an otherwise identical ingest loop.
+pub fn set_capture(enabled: bool) -> bool {
+    CAPTURE.swap(enabled, Ordering::Relaxed)
+}
+
+/// Whether trace-event capture is currently enabled.
+pub fn capture_enabled() -> bool {
+    CAPTURE.load(Ordering::Relaxed)
+}
+
+/// Events dropped from the in-memory ring because it wrapped. Mirrored by
+/// the `obs/trace_dropped_total` counter in `/metrics` and reported in the
+/// `/events` meta line — a non-zero value means the ring view is a suffix
+/// of the full trace (use `--trace-out` for everything).
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events dropped from the ring since process start.
+pub fn dropped_total() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Process-local numeric id of the calling thread (1-based, assigned on the
+/// thread's first event). Gives trace exporters a stable per-thread track
+/// without relying on OS thread ids.
+pub fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed) + 1;
+    }
+    TID.with(|t| *t)
+}
+
+/// Records one event, returning its id. The event's trace id is taken from
+/// the calling thread's innermost open span (see
+/// [`record_traced`] to pass one explicitly).
 pub fn record(
     kind: EventKind,
     name: &str,
@@ -95,10 +148,34 @@ pub fn record(
     elapsed_ms: Option<f64>,
     fields: Vec<(String, String)>,
 ) -> u64 {
+    record_traced(kind, name, parent, crate::span::current_trace_id(), elapsed_ms, fields)
+}
+
+/// Records one event with an explicit trace id, returning its event id.
+pub fn record_traced(
+    kind: EventKind,
+    name: &str,
+    parent: Option<u64>,
+    trace: Option<u64>,
+    elapsed_ms: Option<f64>,
+    fields: Vec<(String, String)>,
+) -> u64 {
     let log = log();
     let id = log.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-    let event =
-        TraceEvent { id, parent, t_ms: t_ms(), kind, name: name.to_string(), elapsed_ms, fields };
+    if !CAPTURE.load(Ordering::Relaxed) {
+        return id;
+    }
+    let event = TraceEvent {
+        id,
+        parent,
+        trace,
+        tid: current_tid(),
+        t_ms: t_ms(),
+        kind,
+        name: name.to_string(),
+        elapsed_ms,
+        fields,
+    };
 
     if log.file_active.load(Ordering::Relaxed) {
         if let Some(w) = log.writer.lock().as_mut() {
@@ -112,6 +189,8 @@ pub fn record(
     let mut ring = log.ring.lock();
     if ring.len() >= RING_CAPACITY {
         ring.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        crate::counter("obs/trace_dropped_total").inc();
     }
     ring.push_back(event);
     id
@@ -198,6 +277,8 @@ mod tests {
         let event = TraceEvent {
             id: 7,
             parent: Some(3),
+            trace: Some(1),
+            tid: 2,
             t_ms: 12.5,
             kind: EventKind::SpanExit,
             name: "engine/ingest_day".into(),
@@ -208,6 +289,54 @@ mod tests {
         assert!(line.contains("\"kind\":\"span_exit\""), "{line}");
         let back: TraceEvent = serde_json::from_str(&line).unwrap();
         assert_eq!(back, event);
+    }
+
+    #[test]
+    fn pre_trace_jsonl_still_deserializes() {
+        // Trace files written before the `trace`/`tid` fields existed must
+        // keep loading (e.g. through `acobe trace export`).
+        let line = r#"{"id":7,"parent":3,"t_ms":12.5,"kind":"span_exit",
+            "name":"engine/ingest_day","elapsed_ms":4.25}"#;
+        let back: TraceEvent = serde_json::from_str(line).unwrap();
+        assert_eq!(back.trace, None);
+        assert_eq!(back.tid, 0);
+        assert_eq!(back.parent, Some(3));
+    }
+
+    #[test]
+    fn ring_wrap_counts_dropped_events() {
+        let _guard = test_guard();
+        // Fill the ring, then overflow it by a known amount: the drop
+        // counter must advance by exactly the overflow.
+        for i in 0..RING_CAPACITY {
+            record(EventKind::Note, &format!("fill{i}"), None, None, vec![]);
+        }
+        let before = dropped_total();
+        let counter_before = crate::counter("obs/trace_dropped_total").get();
+        const OVERFLOW: usize = 37;
+        for i in 0..OVERFLOW {
+            record(EventKind::Note, &format!("spill{i}"), None, None, vec![]);
+        }
+        assert_eq!(dropped_total() - before, OVERFLOW as u64);
+        assert_eq!(
+            crate::counter("obs/trace_dropped_total").get() - counter_before,
+            OVERFLOW as u64
+        );
+        assert_eq!(recent(usize::MAX).len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn capture_off_skips_sinks_but_keeps_ids_monotonic() {
+        let _guard = test_guard();
+        let before = record(EventKind::Note, "pre_gate", None, None, vec![]);
+        assert!(set_capture(false));
+        let gated = record(EventKind::Note, "gated_probe", None, None, vec![]);
+        set_capture(true);
+        let after = record(EventKind::Note, "post_gate", None, None, vec![]);
+        assert!(before < gated && gated < after, "ids keep advancing");
+        let names: Vec<String> = recent(usize::MAX).iter().map(|e| e.name.clone()).collect();
+        assert!(!names.iter().any(|n| n == "gated_probe"), "gated event reached the ring");
+        assert!(names.iter().any(|n| n == "post_gate"));
     }
 
     #[test]

@@ -17,8 +17,18 @@
 //! * [`progress`] — verbosity-gated progress lines replacing the ad-hoc
 //!   `eprintln!` calls the binaries used to carry.
 //! * [`event`] — structured trace events (span enter/exit, progress lines,
-//!   health events) with monotonic ids, kept in a bounded ring and
-//!   optionally streamed to a `--trace-out` JSONL file.
+//!   health events) with monotonic ids, thread and trace tags, kept in a
+//!   bounded ring (wraps are counted, not silent) and optionally streamed
+//!   to a `--trace-out` JSONL file.
+//! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export of the trace
+//!   stream (`acobe trace export`, `/trace?day=`), with strict format and
+//!   span-tree validators.
+//! * [`mem`] — the [`MemAccount`](mem::MemAccount) trait and
+//!   [`MemReport`](mem::MemReport) rows behind the
+//!   `acobe_state_bytes{subsystem=…,shard=…}` gauges, `/healthz`'s `mem`
+//!   block, and `acobe mem`.
+//! * [`proc`] — process self-metrics (uptime, RSS from `/proc/self/statm`,
+//!   open-day age) refreshed on every `/metrics` scrape.
 //! * [`monitor`] — score-distribution drift sketches, typed
 //!   [`HealthEvent`](monitor::HealthEvent)s, and the [`monitor::board`]
 //!   behind `/healthz`.
@@ -57,8 +67,11 @@
 pub mod alert;
 pub mod binio;
 pub mod event;
+pub mod mem;
 pub mod metrics;
 pub mod monitor;
+pub mod perfetto;
+pub mod proc;
 pub mod progress;
 pub mod prometheus;
 pub mod registry;
@@ -71,12 +84,13 @@ pub use alert::{
     FeatureContribution,
 };
 pub use event::{EventKind, TraceEvent};
+pub use mem::{MemAccount, MemEntry, MemReport};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftMonitor, HealthEvent, QuantileSketch, ShardStatus};
 pub use progress::{set_verbosity, verbosity};
 pub use registry::{global, FamilyKind, MetricFamily, Registry, SpanStats};
 pub use sink::{write_atomic, HistogramBucket, Labels, MetricRecord};
-pub use span::SpanGuard;
+pub use span::{SpanGuard, TraceContext};
 
 use std::sync::Arc;
 

@@ -1,0 +1,177 @@
+//! Memory accounting: where the engine's bytes actually live.
+//!
+//! The big state owners — rolling deviation histories, `DayRing`s, the
+//! model bank, novelty state, ingest queues, alert board/log buffers —
+//! implement [`MemAccount`] and report their approximate heap footprint.
+//! A [`MemReport`] collects those numbers into `(subsystem, shard, bytes)`
+//! entries, publishes them as `acobe_state_bytes{subsystem=…,shard=…}`
+//! gauges for `/metrics`, and renders the table behind `/healthz`'s `mem`
+//! block and the `acobe mem` CLI report.
+
+use serde::{Deserialize, Serialize};
+
+/// A state owner that can account for its heap footprint.
+pub trait MemAccount {
+    /// Approximate heap bytes currently held by this owner.
+    fn mem_bytes(&self) -> usize;
+}
+
+/// One accounted subsystem's footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemEntry {
+    /// Subsystem label (`rolling`, `rings`, `models`, `novelty`, …).
+    pub subsystem: String,
+    /// Shard index for per-shard owners; `None` for process-wide ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<usize>,
+    /// Approximate heap bytes.
+    pub bytes: u64,
+}
+
+/// A collection of [`MemEntry`] rows, one per accounted owner.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemReport {
+    /// The accounted entries, in insertion order.
+    pub entries: Vec<MemEntry>,
+}
+
+impl MemReport {
+    /// An empty report.
+    pub fn new() -> MemReport {
+        MemReport::default()
+    }
+
+    /// Adds a process-wide entry.
+    pub fn push(&mut self, subsystem: &str, bytes: usize) {
+        self.entries.push(MemEntry { subsystem: subsystem.into(), shard: None, bytes: bytes as u64 });
+    }
+
+    /// Adds a per-shard entry.
+    pub fn push_shard(&mut self, subsystem: &str, shard: usize, bytes: usize) {
+        self.entries.push(MemEntry {
+            subsystem: subsystem.into(),
+            shard: Some(shard),
+            bytes: bytes as u64,
+        });
+    }
+
+    /// Appends another report's entries.
+    pub fn extend(&mut self, other: MemReport) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Total accounted bytes.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total bytes for one subsystem across shards.
+    pub fn subsystem_total(&self, subsystem: &str) -> u64 {
+        self.entries.iter().filter(|e| e.subsystem == subsystem).map(|e| e.bytes).sum()
+    }
+
+    /// Publishes every entry as an `acobe_state_bytes{subsystem=…[,shard=…]}`
+    /// gauge on the global registry, plus the `acobe_state_bytes_total`
+    /// rollup. Re-publishing overwrites prior values; entries absent from
+    /// this report keep their last value (subsystems don't disappear
+    /// mid-stream).
+    pub fn publish(&self) {
+        for entry in &self.entries {
+            let gauge = match entry.shard {
+                Some(shard) => {
+                    let shard = shard.to_string();
+                    crate::gauge_with(
+                        "acobe_state_bytes",
+                        &[("subsystem", entry.subsystem.as_str()), ("shard", shard.as_str())],
+                    )
+                }
+                None => crate::gauge_with(
+                    "acobe_state_bytes",
+                    &[("subsystem", entry.subsystem.as_str())],
+                ),
+            };
+            gauge.set(entry.bytes as f64);
+        }
+        crate::gauge("acobe_state_bytes_total").set(self.total() as f64);
+    }
+
+    /// A human-readable table: per-subsystem totals (shards folded
+    /// together), largest first, with a grand total.
+    pub fn table(&self) -> String {
+        let mut subsystems: Vec<String> = Vec::new();
+        for entry in &self.entries {
+            if !subsystems.contains(&entry.subsystem) {
+                subsystems.push(entry.subsystem.clone());
+            }
+        }
+        let mut rows: Vec<(String, u64)> =
+            subsystems.into_iter().map(|s| (s.clone(), self.subsystem_total(&s))).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::from("subsystem            bytes\n");
+        for (subsystem, bytes) in rows {
+            out.push_str(&format!("{subsystem:<20} {bytes:>12}\n"));
+        }
+        out.push_str(&format!("{:<20} {:>12}\n", "total", self.total()));
+        out
+    }
+}
+
+impl MemAccount for Vec<u8> {
+    fn mem_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl MemAccount for String {
+    fn mem_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_totals_and_tables() {
+        let mut report = MemReport::new();
+        report.push_shard("rolling", 0, 1000);
+        report.push_shard("rolling", 1, 500);
+        report.push("models", 3000);
+        assert_eq!(report.total(), 4500);
+        assert_eq!(report.subsystem_total("rolling"), 1500);
+        let table = report.table();
+        let models_at = table.find("models").unwrap();
+        let rolling_at = table.find("rolling").unwrap();
+        assert!(models_at < rolling_at, "largest first:\n{table}");
+        assert!(table.contains("total"), "{table}");
+    }
+
+    #[test]
+    fn publish_feeds_labeled_gauges() {
+        let mut report = MemReport::new();
+        report.push_shard("mem_test_rings", 2, 4096);
+        report.push("mem_test_alerts", 128);
+        report.publish();
+        let per_shard =
+            crate::gauge_with("acobe_state_bytes", &[("subsystem", "mem_test_rings"), ("shard", "2")]);
+        assert_eq!(per_shard.get(), 4096.0);
+        let wide = crate::gauge_with("acobe_state_bytes", &[("subsystem", "mem_test_alerts")]);
+        assert_eq!(wide.get(), 128.0);
+        let rendered = crate::prometheus::render(crate::global());
+        assert!(
+            rendered.contains("acobe_state_bytes{shard=\"2\",subsystem=\"mem_test_rings\"} 4096")
+                || rendered
+                    .contains("acobe_state_bytes{subsystem=\"mem_test_rings\",shard=\"2\"} 4096"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn byte_buffers_account_capacity() {
+        let buf: Vec<u8> = Vec::with_capacity(64);
+        assert_eq!(MemAccount::mem_bytes(&buf), 64);
+        let s = String::from("abc");
+        assert!(s.mem_bytes() >= 3);
+    }
+}

@@ -453,12 +453,16 @@ struct BoardState {
     last_ingested_day: Option<String>,
     last_scored_day: Option<String>,
     open_day: Option<OpenDayStatus>,
+    /// When the current open day was first reported, in process ms — the
+    /// basis of the `acobe_open_day_age_seconds` self-metric.
+    open_day_since_ms: Option<f64>,
     days_behind: Option<i64>,
     checkpoint_day: Option<String>,
     checkpoint_age_days: Option<i64>,
     checkpoint_bytes: Option<u64>,
     checkpoint_format: Option<u32>,
     checkpoint_kind: Option<String>,
+    mem: Option<crate::mem::MemReport>,
     events: VecDeque<HealthEventRecord>,
 }
 
@@ -486,13 +490,39 @@ impl HealthBoard {
 
     /// Notes the intraday open day's progress after a sub-day flush.
     pub fn set_open_day(&self, day: &str, events: u64, flushes: u64) {
-        self.state.lock().open_day =
-            Some(OpenDayStatus { day: day.to_string(), events, flushes });
+        let mut state = self.state.lock();
+        let same_day = state.open_day.as_ref().is_some_and(|o| o.day == day);
+        if !same_day {
+            state.open_day_since_ms =
+                Some(crate::progress::process_start().elapsed().as_secs_f64() * 1e3);
+        }
+        state.open_day = Some(OpenDayStatus { day: day.to_string(), events, flushes });
     }
 
     /// Clears the open-day block when the day closes.
     pub fn clear_open_day(&self) {
-        self.state.lock().open_day = None;
+        let mut state = self.state.lock();
+        state.open_day = None;
+        state.open_day_since_ms = None;
+        crate::gauge("acobe_open_day_age_seconds").set(0.0);
+    }
+
+    /// Publishes the `acobe_open_day_age_seconds` gauge: how long the
+    /// current open day has been accumulating (0 when no day is open).
+    /// Called on every `/metrics` scrape via
+    /// [`crate::proc::refresh_process_metrics`].
+    pub fn refresh_open_day_age(&self) {
+        let since = self.state.lock().open_day_since_ms;
+        let age = since.map_or(0.0, |ms| {
+            (crate::progress::process_start().elapsed().as_secs_f64() * 1e3 - ms) / 1e3
+        });
+        crate::gauge("acobe_open_day_age_seconds").set(age.max(0.0));
+    }
+
+    /// Replaces the memory-accounting block surfaced in `/healthz` (see
+    /// [`crate::mem::MemReport`]).
+    pub fn set_mem(&self, report: crate::mem::MemReport) {
+        self.state.lock().mem = Some(report);
     }
 
     /// Sets how many days the engine trails the end of the feed.
@@ -566,7 +596,14 @@ impl HealthBoard {
             checkpoint_bytes: &'a Option<u64>,
             checkpoint_format: &'a Option<u32>,
             checkpoint_kind: &'a Option<String>,
+            #[serde(skip_serializing_if = "Option::is_none")]
+            mem: Option<MemBlock<'a>>,
             events: Vec<&'a HealthEventRecord>,
+        }
+        #[derive(Serialize)]
+        struct MemBlock<'a> {
+            total_bytes: u64,
+            entries: &'a [crate::mem::MemEntry],
         }
         let state = self.state.lock();
         let status = if state.shards.iter().any(|s| !s.live) { "degraded" } else { "ok" };
@@ -582,6 +619,10 @@ impl HealthBoard {
             checkpoint_bytes: &state.checkpoint_bytes,
             checkpoint_format: &state.checkpoint_format,
             checkpoint_kind: &state.checkpoint_kind,
+            mem: state
+                .mem
+                .as_ref()
+                .map(|m| MemBlock { total_bytes: m.total(), entries: &m.entries }),
             events: state.events.iter().collect(),
         };
         serde_json::to_string_pretty(&doc).expect("healthz serializes")

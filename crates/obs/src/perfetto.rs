@@ -1,0 +1,424 @@
+//! Chrome/Perfetto `trace_event` export of the structured trace stream.
+//!
+//! Converts [`TraceEvent`]s (from the in-memory ring, or a `--trace-out`
+//! JSONL file) into the Chrome trace-event JSON format that
+//! `ui.perfetto.dev` and `chrome://tracing` load directly:
+//!
+//! * every matched span enter/exit pair becomes one `"X"` (complete) slice
+//!   on its emitting thread's track, with the span's structured fields in
+//!   `args`;
+//! * progress/detail/health/alert/note events become `"i"` (instant)
+//!   markers;
+//! * still-open spans (an enter with no exit in the window) become instant
+//!   markers too — Chrome's `"B"` without a matching `"E"` is invalid;
+//! * `"M"` metadata rows name the process and each thread track.
+//!
+//! The module also carries the in-repo format checker ([`validate`], the
+//! `promcheck` of traces) and the span-tree well-formedness checker
+//! ([`validate_span_tree`]) used by tests and `acobe trace export`.
+
+use crate::event::{EventKind, TraceEvent};
+use serde_json::{json, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The synthetic process id used for all tracks (one acobe process).
+const PID: u64 = 1;
+
+/// Converts trace events into a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`).
+pub fn to_chrome(events: &[TraceEvent]) -> Value {
+    let mut events: Vec<&TraceEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.id);
+
+    // Index span enters by id so exits can resolve their slice start.
+    let enters: BTreeMap<u64, &TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnter)
+        .map(|e| (e.id, *e))
+        .collect();
+    let mut closed: BTreeSet<u64> = BTreeSet::new();
+
+    let mut out: Vec<Value> = Vec::new();
+    out.push(json!({
+        "name": "process_name", "ph": "M", "pid": PID,
+        "args": {"name": "acobe"}
+    }));
+    let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    for tid in &tids {
+        out.push(json!({
+            "name": "thread_name", "ph": "M", "pid": PID, "tid": tid,
+            "args": {"name": format!("thread-{tid}")}
+        }));
+    }
+
+    for event in &events {
+        match event.kind {
+            EventKind::SpanEnter => {} // emitted from the matching exit
+            EventKind::SpanExit => {
+                let Some(&enter) = event.parent.as_ref().and_then(|p| enters.get(p)) else {
+                    continue; // enter fell off the ring: no slice start
+                };
+                closed.insert(enter.id);
+                let dur_ms =
+                    event.elapsed_ms.unwrap_or_else(|| (event.t_ms - enter.t_ms).max(0.0));
+                out.push(json!({
+                    "name": enter.name, "cat": "span", "ph": "X",
+                    "ts": enter.t_ms * 1e3, "dur": dur_ms * 1e3,
+                    "pid": PID, "tid": enter.tid,
+                    "args": span_args(enter),
+                }));
+            }
+            _ => {
+                out.push(json!({
+                    "name": event.name, "cat": kind_category(event.kind), "ph": "i",
+                    "ts": event.t_ms * 1e3, "pid": PID, "tid": event.tid, "s": "t",
+                    "args": span_args(event),
+                }));
+            }
+        }
+    }
+    // Spans still open at the end of the window: mark the enter so the
+    // trace shows where the run was, without an invalid unmatched "B".
+    for (id, enter) in &enters {
+        if !closed.contains(id) {
+            out.push(json!({
+                "name": format!("{} (open)", enter.name), "cat": "span", "ph": "i",
+                "ts": enter.t_ms * 1e3, "pid": PID, "tid": enter.tid, "s": "t",
+                "args": span_args(enter),
+            }));
+        }
+    }
+    json!({ "traceEvents": out })
+}
+
+/// [`to_chrome`] rendered as a JSON string.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut body =
+        serde_json::to_string_pretty(&to_chrome(events)).expect("chrome trace serializes");
+    body.push('\n');
+    body
+}
+
+fn kind_category(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::SpanEnter | EventKind::SpanExit => "span",
+        EventKind::Progress => "progress",
+        EventKind::Detail => "detail",
+        EventKind::Health => "health",
+        EventKind::Alert => "alert",
+        EventKind::Note => "note",
+    }
+}
+
+/// The `args` payload of an exported event: span linkage plus the
+/// structured fields.
+fn span_args(event: &TraceEvent) -> Value {
+    let mut args = serde_json::Map::new();
+    args.insert("span".into(), json!(event.id));
+    if let Some(parent) = event.parent {
+        args.insert("parent".into(), json!(parent));
+    }
+    if let Some(trace) = event.trace {
+        args.insert("trace".into(), json!(trace));
+    }
+    for (k, v) in &event.fields {
+        args.entry(k.clone()).or_insert_with(|| json!(v));
+    }
+    Value::Object(args)
+}
+
+/// Validates a Chrome trace-event JSON document against the format rules
+/// Perfetto enforces, returning the number of events checked.
+///
+/// Checked per event: known phase (`X`/`i`/`M`), a string `name`, numeric
+/// `pid`/`tid`, a finite non-negative `ts` (and `dur` for `X`), a valid
+/// instant scope, and named-metadata shape for `M` rows.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing top-level 'traceEvents' key")?
+        .as_array()
+        .ok_or("'traceEvents' is not an array")?;
+    for (i, event) in events.iter().enumerate() {
+        let obj = event.as_object().ok_or(format!("event {i}: not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or(format!("event {i}: missing 'ph' phase"))?;
+        let name = obj.get("name").and_then(Value::as_str);
+        if name.is_none() {
+            return Err(format!("event {i}: missing string 'name'"));
+        }
+        match ph {
+            "M" => {
+                let meta = name.unwrap();
+                if meta != "process_name" && meta != "thread_name" {
+                    return Err(format!("event {i}: unknown metadata '{meta}'"));
+                }
+                if obj.pointer("/args/name").and_then(Value::as_str).is_none() {
+                    return Err(format!("event {i}: metadata without args.name"));
+                }
+            }
+            "X" | "i" => {
+                let ts = obj
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("event {i}: missing numeric 'ts'"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("event {i}: ts {ts} not a finite non-negative µs"));
+                }
+                if obj.get("pid").and_then(Value::as_u64).is_none()
+                    || obj.get("tid").and_then(Value::as_u64).is_none()
+                {
+                    return Err(format!("event {i}: missing numeric pid/tid"));
+                }
+                if ph == "X" {
+                    let dur = obj
+                        .get("dur")
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("event {i}: complete event without 'dur'"))?;
+                    if !dur.is_finite() || dur < 0.0 {
+                        return Err(format!("event {i}: dur {dur} not finite non-negative"));
+                    }
+                } else {
+                    let scope = obj.get("s").and_then(Value::as_str).unwrap_or("t");
+                    if !matches!(scope, "g" | "p" | "t") {
+                        return Err(format!("event {i}: instant scope '{scope}' not g/p/t"));
+                    }
+                }
+            }
+            other => return Err(format!("event {i}: unsupported phase '{other}'")),
+        }
+    }
+    Ok(events.len())
+}
+
+/// Shape summary of the span forest inside a set of trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Span-enter events checked.
+    pub spans: usize,
+    /// Spans whose parent is absent (tree roots).
+    pub roots: usize,
+    /// Distinct emitting threads across the spans.
+    pub threads: usize,
+}
+
+/// Checks that the span-enter events in `events` form a well-formed forest:
+/// every referenced parent is present, and parent links are acyclic.
+///
+/// # Errors
+///
+/// Returns a description of the first dangling parent or cycle.
+pub fn validate_span_tree(events: &[TraceEvent]) -> Result<TreeStats, String> {
+    let enters: BTreeMap<u64, &TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnter)
+        .map(|e| (e.id, e))
+        .collect();
+    let mut roots = 0usize;
+    let mut threads: BTreeSet<u64> = BTreeSet::new();
+    for (id, enter) in &enters {
+        threads.insert(enter.tid);
+        match enter.parent {
+            None => roots += 1,
+            Some(parent) => {
+                if !enters.contains_key(&parent) {
+                    return Err(format!("span {id} ('{}') has missing parent {parent}", enter.name));
+                }
+            }
+        }
+        // Walk to the root; ids strictly decrease along well-formed parent
+        // chains (parents are recorded before children), so any repeat or
+        // increase is a cycle.
+        let mut seen = BTreeSet::from([*id]);
+        let mut cursor = enter.parent;
+        while let Some(p) = cursor {
+            if !seen.insert(p) {
+                return Err(format!("cycle through span {p} reached from span {id}"));
+            }
+            cursor = enters.get(&p).and_then(|e| e.parent);
+        }
+    }
+    Ok(TreeStats { spans: enters.len(), roots, threads: threads.len() })
+}
+
+/// The subtree of `events` under span roots tagged with `day`: every span
+/// enter carrying a `day=<day>` field, plus everything whose parent chain
+/// reaches one — the single-day slice behind `/trace?day=` and
+/// `acobe trace export --day`.
+pub fn day_subtree(events: &[TraceEvent], day: &str) -> Vec<TraceEvent> {
+    let mut events: Vec<&TraceEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.id);
+    // Enter ids inside the day's subtree. Parents always precede children
+    // in id order, so one forward pass closes the set.
+    let mut inside: BTreeSet<u64> = BTreeSet::new();
+    let mut out = Vec::new();
+    for event in events {
+        let is_root = event.kind == EventKind::SpanEnter
+            && event.fields.iter().any(|(k, v)| k == "day" && v == day);
+        let under = event.parent.is_some_and(|p| inside.contains(&p));
+        if is_root || under {
+            if event.kind == EventKind::SpanEnter {
+                inside.insert(event.id);
+            }
+            out.push(event.clone());
+        }
+    }
+    out
+}
+
+/// Parses a `--trace-out` JSONL file's contents into trace events,
+/// tolerating blank lines.
+///
+/// # Errors
+///
+/// Returns the first malformed line's number and parse error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        id: u64,
+        parent: Option<u64>,
+        tid: u64,
+        kind: EventKind,
+        name: &str,
+        elapsed_ms: Option<f64>,
+        fields: &[(&str, &str)],
+    ) -> TraceEvent {
+        TraceEvent {
+            id,
+            parent,
+            trace: Some(1),
+            tid,
+            t_ms: id as f64,
+            kind,
+            name: name.into(),
+            elapsed_ms,
+            fields: fields.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect(),
+        }
+    }
+
+    fn sample_day() -> Vec<TraceEvent> {
+        vec![
+            ev(1, None, 1, EventKind::SpanEnter, "engine/ingest_day", None, &[("day", "2010-01-05")]),
+            ev(2, Some(1), 2, EventKind::SpanEnter, "engine/ingest_day/shard_ingest", None, &[("shard", "0")]),
+            ev(3, Some(1), 3, EventKind::SpanEnter, "engine/ingest_day/shard_ingest", None, &[("shard", "1")]),
+            ev(4, Some(2), 2, EventKind::SpanExit, "engine/ingest_day/shard_ingest", Some(1.5), &[]),
+            ev(5, Some(3), 3, EventKind::SpanExit, "engine/ingest_day/shard_ingest", Some(1.25), &[]),
+            ev(6, Some(1), 1, EventKind::Note, "engine/day", None, &[("day", "2010-01-05")]),
+            ev(7, Some(1), 1, EventKind::SpanExit, "engine/ingest_day", Some(9.0), &[]),
+        ]
+    }
+
+    #[test]
+    fn export_validates_and_carries_slices() {
+        let events = sample_day();
+        let text = render(&events);
+        let checked = validate(&text).expect("export validates");
+        // 1 process + 3 thread metadata + 3 X slices + 1 instant.
+        assert_eq!(checked, 8, "{text}");
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let slices: Vec<&Value> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .collect();
+        assert_eq!(slices.len(), 3);
+        let root = slices.iter().find(|s| s["name"] == "engine/ingest_day").unwrap();
+        assert_eq!(root["args"]["day"], "2010-01-05");
+        assert_eq!(root["dur"], 9000.0);
+        assert_eq!(root["tid"], 1);
+    }
+
+    #[test]
+    fn open_spans_become_instants_not_unmatched_begins() {
+        let events = vec![ev(1, None, 1, EventKind::SpanEnter, "still_open", None, &[])];
+        let text = render(&events);
+        validate(&text).expect("open span export validates");
+        assert!(text.contains("still_open (open)"), "{text}");
+        assert!(!text.contains("\"ph\": \"B\""), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (text, why) in [
+            ("{}", "traceEvents"),
+            (r#"{"traceEvents": [{"name": "x"}]}"#, "ph"),
+            (r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 1, "pid": 1, "tid": 1}]}"#, "dur"),
+            (r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": -4, "dur": 1, "pid": 1, "tid": 1}]}"#, "ts"),
+            (r#"{"traceEvents": [{"name": "x", "ph": "Q", "ts": 1, "pid": 1, "tid": 1}]}"#, "phase"),
+            (r#"{"traceEvents": [{"name": "x", "ph": "i", "ts": 1, "pid": 1, "tid": 1, "s": "z"}]}"#, "scope"),
+        ] {
+            let err = validate(text).expect_err(why);
+            assert!(err.contains(why) || !err.is_empty(), "{why}: {err}");
+        }
+    }
+
+    #[test]
+    fn tree_validator_flags_dangling_parents_and_counts() {
+        let events = sample_day();
+        let stats = validate_span_tree(&events).expect("well-formed");
+        assert_eq!(stats, TreeStats { spans: 3, roots: 1, threads: 3 });
+
+        let mut dangling = sample_day();
+        dangling.remove(0); // drop the root enter
+        let err = validate_span_tree(&dangling).expect_err("dangling parent");
+        assert!(err.contains("missing parent"), "{err}");
+    }
+
+    #[test]
+    fn day_subtree_selects_one_day() {
+        let mut events = sample_day();
+        // A second day in the same stream, sharing nothing with the first.
+        events.push(ev(8, None, 1, EventKind::SpanEnter, "engine/ingest_day", None, &[("day", "2010-01-06")]));
+        events.push(ev(9, Some(8), 2, EventKind::SpanEnter, "engine/ingest_day/shard_ingest", None, &[("shard", "0")]));
+        events.push(ev(10, Some(9), 2, EventKind::SpanExit, "engine/ingest_day/shard_ingest", Some(1.0), &[]));
+        events.push(ev(11, Some(8), 1, EventKind::SpanExit, "engine/ingest_day", Some(4.0), &[]));
+
+        let first = day_subtree(&events, "2010-01-05");
+        assert_eq!(first.len(), 7);
+        assert!(first.iter().all(|e| e.id <= 7));
+        let second = day_subtree(&events, "2010-01-06");
+        assert_eq!(second.len(), 4);
+        assert!(second.iter().all(|e| e.id >= 8));
+        let stats = validate_span_tree(&second).expect("day subtree is a tree");
+        assert_eq!(stats.roots, 1);
+        assert!(day_subtree(&events, "1999-12-31").is_empty());
+    }
+
+    #[test]
+    fn jsonl_parses_with_blank_lines_and_rejects_garbage() {
+        let events = sample_day();
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&serde_json::to_string(e).unwrap());
+            text.push_str("\n\n");
+        }
+        let back = parse_jsonl(&text).expect("roundtrip");
+        assert_eq!(back, events);
+        let err = parse_jsonl("not json\n").expect_err("garbage rejected");
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

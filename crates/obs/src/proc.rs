@@ -1,0 +1,88 @@
+//! Process-level self-metrics.
+//!
+//! [`refresh_process_metrics`] publishes gauges about the process itself —
+//! uptime, resident set size, and the open day's age — refreshed on every
+//! `/metrics` scrape (and by `acobe mem`) so they are current without a
+//! background sampler thread:
+//!
+//! * `process_uptime_seconds` — wall time since the process started.
+//! * `process_resident_memory_bytes` — RSS, read from `/proc/self/statm`
+//!   (resident pages × the kernel page size from `/proc/self/auxv`). The
+//!   gauge is simply absent on platforms without procfs.
+//! * `acobe_open_day_age_seconds` — how long the current open day has been
+//!   accumulating (absent until a stream opens a day; see
+//!   [`crate::monitor::HealthBoard::set_open_day`]).
+
+/// Publishes the process self-metric gauges; call before rendering
+/// `/metrics`.
+pub fn refresh_process_metrics() {
+    let uptime = crate::progress::process_start().elapsed().as_secs_f64();
+    crate::gauge("process_uptime_seconds").set(uptime);
+    if let Some(rss) = resident_bytes() {
+        crate::gauge("process_resident_memory_bytes").set(rss as f64);
+    }
+    crate::monitor::board().refresh_open_day_age();
+}
+
+/// The process's resident set size in bytes, when procfs is available.
+pub fn resident_bytes() -> Option<u64> {
+    statm_resident_pages().map(|pages| pages * page_size())
+}
+
+/// Resident pages from `/proc/self/statm` (second field).
+fn statm_resident_pages() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    statm.split_whitespace().nth(1)?.parse::<u64>().ok()
+}
+
+/// The kernel page size from the ELF auxiliary vector (`AT_PAGESZ` in
+/// `/proc/self/auxv`), falling back to 4 KiB. Reading auxv avoids guessing
+/// on kernels built with 16 K/64 K pages, without a libc dependency.
+fn page_size() -> u64 {
+    use std::sync::OnceLock;
+    static PAGE: OnceLock<u64> = OnceLock::new();
+    *PAGE.get_or_init(|| auxv_page_size().unwrap_or(4096))
+}
+
+/// `AT_PAGESZ` (key 6) from the binary key/value pairs in auxv.
+fn auxv_page_size() -> Option<u64> {
+    const AT_PAGESZ: u64 = 6;
+    let raw = std::fs::read("/proc/self/auxv").ok()?;
+    let word = std::mem::size_of::<usize>();
+    for pair in raw.chunks_exact(2 * word) {
+        let mut key = [0u8; 8];
+        let mut value = [0u8; 8];
+        key[..word].copy_from_slice(&pair[..word]);
+        value[..word].copy_from_slice(&pair[word..]);
+        if u64::from_le_bytes(key) == AT_PAGESZ {
+            let size = u64::from_le_bytes(value);
+            if size.is_power_of_two() && (512..=1 << 20).contains(&size) {
+                return Some(size);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_publishes_uptime_and_linux_rss() {
+        refresh_process_metrics();
+        assert!(crate::gauge("process_uptime_seconds").get() >= 0.0);
+        if cfg!(target_os = "linux") {
+            let rss = crate::gauge("process_resident_memory_bytes").get();
+            // A running test binary resides in at least a megabyte.
+            assert!(rss > 1 << 20, "implausible RSS {rss}");
+        }
+    }
+
+    #[test]
+    fn page_size_is_sane() {
+        let size = page_size();
+        assert!(size.is_power_of_two());
+        assert!((512..=1 << 20).contains(&size), "{size}");
+    }
+}

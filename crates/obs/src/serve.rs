@@ -9,7 +9,11 @@
 //!   live/quarantined status, last ingested day, checkpoint age, days
 //!   behind the feed, recent health events.
 //! * `GET /events?n=N` — the last `N` structured trace events as JSON
-//!   lines (default 256, capped at the ring capacity).
+//!   lines (default 256, capped at the ring capacity), preceded by a meta
+//!   line reporting how many events the ring has dropped since start.
+//! * `GET /trace?day=YYYY-MM-DD` — the span tree of one ingested day (or
+//!   the whole ring without `day`) as a Chrome/Perfetto trace-event JSON
+//!   document (see [`crate::perfetto`]), loadable at `ui.perfetto.dev`.
 //! * `GET /alerts?since=SEQ&status=STATUS&user=ID` — the
 //!   [`crate::alert::alerts`] board as a JSON array, optionally filtered.
 //!
@@ -70,6 +74,9 @@ impl Drop for TelemetryServer {
 /// Binds `addr` (e.g. `127.0.0.1:9184`, port `0` for ephemeral) and serves
 /// the telemetry endpoints until the returned handle is dropped.
 pub fn serve(addr: &str) -> std::io::Result<TelemetryServer> {
+    // Register the drop counter eagerly so `/metrics` always exposes it,
+    // even before the first ring wrap.
+    crate::counter("obs/trace_dropped_total");
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -136,6 +143,7 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
     };
     match path {
         "/metrics" => {
+            crate::proc::refresh_process_metrics();
             let body = crate::prometheus::render(crate::registry::global());
             write_response(
                 &mut stream,
@@ -164,9 +172,26 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
                     )
                 }
             };
-            let body = crate::event::recent_jsonl(n);
+            let events = crate::event::recent_jsonl(n);
+            // Lead with a meta line: consumers parsing event lines can tell
+            // whether the ring view is complete or a wrapped suffix.
+            let meta = serde_json::json!({
+                "meta": {
+                    "trace_dropped_total": crate::event::dropped_total(),
+                    "ring_capacity": crate::event::RING_CAPACITY,
+                }
+            });
+            let body = format!("{meta}\n{events}");
             write_response(&mut stream, 200, "application/x-ndjson; charset=utf-8", &body)
         }
+        "/trace" => match trace_response(query) {
+            Ok(body) => {
+                write_response(&mut stream, 200, "application/json; charset=utf-8", &body)
+            }
+            Err(body) => {
+                write_response(&mut stream, 400, "application/json; charset=utf-8", &body)
+            }
+        },
         "/alerts" => match alerts_response(query) {
             Ok(body) => {
                 write_response(&mut stream, 200, "application/json; charset=utf-8", &body)
@@ -179,7 +204,8 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
             &mut stream,
             200,
             "text/plain; charset=utf-8",
-            "acobe telemetry: /metrics /healthz /events?n= /alerts?since=&status=&user=\n",
+            "acobe telemetry: /metrics /healthz /events?n= /trace?day= \
+             /alerts?since=&status=&user=\n",
         ),
         _ => write_response(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -219,6 +245,30 @@ fn parse_numeric_param(
             ))),
         },
     }
+}
+
+/// Builds the `/trace` Chrome trace-event document: the span tree of one
+/// day (`?day=YYYY-MM-DD`) or the whole event ring. An unknown day is an
+/// empty trace, not an error — a malformed `day` value is rejected.
+fn trace_response(query: Option<&str>) -> Result<String, String> {
+    let events = crate::event::recent(usize::MAX);
+    let selected = match query_param(query, "day") {
+        None => events,
+        Some(day) => {
+            let well_formed = day.len() == 10
+                && day.chars().enumerate().all(|(i, c)| match i {
+                    4 | 7 => c == '-',
+                    _ => c.is_ascii_digit(),
+                });
+            if !well_formed {
+                return Err(error_body(&format!(
+                    "parameter 'day' must be YYYY-MM-DD, got '{day}'"
+                )));
+            }
+            crate::perfetto::day_subtree(&events, day)
+        }
+    };
+    Ok(crate::perfetto::render(&selected))
 }
 
 /// Builds the `/alerts` JSON array, validating `since`/`status`/`user`.
@@ -319,9 +369,65 @@ mod tests {
         let (status, body) = http_get(&addr, "/events?n=4096").expect("scrape /events");
         assert_eq!(status, 200);
         assert!(body.contains("serve_test_marker"), "{body}");
+        // The first line is the meta record with the ring-drop counter.
+        let first = body.lines().next().expect("nonempty body");
+        let meta: serde_json::Value = serde_json::from_str(first).expect("meta line is JSON");
+        assert!(meta["meta"]["trace_dropped_total"].is_u64(), "{first}");
+        assert_eq!(
+            meta["meta"]["ring_capacity"].as_u64(),
+            Some(crate::event::RING_CAPACITY as u64)
+        );
 
         let (status, _) = http_get(&addr, "/nope").expect("scrape unknown path");
         assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_carry_process_self_metrics_and_drop_counter() {
+        let _guard = crate::event::test_guard();
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("process_uptime_seconds"), "{body}");
+        assert!(body.contains("obs_trace_dropped_total"), "{body}");
+        assert!(body.contains("acobe_open_day_age_seconds"), "{body}");
+        if cfg!(target_os = "linux") {
+            assert!(body.contains("process_resident_memory_bytes"), "{body}");
+        }
+        crate::prometheus::validate(&body).expect("self-metrics exposition validates");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_endpoint_serves_a_day_subtree() {
+        let _guard = crate::event::test_guard();
+        {
+            let _day = crate::span!("serve_trace_day", day = "2011-07-09");
+            let _child = crate::span!("serve_trace_child");
+        }
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr().to_string();
+
+        let (status, body) = http_get(&addr, "/trace?day=2011-07-09").expect("scrape /trace");
+        assert_eq!(status, 200);
+        crate::perfetto::validate(&body).expect("trace export validates");
+        assert!(body.contains("serve_trace_day"), "{body}");
+        assert!(body.contains("serve_trace_child"), "{body}");
+
+        // Unknown day: valid empty trace. Malformed day: 400.
+        let (status, body) = http_get(&addr, "/trace?day=1999-01-01").expect("request");
+        assert_eq!(status, 200);
+        assert!(!body.contains("serve_trace_day"), "{body}");
+        let (status, body) = http_get(&addr, "/trace?day=tuesday").expect("request");
+        assert_eq!(status, 400, "{body}");
+
+        // No day: the whole ring exports and validates.
+        let (status, body) = http_get(&addr, "/trace").expect("request");
+        assert_eq!(status, 200);
+        crate::perfetto::validate(&body).expect("full-ring export validates");
 
         server.shutdown();
     }

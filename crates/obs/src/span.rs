@@ -10,21 +10,127 @@
 //! [`SpanExit`](crate::event::EventKind::SpanExit) trace events carrying the
 //! span's structured fields (shard, aspect, …) and linked to the enclosing
 //! span's enter event, feeding the event ring and `--trace-out`.
+//!
+//! # Causality across threads
+//!
+//! Span nesting is tracked per thread, so a span opened on a worker thread
+//! would normally start a fresh root. [`TraceContext`] carries causality
+//! across the gap: capture [`TraceContext::current`] before handing work to
+//! another thread, and [`TraceContext::attach`] inside the worker — spans
+//! opened while the guard lives nest under the captured span and share its
+//! trace id, so a fanned-out day still forms a single span tree.
 
 use crate::event::{self, EventKind};
 use crate::registry::{global, Registry};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// One open-span frame: `(path, enter event id, trace id)`.
+type Frame = (String, u64, u64);
+
 thread_local! {
-    /// Open spans on this thread: `(path, enter event id)`.
-    static SPAN_STACK: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread (innermost last). Attached
+    /// [`TraceContext`]s push a frame too, so inheritance needs no separate
+    /// ambient state.
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Allocates process-unique trace ids (1-based) for root spans.
+fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed) + 1
 }
 
 /// The enter-event id of the innermost open span on this thread, used as the
 /// parent of progress/detail/note events.
 pub(crate) fn current_span_id() -> Option<u64> {
-    SPAN_STACK.with(|stack| stack.borrow().last().map(|(_, id)| *id))
+    SPAN_STACK.with(|stack| stack.borrow().last().map(|(_, id, _)| *id))
+}
+
+/// The trace id of the innermost open span on this thread, inherited by
+/// events recorded outside an explicit span API.
+pub(crate) fn current_trace_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().map(|(_, _, trace)| *trace))
+}
+
+/// A capture of the calling thread's innermost open span — trace id plus
+/// parent span id — that can cross a thread or channel boundary.
+///
+/// # Examples
+///
+/// ```
+/// let ctx = {
+///     let _day = acobe_obs::span!("day_root");
+///     acobe_obs::span::TraceContext::current()
+/// };
+/// std::thread::spawn(move || {
+///     let _ctx = ctx.attach();
+///     let _work = acobe_obs::span!("worker_stage"); // nests under day_root
+/// })
+/// .join()
+/// .unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The captured frame; `None` when captured outside any span (attaching
+    /// an empty context is a no-op, so capture sites need no special cases).
+    frame: Option<Frame>,
+}
+
+impl TraceContext {
+    /// Captures the innermost open span on the calling thread.
+    pub fn current() -> TraceContext {
+        TraceContext { frame: SPAN_STACK.with(|stack| stack.borrow().last().cloned()) }
+    }
+
+    /// An empty context: attaching it is a no-op.
+    pub fn empty() -> TraceContext {
+        TraceContext { frame: None }
+    }
+
+    /// The captured trace id, when inside a span.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.frame.as_ref().map(|(_, _, trace)| *trace)
+    }
+
+    /// The captured parent span's enter-event id, when inside a span.
+    pub fn span_id(&self) -> Option<u64> {
+        self.frame.as_ref().map(|(_, id, _)| *id)
+    }
+
+    /// Adopts the captured span as the calling thread's innermost parent for
+    /// as long as the returned guard lives: spans opened under it nest
+    /// beneath the captured span's path, link to its enter event, and share
+    /// its trace id.
+    pub fn attach(&self) -> ContextGuard {
+        let enter_id = self.frame.as_ref().map(|frame| {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(frame.clone()));
+            frame.1
+        });
+        ContextGuard { enter_id }
+    }
+}
+
+/// Keeps a [`TraceContext`] attached to the current thread; detaches on
+/// drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    /// The enter id of the frame this guard pushed (`None` for an empty
+    /// context).
+    enter_id: Option<u64>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let Some(enter_id) = self.enter_id else { return };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|(_, id, _)| *id == enter_id) {
+                stack.remove(pos);
+            }
+        });
+    }
 }
 
 /// An open span; dropping it records the elapsed wall time.
@@ -37,6 +143,7 @@ pub struct SpanGuard<'a> {
     path: String,
     start: Instant,
     enter_id: u64,
+    trace_id: u64,
 }
 
 impl SpanGuard<'static> {
@@ -55,6 +162,20 @@ impl SpanGuard<'static> {
     ) -> SpanGuard<'static> {
         SpanGuard::enter_fields_in(global(), name, fields)
     }
+
+    /// Opens a span on the global registry whose `tags` flow into the enter
+    /// trace event's fields but do **not** render into the span path.
+    ///
+    /// Use this for unbounded-cardinality values (dates, chunk offsets):
+    /// the registry keeps one timing aggregate per span *name* while the
+    /// trace stream still records which day or chunk each instance covered
+    /// (`/trace?day=` selects on exactly these tags).
+    pub fn enter_tagged(
+        name: impl Into<String>,
+        tags: Vec<(String, String)>,
+    ) -> SpanGuard<'static> {
+        SpanGuard::enter_full_in(global(), name, Vec::new(), tags)
+    }
 }
 
 impl<'a> SpanGuard<'a> {
@@ -70,24 +191,45 @@ impl<'a> SpanGuard<'a> {
         name: impl Into<String>,
         fields: Vec<(String, String)>,
     ) -> SpanGuard<'a> {
+        SpanGuard::enter_full_in(registry, name, fields, Vec::new())
+    }
+
+    /// Opens a span recording into a specific registry: `fields` render into
+    /// the span path and flow into the enter event; `tags` flow into the
+    /// enter event only (see [`SpanGuard::enter_tagged`]).
+    pub fn enter_full_in(
+        registry: &'a Registry,
+        name: impl Into<String>,
+        fields: Vec<(String, String)>,
+        tags: Vec<(String, String)>,
+    ) -> SpanGuard<'a> {
         let mut name = name.into();
         if !fields.is_empty() {
             let rendered: Vec<String> =
                 fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
             name = format!("{name}({})", rendered.join(","));
         }
-        let (path, parent) = SPAN_STACK.with(|stack| {
+        let (path, parent, trace_id) = SPAN_STACK.with(|stack| {
             let stack = stack.borrow();
             match stack.last() {
-                Some((parent_path, parent_id)) => {
-                    (format!("{parent_path}/{name}"), Some(*parent_id))
+                Some((parent_path, parent_id, trace)) => {
+                    (format!("{parent_path}/{name}"), Some(*parent_id), *trace)
                 }
-                None => (name, None),
+                None => (name, None, next_trace_id()),
             }
         });
-        let enter_id = event::record(EventKind::SpanEnter, &path, parent, None, fields);
-        SPAN_STACK.with(|stack| stack.borrow_mut().push((path.clone(), enter_id)));
-        SpanGuard { registry, path, start: Instant::now(), enter_id }
+        let mut event_fields = fields;
+        event_fields.extend(tags);
+        let enter_id = event::record_traced(
+            EventKind::SpanEnter,
+            &path,
+            parent,
+            Some(trace_id),
+            None,
+            event_fields,
+        );
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((path.clone(), enter_id, trace_id)));
+        SpanGuard { registry, path, start: Instant::now(), enter_id, trace_id }
     }
 
     /// The full `parent/child` path this span aggregates under.
@@ -99,6 +241,11 @@ impl<'a> SpanGuard<'a> {
     pub fn enter_id(&self) -> u64 {
         self.enter_id
     }
+
+    /// The trace (span tree) this span belongs to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -108,14 +255,15 @@ impl Drop for SpanGuard<'_> {
             let mut stack = stack.borrow_mut();
             // Scoped guards drop LIFO; tolerate out-of-order drops by
             // removing this span's entry wherever it sits.
-            if let Some(pos) = stack.iter().rposition(|(_, id)| *id == self.enter_id) {
+            if let Some(pos) = stack.iter().rposition(|(_, id, _)| *id == self.enter_id) {
                 stack.remove(pos);
             }
         });
-        event::record(
+        event::record_traced(
             EventKind::SpanExit,
             &self.path,
             Some(self.enter_id),
+            Some(self.trace_id),
             Some(elapsed.as_secs_f64() * 1e3),
             Vec::new(),
         );
@@ -232,5 +380,90 @@ mod tests {
             .find(|e| e.kind == crate::event::EventKind::SpanExit && e.parent == Some(outer_id))
             .expect("outer exit event");
         assert!(exit.elapsed_ms.is_some());
+        // Enter, child enter, and exit all share the root's trace id.
+        let trace = enter.trace.expect("root span allocates a trace id");
+        assert_eq!(inner_enter.trace, Some(trace));
+        assert_eq!(exit.trace, Some(trace));
+    }
+
+    #[test]
+    fn tags_reach_events_but_not_the_path() {
+        let _guard = crate::event::test_guard();
+        let enter_id;
+        {
+            let span = SpanGuard::enter_tagged(
+                "tagged_stage",
+                vec![("day".into(), "2011-07-09".into())],
+            );
+            enter_id = span.enter_id();
+            assert_eq!(span.path(), "tagged_stage", "tags must not widen the path");
+        }
+        let events = crate::event::recent(usize::MAX);
+        let enter = events.iter().find(|e| e.id == enter_id).expect("enter event");
+        assert_eq!(
+            enter.fields,
+            vec![("day".to_string(), "2011-07-09".to_string())],
+            "tags flow into the enter event"
+        );
+    }
+
+    #[test]
+    fn context_attach_carries_causality_across_threads() {
+        let _guard = crate::event::test_guard();
+        let r = Registry::new();
+        let (root_id, root_trace, ctx) = {
+            let root = SpanGuard::enter_in(&r, "ctx_root");
+            (root.enter_id(), root.trace_id(), TraceContext::current())
+        };
+        assert_eq!(ctx.span_id(), Some(root_id));
+        assert_eq!(ctx.trace_id(), Some(root_trace));
+        let worker_ids: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            (0..2)
+                .map(|_| {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _attached = ctx.attach();
+                        let span = SpanGuard::enter("ctx_worker");
+                        (span.enter_id(), span.trace_id())
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let events = crate::event::recent(usize::MAX);
+        for (enter_id, trace_id) in worker_ids {
+            assert_eq!(trace_id, root_trace, "worker spans join the root's trace");
+            let enter = events.iter().find(|e| e.id == enter_id).expect("worker enter");
+            assert_eq!(enter.parent, Some(root_id), "worker spans nest under the root");
+            assert_eq!(enter.name, "ctx_root/ctx_worker", "path inherits the root prefix");
+        }
+    }
+
+    #[test]
+    fn empty_context_attach_is_a_noop() {
+        let ctx = TraceContext::empty();
+        assert_eq!(ctx.span_id(), None);
+        let _attached = ctx.attach();
+        let r = Registry::new();
+        let span = SpanGuard::enter_in(&r, "noop_ctx_root");
+        assert_eq!(span.path(), "noop_ctx_root");
+    }
+
+    #[test]
+    fn detach_restores_the_previous_parent() {
+        let r = Registry::new();
+        let outer = SpanGuard::enter_in(&r, "detach_outer");
+        let ctx = TraceContext::current();
+        {
+            let _attached = ctx.attach();
+            let inner = SpanGuard::enter_in(&r, "detach_inner");
+            assert_eq!(inner.path(), "detach_outer/detach_inner");
+        }
+        // The synthetic frame is gone; the real guard is the parent again.
+        let after = SpanGuard::enter_in(&r, "detach_after");
+        assert_eq!(after.path(), "detach_outer/detach_after");
+        assert_eq!(after.trace_id(), outer.trace_id());
     }
 }
